@@ -1,0 +1,53 @@
+"""Ablation: EC-FRM normal-read gain as a function of read size.
+
+The paper argues (§III-A) that reads of more than ``k`` elements are where
+horizontal layouts bottleneck, and that multi-element reads are common.
+This sweep quantifies the claim: for reads of L <= n elements EC-FRM's
+most-loaded disk serves 1 element while standard serves ceil(L/k); the
+gain appears as soon as L > k and peaks near L = n.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.codes import make_lrc
+from repro.harness.experiment import ExperimentConfig, run_normal_read_experiment
+from repro.harness.metrics import improvement_pct
+from repro.layout import FRMPlacement, StandardPlacement
+
+SIZES = [1, 3, 6, 8, 10, 14, 20, 26]
+
+
+def sweep():
+    code = make_lrc(6, 2, 2)
+    std, frm = StandardPlacement(code), FRMPlacement(code)
+    gains = {}
+    for size in SIZES:
+        cfg = ExperimentConfig(
+            normal_trials=300, min_read=size, max_read=size, address_space_rows=300
+        )
+        s = run_normal_read_experiment(std, cfg).mean_speed
+        f = run_normal_read_experiment(frm, cfg).mean_speed
+        gains[size] = improvement_pct(f, s)
+    return gains
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_gain_vs_read_size(benchmark):
+    gains = run_once(benchmark, sweep)
+    print()
+    for size, gain in gains.items():
+        print(f"read size {size:2d} elements: EC-FRM gain {gain:+6.1f}%")
+    benchmark.extra_info["gains_pct"] = gains
+
+    # single-element reads: both layouts serve from one disk -> no gain
+    assert abs(gains[1]) < 2.0
+    # reads of k..n elements: the crossover region where EC-FRM starts
+    # winning (standard needs 2 accesses on some disk, EC-FRM still 1)
+    assert gains[8] > 30.0
+    assert gains[10] > 30.0
+    # very large reads: both layouts near their steady ceil ratio n/k
+    assert gains[26] > 10.0
+    # gain at L=6 (exactly k) is smaller than at L=10 (exactly n)
+    assert gains[6] < gains[10]

@@ -1,0 +1,46 @@
+"""Ablation: rotation step of the rotated form.
+
+The paper's rotated baseline shifts the logical-to-physical mapping by one
+disk per stripe.  Other steps change how contiguous reads interleave with
+parity holes; step = k makes data placement a perfect round-robin over all
+n disks (normal reads become EC-FRM-like), which shows exactly why
+rotation alone cannot beat EC-FRM: parity still sits inside the rotation
+pattern for degraded reads, and real systems pick step=1.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.codes import make_lrc
+from repro.harness.experiment import ExperimentConfig, run_normal_read_experiment
+from repro.layout import FRMPlacement, RotatedPlacement, StandardPlacement
+
+
+def rotation_sweep():
+    code = make_lrc(6, 2, 2)
+    cfg = ExperimentConfig(normal_trials=400)
+    speeds = {"standard": run_normal_read_experiment(StandardPlacement(code), cfg).mean_speed}
+    for step in (1, 2, 3, code.k):
+        placement = RotatedPlacement(code, step=step)
+        speeds[f"rotated(step={step})"] = run_normal_read_experiment(placement, cfg).mean_speed
+    speeds["ec-frm"] = run_normal_read_experiment(FRMPlacement(code), cfg).mean_speed
+    return speeds
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_rotation_step_sweep(benchmark):
+    speeds = run_once(benchmark, rotation_sweep)
+    print()
+    for name, v in speeds.items():
+        print(f"{name:18s}: {v:7.1f} MiB/s")
+    benchmark.extra_info["speeds"] = speeds
+
+    # step = k round-robins data over all disks: normal-read speed
+    # approaches EC-FRM's (within 5%)
+    assert speeds["rotated(step=6)"] > 0.95 * speeds["ec-frm"]
+    # step = 1 (the literal rotated baseline) stays well below EC-FRM
+    assert speeds["ec-frm"] > 1.15 * speeds["rotated(step=1)"]
+    # EC-FRM is at least as good as every rotation variant
+    best_rotation = max(v for k, v in speeds.items() if k.startswith("rotated"))
+    assert speeds["ec-frm"] >= 0.95 * best_rotation

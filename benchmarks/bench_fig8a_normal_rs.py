@@ -1,0 +1,38 @@
+"""Figure 8(a): normal read speed — RS vs R-RS vs EC-FRM-RS.
+
+Paper result: EC-FRM-RS gains 19.2%-33.9% over standard RS and
+17.7%-18.1% over rotated RS, across (6,3), (8,4), (10,5).
+
+Reproduced shape (asserted): EC-FRM-RS wins clearly over both baselines
+at every parameter, with gains over standard in the paper's tens-of-
+percent band.  Known divergence: in our serial chunk-store disk model the
+rotated form lands slightly *below* standard (the paper measured it
+slightly above); see EXPERIMENTS.md for the analysis.
+"""
+
+import pytest
+
+from conftest import attach_series, run_once
+
+from repro.harness.metrics import improvement_pct
+from repro.harness.paperfigs import figure8a
+from repro.harness.report import render_improvements
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_fig8a_normal_read_speed_rs(benchmark, config):
+    table = run_once(benchmark, figure8a, config)
+    print()
+    print(table.render())
+    print(render_improvements(table, "EC-FRM-RS", {"RS": "standard RS", "R-RS": "rotated RS"}))
+    attach_series(benchmark, table)
+
+    for x in table.x_labels:
+        frm = table.value("EC-FRM-RS", x)
+        std = table.value("RS", x)
+        rot = table.value("R-RS", x)
+        # EC-FRM wins over both baselines at every parameter.
+        assert frm > std and frm > rot, x
+        # gains over standard in the paper's band (±10 pct-points slack).
+        gain = improvement_pct(frm, std)
+        assert 10.0 <= gain <= 45.0, (x, gain)

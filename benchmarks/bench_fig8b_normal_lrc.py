@@ -1,0 +1,41 @@
+"""Figure 8(b): normal read speed — LRC vs R-LRC vs EC-FRM-LRC.
+
+Paper result: EC-FRM-LRC gains 23.5%-46.9% over standard LRC and
+19.6%-29.3% over rotated LRC, across (6,2,2), (8,2,3), (10,2,4).
+"""
+
+import pytest
+
+from conftest import attach_series, run_once
+
+from repro.harness.metrics import improvement_pct
+from repro.harness.paperfigs import figure8b
+from repro.harness.report import render_improvements
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_fig8b_normal_read_speed_lrc(benchmark, config):
+    table = run_once(benchmark, figure8b, config)
+    print()
+    print(table.render())
+    print(
+        render_improvements(
+            table, "EC-FRM-LRC", {"LRC": "standard LRC", "R-LRC": "rotated LRC"}
+        )
+    )
+    attach_series(benchmark, table)
+
+    for x in table.x_labels:
+        frm = table.value("EC-FRM-LRC", x)
+        std = table.value("LRC", x)
+        rot = table.value("R-LRC", x)
+        assert frm > std and frm > rot, x
+        gain = improvement_pct(frm, std)
+        # paper band 23.5-46.9, with slack for the simulator substitution
+        assert 15.0 <= gain <= 60.0, (x, gain)
+
+    # LRC family gains exceed the RS family's at matching k (the paper's
+    # observation: LRC has more idle parity disks for EC-FRM to recruit).
+    assert improvement_pct(
+        table.value("EC-FRM-LRC", "(6,2,2)"), table.value("LRC", "(6,2,2)")
+    ) > 20.0

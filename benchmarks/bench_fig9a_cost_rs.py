@@ -1,0 +1,32 @@
+"""Figure 9(a): degraded read cost — RS family.
+
+Paper result: the three RS forms differ by less than 0.9% in degraded
+read cost (the layout moves accesses around but cannot change how many
+helpers an MDS repair needs).
+"""
+
+import pytest
+
+from conftest import attach_series, run_once
+
+from repro.harness.paperfigs import figure9a
+
+
+@pytest.mark.benchmark(group="figure9-cost")
+def test_fig9a_degraded_cost_rs(benchmark, config):
+    table = run_once(benchmark, figure9a, config)
+    print()
+    print(table.render(precision=4))
+    attach_series(benchmark, table)
+
+    for x in table.x_labels:
+        values = [table.value(s, x) for s in ("RS", "R-RS", "EC-FRM-RS")]
+        assert all(v >= 1.0 for v in values)
+        spread = (max(values) - min(values)) / min(values)
+        # paper: <0.9%; allow 3% for workload-sampling noise
+        assert spread < 0.03, (x, spread)
+
+    # cost grows with read amplification risk: larger k -> relatively less
+    # amplification per request (helpers amortize over bigger reads)
+    rs_costs = table.series["RS"]
+    assert all(1.0 < v < 1.6 for v in rs_costs)

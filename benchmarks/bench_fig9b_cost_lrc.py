@@ -1,0 +1,40 @@
+"""Figure 9(b): degraded read cost — LRC family.
+
+Paper result: the three LRC forms differ by less than 0.7% in cost, and
+LRC cost sits well below RS cost (local repair reads k/l helpers, not k).
+"""
+
+import pytest
+
+from conftest import attach_series, run_once
+
+from repro.harness.paperfigs import figure9a, figure9b
+
+
+@pytest.mark.benchmark(group="figure9-cost")
+def test_fig9b_degraded_cost_lrc(benchmark, config):
+    table = run_once(benchmark, figure9b, config)
+    print()
+    print(table.render(precision=4))
+    attach_series(benchmark, table)
+
+    for x in table.x_labels:
+        values = [table.value(s, x) for s in ("LRC", "R-LRC", "EC-FRM-LRC")]
+        assert all(v >= 1.0 for v in values)
+        spread = (max(values) - min(values)) / min(values)
+        assert spread < 0.03, (x, spread)
+
+
+@pytest.mark.benchmark(group="figure9-cost")
+def test_fig9ab_lrc_cost_below_rs(benchmark, config):
+    """The cross-figure claim: LRC degraded cost << RS degraded cost."""
+
+    def both():
+        return figure9a(config), figure9b(config)
+
+    rs_table, lrc_table = benchmark.pedantic(both, rounds=1, iterations=1)
+    pairs = list(zip(rs_table.series["RS"], lrc_table.series["LRC"]))
+    print()
+    for (rs_cost, lrc_cost), k in zip(pairs, (6, 8, 10)):
+        print(f"k={k}: RS cost {rs_cost:.4f}  LRC cost {lrc_cost:.4f}")
+        assert lrc_cost < rs_cost

@@ -1,0 +1,50 @@
+"""Figure 9(d): degraded read speed — LRC family.
+
+Paper result: EC-FRM-LRC gains 3.3%-12.8% over standard LRC and
+2.6%-5.7% over rotated LRC.
+"""
+
+import pytest
+
+from conftest import attach_series, run_once
+
+from repro.harness.metrics import improvement_pct
+from repro.harness.paperfigs import figure8b, figure9d
+from repro.harness.report import render_improvements
+
+
+@pytest.mark.benchmark(group="figure9-speed")
+def test_fig9d_degraded_speed_lrc(benchmark, config):
+    table = run_once(benchmark, figure9d, config)
+    print()
+    print(table.render())
+    print(
+        render_improvements(
+            table, "EC-FRM-LRC", {"LRC": "standard LRC", "R-LRC": "rotated LRC"}
+        )
+    )
+    attach_series(benchmark, table)
+
+    for x in table.x_labels:
+        frm = table.value("EC-FRM-LRC", x)
+        std = table.value("LRC", x)
+        rot = table.value("R-LRC", x)
+        gain = improvement_pct(frm, std)
+        assert 2.0 <= gain <= 25.0, (x, gain)
+        assert frm > rot, x
+
+
+@pytest.mark.benchmark(group="figure9-speed")
+def test_fig9d_degraded_gain_below_normal_gain(benchmark, config):
+    """Paper §V-A: degraded-read improvement < normal-read improvement."""
+
+    def both():
+        return figure8b(config), figure9d(config)
+
+    normal, degraded = benchmark.pedantic(both, rounds=1, iterations=1)
+    print()
+    for x in normal.x_labels:
+        n_gain = improvement_pct(normal.value("EC-FRM-LRC", x), normal.value("LRC", x))
+        d_gain = improvement_pct(degraded.value("EC-FRM-LRC", x), degraded.value("LRC", x))
+        print(f"{x}: normal gain {n_gain:+.1f}%  degraded gain {d_gain:+.1f}%")
+        assert d_gain < n_gain, x

@@ -1,0 +1,32 @@
+"""Figures 1-7: the paper's layout and construction illustrations.
+
+Regenerates each text figure from the live library objects and asserts
+the worked examples printed in the paper appear verbatim.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.harness.paperfigs import ALL_TEXT_FIGURES
+
+
+EXPECTED_CONTENT = {
+    "fig1": ["p0,2", "any 3 disk failures"],
+    "fig2": ["XOR of {d0,0, d0,1, d0,2}"],
+    "fig3": ["most loaded disk serves 2"],
+    "fig4": ["G1 = {d0,6, d0,7, d0,8, d0,9, d1,0, d1,1, p3,2, p3,3, p4,4, p4,5}"],
+    "fig5": ["p3,2 = d0,6 + d0,7 + d0,8"],
+    "fig6": ["byte-exact recovery: OK"],
+    "fig7": ["max load 1", "max load 3"],
+}
+
+
+@pytest.mark.benchmark(group="layout-figures")
+@pytest.mark.parametrize("fig", sorted(ALL_TEXT_FIGURES))
+def test_layout_figure(benchmark, fig):
+    text = run_once(benchmark, ALL_TEXT_FIGURES[fig])
+    print()
+    print(text)
+    for needle in EXPECTED_CONTENT[fig]:
+        assert needle in text, (fig, needle)

@@ -1,0 +1,67 @@
+"""Extension bench: read performance as failures stack up.
+
+The paper stops at one failed disk; upgrade windows in real fleets take
+several disks of a rack away at once (its own §II-D: >90% of data-center
+"failures" are upgrades).  This sweep measures degraded read speed and
+cost at 0..f concurrent failures for the (6,2,2) LRC and (6,3) RS codes
+in standard vs EC-FRM form.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.codes import make_lrc, make_rs
+from repro.engine import plan_degraded_read_multi, simulate_plan
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.metrics import summarize
+from repro.layout import make_placement
+
+
+def sweep(code, form, max_failures, trials=600):
+    cfg = ExperimentConfig(normal_trials=trials)
+    placement = make_placement(form, code)
+    out = {}
+    for nf in range(max_failures + 1):
+        failed = list(range(nf))
+        speeds, costs = [], []
+        for request in cfg.normal_workload(code):
+            plan = plan_degraded_read_multi(placement, request, failed, cfg.element_size)
+            outcome = simulate_plan(plan, cfg.disk_model)
+            speeds.append(outcome.speed_mib_s)
+            costs.append(plan.read_cost)
+        out[nf] = (summarize(speeds).mean, summarize(costs).mean)
+    return out
+
+
+@pytest.mark.benchmark(group="multi-failure")
+@pytest.mark.parametrize("code", [make_rs(6, 3), make_lrc(6, 2, 2)], ids=lambda c: c.describe())
+def test_failure_count_sweep(benchmark, code):
+    def run():
+        return {
+            form: sweep(code, form, code.fault_tolerance)
+            for form in ("standard", "ec-frm")
+        }
+
+    results = run_once(benchmark, run)
+    print()
+    for form, series in results.items():
+        line = "  ".join(
+            f"f={nf}: {speed:6.1f} MiB/s (cost {cost:.3f})"
+            for nf, (speed, cost) in series.items()
+        )
+        print(f"  {form:9s} {line}")
+    benchmark.extra_info["series"] = {
+        form: {str(nf): [round(v, 3) for v in pair] for nf, pair in series.items()}
+        for form, series in results.items()
+    }
+
+    for form, series in results.items():
+        speeds = [speed for speed, _ in series.values()]
+        costs = [cost for _, cost in series.values()]
+        # speed decays (weakly) and cost grows (weakly) with failures
+        assert all(a >= b * 0.999 for a, b in zip(speeds, speeds[1:]))
+        assert all(a <= b + 1e-9 for a, b in zip(costs, costs[1:]))
+    # EC-FRM stays ahead of standard at every failure count
+    for nf in results["standard"]:
+        assert results["ec-frm"][nf][0] > results["standard"][nf][0] * 0.99

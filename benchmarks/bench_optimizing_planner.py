@@ -1,0 +1,61 @@
+"""Extension bench: bottleneck-aware repair selection on degraded reads.
+
+The paper's Figure 7(c) shows the naive repair choice creating a 3-access
+hotspot on an EC-FRM degraded read.  This bench replays the paper's
+degraded workload with the optimizing planner and measures how much
+degraded read speed it recovers on top of EC-FRM — the natural next step
+the paper's §V-A analysis points at.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.codes import make_lrc, make_rs
+from repro.engine import plan_degraded_read, plan_degraded_read_optimized, simulate_plan
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.metrics import improvement_pct, summarize
+from repro.layout import FRMPlacement
+
+
+def run_pair(code, trials=2000):
+    cfg = ExperimentConfig(degraded_trials=trials)
+    placement = FRMPlacement(code)
+    workload = cfg.degraded_workload(code)
+    naive_speeds, opt_speeds = [], []
+    naive_max, opt_max = [], []
+    for trial in workload:
+        a = plan_degraded_read(placement, trial.request, trial.failed_disk, cfg.element_size)
+        b = plan_degraded_read_optimized(
+            placement, trial.request, trial.failed_disk, cfg.element_size
+        )
+        naive_speeds.append(simulate_plan(a, cfg.disk_model).speed_mib_s)
+        opt_speeds.append(simulate_plan(b, cfg.disk_model).speed_mib_s)
+        naive_max.append(a.max_disk_load)
+        opt_max.append(b.max_disk_load)
+    return (
+        summarize(naive_speeds),
+        summarize(opt_speeds),
+        summarize([float(v) for v in naive_max]),
+        summarize([float(v) for v in opt_max]),
+    )
+
+
+@pytest.mark.benchmark(group="optimizing-planner")
+@pytest.mark.parametrize(
+    "code", [make_rs(6, 3), make_lrc(6, 2, 2)], ids=lambda c: c.describe()
+)
+def test_optimized_degraded_reads(benchmark, code):
+    naive_speed, opt_speed, naive_max, opt_max = run_once(benchmark, run_pair, code)
+    gain = improvement_pct(opt_speed.mean, naive_speed.mean)
+    print(
+        f"\n{code.describe()} EC-FRM degraded reads: naive {naive_speed.mean:.1f} "
+        f"-> optimized {opt_speed.mean:.1f} MiB/s ({gain:+.1f}%), "
+        f"mean bottleneck {naive_max.mean:.3f} -> {opt_max.mean:.3f}"
+    )
+    benchmark.extra_info["gain_pct"] = round(gain, 2)
+
+    # the optimizer never hurts and visibly flattens the bottleneck
+    assert opt_speed.mean >= naive_speed.mean
+    assert opt_max.mean <= naive_max.mean
+    assert gain > 1.0  # a real, measurable improvement

@@ -1,0 +1,61 @@
+"""Extension bench: reliability (MTTDL) from measured rebuild times.
+
+Ties the performance story back to the paper's opening sentence: erasure
+coding is about reliability.  Rebuild times come from the actual rebuild
+planner per form; the Markov model turns them into MTTDL.  EC-FRM's
+faster (load-aware) rebuild shortens the re-protection window and buys
+measurable reliability at identical storage overhead.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.codes import make_lrc, make_rs
+from repro.disks import SAVVIO_10K3
+from repro.layout import make_placement
+from repro.reliability import ReliabilityParams, mttdl_markov, mttdl_monte_carlo, rebuild_hours
+
+MiB = 1024 * 1024
+DISK_MTTF_HOURS = 1.0e6  # ~114 years, a datacenter-class spindle
+ROWS = 200               # rebuild workload size per disk
+
+
+@pytest.mark.benchmark(group="reliability")
+@pytest.mark.parametrize("code", [make_rs(6, 3), make_lrc(6, 2, 2)], ids=lambda c: c.describe())
+def test_mttdl_by_form(benchmark, code):
+    def run():
+        out = {}
+        for form in ("standard", "ec-frm"):
+            placement = make_placement(form, code)
+            hours = rebuild_hours(placement, SAVVIO_10K3, MiB, ROWS)
+            p = ReliabilityParams(
+                num_disks=code.n,
+                fault_tolerance=code.fault_tolerance,
+                disk_mttf_hours=DISK_MTTF_HOURS,
+                rebuild_hours=hours,
+            )
+            out[form] = (hours * 3600.0, mttdl_markov(p))
+        return out
+
+    results = run_once(benchmark, run)
+    print()
+    for form, (rebuild_s, mttdl) in results.items():
+        print(f"  {form:9s}: rebuild {rebuild_s:6.2f}s -> MTTDL {mttdl:.3e} hours")
+    benchmark.extra_info["mttdl_hours"] = {k: v[1] for k, v in results.items()}
+
+    assert results["ec-frm"][0] <= results["standard"][0] * 1.01
+    assert results["ec-frm"][1] >= results["standard"][1] * 0.99
+
+
+@pytest.mark.benchmark(group="reliability")
+def test_markov_vs_monte_carlo(benchmark):
+    """The two MTTDL implementations agree (accelerated parameters)."""
+    p = ReliabilityParams(10, 3, disk_mttf_hours=100.0, rebuild_hours=10.0)
+
+    def run():
+        return mttdl_markov(p), mttdl_monte_carlo(p, trials=800, seed=7)
+
+    exact, mc = run_once(benchmark, run)
+    print(f"\nmarkov {exact:.1f} h vs monte-carlo {mc:.1f} h")
+    assert mc == pytest.approx(exact, rel=0.15)

@@ -1,0 +1,106 @@
+"""Extension bench: vertical codes through the full read path.
+
+Quantifies the paper's §III trade-off argument end to end.  X-Code runs
+through the same planners and disk model as the paper's codes:
+
+* normal reads — X-Code matches EC-FRM's all-disk spread (that was the
+  vertical codes' selling point the paper wants to inherit);
+* degraded reads — X-Code's long diagonal chains (p-2 helpers per lost
+  element) cost more than LRC's short local groups, and its rigid prime-p
+  geometry and RAID-6-only tolerance are the §II-B limitations that keep
+  vertical codes out of cloud deployments.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.codes import make_lrc, make_xcode
+from repro.engine import (
+    plan_degraded_read_multi,
+    plan_normal_read,
+    simulate_plan,
+)
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.metrics import summarize
+from repro.layout import FRMPlacement, GridPlacement
+from repro.workloads import RandomDegradedWorkload, RandomReadWorkload
+
+
+def run_form(placement, element_size, trials=800):
+    normal = RandomReadWorkload(address_space=600 * placement.code.k, trials=trials, seed=7)
+    degraded = RandomDegradedWorkload(
+        address_space=600 * placement.code.k,
+        num_disks=placement.num_disks,
+        trials=trials,
+        seed=8,
+    )
+    cfg = ExperimentConfig()
+    n_speeds = []
+    for request in normal:
+        plan = plan_normal_read(placement, request, element_size)
+        n_speeds.append(simulate_plan(plan, cfg.disk_model).speed_mib_s)
+    d_speeds, d_costs = [], []
+    for trial in degraded:
+        plan = plan_degraded_read_multi(
+            placement, trial.request, [trial.failed_disk], element_size
+        )
+        d_speeds.append(simulate_plan(plan, cfg.disk_model).speed_mib_s)
+        d_costs.append(plan.read_cost)
+    return (
+        summarize(n_speeds).mean,
+        summarize(d_speeds).mean,
+        summarize(d_costs).mean,
+    )
+
+
+@pytest.mark.benchmark(group="vertical-read-path")
+def test_xcode_vs_ecfrm_full_path(benchmark):
+    MiB = 1024 * 1024
+
+    def run():
+        xcode = GridPlacement(make_xcode(5))
+        ecfrm = FRMPlacement(make_lrc(6, 2, 2))
+        return {
+            "x-code(5 disks)": run_form(xcode, MiB),
+            "ec-frm-lrc(10 disks)": run_form(ecfrm, MiB),
+        }
+
+    results = run_once(benchmark, run)
+    print()
+    for name, (n, d, c) in results.items():
+        print(f"  {name:22s}: normal {n:6.1f} MiB/s  degraded {d:6.1f} MiB/s  cost {c:.3f}")
+    benchmark.extra_info["results"] = {
+        k: [round(v, 3) for v in vals] for k, vals in results.items()
+    }
+
+    xn, xd, xc = results["x-code(5 disks)"]
+    fn, fd, fc = results["ec-frm-lrc(10 disks)"]
+    # X-Code's degraded cost exceeds LRC-based EC-FRM's: diagonal chains
+    # read p-2 helpers where LRC reads its local group and amortizes
+    # against the request.
+    assert xc > fc
+    # the per-disk normal-read spread is equivalent (ceil(L/n) both), so
+    # speed differences track the disk counts (10 vs 5 spindles)
+    assert fn > xn
+
+
+@pytest.mark.benchmark(group="vertical-read-path")
+def test_xcode_normal_spread_equals_frm_bound(benchmark):
+    """Per-request bottleneck loads: X-Code == ceil(L/5), the same law
+    EC-FRM obeys on its 10 disks."""
+    import math
+
+    def run():
+        p = GridPlacement(make_xcode(5))
+        out = {}
+        for L in (1, 4, 5, 8, 10, 15, 20):
+            plan = plan_normal_read(p, ReadRequest(0, L), 1)
+            out[L] = plan.max_disk_load
+        return out
+
+    from repro.engine import ReadRequest
+
+    loads = run_once(benchmark, run)
+    for L, got in loads.items():
+        assert got == math.ceil(L / 5), L

@@ -1,0 +1,47 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper at the paper's
+own trial counts (2000 normal reads, 5000 degraded reads), prints the
+paper-style series table plus the headline improvement lines, attaches the
+series to ``benchmark.extra_info``, and asserts the *shape* acceptance
+criteria from DESIGN.md §6.
+
+Set ``ECFRM_TRIAL_SCALE`` (e.g. ``0.1``) to scale trial counts down for a
+quick pass.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import ExperimentConfig
+
+
+def paper_config() -> ExperimentConfig:
+    """The paper's experiment configuration, optionally scaled by env."""
+    scale = float(os.environ.get("ECFRM_TRIAL_SCALE", "1.0"))
+    if not 0.0 < scale <= 10.0:
+        raise ValueError(f"ECFRM_TRIAL_SCALE out of range: {scale}")
+    return ExperimentConfig(
+        normal_trials=max(50, int(2000 * scale)),
+        degraded_trials=max(50, int(5000 * scale)),
+    )
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return paper_config()
+
+
+def run_once(benchmark, fn, *args):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)
+
+
+def attach_series(benchmark, table):
+    """Record the reproduced series in the benchmark's JSON metadata."""
+    benchmark.extra_info["title"] = table.title
+    benchmark.extra_info["x_labels"] = list(table.x_labels)
+    benchmark.extra_info["series"] = {k: list(v) for k, v in table.series.items()}

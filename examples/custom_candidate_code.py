@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Extending EC-FRM with your own candidate code.
+
+The paper's framework accepts *any* single-row systematic code.  This
+example defines a custom candidate — a compact "RAID-6 + spare parity"
+matrix code — plugs it into EC-FRM, registers a spec string for it, and
+runs the read-speed comparison against its standard layout.
+"""
+
+import numpy as np
+
+from repro.codes import MatrixCode, parse_code_spec, register_code_factory
+from repro.codes.registry import CODE_FACTORIES
+from repro.frm import FRMCode, render_geometry
+from repro.gf import GF8, extended_generator, systematic_vandermonde_coding_matrix
+from repro.harness.experiment import ExperimentConfig, compare_normal_forms
+from repro.harness.metrics import improvement_pct
+
+
+class TripleParityCode(MatrixCode):
+    """A (k, 3) systematic code built straight from the GF substrate."""
+
+    name = "triple"
+
+    def __init__(self, k: int) -> None:
+        block = systematic_vandermonde_coding_matrix(GF8, k, 3)
+        super().__init__(extended_generator(GF8, block), GF8)
+
+    def describe(self) -> str:
+        return f"Triple({self.k})"
+
+
+def main() -> None:
+    # 1. Build the candidate and check the properties EC-FRM will inherit.
+    code = TripleParityCode(7)
+    print(f"candidate: {code.describe()}  n={code.n}  "
+          f"fault tolerance={code.fault_tolerance}  MDS={code.is_mds}")
+
+    # 2. Transform it: (10, 7) candidate -> 10x10 EC-FRM stripe (gcd = 1).
+    frm = FRMCode(code)
+    print(frm.describe())
+    print(render_geometry(frm.geometry))
+
+    # 3. Verify the transformation on real bytes: encode a stripe, wipe
+    #    three whole disks, reconstruct.
+    g = frm.geometry
+    rng = np.random.default_rng(11)
+    data = rng.integers(0, 256, size=(g.data_elements_per_stripe, 4096), dtype=np.uint8)
+    grid = frm.encode_stripe(data)
+    broken = grid.copy()
+    broken[:, [1, 4, 8], :] = 0
+    assert np.array_equal(frm.decode_columns(broken, [1, 4, 8]), grid)
+    print("triple-disk reconstruction through EC-FRM: OK")
+
+    # 4. Register a spec string so the CLI/harness can name it.
+    if "triple" not in CODE_FACTORIES:
+        register_code_factory("triple", TripleParityCode, 1)
+    assert parse_code_spec("triple-7").k == 7
+    print("registered spec 'triple-7'")
+
+    # 5. Same experiment the paper runs, on the custom code.
+    cfg = ExperimentConfig(normal_trials=400)
+    results = compare_normal_forms(code, config=cfg)
+    std = results["standard"].mean_speed
+    frm_speed = results["ec-frm"].mean_speed
+    print(f"normal read speed: standard {std:.1f} MiB/s, "
+          f"EC-FRM {frm_speed:.1f} MiB/s "
+          f"({improvement_pct(frm_speed, std):+.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Layout explorer: regenerate the paper's Figures 1-7 and inspect any code.
+
+Usage:
+  python3 examples/layout_explorer.py             # all paper figures
+  python3 examples/layout_explorer.py rs-8-4      # explore one code's layout
+"""
+
+import sys
+
+from repro.codes import parse_code_spec
+from repro.engine import ReadRequest, plan_normal_read
+from repro.frm import FRMCode, render_geometry, render_group_membership
+from repro.harness.paperfigs import ALL_TEXT_FIGURES
+from repro.layout import FRMPlacement, StandardPlacement
+
+
+def show_paper_figures() -> None:
+    for name, builder in ALL_TEXT_FIGURES.items():
+        print(builder())
+        print("=" * 78)
+
+
+def explore(spec: str) -> None:
+    code = parse_code_spec(spec)
+    frm = FRMCode(code)
+    g = frm.geometry
+    print(frm.describe())
+    print()
+    print(render_geometry(g, style="group"))
+    print()
+    print("Group membership (paper-style element names):")
+    for i in range(g.num_groups):
+        print(" ", render_group_membership(g, i))
+    print()
+
+    # Show how an n-element read lands under each form.
+    n = code.n
+    for placement in (StandardPlacement(code), FRMPlacement(code)):
+        plan = plan_normal_read(placement, ReadRequest(0, n), 1)
+        loads = plan.per_disk_loads()
+        bar = " ".join(f"{loads.get(d, 0)}" for d in range(n))
+        print(f"{placement.name:9s} {n}-element read, per-disk loads: [{bar}]  "
+              f"max={plan.max_disk_load}")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) > 1:
+        explore(sys.argv[1])
+    else:
+        show_paper_figures()

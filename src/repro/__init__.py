@@ -1,0 +1,51 @@
+"""repro — reproduction of EC-FRM (Fu, Shu, Shen; ICPP 2015).
+
+An erasure coding framework that re-deploys the elements of existing
+single-row codes (Reed-Solomon, Azure LRC, ...) so that reads — normal and
+degraded — spread across *all* disks instead of only the data disks.
+
+Public API highlights
+---------------------
+* :class:`repro.codes.ReedSolomonCode`, :class:`repro.codes.LocalReconstructionCode`
+  — the candidate codes;
+* :class:`repro.frm.FRMCode` — the EC-FRM transformation of any candidate;
+* :mod:`repro.layout` — standard / rotated / EC-FRM placement strategies;
+* :mod:`repro.disks` — the calibrated disk-array simulator;
+* :mod:`repro.engine` — normal and degraded read planning and execution;
+* :mod:`repro.store` — a functional byte store for end-to-end verification;
+* :mod:`repro.harness` — the experiment harness regenerating every figure
+  and table of the paper (see EXPERIMENTS.md).
+"""
+
+from . import (
+    analysis,
+    codes,
+    disks,
+    engine,
+    frm,
+    gf,
+    harness,
+    layout,
+    recovery,
+    reliability,
+    store,
+    workloads,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "codes",
+    "disks",
+    "engine",
+    "frm",
+    "gf",
+    "harness",
+    "layout",
+    "recovery",
+    "reliability",
+    "store",
+    "workloads",
+    "__version__",
+]

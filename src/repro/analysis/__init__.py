@@ -1,0 +1,38 @@
+"""Analytical (exact-enumeration) model of the paper's metrics.
+
+A Monte-Carlo-free second implementation of the Figure 8/9 quantities,
+used to cross-validate the simulator and to expose the closed-form
+mechanics of the EC-FRM gain.
+"""
+
+from .updates import (
+    full_stripe_write_cost,
+    mean_update_penalty,
+    update_cost_table,
+    update_penalty,
+)
+from .model import (
+    AnalyticPrediction,
+    exact_max_load_distribution,
+    expected_max_load,
+    placement_period,
+    predict_degraded_cost,
+    predict_degraded_speed,
+    predict_normal_speed,
+    speed_ratio_bound,
+)
+
+__all__ = [
+    "AnalyticPrediction",
+    "placement_period",
+    "exact_max_load_distribution",
+    "expected_max_load",
+    "predict_normal_speed",
+    "predict_degraded_cost",
+    "predict_degraded_speed",
+    "speed_ratio_bound",
+    "update_penalty",
+    "mean_update_penalty",
+    "full_stripe_write_cost",
+    "update_cost_table",
+]

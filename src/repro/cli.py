@@ -1,0 +1,371 @@
+"""Command-line interface: ``repro-ecfrm``.
+
+Subcommands
+-----------
+* ``layout``  — render a code's EC-FRM stripe layout and group structure;
+* ``figures`` — regenerate the paper's layout figures (1-7) as text;
+* ``bench``   — run a measured figure (8a/8b/9a/9b/9c/9d) and print the
+  paper-style table plus headline improvement lines;
+* ``codes``   — list the Table I codes and their properties;
+* ``demo``    — end-to-end store demo: write, fail a disk, degraded read.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .codes import parse_code_spec
+from .disks.presets import DISK_PRESETS
+from .frm import FRMCode, render_geometry, render_group_membership
+from .harness import ExperimentConfig, render_improvements
+from .harness.paperfigs import (
+    ALL_TEXT_FIGURES,
+    figure8a,
+    figure8b,
+    figure9a,
+    figure9b,
+    figure9c,
+    figure9d,
+)
+from .store import BlockStore, ObjectStore
+
+__all__ = ["main", "build_parser"]
+
+_MEASURED_FIGURES = {
+    "8a": figure8a,
+    "8b": figure8b,
+    "9a": figure9a,
+    "9b": figure9b,
+    "9c": figure9c,
+    "9d": figure9d,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ecfrm",
+        description="EC-FRM (ICPP 2015) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_layout = sub.add_parser("layout", help="render an EC-FRM stripe layout")
+    p_layout.add_argument("code", help="code spec, e.g. rs-6-3 or lrc-6-2-2")
+    p_layout.add_argument(
+        "--style", choices=("group", "grid"), default="group", help="slot label style"
+    )
+    p_layout.add_argument(
+        "--groups", action="store_true", help="also list every group's members"
+    )
+
+    p_fig = sub.add_parser("figures", help="regenerate paper layout figures 1-7")
+    p_fig.add_argument(
+        "which",
+        nargs="*",
+        default=["all"],
+        help="figure ids (fig1..fig7) or 'all'",
+    )
+
+    p_bench = sub.add_parser("bench", help="run a measured paper figure")
+    p_bench.add_argument("figure", choices=sorted(_MEASURED_FIGURES), help="figure id")
+    p_bench.add_argument("--normal-trials", type=int, default=2000)
+    p_bench.add_argument("--degraded-trials", type=int, default=5000)
+    p_bench.add_argument("--element-size", type=int, default=1024 * 1024)
+    p_bench.add_argument(
+        "--disk", choices=sorted(DISK_PRESETS), default="savvio-10k3"
+    )
+    p_bench.add_argument("--seed", type=int, default=2015)
+
+    sub.add_parser("codes", help="list the paper's Table I codes")
+
+    p_demo = sub.add_parser("demo", help="end-to-end degraded-read demo")
+    p_demo.add_argument("--code", default="lrc-6-2-2")
+    p_demo.add_argument("--form", default="ec-frm")
+    p_demo.add_argument("--fail-disk", type=int, default=1)
+
+    p_rec = sub.add_parser(
+        "recover", help="single-disk recovery I/O plans for XOR array codes"
+    )
+    p_rec.add_argument(
+        "code", help="array code spec: rdp-<p>, evenodd-<p>, xcode-<p>, weaver-<n>-<t>"
+    )
+    p_rec.add_argument("--disk", type=int, default=0, help="failed disk to rebuild")
+
+    p_reb = sub.add_parser("rebuild", help="whole-disk rebuild timing across forms")
+    p_reb.add_argument("--code", default="lrc-6-2-2")
+    p_reb.add_argument("--rows", type=int, default=120)
+    p_reb.add_argument("--element-size", type=int, default=1024 * 1024)
+
+    p_scrub = sub.add_parser("scrub", help="silent-corruption scrub demo")
+    p_scrub.add_argument("--code", default="lrc-6-2-2")
+    p_scrub.add_argument("--form", default="ec-frm")
+
+    p_an = sub.add_parser(
+        "analyze", help="exact analytical model: max-load distribution and speeds"
+    )
+    p_an.add_argument("code", help="code spec, e.g. rs-6-3")
+    p_an.add_argument("--size", type=int, default=8, help="read size in elements")
+
+    p_sweep = sub.add_parser(
+        "sweep", help="regenerate all measured figures into CSV/JSON files"
+    )
+    p_sweep.add_argument("--out", default="results", help="output directory")
+    p_sweep.add_argument("--normal-trials", type=int, default=2000)
+    p_sweep.add_argument("--degraded-trials", type=int, default=5000)
+    p_sweep.add_argument(
+        "--format", choices=("csv", "json", "both"), default="both"
+    )
+
+    p_rel = sub.add_parser(
+        "mttdl", help="mean time to data loss from measured rebuild speed"
+    )
+    p_rel.add_argument("--code", default="lrc-6-2-2")
+    p_rel.add_argument("--disk-mttf-hours", type=float, default=1.0e6)
+    p_rel.add_argument("--rows", type=int, default=120)
+    p_rel.add_argument("--lse-prob", type=float, default=0.0)
+    return parser
+
+
+def _cmd_layout(args: argparse.Namespace) -> int:
+    code = parse_code_spec(args.code)
+    frm = FRMCode(code)
+    g = frm.geometry
+    print(frm.describe())
+    print(render_geometry(g, style=args.style))
+    if args.groups:
+        for i in range(g.num_groups):
+            print(render_group_membership(g, i))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    which = args.which
+    if which == ["all"] or which == []:
+        which = list(ALL_TEXT_FIGURES)
+    for fig in which:
+        if fig not in ALL_TEXT_FIGURES:
+            print(f"unknown figure {fig!r}; known: {', '.join(ALL_TEXT_FIGURES)}", file=sys.stderr)
+            return 2
+        print(ALL_TEXT_FIGURES[fig]())
+        print()
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        element_size=args.element_size,
+        disk_model=DISK_PRESETS[args.disk],
+        normal_trials=args.normal_trials,
+        degraded_trials=args.degraded_trials,
+        seed=args.seed,
+    )
+    table = _MEASURED_FIGURES[args.figure](config)
+    print(table.render(precision=3 if args.figure in ("9a", "9b") else 1))
+    subject = next(name for name in table.series if name.startswith("EC-FRM"))
+    baselines = {name: name for name in table.series if name != subject}
+    print()
+    print(render_improvements(table, subject, baselines))
+    return 0
+
+
+def _cmd_codes(_: argparse.Namespace) -> int:
+    from .harness.experiment import paper_codes
+
+    for spec, code in paper_codes().items():
+        frm = FRMCode(code)
+        g = frm.geometry
+        print(
+            f"{spec:12s} n={code.n:2d} k={code.k:2d} f={code.fault_tolerance} "
+            f"overhead={code.storage_overhead:.3f} "
+            f"ec-frm stripe={g.rows}x{g.n} groups={g.num_groups}"
+        )
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    code = parse_code_spec(args.code)
+    bs = BlockStore(code, args.form, element_size=4096)
+    store = ObjectStore(bs)
+    rng = np.random.default_rng(0)
+    blob = rng.integers(0, 256, size=200_000, dtype=np.uint8).tobytes()
+    store.put("demo-object", blob)
+    print(f"stored 200000 bytes via {bs.placement.describe()}")
+
+    data, outcome = bs.read_with_outcome(0, 100_000)
+    print(
+        f"normal read : {outcome.speed_mib_s:8.1f} MiB/s  "
+        f"(max disk load {outcome.plan.max_disk_load})"
+    )
+    bs.array.fail_disk(args.fail_disk)
+    data2, outcome2 = bs.read_with_outcome(0, 100_000)
+    ok = data2 == data == blob[:100_000]
+    print(
+        f"degraded read (disk {args.fail_disk} down): {outcome2.speed_mib_s:8.1f} MiB/s  "
+        f"cost={outcome2.plan.read_cost:.3f}  byte-exact: {'OK' if ok else 'FAILED'}"
+    )
+    return 0 if ok else 1
+
+
+def _parse_array_code(spec: str):
+    """Parse the grid-code specs the recover command accepts."""
+    from .codes import make_evenodd, make_rdp, make_weaver, make_xcode
+
+    parts = spec.strip().lower().split("-")
+    factories = {"rdp": (make_rdp, 1), "evenodd": (make_evenodd, 1),
+                 "xcode": (make_xcode, 1), "weaver": (make_weaver, 2)}
+    if parts[0] not in factories:
+        raise ValueError(
+            f"unknown array code {spec!r}; known: {sorted(factories)}"
+        )
+    factory, arity = factories[parts[0]]
+    args = [int(a) for a in parts[1:]]
+    if len(args) != arity:
+        raise ValueError(f"{parts[0]} takes {arity} parameter(s)")
+    return factory(*args)
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from .recovery import conventional_recovery_plan, optimal_recovery_plan
+
+    code = _parse_array_code(args.code)
+    conv = conventional_recovery_plan(code, args.disk)
+    opt = optimal_recovery_plan(code, args.disk)
+    print(f"{code.describe()} — rebuild disk {args.disk}")
+    print(f"conventional: {conv.io_count} element reads")
+    print(f"optimal     : {opt.io_count} element reads "
+          f"({(1 - opt.io_count / conv.io_count) * 100:.1f}% saved)")
+    loads = opt.per_disk_loads(code)
+    print("optimal per-disk reads: "
+          + " ".join(f"d{d}:{loads.get(d, 0)}" for d in range(code.disks)))
+    return 0
+
+
+def _cmd_rebuild(args: argparse.Namespace) -> int:
+    from .disks.presets import SAVVIO_10K3
+    from .engine import plan_disk_rebuild, rebuild_time_s
+    from .layout import make_placement
+
+    code = parse_code_spec(args.code)
+    print(f"rebuild timing, {code.describe()}, {args.rows} rows, "
+          f"{args.element_size // 1024} KiB elements:")
+    for form in ("standard", "rotated", "ec-frm"):
+        placement = make_placement(form, code)
+        naive = plan_disk_rebuild(placement, 0, args.rows)
+        opt = plan_disk_rebuild(placement, 0, args.rows, optimize=True)
+        t_naive = rebuild_time_s(naive, SAVVIO_10K3, args.element_size)
+        t_opt = rebuild_time_s(opt, SAVVIO_10K3, args.element_size)
+        print(f"  {form:9s}: naive {t_naive:6.2f}s (bottleneck {naive.max_disk_load}) "
+              f"| load-aware {t_opt:6.2f}s (bottleneck {opt.max_disk_load})")
+    return 0
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    from .store import BlockStore, Scrubber
+
+    code = parse_code_spec(args.code)
+    bs = BlockStore(code, args.form, element_size=4096)
+    rng = np.random.default_rng(0)
+    bs.append(rng.integers(0, 256, size=8 * bs.row_bytes, dtype=np.uint8).tobytes())
+    scrubber = Scrubber(bs)
+    scrubber.inject_corruption(2, 1, rng)
+    scrubber.inject_corruption(5, code.n - 1, rng)
+    print(f"injected corruption into rows 2 and 5 of {bs.placement.describe()}")
+    report, repairs = scrubber.scrub_and_repair()
+    print(f"scrub: {report.rows_checked} rows checked, "
+          f"corrupt rows {report.corrupt_rows}")
+    for row, element in repairs:
+        print(f"  repaired row {row}, element {element}")
+    final = scrubber.scrub()
+    print(f"post-repair scrub clean: {final.clean}")
+    return 0 if final.clean else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import (
+        exact_max_load_distribution,
+        predict_normal_speed,
+        speed_ratio_bound,
+    )
+    from .disks.presets import SAVVIO_10K3
+    from .layout import make_placement
+
+    code = parse_code_spec(args.code)
+    print(f"exact analysis, {code.describe()}, read size {args.size} elements:")
+    for form in ("standard", "rotated", "ec-frm"):
+        placement = make_placement(form, code)
+        dist = exact_max_load_distribution(placement, args.size)
+        pred = predict_normal_speed(placement, SAVVIO_10K3, 1 << 20)
+        dist_str = " ".join(f"P(max={m})={p:.3f}" for m, p in dist.items())
+        print(f"  {form:9s}: {dist_str}  | workload-mean speed "
+              f"{pred.mean_speed_mib_s:.1f} MiB/s")
+    print(f"closed-form EC-FRM/standard ratio at L={args.size}: "
+          f"{speed_ratio_bound(code.k, code.n, args.size):.3f}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .harness.export import export_all_figures
+
+    config = ExperimentConfig(
+        normal_trials=args.normal_trials, degraded_trials=args.degraded_trials
+    )
+    formats = ("csv", "json") if args.format == "both" else (args.format,)
+    written = export_all_figures(args.out, config, formats=formats)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_mttdl(args: argparse.Namespace) -> int:
+    from .disks.presets import SAVVIO_10K3
+    from .layout import make_placement
+    from .reliability import ReliabilityParams, mttdl_markov, rebuild_hours
+
+    code = parse_code_spec(args.code)
+    print(
+        f"{code.describe()} — disk MTTF {args.disk_mttf_hours:.2e} h, "
+        f"LSE probability {args.lse_prob}, rebuild over {args.rows} rows"
+    )
+    for form in ("standard", "ec-frm"):
+        placement = make_placement(form, code)
+        hours = rebuild_hours(placement, SAVVIO_10K3, 1024 * 1024, args.rows)
+        p = ReliabilityParams(
+            num_disks=code.n,
+            fault_tolerance=code.fault_tolerance,
+            disk_mttf_hours=args.disk_mttf_hours,
+            rebuild_hours=hours,
+            lse_prob=args.lse_prob,
+        )
+        print(
+            f"  {form:9s}: rebuild {hours * 3600:6.2f}s -> "
+            f"MTTDL {mttdl_markov(p):.3e} hours"
+        )
+    return 0
+
+
+_HANDLERS = {
+    "layout": _cmd_layout,
+    "figures": _cmd_figures,
+    "bench": _cmd_bench,
+    "codes": _cmd_codes,
+    "demo": _cmd_demo,
+    "recover": _cmd_recover,
+    "rebuild": _cmd_rebuild,
+    "scrub": _cmd_scrub,
+    "analyze": _cmd_analyze,
+    "sweep": _cmd_sweep,
+    "mttdl": _cmd_mttdl,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""Erasure codes: the candidate codes EC-FRM integrates, plus extensions.
+
+* :mod:`repro.codes.base` — :class:`ErasureCode` / :class:`MatrixCode`
+  interfaces shared by every code in the library;
+* :mod:`repro.codes.reed_solomon` — systematic Vandermonde RS(k, m);
+* :mod:`repro.codes.lrc` — Azure-style LRC(k, l, m);
+* :mod:`repro.codes.cauchy_rs` — Cauchy RS with bitmatrix expansion;
+* :mod:`repro.codes.vertical` — X-Code and WEAVER (comparison extensions);
+* :mod:`repro.codes.registry` — spec-string parsing (``"rs-6-3"``).
+"""
+
+from .base import DecodeFailure, ErasureCode, MatrixCode
+from .cauchy_rs import CauchyReedSolomonCode, make_cauchy_rs
+from .lrc import LocalReconstructionCode, make_lrc
+from .raid6 import EvenOddCode, RDPCode, StarCode, make_evenodd, make_rdp, make_star
+from .reed_solomon import ReedSolomonCode, make_rs
+from .registry import CODE_FACTORIES, parse_code_spec, register_code_factory
+from .vertical import VerticalCode, WeaverCode, XCode, make_weaver, make_xcode
+
+__all__ = [
+    "DecodeFailure",
+    "ErasureCode",
+    "MatrixCode",
+    "ReedSolomonCode",
+    "make_rs",
+    "LocalReconstructionCode",
+    "make_lrc",
+    "CauchyReedSolomonCode",
+    "make_cauchy_rs",
+    "VerticalCode",
+    "XCode",
+    "WeaverCode",
+    "make_xcode",
+    "make_weaver",
+    "RDPCode",
+    "EvenOddCode",
+    "make_rdp",
+    "make_evenodd",
+    "StarCode",
+    "make_star",
+    "CODE_FACTORIES",
+    "parse_code_spec",
+    "register_code_factory",
+]

@@ -1,0 +1,271 @@
+"""Classic RAID-6 horizontal XOR array codes: RDP and EVENODD.
+
+The EC-FRM paper's related-work section (§II-B) positions these as the
+XOR-based horizontal codes EC-FRM's candidates compete with; they are
+also the substrate for the single-failure recovery-I/O optimization of
+Xiang et al. (SIGMETRICS'10), which the paper cites as the other "crucial
+metric" (§II-D) — reproduced in :mod:`repro.recovery`.
+
+Both are multi-row array codes over a prime ``p``, expressed here on the
+:class:`~repro.codes.vertical.VerticalCode` grid base (which, despite its
+name, models any rows-x-disks grid code):
+
+* **RDP** (Corbett et al., FAST'04): ``p+1`` disks, ``p-1`` rows.  Disks
+  ``0..p-2`` hold data, disk ``p-1`` row parity, disk ``p`` diagonal
+  parity.  Diagonal ``i`` collects the blocks ``(r, c)`` (including row
+  parity) with ``(r + c) mod p == i``; diagonal ``p-1`` is not stored.
+* **EVENODD** (Blaum et al., 1995): ``p+2`` disks, ``p-1`` rows.  Disks
+  ``0..p-1`` hold data, disk ``p`` row parity, disk ``p+1`` diagonal
+  parity with the adjuster ``S`` (the XOR of the missing diagonal) folded
+  into every diagonal parity block.
+
+Both tolerate any 2 disk failures (verified exhaustively in tests).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from .vertical import VerticalCode, _is_prime
+
+__all__ = ["RDPCode", "EvenOddCode", "StarCode", "make_rdp", "make_evenodd", "make_star"]
+
+
+class RDPCode(VerticalCode):
+    """Row-Diagonal Parity over a prime ``p``: ``p+1`` disks, ``p-1`` rows."""
+
+    name = "rdp"
+
+    def __init__(self, p: int) -> None:
+        if not _is_prime(p) or p < 3:
+            raise ValueError(f"RDP requires a prime p >= 3, got {p}")
+        self.p = p
+        rows = p - 1
+        data_disks = p - 1
+        k = rows * data_disks
+        n = rows * (p + 1)
+
+        def data_index(r: int, c: int) -> int:
+            return r * data_disks + c
+
+        gen = np.zeros((n, k), dtype=np.uint8)
+        gen[:k] = np.eye(k, dtype=np.uint8)
+
+        # Row parity: disk p-1, one block per row.
+        row_parity_base = k
+        for r in range(rows):
+            for c in range(data_disks):
+                gen[row_parity_base + r, data_index(r, c)] = 1
+
+        # Diagonal parity: disk p, block i covers diagonal i over data
+        # disks AND the row-parity disk.  Row parity (r, p-1) lies on
+        # diagonal (r + p - 1) mod p; substitute its data expansion.
+        diag_parity_base = k + rows
+        for i in range(rows):
+            row_vec = np.zeros(k, dtype=np.uint8)
+            for c in range(data_disks):
+                r = (i - c) % p
+                if r < rows:
+                    row_vec[data_index(r, c)] ^= 1
+            # row-parity block on this diagonal: column p-1
+            r = (i - (p - 1)) % p
+            if r < rows:
+                for c in range(data_disks):
+                    row_vec[data_index(r, c)] ^= 1
+            gen[diag_parity_base + i] = row_vec
+
+        grid = np.zeros((rows, p + 1), dtype=np.int64)
+        for r in range(rows):
+            for c in range(data_disks):
+                grid[r, c] = data_index(r, c)
+            grid[r, p - 1] = row_parity_base + r
+            grid[r, p] = diag_parity_base + r
+        super().__init__(gen, grid)
+
+    def describe(self) -> str:
+        return f"RDP(p={self.p})"
+
+    def xor_equations(self) -> list[frozenset[int]]:
+        """RDP's structural XOR equations in element space.
+
+        * row ``r``: ``{d(r,0..p-2), rowP(r)}``;
+        * diagonal ``i``: the diagonal's data blocks **plus the row-parity
+          element lying on the diagonal** plus ``diagP(i)`` — the
+        element-space form that lets hybrid recovery reuse row-parity
+        blocks (Xiang et al.).
+        """
+        p = self.p
+        rows = p - 1
+        data_disks = p - 1
+
+        def data_index(r: int, c: int) -> int:
+            return r * data_disks + c
+
+        row_parity_base = self.k
+        diag_parity_base = self.k + rows
+        equations: list[frozenset[int]] = []
+        for r in range(rows):
+            eq = {data_index(r, c) for c in range(data_disks)}
+            eq.add(row_parity_base + r)
+            equations.append(frozenset(eq))
+        for i in range(rows):
+            eq = set()
+            for c in range(data_disks):
+                r = (i - c) % p
+                if r < rows:
+                    eq.add(data_index(r, c))
+            r = (i - (p - 1)) % p
+            if r < rows:
+                eq.add(row_parity_base + r)  # the row-parity element itself
+            eq.add(diag_parity_base + i)
+            equations.append(frozenset(eq))
+        return equations
+
+
+class EvenOddCode(VerticalCode):
+    """EVENODD over a prime ``p``: ``p+2`` disks, ``p-1`` rows."""
+
+    name = "evenodd"
+
+    def __init__(self, p: int) -> None:
+        if not _is_prime(p) or p < 3:
+            raise ValueError(f"EVENODD requires a prime p >= 3, got {p}")
+        self.p = p
+        rows = p - 1
+        data_disks = p
+        k = rows * data_disks
+        n = rows * (p + 2)
+
+        def data_index(r: int, c: int) -> int:
+            return r * data_disks + c
+
+        gen = np.zeros((n, k), dtype=np.uint8)
+        gen[:k] = np.eye(k, dtype=np.uint8)
+
+        row_parity_base = k
+        for r in range(rows):
+            for c in range(data_disks):
+                gen[row_parity_base + r, data_index(r, c)] = 1
+
+        # Adjuster S = XOR of the missing diagonal (r + c) mod p == p-1.
+        s_vec = np.zeros(k, dtype=np.uint8)
+        for c in range(data_disks):
+            r = (p - 1 - c) % p
+            if r < rows:
+                s_vec[data_index(r, c)] ^= 1
+
+        diag_parity_base = k + rows
+        for i in range(rows):
+            row_vec = s_vec.copy()
+            for c in range(data_disks):
+                r = (i - c) % p
+                if r < rows:
+                    row_vec[data_index(r, c)] ^= 1
+            gen[diag_parity_base + i] = row_vec
+
+        grid = np.zeros((rows, p + 2), dtype=np.int64)
+        for r in range(rows):
+            for c in range(data_disks):
+                grid[r, c] = data_index(r, c)
+            grid[r, p] = row_parity_base + r
+            grid[r, p + 1] = diag_parity_base + r
+        super().__init__(gen, grid)
+
+    def describe(self) -> str:
+        return f"EVENODD(p={self.p})"
+
+
+class StarCode(VerticalCode):
+    """STAR code (Huang & Xu, FAST'05): EVENODD plus an anti-diagonal
+    parity column — tolerates any **3** disk failures with XOR only.
+
+    Grid: ``p-1`` rows by ``p+3`` disks over a prime ``p``; disks
+    ``0..p-1`` data, then row parity, diagonal parity (slope +1, EVENODD
+    adjuster), and anti-diagonal parity (slope -1 with its own adjuster).
+    The paper lists STAR among the XOR horizontal codes EC-FRM's
+    candidates compete with (§II-B ref [20]).
+    """
+
+    name = "star"
+
+    def __init__(self, p: int) -> None:
+        if not _is_prime(p) or p < 3:
+            raise ValueError(f"STAR requires a prime p >= 3, got {p}")
+        self.p = p
+        rows = p - 1
+        data_disks = p
+        k = rows * data_disks
+        n = rows * (p + 3)
+
+        def data_index(r: int, c: int) -> int:
+            return r * data_disks + c
+
+        gen = np.zeros((n, k), dtype=np.uint8)
+        gen[:k] = np.eye(k, dtype=np.uint8)
+
+        row_base = k
+        for r in range(rows):
+            for c in range(data_disks):
+                gen[row_base + r, data_index(r, c)] = 1
+
+        # slope +1 diagonals with the EVENODD adjuster (missing diag p-1)
+        diag_base = k + rows
+        s_diag = np.zeros(k, dtype=np.uint8)
+        for c in range(data_disks):
+            r = (p - 1 - c) % p
+            if r < rows:
+                s_diag[data_index(r, c)] ^= 1
+        for i in range(rows):
+            vec = s_diag.copy()
+            for c in range(data_disks):
+                r = (i - c) % p
+                if r < rows:
+                    vec[data_index(r, c)] ^= 1
+            gen[diag_base + i] = vec
+
+        # slope -1 anti-diagonals with their own adjuster (missing p-1)
+        anti_base = k + 2 * rows
+        s_anti = np.zeros(k, dtype=np.uint8)
+        for c in range(data_disks):
+            r = (p - 1 + c) % p
+            if r < rows:
+                s_anti[data_index(r, c)] ^= 1
+        for i in range(rows):
+            vec = s_anti.copy()
+            for c in range(data_disks):
+                r = (i + c) % p
+                if r < rows:
+                    vec[data_index(r, c)] ^= 1
+            gen[anti_base + i] = vec
+
+        grid = np.zeros((rows, p + 3), dtype=np.int64)
+        for r in range(rows):
+            for c in range(data_disks):
+                grid[r, c] = data_index(r, c)
+            grid[r, p] = row_base + r
+            grid[r, p + 1] = diag_base + r
+            grid[r, p + 2] = anti_base + r
+        super().__init__(gen, grid)
+
+    def describe(self) -> str:
+        return f"STAR(p={self.p})"
+
+
+@lru_cache(maxsize=None)
+def make_rdp(p: int) -> RDPCode:
+    """Memoized RDP constructor."""
+    return RDPCode(p)
+
+
+@lru_cache(maxsize=None)
+def make_star(p: int) -> StarCode:
+    """Memoized STAR constructor."""
+    return StarCode(p)
+
+
+@lru_cache(maxsize=None)
+def make_evenodd(p: int) -> EvenOddCode:
+    """Memoized EVENODD constructor."""
+    return EvenOddCode(p)

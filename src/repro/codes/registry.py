@@ -1,0 +1,63 @@
+"""Name-based registry of code constructors.
+
+Lets the CLI, harness and configuration files refer to codes by compact
+spec strings, e.g. ``"rs-6-3"``, ``"lrc-6-2-2"``, ``"cauchy-rs-4-2"``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import ErasureCode
+from .cauchy_rs import make_cauchy_rs
+from .lrc import make_lrc
+from .reed_solomon import make_rs
+
+__all__ = ["CODE_FACTORIES", "parse_code_spec", "register_code_factory"]
+
+#: name -> (factory, arity) for spec parsing.
+CODE_FACTORIES: dict[str, tuple[Callable[..., ErasureCode], int]] = {
+    "rs": (make_rs, 2),
+    "lrc": (make_lrc, 3),
+    "cauchy-rs": (make_cauchy_rs, 2),
+}
+
+
+def register_code_factory(name: str, factory: Callable[..., ErasureCode], arity: int) -> None:
+    """Register a custom candidate-code factory under ``name``.
+
+    Raises ValueError if the name is taken (overwriting silently would make
+    spec strings ambiguous across a process).
+    """
+    if name in CODE_FACTORIES:
+        raise ValueError(f"code factory {name!r} already registered")
+    if arity <= 0:
+        raise ValueError("arity must be positive")
+    CODE_FACTORIES[name] = (factory, arity)
+
+
+def parse_code_spec(spec: str) -> ErasureCode:
+    """Instantiate a code from a spec string like ``"rs-6-3"``.
+
+    The spec is the factory name followed by its integer parameters,
+    joined by dashes.  Factory names may themselves contain dashes
+    (``cauchy-rs-4-2``); the longest registered prefix wins.
+    """
+    parts = spec.strip().lower().split("-")
+    for split in range(len(parts) - 1, 0, -1):
+        name = "-".join(parts[:split])
+        if name in CODE_FACTORIES:
+            factory, arity = CODE_FACTORIES[name]
+            args = parts[split:]
+            if len(args) != arity:
+                raise ValueError(
+                    f"code {name!r} takes {arity} parameters, got {len(args)} in {spec!r}"
+                )
+            try:
+                numbers = [int(a) for a in args]
+            except ValueError as exc:
+                raise ValueError(f"non-integer parameter in code spec {spec!r}") from exc
+            return factory(*numbers)
+    raise ValueError(
+        f"unknown code spec {spec!r}; registered: {sorted(CODE_FACTORIES)}"
+    )

@@ -1,0 +1,35 @@
+"""Disk-array simulator substituting the paper's physical 16-disk testbed.
+
+* :mod:`repro.disks.model` — the per-spindle service-time model;
+* :mod:`repro.disks.disk` — :class:`SimDisk` (payloads, failure, stats);
+* :mod:`repro.disks.array` — :class:`DiskArray` (parallel batches);
+* :mod:`repro.disks.presets` — calibrated models incl. the paper's
+  Savvio 10K.3.
+"""
+
+from .array import BatchTiming, DiskArray
+from .disk import DiskFailedError, DiskStats, SimDisk
+from .model import DiskModel
+from .presets import (
+    DISK_PRESETS,
+    NEARLINE_7K2,
+    SAVVIO_10K3,
+    SAVVIO_10K3_STREAMING,
+    SSD_SATA,
+    UNIFORM_UNIT,
+)
+
+__all__ = [
+    "DiskModel",
+    "SimDisk",
+    "DiskStats",
+    "DiskFailedError",
+    "DiskArray",
+    "BatchTiming",
+    "SAVVIO_10K3",
+    "SAVVIO_10K3_STREAMING",
+    "NEARLINE_7K2",
+    "SSD_SATA",
+    "UNIFORM_UNIT",
+    "DISK_PRESETS",
+]

@@ -1,0 +1,121 @@
+"""A parallel disk array executing access batches.
+
+The array implements the paper's timing semantics (§III): disks serve
+their access lists concurrently and a request completes when the slowest
+participating disk finishes.  Failure injection (fail / restore) drives
+the degraded-read experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .disk import DiskFailedError, SimDisk
+from .model import DiskModel
+
+__all__ = ["BatchTiming", "DiskArray"]
+
+
+@dataclass(frozen=True)
+class BatchTiming:
+    """Timing result of one parallel batch.
+
+    Attributes
+    ----------
+    completion_time_s:
+        Wall-clock time of the batch: max over per-disk service times.
+    per_disk_time_s:
+        Service time of each participating disk.
+    total_accesses:
+        Number of element accesses across all disks.
+    total_bytes:
+        Bytes moved across all disks.
+    """
+
+    completion_time_s: float
+    per_disk_time_s: dict[int, float]
+    total_accesses: int
+    total_bytes: int
+
+    @property
+    def bottleneck_disk(self) -> int | None:
+        """Disk that gated the batch, or None for an empty batch."""
+        if not self.per_disk_time_s:
+            return None
+        return max(self.per_disk_time_s, key=lambda d: self.per_disk_time_s[d])
+
+
+class DiskArray:
+    """``num_disks`` spindles sharing one service model."""
+
+    def __init__(self, num_disks: int, model: DiskModel) -> None:
+        if num_disks <= 0:
+            raise ValueError(f"need at least one disk, got {num_disks}")
+        self.model = model
+        self.disks = [SimDisk(i, model) for i in range(num_disks)]
+
+    def __len__(self) -> int:
+        return len(self.disks)
+
+    def __getitem__(self, disk_id: int) -> SimDisk:
+        return self.disks[disk_id]
+
+    # ------------------------------------------------------------------
+    # failure control
+    # ------------------------------------------------------------------
+    def fail_disk(self, disk_id: int) -> None:
+        """Fail one disk."""
+        self.disks[disk_id].fail()
+
+    def restore_disk(self, disk_id: int, *, wipe: bool = True) -> None:
+        """Restore one disk (wiped by default, as a replacement drive)."""
+        self.disks[disk_id].restore(wipe=wipe)
+
+    @property
+    def failed_disks(self) -> list[int]:
+        """Currently failed disk ids, ascending."""
+        return [d.disk_id for d in self.disks if d.failed]
+
+    @property
+    def alive_disks(self) -> list[int]:
+        """Currently healthy disk ids, ascending."""
+        return [d.disk_id for d in self.disks if not d.failed]
+
+    # ------------------------------------------------------------------
+    # timing plane
+    # ------------------------------------------------------------------
+    def execute_batch(self, per_disk_accesses: dict[int, list[tuple[int, int]]]) -> BatchTiming:
+        """Serve a parallel batch: ``disk id -> [(slot, nbytes), ...]``.
+
+        Raises
+        ------
+        DiskFailedError
+            If the batch touches a failed disk — the planner should never
+            schedule reads there.
+        """
+        per_disk_time: dict[int, float] = {}
+        total_accesses = 0
+        total_bytes = 0
+        for disk_id, accesses in per_disk_accesses.items():
+            if not 0 <= disk_id < len(self.disks):
+                raise ValueError(f"disk id {disk_id} out of range")
+            if not accesses:
+                continue
+            disk = self.disks[disk_id]
+            if disk.failed:
+                raise DiskFailedError(f"batch touches failed disk {disk_id}")
+            per_disk_time[disk_id] = disk.service_time_s(accesses)
+            total_accesses += len(accesses)
+            total_bytes += sum(nbytes for _, nbytes in accesses)
+        completion = max(per_disk_time.values()) if per_disk_time else 0.0
+        return BatchTiming(
+            completion_time_s=completion,
+            per_disk_time_s=per_disk_time,
+            total_accesses=total_accesses,
+            total_bytes=total_bytes,
+        )
+
+    def reset_stats(self) -> None:
+        """Zero every disk's counters."""
+        for d in self.disks:
+            d.stats.reset()

@@ -1,0 +1,117 @@
+"""A simulated disk: payload storage, failure state, and service statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .model import DiskModel
+
+__all__ = ["DiskFailedError", "DiskStats", "SimDisk"]
+
+
+class DiskFailedError(RuntimeError):
+    """Raised on any access to a failed disk."""
+
+
+@dataclass
+class DiskStats:
+    """Cumulative service counters for one disk."""
+
+    accesses: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_time_s: float = 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.accesses = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.busy_time_s = 0.0
+
+
+class SimDisk:
+    """One spindle: a slot-addressed element store plus a service model.
+
+    Payloads are kept sparsely (slot -> bytes); the store layer writes
+    element-sized buffers, and the simulator layer may run "timing only"
+    without any payloads present.
+    """
+
+    def __init__(self, disk_id: int, model: DiskModel) -> None:
+        self.disk_id = disk_id
+        self.model = model
+        self.failed = False
+        self.stats = DiskStats()
+        self._slots: dict[int, bytes] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "FAILED" if self.failed else "ok"
+        return f"SimDisk(id={self.disk_id}, {state}, slots={len(self._slots)})"
+
+    # ------------------------------------------------------------------
+    # failure control
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Mark the disk failed; its contents become unreachable."""
+        self.failed = True
+
+    def restore(self, *, wipe: bool = True) -> None:
+        """Bring the disk back.  ``wipe`` (default) discards old contents,
+        modelling a replacement drive rather than a transient outage."""
+        self.failed = False
+        if wipe:
+            self._slots.clear()
+
+    def _check_alive(self) -> None:
+        if self.failed:
+            raise DiskFailedError(f"disk {self.disk_id} has failed")
+
+    # ------------------------------------------------------------------
+    # payload plane
+    # ------------------------------------------------------------------
+    def write_slot(self, slot: int, payload: bytes | np.ndarray) -> None:
+        """Store an element payload at ``slot``."""
+        self._check_alive()
+        if slot < 0:
+            raise ValueError(f"slot must be >= 0, got {slot}")
+        buf = bytes(np.asarray(payload, dtype=np.uint8).tobytes()) if isinstance(
+            payload, np.ndarray
+        ) else bytes(payload)
+        self._slots[slot] = buf
+        self.stats.accesses += 1
+        self.stats.bytes_written += len(buf)
+
+    def read_slot(self, slot: int) -> bytes:
+        """Fetch the element payload at ``slot``."""
+        self._check_alive()
+        try:
+            buf = self._slots[slot]
+        except KeyError:
+            raise KeyError(f"disk {self.disk_id} has no payload at slot {slot}") from None
+        self.stats.accesses += 1
+        self.stats.bytes_read += len(buf)
+        return buf
+
+    def has_slot(self, slot: int) -> bool:
+        """True if a payload exists at ``slot`` (works on failed disks —
+        metadata survives; the *data* is what's unreachable)."""
+        return slot in self._slots
+
+    @property
+    def occupied_slots(self) -> int:
+        """Number of stored element payloads."""
+        return len(self._slots)
+
+    # ------------------------------------------------------------------
+    # timing plane
+    # ------------------------------------------------------------------
+    def service_time_s(self, accesses: list[tuple[int, int]]) -> float:
+        """Service time for a batch of ``(slot, nbytes)`` reads; accounted
+        into :attr:`stats` as busy time."""
+        self._check_alive()
+        t = self.model.service_time_s(accesses)
+        self.stats.busy_time_s += t
+        return t

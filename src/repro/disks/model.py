@@ -1,0 +1,90 @@
+"""Mechanical disk service-time model.
+
+The paper measures read speed on a 16-disk array of Seagate Savvio 10K.3
+spindles.  We substitute a first-order mechanical model: an access costs a
+positioning overhead (average seek + rotational latency) unless it is
+physically contiguous with the previous access on the same spindle, plus
+payload transfer at the sustained rate.  A request's completion time is the
+slowest participating disk's total service time — exactly the paper's §III
+bottleneck argument ("the read speed is restricted by the access time on
+the slowest disk, which is usually the most loaded disk").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["DiskModel"]
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Service-time parameters of one spindle.
+
+    Parameters
+    ----------
+    seek_time_s:
+        Average seek time for a random positioning operation.
+    rotational_latency_s:
+        Average rotational latency (half a revolution).
+    transfer_rate_bps:
+        Sustained media transfer rate in bytes/second.
+    sequential_free:
+        If True (default), an access whose slot immediately follows the
+        previous access on the same disk pays no positioning cost — the
+        head is already there.  Disable to model fully random service.
+    """
+
+    seek_time_s: float
+    rotational_latency_s: float
+    transfer_rate_bps: float
+    sequential_free: bool = True
+
+    def __post_init__(self) -> None:
+        if self.seek_time_s < 0 or self.rotational_latency_s < 0:
+            raise ValueError("positioning times must be non-negative")
+        if self.transfer_rate_bps <= 0:
+            raise ValueError("transfer rate must be positive")
+
+    @property
+    def positioning_time_s(self) -> float:
+        """Seek plus rotational latency for a non-contiguous access."""
+        return self.seek_time_s + self.rotational_latency_s
+
+    def transfer_time_s(self, nbytes: int) -> float:
+        """Media transfer time for ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return nbytes / self.transfer_rate_bps
+
+    def access_time_s(self, nbytes: int, *, sequential: bool = False) -> float:
+        """Service time of a single access.
+
+        ``sequential`` marks the access as physically contiguous with the
+        disk's previous one (no positioning cost when ``sequential_free``).
+        """
+        t = self.transfer_time_s(nbytes)
+        if not (sequential and self.sequential_free):
+            t += self.positioning_time_s
+        return t
+
+    def service_time_s(self, accesses: Sequence[tuple[int, int]]) -> float:
+        """Total service time for a batch of accesses on one spindle.
+
+        Parameters
+        ----------
+        accesses:
+            ``(slot, nbytes)`` pairs.  The disk schedules them in slot
+            order (an elevator pass); runs of adjacent slots pay a single
+            positioning cost.
+        """
+        if not accesses:
+            return 0.0
+        total = 0.0
+        prev_slot: int | None = None
+        for slot, nbytes in sorted(accesses):
+            sequential = prev_slot is not None and slot in (prev_slot, prev_slot + 1)
+            total += self.access_time_s(nbytes, sequential=sequential)
+            prev_slot = slot
+        return total

@@ -1,0 +1,36 @@
+"""Read engine: planning and timed execution of normal and degraded reads.
+
+* :mod:`repro.engine.requests` — request/plan data types and metrics;
+* :mod:`repro.engine.planner` — normal-read planning;
+* :mod:`repro.engine.degraded` — degraded-read planning with repair sets;
+* :mod:`repro.engine.executor` — timing plans against the disk simulator.
+"""
+
+from .concurrency import ThroughputResult, simulate_concurrent
+from .degraded import plan_degraded_read
+from .executor import ReadOutcome, execute_plan, simulate_plan
+from .multifailure import plan_degraded_read_multi
+from .optimizing import plan_degraded_read_optimized, repair_set_alternatives
+from .planner import plan_normal_read
+from .rebuild import RebuildPlan, plan_disk_rebuild, rebuild_time_s
+from .requests import AccessKind, AccessPlan, ElementAccess, ReadRequest
+
+__all__ = [
+    "ReadRequest",
+    "ElementAccess",
+    "AccessKind",
+    "AccessPlan",
+    "plan_normal_read",
+    "plan_degraded_read",
+    "plan_degraded_read_multi",
+    "ReadOutcome",
+    "simulate_plan",
+    "execute_plan",
+    "plan_degraded_read_optimized",
+    "repair_set_alternatives",
+    "RebuildPlan",
+    "plan_disk_rebuild",
+    "rebuild_time_s",
+    "ThroughputResult",
+    "simulate_concurrent",
+]

@@ -1,0 +1,90 @@
+"""Degraded-read planning: serve a read while one disk is down.
+
+Requested elements on surviving disks are fetched directly.  Each requested
+element lost with the failed disk is reconstructed inside its candidate
+row: the code's :meth:`repair_plan` chooses helper elements, preferring
+ones the request already fetches (so the marginal I/O is minimal), and the
+planner schedules only the helpers not already in the plan.
+
+A structural invariant shared by all three placement forms makes single-
+failure planning exact: every candidate row has **exactly one element per
+disk**, so one failed disk erases at most one element of any row and the
+single-loss repair API suffices (asserted below).
+"""
+
+from __future__ import annotations
+
+from ..layout.base import Address, Placement
+from .requests import AccessKind, AccessPlan, ElementAccess, ReadRequest
+
+__all__ = ["plan_degraded_read"]
+
+
+def plan_degraded_read(
+    placement: Placement,
+    request: ReadRequest,
+    failed_disk: int,
+    element_size: int,
+) -> AccessPlan:
+    """Build the access plan of a read with ``failed_disk`` down.
+
+    Parameters
+    ----------
+    placement:
+        The form under test; its ``code`` provides repair planning.
+    request:
+        Contiguous logical element range.
+    failed_disk:
+        Disk id that is unavailable.
+    element_size:
+        Element payload size in bytes.
+    """
+    if element_size <= 0:
+        raise ValueError(f"element size must be > 0, got {element_size}")
+    if not 0 <= failed_disk < placement.num_disks:
+        raise ValueError(
+            f"failed disk {failed_disk} out of range for {placement.num_disks} disks"
+        )
+
+    code = placement.code
+    plan = AccessPlan(request=request, element_size=element_size, failed_disk=failed_disk)
+    planned: set[Address] = set()
+    surviving_by_row: dict[int, set[int]] = {}
+    lost: list[tuple[int, int]] = []
+
+    # Pass 1: direct fetches for survivors; collect losses.
+    for t in request.elements:
+        row, e = placement.row_of_data(t)
+        addr = placement.locate_data(t)
+        if addr.disk == failed_disk:
+            if any(le[0] == row for le in lost):  # pragma: no cover - layout invariant
+                raise AssertionError(
+                    f"row {row} has two elements on disk {failed_disk}; "
+                    "placement violates the one-element-per-disk invariant"
+                )
+            lost.append((row, e))
+            continue
+        plan.add(ElementAccess(address=addr, kind=AccessKind.REQUESTED, row=row, element=e))
+        planned.add(addr)
+        surviving_by_row.setdefault(row, set()).add(e)
+
+    # Pass 2: reconstruction fetches for each lost element.
+    for row, e in lost:
+        have = frozenset(surviving_by_row.get(row, set()))
+        helpers = code.repair_plan(e, have)
+        for h in sorted(helpers):
+            addr = placement.locate_row_element(row, h)
+            if addr.disk == failed_disk:  # pragma: no cover - repair invariant
+                raise AssertionError(
+                    f"repair plan for row {row} element {e} uses helper {h} "
+                    f"on the failed disk"
+                )
+            if addr in planned:
+                continue
+            plan.add(
+                ElementAccess(
+                    address=addr, kind=AccessKind.RECONSTRUCTION, row=row, element=h
+                )
+            )
+            planned.add(addr)
+    return plan

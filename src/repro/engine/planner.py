@@ -1,0 +1,45 @@
+"""Normal-read planning: every requested element is fetched directly.
+
+With all disks healthy, a contiguous logical read maps to one access per
+requested element; the only performance-relevant question is *which disk*
+each access lands on, and that is entirely the placement's doing — standard
+forms pile accesses onto the ``k`` data disks, EC-FRM spreads them over all
+``n`` (paper §III/§V-A).
+"""
+
+from __future__ import annotations
+
+from ..layout.base import Placement
+from .requests import AccessKind, AccessPlan, ElementAccess, ReadRequest
+
+__all__ = ["plan_normal_read"]
+
+
+def plan_normal_read(
+    placement: Placement, request: ReadRequest, element_size: int
+) -> AccessPlan:
+    """Build the access plan of a normal (failure-free) read.
+
+    Parameters
+    ----------
+    placement:
+        The form under test (standard / rotated / EC-FRM).
+    request:
+        Contiguous logical element range.
+    element_size:
+        Element payload size in bytes.
+    """
+    if element_size <= 0:
+        raise ValueError(f"element size must be > 0, got {element_size}")
+    plan = AccessPlan(request=request, element_size=element_size)
+    for t in request.elements:
+        row, e = placement.row_of_data(t)
+        plan.add(
+            ElementAccess(
+                address=placement.locate_data(t),
+                kind=AccessKind.REQUESTED,
+                row=row,
+                element=e,
+            )
+        )
+    return plan

@@ -1,0 +1,129 @@
+"""Request and access-plan data types for the read engine."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..layout.base import Address
+
+__all__ = ["AccessKind", "ElementAccess", "ReadRequest", "AccessPlan"]
+
+
+class AccessKind(Enum):
+    """Why an element is being fetched."""
+
+    #: a data element the user asked for.
+    REQUESTED = "requested"
+    #: an extra element fetched only to reconstruct lost data.
+    RECONSTRUCTION = "reconstruction"
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    """A contiguous logical read: ``count`` data elements from ``start``.
+
+    This is the paper's workload unit (§VI-B: "randomly generate the start
+    point and the read size ... 1 to 20 data elements").
+    """
+
+    start: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.count <= 0:
+            raise ValueError(f"count must be > 0, got {self.count}")
+
+    @property
+    def elements(self) -> range:
+        """The logical data element indices covered."""
+        return range(self.start, self.start + self.count)
+
+
+@dataclass(frozen=True)
+class ElementAccess:
+    """One physical element fetch scheduled by a planner."""
+
+    address: Address
+    kind: AccessKind
+    #: ``(row, element)`` identity of the fetched element in candidate terms.
+    row: int
+    element: int
+
+
+@dataclass
+class AccessPlan:
+    """Everything a request requires from the array, before timing.
+
+    Built by the planners, consumed by the executor and the metrics layer.
+    """
+
+    request: ReadRequest
+    element_size: int
+    accesses: list[ElementAccess] = field(default_factory=list)
+    #: disk that failed (degraded plans) or None (normal plans).
+    failed_disk: int | None = None
+
+    def add(self, access: ElementAccess) -> None:
+        """Append an access (planners must not double-book an address)."""
+        self.accesses.append(access)
+
+    # ------------------------------------------------------------------
+    # derived quantities (the paper's metrics come from these)
+    # ------------------------------------------------------------------
+    @property
+    def requested_bytes(self) -> int:
+        """User-visible payload size of the request."""
+        return self.request.count * self.element_size
+
+    @property
+    def total_elements_read(self) -> int:
+        """Physical element fetches, including reconstruction reads."""
+        return len(self.accesses)
+
+    @property
+    def extra_elements_read(self) -> int:
+        """Reconstruction-only fetches."""
+        return sum(1 for a in self.accesses if a.kind is AccessKind.RECONSTRUCTION)
+
+    @property
+    def read_cost(self) -> float:
+        """Paper's degraded read cost: elements fetched / elements requested."""
+        return self.total_elements_read / self.request.count
+
+    def per_disk_loads(self) -> Counter:
+        """Access count per disk — Figure 3 / Figure 7 histograms."""
+        return Counter(a.address.disk for a in self.accesses)
+
+    @property
+    def max_disk_load(self) -> int:
+        """Load on the most-loaded disk (the §III bottleneck quantity)."""
+        loads = self.per_disk_loads()
+        return max(loads.values()) if loads else 0
+
+    @property
+    def disks_touched(self) -> int:
+        """Number of distinct disks contributing to the request."""
+        return len(self.per_disk_loads())
+
+    def per_disk_batches(self) -> dict[int, list[tuple[int, int]]]:
+        """Convert to the DiskArray batch format: disk -> [(slot, nbytes)]."""
+        batches: dict[int, list[tuple[int, int]]] = {}
+        for a in self.accesses:
+            batches.setdefault(a.address.disk, []).append(
+                (a.address.slot, self.element_size)
+            )
+        return batches
+
+    def verify(self) -> None:
+        """Sanity-check the plan: no duplicate addresses, no failed-disk reads."""
+        seen: set[Address] = set()
+        for a in self.accesses:
+            if a.address in seen:
+                raise AssertionError(f"plan reads {a.address} twice")
+            seen.add(a.address)
+            if self.failed_disk is not None and a.address.disk == self.failed_disk:
+                raise AssertionError(f"plan reads failed disk {self.failed_disk}")

@@ -1,0 +1,21 @@
+"""EC-FRM: the paper's erasure coding framework (primary contribution).
+
+* :mod:`repro.frm.grouping` — stripe geometry and group identification
+  (paper Equations (1)-(4));
+* :mod:`repro.frm.code` — :class:`FRMCode`, a candidate code re-deployed
+  on the EC-FRM layout with per-group encode/decode;
+* :mod:`repro.frm.render` — ASCII layout rendering (paper Figures 4/5).
+"""
+
+from .code import FRMCode
+from .grouping import FRMGeometry, GridPosition
+from .render import render_geometry, render_group_membership, slot_label
+
+__all__ = [
+    "FRMCode",
+    "FRMGeometry",
+    "GridPosition",
+    "render_geometry",
+    "render_group_membership",
+    "slot_label",
+]

@@ -1,0 +1,249 @@
+"""EC-FRM-Code: a candidate erasure code re-deployed on the EC-FRM layout.
+
+:class:`FRMCode` takes any single-row candidate code (RS, LRC, Cauchy RS —
+anything implementing :class:`repro.codes.ErasureCode`) and operates at the
+scope of one EC-FRM *stripe*: an ``n/r x n`` grid whose groups are encoded
+and decoded independently with the candidate's own rules (paper §IV-B
+Step 2, §IV-D).
+
+Payload convention: a stripe's data is a ``(data_elements_per_stripe,
+element_size)`` uint8 array in logical (row-major) order; the encoded
+stripe is a ``(rows, n, element_size)`` uint8 grid, one slot per (row,
+column/disk) position.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..codes.base import ErasureCode
+from .grouping import FRMGeometry, GridPosition
+
+__all__ = ["FRMCode"]
+
+
+class FRMCode:
+    """A candidate code transformed by the EC-FRM framework.
+
+    Parameters
+    ----------
+    candidate:
+        Any single-row systematic erasure code.  Its ``(n, k)`` determine
+        the stripe geometry; its encode/decode/repair rules are applied
+        per group.
+
+    Notes
+    -----
+    EC-FRM preserves the candidate's fault tolerance, storage overhead and
+    applicability to arbitrary disk counts (paper §IV-C, §V-B): each group
+    places exactly one element on every disk, so ``f`` concurrent disk
+    failures erase exactly ``f`` elements of every group — a pattern the
+    candidate tolerates iff it tolerates ``f`` element erasures per row.
+    """
+
+    def __init__(self, candidate: ErasureCode) -> None:
+        self.candidate = candidate
+        self.geometry = FRMGeometry(candidate.n, candidate.k)
+        # Constructive proof of the layout invariants at build time: a
+        # malformed grouping would silently corrupt placement downstream.
+        self.geometry.verify()
+
+    # ------------------------------------------------------------------
+    # derived properties (paper §V-B: merits carried over)
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Registry-style name, e.g. ``"ec-frm-rs"``."""
+        return f"ec-frm-{self.candidate.name}"
+
+    @property
+    def n(self) -> int:
+        """Number of disks (stripe columns) — same as the candidate's n."""
+        return self.candidate.n
+
+    @property
+    def k(self) -> int:
+        """Data elements per candidate row."""
+        return self.candidate.k
+
+    @property
+    def fault_tolerance(self) -> int:
+        """Concurrent *disk* failures tolerated — the candidate's (Lemma 1)."""
+        return self.candidate.fault_tolerance
+
+    @property
+    def storage_overhead(self) -> float:
+        """Raw-to-usable ratio, identical to the candidate's ``n/k``."""
+        return self.candidate.storage_overhead
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        g = self.geometry
+        return (
+            f"EC-FRM[{self.candidate.describe()}] stripe={g.rows}x{g.n} "
+            f"groups={g.num_groups} r={g.r}"
+        )
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def encode_stripe(self, data: np.ndarray) -> np.ndarray:
+        """Encode one stripe of logical data into the full EC-FRM grid.
+
+        Parameters
+        ----------
+        data:
+            ``(data_elements_per_stripe, element_size)`` uint8 array, in
+            logical row-major order.
+
+        Returns
+        -------
+        ``(rows, n, element_size)`` uint8 grid with all parities filled.
+        """
+        g = self.geometry
+        data = np.asarray(data, dtype=np.uint8)
+        if data.ndim != 2 or data.shape[0] != g.data_elements_per_stripe:
+            raise ValueError(
+                f"expected ({g.data_elements_per_stripe}, element_size) data, "
+                f"got shape {data.shape}"
+            )
+        element_size = data.shape[1]
+        grid = np.zeros((g.rows, g.n, element_size), dtype=np.uint8)
+        grid[: g.data_rows] = data.reshape(g.data_rows, g.n, element_size)
+        for i in range(g.num_groups):
+            # Group i's data is exactly the contiguous logical run
+            # [i*k, (i+1)*k) — Eq. (1) — so no gather is needed.
+            group_data = data[i * g.k : (i + 1) * g.k]
+            parity = self.candidate.encode(group_data)
+            for e, pos in enumerate(g.group_parity(i)):
+                grid[pos.row, pos.col] = parity[e]
+        return grid
+
+    # ------------------------------------------------------------------
+    # decoding / reconstruction (paper §IV-D)
+    # ------------------------------------------------------------------
+    def decode_columns(
+        self, grid: np.ndarray, failed_columns: Iterable[int]
+    ) -> np.ndarray:
+        """Rebuild every element lost to whole-column (disk) failures.
+
+        Parameters
+        ----------
+        grid:
+            ``(rows, n, element_size)`` array whose failed columns hold
+            stale/garbage payloads (they are ignored and overwritten).
+        failed_columns:
+            Disk indices that failed.
+
+        Returns
+        -------
+        A new fully-reconstructed grid.
+
+        Raises
+        ------
+        DecodeFailure
+            If more columns failed than the candidate tolerates.
+        """
+        g = self.geometry
+        failed = sorted({int(c) for c in failed_columns})
+        for c in failed:
+            if not 0 <= c < g.n:
+                raise ValueError(f"column {c} out of range [0, {g.n})")
+        grid = np.asarray(grid, dtype=np.uint8)
+        if grid.ndim != 3 or grid.shape[:2] != (g.rows, g.n):
+            raise ValueError(f"expected grid of shape ({g.rows}, {g.n}, S), got {grid.shape}")
+        if not failed:
+            return grid.copy()
+
+        element_size = grid.shape[2]
+        out = grid.copy()
+        failed_set = set(failed)
+        for i in range(g.num_groups):
+            elems = g.group_elements(i)
+            erased = [e for e, pos in enumerate(elems) if pos.col in failed_set]
+            available = {
+                e: grid[pos.row, pos.col]
+                for e, pos in enumerate(elems)
+                if pos.col not in failed_set
+            }
+            recovered = self.candidate.decode(available, erased, element_size)
+            for e in erased:
+                pos = elems[e]
+                out[pos.row, pos.col] = recovered[e]
+        return out
+
+    def reconstruct_positions(
+        self,
+        available: Mapping[GridPosition, np.ndarray],
+        wanted: Sequence[GridPosition],
+        element_size: int,
+    ) -> dict[GridPosition, np.ndarray]:
+        """Rebuild specific grid slots from whatever slots are supplied.
+
+        Groups are independent, so each wanted slot is decoded inside its
+        own group using only the available payloads of that group.
+        """
+        g = self.geometry
+        by_group: dict[int, list[GridPosition]] = {}
+        for pos in wanted:
+            i, _ = g.group_of(pos)
+            by_group.setdefault(i, []).append(pos)
+
+        out: dict[GridPosition, np.ndarray] = {}
+        for i, positions in by_group.items():
+            elems = g.group_elements(i)
+            index_of = {pos: e for e, pos in enumerate(elems)}
+            erased = [index_of[p] for p in positions]
+            have = {
+                index_of[p]: buf
+                for p, buf in available.items()
+                if p in index_of and index_of[p] not in erased
+            }
+            recovered = self.candidate.decode(have, erased, element_size)
+            for p in positions:
+                out[p] = recovered[index_of[p]]
+        return out
+
+    def repair_plan_for_slot(
+        self, pos: GridPosition, have: frozenset[GridPosition] = frozenset()
+    ) -> frozenset[GridPosition]:
+        """Helper grid slots sufficient to rebuild the single slot ``pos``.
+
+        Delegates to the candidate's :meth:`repair_plan` within the slot's
+        group, translating candidate element indices to grid positions.
+        ``have`` lists slots the caller will already hold (preferred as
+        helpers to minimise extra reads on degraded reads).
+        """
+        g = self.geometry
+        i, e = g.group_of(pos)
+        elems = g.group_elements(i)
+        index_of = {p: idx for idx, p in enumerate(elems)}
+        have_indices = frozenset(
+            index_of[p] for p in have if p in index_of and index_of[p] != e
+        )
+        plan = self.candidate.repair_plan(e, have_indices)
+        return frozenset(elems[idx] for idx in plan)
+
+    def can_decode_columns(self, failed_columns: Iterable[int]) -> bool:
+        """True if losing the given disks is decodable.
+
+        Because every group loses exactly one element per failed column,
+        this reduces to a *single* candidate-level query per distinct
+        erased-index pattern; for most candidates the pattern is the same
+        size for every group, so one representative check per group
+        suffices (cheap: ``n/r`` checks).
+        """
+        g = self.geometry
+        failed_set = {int(c) for c in failed_columns}
+        for c in failed_set:
+            if not 0 <= c < g.n:
+                raise ValueError(f"column {c} out of range [0, {g.n})")
+        for i in range(g.num_groups):
+            erased = [
+                e for e, pos in enumerate(g.group_elements(i)) if pos.col in failed_set
+            ]
+            if not self.candidate.can_decode(erased):
+                return False
+        return True

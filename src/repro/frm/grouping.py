@@ -1,0 +1,242 @@
+"""Group identification for EC-FRM stripes — paper §IV-B, Equations (1)-(4).
+
+A candidate code is reduced to its two-tuple ``(n, k)``: ``n`` elements per
+candidate row, ``k`` of them data (a ``(6,2,2)`` LRC is the ``(10, 6)``
+candidate).  With ``r = gcd(n, k)`` an EC-FRM stripe is an ``n/r`` row by
+``n`` column grid:
+
+* the first ``k/r`` rows hold data elements, laid **row-major** — logical
+  data element ``t`` of the stripe sits at ``(t div n, t mod n)``;
+* the remaining ``(n-k)/r`` rows hold parity elements;
+* the grid partitions into ``n/r`` *groups* ``G_i``, each a logical
+  candidate-code row: group ``i`` owns data elements with linear indices
+  ``i*k .. i*k + k - 1`` (Eq. 1) and parity slots at row ``k/r + j``,
+  columns ``<i*k + k + j*r + s>_n`` for ``s in [0, r)``,
+  ``j in [0, (n-k)/r)`` (Eq. 2).
+
+.. note::
+   The paper's printed Eq. (2) contains ``j*i`` where the construction
+   requires ``j*r``; the corrected term reproduces every worked example in
+   the paper (``G_1``/``G_2``/``G_3`` of the (6,2,2) EC-FRM-LRC and the
+   Figure-4 layout), whereas ``j*i`` contradicts them.  See
+   ``tests/frm/test_grouping.py::TestPaperExamples``.
+
+The decisive invariant (proved constructively in :func:`FRMGeometry.verify`)
+is that each group has **exactly one element in every column**, so a column
+(= disk) failure erases exactly one element per group and the candidate
+code's fault tolerance carries over (paper Lemma 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Iterator
+
+__all__ = ["GridPosition", "FRMGeometry"]
+
+
+@dataclass(frozen=True, order=True)
+class GridPosition:
+    """A slot in the EC-FRM stripe grid: ``row`` in ``[0, n/r)``, ``col`` = disk."""
+
+    row: int
+    col: int
+
+
+@dataclass(frozen=True)
+class FRMGeometry:
+    """Geometry and group structure of an EC-FRM stripe for candidate ``(n, k)``.
+
+    Parameters
+    ----------
+    n:
+        Total elements per candidate row.
+    k:
+        Data elements per candidate row; ``0 < k < n``.
+    """
+
+    n: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.k < self.n:
+            raise ValueError(f"candidate code needs 0 < k < n, got (n={self.n}, k={self.k})")
+
+    # ------------------------------------------------------------------
+    # derived scalars
+    # ------------------------------------------------------------------
+    @property
+    def r(self) -> int:
+        """``gcd(n, k)`` — the paper's parameter ``r``."""
+        return gcd(self.n, self.k)
+
+    @property
+    def rows(self) -> int:
+        """Rows per EC-FRM stripe: ``n / r``."""
+        return self.n // self.r
+
+    @property
+    def data_rows(self) -> int:
+        """Leading rows holding data: ``k / r``."""
+        return self.k // self.r
+
+    @property
+    def parity_rows(self) -> int:
+        """Trailing rows holding parity: ``(n - k) / r``."""
+        return (self.n - self.k) // self.r
+
+    @property
+    def num_groups(self) -> int:
+        """Groups per stripe: ``n / r`` (same count as rows)."""
+        return self.n // self.r
+
+    @property
+    def data_elements_per_stripe(self) -> int:
+        """Data elements per stripe: ``(k/r) * n == num_groups * k``."""
+        return self.data_rows * self.n
+
+    @property
+    def parity_elements_per_stripe(self) -> int:
+        """Parity elements per stripe."""
+        return self.parity_rows * self.n
+
+    @property
+    def elements_per_stripe(self) -> int:
+        """All elements per stripe: ``(n/r) * n``."""
+        return self.rows * self.n
+
+    # ------------------------------------------------------------------
+    # Eq. (1): data elements of each group
+    # ------------------------------------------------------------------
+    def data_position(self, t: int) -> GridPosition:
+        """Grid slot of the stripe-local logical data element ``t``.
+
+        Data is laid row-major across all ``n`` columns: consecutive
+        logical elements land on consecutive disks — the property that
+        spreads any contiguous read over all ``n`` disks.
+        """
+        if not 0 <= t < self.data_elements_per_stripe:
+            raise ValueError(
+                f"data index {t} out of range [0, {self.data_elements_per_stripe})"
+            )
+        return GridPosition(t // self.n, t % self.n)
+
+    def data_linear_index(self, pos: GridPosition) -> int:
+        """Inverse of :meth:`data_position`."""
+        if not (0 <= pos.row < self.data_rows and 0 <= pos.col < self.n):
+            raise ValueError(f"{pos} is not a data slot")
+        return pos.row * self.n + pos.col
+
+    def group_data(self, i: int) -> list[GridPosition]:
+        """Eq. (1): the ``k`` data slots of group ``i``, in candidate order."""
+        self._check_group(i)
+        return [self.data_position(i * self.k + offset) for offset in range(self.k)]
+
+    # ------------------------------------------------------------------
+    # Eq. (2)/(3): parity elements of each group
+    # ------------------------------------------------------------------
+    def group_parity_run(self, i: int, j: int) -> list[GridPosition]:
+        """Eq. (2): ``P_{i,j}`` — the ``r`` parity slots of group ``i`` in
+        parity row ``j`` (grid row ``k/r + j``)."""
+        self._check_group(i)
+        if not 0 <= j < self.parity_rows:
+            raise ValueError(f"parity row {j} out of range [0, {self.parity_rows})")
+        row = self.data_rows + j
+        base = i * self.k + self.k + j * self.r
+        return [GridPosition(row, (base + s) % self.n) for s in range(self.r)]
+
+    def group_parity(self, i: int) -> list[GridPosition]:
+        """Eq. (3): ``P_i`` — all ``n - k`` parity slots of group ``i``,
+        ordered by parity row then by run offset (candidate parity order)."""
+        return [
+            pos
+            for j in range(self.parity_rows)
+            for pos in self.group_parity_run(i, j)
+        ]
+
+    # ------------------------------------------------------------------
+    # Eq. (4): complete groups, and the inverse slot -> group map
+    # ------------------------------------------------------------------
+    def group_elements(self, i: int) -> list[GridPosition]:
+        """Eq. (4): ``G_i = D_i U P_i`` ordered by candidate element index.
+
+        Index ``e`` of the returned list is candidate-code element ``e``:
+        ``e < k`` are data, ``e >= k`` parity.
+        """
+        return self.group_data(i) + self.group_parity(i)
+
+    def groups(self) -> Iterator[list[GridPosition]]:
+        """Iterate all groups in order ``G_0 .. G_{n/r - 1}``."""
+        for i in range(self.num_groups):
+            yield self.group_elements(i)
+
+    def group_of(self, pos: GridPosition) -> tuple[int, int]:
+        """``(group index, candidate element index)`` owning grid slot ``pos``."""
+        table = self._slot_table()
+        try:
+            return table[pos]
+        except KeyError:
+            raise ValueError(f"{pos} is not a slot of the {self.rows}x{self.n} stripe") from None
+
+    def group_columns(self, i: int) -> tuple[list[int], list[int]]:
+        """``(data columns, parity columns)`` of group ``i`` — both
+        contiguous runs modulo ``n`` (paper §IV-B observation)."""
+        self._check_group(i)
+        data_cols = [(i * self.k + e) % self.n for e in range(self.k)]
+        parity_cols = [(i * self.k + self.k + e) % self.n for e in range(self.n - self.k)]
+        return data_cols, parity_cols
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Assert the structural invariants of the construction.
+
+        1. groups partition the grid slots exactly;
+        2. every group has exactly one element per column;
+        3. parity slots of distinct groups never collide;
+        4. data slots cover rows ``[0, k/r)``, parity rows ``[k/r, n/r)``.
+
+        Raises AssertionError with a diagnostic message on violation.
+        """
+        seen: dict[GridPosition, tuple[int, int]] = {}
+        for i in range(self.num_groups):
+            cols_seen: set[int] = set()
+            elems = self.group_elements(i)
+            if len(elems) != self.n:
+                raise AssertionError(f"group {i} has {len(elems)} elements, expected {self.n}")
+            for e, pos in enumerate(elems):
+                if pos in seen:
+                    raise AssertionError(f"slot {pos} claimed by groups {seen[pos][0]} and {i}")
+                seen[pos] = (i, e)
+                if pos.col in cols_seen:
+                    raise AssertionError(f"group {i} has two elements in column {pos.col}")
+                cols_seen.add(pos.col)
+                expected_region = pos.row < self.data_rows
+                if expected_region != (e < self.k):
+                    raise AssertionError(
+                        f"group {i} element {e} at {pos} is in the wrong row region"
+                    )
+        if len(seen) != self.elements_per_stripe:
+            raise AssertionError(
+                f"groups cover {len(seen)} slots, stripe has {self.elements_per_stripe}"
+            )
+
+    # ------------------------------------------------------------------
+    def _check_group(self, i: int) -> None:
+        if not 0 <= i < self.num_groups:
+            raise ValueError(f"group {i} out of range [0, {self.num_groups})")
+
+    def _slot_table(self) -> dict[GridPosition, tuple[int, int]]:
+        # Cached lazily on the instance; frozen dataclass, so stash via
+        # object.__setattr__.  Size is rows*n <= a few hundred slots.
+        cached = getattr(self, "_slots", None)
+        if cached is None:
+            cached = {
+                pos: (i, e)
+                for i in range(self.num_groups)
+                for e, pos in enumerate(self.group_elements(i))
+            }
+            object.__setattr__(self, "_slots", cached)
+        return cached

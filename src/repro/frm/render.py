@@ -1,0 +1,70 @@
+"""ASCII rendering of EC-FRM stripe layouts.
+
+Produces the grid pictures the paper draws (Figures 4 and 5): each slot is
+labelled with its group and candidate-element identity, columns are disks.
+Used by ``repro.harness.paperfigs`` and the ``repro-ecfrm layout`` CLI.
+"""
+
+from __future__ import annotations
+
+from .grouping import FRMGeometry, GridPosition
+
+__all__ = ["render_geometry", "render_group_membership", "slot_label"]
+
+
+def slot_label(geometry: FRMGeometry, pos: GridPosition, *, style: str = "group") -> str:
+    """Label a slot.
+
+    ``style="group"`` labels by group identity: ``D3`` / ``P3`` for a data /
+    parity element of group 3 (matching the paper's per-group icons).
+    ``style="grid"`` labels by grid coordinates the way the paper names
+    elements: ``d0,7`` or ``p4,1``.
+    """
+    i, e = geometry.group_of(pos)
+    if style == "group":
+        kind = "D" if e < geometry.k else "P"
+        return f"{kind}{i}"
+    if style == "grid":
+        kind = "d" if pos.row < geometry.data_rows else "p"
+        return f"{kind}{pos.row},{pos.col}"
+    raise ValueError(f"unknown label style {style!r}")
+
+
+def render_geometry(geometry: FRMGeometry, *, style: str = "group") -> str:
+    """Render the full stripe grid as an ASCII table.
+
+    Columns are disks; the horizontal rule separates data rows from parity
+    rows, mirroring the paper's Figure 4.
+    """
+    width = max(
+        len(slot_label(geometry, GridPosition(r, c), style=style))
+        for r in range(geometry.rows)
+        for c in range(geometry.n)
+    )
+    width = max(width, len(f"disk{geometry.n - 1}"))
+    header = " | ".join(f"disk{c}".rjust(width) for c in range(geometry.n))
+    rule = "-+-".join("-" * width for _ in range(geometry.n))
+    lines = [header, rule]
+    for r in range(geometry.rows):
+        cells = [
+            slot_label(geometry, GridPosition(r, c), style=style).rjust(width)
+            for c in range(geometry.n)
+        ]
+        lines.append(" | ".join(cells))
+        if r == geometry.data_rows - 1:
+            lines.append(rule)
+    return "\n".join(lines)
+
+
+def render_group_membership(geometry: FRMGeometry, group: int) -> str:
+    """One-line set notation for a group, in the paper's element names.
+
+    Example for the (10,6) candidate, group 1::
+
+        G1 = {d0,6, d0,7, d0,8, d0,9, d1,0, d1,1, p3,2, p3,3, p4,4, p4,5}
+    """
+    names = [
+        slot_label(geometry, pos, style="grid")
+        for pos in geometry.group_elements(group)
+    ]
+    return f"G{group} = {{{', '.join(names)}}}"

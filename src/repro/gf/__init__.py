@@ -1,0 +1,67 @@
+"""Galois field GF(2^w) arithmetic substrate.
+
+This package replaces the paper's C-level GF-Complete / Jerasure dependency
+with a table-driven, NumPy-vectorized implementation.  It provides:
+
+* :mod:`repro.gf.tables` — primitive polynomials and log/antilog tables;
+* :mod:`repro.gf.field` — the :class:`GF` field object (scalar + bulk ops);
+* :mod:`repro.gf.matrix` — dense GF matrix algebra (matmul, inversion, rank);
+* :mod:`repro.gf.vandermonde` — Vandermonde/Cauchy generator constructions;
+* :mod:`repro.gf.polynomial` — GF polynomials and Lagrange interpolation.
+"""
+
+from .field import GF, GF4, GF8, GF16, get_field
+from .matrix import (
+    SingularMatrixError,
+    all_square_submatrices_invertible,
+    identity,
+    invert,
+    is_invertible,
+    matmul,
+    matvec,
+    rank,
+    solve,
+)
+from .polynomial import Poly
+from .tables import (
+    PRIMITIVE_POLYNOMIALS,
+    SUPPORTED_WIDTHS,
+    GFTables,
+    build_tables,
+    carryless_multiply,
+    polynomial_mod,
+)
+from .vandermonde import (
+    cauchy_matrix,
+    extended_generator,
+    systematic_vandermonde_coding_matrix,
+    vandermonde,
+)
+
+__all__ = [
+    "GF",
+    "GF4",
+    "GF8",
+    "GF16",
+    "get_field",
+    "GFTables",
+    "build_tables",
+    "carryless_multiply",
+    "polynomial_mod",
+    "PRIMITIVE_POLYNOMIALS",
+    "SUPPORTED_WIDTHS",
+    "SingularMatrixError",
+    "identity",
+    "matmul",
+    "matvec",
+    "invert",
+    "rank",
+    "solve",
+    "is_invertible",
+    "all_square_submatrices_invertible",
+    "Poly",
+    "vandermonde",
+    "systematic_vandermonde_coding_matrix",
+    "cauchy_matrix",
+    "extended_generator",
+]

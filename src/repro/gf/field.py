@@ -1,0 +1,217 @@
+"""Field objects for GF(2^w) with scalar and vectorized NumPy arithmetic.
+
+:class:`GF` is the workhorse of the coding layer.  Scalars are plain Python
+ints in ``[0, 2^w)``; buffers are NumPy arrays of the field's element dtype
+(uint8 for w<=8, uint16 for w=16).  All bulk operations are expressed as
+table gathers so the hot encode/decode paths never loop per element in
+Python.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from .tables import SUPPORTED_WIDTHS, GFTables, build_tables
+
+__all__ = ["GF", "GF4", "GF8", "GF16", "get_field"]
+
+
+class GF:
+    """Arithmetic in the binary extension field GF(2^w).
+
+    Parameters
+    ----------
+    w:
+        Field width in bits.
+    poly:
+        Optional primitive-polynomial override (see :func:`build_tables`).
+
+    Notes
+    -----
+    Addition and subtraction are both XOR.  Multiplication and division are
+    table driven.  Vector variants (``mul_vec``, ``axpy`` etc.) operate
+    elementwise on NumPy arrays and are the building blocks for bulk
+    encoding of whole stripes.
+    """
+
+    __slots__ = ("tables", "_exp", "_log", "dtype")
+
+    def __init__(self, w: int, poly: int | None = None) -> None:
+        self.tables: GFTables = build_tables(w, poly)
+        self._exp = self.tables.exp
+        self._log = self.tables.log
+        self.dtype = self._exp.dtype
+
+    # ------------------------------------------------------------------
+    # field metadata
+    # ------------------------------------------------------------------
+    @property
+    def w(self) -> int:
+        """Field width in bits."""
+        return self.tables.w
+
+    @property
+    def order(self) -> int:
+        """Number of field elements, 2^w."""
+        return self.tables.order
+
+    @property
+    def group_order(self) -> int:
+        """Order of the multiplicative group, 2^w - 1."""
+        return self.tables.group_order
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GF(2^{self.w}, poly={self.tables.poly:#x})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, GF)
+            and other.w == self.w
+            and other.tables.poly == self.tables.poly
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.w, self.tables.poly))
+
+    def _check(self, *values: int) -> None:
+        for v in values:
+            if not 0 <= v < self.order:
+                raise ValueError(f"{v} is not an element of GF(2^{self.w})")
+
+    # ------------------------------------------------------------------
+    # scalar operations
+    # ------------------------------------------------------------------
+    def add(self, a: int, b: int) -> int:
+        """Field addition (XOR)."""
+        self._check(a, b)
+        return a ^ b
+
+    # In characteristic 2 subtraction coincides with addition.
+    sub = add
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication."""
+        self._check(a, b)
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[int(self._log[a]) + int(self._log[b])])
+
+    def div(self, a: int, b: int) -> int:
+        """Field division ``a / b``; raises ZeroDivisionError for b == 0."""
+        self._check(a, b)
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^w)")
+        if a == 0:
+            return 0
+        diff = int(self._log[a]) - int(self._log[b])
+        return int(self._exp[diff % self.group_order])
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises ZeroDivisionError for a == 0."""
+        self._check(a)
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse in GF(2^w)")
+        return int(self._exp[self.group_order - int(self._log[a])])
+
+    def pow(self, a: int, e: int) -> int:
+        """Raise ``a`` to integer power ``e`` (``e`` may be negative)."""
+        self._check(a)
+        if a == 0:
+            if e == 0:
+                return 1
+            if e < 0:
+                raise ZeroDivisionError("0 ** negative in GF(2^w)")
+            return 0
+        exponent = (int(self._log[a]) * e) % self.group_order
+        return int(self._exp[exponent])
+
+    def exp(self, e: int) -> int:
+        """``alpha^e`` for the field's primitive element alpha."""
+        return int(self._exp[e % self.group_order])
+
+    def log(self, a: int) -> int:
+        """Discrete log base alpha; raises ValueError for a == 0."""
+        self._check(a)
+        if a == 0:
+            raise ValueError("log(0) is undefined")
+        return int(self._log[a])
+
+    # ------------------------------------------------------------------
+    # vectorized operations (NumPy buffers of field elements)
+    # ------------------------------------------------------------------
+    def asarray(self, data) -> np.ndarray:
+        """Coerce ``data`` to a NumPy array of the field's element dtype."""
+        arr = np.asarray(data)
+        if arr.dtype != self.dtype:
+            if arr.size and (arr.min() < 0 or arr.max() >= self.order):
+                raise ValueError(f"values outside GF(2^{self.w})")
+            arr = arr.astype(self.dtype)
+        return arr
+
+    def add_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise field addition of two buffers."""
+        return np.bitwise_xor(self.asarray(a), self.asarray(b))
+
+    def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise field multiplication of two buffers (broadcasting)."""
+        a = self.asarray(a)
+        b = self.asarray(b)
+        # log[0] is a sentinel pointing into the zero pad of exp, so zero
+        # operands flow through the gathers without branching.
+        return self._exp[self._log[a] + self._log[b]]
+
+    def scalar_mul_vec(self, c: int, a: np.ndarray) -> np.ndarray:
+        """Multiply buffer ``a`` by field scalar ``c``."""
+        self._check(c)
+        a = self.asarray(a)
+        if c == 0:
+            return np.zeros_like(a)
+        if c == 1:
+            return a.copy()
+        return self._exp[self._log[a] + int(self._log[c])]
+
+    def axpy(self, acc: np.ndarray, c: int, x: np.ndarray) -> None:
+        """In-place accumulate ``acc ^= c * x`` (the encode inner loop).
+
+        ``acc`` must be a writable buffer of the field dtype; ``x`` is any
+        broadcast-compatible buffer.  This is the single hottest kernel in
+        the library: one gather-add-gather plus one XOR, no temporaries
+        beyond the product.
+        """
+        self._check(c)
+        if c == 0:
+            return
+        x = self.asarray(x)
+        if c == 1:
+            np.bitwise_xor(acc, x, out=acc)
+            return
+        product = self._exp[self._log[x] + int(self._log[c])]
+        np.bitwise_xor(acc, product, out=acc)
+
+    def inv_vec(self, a: np.ndarray) -> np.ndarray:
+        """Elementwise inverse; raises ZeroDivisionError if any entry is 0."""
+        a = self.asarray(a)
+        if np.any(a == 0):
+            raise ZeroDivisionError("zero has no inverse in GF(2^w)")
+        return self._exp[self.group_order - self._log[a]]
+
+    def random(self, rng: np.random.Generator, shape, *, nonzero: bool = False) -> np.ndarray:
+        """Uniform random field elements with the library's element dtype."""
+        low = 1 if nonzero else 0
+        return rng.integers(low, self.order, size=shape, dtype=np.int64).astype(self.dtype)
+
+
+@lru_cache(maxsize=None)
+def get_field(w: int, poly: int | None = None) -> GF:
+    """Memoized accessor for the field of width ``w``."""
+    if w not in SUPPORTED_WIDTHS:
+        raise ValueError(f"unsupported field width {w}; supported: {SUPPORTED_WIDTHS}")
+    return GF(w, poly)
+
+
+#: The three fields used throughout the library.
+GF4 = get_field(4)
+GF8 = get_field(8)
+GF16 = get_field(16)

@@ -1,0 +1,181 @@
+"""Univariate polynomials over GF(2^w).
+
+Used as an independent oracle for Reed-Solomon tests (a codeword is a
+polynomial evaluation; erasures are recovered by Lagrange interpolation)
+and available to users who want an evaluation-style RS view.
+Coefficients are stored lowest degree first.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .field import GF
+
+__all__ = ["Poly"]
+
+
+class Poly:
+    """Immutable polynomial over a GF(2^w) field.
+
+    Parameters
+    ----------
+    field:
+        The coefficient field.
+    coeffs:
+        Iterable of coefficients, lowest degree first.  Trailing zeros are
+        stripped; the zero polynomial has an empty coefficient tuple and
+        degree -1.
+    """
+
+    __slots__ = ("field", "coeffs")
+
+    def __init__(self, field: GF, coeffs: Iterable[int]) -> None:
+        cs = [int(c) for c in coeffs]
+        for c in cs:
+            if not 0 <= c < field.order:
+                raise ValueError(f"{c} is not an element of GF(2^{field.w})")
+        while cs and cs[-1] == 0:
+            cs.pop()
+        self.field = field
+        self.coeffs: tuple[int, ...] = tuple(cs)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, field: GF) -> "Poly":
+        """The zero polynomial."""
+        return cls(field, ())
+
+    @classmethod
+    def one(cls, field: GF) -> "Poly":
+        """The constant polynomial 1."""
+        return cls(field, (1,))
+
+    @classmethod
+    def monomial(cls, field: GF, degree: int, coeff: int = 1) -> "Poly":
+        """``coeff * x^degree``."""
+        if degree < 0:
+            raise ValueError("degree must be non-negative")
+        return cls(field, (0,) * degree + (coeff,))
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial; -1 for the zero polynomial."""
+        return len(self.coeffs) - 1
+
+    def is_zero(self) -> bool:
+        return not self.coeffs
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Poly)
+            and other.field == self.field
+            and other.coeffs == self.coeffs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field, self.coeffs))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_zero():
+            return "Poly(0)"
+        terms = [f"{c}*x^{i}" for i, c in enumerate(self.coeffs) if c]
+        return "Poly(" + " + ".join(terms) + ")"
+
+    def _coerce(self, other: "Poly") -> None:
+        if not isinstance(other, Poly) or other.field != self.field:
+            raise TypeError("polynomials must share the same field")
+
+    def __add__(self, other: "Poly") -> "Poly":
+        self._coerce(other)
+        n = max(len(self.coeffs), len(other.coeffs))
+        out = [0] * n
+        for i, c in enumerate(self.coeffs):
+            out[i] ^= c
+        for i, c in enumerate(other.coeffs):
+            out[i] ^= c
+        return Poly(self.field, out)
+
+    # Characteristic 2: subtraction is addition.
+    __sub__ = __add__
+
+    def __mul__(self, other: "Poly") -> "Poly":
+        self._coerce(other)
+        if self.is_zero() or other.is_zero():
+            return Poly.zero(self.field)
+        f = self.field
+        out = [0] * (len(self.coeffs) + len(other.coeffs) - 1)
+        for i, a in enumerate(self.coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(other.coeffs):
+                if b:
+                    out[i + j] ^= f.mul(a, b)
+        return Poly(self.field, out)
+
+    def scale(self, c: int) -> "Poly":
+        """Multiply by the field scalar ``c``."""
+        f = self.field
+        return Poly(f, [f.mul(c, a) for a in self.coeffs])
+
+    def divmod(self, other: "Poly") -> tuple["Poly", "Poly"]:
+        """Polynomial division with remainder."""
+        self._coerce(other)
+        if other.is_zero():
+            raise ZeroDivisionError("polynomial division by zero")
+        f = self.field
+        rem = list(self.coeffs)
+        q = [0] * max(0, len(rem) - len(other.coeffs) + 1)
+        d = other.degree
+        lead_inv = f.inv(other.coeffs[-1])
+        for i in range(len(rem) - 1, d - 1, -1):
+            if rem[i] == 0:
+                continue
+            factor = f.mul(rem[i], lead_inv)
+            q[i - d] = factor
+            for j, b in enumerate(other.coeffs):
+                rem[i - d + j] ^= f.mul(factor, b)
+        return Poly(f, q), Poly(f, rem)
+
+    # ------------------------------------------------------------------
+    def eval(self, x: int) -> int:
+        """Evaluate at the field element ``x`` by Horner's rule."""
+        f = self.field
+        acc = 0
+        for c in reversed(self.coeffs):
+            acc = f.mul(acc, x) ^ c
+        return acc
+
+    def eval_many(self, xs: Sequence[int]) -> np.ndarray:
+        """Evaluate at several points (vectorized Horner over the points)."""
+        f = self.field
+        acc = np.zeros(len(xs), dtype=f.dtype)
+        pts = f.asarray(list(xs))
+        for c in reversed(self.coeffs):
+            acc = f.mul_vec(acc, pts)
+            acc ^= f.dtype.type(c)
+        return acc
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def interpolate(cls, field: GF, points: Sequence[tuple[int, int]]) -> "Poly":
+        """Lagrange interpolation through ``(x, y)`` points with distinct x."""
+        xs = [int(x) for x, _ in points]
+        if len(set(xs)) != len(xs):
+            raise ValueError("interpolation points must have distinct x")
+        result = cls.zero(field)
+        for i, (xi, yi) in enumerate(points):
+            if yi == 0:
+                continue
+            basis = cls.one(field)
+            denom = 1
+            for j, (xj, _) in enumerate(points):
+                if i == j:
+                    continue
+                basis = basis * cls(field, (xj, 1))
+                denom = field.mul(denom, xi ^ xj)
+            result = result + basis.scale(field.mul(yi, field.inv(denom)))
+        return result

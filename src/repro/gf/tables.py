@@ -1,0 +1,186 @@
+"""Log/antilog table construction for binary extension fields GF(2^w).
+
+The whole arithmetic substrate of this library is table driven, in the
+spirit of GF-Complete / Jerasure: a discrete-log table ``LOG`` and an
+anti-log table ``EXP`` over a primitive element ``alpha = 2`` let every
+multiplication become two gathers and one addition, which NumPy executes
+in bulk over whole element buffers.
+
+Only the table *construction* lives here; :mod:`repro.gf.field` wraps the
+tables in a field object with scalar and vectorized operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "PRIMITIVE_POLYNOMIALS",
+    "SUPPORTED_WIDTHS",
+    "GFTables",
+    "build_tables",
+    "carryless_multiply",
+    "polynomial_mod",
+]
+
+#: Default primitive polynomials, written with the implicit leading x^w bit
+#: included (e.g. 0x11D = x^8 + x^4 + x^3 + x^2 + 1).  These match the
+#: polynomials used by Jerasure / GF-Complete so codewords produced by this
+#: library are bit-compatible with those C libraries.
+PRIMITIVE_POLYNOMIALS: dict[int, int] = {
+    2: 0b111,          # x^2 + x + 1
+    3: 0b1011,         # x^3 + x + 1
+    4: 0b10011,        # x^4 + x + 1
+    8: 0x11D,          # x^8 + x^4 + x^3 + x^2 + 1
+    16: 0x1100B,       # x^16 + x^12 + x^3 + x + 1
+}
+
+#: Field widths this library supports end to end.
+SUPPORTED_WIDTHS: tuple[int, ...] = tuple(sorted(PRIMITIVE_POLYNOMIALS))
+
+
+def carryless_multiply(a: int, b: int) -> int:
+    """Multiply two binary polynomials (carry-less product of ``a`` and ``b``).
+
+    This is schoolbook polynomial multiplication over GF(2); no reduction is
+    applied.  Used to build tables and in tests as an independent oracle.
+    """
+    if a < 0 or b < 0:
+        raise ValueError("carryless_multiply requires non-negative operands")
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def polynomial_mod(value: int, modulus: int) -> int:
+    """Reduce binary polynomial ``value`` modulo binary polynomial ``modulus``."""
+    if modulus <= 0:
+        raise ValueError("modulus must be a positive polynomial")
+    mod_degree = modulus.bit_length() - 1
+    while value.bit_length() - 1 >= mod_degree and value:
+        shift = value.bit_length() - 1 - mod_degree
+        value ^= modulus << shift
+    return value
+
+
+def _is_primitive(poly: int, w: int) -> bool:
+    """Return True if ``poly`` (degree ``w``) is primitive over GF(2).
+
+    ``x`` must generate the full multiplicative group of order ``2^w - 1``.
+    We simply walk powers of ``x``; cost is O(2^w), fine for w <= 16.
+    """
+    if poly.bit_length() - 1 != w:
+        return False
+    order = (1 << w) - 1
+    value = 1
+    seen_one_at = None
+    for exponent in range(1, order + 1):
+        value = polynomial_mod(value << 1, poly)
+        if value == 1:
+            seen_one_at = exponent
+            break
+        if value == 0:
+            return False
+    return seen_one_at == order
+
+
+@dataclass(frozen=True)
+class GFTables:
+    """Immutable log/antilog tables for GF(2^w).
+
+    Attributes
+    ----------
+    w:
+        Field width in bits; the field has ``2^w`` elements.
+    poly:
+        Primitive polynomial used for reduction (with the leading bit).
+    exp:
+        ``exp[i] = alpha^i`` for ``i in [0, 2*(2^w - 1))``.  The table is
+        doubled so that ``exp[log[a] + log[b]]`` never needs an explicit
+        ``mod (2^w - 1)`` on the hot path.
+    log:
+        ``log[a]`` = discrete log of ``a`` base alpha; ``log[0]`` is a
+        sentinel equal to ``2*(2^w - 1)`` pointing at a zero pad slot so
+        vectorized multiplies involving zero naturally yield zero.
+    """
+
+    w: int
+    poly: int
+    exp: np.ndarray
+    log: np.ndarray
+
+    @property
+    def order(self) -> int:
+        """Number of elements in the field (2^w)."""
+        return 1 << self.w
+
+    @property
+    def group_order(self) -> int:
+        """Order of the multiplicative group (2^w - 1)."""
+        return (1 << self.w) - 1
+
+    @property
+    def zero_log(self) -> int:
+        """Sentinel discrete-log value assigned to zero."""
+        return 2 * self.group_order
+
+
+def _dtype_for_width(w: int) -> np.dtype:
+    if w <= 8:
+        return np.dtype(np.uint8)
+    if w <= 16:
+        return np.dtype(np.uint16)
+    raise ValueError(f"unsupported field width {w}; supported: {SUPPORTED_WIDTHS}")
+
+
+@lru_cache(maxsize=None)
+def build_tables(w: int, poly: int | None = None) -> GFTables:
+    """Build (and memoize) log/antilog tables for GF(2^w).
+
+    Parameters
+    ----------
+    w:
+        Field width; must be one of :data:`SUPPORTED_WIDTHS`.
+    poly:
+        Optional override of the reduction polynomial.  It must be primitive
+        of degree ``w``; a non-primitive polynomial would leave holes in the
+        log table and is rejected.
+    """
+    if w not in PRIMITIVE_POLYNOMIALS:
+        raise ValueError(f"unsupported field width {w}; supported: {SUPPORTED_WIDTHS}")
+    if poly is None:
+        poly = PRIMITIVE_POLYNOMIALS[w]
+    if not _is_primitive(poly, w):
+        raise ValueError(f"polynomial {poly:#x} is not primitive of degree {w}")
+
+    order = 1 << w
+    group = order - 1
+    element_dtype = _dtype_for_width(w)
+
+    # exp is doubled, then zero-padded for the zero sentinel: log[0] is
+    # 2*group, and the largest reachable index is log[0] + log[0] = 4*group
+    # (both operands zero).  Reads through the pad return 0.
+    exp = np.zeros(4 * group + 1, dtype=element_dtype)
+    log = np.zeros(order, dtype=np.int64)
+
+    value = 1
+    for i in range(group):
+        exp[i] = value
+        log[value] = i
+        value = polynomial_mod(value << 1, poly)
+    # Double the cycle so sums of two logs index without a modulo.
+    exp[group : 2 * group] = exp[:group]
+    # Pad region [2*group, 3*group] stays zero: any product involving the
+    # zero sentinel lands here and correctly reads 0.
+    log[0] = 2 * group
+
+    exp.setflags(write=False)
+    log.setflags(write=False)
+    return GFTables(w=w, poly=poly, exp=exp, log=log)

@@ -1,0 +1,100 @@
+"""Generator-matrix constructions for systematic MDS codes over GF(2^w).
+
+Two classic families are provided:
+
+* **Vandermonde-derived systematic generators** — the construction Jerasure
+  uses for ``reed_sol_vandermonde_coding_matrix``: build the
+  ``(k+m) x k`` Vandermonde matrix, column-reduce the top ``k`` rows to the
+  identity, and keep the bottom ``m`` rows as the coding block.  The
+  resulting extended generator is MDS for any ``k + m <= 2^w``.
+* **Cauchy matrices** — every square submatrix of a Cauchy matrix is
+  invertible by construction, so ``[I ; C]`` is MDS without any reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .field import GF
+from .matrix import SingularMatrixError, identity, invert, matmul
+
+__all__ = [
+    "vandermonde",
+    "systematic_vandermonde_coding_matrix",
+    "cauchy_matrix",
+    "extended_generator",
+]
+
+
+def vandermonde(field: GF, rows: int, cols: int) -> np.ndarray:
+    """The ``rows x cols`` Vandermonde matrix ``V[i, j] = i ** j``.
+
+    Row evaluation points are the field elements ``0, 1, 2, ...`` (with the
+    convention ``0 ** 0 = 1``), matching the classic Reed-Solomon erasure
+    code construction of Plank.
+    """
+    if rows > field.order:
+        raise ValueError(
+            f"Vandermonde needs {rows} distinct points but GF(2^{field.w}) "
+            f"has only {field.order}"
+        )
+    out = np.zeros((rows, cols), dtype=field.dtype)
+    for i in range(rows):
+        for j in range(cols):
+            out[i, j] = field.pow(i, j) if (i or j == 0) else 0
+    out[0, 0] = 1
+    return out
+
+
+def systematic_vandermonde_coding_matrix(field: GF, k: int, m: int) -> np.ndarray:
+    """The ``m x k`` coding block of a systematic Vandermonde RS generator.
+
+    The full extended generator is ``[I_k ; B]`` where ``B`` is the returned
+    block.  Obtained by inverting the top ``k x k`` slice of the
+    ``(k+m) x k`` Vandermonde matrix and right-multiplying, which maps the
+    top slice to the identity while preserving the MDS property.
+    """
+    if k <= 0 or m < 0:
+        raise ValueError(f"invalid RS parameters k={k}, m={m}")
+    if k + m > field.order:
+        raise ValueError(
+            f"RS(k={k}, m={m}) does not fit in GF(2^{field.w}): need "
+            f"k + m <= {field.order}"
+        )
+    v = vandermonde(field, k + m, k)
+    try:
+        top_inv = invert(field, v[:k])
+    except SingularMatrixError as exc:  # pragma: no cover - cannot happen for distinct points
+        raise AssertionError("Vandermonde top block must be invertible") from exc
+    reduced = matmul(field, v, top_inv)
+    return reduced[k:]
+
+
+def cauchy_matrix(
+    field: GF,
+    x_points: np.ndarray | list[int],
+    y_points: np.ndarray | list[int],
+) -> np.ndarray:
+    """Cauchy matrix ``C[i, j] = 1 / (x_i + y_j)`` over GF(2^w).
+
+    All ``x_i`` and ``y_j`` must be pairwise distinct *across both lists*
+    (in characteristic 2, ``x + y = 0`` iff ``x == y``).
+    """
+    xs = [int(v) for v in x_points]
+    ys = [int(v) for v in y_points]
+    if len(set(xs)) != len(xs) or len(set(ys)) != len(ys) or set(xs) & set(ys):
+        raise ValueError("Cauchy points must be pairwise distinct across x and y")
+    out = np.zeros((len(xs), len(ys)), dtype=field.dtype)
+    for i, x in enumerate(xs):
+        for j, y in enumerate(ys):
+            out[i, j] = field.inv(x ^ y)
+    return out
+
+
+def extended_generator(field: GF, coding_block: np.ndarray) -> np.ndarray:
+    """Stack ``[I_k ; B]`` to form the full systematic extended generator."""
+    block = field.asarray(coding_block)
+    if block.ndim != 2:
+        raise ValueError("coding block must be 2-D")
+    k = block.shape[1]
+    return np.vstack([identity(field, k), block])

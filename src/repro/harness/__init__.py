@@ -1,0 +1,47 @@
+"""Experiment harness: the paper's evaluation protocol and figure builders.
+
+* :mod:`repro.harness.metrics` — summary statistics and improvement math;
+* :mod:`repro.harness.experiment` — workload replay and form comparison;
+* :mod:`repro.harness.report` — plain-text figure-shaped tables;
+* :mod:`repro.harness.paperfigs` — regeneration of Figures 1-9.
+"""
+
+from .experiment import (
+    PAPER_FORMS,
+    PAPER_LRC_PARAMS,
+    PAPER_RS_PARAMS,
+    DegradedReadResult,
+    ExperimentConfig,
+    NormalReadResult,
+    compare_degraded_forms,
+    compare_normal_forms,
+    paper_codes,
+    run_degraded_read_experiment,
+    run_normal_read_experiment,
+)
+from .export import export_all_figures, table_to_csv, table_to_json
+from .metrics import SampleSummary, improvement_pct, summarize
+from .report import SeriesTable, format_pct_range, render_improvements
+
+__all__ = [
+    "ExperimentConfig",
+    "NormalReadResult",
+    "DegradedReadResult",
+    "run_normal_read_experiment",
+    "run_degraded_read_experiment",
+    "compare_normal_forms",
+    "compare_degraded_forms",
+    "paper_codes",
+    "PAPER_FORMS",
+    "PAPER_RS_PARAMS",
+    "PAPER_LRC_PARAMS",
+    "SampleSummary",
+    "summarize",
+    "improvement_pct",
+    "SeriesTable",
+    "render_improvements",
+    "format_pct_range",
+    "export_all_figures",
+    "table_to_csv",
+    "table_to_json",
+]

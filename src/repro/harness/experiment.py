@@ -1,0 +1,219 @@
+"""Experiment runner: the paper's evaluation protocol end to end.
+
+Builds placements for each form of each tested code (Table I), replays the
+paper's random workloads through the planners and the disk simulator, and
+aggregates the three metrics of §VI: normal read speed, degraded read cost
+and degraded read speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..codes.base import ErasureCode
+from ..codes.lrc import make_lrc
+from ..codes.reed_solomon import make_rs
+from ..disks.model import DiskModel
+from ..disks.presets import SAVVIO_10K3
+from ..engine.degraded import plan_degraded_read
+from ..engine.executor import simulate_plan
+from ..engine.planner import plan_normal_read
+from ..layout import Placement, make_placement
+from ..workloads.random_reads import (
+    PAPER_DEGRADED_TRIALS,
+    PAPER_NORMAL_TRIALS,
+    RandomDegradedWorkload,
+    RandomReadWorkload,
+)
+from .metrics import SampleSummary, summarize
+
+__all__ = [
+    "PAPER_RS_PARAMS",
+    "PAPER_LRC_PARAMS",
+    "PAPER_FORMS",
+    "MiB",
+    "ExperimentConfig",
+    "NormalReadResult",
+    "DegradedReadResult",
+    "run_normal_read_experiment",
+    "run_degraded_read_experiment",
+    "compare_normal_forms",
+    "compare_degraded_forms",
+    "paper_codes",
+]
+
+MiB = 1024 * 1024
+
+#: Table I, column 1: the tested Reed-Solomon parameters.
+PAPER_RS_PARAMS: tuple[tuple[int, int], ...] = ((6, 3), (8, 4), (10, 5))
+#: Table I, column 2: the tested LRC parameters.
+PAPER_LRC_PARAMS: tuple[tuple[int, int, int], ...] = ((6, 2, 2), (8, 2, 3), (10, 2, 4))
+#: The three placement forms compared in every figure.
+PAPER_FORMS: tuple[str, ...] = ("standard", "rotated", "ec-frm")
+
+
+def paper_codes() -> dict[str, ErasureCode]:
+    """All Table I codes, keyed by their spec string."""
+    out: dict[str, ErasureCode] = {}
+    for k, m in PAPER_RS_PARAMS:
+        out[f"rs-{k}-{m}"] = make_rs(k, m)
+    for k, l, m in PAPER_LRC_PARAMS:
+        out[f"lrc-{k}-{l}-{m}"] = make_lrc(k, l, m)
+    return out
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared knobs of a read experiment.
+
+    Defaults mirror the paper: 1 MiB elements (§III-A), a Savvio-class
+    disk model (§VI-A), reads of 1..20 elements, and the paper's trial
+    counts.  ``address_space_rows`` sizes the logical space in candidate
+    rows; big enough that start points are effectively arbitrary.
+    """
+
+    element_size: int = 1 * MiB
+    disk_model: DiskModel = SAVVIO_10K3
+    normal_trials: int = PAPER_NORMAL_TRIALS
+    degraded_trials: int = PAPER_DEGRADED_TRIALS
+    min_read: int = 1
+    max_read: int = 20
+    address_space_rows: int = 1000
+    seed: int = 2015
+
+    def address_space(self, code: ErasureCode) -> int:
+        """Logical data elements available to the workload."""
+        return self.address_space_rows * code.k
+
+    def normal_workload(self, code: ErasureCode) -> RandomReadWorkload:
+        """The paper's normal-read workload for ``code``."""
+        return RandomReadWorkload(
+            address_space=self.address_space(code),
+            trials=self.normal_trials,
+            min_size=self.min_read,
+            max_size=self.max_read,
+            seed=self.seed,
+        )
+
+    def degraded_workload(self, code: ErasureCode) -> RandomDegradedWorkload:
+        """The paper's degraded-read workload for ``code``."""
+        return RandomDegradedWorkload(
+            address_space=self.address_space(code),
+            num_disks=code.n,
+            trials=self.degraded_trials,
+            min_size=self.min_read,
+            max_size=self.max_read,
+            seed=self.seed + 1,
+        )
+
+
+@dataclass(frozen=True)
+class NormalReadResult:
+    """Aggregated normal-read metrics for one (code, form)."""
+
+    placement_name: str
+    code_name: str
+    speed_mib_s: SampleSummary
+    max_disk_load: SampleSummary
+    disks_touched: SampleSummary
+
+    @property
+    def mean_speed(self) -> float:
+        """Mean speed in MiB/s — the paper's Figure 8 bar height."""
+        return self.speed_mib_s.mean
+
+
+@dataclass(frozen=True)
+class DegradedReadResult:
+    """Aggregated degraded-read metrics for one (code, form)."""
+
+    placement_name: str
+    code_name: str
+    speed_mib_s: SampleSummary
+    read_cost: SampleSummary
+    max_disk_load: SampleSummary
+
+    @property
+    def mean_speed(self) -> float:
+        """Mean degraded speed in MiB/s — Figure 9(c)/(d) bar height."""
+        return self.speed_mib_s.mean
+
+    @property
+    def mean_cost(self) -> float:
+        """Mean degraded read cost — Figure 9(a)/(b) bar height."""
+        return self.read_cost.mean
+
+
+def run_normal_read_experiment(
+    placement: Placement, config: ExperimentConfig | None = None
+) -> NormalReadResult:
+    """Replay the normal-read workload through one placement."""
+    config = config or ExperimentConfig()
+    workload = config.normal_workload(placement.code)
+    speeds: list[float] = []
+    max_loads: list[float] = []
+    touched: list[float] = []
+    for request in workload:
+        plan = plan_normal_read(placement, request, config.element_size)
+        outcome = simulate_plan(plan, config.disk_model)
+        speeds.append(outcome.speed_mib_s)
+        max_loads.append(float(plan.max_disk_load))
+        touched.append(float(plan.disks_touched))
+    return NormalReadResult(
+        placement_name=placement.name,
+        code_name=placement.code.describe(),
+        speed_mib_s=summarize(speeds),
+        max_disk_load=summarize(max_loads),
+        disks_touched=summarize(touched),
+    )
+
+
+def run_degraded_read_experiment(
+    placement: Placement, config: ExperimentConfig | None = None
+) -> DegradedReadResult:
+    """Replay the degraded-read workload through one placement."""
+    config = config or ExperimentConfig()
+    workload = config.degraded_workload(placement.code)
+    speeds: list[float] = []
+    costs: list[float] = []
+    max_loads: list[float] = []
+    for trial in workload:
+        plan = plan_degraded_read(
+            placement, trial.request, trial.failed_disk, config.element_size
+        )
+        outcome = simulate_plan(plan, config.disk_model)
+        speeds.append(outcome.speed_mib_s)
+        costs.append(plan.read_cost)
+        max_loads.append(float(plan.max_disk_load))
+    return DegradedReadResult(
+        placement_name=placement.name,
+        code_name=placement.code.describe(),
+        speed_mib_s=summarize(speeds),
+        read_cost=summarize(costs),
+        max_disk_load=summarize(max_loads),
+    )
+
+
+def compare_normal_forms(
+    code: ErasureCode,
+    forms: Sequence[str] = PAPER_FORMS,
+    config: ExperimentConfig | None = None,
+) -> dict[str, NormalReadResult]:
+    """Normal-read results for every form of one code, same workload."""
+    return {
+        form: run_normal_read_experiment(make_placement(form, code), config)
+        for form in forms
+    }
+
+
+def compare_degraded_forms(
+    code: ErasureCode,
+    forms: Sequence[str] = PAPER_FORMS,
+    config: ExperimentConfig | None = None,
+) -> dict[str, DegradedReadResult]:
+    """Degraded-read results for every form of one code, same workload."""
+    return {
+        form: run_degraded_read_experiment(make_placement(form, code), config)
+        for form in forms
+    }

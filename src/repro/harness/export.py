@@ -1,0 +1,87 @@
+"""Result export: serialize figure tables to CSV and JSON.
+
+Lets users regenerate the paper's figures into files they can plot with
+their own tooling (`repro-ecfrm sweep --out results/`), and gives CI a
+stable artifact format for regression-tracking the reproduction.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Callable, Mapping
+
+from .experiment import ExperimentConfig
+from .report import SeriesTable
+
+__all__ = ["table_to_csv", "table_to_json", "export_all_figures", "FIGURE_BUILDERS"]
+
+
+def table_to_csv(table: SeriesTable) -> str:
+    """Render a series table as CSV text (one row per series)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["series", *table.x_labels])
+    for name, values in table.series.items():
+        writer.writerow([name, *[f"{v:.6g}" for v in values]])
+    return buf.getvalue()
+
+
+def table_to_json(table: SeriesTable) -> str:
+    """Render a series table as pretty JSON text."""
+    payload = {
+        "title": table.title,
+        "unit": table.unit,
+        "x_labels": list(table.x_labels),
+        "series": {name: list(values) for name, values in table.series.items()},
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def _builders() -> Mapping[str, Callable[[ExperimentConfig], SeriesTable]]:
+    from .paperfigs import figure8a, figure8b, figure9a, figure9b, figure9c, figure9d
+
+    return {
+        "fig8a": figure8a,
+        "fig8b": figure8b,
+        "fig9a": figure9a,
+        "fig9b": figure9b,
+        "fig9c": figure9c,
+        "fig9d": figure9d,
+    }
+
+
+#: measured-figure ids -> builder, resolved lazily to avoid import cycles.
+FIGURE_BUILDERS = _builders()
+
+
+def export_all_figures(
+    out_dir: str | Path,
+    config: ExperimentConfig | None = None,
+    *,
+    formats: tuple[str, ...] = ("csv", "json"),
+) -> list[Path]:
+    """Regenerate every measured figure into ``out_dir``.
+
+    Returns the list of files written (``fig8a.csv``, ``fig8a.json``, ...).
+    """
+    allowed = {"csv", "json"}
+    if not set(formats) <= allowed:
+        raise ValueError(f"unknown formats {set(formats) - allowed}; known: {allowed}")
+    config = config or ExperimentConfig()
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for name, builder in FIGURE_BUILDERS.items():
+        table = builder(config)
+        if "csv" in formats:
+            path = out / f"{name}.csv"
+            path.write_text(table_to_csv(table))
+            written.append(path)
+        if "json" in formats:
+            path = out / f"{name}.json"
+            path.write_text(table_to_json(table))
+            written.append(path)
+    return written

@@ -1,0 +1,77 @@
+"""Metric aggregation for read experiments.
+
+The paper reports per-configuration *averages* over the workload (normal
+read speed, degraded read cost, degraded read speed) and headline
+*improvement percentages* between forms.  This module provides the summary
+containers and the comparison arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["SampleSummary", "improvement_pct", "summarize"]
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Summary statistics of one metric over a workload."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"mean={self.mean:.4g} std={self.std:.3g} "
+            f"p50={self.p50:.4g} p95={self.p95:.4g} n={self.count}"
+        )
+
+
+def summarize(samples: Sequence[float]) -> SampleSummary:
+    """Build a :class:`SampleSummary` from raw per-trial samples."""
+    if not samples:
+        raise ValueError("cannot summarize an empty sample set")
+    xs = sorted(float(s) for s in samples)
+    n = len(xs)
+    mean = sum(xs) / n
+    variance = sum((x - mean) ** 2 for x in xs) / n
+    return SampleSummary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=xs[0],
+        maximum=xs[-1],
+        p50=_quantile(xs, 0.50),
+        p95=_quantile(xs, 0.95),
+    )
+
+
+def _quantile(sorted_xs: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted samples."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    pos = q * (len(sorted_xs) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return sorted_xs[lo]
+    frac = pos - lo
+    return sorted_xs[lo] * (1 - frac) + sorted_xs[hi] * frac
+
+
+def improvement_pct(new: float, baseline: float) -> float:
+    """Relative improvement of ``new`` over ``baseline`` in percent.
+
+    Positive means ``new`` is higher; this is the paper's headline number
+    format ("EC-FRM-RS gains 19.2% to 33.9% higher read speed").
+    """
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return (new / baseline - 1.0) * 100.0

@@ -1,0 +1,92 @@
+"""Regression guard: compare fresh results against committed baselines.
+
+``results/`` holds the full-scale CSV/JSON artifacts of Figures 8-9.
+This module re-runs any figure and diffs it against the stored baseline
+within a tolerance, so CI catches accidental changes to the simulator,
+planners, or workloads (same seed -> deterministic expectations; the
+tolerance absorbs only intentional trial-count differences).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .experiment import ExperimentConfig
+from .export import FIGURE_BUILDERS
+from .report import SeriesTable
+
+__all__ = ["RegressionReport", "load_baseline", "check_figure", "check_all_figures"]
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """Outcome of one figure's baseline comparison."""
+
+    figure: str
+    max_rel_error: float
+    worst_cell: tuple[str, str] | None  # (series, x label)
+
+    def within(self, tolerance: float) -> bool:
+        """True if every cell matched within ``tolerance`` (relative)."""
+        return self.max_rel_error <= tolerance
+
+
+def load_baseline(results_dir: str | Path, figure: str) -> SeriesTable:
+    """Load a committed baseline JSON back into a :class:`SeriesTable`."""
+    path = Path(results_dir) / f"{figure}.json"
+    if not path.exists():
+        raise FileNotFoundError(f"no baseline for {figure!r} at {path}")
+    payload = json.loads(path.read_text())
+    table = SeriesTable(
+        title=payload["title"], x_labels=payload["x_labels"], unit=payload["unit"]
+    )
+    for name, values in payload["series"].items():
+        table.add_series(name, values)
+    return table
+
+
+def _diff(fresh: SeriesTable, baseline: SeriesTable, figure: str) -> RegressionReport:
+    if set(fresh.series) != set(baseline.series) or list(fresh.x_labels) != list(
+        baseline.x_labels
+    ):
+        raise ValueError(
+            f"{figure}: series/x-label structure changed vs baseline "
+            f"({sorted(fresh.series)} vs {sorted(baseline.series)})"
+        )
+    worst = 0.0
+    worst_cell = None
+    for name in fresh.series:
+        for x in fresh.x_labels:
+            new = fresh.value(name, x)
+            old = baseline.value(name, x)
+            err = abs(new - old) / abs(old) if old else abs(new)
+            if err > worst:
+                worst = err
+                worst_cell = (name, x)
+    return RegressionReport(figure=figure, max_rel_error=worst, worst_cell=worst_cell)
+
+
+def check_figure(
+    figure: str,
+    results_dir: str | Path = "results",
+    config: ExperimentConfig | None = None,
+) -> RegressionReport:
+    """Regenerate ``figure`` and diff it against the stored baseline."""
+    if figure not in FIGURE_BUILDERS:
+        raise ValueError(f"unknown figure {figure!r}; known: {sorted(FIGURE_BUILDERS)}")
+    baseline = load_baseline(results_dir, figure)
+    fresh = FIGURE_BUILDERS[figure](config or ExperimentConfig())
+    return _diff(fresh, baseline, figure)
+
+
+def check_all_figures(
+    results_dir: str | Path = "results",
+    config: ExperimentConfig | None = None,
+) -> dict[str, RegressionReport]:
+    """Run :func:`check_figure` for every measured figure."""
+    return {
+        figure: check_figure(figure, results_dir, config)
+        for figure in FIGURE_BUILDERS
+    }

@@ -1,0 +1,97 @@
+"""Plain-text rendering of experiment results, paper-style.
+
+The paper's figures are grouped bar charts: one group per code parameter,
+one bar per form.  Terminal-friendly equivalents here: a table with one
+row per form and one column per parameter, plus the headline improvement
+lines the paper's abstract quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from .metrics import improvement_pct
+
+__all__ = ["SeriesTable", "render_improvements", "format_pct_range"]
+
+
+@dataclass
+class SeriesTable:
+    """A figure-shaped result: named series over shared x labels.
+
+    ``series`` maps a series name (form label, e.g. ``"EC-FRM-RS"``) to one
+    value per x label (code parameter, e.g. ``"(6,3)"``).
+    """
+
+    title: str
+    x_labels: Sequence[str]
+    unit: str
+    series: dict[str, list[float]] = field(default_factory=dict)
+
+    def add_series(self, name: str, values: Sequence[float]) -> None:
+        """Add one series; must match the x-label count."""
+        values = [float(v) for v in values]
+        if len(values) != len(self.x_labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(self.x_labels)} x labels"
+            )
+        self.series[name] = values
+
+    def value(self, name: str, x_label: str) -> float:
+        """Look up one cell by series name and x label."""
+        return self.series[name][list(self.x_labels).index(x_label)]
+
+    def render(self, *, precision: int = 1) -> str:
+        """Render as an aligned plain-text table."""
+        name_w = max([len(n) for n in self.series] + [len("series")])
+        cols = [f"{x} [{self.unit}]" for x in self.x_labels]
+        col_w = [
+            max(len(c), *(len(f"{vals[i]:.{precision}f}") for vals in self.series.values()))
+            if self.series
+            else len(c)
+            for i, c in enumerate(cols)
+        ]
+        lines = [self.title]
+        header = "series".ljust(name_w) + " | " + " | ".join(
+            c.rjust(w) for c, w in zip(cols, col_w)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name, vals in self.series.items():
+            cells = " | ".join(
+                f"{v:.{precision}f}".rjust(w) for v, w in zip(vals, col_w)
+            )
+            lines.append(name.ljust(name_w) + " | " + cells)
+        return "\n".join(lines)
+
+
+def format_pct_range(pcts: Sequence[float]) -> str:
+    """Format improvements the way the paper quotes them: ``"19.2% to 33.9%"``."""
+    if not pcts:
+        raise ValueError("no percentages to format")
+    lo, hi = min(pcts), max(pcts)
+    if abs(hi - lo) < 0.05:
+        return f"{lo:.1f}%"
+    return f"{lo:.1f}% to {hi:.1f}%"
+
+
+def render_improvements(
+    table: SeriesTable, subject: str, baselines: Mapping[str, str]
+) -> str:
+    """Headline lines: subject's gain over each baseline across all x labels.
+
+    ``baselines`` maps a series name to the prose label used in the output,
+    e.g. ``{"RS": "standard Reed-Solomon", "R-RS": "rotated Reed-Solomon"}``.
+    """
+    if subject not in table.series:
+        raise ValueError(f"unknown subject series {subject!r}")
+    lines = []
+    for base_name, prose in baselines.items():
+        pcts = [
+            improvement_pct(new, old)
+            for new, old in zip(table.series[subject], table.series[base_name])
+        ]
+        lines.append(f"{subject} vs {prose}: {format_pct_range(pcts)}")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Placement strategies: standard, rotated, and EC-FRM forms.
+
+These are the three "forms" the paper benchmarks for each candidate code
+(§VI: RS / R-RS / EC-FRM-RS and LRC / R-LRC / EC-FRM-LRC).
+"""
+
+from ..codes.base import ErasureCode
+from .base import Address, Placement
+from .frm import FRMPlacement
+from .grid import GridPlacement
+from .rotated import RotatedPlacement
+from .standard import StandardPlacement
+
+__all__ = [
+    "Address",
+    "Placement",
+    "StandardPlacement",
+    "RotatedPlacement",
+    "FRMPlacement",
+    "GridPlacement",
+    "PLACEMENT_FACTORIES",
+    "make_placement",
+]
+
+#: name -> constructor for the three paper forms.
+PLACEMENT_FACTORIES = {
+    "standard": StandardPlacement,
+    "rotated": RotatedPlacement,
+    "ec-frm": FRMPlacement,
+}
+
+
+def make_placement(form: str, code: ErasureCode) -> Placement:
+    """Instantiate a placement by form name (``standard``/``rotated``/``ec-frm``)."""
+    try:
+        factory = PLACEMENT_FACTORIES[form]
+    except KeyError:
+        raise ValueError(
+            f"unknown placement form {form!r}; known: {sorted(PLACEMENT_FACTORIES)}"
+        ) from None
+    return factory(code)

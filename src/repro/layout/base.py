@@ -1,0 +1,140 @@
+"""Placement strategies: mapping code elements onto physical disks.
+
+The paper evaluates each candidate code in three *forms*:
+
+* **standard** — every candidate row occupies one physical row; element
+  ``e`` lives on disk ``e`` (parities on dedicated parity disks);
+* **rotated** — the classic stripe rotation: row ``s`` shifts every element
+  by ``s`` disks, so parity placement rotates RAID-5 style;
+* **EC-FRM** — the paper's framework: elements re-deployed by group
+  structure so data is row-major across *all* disks.
+
+All three share the same logical data model: the byte stream is chopped
+into fixed-size *elements*; logical data element ``t`` belongs to candidate
+row ``t div k`` as its element ``t mod k``.  A placement only decides the
+*physical address* (disk, slot) of each (row, element) pair; that single
+degree of freedom is what produces the paper's entire read-performance
+story.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..codes.base import ErasureCode
+
+__all__ = ["Address", "Placement"]
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """Physical location of one element: ``disk`` index and ``slot`` on it.
+
+    Slots are element-sized and monotone along each disk; adjacent slots
+    are physically contiguous (the simulator charges no seek between them).
+    """
+
+    disk: int
+    slot: int
+
+
+class Placement(ABC):
+    """Maps candidate-code rows onto a disk array.
+
+    Subclasses implement :meth:`locate_row_element`; everything else (data
+    addressing, row lookup) is shared, because all three forms assign data
+    to candidate rows identically — they differ only in physical placement.
+    """
+
+    #: registry-style name, e.g. ``"standard"`` / ``"rotated"`` / ``"ec-frm"``.
+    name: str = "abstract"
+
+    def __init__(self, code: ErasureCode) -> None:
+        self.code = code
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_disks(self) -> int:
+        """Disks in the array — always the candidate's ``n``."""
+        return self.code.n
+
+    @property
+    def k(self) -> int:
+        """Data elements per candidate row."""
+        return self.code.k
+
+    def row_of_data(self, t: int) -> tuple[int, int]:
+        """``(row id, element index)`` of logical data element ``t``.
+
+        Identical across placements: data fills candidate rows in order.
+        """
+        if t < 0:
+            raise ValueError(f"logical data index must be >= 0, got {t}")
+        return divmod(t, self.k)
+
+    # ------------------------------------------------------------------
+    # physical addressing
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def locate_row_element(self, row: int, element: int) -> Address:
+        """Physical address of candidate element ``element`` of row ``row``.
+
+        ``element`` follows the candidate convention: ``< k`` data,
+        ``>= k`` parity.
+        """
+
+    def locate_data(self, t: int) -> Address:
+        """Physical address of logical data element ``t``."""
+        row, e = self.row_of_data(t)
+        return self.locate_row_element(row, e)
+
+    def row_addresses(self, row: int) -> list[Address]:
+        """Addresses of all ``n`` elements of a row, candidate order."""
+        return [self.locate_row_element(row, e) for e in range(self.code.n)]
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def data_disks_used(self, start: int, count: int) -> dict[int, int]:
+        """Per-disk access histogram of a contiguous normal read.
+
+        The paper's Figure 3 / Figure 7(a) quantity: how many element reads
+        each disk must serve for a read of ``count`` elements at ``start``.
+        """
+        loads: dict[int, int] = {}
+        for t in range(start, start + count):
+            d = self.locate_data(t).disk
+            loads[d] = loads.get(d, 0) + 1
+        return loads
+
+    def max_disk_load(self, start: int, count: int) -> int:
+        """Load on the most-loaded disk for a contiguous normal read."""
+        loads = self.data_disks_used(start, count)
+        return max(loads.values()) if loads else 0
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        return f"{self.name}[{self.code.describe()}] on {self.num_disks} disks"
+
+    def verify_bijective(self, rows: int) -> None:
+        """Assert no two elements of the first ``rows`` rows share an address.
+
+        A placement that double-books a physical slot is corrupt; property
+        tests call this for each concrete placement.
+        """
+        seen: dict[Address, tuple[int, int]] = {}
+        for row in range(rows):
+            for e in range(self.code.n):
+                addr = self.locate_row_element(row, e)
+                if not 0 <= addr.disk < self.num_disks:
+                    raise AssertionError(f"row {row} element {e} on bad disk {addr.disk}")
+                if addr.slot < 0:
+                    raise AssertionError(f"row {row} element {e} at negative slot")
+                if addr in seen:
+                    raise AssertionError(
+                        f"address {addr} claimed by {seen[addr]} and {(row, e)}"
+                    )
+                seen[addr] = (row, e)

@@ -1,0 +1,51 @@
+"""Placement adapter for grid (vertical / RAID-6 array) codes.
+
+Lets X-Code, WEAVER, RDP and EVENODD run through the same read engine as
+the candidate codes, completing the paper's §III comparison with numbers:
+vertical codes spread normal reads like EC-FRM does, but pay their
+overhead/flexibility costs elsewhere.
+
+A grid code's whole ``rows x disks`` grid is one *stripe*; logical data
+fills the grid's data slots row-major (which round-robins consecutive
+elements across all disks).  In :class:`~repro.layout.base.Placement`
+terms the stripe is one "row" with ``k`` data elements, so the shared
+``row_of_data`` bookkeeping applies unchanged.
+
+Because a stripe places *several* elements per disk, the single-failure
+degraded planner's one-loss-per-row invariant does not hold here; use
+:func:`repro.engine.plan_degraded_read_multi`, which handles any number
+of losses per row (see ``benchmarks/bench_vertical_read_path.py``).
+"""
+
+from __future__ import annotations
+
+from ..codes.vertical import VerticalCode
+from .base import Address, Placement
+
+__all__ = ["GridPlacement"]
+
+
+class GridPlacement(Placement):
+    """Physical placement of a grid code: stripes stacked vertically."""
+
+    name = "grid"
+
+    def __init__(self, code: VerticalCode) -> None:
+        if not isinstance(code, VerticalCode):
+            raise TypeError(
+                f"GridPlacement requires a grid code, got {type(code).__name__}"
+            )
+        super().__init__(code)
+
+    @property
+    def num_disks(self) -> int:
+        """Grid codes' disk count is the grid width, not ``n`` elements."""
+        return self.code.disks
+
+    def locate_row_element(self, row: int, element: int) -> Address:
+        if row < 0:
+            raise ValueError(f"row must be >= 0, got {row}")
+        if not 0 <= element < self.code.n:
+            raise ValueError(f"element {element} out of range for n={self.code.n}")
+        r, c = self.code.grid_position(element)
+        return Address(disk=c, slot=row * self.code.rows + r)

@@ -1,0 +1,26 @@
+"""Standard (conventional) horizontal placement — paper Figure 3(a).
+
+Candidate row ``s`` occupies physical row ``s``: element ``e`` sits on disk
+``e`` at slot ``s``.  Data always lives on disks ``0..k-1`` and parity on
+the dedicated disks ``k..n-1`` — which is exactly why normal reads can use
+only ``k`` of the ``n`` spindles, the deficiency EC-FRM attacks.
+"""
+
+from __future__ import annotations
+
+from .base import Address, Placement
+
+__all__ = ["StandardPlacement"]
+
+
+class StandardPlacement(Placement):
+    """Dedicated-parity-disk placement (the codes' textbook layout)."""
+
+    name = "standard"
+
+    def locate_row_element(self, row: int, element: int) -> Address:
+        if row < 0:
+            raise ValueError(f"row must be >= 0, got {row}")
+        if not 0 <= element < self.code.n:
+            raise ValueError(f"element {element} out of range for n={self.code.n}")
+        return Address(disk=element, slot=row)

@@ -1,0 +1,22 @@
+"""Single-failure recovery optimization (paper §II-D's second metric).
+
+* :mod:`repro.recovery.single` — minimum-I/O single-disk rebuild plans
+  for XOR array codes, reproducing the hybrid row/diagonal recovery of
+  Xiang et al. (SIGMETRICS'10) that the paper cites.
+"""
+
+from .single import (
+    RecoveryPlan,
+    conventional_recovery_plan,
+    greedy_recovery_plan,
+    optimal_recovery_plan,
+    recovery_equations,
+)
+
+__all__ = [
+    "RecoveryPlan",
+    "recovery_equations",
+    "conventional_recovery_plan",
+    "optimal_recovery_plan",
+    "greedy_recovery_plan",
+]

@@ -1,0 +1,192 @@
+"""Single-disk recovery I/O minimization for XOR array codes.
+
+The EC-FRM paper names two crucial metrics (§II-D): degraded reads — its
+own subject — and *recovery from single failures*, citing Xiang et al.
+(SIGMETRICS'10): recovering a failed RDP disk with a hybrid of row and
+diagonal parity chains reads up to ~25% fewer blocks than the
+conventional single-chain recovery, because chains chosen to overlap
+share fetched blocks.  This module reproduces that optimization for any
+0/1-coefficient grid code in the library (RDP, EVENODD, X-Code, WEAVER).
+
+Model: each parity element defines one XOR *equation* (the parity plus
+its data support).  A lost element is recoverable from any equation that
+contains it and no other lost element.  A recovery plan picks one
+equation per lost element; its cost is the number of *distinct* surviving
+blocks fetched — overlapping equations amortize reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from ..codes.vertical import VerticalCode
+
+__all__ = ["RecoveryPlan", "recovery_equations", "conventional_recovery_plan",
+           "optimal_recovery_plan", "greedy_recovery_plan"]
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """A concrete single-disk recovery schedule.
+
+    Attributes
+    ----------
+    failed_disk:
+        The disk being rebuilt.
+    choices:
+        For each lost element, the helper set chosen (surviving element
+        indices whose XOR rebuilds it).
+    blocks_read:
+        Union of all helper sets — the distinct surviving elements
+        fetched from disks.
+    """
+
+    failed_disk: int
+    choices: dict[int, frozenset[int]]
+    blocks_read: frozenset[int]
+
+    @property
+    def io_count(self) -> int:
+        """Number of distinct element reads the rebuild performs."""
+        return len(self.blocks_read)
+
+    def per_disk_loads(self, code: VerticalCode) -> dict[int, int]:
+        """Reads per surviving disk under this plan."""
+        loads: dict[int, int] = {}
+        for e in self.blocks_read:
+            d = code.disk_of_element(e)
+            loads[d] = loads.get(d, 0) + 1
+        return loads
+
+
+def recovery_equations(code: VerticalCode) -> list[frozenset[int]]:
+    """The code's XOR equations in *element space*.
+
+    Codes may declare their natural structural equations via an
+    ``xor_equations()`` method (RDP's diagonal equations reference the
+    row-parity *element*, which is what makes hybrid recovery cheap);
+    otherwise one equation per parity element is derived from the
+    generator: {parity index} | {data support}.  Requires 0/1
+    coefficients (XOR codes); raises for general GF coefficients.
+    """
+    declared = getattr(code, "xor_equations", None)
+    if declared is not None:
+        return [frozenset(eq) for eq in declared()]
+    gen = code.generator
+    if not set(np.unique(gen)) <= {0, 1}:
+        raise ValueError(
+            f"{code.describe()} has non-binary coefficients; equation-based "
+            "recovery applies to XOR codes only"
+        )
+    equations = []
+    for q in range(code.k, code.n):
+        support = frozenset(int(j) for j in np.nonzero(gen[q])[0])
+        equations.append(support | {q})
+    return equations
+
+
+def _candidates_per_lost(
+    code: VerticalCode, lost: list[int]
+) -> dict[int, list[frozenset[int]]]:
+    lost_set = set(lost)
+    equations = recovery_equations(code)
+    candidates: dict[int, list[frozenset[int]]] = {e: [] for e in lost}
+    for eq in equations:
+        hit = eq & lost_set
+        if len(hit) == 1:
+            e = next(iter(hit))
+            candidates[e].append(eq - {e})
+    for e, options in candidates.items():
+        if not options:
+            raise ValueError(
+                f"element {e} has no single-equation recovery with disk "
+                f"{code.disk_of_element(e)} down"
+            )
+    return candidates
+
+
+def conventional_recovery_plan(code: VerticalCode, failed_disk: int) -> RecoveryPlan:
+    """Baseline: each lost element repaired by its *first* equation.
+
+    For RDP/EVENODD this is the classic all-row-parity rebuild for data
+    disks (the equations are emitted row-parity first), matching the
+    conventional scheme Xiang et al. improve on.
+    """
+    lost = code.elements_on_disk(failed_disk)
+    candidates = _candidates_per_lost(code, lost)
+    choices = {e: candidates[e][0] for e in lost}
+    blocks = frozenset().union(*choices.values()) if choices else frozenset()
+    return RecoveryPlan(failed_disk=failed_disk, choices=choices, blocks_read=blocks)
+
+
+def optimal_recovery_plan(
+    code: VerticalCode, failed_disk: int, *, exhaustive_limit: int = 1 << 14
+) -> RecoveryPlan:
+    """Minimum-I/O recovery plan.
+
+    Exhaustively searches the cross-product of per-element equation
+    choices when it fits in ``exhaustive_limit`` combinations, otherwise
+    falls back to :func:`greedy_recovery_plan` with hill-climbing.
+    """
+    lost = code.elements_on_disk(failed_disk)
+    candidates = _candidates_per_lost(code, lost)
+    combos = 1
+    for options in candidates.values():
+        combos *= len(options)
+        if combos > exhaustive_limit:
+            return greedy_recovery_plan(code, failed_disk)
+
+    best_choices = None
+    best_cost = None
+    keys = list(candidates)
+    for picks in product(*(candidates[e] for e in keys)):
+        blocks = frozenset().union(*picks)
+        if best_cost is None or len(blocks) < best_cost:
+            best_cost = len(blocks)
+            best_choices = dict(zip(keys, picks))
+    assert best_choices is not None
+    return RecoveryPlan(
+        failed_disk=failed_disk,
+        choices=best_choices,
+        blocks_read=frozenset().union(*best_choices.values()),
+    )
+
+
+def greedy_recovery_plan(code: VerticalCode, failed_disk: int) -> RecoveryPlan:
+    """Greedy + hill-climbing approximation of the optimal plan.
+
+    Start from the conventional plan, then repeatedly re-choose the single
+    element whose switch most reduces the distinct-block count, until no
+    switch helps.  Matches the exhaustive optimum on every RDP/EVENODD
+    instance small enough to verify (see tests).
+    """
+    lost = code.elements_on_disk(failed_disk)
+    candidates = _candidates_per_lost(code, lost)
+    choices = {e: candidates[e][0] for e in lost}
+
+    def cost(ch: dict[int, frozenset[int]]) -> int:
+        return len(frozenset().union(*ch.values())) if ch else 0
+
+    current = cost(choices)
+    improved = True
+    while improved:
+        improved = False
+        for e in lost:
+            for option in candidates[e]:
+                if option == choices[e]:
+                    continue
+                trial = dict(choices)
+                trial[e] = option
+                c = cost(trial)
+                if c < current:
+                    choices = trial
+                    current = c
+                    improved = True
+    return RecoveryPlan(
+        failed_disk=failed_disk,
+        choices=choices,
+        blocks_read=frozenset().union(*choices.values()),
+    )

@@ -1,0 +1,10 @@
+"""Reliability modelling: MTTDL from fault tolerance and rebuild speed.
+
+Connects the read/rebuild performance results to the paper's opening
+claim — erasure-coded reliability — via a birth-death Markov model and a
+cross-validating Monte Carlo simulation.
+"""
+
+from .mttdl import ReliabilityParams, mttdl_markov, mttdl_monte_carlo, rebuild_hours
+
+__all__ = ["ReliabilityParams", "mttdl_markov", "mttdl_monte_carlo", "rebuild_hours"]

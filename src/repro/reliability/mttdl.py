@@ -1,0 +1,166 @@
+"""Reliability modelling: mean time to data loss (MTTDL).
+
+Closes the loop the paper opens with "erasure codes achieve both high
+reliability and low storage overhead" (§I): given a code's fault
+tolerance and — crucially — how fast a failed disk is *rebuilt*, what is
+the array's expected time to data loss?  Faster rebuild shrinks the
+window in which additional failures accumulate, so the rebuild speedups
+measured by :mod:`repro.engine.rebuild` (LRC's local repair, EC-FRM's
+all-spindle spread) translate directly into reliability.
+
+Two independent implementations, cross-validated in tests:
+
+* :func:`mttdl_markov` — exact first-step analysis of the birth-death
+  chain (states = failed-disk count, absorbing past the tolerance);
+* :func:`mttdl_monte_carlo` — event-driven simulation of the same chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ReliabilityParams", "mttdl_markov", "mttdl_monte_carlo", "rebuild_hours"]
+
+
+@dataclass(frozen=True)
+class ReliabilityParams:
+    """Birth-death reliability model of one array.
+
+    Parameters
+    ----------
+    num_disks:
+        Spindles in the array.
+    fault_tolerance:
+        Maximum concurrent failures survived; one more loses data.
+    disk_mttf_hours:
+        Per-disk mean time to failure (exponential lifetimes).
+    rebuild_hours:
+        Time to rebuild one failed disk onto a replacement.
+    parallel_repair:
+        If True, ``i`` failed disks rebuild concurrently (rate ``i/T``);
+        otherwise one at a time (rate ``1/T``).
+    """
+
+    num_disks: int
+    fault_tolerance: int
+    disk_mttf_hours: float
+    rebuild_hours: float
+    parallel_repair: bool = False
+    #: probability that a rebuild at the *critical* state (all tolerance
+    #: spent) hits a latent sector error it cannot correct — the failure
+    #: class behind the paper's SD/STAIR citations (§II-B).  0 disables.
+    lse_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_disks <= 0:
+            raise ValueError("need at least one disk")
+        if not 0 < self.fault_tolerance < self.num_disks:
+            raise ValueError(
+                f"fault tolerance must be in (0, {self.num_disks}), got "
+                f"{self.fault_tolerance}"
+            )
+        if self.disk_mttf_hours <= 0 or self.rebuild_hours <= 0:
+            raise ValueError("MTTF and rebuild time must be positive")
+        if not 0.0 <= self.lse_prob < 1.0:
+            raise ValueError(f"lse_prob must be in [0, 1), got {self.lse_prob}")
+
+    def failure_rate(self, failed: int) -> float:
+        """Rate of transitions *toward* data loss with ``failed`` disks down.
+
+        At the critical state (``failed == fault_tolerance``) a rebuild
+        that trips a latent sector error also loses data, so a ``lse_prob``
+        fraction of the repair rate is redirected into the loss rate.
+        """
+        rate = (self.num_disks - failed) / self.disk_mttf_hours
+        if failed == self.fault_tolerance and self.lse_prob > 0.0:
+            rate += self.lse_prob * self._raw_repair_rate(failed)
+        return rate
+
+    def _raw_repair_rate(self, failed: int) -> float:
+        if failed == 0:
+            return 0.0
+        concurrent = failed if self.parallel_repair else 1
+        return concurrent / self.rebuild_hours
+
+    def repair_rate(self, failed: int) -> float:
+        """Rate of *successful* repairs with ``failed`` disks down."""
+        rate = self._raw_repair_rate(failed)
+        if failed == self.fault_tolerance:
+            rate *= 1.0 - self.lse_prob
+        return rate
+
+
+def mttdl_markov(params: ReliabilityParams) -> float:
+    """Exact MTTDL via the birth-death first-passage recurrence.
+
+    Let ``h_i`` be the expected time to move from state ``i`` (failed
+    disks) to ``i+1`` for the first time::
+
+        h_0 = 1 / lambda_0
+        h_i = 1/lambda_i + (mu_i / lambda_i) * h_{i-1}
+
+    Absorption (data loss) happens past state ``f``, so
+    ``MTTDL = sum(h_0 .. h_f)``.  All terms are positive, so the
+    recurrence is numerically stable even at realistic cloud parameters
+    where the naive linear-system formulation loses 20+ digits to
+    cancellation.
+    """
+    total = 0.0
+    h_prev = 0.0
+    for i in range(params.fault_tolerance + 1):
+        lam = params.failure_rate(i)
+        mu = params.repair_rate(i)
+        h = 1.0 / lam + (mu / lam) * h_prev
+        total += h
+        h_prev = h
+    return total
+
+
+def mttdl_monte_carlo(
+    params: ReliabilityParams, trials: int = 200, seed: int = 0
+) -> float:
+    """Event-driven estimate of the MTTDL (mean over ``trials`` losses).
+
+    Use accelerated parameters in tests (MTTF within a few orders of the
+    rebuild time); realistic cloud parameters make losses astronomically
+    rare and the walk correspondingly long.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be > 0")
+    rng = np.random.default_rng(seed)
+    f = params.fault_tolerance
+    total = 0.0
+    for _ in range(trials):
+        t = 0.0
+        failed = 0
+        while failed <= f:
+            lam = params.failure_rate(failed)
+            mu = params.repair_rate(failed)
+            rate = lam + mu
+            t += rng.exponential(1.0 / rate)
+            if rng.random() < lam / rate:
+                failed += 1
+            else:
+                failed -= 1
+        total += t
+    return total / trials
+
+
+def rebuild_hours(
+    placement, disk_model, element_size: int, rows: int, *, optimize: bool = True
+) -> float:
+    """Rebuild time of one disk under a placement, in hours.
+
+    Convenience bridge from :mod:`repro.engine.rebuild` to
+    :class:`ReliabilityParams` — averages the rebuild makespan over every
+    possible failed disk.
+    """
+    from ..engine.rebuild import plan_disk_rebuild, rebuild_time_s
+
+    times = []
+    for failed in range(placement.num_disks):
+        plan = plan_disk_rebuild(placement, failed, rows, optimize=optimize)
+        times.append(rebuild_time_s(plan, disk_model, element_size))
+    return sum(times) / len(times) / 3600.0

@@ -1,0 +1,27 @@
+"""Functional storage layer: real bytes through every code and placement.
+
+* :mod:`repro.store.blockstore` — append-only erasure-coded block store
+  with transparent degraded reads and disk rebuild;
+* :mod:`repro.store.objects` — named immutable objects with checksums;
+* :mod:`repro.store.verify` — integrity utilities.
+"""
+
+from .blockstore import BlockStore
+from .objects import ObjectManifest, ObjectStore
+from .scrub import ScrubReport, Scrubber
+from .update import UpdateResult, update_bytes, update_element
+from .verify import ChecksumMismatchError, checksum, verify_checksum
+
+__all__ = [
+    "BlockStore",
+    "ObjectStore",
+    "ObjectManifest",
+    "Scrubber",
+    "ScrubReport",
+    "UpdateResult",
+    "update_element",
+    "update_bytes",
+    "checksum",
+    "verify_checksum",
+    "ChecksumMismatchError",
+]

@@ -1,0 +1,89 @@
+"""A named-object layer over the block store.
+
+Gives the integration tests and examples a realistic cloud-storage
+surface: put/get whole objects by name, with per-object checksums
+verified on every read (normal or degraded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .blockstore import BlockStore
+from .verify import checksum, verify_checksum
+
+__all__ = ["ObjectManifest", "ObjectStore"]
+
+
+@dataclass(frozen=True)
+class ObjectManifest:
+    """Where an object lives and how to verify it."""
+
+    name: str
+    offset: int
+    length: int
+    crc32: int
+
+
+class ObjectStore:
+    """Immutable named objects on top of a :class:`BlockStore`.
+
+    Objects are append-only (cloud blob semantics): a name can be written
+    once; re-putting the same name raises.
+    """
+
+    def __init__(self, blockstore: BlockStore) -> None:
+        self.blocks = blockstore
+        self._manifests: dict[str, ObjectManifest] = {}
+
+    # ------------------------------------------------------------------
+    def put(self, name: str, data: bytes) -> ObjectManifest:
+        """Store ``data`` under ``name``; returns the manifest."""
+        if not name:
+            raise ValueError("object name must be non-empty")
+        if name in self._manifests:
+            raise KeyError(f"object {name!r} already exists (objects are immutable)")
+        if not data:
+            raise ValueError("refusing to store an empty object")
+        offset = self.blocks.append(data)
+        # Objects must be durably readable immediately; pad out the row.
+        self.blocks.flush()
+        manifest = ObjectManifest(
+            name=name, offset=offset, length=len(data), crc32=checksum(data)
+        )
+        self._manifests[name] = manifest
+        return manifest
+
+    def get(self, name: str) -> bytes:
+        """Fetch and verify an object (degrades transparently)."""
+        manifest = self.manifest(name)
+        data = self.blocks.read(manifest.offset, manifest.length)
+        verify_checksum(data, manifest.crc32, context=name)
+        return data
+
+    def get_range(self, name: str, start: int, length: int) -> bytes:
+        """Fetch a byte range of an object (no checksum — partial read)."""
+        manifest = self.manifest(name)
+        if start < 0 or length <= 0 or start + length > manifest.length:
+            raise ValueError(
+                f"range [{start}, {start + length}) outside object of "
+                f"{manifest.length} bytes"
+            )
+        return self.blocks.read(manifest.offset + start, length)
+
+    def manifest(self, name: str) -> ObjectManifest:
+        """Manifest lookup; KeyError for unknown names."""
+        try:
+            return self._manifests[name]
+        except KeyError:
+            raise KeyError(f"no such object {name!r}") from None
+
+    def list_objects(self) -> list[str]:
+        """All object names, in insertion order."""
+        return list(self._manifests)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._manifests
+
+    def __len__(self) -> int:
+        return len(self._manifests)

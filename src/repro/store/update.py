@@ -1,0 +1,129 @@
+"""In-place updates: the write path the paper's append-only model avoids.
+
+The paper's systems buffer appends and encode full stripes (§I), because
+in-place updates pay a read-modify-write penalty on every parity.  This
+module implements that alternative faithfully — linear codes admit *delta
+updates*: if data element ``j`` changes by ``delta = new ^ old``, every
+parity ``q`` changes by ``G[q, j] * delta`` — so the analysis module's
+penalty numbers (:mod:`repro.analysis.updates`) can be measured, not just
+counted.
+
+Provided as a mixin-style helper over :class:`BlockStore` rather than a
+store mode: updates are the exception in cloud stores, and keeping them
+out of the hot read path matches the deployments the paper describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..codes.base import MatrixCode
+from .blockstore import BlockStore
+
+__all__ = ["UpdateResult", "update_element", "update_bytes"]
+
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """Accounting for one in-place update."""
+
+    elements_read: int
+    elements_written: int
+    completion_time_s: float
+
+    @property
+    def io_count(self) -> int:
+        """Total element I/Os (reads + writes)."""
+        return self.elements_read + self.elements_written
+
+
+def update_element(store: BlockStore, t: int, payload: bytes) -> UpdateResult:
+    """Overwrite logical data element ``t`` in place, delta-updating parity.
+
+    Reads the old element and every dependent parity, XORs in the coded
+    delta, writes all of them back.  Requires a healthy array (degraded
+    in-place updates would need full-row re-encoding).
+    """
+    code = store.code
+    if not isinstance(code, MatrixCode):
+        raise TypeError("delta updates require a MatrixCode")
+    if store.array.failed_disks:
+        raise RuntimeError(
+            f"cannot update in place with failed disks {store.array.failed_disks}"
+        )
+    if len(payload) != store.element_size:
+        raise ValueError(
+            f"payload must be exactly {store.element_size} bytes, got {len(payload)}"
+        )
+    if not 0 <= t < store.size_bytes // store.element_size:
+        raise ValueError(f"element {t} is not stored")
+
+    row, j = store.placement.row_of_data(t)
+    addr = store.placement.locate_data(t)
+    disk = store.array[addr.disk]
+
+    old = np.frombuffer(disk.read_slot(addr.slot), dtype=np.uint8)
+    new = np.frombuffer(payload, dtype=np.uint8)
+    delta = old ^ new
+
+    reads: dict[int, list[tuple[int, int]]] = {addr.disk: [(addr.slot, store.element_size)]}
+    writes: dict[int, list[tuple[int, int]]] = {addr.disk: [(addr.slot, store.element_size)]}
+    disk.write_slot(addr.slot, payload)
+    elements_read = 1
+    elements_written = 1
+
+    delta_symbols = code._symbols(delta[np.newaxis, :])[0]
+    for q in range(code.k, code.n):
+        coeff = int(code.generator[q, j])
+        if coeff == 0:
+            continue
+        p_addr = store.placement.locate_row_element(row, q)
+        p_disk = store.array[p_addr.disk]
+        old_parity = np.frombuffer(p_disk.read_slot(p_addr.slot), dtype=np.uint8)
+        parity_symbols = code._symbols(old_parity[np.newaxis, :])[0].copy()
+        code.field.axpy(parity_symbols, coeff, delta_symbols)
+        p_disk.write_slot(p_addr.slot, code._bytes_of(parity_symbols))
+        reads.setdefault(p_addr.disk, []).append((p_addr.slot, store.element_size))
+        writes.setdefault(p_addr.disk, []).append((p_addr.slot, store.element_size))
+        elements_read += 1
+        elements_written += 1
+
+    # Timing: each involved disk does its read then its write; request
+    # completes when the slowest disk finishes both passes.
+    completion = 0.0
+    for d in set(reads) | set(writes):
+        service = store.array.model.service_time_s(
+            reads.get(d, []) + writes.get(d, [])
+        )
+        completion = max(completion, service)
+    return UpdateResult(
+        elements_read=elements_read,
+        elements_written=elements_written,
+        completion_time_s=completion,
+    )
+
+
+def update_bytes(store: BlockStore, offset: int, data: bytes) -> list[UpdateResult]:
+    """Overwrite a byte range in place (element-aligned ranges only).
+
+    Returns one :class:`UpdateResult` per element updated.  Unaligned
+    updates would need read-merge-write of the boundary elements; cloud
+    stores simply don't do that (the paper's append-only argument), so we
+    reject them loudly instead of hiding the cost.
+    """
+    s = store.element_size
+    if offset % s or len(data) % s:
+        raise ValueError(
+            f"in-place updates must be element-aligned ({s} bytes); "
+            "use append() for general writes"
+        )
+    if not data:
+        raise ValueError("empty update")
+    results = []
+    for i in range(len(data) // s):
+        t = offset // s + i
+        results.append(update_element(store, t, data[i * s : (i + 1) * s]))
+    return results

@@ -1,0 +1,26 @@
+"""Checksum utilities for the object layer."""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["checksum", "ChecksumMismatchError", "verify_checksum"]
+
+
+class ChecksumMismatchError(ValueError):
+    """Raised when stored data fails its integrity check on read."""
+
+
+def checksum(data: bytes) -> int:
+    """CRC32 of ``data`` (stable across runs and platforms)."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def verify_checksum(data: bytes, expected: int, *, context: str = "") -> None:
+    """Raise :class:`ChecksumMismatchError` if ``data`` does not match."""
+    actual = checksum(data)
+    if actual != expected:
+        where = f" for {context}" if context else ""
+        raise ChecksumMismatchError(
+            f"checksum mismatch{where}: expected {expected:#010x}, got {actual:#010x}"
+        )

@@ -1,0 +1,23 @@
+"""Workload generators: the paper's random reads plus extension traces."""
+
+from .random_reads import (
+    PAPER_DEGRADED_TRIALS,
+    PAPER_MAX_READ_ELEMENTS,
+    PAPER_NORMAL_TRIALS,
+    DegradedTrial,
+    RandomDegradedWorkload,
+    RandomReadWorkload,
+)
+from .trace import FileSizeWorkload, SequentialScanWorkload, ZipfReadWorkload
+
+__all__ = [
+    "RandomReadWorkload",
+    "RandomDegradedWorkload",
+    "DegradedTrial",
+    "PAPER_NORMAL_TRIALS",
+    "PAPER_DEGRADED_TRIALS",
+    "PAPER_MAX_READ_ELEMENTS",
+    "SequentialScanWorkload",
+    "ZipfReadWorkload",
+    "FileSizeWorkload",
+]

@@ -1,0 +1,134 @@
+"""The paper's random-read workloads (§VI-B, §VI-C).
+
+Normal reads: "randomly generate the start point and the read size, where
+the start point may be an arbitrary data element and the range of read
+size is 1 to 20 data elements" — 2000 trials.
+
+Degraded reads: additionally "the erased disk may be an arbitrary disk" —
+5000 trials.
+
+Workloads are deterministic given a seed, and identical request sequences
+are replayed against every placement form so comparisons are paired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..engine.requests import ReadRequest
+
+__all__ = [
+    "PAPER_NORMAL_TRIALS",
+    "PAPER_DEGRADED_TRIALS",
+    "PAPER_MAX_READ_ELEMENTS",
+    "RandomReadWorkload",
+    "DegradedTrial",
+    "RandomDegradedWorkload",
+]
+
+#: trial counts and read-size bound used by the paper.
+PAPER_NORMAL_TRIALS = 2000
+PAPER_DEGRADED_TRIALS = 5000
+PAPER_MAX_READ_ELEMENTS = 20
+
+
+@dataclass(frozen=True)
+class RandomReadWorkload:
+    """Uniform random contiguous reads over a logical element space.
+
+    Parameters
+    ----------
+    address_space:
+        Number of logical data elements the workload may touch.  Requests
+        are clamped to fit, so every request is fully inside the space.
+    trials:
+        Number of requests generated.
+    min_size / max_size:
+        Read-size bounds in elements (inclusive), paper default 1..20.
+    seed:
+        RNG seed; same seed -> same request sequence.
+    """
+
+    address_space: int
+    trials: int = PAPER_NORMAL_TRIALS
+    min_size: int = 1
+    max_size: int = PAPER_MAX_READ_ELEMENTS
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_size <= self.max_size:
+            raise ValueError(
+                f"need 1 <= min_size <= max_size, got {self.min_size}..{self.max_size}"
+            )
+        if self.address_space < self.max_size:
+            raise ValueError(
+                f"address space {self.address_space} smaller than max read "
+                f"size {self.max_size}"
+            )
+        if self.trials <= 0:
+            raise ValueError(f"trials must be > 0, got {self.trials}")
+
+    def requests(self) -> Iterator[ReadRequest]:
+        """Yield the request sequence."""
+        rng = np.random.default_rng(self.seed)
+        for _ in range(self.trials):
+            size = int(rng.integers(self.min_size, self.max_size + 1))
+            start = int(rng.integers(0, self.address_space - size + 1))
+            yield ReadRequest(start=start, count=size)
+
+    def __iter__(self) -> Iterator[ReadRequest]:
+        return self.requests()
+
+
+@dataclass(frozen=True)
+class DegradedTrial:
+    """One degraded-read trial: a request plus the disk that is down."""
+
+    request: ReadRequest
+    failed_disk: int
+
+
+@dataclass(frozen=True)
+class RandomDegradedWorkload:
+    """Random reads with a uniformly random failed disk per trial.
+
+    The failed disk is resampled every trial, as in the paper ("the
+    erasure disk may be an arbitrary disk").
+    """
+
+    address_space: int
+    num_disks: int
+    trials: int = PAPER_DEGRADED_TRIALS
+    min_size: int = 1
+    max_size: int = PAPER_MAX_READ_ELEMENTS
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_disks <= 1:
+            raise ValueError(f"need at least 2 disks, got {self.num_disks}")
+        if not 1 <= self.min_size <= self.max_size:
+            raise ValueError(
+                f"need 1 <= min_size <= max_size, got {self.min_size}..{self.max_size}"
+            )
+        if self.address_space < self.max_size:
+            raise ValueError(
+                f"address space {self.address_space} smaller than max read "
+                f"size {self.max_size}"
+            )
+        if self.trials <= 0:
+            raise ValueError(f"trials must be > 0, got {self.trials}")
+
+    def trials_iter(self) -> Iterator[DegradedTrial]:
+        """Yield the trial sequence."""
+        rng = np.random.default_rng(self.seed)
+        for _ in range(self.trials):
+            size = int(rng.integers(self.min_size, self.max_size + 1))
+            start = int(rng.integers(0, self.address_space - size + 1))
+            failed = int(rng.integers(0, self.num_disks))
+            yield DegradedTrial(ReadRequest(start=start, count=size), failed)
+
+    def __iter__(self) -> Iterator[DegradedTrial]:
+        return self.trials_iter()

@@ -1,0 +1,124 @@
+"""Extension workloads beyond the paper's uniform-random reads.
+
+The paper motivates multi-element reads with real file sizes ("MP3 files
+... a few megabytes to dozens of megabytes", §III-A); these generators let
+the ablation benches probe that regime directly:
+
+* :class:`SequentialScanWorkload` — a full sequential sweep in fixed-size
+  requests (backup/ingest style);
+* :class:`ZipfReadWorkload` — skewed start points (hot objects);
+* :class:`FileSizeWorkload` — read sizes drawn from a log-normal "file
+  size" distribution, whole files read at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..engine.requests import ReadRequest
+
+__all__ = ["SequentialScanWorkload", "ZipfReadWorkload", "FileSizeWorkload"]
+
+
+@dataclass(frozen=True)
+class SequentialScanWorkload:
+    """Scan the whole address space in contiguous ``request_size`` chunks."""
+
+    address_space: int
+    request_size: int
+
+    def __post_init__(self) -> None:
+        if self.request_size <= 0:
+            raise ValueError(f"request size must be > 0, got {self.request_size}")
+        if self.address_space < self.request_size:
+            raise ValueError("address space smaller than one request")
+
+    def requests(self) -> Iterator[ReadRequest]:
+        """Yield back-to-back requests covering the space once."""
+        start = 0
+        while start + self.request_size <= self.address_space:
+            yield ReadRequest(start=start, count=self.request_size)
+            start += self.request_size
+
+    def __iter__(self) -> Iterator[ReadRequest]:
+        return self.requests()
+
+
+@dataclass(frozen=True)
+class ZipfReadWorkload:
+    """Random reads whose start points follow a Zipf(s) popularity law.
+
+    Start points cluster near the beginning of the space, modelling a hot
+    prefix of objects; sizes stay uniform like the paper's workload.
+    """
+
+    address_space: int
+    trials: int
+    zipf_s: float = 1.2
+    min_size: int = 1
+    max_size: int = 20
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.zipf_s <= 1.0:
+            raise ValueError(f"zipf exponent must be > 1, got {self.zipf_s}")
+        if not 1 <= self.min_size <= self.max_size:
+            raise ValueError("need 1 <= min_size <= max_size")
+        if self.address_space < self.max_size:
+            raise ValueError("address space smaller than max read size")
+        if self.trials <= 0:
+            raise ValueError("trials must be > 0")
+
+    def requests(self) -> Iterator[ReadRequest]:
+        """Yield the skewed request sequence."""
+        rng = np.random.default_rng(self.seed)
+        for _ in range(self.trials):
+            size = int(rng.integers(self.min_size, self.max_size + 1))
+            limit = self.address_space - size
+            start = int(rng.zipf(self.zipf_s)) - 1
+            start = min(start, limit)
+            yield ReadRequest(start=start, count=size)
+
+    def __iter__(self) -> Iterator[ReadRequest]:
+        return self.requests()
+
+
+@dataclass(frozen=True)
+class FileSizeWorkload:
+    """Whole-file reads with log-normal file sizes (in elements).
+
+    Defaults approximate the paper's motivating example: 1 MiB elements and
+    files of a few MiB to a few tens of MiB.
+    """
+
+    address_space: int
+    trials: int
+    median_elements: float = 6.0
+    sigma: float = 0.8
+    max_elements: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.median_elements <= 0 or self.sigma <= 0:
+            raise ValueError("log-normal parameters must be positive")
+        if self.max_elements < 1:
+            raise ValueError("max_elements must be >= 1")
+        if self.address_space < self.max_elements:
+            raise ValueError("address space smaller than max file size")
+        if self.trials <= 0:
+            raise ValueError("trials must be > 0")
+
+    def requests(self) -> Iterator[ReadRequest]:
+        """Yield whole-file read requests."""
+        rng = np.random.default_rng(self.seed)
+        mu = float(np.log(self.median_elements))
+        for _ in range(self.trials):
+            size = int(np.clip(round(rng.lognormal(mu, self.sigma)), 1, self.max_elements))
+            start = int(rng.integers(0, self.address_space - size + 1))
+            yield ReadRequest(start=start, count=size)
+
+    def __iter__(self) -> Iterator[ReadRequest]:
+        return self.requests()

@@ -1,0 +1,54 @@
+"""Tests for write/update cost analysis."""
+
+import pytest
+
+from repro.analysis import (
+    full_stripe_write_cost,
+    mean_update_penalty,
+    update_cost_table,
+    update_penalty,
+)
+from repro.codes import make_lrc, make_rs
+
+
+class TestUpdatePenalty:
+    def test_rs_touches_all_parities(self):
+        """Every RS parity depends on every data element (dense MDS
+        coding block): penalty = 1 + m."""
+        rs = make_rs(6, 3)
+        for j in range(6):
+            assert update_penalty(rs, j) == 1 + 3
+
+    def test_lrc_touches_local_plus_globals(self):
+        """An LRC data update rewrites its local parity and all globals:
+        penalty = 1 + 1 + m."""
+        lrc = make_lrc(6, 2, 2)
+        for j in range(6):
+            assert update_penalty(lrc, j) == 1 + 1 + 2
+
+    def test_parity_index_rejected(self):
+        with pytest.raises(ValueError):
+            update_penalty(make_rs(6, 3), 6)
+
+    def test_mean_penalty(self):
+        assert mean_update_penalty(make_rs(6, 3)) == pytest.approx(4.0)
+        assert mean_update_penalty(make_lrc(10, 2, 4)) == pytest.approx(6.0)
+
+
+class TestFullStripeCost:
+    def test_is_storage_overhead(self, paper_code):
+        assert full_stripe_write_cost(paper_code) == paper_code.storage_overhead
+
+    def test_paper_argument_quantified(self):
+        """§II-D: full-stripe writes cost far less per element than
+        in-place updates for every tested code."""
+        for code in (make_rs(6, 3), make_rs(10, 5), make_lrc(6, 2, 2), make_lrc(10, 2, 4)):
+            assert full_stripe_write_cost(code) < mean_update_penalty(code)
+
+
+class TestTable:
+    def test_table_shape(self):
+        table = update_cost_table([make_rs(6, 3), make_lrc(6, 2, 2)])
+        assert set(table) == {"RS(6,3)", "LRC(6,2,2)"}
+        upd, full = table["RS(6,3)"]
+        assert upd == 4.0 and full == 1.5

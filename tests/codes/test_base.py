@@ -1,0 +1,158 @@
+"""Tests for the MatrixCode machinery shared by all codes."""
+
+import numpy as np
+import pytest
+
+from repro.codes import DecodeFailure, MatrixCode, make_rs
+from repro.gf import GF8
+from repro.gf.matrix import identity
+
+
+def tiny_code():
+    """A hand-built (4,2) systematic code: p0 = d0+d1, p1 = d0 + 2*d1."""
+    gen = np.array([[1, 0], [0, 1], [1, 1], [1, 2]], dtype=np.uint8)
+    return MatrixCode(gen, GF8)
+
+
+class TestConstruction:
+    def test_geometry(self):
+        c = tiny_code()
+        assert (c.k, c.n, c.num_parity) == (2, 4, 2)
+        assert c.storage_overhead == 2.0
+        assert c.is_data(0) and c.is_data(1)
+        assert c.is_parity(2) and c.is_parity(3)
+
+    def test_generator_readonly(self):
+        c = tiny_code()
+        with pytest.raises(ValueError):
+            c.generator[0, 0] = 9
+
+    def test_identity_block_required(self):
+        gen = np.array([[0, 1], [1, 0], [1, 1]], dtype=np.uint8)
+        with pytest.raises(ValueError):
+            MatrixCode(gen, GF8)
+
+    def test_more_rows_than_cols_required(self):
+        with pytest.raises(ValueError):
+            MatrixCode(identity(GF8, 3), GF8)
+
+    def test_fault_tolerance_computed(self):
+        assert tiny_code().fault_tolerance == 2  # it's MDS: 1,1 / 1,2 block
+        assert tiny_code().is_mds
+
+
+class TestEncode:
+    def test_known_parity(self):
+        c = tiny_code()
+        data = np.array([[3], [5]], dtype=np.uint8)
+        parity = c.encode(data)
+        assert int(parity[0, 0]) == 3 ^ 5
+        assert int(parity[1, 0]) == 3 ^ GF8.mul(2, 5)
+
+    def test_wide_payload(self, rng):
+        c = tiny_code()
+        data = rng.integers(0, 256, size=(2, 100), dtype=np.uint8)
+        parity = c.encode(data)
+        assert parity.shape == (2, 100)
+        # column independence: each byte column encodes separately
+        col7 = c.encode(data[:, 7:8])
+        assert np.array_equal(parity[:, 7:8], col7)
+
+    def test_wrong_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            tiny_code().encode(rng.integers(0, 256, size=(3, 4), dtype=np.uint8))
+
+    def test_verify_codeword(self, rng):
+        c = tiny_code()
+        data = rng.integers(0, 256, size=(2, 8), dtype=np.uint8)
+        full = np.vstack([data, c.encode(data)])
+        assert c.verify_codeword(full)
+        full[0, 0] ^= 1
+        assert not c.verify_codeword(full)
+
+
+class TestDecode:
+    @pytest.fixture
+    def codeword(self, rng):
+        c = tiny_code()
+        data = rng.integers(0, 256, size=(2, 16), dtype=np.uint8)
+        return c, np.vstack([data, c.encode(data)])
+
+    @pytest.mark.parametrize("erased", [[0], [1], [2], [3], [0, 1], [0, 2], [1, 3], [2, 3], [0, 3]])
+    def test_all_tolerable_patterns(self, codeword, erased):
+        c, full = codeword
+        available = {i: full[i] for i in range(4) if i not in erased}
+        out = c.decode(available, erased, 16)
+        for e in erased:
+            assert np.array_equal(out[e], full[e]), e
+
+    def test_too_many_erasures(self, codeword):
+        c, full = codeword
+        with pytest.raises(DecodeFailure):
+            c.decode({3: full[3]}, [0, 1, 2], 16)
+
+    def test_available_and_erased_overlap_rejected(self, codeword):
+        c, full = codeword
+        with pytest.raises(ValueError):
+            c.decode({0: full[0]}, [0], 16)
+
+    def test_subset_of_survivors_suffices(self, codeword):
+        c, full = codeword
+        # decode d0 from just d1 and p0
+        out = c.decode({1: full[1], 2: full[2]}, [0], 16)
+        assert np.array_equal(out[0], full[0])
+
+    def test_parity_rebuild_requires_all_data(self, codeword):
+        c, full = codeword
+        with pytest.raises(DecodeFailure):
+            # p1 erased but d1 neither available nor erased
+            c.decode({0: full[0]}, [3], 16)
+
+    def test_decode_empty_erasure_list(self, codeword):
+        c, full = codeword
+        assert c.decode({0: full[0]}, [], 16) == {}
+
+
+class TestCanDecode:
+    def test_within_tolerance(self):
+        c = tiny_code()
+        assert c.can_decode([])
+        assert c.can_decode([0, 3])
+        assert not c.can_decode([0, 1, 2])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_code().can_decode([4])
+
+
+class TestRepairPlan:
+    def test_plan_size_k(self):
+        c = tiny_code()
+        for lost in range(4):
+            plan = c.repair_plan(lost)
+            assert len(plan) == 2
+            assert lost not in plan
+
+    def test_prefers_have(self):
+        c = make_rs(6, 3)
+        have = frozenset({7, 8})
+        plan = c.repair_plan(0, have)
+        assert have <= plan
+
+    def test_repair_io_count(self):
+        assert tiny_code().repair_io_count(0) == 2
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            tiny_code().repair_plan(9)
+
+
+class TestElementEquation:
+    def test_rows(self):
+        c = tiny_code()
+        assert list(c.element_equation(0)) == [1, 0]
+        assert list(c.element_equation(3)) == [1, 2]
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            tiny_code().element_equation(4)

@@ -1,0 +1,125 @@
+"""Tests for Cauchy Reed-Solomon and its bitmatrix expansion."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.codes import CauchyReedSolomonCode, make_cauchy_rs
+
+
+class TestConstruction:
+    def test_geometry(self):
+        crs = make_cauchy_rs(4, 2)
+        assert (crs.k, crs.m, crs.n) == (4, 2, 6)
+        assert crs.describe() == "CRS(4,2)"
+
+    def test_default_points(self):
+        crs = make_cauchy_rs(4, 2)
+        assert crs.x_points == (0, 1)
+        assert crs.y_points == (2, 3, 4, 5)
+
+    def test_custom_points(self):
+        crs = CauchyReedSolomonCode(3, 2, x_points=(10, 20), y_points=(1, 2, 3))
+        assert crs.fault_tolerance == 2
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CauchyReedSolomonCode(0, 2)
+        with pytest.raises(ValueError):
+            CauchyReedSolomonCode(200, 60)
+
+    def test_mds(self):
+        crs = make_cauchy_rs(4, 3)
+        for f in range(1, 4):
+            for pattern in combinations(range(crs.n), f):
+                assert crs.can_decode(pattern)
+
+
+class TestRoundTrip:
+    def test_all_double_failures(self, rng):
+        crs = make_cauchy_rs(5, 2)
+        data = rng.integers(0, 256, size=(5, 16), dtype=np.uint8)
+        full = np.vstack([data, crs.encode(data)])
+        for erased in combinations(range(crs.n), 2):
+            available = {i: full[i] for i in range(crs.n) if i not in erased}
+            out = crs.decode(available, list(erased), 16)
+            for e in erased:
+                assert np.array_equal(out[e], full[e])
+
+    def test_repair_plan_size(self):
+        crs = make_cauchy_rs(6, 3)
+        for lost in range(crs.n):
+            assert len(crs.repair_plan(lost)) == crs.k
+
+
+class TestBitmatrix:
+    def test_shape(self):
+        crs = make_cauchy_rs(3, 2)
+        bm = crs.bitmatrix()
+        assert bm.shape == (2 * 8, 3 * 8)
+        assert set(np.unique(bm)) <= {0, 1}
+
+    def test_bitmatrix_encoding_matches_field_encoding(self, rng):
+        """The XOR schedule implied by the bitmatrix must produce the same
+        parity bytes as the GF(2^8) field encoder — per-bit simulation."""
+        crs = make_cauchy_rs(3, 2)
+        bm = crs.bitmatrix()
+        data = rng.integers(0, 256, size=(3, 1), dtype=np.uint8)
+        parity = crs.encode(data)
+
+        # expand data bytes to bits (LSB first within each element)
+        data_bits = np.zeros(3 * 8, dtype=np.uint8)
+        for i in range(3):
+            for b in range(8):
+                data_bits[i * 8 + b] = (int(data[i, 0]) >> b) & 1
+        parity_bits = (bm @ data_bits) % 2
+        for r in range(2):
+            value = 0
+            for b in range(8):
+                value |= int(parity_bits[r * 8 + b]) << b
+            assert value == int(parity[r, 0])
+
+    def test_xor_count_positive(self):
+        crs = make_cauchy_rs(4, 2)
+        ones = int(crs.bitmatrix().sum())
+        assert crs.xor_count() == ones - 2 * 8
+        assert crs.xor_count() > 0
+
+
+class TestOptimizedCauchy:
+    def test_xor_count_improves(self):
+        for k, m in [(4, 2), (6, 3)]:
+            base = CauchyReedSolomonCode(k, m)
+            good = CauchyReedSolomonCode.optimized(k, m)
+            assert good.xor_count() < base.xor_count()
+
+    def test_optimized_still_mds(self, rng):
+        good = CauchyReedSolomonCode.optimized(4, 2)
+        data = rng.integers(0, 256, size=(4, 8), dtype=np.uint8)
+        full = np.vstack([data, good.encode(data)])
+        for erased in combinations(range(6), 2):
+            available = {i: full[i] for i in range(6) if i not in erased}
+            out = good.decode(available, list(erased), 8)
+            for e in erased:
+                assert np.array_equal(out[e], full[e]), erased
+
+    def test_optimized_bitmatrix_still_encodes(self, rng):
+        good = CauchyReedSolomonCode.optimized(3, 2)
+        bm = good.bitmatrix()
+        data = rng.integers(0, 256, size=(3, 1), dtype=np.uint8)
+        parity = good.encode(data)
+        data_bits = np.zeros(24, dtype=np.uint8)
+        for i in range(3):
+            for b in range(8):
+                data_bits[i * 8 + b] = (int(data[i, 0]) >> b) & 1
+        parity_bits = (bm @ data_bits) % 2
+        for r in range(2):
+            value = sum(int(parity_bits[r * 8 + b]) << b for b in range(8))
+            assert value == int(parity[r, 0])
+
+    def test_metadata_carried(self):
+        good = CauchyReedSolomonCode.optimized(5, 2)
+        assert good.m == 2
+        assert good.k == 5
+        assert good.fault_tolerance == 2

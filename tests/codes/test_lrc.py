@@ -1,0 +1,173 @@
+"""Tests for the Azure-style Local Reconstruction Code."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.codes import DecodeFailure, LocalReconstructionCode, make_lrc
+from repro.gf import GF8
+
+
+class TestConstruction:
+    def test_geometry(self, paper_lrc):
+        lrc = paper_lrc
+        assert lrc.n == lrc.k + lrc.l + lrc.m
+        assert lrc.group_size == lrc.k // lrc.l
+
+    def test_index_helpers(self):
+        lrc = make_lrc(6, 2, 2)
+        assert lrc.local_parity_index(0) == 6
+        assert lrc.local_parity_index(1) == 7
+        assert lrc.global_parity_index(0) == 8
+        assert lrc.global_parity_index(1) == 9
+        assert lrc.is_local_parity(6) and lrc.is_local_parity(7)
+        assert lrc.is_global_parity(8) and lrc.is_global_parity(9)
+        assert not lrc.is_local_parity(8)
+        assert lrc.group_of_data(0) == 0
+        assert lrc.group_of_data(5) == 1
+        assert list(lrc.data_of_group(1)) == [3, 4, 5]
+
+    def test_index_helper_bounds(self):
+        lrc = make_lrc(6, 2, 2)
+        with pytest.raises(ValueError):
+            lrc.local_parity_index(2)
+        with pytest.raises(ValueError):
+            lrc.global_parity_index(2)
+        with pytest.raises(ValueError):
+            lrc.group_of_data(6)
+        with pytest.raises(ValueError):
+            lrc.data_of_group(2)
+
+    def test_l_must_divide_k(self):
+        with pytest.raises(ValueError):
+            LocalReconstructionCode(7, 2, 2)
+
+    def test_duplicate_betas_rejected(self):
+        with pytest.raises(ValueError):
+            LocalReconstructionCode(6, 2, 2, beta_exponents=(0, 0, 1, 2, 3, 4))
+
+    def test_wrong_beta_count_rejected(self):
+        with pytest.raises(ValueError):
+            LocalReconstructionCode(6, 2, 2, beta_exponents=(0, 1))
+
+
+class TestPaperEquations:
+    """The paper's Equations (5)-(8) for the (6,2,2) LRC."""
+
+    def test_local_parities_are_group_xor(self, rng):
+        lrc = make_lrc(6, 2, 2)
+        data = rng.integers(0, 256, size=(6, 32), dtype=np.uint8)
+        parity = lrc.encode(data)
+        # Eq (5): l0 = d0 + d1 + d2; Eq (6): l1 = d3 + d4 + d5
+        assert np.array_equal(parity[0], data[0] ^ data[1] ^ data[2])
+        assert np.array_equal(parity[1], data[3] ^ data[4] ^ data[5])
+
+    def test_global_parity_coefficients_are_beta_powers(self):
+        # Eq (7)/(8): m_t uses coefficient beta_j^(t+1)
+        lrc = make_lrc(6, 2, 2)
+        for t in range(lrc.m):
+            row = lrc.element_equation(lrc.global_parity_index(t))
+            for j, beta in enumerate(lrc.betas):
+                assert int(row[j]) == GF8.pow(beta, t + 1)
+
+    def test_eq12_vandermonde_invertible(self):
+        """The paper's G matrix (Eq 12): [1; b_j; b_j^2] over one group's
+        betas must be invertible — the triple-failure recovery argument."""
+        from repro.gf.matrix import is_invertible
+
+        lrc = make_lrc(6, 2, 2)
+        betas = [lrc.betas[j] for j in lrc.data_of_group(1)]
+        g = np.array(
+            [[1, 1, 1], betas, [GF8.mul(b, b) for b in betas]], dtype=np.uint8
+        )
+        assert is_invertible(GF8, g)
+
+
+class TestFaultTolerance:
+    def test_paper_codes_tolerate_m_plus_1(self, paper_lrc):
+        """The property the paper relies on: (k,l,m) LRC decodes any m+1
+        concurrent failures (e.g. (6,2,2) survives any triple failure)."""
+        assert paper_lrc.fault_tolerance == paper_lrc.m + 1
+
+    def test_some_m_plus_2_patterns_decodable(self):
+        """LRC is not MDS: beyond m+1 some patterns decode, some don't."""
+        lrc = make_lrc(6, 2, 2)
+        patterns = list(combinations(range(lrc.n), 4))
+        decodable = [p for p in patterns if lrc.can_decode(p)]
+        assert decodable and len(decodable) < len(patterns)
+        # e.g. whole-group wipes of 4 cannot decode (3 unknowns in each
+        # group need local+2 globals; 4 data in one group exceeds that)
+        assert not lrc.can_decode([0, 1, 2, 6])
+        # one data element per group plus the two locals should decode
+        assert lrc.can_decode([0, 3, 6, 7])
+
+    def test_decodability_matches_it_oracle(self):
+        """The GF(2^8) default coefficients achieve the generic (maximally
+        recoverable) decodability on every pattern up to l+m failures."""
+        lrc = make_lrc(6, 2, 2)
+        for f in range(1, lrc.l + lrc.m + 1):
+            for pattern in combinations(range(lrc.n), f):
+                ours = lrc.can_decode(pattern)
+                generic = lrc.information_theoretically_decodable(pattern)
+                assert ours == generic, (pattern, ours, generic)
+
+
+class TestRoundTrip:
+    def test_all_triple_failures_roundtrip(self, rng):
+        lrc = make_lrc(6, 2, 2)
+        data = rng.integers(0, 256, size=(6, 16), dtype=np.uint8)
+        full = np.vstack([data, lrc.encode(data)])
+        for erased in combinations(range(lrc.n), 3):
+            available = {i: full[i] for i in range(lrc.n) if i not in erased}
+            out = lrc.decode(available, list(erased), 16)
+            for e in erased:
+                assert np.array_equal(out[e], full[e]), erased
+
+    def test_local_repair_roundtrip(self, paper_lrc, rng):
+        lrc = paper_lrc
+        data = rng.integers(0, 256, size=(lrc.k, 8), dtype=np.uint8)
+        full = np.vstack([data, lrc.encode(data)])
+        for lost in range(lrc.k):
+            helpers = lrc.repair_plan(lost)
+            out = lrc.decode({h: full[h] for h in helpers}, [lost], 8)
+            assert np.array_equal(out[lost], full[lost])
+
+    def test_undecodable_pattern_raises(self, rng):
+        lrc = make_lrc(6, 2, 2)
+        data = rng.integers(0, 256, size=(6, 8), dtype=np.uint8)
+        full = np.vstack([data, lrc.encode(data)])
+        erased = [0, 1, 2, 6]  # whole group + its local parity
+        available = {i: full[i] for i in range(lrc.n) if i not in erased}
+        with pytest.raises(DecodeFailure):
+            lrc.decode(available, erased, 8)
+
+
+class TestRepairPlan:
+    def test_data_repair_uses_local_group_only(self, paper_lrc):
+        lrc = paper_lrc
+        for lost in range(lrc.k):
+            plan = lrc.repair_plan(lost)
+            g = lrc.group_of_data(lost)
+            expected = set(lrc.data_of_group(g)) - {lost}
+            expected.add(lrc.local_parity_index(g))
+            assert plan == frozenset(expected)
+            assert len(plan) == lrc.group_size  # k/l reads, not k
+
+    def test_local_parity_repair(self):
+        lrc = make_lrc(6, 2, 2)
+        assert lrc.repair_plan(6) == frozenset({0, 1, 2})
+        assert lrc.repair_plan(7) == frozenset({3, 4, 5})
+
+    def test_global_parity_repair_needs_all_data(self, paper_lrc):
+        lrc = paper_lrc
+        assert lrc.repair_plan(lrc.global_parity_index(0)) == frozenset(range(lrc.k))
+
+    def test_repair_io_savings_vs_rs(self, paper_lrc):
+        """The LRC selling point: data repair reads k/l, not k."""
+        lrc = paper_lrc
+        assert lrc.repair_io_count(0) == lrc.group_size < lrc.k
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_lrc(6, 2, 2).repair_plan(10)

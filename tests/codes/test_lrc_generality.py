@@ -1,0 +1,77 @@
+"""Tests for LRC beyond the paper's l=2 parameters (Azure uses l up to 14)."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.codes import LocalReconstructionCode
+from repro.frm import FRMCode
+
+
+@pytest.fixture(scope="module")
+def lrc_12_3_2():
+    return LocalReconstructionCode(12, 3, 2)
+
+
+@pytest.fixture(scope="module")
+def lrc_12_4_2():
+    return LocalReconstructionCode(12, 4, 2)
+
+
+class TestManyGroups:
+    def test_geometry(self, lrc_12_3_2, lrc_12_4_2):
+        assert lrc_12_3_2.group_size == 4
+        assert lrc_12_3_2.n == 17
+        assert lrc_12_4_2.group_size == 3
+        assert lrc_12_4_2.n == 18
+
+    def test_group_mapping(self, lrc_12_3_2):
+        assert lrc_12_3_2.group_of_data(0) == 0
+        assert lrc_12_3_2.group_of_data(4) == 1
+        assert lrc_12_3_2.group_of_data(11) == 2
+        assert list(lrc_12_3_2.data_of_group(2)) == [8, 9, 10, 11]
+
+    def test_fault_tolerance_m_plus_1(self, lrc_12_3_2, lrc_12_4_2):
+        """The m+1 guarantee generalises beyond l=2 with the default
+        beta assignment."""
+        assert lrc_12_3_2.fault_tolerance == 3
+        assert lrc_12_4_2.fault_tolerance == 3
+
+    def test_local_repair_size_shrinks_with_l(self, lrc_12_3_2, lrc_12_4_2):
+        assert lrc_12_3_2.repair_io_count(0) == 4
+        assert lrc_12_4_2.repair_io_count(0) == 3
+
+    def test_roundtrip_triple_failures_sampled(self, lrc_12_3_2, rng):
+        lrc = lrc_12_3_2
+        data = rng.integers(0, 256, size=(12, 8), dtype=np.uint8)
+        full = np.vstack([data, lrc.encode(data)])
+        patterns = list(combinations(range(lrc.n), 3))[:: max(1, len(list(combinations(range(lrc.n), 3))) // 120)]
+        for erased in patterns:
+            available = {i: full[i] for i in range(lrc.n) if i not in erased}
+            out = lrc.decode(available, list(erased), 8)
+            for e in erased:
+                assert np.array_equal(out[e], full[e]), erased
+
+    def test_local_parities_per_group(self, lrc_12_4_2, rng):
+        lrc = lrc_12_4_2
+        data = rng.integers(0, 256, size=(12, 16), dtype=np.uint8)
+        parity = lrc.encode(data)
+        for g in range(4):
+            expected = np.zeros(16, dtype=np.uint8)
+            for j in lrc.data_of_group(g):
+                expected ^= data[j]
+            assert np.array_equal(parity[g], expected)
+
+
+class TestFRMComposition:
+    def test_frm_over_l3(self, lrc_12_3_2, rng):
+        """(12,3,2) LRC is a (17,12) candidate: gcd 1, 17x17 stripe."""
+        frm = FRMCode(lrc_12_3_2)
+        g = frm.geometry
+        assert (g.rows, g.n, g.r) == (17, 17, 1)
+        data = rng.integers(0, 256, size=(g.data_elements_per_stripe, 4), dtype=np.uint8)
+        grid = frm.encode_stripe(data)
+        broken = grid.copy()
+        broken[:, [0, 8, 16], :] = 0
+        assert np.array_equal(frm.decode_columns(broken, [0, 8, 16]), grid)

@@ -1,0 +1,180 @@
+"""Tests for the RDP and EVENODD RAID-6 array codes."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.codes import EvenOddCode, RDPCode, make_evenodd, make_rdp
+
+
+class TestRDPConstruction:
+    @pytest.mark.parametrize("p", [3, 5, 7])
+    def test_geometry(self, p):
+        rdp = make_rdp(p)
+        assert rdp.disks == p + 1
+        assert rdp.rows == p - 1
+        assert rdp.k == (p - 1) * (p - 1)
+        assert rdp.num_parity == 2 * (p - 1)
+
+    def test_requires_prime(self):
+        with pytest.raises(ValueError):
+            RDPCode(4)
+        with pytest.raises(ValueError):
+            RDPCode(2)
+
+    @pytest.mark.parametrize("p", [3, 5, 7])
+    def test_tolerates_any_two_disks(self, p):
+        assert make_rdp(p).disk_fault_tolerance == 2
+
+    def test_row_parity_is_row_xor(self, rng):
+        p = 5
+        rdp = make_rdp(p)
+        data = rng.integers(0, 256, size=(rdp.k, 4), dtype=np.uint8)
+        parity = rdp.encode(data)
+        for r in range(p - 1):
+            expected = np.zeros(4, dtype=np.uint8)
+            for c in range(p - 1):
+                expected ^= data[r * (p - 1) + c]
+            assert np.array_equal(parity[r], expected)
+
+    def test_roundtrip_all_double_disk_failures(self, rng):
+        rdp = make_rdp(5)
+        data = rng.integers(0, 256, size=(rdp.k, 8), dtype=np.uint8)
+        full = np.vstack([data, rdp.encode(data)])
+        for disks in combinations(range(rdp.disks), 2):
+            erased = [e for d in disks for e in rdp.elements_on_disk(d)]
+            available = {i: full[i] for i in range(rdp.n) if i not in erased}
+            out = rdp.decode(available, erased, 8)
+            for e in erased:
+                assert np.array_equal(out[e], full[e]), disks
+
+
+class TestRDPEquations:
+    def test_declared_equations_hold_on_codewords(self, rng):
+        """Every element-space equation XORs to zero on a real codeword."""
+        from repro.recovery import recovery_equations
+
+        rdp = make_rdp(7)
+        data = rng.integers(0, 256, size=(rdp.k, 8), dtype=np.uint8)
+        full = np.vstack([data, rdp.encode(data)])
+        eqs = recovery_equations(rdp)
+        assert len(eqs) == 2 * (7 - 1)
+        for eq in eqs:
+            acc = np.zeros(8, dtype=np.uint8)
+            for e in eq:
+                acc ^= full[e]
+            assert not acc.any(), sorted(eq)
+
+    def test_diagonal_equations_reference_row_parity_element(self):
+        rdp = make_rdp(5)
+        eqs = rdp.xor_equations()
+        row_parity = set(range(rdp.k, rdp.k + 4))
+        diag_eqs = eqs[4:]
+        # all but one diagonal equation touches a row-parity element
+        touching = sum(1 for eq in diag_eqs if eq & row_parity)
+        assert touching == len(diag_eqs) - 1
+
+
+class TestEvenOdd:
+    @pytest.mark.parametrize("p", [3, 5, 7])
+    def test_geometry(self, p):
+        eo = make_evenodd(p)
+        assert eo.disks == p + 2
+        assert eo.rows == p - 1
+        assert eo.k == (p - 1) * p
+
+    def test_requires_prime(self):
+        with pytest.raises(ValueError):
+            EvenOddCode(6)
+
+    @pytest.mark.parametrize("p", [3, 5])
+    def test_tolerates_any_two_disks(self, p):
+        assert make_evenodd(p).disk_fault_tolerance == 2
+
+    def test_adjuster_semantics(self, rng):
+        """diagP(i) = S ^ XOR(diagonal i), with S the missing diagonal."""
+        p = 5
+        eo = make_evenodd(p)
+        data = rng.integers(0, 256, size=(eo.k, 4), dtype=np.uint8)
+        parity = eo.encode(data)
+
+        def d(r, c):
+            return data[r * p + c]
+
+        s = np.zeros(4, dtype=np.uint8)
+        for c in range(p):
+            r = (p - 1 - c) % p
+            if r < p - 1:
+                s ^= d(r, c)
+        for i in range(p - 1):
+            expected = s.copy()
+            for c in range(p):
+                r = (i - c) % p
+                if r < p - 1:
+                    expected ^= d(r, c)
+            assert np.array_equal(parity[(p - 1) + i], expected), i
+
+    def test_roundtrip_double_disk_failures(self, rng):
+        eo = make_evenodd(5)
+        data = rng.integers(0, 256, size=(eo.k, 8), dtype=np.uint8)
+        full = np.vstack([data, eo.encode(data)])
+        for disks in combinations(range(eo.disks), 2):
+            erased = [e for d in disks for e in eo.elements_on_disk(d)]
+            available = {i: full[i] for i in range(eo.n) if i not in erased}
+            out = eo.decode(available, erased, 8)
+            for e in erased:
+                assert np.array_equal(out[e], full[e]), disks
+
+    def test_storage_overhead_vs_rdp(self):
+        """EVENODD stores p data disks vs RDP's p-1 at the same p."""
+        assert make_evenodd(5).k > make_rdp(5).k
+
+
+class TestStar:
+    @pytest.mark.parametrize("p", [3, 5])
+    def test_geometry(self, p):
+        from repro.codes import make_star
+
+        st = make_star(p)
+        assert st.disks == p + 3
+        assert st.rows == p - 1
+        assert st.k == (p - 1) * p
+
+    def test_requires_prime(self):
+        from repro.codes import StarCode
+
+        with pytest.raises(ValueError):
+            StarCode(4)
+
+    @pytest.mark.parametrize("p", [3, 5])
+    def test_tolerates_any_three_disks(self, p):
+        from repro.codes import make_star
+
+        assert make_star(p).disk_fault_tolerance == 3
+
+    def test_roundtrip_triple_disk_failures(self, rng):
+        from repro.codes import make_star
+
+        st = make_star(5)
+        data = rng.integers(0, 256, size=(st.k, 4), dtype=np.uint8)
+        full = np.vstack([data, st.encode(data)])
+        # sample triple failures including all-parity and mixed patterns
+        for disks in [(0, 1, 2), (0, 5, 6), (5, 6, 7), (2, 4, 7), (1, 3, 6)]:
+            erased = [e for d in disks for e in st.elements_on_disk(d)]
+            available = {i: full[i] for i in range(st.n) if i not in erased}
+            out = st.decode(available, erased, 4)
+            for e in erased:
+                assert np.array_equal(out[e], full[e]), disks
+
+    def test_first_two_parity_columns_match_evenodd(self, rng):
+        """STAR restricted to its first p+2 disks is exactly EVENODD."""
+        from repro.codes import make_evenodd, make_star
+
+        st, eo = make_star(5), make_evenodd(5)
+        data = rng.integers(0, 256, size=(st.k, 4), dtype=np.uint8)
+        star_parity = st.encode(data)
+        eo_parity = eo.encode(data)
+        rows = 4
+        assert np.array_equal(star_parity[:rows], eo_parity[:rows])        # row parity
+        assert np.array_equal(star_parity[rows:2*rows], eo_parity[rows:])  # diag parity

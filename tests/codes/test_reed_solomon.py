@@ -1,0 +1,124 @@
+"""Tests for the systematic Reed-Solomon code."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.codes import DecodeFailure, ReedSolomonCode, make_rs
+
+
+class TestConstruction:
+    def test_geometry(self, paper_rs):
+        assert paper_rs.n == paper_rs.k + paper_rs.m
+        assert paper_rs.describe() == f"RS({paper_rs.k},{paper_rs.m})"
+
+    def test_mds_fault_tolerance(self, paper_rs):
+        assert paper_rs.fault_tolerance == paper_rs.m
+        assert paper_rs.is_mds
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCode(0, 3)
+        with pytest.raises(ValueError):
+            ReedSolomonCode(6, 0)
+        with pytest.raises(ValueError):
+            ReedSolomonCode(200, 100)
+
+    def test_memoized(self):
+        assert make_rs(6, 3) is make_rs(6, 3)
+
+    def test_exhaustive_mds_check_small(self):
+        """Cross-check the claimed MDS property against the generic search."""
+        rs = ReedSolomonCode(4, 2)
+        for f in range(1, 3):
+            for pattern in combinations(range(rs.n), f):
+                assert rs.can_decode(pattern), pattern
+        # and one beyond tolerance
+        assert not rs.can_decode([0, 1, 2])
+
+
+class TestRoundTrip:
+    def test_encode_decode_every_single_erasure(self, paper_rs, rng):
+        rs = paper_rs
+        data = rng.integers(0, 256, size=(rs.k, 32), dtype=np.uint8)
+        full = np.vstack([data, rs.encode(data)])
+        for lost in range(rs.n):
+            available = {i: full[i] for i in range(rs.n) if i != lost}
+            out = rs.decode(available, [lost], 32)
+            assert np.array_equal(out[lost], full[lost])
+
+    def test_decode_max_erasures(self, paper_rs, rng):
+        rs = paper_rs
+        data = rng.integers(0, 256, size=(rs.k, 16), dtype=np.uint8)
+        full = np.vstack([data, rs.encode(data)])
+        erased = list(range(rs.m))  # first m elements (all data)
+        available = {i: full[i] for i in range(rs.n) if i not in erased}
+        out = rs.decode(available, erased, 16)
+        for e in erased:
+            assert np.array_equal(out[e], full[e])
+
+    def test_beyond_tolerance_fails(self, rng):
+        rs = make_rs(4, 2)
+        data = rng.integers(0, 256, size=(4, 8), dtype=np.uint8)
+        full = np.vstack([data, rs.encode(data)])
+        erased = [0, 1, 2]
+        available = {i: full[i] for i in range(6) if i not in erased}
+        with pytest.raises(DecodeFailure):
+            rs.decode(available, erased, 8)
+
+    def test_repair_from_exactly_k(self, rng):
+        rs = make_rs(6, 3)
+        data = rng.integers(0, 256, size=(6, 8), dtype=np.uint8)
+        full = np.vstack([data, rs.encode(data)])
+        helpers = rs.repair_plan(2)
+        assert len(helpers) == rs.k
+        out = rs.decode({h: full[h] for h in helpers}, [2], 8)
+        assert np.array_equal(out[2], full[2])
+
+    def test_empty_payload_consistency(self):
+        rs = make_rs(4, 2)
+        data = np.zeros((4, 4), dtype=np.uint8)
+        assert not rs.encode(data).any()
+
+
+class TestRepairPlan:
+    def test_size_is_k(self, paper_rs):
+        for lost in range(paper_rs.n):
+            assert len(paper_rs.repair_plan(lost)) == paper_rs.k
+
+    def test_prefers_have_then_data(self):
+        rs = make_rs(6, 3)
+        # nothing held: plan should be all-data (cheapest deterministic)
+        plan = rs.repair_plan(6)
+        assert plan == frozenset(range(6))
+        # holding two parities: they should be used
+        plan2 = rs.repair_plan(0, frozenset({7, 8}))
+        assert {7, 8} <= plan2
+        assert len(plan2) == 6
+
+    def test_never_contains_lost(self, paper_rs):
+        for lost in range(paper_rs.n):
+            assert lost not in paper_rs.repair_plan(lost)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_rs(6, 3).repair_plan(9)
+
+
+class TestGeneratorStability:
+    def test_generator_is_deterministic(self):
+        """Same parameters must always produce the same generator, so
+        stored parities stay decodable across library versions."""
+        a = ReedSolomonCode(6, 3)
+        b = ReedSolomonCode(6, 3)
+        assert np.array_equal(a.generator, b.generator)
+
+    def test_coding_block_has_no_zeros(self, paper_rs):
+        # a zero coefficient would break the MDS property
+        assert np.all(paper_rs.coding_block != 0)
+
+    def test_coding_block_rows_distinct(self, paper_rs):
+        block = paper_rs.coding_block
+        rows = {tuple(int(v) for v in row) for row in block}
+        assert len(rows) == paper_rs.m

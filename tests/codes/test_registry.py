@@ -1,0 +1,69 @@
+"""Tests for code-spec parsing and the factory registry."""
+
+import pytest
+
+from repro.codes import (
+    CauchyReedSolomonCode,
+    LocalReconstructionCode,
+    ReedSolomonCode,
+    parse_code_spec,
+    register_code_factory,
+)
+from repro.codes.registry import CODE_FACTORIES
+
+
+class TestParseSpec:
+    def test_rs(self):
+        code = parse_code_spec("rs-6-3")
+        assert isinstance(code, ReedSolomonCode)
+        assert (code.k, code.m) == (6, 3)
+
+    def test_lrc(self):
+        code = parse_code_spec("lrc-6-2-2")
+        assert isinstance(code, LocalReconstructionCode)
+        assert (code.k, code.l, code.m) == (6, 2, 2)
+
+    def test_dashed_factory_name(self):
+        code = parse_code_spec("cauchy-rs-4-2")
+        assert isinstance(code, CauchyReedSolomonCode)
+        assert (code.k, code.m) == (4, 2)
+
+    def test_case_and_whitespace_insensitive(self):
+        assert parse_code_spec(" RS-6-3 ").k == 6
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown code spec"):
+            parse_code_spec("raptor-4-2")
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError, match="takes 2 parameters"):
+            parse_code_spec("rs-6-3-1")
+        with pytest.raises(ValueError, match="takes 3 parameters"):
+            parse_code_spec("lrc-6-2")
+
+    def test_non_integer_parameter(self):
+        with pytest.raises(ValueError, match="non-integer"):
+            parse_code_spec("rs-6-x")
+
+    def test_bare_name(self):
+        with pytest.raises(ValueError):
+            parse_code_spec("rs")
+
+
+class TestRegister:
+    def test_register_and_parse(self):
+        name = "test-dummy"
+        try:
+            register_code_factory(name, lambda k, m: ReedSolomonCode(k, m), 2)
+            code = parse_code_spec("test-dummy-4-2")
+            assert code.k == 4
+        finally:
+            CODE_FACTORIES.pop(name, None)
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_code_factory("rs", lambda: None, 1)
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(ValueError):
+            register_code_factory("test-zero", lambda: None, 0)

@@ -1,0 +1,92 @@
+"""Tests for GF(2^16) wide-stripe codes (k + m > 256 capable)."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.codes import CauchyReedSolomonCode, ReedSolomonCode
+from repro.frm import FRMCode
+from repro.gf import get_field
+
+GF16 = get_field(16)
+
+
+class TestWideRS:
+    def test_construction_beyond_gf8_limit(self):
+        """k + m = 300 does not fit GF(2^8); GF(2^16) handles it."""
+        with pytest.raises(ValueError):
+            ReedSolomonCode(250, 50)  # GF(2^8) overflow
+        rs = ReedSolomonCode(250, 50, field=GF16)
+        assert rs.n == 300
+
+    def test_roundtrip_small(self, rng):
+        rs = ReedSolomonCode(6, 3, field=GF16)
+        data = rng.integers(0, 256, size=(6, 32), dtype=np.uint8)
+        full = np.vstack([data, rs.encode(data)])
+        for erased in combinations(range(9), 3):
+            available = {i: full[i] for i in range(9) if i not in erased}
+            out = rs.decode(available, list(erased), 32)
+            for e in erased:
+                assert np.array_equal(out[e], full[e]), erased
+
+    def test_roundtrip_wide(self, rng):
+        rs = ReedSolomonCode(40, 10, field=GF16)
+        data = rng.integers(0, 256, size=(40, 16), dtype=np.uint8)
+        full = np.vstack([data, rs.encode(data)])
+        erased = list(range(0, 50, 5))
+        available = {i: full[i] for i in range(50) if i not in erased}
+        out = rs.decode(available, erased, 16)
+        for e in erased:
+            assert np.array_equal(out[e], full[e])
+
+    def test_gf8_and_gf16_differ_but_both_valid(self, rng):
+        """Same parameters, different fields: different codewords, both
+        self-consistent."""
+        a = ReedSolomonCode(4, 2)
+        b = ReedSolomonCode(4, 2, field=GF16)
+        data = rng.integers(0, 256, size=(4, 8), dtype=np.uint8)
+        pa, pb = a.encode(data), b.encode(data)
+        assert pa.shape == pb.shape
+        assert a.verify_codeword(np.vstack([data, pa]))
+        assert b.verify_codeword(np.vstack([data, pb]))
+
+    def test_odd_payload_rejected(self, rng):
+        rs = ReedSolomonCode(4, 2, field=GF16)
+        data = rng.integers(0, 256, size=(4, 7), dtype=np.uint8)
+        with pytest.raises(ValueError, match="symbol width"):
+            rs.encode(data)
+
+    def test_linear_over_bytes(self, rng):
+        rs = ReedSolomonCode(5, 2, field=GF16)
+        a = rng.integers(0, 256, size=(5, 8), dtype=np.uint8)
+        b = rng.integers(0, 256, size=(5, 8), dtype=np.uint8)
+        assert np.array_equal(rs.encode(a ^ b), rs.encode(a) ^ rs.encode(b))
+
+
+class TestWideCauchy:
+    def test_cauchy_over_gf16(self, rng):
+        crs = CauchyReedSolomonCode(5, 3, field=GF16)
+        data = rng.integers(0, 256, size=(5, 16), dtype=np.uint8)
+        full = np.vstack([data, crs.encode(data)])
+        erased = [1, 4, 6]
+        available = {i: full[i] for i in range(8) if i not in erased}
+        out = crs.decode(available, erased, 16)
+        for e in erased:
+            assert np.array_equal(out[e], full[e])
+
+
+class TestWideFRM:
+    def test_frm_over_wide_rs(self, rng):
+        """EC-FRM composes with GF(2^16) candidates unchanged."""
+        rs = ReedSolomonCode(12, 4, field=GF16)
+        frm = FRMCode(rs)
+        g = frm.geometry
+        assert g.n == 16 and g.r == 4
+        data = rng.integers(
+            0, 256, size=(g.data_elements_per_stripe, 8), dtype=np.uint8
+        )
+        grid = frm.encode_stripe(data)
+        broken = grid.copy()
+        broken[:, [2, 9], :] = 0
+        assert np.array_equal(frm.decode_columns(broken, [2, 9]), grid)

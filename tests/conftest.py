@@ -1,0 +1,40 @@
+"""Shared fixtures for the EC-FRM reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codes import make_lrc, make_rs
+from repro.harness.experiment import PAPER_LRC_PARAMS, PAPER_RS_PARAMS
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for payload generation."""
+    return np.random.default_rng(0xEC_F12)
+
+
+@pytest.fixture(params=PAPER_RS_PARAMS, ids=lambda p: f"rs-{p[0]}-{p[1]}")
+def paper_rs(request):
+    """Each Reed-Solomon code of Table I."""
+    return make_rs(*request.param)
+
+
+@pytest.fixture(params=PAPER_LRC_PARAMS, ids=lambda p: f"lrc-{p[0]}-{p[1]}-{p[2]}")
+def paper_lrc(request):
+    """Each LRC code of Table I."""
+    return make_lrc(*request.param)
+
+
+def all_paper_codes():
+    """All six Table I codes (module-level helper for parametrization)."""
+    return [make_rs(k, m) for k, m in PAPER_RS_PARAMS] + [
+        make_lrc(k, l, m) for k, l, m in PAPER_LRC_PARAMS
+    ]
+
+
+@pytest.fixture(params=range(6), ids=lambda i: ["rs63", "rs84", "rs105", "lrc622", "lrc823", "lrc1024"][i])
+def paper_code(request):
+    """Each of the six Table I codes."""
+    return all_paper_codes()[request.param]

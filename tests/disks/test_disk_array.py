@@ -1,0 +1,132 @@
+"""Tests for SimDisk and DiskArray."""
+
+import numpy as np
+import pytest
+
+from repro.disks import DiskArray, DiskFailedError, DiskModel, SimDisk, UNIFORM_UNIT
+
+MODEL = DiskModel(1e-3, 1e-3, 1024 * 1024)
+
+
+class TestSimDisk:
+    def test_write_read_roundtrip(self):
+        d = SimDisk(0, MODEL)
+        d.write_slot(3, b"hello")
+        assert d.read_slot(3) == b"hello"
+        assert d.occupied_slots == 1
+
+    def test_numpy_payload(self):
+        d = SimDisk(0, MODEL)
+        d.write_slot(0, np.array([1, 2, 3], dtype=np.uint8))
+        assert d.read_slot(0) == b"\x01\x02\x03"
+
+    def test_missing_slot(self):
+        d = SimDisk(0, MODEL)
+        with pytest.raises(KeyError):
+            d.read_slot(9)
+
+    def test_negative_slot_rejected(self):
+        d = SimDisk(0, MODEL)
+        with pytest.raises(ValueError):
+            d.write_slot(-1, b"x")
+
+    def test_failed_disk_blocks_io(self):
+        d = SimDisk(0, MODEL)
+        d.write_slot(0, b"x")
+        d.fail()
+        with pytest.raises(DiskFailedError):
+            d.read_slot(0)
+        with pytest.raises(DiskFailedError):
+            d.write_slot(1, b"y")
+        with pytest.raises(DiskFailedError):
+            d.service_time_s([(0, 10)])
+
+    def test_restore_wipe_semantics(self):
+        d = SimDisk(0, MODEL)
+        d.write_slot(0, b"x")
+        d.fail()
+        d.restore(wipe=True)
+        assert not d.failed
+        assert d.occupied_slots == 0
+
+    def test_restore_transient_keeps_data(self):
+        d = SimDisk(0, MODEL)
+        d.write_slot(0, b"x")
+        d.fail()
+        d.restore(wipe=False)
+        assert d.read_slot(0) == b"x"
+
+    def test_has_slot_survives_failure(self):
+        d = SimDisk(0, MODEL)
+        d.write_slot(4, b"x")
+        d.fail()
+        assert d.has_slot(4)
+        assert not d.has_slot(5)
+
+    def test_stats_accumulate(self):
+        d = SimDisk(0, MODEL)
+        d.write_slot(0, b"abcd")
+        d.read_slot(0)
+        d.service_time_s([(0, 100)])
+        assert d.stats.accesses == 2
+        assert d.stats.bytes_written == 4
+        assert d.stats.bytes_read == 4
+        assert d.stats.busy_time_s > 0
+        d.stats.reset()
+        assert d.stats.accesses == 0
+
+
+class TestDiskArray:
+    def test_construction(self):
+        arr = DiskArray(5, MODEL)
+        assert len(arr) == 5
+        assert arr[3].disk_id == 3
+
+    def test_needs_at_least_one_disk(self):
+        with pytest.raises(ValueError):
+            DiskArray(0, MODEL)
+
+    def test_fail_and_restore(self):
+        arr = DiskArray(4, MODEL)
+        arr.fail_disk(2)
+        assert arr.failed_disks == [2]
+        assert arr.alive_disks == [0, 1, 3]
+        arr.restore_disk(2)
+        assert arr.failed_disks == []
+
+    def test_execute_batch_completion_is_max(self):
+        arr = DiskArray(3, UNIFORM_UNIT)
+        timing = arr.execute_batch({0: [(0, 1), (5, 1)], 1: [(0, 1)]})
+        assert timing.completion_time_s == pytest.approx(2.0, rel=1e-6)
+        assert timing.per_disk_time_s[1] == pytest.approx(1.0, rel=1e-6)
+        assert timing.total_accesses == 3
+        assert timing.total_bytes == 3
+        assert timing.bottleneck_disk == 0
+
+    def test_empty_batch(self):
+        arr = DiskArray(2, MODEL)
+        timing = arr.execute_batch({})
+        assert timing.completion_time_s == 0.0
+        assert timing.bottleneck_disk is None
+
+    def test_batch_skips_empty_lists(self):
+        arr = DiskArray(2, MODEL)
+        timing = arr.execute_batch({0: [], 1: [(0, 10)]})
+        assert 0 not in timing.per_disk_time_s
+
+    def test_batch_touching_failed_disk_raises(self):
+        arr = DiskArray(2, MODEL)
+        arr.fail_disk(0)
+        with pytest.raises(DiskFailedError):
+            arr.execute_batch({0: [(0, 10)]})
+
+    def test_bad_disk_id_rejected(self):
+        arr = DiskArray(2, MODEL)
+        with pytest.raises(ValueError):
+            arr.execute_batch({5: [(0, 10)]})
+
+    def test_reset_stats(self):
+        arr = DiskArray(2, MODEL)
+        arr.execute_batch({0: [(0, 10)]})
+        arr.reset_stats()
+        assert arr[0].stats.busy_time_s == 0.0

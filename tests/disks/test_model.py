@@ -1,0 +1,100 @@
+"""Tests for the disk service-time model."""
+
+import pytest
+
+from repro.disks import DiskModel
+
+MiB = 1024 * 1024
+
+
+@pytest.fixture
+def model():
+    return DiskModel(seek_time_s=4e-3, rotational_latency_s=3e-3, transfer_rate_bps=100 * MiB)
+
+
+class TestBasics:
+    def test_positioning_time(self, model):
+        assert model.positioning_time_s == pytest.approx(7e-3)
+
+    def test_transfer_time(self, model):
+        assert model.transfer_time_s(100 * MiB) == pytest.approx(1.0)
+        assert model.transfer_time_s(0) == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DiskModel(-1e-3, 0, 1)
+        with pytest.raises(ValueError):
+            DiskModel(1e-3, 0, 0)
+
+    def test_negative_bytes(self, model):
+        with pytest.raises(ValueError):
+            model.transfer_time_s(-1)
+
+
+class TestAccessTime:
+    def test_random_access(self, model):
+        t = model.access_time_s(MiB)
+        assert t == pytest.approx(7e-3 + MiB / (100 * MiB))
+
+    def test_sequential_access_free_positioning(self, model):
+        assert model.access_time_s(MiB, sequential=True) == pytest.approx(MiB / (100 * MiB))
+
+    def test_sequential_flag_ignored_when_disabled(self):
+        m = DiskModel(4e-3, 3e-3, 100 * MiB, sequential_free=False)
+        assert m.access_time_s(MiB, sequential=True) == m.access_time_s(MiB)
+
+
+class TestServiceTime:
+    def test_empty_batch(self, model):
+        assert model.service_time_s([]) == 0.0
+
+    def test_single_access(self, model):
+        assert model.service_time_s([(5, MiB)]) == model.access_time_s(MiB)
+
+    def test_adjacent_slots_one_positioning(self, model):
+        t = model.service_time_s([(5, MiB), (6, MiB)])
+        expected = model.access_time_s(MiB) + model.transfer_time_s(MiB)
+        assert t == pytest.approx(expected)
+
+    def test_gap_pays_positioning_twice(self, model):
+        t = model.service_time_s([(5, MiB), (9, MiB)])
+        assert t == pytest.approx(2 * model.access_time_s(MiB))
+
+    def test_elevator_order_independent_of_input_order(self, model):
+        batch = [(9, MiB), (5, MiB), (6, MiB)]
+        assert model.service_time_s(batch) == model.service_time_s(sorted(batch))
+
+    def test_same_slot_counts_sequential(self, model):
+        t = model.service_time_s([(5, MiB), (5, MiB)])
+        assert t == pytest.approx(model.access_time_s(MiB) + model.transfer_time_s(MiB))
+
+    def test_monotone_in_batch_size(self, model):
+        short = model.service_time_s([(i * 3, MiB) for i in range(3)])
+        long = model.service_time_s([(i * 3, MiB) for i in range(6)])
+        assert long > short
+
+    def test_no_sequential_discount_model(self):
+        m = DiskModel(4e-3, 3e-3, 100 * MiB, sequential_free=False)
+        t = m.service_time_s([(5, MiB), (6, MiB)])
+        assert t == pytest.approx(2 * m.access_time_s(MiB))
+
+
+class TestPresets:
+    def test_savvio_matches_datasheet_scale(self):
+        from repro.disks import SAVVIO_10K3
+
+        # ~15 ms per random 1 MiB element read
+        t = SAVVIO_10K3.access_time_s(MiB)
+        assert 0.010 < t < 0.020
+        assert SAVVIO_10K3.sequential_free is False
+
+    def test_uniform_unit_counts_accesses(self):
+        from repro.disks import UNIFORM_UNIT
+
+        t = UNIFORM_UNIT.service_time_s([(0, MiB), (1, MiB), (7, MiB)])
+        assert t == pytest.approx(3.0, rel=1e-6)
+
+    def test_presets_registry(self):
+        from repro.disks import DISK_PRESETS
+
+        assert {"savvio-10k3", "ssd-sata", "uniform-unit"} <= set(DISK_PRESETS)

@@ -1,0 +1,50 @@
+"""Tests pinning the calibrated disk presets' semantics."""
+
+import pytest
+
+from repro.disks import (
+    DISK_PRESETS,
+    NEARLINE_7K2,
+    SAVVIO_10K3,
+    SAVVIO_10K3_STREAMING,
+    SSD_SATA,
+    UNIFORM_UNIT,
+)
+
+MiB = 1024 * 1024
+
+
+class TestPresetSemantics:
+    def test_paper_default_is_chunk_store(self):
+        """The paper-reproduction preset charges full positioning on every
+        access — the calibration EXPERIMENTS.md documents."""
+        assert SAVVIO_10K3.sequential_free is False
+        t_adjacent = SAVVIO_10K3.service_time_s([(0, MiB), (1, MiB)])
+        assert t_adjacent == pytest.approx(2 * SAVVIO_10K3.access_time_s(MiB))
+
+    def test_streaming_variant_discounts_adjacency(self):
+        assert SAVVIO_10K3_STREAMING.sequential_free is True
+        t = SAVVIO_10K3_STREAMING.service_time_s([(0, MiB), (1, MiB)])
+        expected = SAVVIO_10K3_STREAMING.access_time_s(MiB) + SAVVIO_10K3_STREAMING.transfer_time_s(MiB)
+        assert t == pytest.approx(expected)
+
+    def test_same_mechanics_otherwise(self):
+        assert SAVVIO_10K3.seek_time_s == SAVVIO_10K3_STREAMING.seek_time_s
+        assert SAVVIO_10K3.transfer_rate_bps == SAVVIO_10K3_STREAMING.transfer_rate_bps
+
+    def test_relative_device_speeds(self):
+        """SSD << 10k SAS << 7.2k nearline on random access latency."""
+        ssd = SSD_SATA.access_time_s(MiB)
+        sas = SAVVIO_10K3.access_time_s(MiB)
+        nearline = NEARLINE_7K2.access_time_s(MiB)
+        assert ssd < sas < nearline
+
+    def test_uniform_unit_counts(self):
+        assert UNIFORM_UNIT.service_time_s([(0, 1), (5, 1)]) == pytest.approx(2.0, rel=1e-6)
+
+    def test_registry_complete(self):
+        assert DISK_PRESETS["savvio-10k3"] is SAVVIO_10K3
+        assert DISK_PRESETS["savvio-10k3-streaming"] is SAVVIO_10K3_STREAMING
+        assert DISK_PRESETS["ssd-sata"] is SSD_SATA
+        assert DISK_PRESETS["nearline-7k2"] is NEARLINE_7K2
+        assert DISK_PRESETS["uniform-unit"] is UNIFORM_UNIT

@@ -1,0 +1,124 @@
+"""Tests for the degraded-read planner."""
+
+import pytest
+
+from repro.codes import make_lrc, make_rs
+from repro.engine import AccessKind, ReadRequest, plan_degraded_read, plan_normal_read
+from repro.layout import FRMPlacement, RotatedPlacement, StandardPlacement, make_placement
+
+
+class TestBasicShape:
+    def test_no_loss_when_failed_disk_untouched(self):
+        """Failing a parity disk of the standard layout leaves normal reads
+        untouched: plan must equal the normal plan."""
+        p = StandardPlacement(make_rs(6, 3))
+        req = ReadRequest(0, 6)
+        degraded = plan_degraded_read(p, req, failed_disk=8, element_size=1)
+        normal = plan_normal_read(p, req, 1)
+        assert degraded.total_elements_read == normal.total_elements_read
+        assert degraded.extra_elements_read == 0
+        assert degraded.read_cost == 1.0
+
+    def test_lost_element_reconstructed_rs(self):
+        """RS: losing one requested element adds exactly the missing
+        helpers — k total reads for the row, minus overlap."""
+        p = StandardPlacement(make_rs(6, 3))
+        # read a whole row (elements 0..5); disk 2 fails -> element 2 lost.
+        plan = plan_degraded_read(p, ReadRequest(0, 6), failed_disk=2, element_size=1)
+        # 5 direct + 1 extra (one parity) = 6 reads total
+        assert plan.total_elements_read == 6
+        assert plan.extra_elements_read == 1
+        assert plan.read_cost == 1.0
+        plan.verify()
+
+    def test_lost_element_reconstructed_lrc_locally(self):
+        p = StandardPlacement(make_lrc(6, 2, 2))
+        plan = plan_degraded_read(p, ReadRequest(0, 6), failed_disk=1, element_size=1)
+        # element 1 lost; local repair needs d0, d2 (already read) + l0
+        assert plan.extra_elements_read == 1
+        extras = [a for a in plan.accesses if a.kind is AccessKind.RECONSTRUCTION]
+        assert extras[0].element == 6  # the local parity of group 0
+
+    def test_single_element_read_cost_rs_vs_lrc(self):
+        """Reading exactly the lost element: RS fetches k helpers, LRC only
+        its local group — the paper's degraded-cost gap."""
+        rs_plan = plan_degraded_read(
+            StandardPlacement(make_rs(6, 3)), ReadRequest(0, 1), 0, 1
+        )
+        lrc_plan = plan_degraded_read(
+            StandardPlacement(make_lrc(6, 2, 2)), ReadRequest(0, 1), 0, 1
+        )
+        assert rs_plan.total_elements_read == 6
+        assert lrc_plan.total_elements_read == 3
+
+    def test_invalid_args(self):
+        p = StandardPlacement(make_rs(6, 3))
+        with pytest.raises(ValueError):
+            plan_degraded_read(p, ReadRequest(0, 1), failed_disk=9, element_size=1)
+        with pytest.raises(ValueError):
+            plan_degraded_read(p, ReadRequest(0, 1), failed_disk=0, element_size=0)
+
+
+class TestPaperFigure7:
+    def test_fig7b_max_load_two_exists(self):
+        """Some 14-element degraded read in (6,2,2) EC-FRM-LRC has max
+        load 2 (paper Fig 7(b))."""
+        p = FRMPlacement(make_lrc(6, 2, 2))
+        loads = {
+            plan_degraded_read(p, ReadRequest(start, 14), 0, 1).max_disk_load
+            for start in range(30)
+        }
+        assert 2 in loads
+
+    def test_fig7c_max_load_three_exists(self):
+        """...and another has max load 3 (paper Fig 7(c): 'things are not
+        always fine')."""
+        p = FRMPlacement(make_lrc(6, 2, 2))
+        loads = {
+            plan_degraded_read(p, ReadRequest(start, 14), 0, 1).max_disk_load
+            for start in range(30)
+        }
+        assert 3 in loads
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("form", ["standard", "rotated", "ec-frm"])
+    def test_never_reads_failed_disk(self, form, paper_code):
+        placement = make_placement(form, paper_code)
+        for failed in range(paper_code.n):
+            for start in (0, 11):
+                plan = plan_degraded_read(placement, ReadRequest(start, 15), failed, 1)
+                plan.verify()  # includes failed-disk and duplicate checks
+
+    @pytest.mark.parametrize("form", ["standard", "rotated", "ec-frm"])
+    def test_cost_at_least_needed(self, form, paper_code):
+        """Cost is >= the surviving-elements fraction and the plan always
+        covers every requested element either directly or via helpers."""
+        placement = make_placement(form, paper_code)
+        k = paper_code.k
+        for failed in (0, paper_code.n - 1):
+            for count in (1, 7, 20):
+                plan = plan_degraded_read(placement, ReadRequest(3, count), failed, 1)
+                direct = {
+                    (a.row, a.element)
+                    for a in plan.accesses
+                    if a.kind is AccessKind.REQUESTED
+                }
+                for t in range(3, 3 + count):
+                    row, e = divmod(t, k)
+                    if placement.locate_data(t).disk != failed:
+                        assert (row, e) in direct
+
+    def test_helpers_deduplicated_with_direct_reads(self):
+        """A helper already fetched as requested data must not be re-read."""
+        p = StandardPlacement(make_rs(6, 3))
+        plan = plan_degraded_read(p, ReadRequest(0, 6), failed_disk=0, element_size=1)
+        addresses = [a.address for a in plan.accesses]
+        assert len(addresses) == len(set(addresses))
+
+    def test_multiple_rows_each_repaired(self):
+        p = StandardPlacement(make_rs(6, 3))
+        # 12 elements = 2 rows, disk 0 loses one element in each row
+        plan = plan_degraded_read(p, ReadRequest(0, 12), failed_disk=0, element_size=1)
+        extras = [a for a in plan.accesses if a.kind is AccessKind.RECONSTRUCTION]
+        assert {a.row for a in extras} == {0, 1}

@@ -1,0 +1,120 @@
+"""Tests for plan timing and speed computation."""
+
+import pytest
+
+from repro.codes import make_rs
+from repro.disks import DiskArray, DiskModel, UNIFORM_UNIT
+from repro.engine import ReadRequest, execute_plan, plan_normal_read, simulate_plan
+from repro.layout import StandardPlacement
+
+MiB = 1024 * 1024
+MODEL = DiskModel(5e-3, 2e-3, 100 * MiB, sequential_free=False)
+
+
+@pytest.fixture
+def plan():
+    return plan_normal_read(StandardPlacement(make_rs(6, 3)), ReadRequest(0, 8), MiB)
+
+
+class TestSimulatePlan:
+    def test_completion_is_bottleneck_disk(self, plan):
+        outcome = simulate_plan(plan, MODEL)
+        # most loaded disk serves 2 random accesses of 1 MiB each
+        expected = 2 * MODEL.access_time_s(MiB)
+        assert outcome.completion_time_s == pytest.approx(expected)
+
+    def test_speed_counts_only_requested_bytes(self, plan):
+        outcome = simulate_plan(plan, MODEL)
+        assert outcome.speed_bps == pytest.approx(
+            plan.requested_bytes / outcome.completion_time_s
+        )
+        assert outcome.speed_mib_s == pytest.approx(outcome.speed_bps / MiB)
+
+    def test_unit_model_counts_max_load(self, plan):
+        outcome = simulate_plan(plan, UNIFORM_UNIT)
+        assert outcome.completion_time_s == pytest.approx(plan.max_disk_load, rel=1e-6)
+
+    def test_empty_plan_rejected(self):
+        from repro.engine.requests import AccessPlan
+
+        empty = AccessPlan(request=ReadRequest(0, 1), element_size=1)
+        with pytest.raises(ValueError):
+            simulate_plan(empty, MODEL)
+
+
+class TestExecutePlan:
+    def test_matches_simulate(self, plan):
+        array = DiskArray(9, MODEL)
+        a = execute_plan(plan, array)
+        b = simulate_plan(plan, MODEL)
+        assert a.completion_time_s == pytest.approx(b.completion_time_s)
+        assert a.speed_bps == pytest.approx(b.speed_bps)
+
+    def test_accounts_busy_time(self, plan):
+        array = DiskArray(9, MODEL)
+        execute_plan(plan, array)
+        busy = sum(d.stats.busy_time_s for d in array.disks)
+        assert busy > 0
+
+    def test_refuses_failed_disk(self, plan):
+        from repro.disks import DiskFailedError
+
+        array = DiskArray(9, MODEL)
+        array.fail_disk(0)
+        with pytest.raises(DiskFailedError):
+            execute_plan(plan, array)
+
+
+class TestRelativeSpeeds:
+    def test_lower_max_load_means_higher_speed(self):
+        """Same request, same model: the placement with the lower
+        bottleneck load must simulate faster — the paper's core claim
+        at the single-request level."""
+        from repro.codes import make_lrc
+        from repro.layout import FRMPlacement
+
+        code = make_lrc(6, 2, 2)
+        req = ReadRequest(0, 8)
+        std = simulate_plan(plan_normal_read(StandardPlacement(code), req, MiB), MODEL)
+        frm = simulate_plan(plan_normal_read(FRMPlacement(code), req, MiB), MODEL)
+        assert frm.speed_bps > std.speed_bps
+
+
+class TestHeterogeneousArrays:
+    def test_per_disk_models(self):
+        """A mapping of disk models times each disk with its own speed."""
+        from repro.codes import make_lrc
+
+        code = make_lrc(6, 2, 2)
+        p = StandardPlacement(code)
+        plan = plan_normal_read(p, ReadRequest(0, 6), MiB)
+        fast = DiskModel(1e-3, 1e-3, 200 * MiB, sequential_free=False)
+        slow = DiskModel(10e-3, 10e-3, 50 * MiB, sequential_free=False)
+        homogeneous = simulate_plan(plan, {d: fast for d in range(10)})
+        with_straggler = simulate_plan(
+            plan, {0: slow, **{d: fast for d in range(1, 10)}}
+        )
+        assert with_straggler.completion_time_s > homogeneous.completion_time_s
+        # the straggler gates the request: completion equals its service
+        assert with_straggler.completion_time_s == pytest.approx(
+            slow.access_time_s(MiB)
+        )
+
+    def test_straggler_outside_plan_is_ignored(self):
+        from repro.codes import make_lrc
+
+        code = make_lrc(6, 2, 2)
+        p = StandardPlacement(code)
+        plan = plan_normal_read(p, ReadRequest(0, 6), MiB)  # disks 0..5 only
+        fast = DiskModel(1e-3, 1e-3, 200 * MiB, sequential_free=False)
+        slow = DiskModel(10e-3, 10e-3, 50 * MiB, sequential_free=False)
+        models = {d: fast for d in range(10)}
+        models[9] = slow  # parity disk, untouched by normal reads
+        out = simulate_plan(plan, models)
+        assert out.completion_time_s == pytest.approx(fast.access_time_s(MiB))
+
+    def test_missing_model_rejected(self):
+        p = StandardPlacement(make_rs(6, 3))
+        plan = plan_normal_read(p, ReadRequest(0, 3), MiB)
+        with pytest.raises(ValueError, match="no disk model"):
+            simulate_plan(plan, {0: MODEL})

@@ -1,0 +1,109 @@
+"""Tests for multi-failure degraded-read planning."""
+
+import numpy as np
+import pytest
+
+from repro.codes import DecodeFailure, make_lrc, make_rs
+from repro.engine import ReadRequest, plan_degraded_read_multi
+from repro.engine.requests import AccessKind
+from repro.layout import FRMPlacement, StandardPlacement, make_placement
+
+
+class TestBasics:
+    def test_no_failures_is_normal_read(self):
+        p = StandardPlacement(make_rs(6, 3))
+        plan = plan_degraded_read_multi(p, ReadRequest(0, 8), [], 1)
+        assert plan.total_elements_read == 8
+        assert plan.extra_elements_read == 0
+        assert plan.failed_disk is None
+
+    def test_single_failure_cost_matches_planner_semantics(self):
+        from repro.engine import plan_degraded_read
+
+        for form in ("standard", "rotated", "ec-frm"):
+            p = make_placement(form, make_lrc(6, 2, 2))
+            for failed in range(10):
+                a = plan_degraded_read(p, ReadRequest(0, 14), failed, 1)
+                b = plan_degraded_read_multi(p, ReadRequest(0, 14), [failed], 1)
+                b.verify()
+                # same requested coverage; helper choice may differ but
+                # never by more than the code's repair-set freedom
+                assert b.total_elements_read <= a.total_elements_read + 2
+
+    def test_avoids_all_failed_disks(self, paper_code):
+        for form in ("standard", "ec-frm"):
+            p = make_placement(form, paper_code)
+            failed = [0, paper_code.n - 1]
+            plan = plan_degraded_read_multi(p, ReadRequest(0, 18), failed, 1)
+            for a in plan.accesses:
+                assert a.address.disk not in failed
+
+    def test_validation(self):
+        p = StandardPlacement(make_rs(6, 3))
+        with pytest.raises(ValueError):
+            plan_degraded_read_multi(p, ReadRequest(0, 1), [99], 1)
+        with pytest.raises(ValueError):
+            plan_degraded_read_multi(p, ReadRequest(0, 1), [0], 0)
+
+    def test_beyond_tolerance_raises(self):
+        p = StandardPlacement(make_rs(4, 2))
+        with pytest.raises(DecodeFailure):
+            plan_degraded_read_multi(p, ReadRequest(0, 12), [0, 1, 2], 1)
+
+
+class TestDecodability:
+    """The planner's helper choices must actually decode — verified on
+    real bytes for every failure pattern up to the tolerance."""
+
+    @pytest.mark.parametrize("form", ["standard", "rotated", "ec-frm"])
+    def test_helpers_decode_real_bytes(self, form):
+        from itertools import combinations
+
+        code = make_lrc(6, 2, 2)
+        placement = make_placement(form, code)
+        rng = np.random.default_rng(17)
+        rows = 5
+        element_size = 8
+        data = rng.integers(0, 256, size=(rows * code.k, element_size), dtype=np.uint8)
+        payload = {}
+        for row in range(rows):
+            row_data = data[row * code.k : (row + 1) * code.k]
+            parity = code.encode(row_data)
+            for e in range(code.n):
+                payload[(row, e)] = row_data[e] if e < code.k else parity[e - code.k]
+
+        request = ReadRequest(3, 14)
+        for failed in combinations(range(code.n), 2):
+            plan = plan_degraded_read_multi(placement, request, failed, element_size)
+            fetched: dict[tuple[int, int], np.ndarray] = {
+                (a.row, a.element): payload[(a.row, a.element)] for a in plan.accesses
+            }
+            failed_set = set(failed)
+            for t in request.elements:
+                row, e = divmod(t, code.k)
+                if (row, e) in fetched:
+                    continue
+                available = {
+                    el: buf for (r, el), buf in fetched.items() if r == row
+                }
+                erased_data = [
+                    el
+                    for el in range(code.k)
+                    if placement.locate_row_element(row, el).disk in failed_set
+                ]
+                out = code.decode(available, erased_data, element_size)
+                assert np.array_equal(out[e], payload[(row, e)]), (failed, t)
+
+    def test_cost_grows_with_failures(self):
+        p = StandardPlacement(make_rs(6, 3))
+        costs = []
+        for nf in range(0, 4):
+            plan = plan_degraded_read_multi(p, ReadRequest(0, 18), list(range(nf)), 1)
+            costs.append(plan.read_cost)
+        assert costs == sorted(costs)
+
+    def test_reconstruction_accesses_marked(self):
+        p = FRMPlacement(make_rs(6, 3))
+        plan = plan_degraded_read_multi(p, ReadRequest(0, 9), [0, 1], 1)
+        kinds = {a.kind for a in plan.accesses}
+        assert AccessKind.RECONSTRUCTION in kinds

@@ -1,0 +1,73 @@
+"""Tests for the normal-read planner (paper Figures 3 and 7(a) exact)."""
+
+import math
+
+import pytest
+
+from repro.codes import make_lrc, make_rs
+from repro.engine import AccessKind, ReadRequest, plan_normal_read
+from repro.layout import FRMPlacement, RotatedPlacement, StandardPlacement
+
+
+class TestPaperFigure3:
+    """8-element read in (6,2,2) LRC — the motivating example."""
+
+    def test_standard_bottleneck_two(self):
+        plan = plan_normal_read(StandardPlacement(make_lrc(6, 2, 2)), ReadRequest(0, 8), 1)
+        assert plan.max_disk_load == 2
+        assert plan.disks_touched == 6  # parity disks contribute nothing
+
+    def test_rotated_bottleneck_still_two(self):
+        plan = plan_normal_read(RotatedPlacement(make_lrc(6, 2, 2)), ReadRequest(0, 8), 1)
+        assert plan.max_disk_load == 2
+
+    def test_frm_bottleneck_one(self):
+        """Figure 7(a): EC-FRM spreads the same read over 8 distinct disks."""
+        plan = plan_normal_read(FRMPlacement(make_lrc(6, 2, 2)), ReadRequest(0, 8), 1)
+        assert plan.max_disk_load == 1
+        assert plan.disks_touched == 8
+
+
+class TestPlanShape:
+    def test_one_access_per_element(self):
+        plan = plan_normal_read(StandardPlacement(make_rs(6, 3)), ReadRequest(3, 10), 64)
+        assert plan.total_elements_read == 10
+        assert plan.extra_elements_read == 0
+        assert all(a.kind is AccessKind.REQUESTED for a in plan.accesses)
+        plan.verify()
+
+    def test_rows_and_elements_recorded(self):
+        plan = plan_normal_read(StandardPlacement(make_rs(6, 3)), ReadRequest(5, 3), 64)
+        assert [(a.row, a.element) for a in plan.accesses] == [(0, 5), (1, 0), (1, 1)]
+
+    def test_element_size_recorded(self):
+        plan = plan_normal_read(StandardPlacement(make_rs(6, 3)), ReadRequest(0, 2), 4096)
+        assert plan.requested_bytes == 8192
+        assert plan.per_disk_batches()[0] == [(0, 4096)]
+
+    def test_invalid_element_size(self):
+        with pytest.raises(ValueError):
+            plan_normal_read(StandardPlacement(make_rs(6, 3)), ReadRequest(0, 2), 0)
+
+
+class TestMaxLoadLaws:
+    @pytest.mark.parametrize("count", range(1, 31))
+    def test_standard_ceil_over_k(self, count):
+        p = StandardPlacement(make_lrc(6, 2, 2))
+        plan = plan_normal_read(p, ReadRequest(13, count), 1)
+        assert plan.max_disk_load == math.ceil(count / 6)
+
+    @pytest.mark.parametrize("count", range(1, 31))
+    def test_frm_ceil_over_n(self, count):
+        p = FRMPlacement(make_lrc(6, 2, 2))
+        plan = plan_normal_read(p, ReadRequest(13, count), 1)
+        assert plan.max_disk_load == math.ceil(count / 10)
+
+    def test_frm_never_worse_than_standard(self, paper_code):
+        std = StandardPlacement(paper_code)
+        frm = FRMPlacement(paper_code)
+        for start in (0, 7, 19):
+            for count in (1, 5, 12, 20):
+                a = plan_normal_read(std, ReadRequest(start, count), 1).max_disk_load
+                b = plan_normal_read(frm, ReadRequest(start, count), 1).max_disk_load
+                assert b <= a

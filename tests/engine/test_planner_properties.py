@@ -1,0 +1,86 @@
+"""Property-based tests for the read planners."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import make_lrc, make_rs
+from repro.engine import (
+    ReadRequest,
+    plan_degraded_read,
+    plan_degraded_read_multi,
+    plan_degraded_read_optimized,
+    plan_normal_read,
+)
+from repro.layout import make_placement
+
+CODES = [make_rs(6, 3), make_rs(8, 4), make_lrc(6, 2, 2), make_lrc(8, 2, 3)]
+FORMS = ["standard", "rotated", "ec-frm"]
+
+case = st.tuples(
+    st.integers(0, len(CODES) - 1),
+    st.sampled_from(FORMS),
+    st.integers(0, 200),       # start
+    st.integers(1, 24),        # count
+    st.integers(0, 100),       # failed-disk seed (mod n)
+)
+
+
+class TestNormalPlans:
+    @given(case)
+    @settings(max_examples=100, deadline=None)
+    def test_plan_is_exact_cover(self, c):
+        ci, form, start, count, _ = c
+        placement = make_placement(form, CODES[ci])
+        plan = plan_normal_read(placement, ReadRequest(start, count), 1)
+        plan.verify()
+        covered = sorted(a.row * placement.k + a.element for a in plan.accesses)
+        assert covered == list(range(start, start + count))
+        assert plan.read_cost == 1.0
+
+
+class TestDegradedPlans:
+    @given(case)
+    @settings(max_examples=100, deadline=None)
+    def test_invariants(self, c):
+        ci, form, start, count, fd = c
+        code = CODES[ci]
+        placement = make_placement(form, code)
+        failed = fd % code.n
+        plan = plan_degraded_read(placement, ReadRequest(start, count), failed, 1)
+        plan.verify()
+        assert plan.read_cost >= 1.0 or plan.total_elements_read >= count - 1
+        # every requested element is either fetched directly or its row
+        # fetched enough helpers (at least the code's min repair size)
+        direct = {(a.row, a.element) for a in plan.accesses}
+        for t in range(start, start + count):
+            row, e = divmod(t, code.k)
+            if placement.locate_row_element(row, e).disk != failed:
+                assert (row, e) in direct
+
+    @given(case)
+    @settings(max_examples=60, deadline=None)
+    def test_optimized_never_worse(self, c):
+        ci, form, start, count, fd = c
+        code = CODES[ci]
+        placement = make_placement(form, code)
+        failed = fd % code.n
+        req = ReadRequest(start, count)
+        naive = plan_degraded_read(placement, req, failed, 1)
+        opt = plan_degraded_read_optimized(placement, req, failed, 1)
+        opt.verify()
+        assert opt.max_disk_load <= naive.max_disk_load
+
+    @given(case, st.integers(0, 2))
+    @settings(max_examples=60, deadline=None)
+    def test_multi_consistent_with_single(self, c, extra_failed):
+        ci, form, start, count, fd = c
+        code = CODES[ci]
+        placement = make_placement(form, code)
+        failed = sorted({fd % code.n, (fd + extra_failed) % code.n})
+        if len(failed) > code.fault_tolerance:
+            return
+        plan = plan_degraded_read_multi(placement, ReadRequest(start, count), failed, 1)
+        plan.verify()
+        for a in plan.accesses:
+            assert a.address.disk not in failed
+        assert plan.read_cost >= 1.0 or plan.extra_elements_read == 0

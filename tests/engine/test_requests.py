@@ -1,0 +1,77 @@
+"""Tests for request/plan data types and plan-level metrics."""
+
+import pytest
+
+from repro.engine.requests import AccessKind, AccessPlan, ElementAccess, ReadRequest
+from repro.layout.base import Address
+
+
+def access(disk, slot, kind=AccessKind.REQUESTED, row=0, element=0):
+    return ElementAccess(address=Address(disk, slot), kind=kind, row=row, element=element)
+
+
+class TestReadRequest:
+    def test_elements_range(self):
+        r = ReadRequest(5, 3)
+        assert list(r.elements) == [5, 6, 7]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReadRequest(-1, 3)
+        with pytest.raises(ValueError):
+            ReadRequest(0, 0)
+
+
+class TestAccessPlan:
+    def test_requested_bytes(self):
+        plan = AccessPlan(request=ReadRequest(0, 4), element_size=100)
+        assert plan.requested_bytes == 400
+
+    def test_counters(self):
+        plan = AccessPlan(request=ReadRequest(0, 2), element_size=10)
+        plan.add(access(0, 0))
+        plan.add(access(1, 0))
+        plan.add(access(2, 0, AccessKind.RECONSTRUCTION))
+        assert plan.total_elements_read == 3
+        assert plan.extra_elements_read == 1
+        assert plan.read_cost == pytest.approx(1.5)
+
+    def test_per_disk_loads_and_max(self):
+        plan = AccessPlan(request=ReadRequest(0, 3), element_size=10)
+        plan.add(access(0, 0))
+        plan.add(access(0, 1))
+        plan.add(access(4, 0))
+        assert plan.per_disk_loads() == {0: 2, 4: 1}
+        assert plan.max_disk_load == 2
+        assert plan.disks_touched == 2
+
+    def test_empty_plan_metrics(self):
+        plan = AccessPlan(request=ReadRequest(0, 1), element_size=10)
+        assert plan.max_disk_load == 0
+        assert plan.disks_touched == 0
+
+    def test_per_disk_batches(self):
+        plan = AccessPlan(request=ReadRequest(0, 2), element_size=7)
+        plan.add(access(1, 5))
+        plan.add(access(1, 9))
+        plan.add(access(3, 0))
+        batches = plan.per_disk_batches()
+        assert batches == {1: [(5, 7), (9, 7)], 3: [(0, 7)]}
+
+    def test_verify_duplicate_address(self):
+        plan = AccessPlan(request=ReadRequest(0, 2), element_size=7)
+        plan.add(access(1, 5))
+        plan.add(access(1, 5))
+        with pytest.raises(AssertionError, match="twice"):
+            plan.verify()
+
+    def test_verify_failed_disk_read(self):
+        plan = AccessPlan(request=ReadRequest(0, 1), element_size=7, failed_disk=2)
+        plan.add(access(2, 0))
+        with pytest.raises(AssertionError, match="failed disk"):
+            plan.verify()
+
+    def test_verify_clean_plan(self):
+        plan = AccessPlan(request=ReadRequest(0, 1), element_size=7, failed_disk=2)
+        plan.add(access(1, 0))
+        plan.verify()

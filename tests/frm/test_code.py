@@ -1,0 +1,206 @@
+"""Tests for FRMCode: encode/decode on the EC-FRM layout."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.codes import DecodeFailure, make_lrc, make_rs
+from repro.frm import FRMCode, GridPosition
+
+
+def encode_random_stripe(frm, rng, element_size=16):
+    g = frm.geometry
+    data = rng.integers(
+        0, 256, size=(g.data_elements_per_stripe, element_size), dtype=np.uint8
+    )
+    return data, frm.encode_stripe(data)
+
+
+class TestProperties:
+    def test_metadata_carried_over(self, paper_code):
+        frm = FRMCode(paper_code)
+        assert frm.n == paper_code.n
+        assert frm.k == paper_code.k
+        assert frm.fault_tolerance == paper_code.fault_tolerance
+        assert frm.storage_overhead == paper_code.storage_overhead
+        assert frm.name == f"ec-frm-{paper_code.name}"
+        assert "EC-FRM" in frm.describe()
+
+
+class TestEncode:
+    def test_data_rows_are_verbatim(self, rng):
+        frm = FRMCode(make_lrc(6, 2, 2))
+        g = frm.geometry
+        data, grid = encode_random_stripe(frm, rng)
+        assert np.array_equal(
+            grid[: g.data_rows].reshape(-1, data.shape[1]), data
+        )
+
+    def test_group_parities_match_candidate(self, rng):
+        """Each group's parity slots must hold exactly the candidate's
+        encode() of that group's data run — paper §IV-B Step 2."""
+        code = make_lrc(6, 2, 2)
+        frm = FRMCode(code)
+        g = frm.geometry
+        data, grid = encode_random_stripe(frm, rng)
+        for i in range(g.num_groups):
+            expected = code.encode(data[i * g.k : (i + 1) * g.k])
+            for e, pos in enumerate(g.group_parity(i)):
+                assert np.array_equal(grid[pos.row, pos.col], expected[e]), (i, e)
+
+    def test_wrong_shape_rejected(self, rng):
+        frm = FRMCode(make_rs(6, 3))
+        with pytest.raises(ValueError):
+            frm.encode_stripe(rng.integers(0, 256, size=(7, 16), dtype=np.uint8))
+
+
+class TestDecodeColumns:
+    @pytest.mark.parametrize("spec", ["rs", "lrc"])
+    def test_single_column_failures(self, spec, rng):
+        code = make_rs(6, 3) if spec == "rs" else make_lrc(6, 2, 2)
+        frm = FRMCode(code)
+        _, grid = encode_random_stripe(frm, rng)
+        for col in range(frm.n):
+            corrupted = grid.copy()
+            corrupted[:, col, :] = 0xAA
+            assert np.array_equal(frm.decode_columns(corrupted, [col]), grid)
+
+    def test_max_tolerated_failures_rs(self, rng):
+        frm = FRMCode(make_rs(4, 2))
+        _, grid = encode_random_stripe(frm, rng)
+        for cols in combinations(range(6), 2):
+            corrupted = grid.copy()
+            corrupted[:, list(cols), :] = 0
+            assert np.array_equal(frm.decode_columns(corrupted, cols), grid), cols
+
+    def test_paper_fig6_triple_failure(self, rng):
+        """Figure 6: disks 1, 2, 3 concurrently failing in (6,2,2)
+        EC-FRM-LRC must be fully recoverable."""
+        frm = FRMCode(make_lrc(6, 2, 2))
+        _, grid = encode_random_stripe(frm, rng)
+        corrupted = grid.copy()
+        corrupted[:, [1, 2, 3], :] = 0
+        assert np.array_equal(frm.decode_columns(corrupted, [1, 2, 3]), grid)
+
+    def test_beyond_tolerance_raises(self, rng):
+        frm = FRMCode(make_rs(4, 2))
+        _, grid = encode_random_stripe(frm, rng)
+        with pytest.raises(DecodeFailure):
+            frm.decode_columns(grid, [0, 1, 2])
+
+    def test_no_failures_is_copy(self, rng):
+        frm = FRMCode(make_rs(4, 2))
+        _, grid = encode_random_stripe(frm, rng)
+        out = frm.decode_columns(grid, [])
+        assert np.array_equal(out, grid)
+        assert out is not grid
+
+    def test_bad_column_rejected(self, rng):
+        frm = FRMCode(make_rs(4, 2))
+        _, grid = encode_random_stripe(frm, rng)
+        with pytest.raises(ValueError):
+            frm.decode_columns(grid, [6])
+
+    def test_bad_grid_shape_rejected(self, rng):
+        frm = FRMCode(make_rs(4, 2))
+        with pytest.raises(ValueError):
+            frm.decode_columns(np.zeros((2, 6, 4), dtype=np.uint8), [0])
+
+
+class TestCanDecodeColumns:
+    def test_rs_tolerates_exactly_m(self):
+        frm = FRMCode(make_rs(4, 2))
+        assert frm.can_decode_columns([0, 5])
+        assert not frm.can_decode_columns([0, 1, 2])
+
+    def test_lrc_tolerates_m_plus_1(self):
+        frm = FRMCode(make_lrc(6, 2, 2))
+        for cols in combinations(range(10), 3):
+            assert frm.can_decode_columns(cols), cols
+
+    def test_lrc_some_quadruples_decodable(self):
+        frm = FRMCode(make_lrc(6, 2, 2))
+        results = {cols: frm.can_decode_columns(cols) for cols in combinations(range(10), 4)}
+        assert any(results.values()) and not all(results.values())
+
+    def test_bad_column_rejected(self):
+        frm = FRMCode(make_rs(4, 2))
+        with pytest.raises(ValueError):
+            frm.can_decode_columns([7])
+
+
+class TestReconstructPositions:
+    def test_single_slot_from_repair_plan(self, rng):
+        frm = FRMCode(make_lrc(6, 2, 2))
+        g = frm.geometry
+        _, grid = encode_random_stripe(frm, rng)
+        target = GridPosition(1, 4)  # some data slot
+        helpers = frm.repair_plan_for_slot(target)
+        available = {p: grid[p.row, p.col] for p in helpers}
+        out = frm.reconstruct_positions(available, [target], 16)
+        assert np.array_equal(out[target], grid[target.row, target.col])
+
+    def test_lrc_slot_repair_is_local(self):
+        """A lost data slot needs only k/l helpers, all in its group."""
+        code = make_lrc(6, 2, 2)
+        frm = FRMCode(code)
+        g = frm.geometry
+        target = g.data_position(7)
+        helpers = frm.repair_plan_for_slot(target)
+        assert len(helpers) == code.group_size
+        gi, _ = g.group_of(target)
+        assert all(g.group_of(p)[0] == gi for p in helpers)
+
+    def test_multiple_groups_at_once(self, rng):
+        frm = FRMCode(make_rs(6, 3))
+        g = frm.geometry
+        _, grid = encode_random_stripe(frm, rng)
+        wanted = [g.data_position(0), g.data_position(7), g.data_position(13)]
+        available = {
+            GridPosition(r, c): grid[r, c]
+            for r in range(g.rows)
+            for c in range(g.n)
+            if GridPosition(r, c) not in wanted
+        }
+        out = frm.reconstruct_positions(available, wanted, 16)
+        for pos in wanted:
+            assert np.array_equal(out[pos], grid[pos.row, pos.col])
+
+    def test_repair_plan_prefers_have(self):
+        frm = FRMCode(make_rs(6, 3))
+        g = frm.geometry
+        target = g.data_position(0)
+        group_elems = g.group_elements(g.group_of(target)[0])
+        have = frozenset(group_elems[6:9])  # this group's parities
+        plan = frm.repair_plan_for_slot(target, have)
+        assert have <= plan
+
+
+class TestCandidateGenerality:
+    """EC-FRM accepts any single-row candidate — not just RS and LRC."""
+
+    def test_frm_over_cauchy_rs(self, rng):
+        from repro.codes import make_cauchy_rs
+
+        frm = FRMCode(make_cauchy_rs(6, 3))
+        g = frm.geometry
+        assert frm.name == "ec-frm-cauchy-rs"
+        data = rng.integers(0, 256, size=(g.data_elements_per_stripe, 8), dtype=np.uint8)
+        grid = frm.encode_stripe(data)
+        broken = grid.copy()
+        broken[:, [1, 4, 7], :] = 0
+        assert np.array_equal(frm.decode_columns(broken, [1, 4, 7]), grid)
+
+    def test_frm_over_optimized_cauchy(self, rng):
+        from repro.codes import CauchyReedSolomonCode
+
+        good = CauchyReedSolomonCode.optimized(4, 2)
+        frm = FRMCode(good)
+        data = rng.integers(
+            0, 256, size=(frm.geometry.data_elements_per_stripe, 4), dtype=np.uint8
+        )
+        grid = frm.encode_stripe(data)
+        broken = grid.copy()
+        broken[:, [0, 5], :] = 0
+        assert np.array_equal(frm.decode_columns(broken, [0, 5]), grid)

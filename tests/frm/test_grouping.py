@@ -1,0 +1,168 @@
+"""Tests for EC-FRM group identification — paper Equations (1)-(4)."""
+
+import pytest
+
+from repro.frm.grouping import FRMGeometry, GridPosition
+
+
+class TestDerivedScalars:
+    def test_paper_lrc_candidate(self):
+        """(6,2,2) LRC == (10,6) candidate: 5 rows, 3 data rows, 5 groups."""
+        g = FRMGeometry(10, 6)
+        assert g.r == 2
+        assert g.rows == 5
+        assert g.data_rows == 3
+        assert g.parity_rows == 2
+        assert g.num_groups == 5
+        assert g.data_elements_per_stripe == 30
+        assert g.parity_elements_per_stripe == 20
+        assert g.elements_per_stripe == 50
+
+    def test_paper_rs_candidate(self):
+        """(6,3) RS == (9,6) candidate: r=3, 3 rows, 3 groups."""
+        g = FRMGeometry(9, 6)
+        assert g.r == 3
+        assert g.rows == 3
+        assert g.data_rows == 2
+        assert g.parity_rows == 1
+        assert g.num_groups == 3
+
+    def test_coprime_candidate(self):
+        """gcd 1 gives the largest stripe: n rows, n groups."""
+        g = FRMGeometry(13, 8)
+        assert g.r == 1
+        assert g.rows == 13
+        assert g.num_groups == 13
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FRMGeometry(6, 6)
+        with pytest.raises(ValueError):
+            FRMGeometry(6, 0)
+        with pytest.raises(ValueError):
+            FRMGeometry(6, 7)
+
+
+class TestPaperExamples:
+    """Every worked example in the paper's §IV-B and §IV-E, exact."""
+
+    @pytest.fixture
+    def g106(self):
+        return FRMGeometry(10, 6)
+
+    def test_d0_and_d1_sequential(self, g106):
+        # "when i = 0, 1: D0 = {d0,0..d0,5} and D1 = {d0,6..d1,1}"
+        d0 = g106.group_data(0)
+        assert d0 == [GridPosition(0, c) for c in range(6)]
+        d1 = g106.group_data(1)
+        assert d1 == [GridPosition(0, 6), GridPosition(0, 7), GridPosition(0, 8),
+                      GridPosition(0, 9), GridPosition(1, 0), GridPosition(1, 1)]
+
+    def test_g1_full_membership(self, g106):
+        # §IV-E: G1 = {d0,6..d1,1, p3,2, p3,3, p4,4, p4,5}
+        elems = g106.group_elements(1)
+        assert elems[6:] == [GridPosition(3, 2), GridPosition(3, 3),
+                             GridPosition(4, 4), GridPosition(4, 5)]
+
+    def test_g2_membership(self, g106):
+        # §IV-B: G2 = {d1,2..d1,7, p3,8, p3,9, p4,0, p4,1}
+        elems = g106.group_elements(2)
+        assert elems[:6] == [GridPosition(1, c) for c in range(2, 8)]
+        assert elems[6:] == [GridPosition(3, 8), GridPosition(3, 9),
+                             GridPosition(4, 0), GridPosition(4, 1)]
+        assert g106.group_parity_run(2, 0) == [GridPosition(3, 8), GridPosition(3, 9)]
+        assert g106.group_parity_run(2, 1) == [GridPosition(4, 0), GridPosition(4, 1)]
+
+    def test_d3_last_element_rule(self, g106):
+        # §IV-B step 2: last element of D3 is d2,3; P3,0 = {p3,4, p3,5},
+        # P3,1 = {p4,6, p4,7}
+        assert g106.group_data(3)[-1] == GridPosition(2, 3)
+        assert g106.group_parity_run(3, 0) == [GridPosition(3, 4), GridPosition(3, 5)]
+        assert g106.group_parity_run(3, 1) == [GridPosition(4, 6), GridPosition(4, 7)]
+
+    def test_g0_parity_columns(self, g106):
+        # §IV-B: D0 on columns 0..5, P0,1 = {p3,6, p3,7} ... wait, paper
+        # names P0,0={p3,6,p3,7} and P0,1={p4,8,p4,9}; columns 0..9 total.
+        data_cols, parity_cols = g106.group_columns(0)
+        assert data_cols == list(range(6))
+        assert parity_cols == [6, 7, 8, 9]
+
+    def test_fig6_erasure_pattern(self, g106):
+        """Figure 6: disks 1,2,3 failing erase {d2,1, d2,2, d2,3} from G3
+        — i.e. candidate elements d3, d4, d5 of that group."""
+        elems = g106.group_elements(3)
+        erased = [e for e, pos in enumerate(elems) if pos.col in (1, 2, 3)]
+        assert erased == [3, 4, 5]
+
+
+class TestInvariants:
+    @pytest.mark.parametrize(
+        "n,k",
+        [(9, 6), (12, 8), (15, 10), (10, 6), (13, 8), (16, 10), (5, 4), (7, 3), (6, 4)],
+    )
+    def test_verify_passes(self, n, k):
+        FRMGeometry(n, k).verify()
+
+    def test_one_element_per_column_per_group(self):
+        g = FRMGeometry(10, 6)
+        for i in range(g.num_groups):
+            cols = [pos.col for pos in g.group_elements(i)]
+            assert sorted(cols) == list(range(10))
+
+    def test_groups_partition_grid(self):
+        g = FRMGeometry(9, 6)
+        seen = set()
+        for i in range(g.num_groups):
+            for pos in g.group_elements(i):
+                assert pos not in seen
+                seen.add(pos)
+        assert len(seen) == g.elements_per_stripe
+
+    def test_group_of_inverse(self):
+        g = FRMGeometry(10, 6)
+        for i in range(g.num_groups):
+            for e, pos in enumerate(g.group_elements(i)):
+                assert g.group_of(pos) == (i, e)
+
+    def test_group_of_bad_position(self):
+        g = FRMGeometry(10, 6)
+        with pytest.raises(ValueError):
+            g.group_of(GridPosition(9, 0))
+
+    def test_data_position_roundtrip(self):
+        g = FRMGeometry(10, 6)
+        for t in range(g.data_elements_per_stripe):
+            pos = g.data_position(t)
+            assert g.data_linear_index(pos) == t
+
+    def test_data_position_bounds(self):
+        g = FRMGeometry(10, 6)
+        with pytest.raises(ValueError):
+            g.data_position(30)
+        with pytest.raises(ValueError):
+            g.data_position(-1)
+        with pytest.raises(ValueError):
+            g.data_linear_index(GridPosition(3, 0))  # parity row
+
+    def test_group_index_bounds(self):
+        g = FRMGeometry(10, 6)
+        with pytest.raises(ValueError):
+            g.group_data(5)
+        with pytest.raises(ValueError):
+            g.group_parity_run(0, 2)
+
+    def test_groups_iterator(self):
+        g = FRMGeometry(9, 6)
+        groups = list(g.groups())
+        assert len(groups) == 3
+        assert groups[0] == g.group_elements(0)
+
+    def test_contiguous_parity_columns_mod_n(self):
+        """§IV-B: each group's parity columns are the contiguous run
+        following its data columns, mod n."""
+        g = FRMGeometry(12, 8)
+        for i in range(g.num_groups):
+            data_cols, parity_cols = g.group_columns(i)
+            combined = data_cols + parity_cols
+            for a, b in zip(combined, combined[1:]):
+                assert b == (a + 1) % 12

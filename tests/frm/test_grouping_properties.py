@@ -1,0 +1,77 @@
+"""Property-based tests: EC-FRM grouping invariants for arbitrary (n, k)."""
+
+from math import gcd
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frm.grouping import FRMGeometry
+
+candidates = st.tuples(st.integers(2, 24), st.integers(1, 23)).filter(
+    lambda nk: nk[1] < nk[0]
+)
+
+
+class TestStructuralInvariants:
+    @given(candidates)
+    @settings(max_examples=80, deadline=None)
+    def test_verify_never_fails(self, nk):
+        n, k = nk
+        FRMGeometry(n, k).verify()
+
+    @given(candidates)
+    @settings(max_examples=60, deadline=None)
+    def test_counts(self, nk):
+        n, k = nk
+        g = FRMGeometry(n, k)
+        r = gcd(n, k)
+        assert g.rows * r == n
+        assert g.data_rows * r == k
+        assert g.num_groups * k == g.data_elements_per_stripe
+        assert g.num_groups * (n - k) == g.parity_elements_per_stripe
+
+    @given(candidates)
+    @settings(max_examples=60, deadline=None)
+    def test_each_group_spans_all_columns(self, nk):
+        n, k = nk
+        g = FRMGeometry(n, k)
+        for i in range(g.num_groups):
+            assert sorted(pos.col for pos in g.group_elements(i)) == list(range(n))
+
+    @given(candidates)
+    @settings(max_examples=60, deadline=None)
+    def test_column_holds_one_element_per_group(self, nk):
+        """Dual of the span property: each disk stores exactly one element
+        of every group — the fault-tolerance-preserving invariant."""
+        n, k = nk
+        g = FRMGeometry(n, k)
+        for col in range(n):
+            owners = sorted(
+                g.group_of(pos)[0]
+                for i in range(g.num_groups)
+                for pos in g.group_elements(i)
+                if pos.col == col
+            )
+            assert owners == list(range(g.num_groups))
+
+    @given(candidates)
+    @settings(max_examples=60, deadline=None)
+    def test_data_sequential_partition(self, nk):
+        """Eq (1): group i's data are linear indices i*k..(i+1)*k-1."""
+        n, k = nk
+        g = FRMGeometry(n, k)
+        for i in range(g.num_groups):
+            linear = [g.data_linear_index(pos) for pos in g.group_data(i)]
+            assert linear == list(range(i * k, (i + 1) * k))
+
+    @given(candidates)
+    @settings(max_examples=60, deadline=None)
+    def test_parity_runs_have_r_elements(self, nk):
+        n, k = nk
+        g = FRMGeometry(n, k)
+        r = gcd(n, k)
+        for i in range(g.num_groups):
+            for j in range(g.parity_rows):
+                run = g.group_parity_run(i, j)
+                assert len(run) == r
+                assert all(pos.row == g.data_rows + j for pos in run)

@@ -1,0 +1,53 @@
+"""Tests for ASCII rendering of EC-FRM layouts."""
+
+import pytest
+
+from repro.frm import FRMGeometry, GridPosition, render_geometry, render_group_membership, slot_label
+
+
+class TestSlotLabel:
+    def test_group_style(self):
+        g = FRMGeometry(10, 6)
+        assert slot_label(g, GridPosition(0, 0)) == "D0"
+        assert slot_label(g, GridPosition(3, 6)) == "P0"
+
+    def test_grid_style(self):
+        g = FRMGeometry(10, 6)
+        assert slot_label(g, GridPosition(0, 7), style="grid") == "d0,7"
+        assert slot_label(g, GridPosition(4, 9), style="grid") == "p4,9"
+
+    def test_unknown_style(self):
+        g = FRMGeometry(10, 6)
+        with pytest.raises(ValueError):
+            slot_label(g, GridPosition(0, 0), style="fancy")
+
+
+class TestRenderGeometry:
+    def test_contains_all_disks(self):
+        out = render_geometry(FRMGeometry(9, 6))
+        for c in range(9):
+            assert f"disk{c}" in out
+
+    def test_row_count(self):
+        g = FRMGeometry(10, 6)
+        out = render_geometry(g)
+        # header + 2 rules + rows lines
+        assert len(out.splitlines()) == 2 + g.rows + 1
+
+    def test_grid_style_labels(self):
+        out = render_geometry(FRMGeometry(10, 6), style="grid")
+        assert "d0,0" in out and "p4,9" in out
+
+
+class TestGroupMembership:
+    def test_paper_g1_string(self):
+        g = FRMGeometry(10, 6)
+        assert render_group_membership(g, 1) == (
+            "G1 = {d0,6, d0,7, d0,8, d0,9, d1,0, d1,1, p3,2, p3,3, p4,4, p4,5}"
+        )
+
+    def test_paper_g2_string(self):
+        g = FRMGeometry(10, 6)
+        assert render_group_membership(g, 2) == (
+            "G2 = {d1,2, d1,3, d1,4, d1,5, d1,6, d1,7, p3,8, p3,9, p4,0, p4,1}"
+        )

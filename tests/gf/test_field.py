@@ -1,0 +1,201 @@
+"""Tests for GF field scalar and vectorized arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.gf import GF4, GF8, GF16, get_field
+from repro.gf.tables import carryless_multiply, polynomial_mod
+
+
+def oracle_mul(field, a, b):
+    """Independent multiplication oracle: carry-less product then reduce."""
+    return polynomial_mod(carryless_multiply(a, b), field.tables.poly)
+
+
+class TestScalarOps:
+    def test_add_is_xor(self):
+        assert GF8.add(0x57, 0x83) == 0x57 ^ 0x83
+        assert GF8.sub(0x57, 0x83) == 0x57 ^ 0x83
+
+    def test_mul_matches_oracle_exhaustive_gf16elems(self):
+        for a in range(16):
+            for b in range(16):
+                assert GF4.mul(a, b) == oracle_mul(GF4, a, b)
+
+    def test_mul_matches_oracle_sampled_gf256(self, rng):
+        for _ in range(500):
+            a, b = int(rng.integers(256)), int(rng.integers(256))
+            assert GF8.mul(a, b) == oracle_mul(GF8, a, b)
+
+    def test_mul_matches_oracle_sampled_gf65536(self, rng):
+        for _ in range(200):
+            a, b = int(rng.integers(65536)), int(rng.integers(65536))
+            assert GF16.mul(a, b) == oracle_mul(GF16, a, b)
+
+    def test_aes_field_known_product(self):
+        # 0x57 * 0x83 = 0xC1 under the 0x11D polynomial
+        assert GF8.mul(0x57, 0x83) == oracle_mul(GF8, 0x57, 0x83)
+
+    def test_mul_zero_and_one(self):
+        for a in (0, 1, 7, 255):
+            assert GF8.mul(a, 0) == 0
+            assert GF8.mul(0, a) == 0
+            assert GF8.mul(a, 1) == a
+
+    def test_div_inverse_of_mul(self, rng):
+        for _ in range(300):
+            a = int(rng.integers(256))
+            b = int(rng.integers(1, 256))
+            assert GF8.div(GF8.mul(a, b), b) == a
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            GF8.div(5, 0)
+
+    def test_inv(self):
+        for a in range(1, 256):
+            assert GF8.mul(a, GF8.inv(a)) == 1
+
+    def test_inv_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            GF8.inv(0)
+
+    def test_pow(self):
+        assert GF8.pow(2, 0) == 1
+        assert GF8.pow(2, 1) == 2
+        assert GF8.pow(0, 0) == 1
+        assert GF8.pow(0, 5) == 0
+        # alpha^(2^8 - 1) = 1
+        assert GF8.pow(2, 255) == 1
+
+    def test_pow_negative(self):
+        a = 37
+        assert GF8.mul(GF8.pow(a, -1), a) == 1
+        assert GF8.pow(a, -2) == GF8.inv(GF8.mul(a, a))
+
+    def test_pow_zero_negative(self):
+        with pytest.raises(ZeroDivisionError):
+            GF8.pow(0, -1)
+
+    def test_pow_matches_repeated_mul(self, rng):
+        for _ in range(50):
+            a = int(rng.integers(1, 256))
+            e = int(rng.integers(0, 20))
+            expected = 1
+            for _ in range(e):
+                expected = GF8.mul(expected, a)
+            assert GF8.pow(a, e) == expected
+
+    def test_log_exp(self):
+        for a in range(1, 256):
+            assert GF8.exp(GF8.log(a)) == a
+
+    def test_log_zero(self):
+        with pytest.raises(ValueError):
+            GF8.log(0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            GF8.mul(256, 1)
+        with pytest.raises(ValueError):
+            GF4.add(16, 1)
+
+
+class TestVectorOps:
+    def test_mul_vec_matches_scalar(self, rng):
+        a = rng.integers(0, 256, size=100).astype(np.uint8)
+        b = rng.integers(0, 256, size=100).astype(np.uint8)
+        out = GF8.mul_vec(a, b)
+        for i in range(100):
+            assert int(out[i]) == GF8.mul(int(a[i]), int(b[i]))
+
+    def test_mul_vec_with_zeros(self):
+        a = np.array([0, 1, 0, 255], dtype=np.uint8)
+        b = np.array([0, 0, 7, 0], dtype=np.uint8)
+        assert not GF8.mul_vec(a, b).any()
+
+    def test_mul_vec_broadcasting(self, rng):
+        a = rng.integers(0, 256, size=(4, 1)).astype(np.uint8)
+        b = rng.integers(0, 256, size=(1, 5)).astype(np.uint8)
+        out = GF8.mul_vec(a, b)
+        assert out.shape == (4, 5)
+        assert int(out[2, 3]) == GF8.mul(int(a[2, 0]), int(b[0, 3]))
+
+    def test_scalar_mul_vec(self, rng):
+        a = rng.integers(0, 256, size=64).astype(np.uint8)
+        for c in (0, 1, 2, 0x53):
+            out = GF8.scalar_mul_vec(c, a)
+            for i in range(64):
+                assert int(out[i]) == GF8.mul(c, int(a[i]))
+
+    def test_scalar_mul_vec_copies(self, rng):
+        a = rng.integers(0, 256, size=8).astype(np.uint8)
+        out = GF8.scalar_mul_vec(1, a)
+        assert np.array_equal(out, a)
+        out[0] ^= 0xFF
+        assert not np.array_equal(out, a)
+
+    def test_axpy(self, rng):
+        acc = rng.integers(0, 256, size=32).astype(np.uint8)
+        x = rng.integers(0, 256, size=32).astype(np.uint8)
+        expected = acc ^ GF8.scalar_mul_vec(0x1B, x)
+        GF8.axpy(acc, 0x1B, x)
+        assert np.array_equal(acc, expected)
+
+    def test_axpy_zero_coefficient_noop(self, rng):
+        acc = rng.integers(0, 256, size=16).astype(np.uint8)
+        before = acc.copy()
+        GF8.axpy(acc, 0, np.full(16, 0xAB, dtype=np.uint8))
+        assert np.array_equal(acc, before)
+
+    def test_axpy_one_coefficient_is_xor(self, rng):
+        acc = rng.integers(0, 256, size=16).astype(np.uint8)
+        x = rng.integers(0, 256, size=16).astype(np.uint8)
+        expected = acc ^ x
+        GF8.axpy(acc, 1, x)
+        assert np.array_equal(acc, expected)
+
+    def test_add_vec(self, rng):
+        a = rng.integers(0, 256, size=20).astype(np.uint8)
+        b = rng.integers(0, 256, size=20).astype(np.uint8)
+        assert np.array_equal(GF8.add_vec(a, b), a ^ b)
+
+    def test_inv_vec(self, rng):
+        a = rng.integers(1, 256, size=50).astype(np.uint8)
+        inv = GF8.inv_vec(a)
+        prod = GF8.mul_vec(a, inv)
+        assert np.all(prod == 1)
+
+    def test_inv_vec_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            GF8.inv_vec(np.array([1, 0, 2], dtype=np.uint8))
+
+    def test_asarray_range_check(self):
+        with pytest.raises(ValueError):
+            GF4.asarray(np.array([3, 16]))
+
+    def test_random_respects_bounds(self, rng):
+        vals = GF8.random(rng, 1000)
+        assert vals.dtype == np.uint8
+        vals_nz = GF4.random(rng, 1000, nonzero=True)
+        assert vals_nz.min() >= 1
+        assert vals_nz.max() < 16
+
+
+class TestFieldIdentity:
+    def test_get_field_memoized(self):
+        assert get_field(8) is get_field(8)
+        assert get_field(8) == GF8
+
+    def test_equality_and_hash(self):
+        assert get_field(8) == get_field(8)
+        assert get_field(8) != get_field(4)
+        assert hash(get_field(8)) == hash(get_field(8))
+
+    def test_gf16_dtype(self):
+        assert GF16.dtype == np.dtype(np.uint16)
+        assert GF16.order == 65536
+
+    def test_unsupported_width(self):
+        with pytest.raises(ValueError):
+            get_field(7)

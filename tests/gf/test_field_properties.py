@@ -1,0 +1,100 @@
+"""Property-based tests: GF(2^w) satisfies the field axioms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import GF4, GF8, GF16
+
+elem8 = st.integers(min_value=0, max_value=255)
+nonzero8 = st.integers(min_value=1, max_value=255)
+elem16 = st.integers(min_value=0, max_value=65535)
+
+
+class TestFieldAxiomsGF8:
+    @given(elem8, elem8, elem8)
+    def test_mul_associative(self, a, b, c):
+        assert GF8.mul(GF8.mul(a, b), c) == GF8.mul(a, GF8.mul(b, c))
+
+    @given(elem8, elem8)
+    def test_mul_commutative(self, a, b):
+        assert GF8.mul(a, b) == GF8.mul(b, a)
+
+    @given(elem8, elem8, elem8)
+    def test_distributive(self, a, b, c):
+        assert GF8.mul(a, b ^ c) == GF8.mul(a, b) ^ GF8.mul(a, c)
+
+    @given(elem8)
+    def test_additive_inverse_is_self(self, a):
+        assert a ^ a == 0
+
+    @given(nonzero8)
+    def test_multiplicative_inverse(self, a):
+        assert GF8.mul(a, GF8.inv(a)) == 1
+
+    @given(elem8, nonzero8)
+    def test_div_mul_roundtrip(self, a, b):
+        assert GF8.mul(GF8.div(a, b), b) == a
+
+    @given(nonzero8, st.integers(-300, 300), st.integers(-300, 300))
+    def test_pow_additive_in_exponent(self, a, e1, e2):
+        assert GF8.mul(GF8.pow(a, e1), GF8.pow(a, e2)) == GF8.pow(a, e1 + e2)
+
+    @given(elem8, elem8)
+    def test_frobenius(self, a, b):
+        """Squaring is additive in characteristic 2: (a+b)^2 = a^2 + b^2."""
+        assert GF8.pow(a ^ b, 2) == GF8.pow(a, 2) ^ GF8.pow(b, 2)
+
+
+class TestFieldAxiomsGF16:
+    @given(elem16, elem16, elem16)
+    @settings(max_examples=50)
+    def test_distributive(self, a, b, c):
+        assert GF16.mul(a, b ^ c) == GF16.mul(a, b) ^ GF16.mul(a, c)
+
+    @given(st.integers(1, 65535))
+    @settings(max_examples=50)
+    def test_inverse(self, a):
+        assert GF16.mul(a, GF16.inv(a)) == 1
+
+
+class TestVectorizedConsistency:
+    @given(st.lists(elem8, min_size=1, max_size=64), st.lists(elem8, min_size=1, max_size=64))
+    def test_mul_vec_matches_scalar(self, xs, ys):
+        n = min(len(xs), len(ys))
+        a = np.array(xs[:n], dtype=np.uint8)
+        b = np.array(ys[:n], dtype=np.uint8)
+        out = GF8.mul_vec(a, b)
+        assert [int(v) for v in out] == [GF8.mul(x, y) for x, y in zip(xs[:n], ys[:n])]
+
+    @given(elem8, st.lists(elem8, min_size=1, max_size=64))
+    def test_axpy_matches_scalar(self, c, xs):
+        x = np.array(xs, dtype=np.uint8)
+        acc = np.zeros(len(xs), dtype=np.uint8)
+        GF8.axpy(acc, c, x)
+        assert [int(v) for v in acc] == [GF8.mul(c, v) for v in xs]
+
+
+class TestExhaustiveGF4:
+    """GF(2^4) is small enough to verify axioms exhaustively."""
+
+    def test_all_axioms(self):
+        n = 16
+        for a in range(n):
+            for b in range(n):
+                ab = GF4.mul(a, b)
+                assert ab == GF4.mul(b, a)
+                if b:
+                    assert GF4.div(ab, b) == a
+                for c in range(n):
+                    assert GF4.mul(GF4.mul(a, b), c) == GF4.mul(a, GF4.mul(b, c))
+                    assert GF4.mul(a, b ^ c) == GF4.mul(a, b) ^ GF4.mul(a, c)
+
+    def test_multiplicative_group_cyclic(self):
+        seen = set()
+        v = 1
+        for _ in range(15):
+            seen.add(v)
+            v = GF4.mul(v, 2)
+        assert v == 1
+        assert seen == set(range(1, 16))

@@ -1,0 +1,172 @@
+"""Tests for dense matrix algebra over GF(2^w)."""
+
+import numpy as np
+import pytest
+
+from repro.gf import GF4, GF8
+from repro.gf.matrix import (
+    SingularMatrixError,
+    all_square_submatrices_invertible,
+    identity,
+    invert,
+    is_invertible,
+    matmul,
+    matvec,
+    rank,
+    solve,
+)
+
+
+def random_invertible(field, n, rng):
+    """Random invertible matrix by rejection sampling."""
+    while True:
+        m = field.random(rng, (n, n))
+        if is_invertible(field, m):
+            return m
+
+
+class TestMatmul:
+    def test_identity(self, rng):
+        a = GF8.random(rng, (4, 6))
+        assert np.array_equal(matmul(GF8, identity(GF8, 4), a), a)
+        assert np.array_equal(matmul(GF8, a, identity(GF8, 6)), a)
+
+    def test_associative(self, rng):
+        a = GF8.random(rng, (3, 4))
+        b = GF8.random(rng, (4, 5))
+        c = GF8.random(rng, (5, 2))
+        left = matmul(GF8, matmul(GF8, a, b), c)
+        right = matmul(GF8, a, matmul(GF8, b, c))
+        assert np.array_equal(left, right)
+
+    def test_matches_scalar_definition(self, rng):
+        a = GF8.random(rng, (3, 3))
+        b = GF8.random(rng, (3, 3))
+        out = matmul(GF8, a, b)
+        for i in range(3):
+            for j in range(3):
+                expected = 0
+                for t in range(3):
+                    expected ^= GF8.mul(int(a[i, t]), int(b[t, j]))
+                assert int(out[i, j]) == expected
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            matmul(GF8, GF8.random(rng, (2, 3)), GF8.random(rng, (4, 2)))
+
+    def test_non_2d_rejected(self, rng):
+        with pytest.raises(ValueError):
+            matmul(GF8, GF8.random(rng, 3), GF8.random(rng, (3, 3)))
+
+
+class TestMatvec:
+    def test_matches_matmul(self, rng):
+        a = GF8.random(rng, (5, 4))
+        x = GF8.random(rng, 4)
+        via_matmul = matmul(GF8, a, x[:, np.newaxis])[:, 0]
+        assert np.array_equal(matvec(GF8, a, x), via_matmul)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            matvec(GF8, GF8.random(rng, (5, 4)), GF8.random(rng, 5))
+
+
+class TestInvert:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_roundtrip(self, n, rng):
+        m = random_invertible(GF8, n, rng)
+        m_inv = invert(GF8, m)
+        assert np.array_equal(matmul(GF8, m, m_inv), identity(GF8, n))
+        assert np.array_equal(matmul(GF8, m_inv, m), identity(GF8, n))
+
+    def test_identity_inverse(self):
+        assert np.array_equal(invert(GF8, identity(GF8, 4)), identity(GF8, 4))
+
+    def test_singular_rejected(self):
+        m = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(SingularMatrixError):
+            invert(GF8, m)
+
+    def test_zero_matrix_rejected(self):
+        with pytest.raises(SingularMatrixError):
+            invert(GF8, np.zeros((3, 3), dtype=np.uint8))
+
+    def test_non_square_rejected(self, rng):
+        with pytest.raises(ValueError):
+            invert(GF8, GF8.random(rng, (2, 3)))
+
+    def test_requires_pivot_swap(self):
+        # zero in the (0,0) position forces a row swap
+        m = np.array([[0, 1], [1, 0]], dtype=np.uint8)
+        m_inv = invert(GF8, m)
+        assert np.array_equal(matmul(GF8, m, m_inv), identity(GF8, 2))
+
+    def test_gf4_inversion(self, rng):
+        m = random_invertible(GF4, 4, rng)
+        assert np.array_equal(matmul(GF4, m, invert(GF4, m)), identity(GF4, 4))
+
+
+class TestRank:
+    def test_identity_full_rank(self):
+        assert rank(GF8, identity(GF8, 5)) == 5
+
+    def test_zero_matrix(self):
+        assert rank(GF8, np.zeros((3, 4), dtype=np.uint8)) == 0
+
+    def test_duplicated_rows(self):
+        m = np.array([[1, 2, 3], [1, 2, 3], [0, 1, 0]], dtype=np.uint8)
+        assert rank(GF8, m) == 2
+
+    def test_gf_linear_dependence(self):
+        # row2 = 2 * row1 in GF(2^8)
+        row = np.array([3, 5, 7], dtype=np.uint8)
+        dep = GF8.scalar_mul_vec(2, row)
+        m = np.vstack([row, dep])
+        assert rank(GF8, m) == 1
+
+    def test_wide_matrix(self, rng):
+        m = random_invertible(GF8, 3, rng)
+        wide = np.hstack([m, matmul(GF8, m, m)])
+        assert rank(GF8, wide) == 3
+
+    def test_rank_bounded(self, rng):
+        m = GF8.random(rng, (4, 7))
+        assert 0 <= rank(GF8, m) <= 4
+
+
+class TestSolve:
+    def test_vector_rhs(self, rng):
+        a = random_invertible(GF8, 5, rng)
+        x = GF8.random(rng, 5)
+        b = matvec(GF8, a, x)
+        assert np.array_equal(solve(GF8, a, b), x)
+
+    def test_matrix_rhs(self, rng):
+        a = random_invertible(GF8, 4, rng)
+        x = GF8.random(rng, (4, 10))
+        b = matmul(GF8, a, x)
+        assert np.array_equal(solve(GF8, a, b), x)
+
+    def test_singular_rejected(self, rng):
+        a = np.zeros((2, 2), dtype=np.uint8)
+        with pytest.raises(SingularMatrixError):
+            solve(GF8, a, GF8.random(rng, 2))
+
+
+class TestSubmatrixCheck:
+    def test_cauchy_block_passes(self):
+        from repro.gf.vandermonde import cauchy_matrix
+
+        c = cauchy_matrix(GF8, [0, 1, 2], [3, 4, 5, 6])
+        assert all_square_submatrices_invertible(GF8, c)
+
+    def test_block_with_zero_fails(self):
+        m = np.array([[1, 0], [1, 1]], dtype=np.uint8)
+        # 1x1 submatrix [0] is singular
+        assert not all_square_submatrices_invertible(GF8, m)
+
+    def test_max_order_limits_search(self):
+        m = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        # 1x1 all fine, 2x2 singular — with max_order=1 it passes
+        assert all_square_submatrices_invertible(GF8, m, max_order=1)
+        assert not all_square_submatrices_invertible(GF8, m)

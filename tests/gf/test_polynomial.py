@@ -1,0 +1,157 @@
+"""Tests for polynomials over GF(2^w)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gf import GF8, Poly
+
+coeff_lists = st.lists(st.integers(0, 255), min_size=0, max_size=8)
+
+
+def P(*coeffs):
+    return Poly(GF8, coeffs)
+
+
+class TestConstruction:
+    def test_trailing_zeros_stripped(self):
+        assert P(1, 2, 0, 0).coeffs == (1, 2)
+
+    def test_zero_polynomial(self):
+        assert Poly.zero(GF8).degree == -1
+        assert Poly.zero(GF8).is_zero()
+        assert P(0, 0).is_zero()
+
+    def test_monomial(self):
+        m = Poly.monomial(GF8, 3, 5)
+        assert m.coeffs == (0, 0, 0, 5)
+        assert m.degree == 3
+
+    def test_monomial_negative_degree(self):
+        with pytest.raises(ValueError):
+            Poly.monomial(GF8, -1)
+
+    def test_out_of_field_coefficient(self):
+        with pytest.raises(ValueError):
+            P(256)
+
+    def test_equality(self):
+        assert P(1, 2) == P(1, 2, 0)
+        assert P(1, 2) != P(2, 1)
+        assert hash(P(1, 2)) == hash(P(1, 2, 0))
+
+
+class TestArithmetic:
+    def test_add_is_xor(self):
+        assert (P(1, 2, 3) + P(4, 5)).coeffs == (5, 7, 3)
+
+    def test_add_cancels(self):
+        p = P(9, 8, 7)
+        assert (p + p).is_zero()
+
+    def test_mul_by_zero(self):
+        assert (P(1, 2) * Poly.zero(GF8)).is_zero()
+
+    def test_mul_by_one(self):
+        p = P(3, 1, 4)
+        assert p * Poly.one(GF8) == p
+
+    def test_mul_degrees_add(self):
+        assert (P(1, 1) * P(1, 0, 1)).degree == 3
+
+    def test_known_product(self):
+        # (x+1)(x+1) = x^2 + 1 in characteristic 2
+        assert (P(1, 1) * P(1, 1)).coeffs == (1, 0, 1)
+
+    def test_scale(self):
+        p = P(1, 2, 4)
+        doubled = p.scale(2)
+        assert doubled.coeffs == tuple(GF8.mul(2, c) for c in (1, 2, 4))
+
+    def test_mixed_field_rejected(self):
+        from repro.gf import GF4
+
+        with pytest.raises(TypeError):
+            P(1) + Poly(GF4, (1,))
+
+    @given(coeff_lists, coeff_lists)
+    def test_mul_commutative(self, a, b):
+        pa, pb = Poly(GF8, a), Poly(GF8, b)
+        assert pa * pb == pb * pa
+
+    @given(coeff_lists, coeff_lists, coeff_lists)
+    def test_distributive(self, a, b, c):
+        pa, pb, pc = (Poly(GF8, x) for x in (a, b, c))
+        assert pa * (pb + pc) == pa * pb + pa * pc
+
+
+class TestDivmod:
+    def test_exact_division(self):
+        a = P(1, 1)
+        b = P(1, 0, 1)
+        prod = a * b
+        q, r = prod.divmod(a)
+        assert q == b and r.is_zero()
+
+    def test_remainder_degree(self):
+        q, r = P(1, 2, 3, 4).divmod(P(5, 6))
+        assert r.degree < 1
+
+    def test_reconstruction(self):
+        num, den = P(7, 3, 1, 9), P(2, 5)
+        q, r = num.divmod(den)
+        assert q * den + r == num
+
+    def test_divide_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            P(1).divmod(Poly.zero(GF8))
+
+    @given(coeff_lists, st.lists(st.integers(0, 255), min_size=1, max_size=5))
+    def test_divmod_invariant(self, num_c, den_c):
+        num, den = Poly(GF8, num_c), Poly(GF8, den_c)
+        if den.is_zero():
+            return
+        q, r = num.divmod(den)
+        assert q * den + r == num
+        assert r.degree < den.degree or r.is_zero()
+
+
+class TestEvalInterp:
+    def test_eval_constant(self):
+        assert P(7).eval(99) == 7
+
+    def test_eval_horner_matches_powers(self):
+        p = P(3, 1, 4, 1, 5)
+        for x in (0, 1, 2, 77):
+            expected = 0
+            for i, c in enumerate(p.coeffs):
+                expected ^= GF8.mul(c, GF8.pow(x, i))
+            assert p.eval(x) == expected
+
+    def test_eval_many_matches_eval(self):
+        p = P(9, 2, 6)
+        xs = [0, 1, 5, 200]
+        out = p.eval_many(xs)
+        assert [int(v) for v in out] == [p.eval(x) for x in xs]
+
+    def test_interpolate_roundtrip(self, rng):
+        coeffs = [int(v) for v in rng.integers(0, 256, size=5)]
+        p = Poly(GF8, coeffs)
+        points = [(x, p.eval(x)) for x in range(p.degree + 1)]
+        assert Poly.interpolate(GF8, points) == p
+
+    def test_interpolate_duplicate_x_rejected(self):
+        with pytest.raises(ValueError):
+            Poly.interpolate(GF8, [(1, 2), (1, 3)])
+
+    def test_rs_view_consistency(self, rng):
+        """A Reed-Solomon codeword is a polynomial evaluation: erasing any
+        m positions of a degree-(k-1) polynomial evaluated at k+m points is
+        recoverable by interpolation — the MDS property from the
+        polynomial side."""
+        k, m = 4, 3
+        coeffs = [int(v) for v in rng.integers(0, 256, size=k)]
+        p = Poly(GF8, coeffs)
+        points = [(x, p.eval(x)) for x in range(k + m)]
+        surviving = points[m:]  # drop m points
+        assert Poly.interpolate(GF8, surviving) == p

@@ -1,0 +1,64 @@
+"""Tests for the small fields GF(2^2) and GF(2^3) (exhaustive)."""
+
+import pytest
+
+from repro.gf import get_field
+from repro.gf.matrix import identity, invert, is_invertible, matmul
+from repro.gf.tables import carryless_multiply, polynomial_mod
+
+
+@pytest.fixture(params=[2, 3], ids=["gf4", "gf8elems"])
+def field(request):
+    return get_field(request.param)
+
+
+class TestExhaustiveAxioms:
+    def test_multiplication_table_matches_oracle(self, field):
+        for a in range(field.order):
+            for b in range(field.order):
+                expected = polynomial_mod(carryless_multiply(a, b), field.tables.poly)
+                assert field.mul(a, b) == expected
+
+    def test_every_nonzero_invertible(self, field):
+        for a in range(1, field.order):
+            assert field.mul(a, field.inv(a)) == 1
+
+    def test_group_cyclic(self, field):
+        seen = set()
+        v = 1
+        for _ in range(field.group_order):
+            seen.add(v)
+            v = field.mul(v, 2)
+        assert v == 1
+        assert len(seen) == field.group_order
+
+    def test_fermat(self, field):
+        """a^(2^w - 1) == 1 for all nonzero a."""
+        for a in range(1, field.order):
+            assert field.pow(a, field.group_order) == 1
+
+
+class TestSmallFieldMatrices:
+    def test_all_2x2_invertibility_agrees_with_determinant(self, field):
+        """Over tiny fields we can check every 2x2 matrix: invertibility
+        iff det != 0."""
+        import numpy as np
+
+        q = field.order
+        count_invertible = 0
+        for a in range(q):
+            for b in range(q):
+                for c in range(q):
+                    for d in range(q):
+                        m = np.array([[a, b], [c, d]], dtype=field.dtype)
+                        det = field.mul(a, d) ^ field.mul(b, c)
+                        inv_ok = is_invertible(field, m)
+                        assert inv_ok == (det != 0), (a, b, c, d)
+                        if inv_ok:
+                            count_invertible += 1
+                            m_inv = invert(field, m)
+                            assert np.array_equal(
+                                matmul(field, m, m_inv), identity(field, 2)
+                            )
+        # |GL(2, q)| = (q^2 - 1)(q^2 - q)
+        assert count_invertible == (q**2 - 1) * (q**2 - q)

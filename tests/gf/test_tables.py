@@ -1,0 +1,128 @@
+"""Tests for GF(2^w) table construction."""
+
+import numpy as np
+import pytest
+
+from repro.gf.tables import (
+    PRIMITIVE_POLYNOMIALS,
+    SUPPORTED_WIDTHS,
+    build_tables,
+    carryless_multiply,
+    polynomial_mod,
+)
+
+
+class TestCarrylessMultiply:
+    def test_zero(self):
+        assert carryless_multiply(0, 123) == 0
+        assert carryless_multiply(123, 0) == 0
+
+    def test_one_is_identity(self):
+        for a in (1, 2, 3, 0x53, 0xFF):
+            assert carryless_multiply(a, 1) == a
+            assert carryless_multiply(1, a) == a
+
+    def test_known_product(self):
+        # (x+1)(x+1) = x^2 + 1 over GF(2)
+        assert carryless_multiply(0b11, 0b11) == 0b101
+        # x * (x^2 + x + 1) = x^3 + x^2 + x
+        assert carryless_multiply(0b10, 0b111) == 0b1110
+
+    def test_commutative(self):
+        for a in range(1, 32):
+            for b in range(1, 32):
+                assert carryless_multiply(a, b) == carryless_multiply(b, a)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            carryless_multiply(-1, 2)
+
+
+class TestPolynomialMod:
+    def test_below_modulus_unchanged(self):
+        assert polynomial_mod(0b101, 0b10011) == 0b101
+
+    def test_aes_style_reduction(self):
+        # x^8 mod (x^8+x^4+x^3+x^2+1) = x^4+x^3+x^2+1 = 0x1D
+        assert polynomial_mod(0x100, 0x11D) == 0x1D
+
+    def test_zero_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            polynomial_mod(5, 0)
+
+    def test_result_degree_below_modulus(self):
+        for v in range(1, 512):
+            r = polynomial_mod(v, 0x13)  # degree-4 modulus
+            assert r < 0x10
+
+
+class TestBuildTables:
+    @pytest.mark.parametrize("w", SUPPORTED_WIDTHS)
+    def test_exp_cycle_covers_all_nonzero(self, w):
+        t = build_tables(w)
+        group = (1 << w) - 1
+        nonzero = set(int(v) for v in t.exp[:group])
+        assert nonzero == set(range(1, 1 << w))
+
+    @pytest.mark.parametrize("w", SUPPORTED_WIDTHS)
+    def test_log_exp_inverse(self, w):
+        t = build_tables(w)
+        for a in range(1, 1 << w):
+            assert int(t.exp[int(t.log[a])]) == a
+
+    @pytest.mark.parametrize("w", SUPPORTED_WIDTHS)
+    def test_exp_doubled(self, w):
+        t = build_tables(w)
+        g = t.group_order
+        assert np.array_equal(t.exp[:g], t.exp[g : 2 * g])
+
+    @pytest.mark.parametrize("w", SUPPORTED_WIDTHS)
+    def test_zero_pad_region(self, w):
+        t = build_tables(w)
+        g = t.group_order
+        # the sentinel region must read zero, up to log[0]+log[0]
+        assert not t.exp[2 * g : 4 * g + 1].any()
+        assert int(t.log[0]) == t.zero_log == 2 * g
+
+    def test_tables_are_readonly(self):
+        t = build_tables(8)
+        with pytest.raises(ValueError):
+            t.exp[0] = 1
+        with pytest.raises(ValueError):
+            t.log[1] = 1
+
+    def test_unsupported_width_rejected(self):
+        with pytest.raises(ValueError):
+            build_tables(5)
+
+    def test_non_primitive_poly_rejected(self):
+        # x^4 + x^3 + x^2 + x + 1 is irreducible but NOT primitive (order 5)
+        with pytest.raises(ValueError):
+            build_tables(4, poly=0b11111)
+
+    def test_reducible_poly_rejected(self):
+        # x^4 + 1 = (x+1)^4 over GF(2)
+        with pytest.raises(ValueError):
+            build_tables(4, poly=0b10001)
+
+    def test_wrong_degree_poly_rejected(self):
+        with pytest.raises(ValueError):
+            build_tables(8, poly=0b10011)  # degree 4 poly for w=8
+
+    def test_memoized(self):
+        assert build_tables(8) is build_tables(8)
+
+    def test_default_polys_match_jerasure(self):
+        # Jerasure / GF-Complete defaults: 0x13, 0x11D, 0x1100B
+        assert PRIMITIVE_POLYNOMIALS[4] == 0b10011
+        assert PRIMITIVE_POLYNOMIALS[8] == 0x11D
+        assert PRIMITIVE_POLYNOMIALS[16] == 0x1100B
+
+    @pytest.mark.parametrize("w", [4, 8])
+    def test_exp_matches_carryless_oracle(self, w):
+        """alpha^i computed independently by repeated carry-less multiply."""
+        t = build_tables(w)
+        value = 1
+        for i in range(t.group_order):
+            assert int(t.exp[i]) == value
+            value = polynomial_mod(carryless_multiply(value, 2), t.poly)

@@ -1,0 +1,114 @@
+"""Tests for Vandermonde/Cauchy generator constructions."""
+
+import numpy as np
+import pytest
+
+from repro.gf import GF8
+from repro.gf.matrix import (
+    all_square_submatrices_invertible,
+    identity,
+    is_invertible,
+    rank,
+)
+from repro.gf.vandermonde import (
+    cauchy_matrix,
+    extended_generator,
+    systematic_vandermonde_coding_matrix,
+    vandermonde,
+)
+
+
+class TestVandermonde:
+    def test_shape_and_values(self):
+        v = vandermonde(GF8, 4, 3)
+        assert v.shape == (4, 3)
+        for i in range(4):
+            for j in range(3):
+                assert int(v[i, j]) == GF8.pow(i, j)
+
+    def test_first_column_ones(self):
+        v = vandermonde(GF8, 5, 4)
+        assert np.all(v[:, 0] == 1)
+
+    def test_zero_row(self):
+        v = vandermonde(GF8, 3, 4)
+        # row 0 is [1, 0, 0, 0] (0^0 = 1 convention)
+        assert list(v[0]) == [1, 0, 0, 0]
+
+    def test_square_invertible(self):
+        assert is_invertible(GF8, vandermonde(GF8, 6, 6))
+
+    def test_too_many_points_rejected(self):
+        with pytest.raises(ValueError):
+            vandermonde(GF8, 257, 3)
+
+
+class TestSystematicCoding:
+    @pytest.mark.parametrize("k,m", [(6, 3), (8, 4), (10, 5), (4, 2), (1, 1)])
+    def test_generator_is_mds(self, k, m):
+        """Any k rows of the extended generator must be invertible."""
+        from itertools import combinations
+
+        block = systematic_vandermonde_coding_matrix(GF8, k, m)
+        gen = extended_generator(GF8, block)
+        assert gen.shape == (k + m, k)
+        assert np.array_equal(gen[:k], identity(GF8, k))
+        # spot-check a spread of k-subsets (exhaustive for small cases)
+        subsets = list(combinations(range(k + m), k))
+        if len(subsets) > 300:
+            subsets = subsets[::  len(subsets) // 300]
+        for rows in subsets:
+            assert is_invertible(GF8, gen[list(rows)]), rows
+
+    def test_block_has_no_zeros(self):
+        # a zero coefficient would make some k-subset singular
+        block = systematic_vandermonde_coding_matrix(GF8, 6, 3)
+        assert np.all(block != 0)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            systematic_vandermonde_coding_matrix(GF8, 200, 100)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            systematic_vandermonde_coding_matrix(GF8, 0, 3)
+
+
+class TestCauchy:
+    def test_values(self):
+        c = cauchy_matrix(GF8, [0, 1], [2, 3])
+        for i, x in enumerate((0, 1)):
+            for j, y in enumerate((2, 3)):
+                assert int(c[i, j]) == GF8.inv(x ^ y)
+
+    def test_all_submatrices_invertible(self):
+        c = cauchy_matrix(GF8, [0, 1, 2, 3], [4, 5, 6, 7, 8])
+        assert all_square_submatrices_invertible(GF8, c)
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError):
+            cauchy_matrix(GF8, [0, 0], [1, 2])
+        with pytest.raises(ValueError):
+            cauchy_matrix(GF8, [0, 1], [1, 2])
+
+    def test_extended_generator_full_rank_any_k_rows(self):
+        from itertools import combinations
+
+        c = cauchy_matrix(GF8, [0, 1, 2], [3, 4, 5, 6])
+        gen = extended_generator(GF8, c)
+        k = 4
+        for rows in combinations(range(7), k):
+            assert rank(GF8, gen[list(rows)]) == k
+
+
+class TestExtendedGenerator:
+    def test_stacks_identity(self, rng):
+        block = GF8.random(rng, (3, 5))
+        gen = extended_generator(GF8, block)
+        assert gen.shape == (8, 5)
+        assert np.array_equal(gen[:5], identity(GF8, 5))
+        assert np.array_equal(gen[5:], block)
+
+    def test_rejects_non_2d(self, rng):
+        with pytest.raises(ValueError):
+            extended_generator(GF8, GF8.random(rng, 5))

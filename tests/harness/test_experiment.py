@@ -1,0 +1,101 @@
+"""Tests for the experiment runner (reduced trial counts for speed)."""
+
+import pytest
+
+from repro.codes import make_lrc, make_rs
+from repro.harness.experiment import (
+    PAPER_FORMS,
+    PAPER_LRC_PARAMS,
+    PAPER_RS_PARAMS,
+    ExperimentConfig,
+    compare_degraded_forms,
+    compare_normal_forms,
+    paper_codes,
+    run_degraded_read_experiment,
+    run_normal_read_experiment,
+)
+from repro.layout import FRMPlacement, StandardPlacement
+
+FAST = ExperimentConfig(normal_trials=150, degraded_trials=200, address_space_rows=200)
+
+
+class TestTable1:
+    def test_paper_codes_complete(self):
+        codes = paper_codes()
+        assert set(codes) == {
+            "rs-6-3", "rs-8-4", "rs-10-5",
+            "lrc-6-2-2", "lrc-8-2-3", "lrc-10-2-4",
+        }
+        assert PAPER_RS_PARAMS == ((6, 3), (8, 4), (10, 5))
+        assert PAPER_LRC_PARAMS == ((6, 2, 2), (8, 2, 3), (10, 2, 4))
+        assert PAPER_FORMS == ("standard", "rotated", "ec-frm")
+
+
+class TestConfig:
+    def test_address_space_scales_with_k(self):
+        cfg = ExperimentConfig(address_space_rows=100)
+        assert cfg.address_space(make_rs(6, 3)) == 600
+        assert cfg.address_space(make_rs(10, 5)) == 1000
+
+    def test_workload_parameters_follow_paper(self):
+        cfg = ExperimentConfig()
+        w = cfg.normal_workload(make_rs(6, 3))
+        assert w.trials == 2000 and w.max_size == 20
+        d = cfg.degraded_workload(make_rs(6, 3))
+        assert d.trials == 5000 and d.num_disks == 9
+
+
+class TestNormalExperiment:
+    def test_result_fields(self):
+        res = run_normal_read_experiment(StandardPlacement(make_rs(6, 3)), FAST)
+        assert res.placement_name == "standard"
+        assert res.speed_mib_s.count == 150
+        assert res.mean_speed > 0
+        assert 1.0 <= res.max_disk_load.mean <= 4.0
+
+    def test_frm_beats_standard_on_speed(self):
+        """The paper's core normal-read result at reduced scale."""
+        code = make_lrc(6, 2, 2)
+        std = run_normal_read_experiment(StandardPlacement(code), FAST)
+        frm = run_normal_read_experiment(FRMPlacement(code), FAST)
+        assert frm.mean_speed > std.mean_speed * 1.1
+
+    def test_frm_touches_more_disks(self):
+        code = make_lrc(6, 2, 2)
+        std = run_normal_read_experiment(StandardPlacement(code), FAST)
+        frm = run_normal_read_experiment(FRMPlacement(code), FAST)
+        assert frm.disks_touched.mean > std.disks_touched.mean
+
+    def test_same_workload_across_forms(self):
+        """compare_normal_forms must replay identical requests per form —
+        the speeds differ but the trial counts and seeds agree."""
+        res = compare_normal_forms(make_rs(6, 3), config=FAST)
+        counts = {r.speed_mib_s.count for r in res.values()}
+        assert counts == {150}
+        assert set(res) == set(PAPER_FORMS)
+
+
+class TestDegradedExperiment:
+    def test_result_fields(self):
+        res = run_degraded_read_experiment(StandardPlacement(make_rs(6, 3)), FAST)
+        assert res.read_cost.mean >= 1.0
+        assert res.mean_cost == res.read_cost.mean
+        assert res.speed_mib_s.count == 200
+
+    def test_lrc_cost_below_rs_cost(self):
+        """Figure 9(a) vs 9(b): LRC's local repair keeps the degraded cost
+        well under RS's."""
+        rs = run_degraded_read_experiment(StandardPlacement(make_rs(6, 3)), FAST)
+        lrc = run_degraded_read_experiment(StandardPlacement(make_lrc(6, 2, 2)), FAST)
+        assert lrc.read_cost.mean < rs.read_cost.mean
+
+    def test_frm_beats_standard_on_degraded_speed(self):
+        code = make_rs(6, 3)
+        res = compare_degraded_forms(code, config=FAST)
+        assert res["ec-frm"].mean_speed > res["standard"].mean_speed
+
+    def test_cost_nearly_identical_across_forms(self):
+        """Figure 9(a): the three RS forms differ by <2% in cost."""
+        res = compare_degraded_forms(make_rs(6, 3), config=FAST)
+        costs = [r.mean_cost for r in res.values()]
+        assert (max(costs) - min(costs)) / min(costs) < 0.05

@@ -1,0 +1,61 @@
+"""Tests for CSV/JSON result export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.harness import ExperimentConfig, SeriesTable, table_to_csv, table_to_json
+from repro.harness.export import FIGURE_BUILDERS, export_all_figures
+
+
+@pytest.fixture
+def table():
+    t = SeriesTable(title="T", x_labels=["(6,3)", "(8,4)"], unit="MiB/s")
+    t.add_series("RS", [100.5, 90.25])
+    t.add_series("EC-FRM-RS", [125.0, 120.0])
+    return t
+
+
+class TestCsv:
+    def test_round_trips_through_csv_reader(self, table):
+        rows = list(csv.reader(io.StringIO(table_to_csv(table))))
+        assert rows[0] == ["series", "(6,3)", "(8,4)"]
+        assert rows[1][0] == "RS"
+        assert float(rows[1][1]) == 100.5
+
+    def test_one_row_per_series(self, table):
+        rows = table_to_csv(table).strip().splitlines()
+        assert len(rows) == 3
+
+
+class TestJson:
+    def test_payload_structure(self, table):
+        payload = json.loads(table_to_json(table))
+        assert payload["title"] == "T"
+        assert payload["unit"] == "MiB/s"
+        assert payload["series"]["EC-FRM-RS"] == [125.0, 120.0]
+
+
+class TestExportAll:
+    def test_builders_cover_all_measured_figures(self):
+        assert set(FIGURE_BUILDERS) == {"fig8a", "fig8b", "fig9a", "fig9b", "fig9c", "fig9d"}
+
+    def test_writes_all_files(self, tmp_path):
+        cfg = ExperimentConfig(normal_trials=60, degraded_trials=60, address_space_rows=100)
+        written = export_all_figures(tmp_path, cfg)
+        assert len(written) == 12
+        for path in written:
+            assert path.exists()
+            assert path.stat().st_size > 0
+
+    def test_single_format(self, tmp_path):
+        cfg = ExperimentConfig(normal_trials=60, degraded_trials=60, address_space_rows=100)
+        written = export_all_figures(tmp_path, cfg, formats=("json",))
+        assert len(written) == 6
+        assert all(p.suffix == ".json" for p in written)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_all_figures(tmp_path, formats=("xml",))

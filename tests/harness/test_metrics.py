@@ -1,0 +1,57 @@
+"""Tests for metric aggregation."""
+
+import pytest
+
+from repro.harness.metrics import SampleSummary, improvement_pct, summarize
+
+
+class TestSummarize:
+    def test_single_sample(self):
+        s = summarize([5.0])
+        assert s.count == 1
+        assert s.mean == 5.0
+        assert s.std == 0.0
+        assert s.minimum == s.maximum == s.p50 == s.p95 == 5.0
+
+    def test_known_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.p50 == pytest.approx(2.5)
+
+    def test_std_population(self):
+        s = summarize([2.0, 4.0])
+        assert s.std == pytest.approx(1.0)
+
+    def test_order_independent(self):
+        a = summarize([3.0, 1.0, 2.0])
+        b = summarize([1.0, 2.0, 3.0])
+        assert a == b
+
+    def test_p95_interpolates(self):
+        s = summarize(list(map(float, range(101))))
+        assert s.p95 == pytest.approx(95.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestImprovementPct:
+    def test_improvement(self):
+        assert improvement_pct(120.0, 100.0) == pytest.approx(20.0)
+
+    def test_regression_negative(self):
+        assert improvement_pct(90.0, 100.0) == pytest.approx(-10.0)
+
+    def test_equal_zero(self):
+        assert improvement_pct(5.0, 5.0) == pytest.approx(0.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            improvement_pct(1.0, 0.0)
+
+    def test_paper_headline_arithmetic(self):
+        """Sanity: the paper's '19.2% higher' means new = 1.192 x old."""
+        assert improvement_pct(1.192, 1.0) == pytest.approx(19.2, abs=0.01)

@@ -1,0 +1,74 @@
+"""Tests for paper-figure regeneration."""
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.paperfigs import (
+    ALL_TEXT_FIGURES,
+    fig1_rs_layout,
+    fig2_lrc_layout,
+    fig3_read_example,
+    fig4_frm_layout,
+    fig5_construction,
+    fig6_reconstruction,
+    fig7_reads,
+    figure8a,
+    figure9b,
+)
+
+FAST = ExperimentConfig(normal_trials=60, degraded_trials=80, address_space_rows=100)
+
+
+class TestTextFigures:
+    def test_registry_complete(self):
+        assert list(ALL_TEXT_FIGURES) == [f"fig{i}" for i in range(1, 8)]
+
+    def test_fig1_mentions_mds(self):
+        out = fig1_rs_layout()
+        assert "d0,5" in out and "p0,2" in out and "any 3" in out
+
+    def test_fig2_local_groups(self):
+        out = fig2_lrc_layout()
+        assert "XOR of {d0,0, d0,1, d0,2}" in out
+        assert "XOR of {d0,3, d0,4, d0,5}" in out
+
+    def test_fig3_bottleneck_two(self):
+        out = fig3_read_example()
+        assert out.count("most loaded disk serves 2") == 2
+
+    def test_fig4_reproduces_paper_groups(self):
+        out = fig4_frm_layout()
+        assert "G1 = {d0,6, d0,7, d0,8, d0,9, d1,0, d1,1, p3,2, p3,3, p4,4, p4,5}" in out
+        assert "G2 = {d1,2, d1,3, d1,4, d1,5, d1,6, d1,7, p3,8, p3,9, p4,0, p4,1}" in out
+
+    def test_fig5_contains_paper_equation(self):
+        # the paper's worked example: p3,2 = d0,6 + d0,7 + d0,8
+        assert "p3,2 = d0,6 + d0,7 + d0,8" in fig5_construction()
+
+    def test_fig6_verifies_bytes(self):
+        assert "byte-exact recovery: OK" in fig6_reconstruction()
+
+    def test_fig7_all_three_cases(self):
+        out = fig7_reads()
+        assert "max load 1" in out
+        assert "max load 2" in out
+        assert "max load 3" in out
+
+
+class TestMeasuredFigures:
+    def test_figure8a_shape(self):
+        table = figure8a(FAST)
+        assert list(table.x_labels) == ["(6,3)", "(8,4)", "(10,5)"]
+        assert set(table.series) == {"RS", "R-RS", "EC-FRM-RS"}
+        assert all(len(v) == 3 for v in table.series.values())
+
+    def test_figure8a_frm_wins(self):
+        table = figure8a(FAST)
+        for x in table.x_labels:
+            assert table.value("EC-FRM-RS", x) > table.value("RS", x)
+
+    def test_figure9b_costs_near_one(self):
+        table = figure9b(FAST)
+        for series in table.series.values():
+            for v in series:
+                assert 1.0 <= v < 1.3

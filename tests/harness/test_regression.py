@@ -1,0 +1,61 @@
+"""Tests for the baseline regression guard, including the live check
+against the committed results/ artifacts."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.export import export_all_figures
+from repro.harness.regression import check_all_figures, check_figure, load_baseline
+
+RESULTS_DIR = Path(__file__).resolve().parents[2] / "results"
+FAST = ExperimentConfig(normal_trials=80, degraded_trials=80, address_space_rows=120)
+
+
+class TestMachinery:
+    def test_load_baseline_roundtrip(self, tmp_path):
+        export_all_figures(tmp_path, FAST, formats=("json",))
+        table = load_baseline(tmp_path, "fig8a")
+        assert set(table.series) == {"RS", "R-RS", "EC-FRM-RS"}
+
+    def test_missing_baseline(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_baseline(tmp_path, "fig8a")
+
+    def test_unknown_figure(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown figure"):
+            check_figure("fig99", tmp_path)
+
+    def test_identical_runs_have_zero_error(self, tmp_path):
+        """Same config, same seed: the diff must be exactly zero."""
+        export_all_figures(tmp_path, FAST, formats=("json",))
+        report = check_figure("fig8a", tmp_path, FAST)
+        assert report.max_rel_error == 0.0
+        assert report.within(1e-12)
+
+    def test_detects_drift(self, tmp_path):
+        """Different trial counts shift the estimates; the guard sees it."""
+        export_all_figures(tmp_path, FAST, formats=("json",))
+        other = ExperimentConfig(
+            normal_trials=80, degraded_trials=80, address_space_rows=120, seed=999
+        )
+        report = check_figure("fig8a", tmp_path, other)
+        assert report.max_rel_error > 0.0
+        assert report.worst_cell is not None
+
+
+@pytest.mark.skipif(not RESULTS_DIR.exists(), reason="no committed baselines")
+class TestCommittedBaselines:
+    def test_fig8a_matches_committed_baseline(self):
+        """A reduced-trial rerun must land within a few percent of the
+        committed full-scale artifact (same seed, fewer samples)."""
+        cfg = ExperimentConfig(normal_trials=400, degraded_trials=400)
+        report = check_figure("fig8a", RESULTS_DIR, cfg)
+        assert report.within(0.05), report
+
+    def test_structure_of_all_baselines(self):
+        for fig in ("fig8a", "fig8b", "fig9a", "fig9b", "fig9c", "fig9d"):
+            table = load_baseline(RESULTS_DIR, fig)
+            assert len(table.x_labels) == 3
+            assert len(table.series) == 3

@@ -1,0 +1,63 @@
+"""Tests for the plain-text report renderer."""
+
+import pytest
+
+from repro.harness.report import SeriesTable, format_pct_range, render_improvements
+
+
+@pytest.fixture
+def table():
+    t = SeriesTable(title="Demo", x_labels=["(6,3)", "(8,4)"], unit="MiB/s")
+    t.add_series("RS", [100.0, 90.0])
+    t.add_series("EC-FRM-RS", [125.0, 120.0])
+    return t
+
+
+class TestSeriesTable:
+    def test_value_lookup(self, table):
+        assert table.value("RS", "(8,4)") == 90.0
+
+    def test_wrong_length_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.add_series("bad", [1.0])
+
+    def test_render_contains_everything(self, table):
+        out = table.render()
+        assert "Demo" in out
+        assert "(6,3) [MiB/s]" in out
+        assert "EC-FRM-RS" in out
+        assert "125.0" in out
+
+    def test_render_precision(self, table):
+        out = table.render(precision=3)
+        assert "125.000" in out
+
+    def test_render_alignment(self, table):
+        lines = table.render().splitlines()
+        data_lines = lines[1:2] + lines[3:]
+        widths = {len(l) for l in data_lines}
+        assert len(widths) == 1  # all rows same width
+
+
+class TestFormatPctRange:
+    def test_range(self):
+        assert format_pct_range([19.2, 33.9, 25.0]) == "19.2% to 33.9%"
+
+    def test_collapses_tight_range(self):
+        assert format_pct_range([10.01, 10.02]) == "10.0%"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_pct_range([])
+
+
+class TestRenderImprovements:
+    def test_headline_lines(self, table):
+        out = render_improvements(table, "EC-FRM-RS", {"RS": "standard RS"})
+        assert "EC-FRM-RS vs standard RS" in out
+        # 125/100 = +25%, 120/90 = +33.3%
+        assert "25.0% to 33.3%" in out
+
+    def test_unknown_subject(self, table):
+        with pytest.raises(ValueError):
+            render_improvements(table, "LRC", {"RS": "x"})

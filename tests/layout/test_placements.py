@@ -1,0 +1,152 @@
+"""Tests for the three placement forms."""
+
+import pytest
+
+from repro.codes import make_lrc, make_rs
+from repro.layout import (
+    Address,
+    FRMPlacement,
+    RotatedPlacement,
+    StandardPlacement,
+    make_placement,
+)
+
+
+class TestFactory:
+    def test_make_placement(self):
+        code = make_rs(6, 3)
+        assert isinstance(make_placement("standard", code), StandardPlacement)
+        assert isinstance(make_placement("rotated", code), RotatedPlacement)
+        assert isinstance(make_placement("ec-frm", code), FRMPlacement)
+
+    def test_unknown_form(self):
+        with pytest.raises(ValueError, match="unknown placement form"):
+            make_placement("mirrored", make_rs(6, 3))
+
+
+class TestSharedRowModel:
+    def test_row_of_data_identical_across_forms(self):
+        code = make_lrc(6, 2, 2)
+        placements = [StandardPlacement(code), RotatedPlacement(code), FRMPlacement(code)]
+        for t in range(0, 100, 7):
+            rows = {p.row_of_data(t) for p in placements}
+            assert len(rows) == 1
+            assert rows.pop() == (t // 6, t % 6)
+
+    def test_negative_index_rejected(self):
+        p = StandardPlacement(make_rs(6, 3))
+        with pytest.raises(ValueError):
+            p.row_of_data(-1)
+
+
+class TestStandard:
+    def test_element_to_disk_is_identity(self):
+        p = StandardPlacement(make_rs(6, 3))
+        for row in (0, 3, 17):
+            for e in range(9):
+                assert p.locate_row_element(row, e) == Address(disk=e, slot=row)
+
+    def test_data_confined_to_k_disks(self):
+        """The §III problem: parity disks never serve normal reads."""
+        p = StandardPlacement(make_lrc(6, 2, 2))
+        disks = {p.locate_data(t).disk for t in range(600)}
+        assert disks == set(range(6))
+
+    def test_max_load_is_ceil(self):
+        p = StandardPlacement(make_rs(6, 3))
+        import math
+
+        for start in (0, 3, 11):
+            for count in range(1, 25):
+                assert p.max_disk_load(start, count) == math.ceil(count / 6)
+
+    def test_bounds(self):
+        p = StandardPlacement(make_rs(6, 3))
+        with pytest.raises(ValueError):
+            p.locate_row_element(0, 9)
+        with pytest.raises(ValueError):
+            p.locate_row_element(-1, 0)
+
+
+class TestRotated:
+    def test_rotation_by_row(self):
+        p = RotatedPlacement(make_rs(6, 3))
+        assert p.locate_row_element(0, 0).disk == 0
+        assert p.locate_row_element(1, 0).disk == 1
+        assert p.locate_row_element(9, 0).disk == 0  # wraps at n=9
+
+    def test_parity_rotates_through_all_disks(self):
+        p = RotatedPlacement(make_lrc(6, 2, 2))
+        parity_disks = {p.locate_row_element(row, 6).disk for row in range(10)}
+        assert parity_disks == set(range(10))
+
+    def test_custom_step(self):
+        p = RotatedPlacement(make_rs(6, 3), step=2)
+        assert p.locate_row_element(1, 0).disk == 2
+
+    def test_step_zero_is_standard(self):
+        p = RotatedPlacement(make_rs(6, 3), step=0)
+        s = StandardPlacement(make_rs(6, 3))
+        for row in range(5):
+            for e in range(9):
+                assert p.locate_row_element(row, e) == s.locate_row_element(row, e)
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError):
+            RotatedPlacement(make_rs(6, 3), step=-1)
+
+    def test_data_uses_all_disks_eventually(self):
+        p = RotatedPlacement(make_lrc(6, 2, 2))
+        disks = {p.locate_data(t).disk for t in range(600)}
+        assert disks == set(range(10))
+
+
+class TestFRM:
+    def test_fast_path_matches_row_lookup(self):
+        """locate_data's O(1) arithmetic must agree with the generic
+        row-based path for every element of several stripes."""
+        for code in (make_rs(6, 3), make_lrc(6, 2, 2), make_lrc(8, 2, 3)):
+            p = FRMPlacement(code)
+            for t in range(3 * p.geometry.data_elements_per_stripe):
+                row, e = p.row_of_data(t)
+                assert p.locate_data(t) == p.locate_row_element(row, e), t
+
+    def test_contiguous_data_round_robins_all_disks(self):
+        """The EC-FRM normal-read property: consecutive logical elements
+        land on consecutive disks mod n."""
+        p = FRMPlacement(make_lrc(6, 2, 2))
+        for t in range(100):
+            assert p.locate_data(t).disk == t % 10
+
+    def test_max_load_is_ceil_over_n(self):
+        import math
+
+        p = FRMPlacement(make_lrc(6, 2, 2))
+        for start in (0, 7, 23):
+            for count in range(1, 25):
+                assert p.max_disk_load(start, count) == math.ceil(count / 10)
+
+    def test_slots_advance_across_stripes(self):
+        p = FRMPlacement(make_lrc(6, 2, 2))
+        g = p.geometry
+        first_next_stripe = p.locate_data(g.data_elements_per_stripe)
+        assert first_next_stripe == Address(disk=0, slot=g.rows)
+
+    def test_negative_rejected(self):
+        p = FRMPlacement(make_rs(6, 3))
+        with pytest.raises(ValueError):
+            p.locate_data(-1)
+        with pytest.raises(ValueError):
+            p.locate_row_element(0, 9)
+
+
+class TestBijectivity:
+    @pytest.mark.parametrize("form", ["standard", "rotated", "ec-frm"])
+    def test_no_address_double_booking(self, form, paper_code):
+        placement = make_placement(form, paper_code)
+        placement.verify_bijective(rows=4 * paper_code.n)
+
+    def test_describe_mentions_form_and_code(self):
+        p = FRMPlacement(make_rs(6, 3))
+        assert "ec-frm" in p.describe()
+        assert "RS(6,3)" in p.describe()

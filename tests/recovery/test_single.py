@@ -1,0 +1,126 @@
+"""Tests for single-disk recovery I/O minimization."""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_evenodd, make_rdp, make_rs, make_weaver, make_xcode
+from repro.recovery import (
+    RecoveryPlan,
+    conventional_recovery_plan,
+    greedy_recovery_plan,
+    optimal_recovery_plan,
+    recovery_equations,
+)
+
+
+class TestEquations:
+    def test_generic_derivation_from_generator(self):
+        xc = make_xcode(5)
+        eqs = recovery_equations(xc)
+        assert len(eqs) == xc.num_parity
+        # each equation contains exactly one parity element
+        for eq in eqs:
+            parities = [e for e in eq if e >= xc.k]
+            assert len(parities) == 1
+
+    def test_nonbinary_code_rejected(self):
+        rs = make_rs(4, 2)
+        with pytest.raises(ValueError, match="XOR codes"):
+            # RS is not a grid code; call the internals directly
+            from repro.recovery.single import recovery_equations as req
+
+            class FakeGrid:
+                generator = rs.generator
+                k = rs.k
+                n = rs.n
+
+                def describe(self):
+                    return "fake"
+
+            req(FakeGrid())
+
+    def test_equations_hold_on_codewords(self, rng):
+        for code in (make_xcode(5), make_weaver(6, 2), make_evenodd(5)):
+            data = rng.integers(0, 256, size=(code.k, 4), dtype=np.uint8)
+            full = np.vstack([data, code.encode(data)])
+            for eq in recovery_equations(code):
+                acc = np.zeros(4, dtype=np.uint8)
+                for e in eq:
+                    acc ^= full[e]
+                assert not acc.any(), (code.describe(), sorted(eq))
+
+
+class TestPlans:
+    @pytest.mark.parametrize(
+        "code", [make_rdp(5), make_rdp(7), make_evenodd(5), make_xcode(5)],
+        ids=lambda c: c.describe(),
+    )
+    def test_plans_actually_rebuild(self, code, rng):
+        """Execute each optimal plan on real bytes: XOR the chosen helpers
+        (in dependency-safe order helpers are all survivors) and compare
+        with the lost elements."""
+        data = rng.integers(0, 256, size=(code.k, 8), dtype=np.uint8)
+        full = np.vstack([data, code.encode(data)])
+        for failed in range(code.disks):
+            plan = optimal_recovery_plan(code, failed)
+            for lost, helpers in plan.choices.items():
+                acc = np.zeros(8, dtype=np.uint8)
+                for h in helpers:
+                    acc ^= full[h]
+                assert np.array_equal(acc, full[lost]), (failed, lost)
+
+    def test_helpers_never_on_failed_disk(self):
+        code = make_rdp(7)
+        for failed in range(code.disks):
+            plan = optimal_recovery_plan(code, failed)
+            for helpers in plan.choices.values():
+                assert all(code.disk_of_element(h) != failed for h in helpers)
+
+    def test_optimal_never_worse_than_conventional(self):
+        for code in (make_rdp(5), make_rdp(7), make_evenodd(5), make_xcode(5), make_weaver(8, 2)):
+            for failed in range(code.disks):
+                conv = conventional_recovery_plan(code, failed)
+                opt = optimal_recovery_plan(code, failed)
+                assert opt.io_count <= conv.io_count
+
+    def test_greedy_matches_exhaustive_on_small_instances(self):
+        for code in (make_rdp(5), make_rdp(7), make_evenodd(5), make_xcode(5)):
+            for failed in range(code.disks):
+                opt = optimal_recovery_plan(code, failed)
+                greedy = greedy_recovery_plan(code, failed)
+                assert greedy.io_count == opt.io_count, (code.describe(), failed)
+
+    def test_greedy_fallback_for_large_search_space(self):
+        code = make_rdp(11)  # 2^10 combos per data disk
+        plan = optimal_recovery_plan(code, 0, exhaustive_limit=4)
+        assert isinstance(plan, RecoveryPlan)
+        assert plan.io_count <= conventional_recovery_plan(code, 0).io_count
+
+
+class TestXiangReproduction:
+    """The paper's cited result [27]: hybrid RDP recovery saves ~25% I/O."""
+
+    @pytest.mark.parametrize("p", [5, 7, 11])
+    def test_rdp_data_disk_saves_25_percent(self, p):
+        code = make_rdp(p)
+        conv = conventional_recovery_plan(code, 0)
+        opt = optimal_recovery_plan(code, 0)
+        assert conv.io_count == (p - 1) ** 2
+        reduction = 1 - opt.io_count / conv.io_count
+        assert reduction == pytest.approx(0.25, abs=0.02), (p, opt.io_count)
+
+    def test_diag_parity_disk_has_no_choice(self):
+        """The diagonal-parity disk appears in exactly one equation per
+        element: no hybrid gain, as in Xiang et al."""
+        code = make_rdp(5)
+        diag_disk = code.disks - 1
+        conv = conventional_recovery_plan(code, diag_disk)
+        opt = optimal_recovery_plan(code, diag_disk)
+        assert opt.io_count == conv.io_count
+
+    def test_per_disk_loads_reported(self):
+        code = make_rdp(5)
+        plan = optimal_recovery_plan(code, 0)
+        loads = plan.per_disk_loads(code)
+        assert 0 not in loads
+        assert sum(loads.values()) == plan.io_count

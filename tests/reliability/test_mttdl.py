@@ -1,0 +1,155 @@
+"""Tests for the MTTDL reliability model."""
+
+import pytest
+
+from repro.reliability import (
+    ReliabilityParams,
+    mttdl_markov,
+    mttdl_monte_carlo,
+    rebuild_hours,
+)
+
+
+def params(**kwargs):
+    base = dict(num_disks=10, fault_tolerance=3, disk_mttf_hours=100.0, rebuild_hours=10.0)
+    base.update(kwargs)
+    return ReliabilityParams(**base)
+
+
+class TestParams:
+    def test_rates(self):
+        p = params()
+        assert p.failure_rate(0) == pytest.approx(10 / 100)
+        assert p.failure_rate(2) == pytest.approx(8 / 100)
+        assert p.repair_rate(0) == 0.0
+        assert p.repair_rate(2) == pytest.approx(1 / 10)
+
+    def test_parallel_repair(self):
+        p = params(parallel_repair=True)
+        assert p.repair_rate(3) == pytest.approx(3 / 10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            params(num_disks=0)
+        with pytest.raises(ValueError):
+            params(fault_tolerance=0)
+        with pytest.raises(ValueError):
+            params(fault_tolerance=10)
+        with pytest.raises(ValueError):
+            params(disk_mttf_hours=0)
+
+
+class TestMarkov:
+    def test_single_tolerance_closed_form(self):
+        """f=1 has the textbook closed form:
+        MTTDL = (mu + (2n-1)lambda) / (n(n-1)lambda^2)."""
+        n, mttf, rebuild = 5, 200.0, 4.0
+        p = ReliabilityParams(n, 1, mttf, rebuild)
+        lam = 1 / mttf
+        mu = 1 / rebuild
+        expected = (mu + (2 * n - 1) * lam) / (n * (n - 1) * lam**2)
+        assert mttdl_markov(p) == pytest.approx(expected, rel=1e-9)
+
+    def test_monotone_in_tolerance(self):
+        values = [mttdl_markov(params(fault_tolerance=f)) for f in (1, 2, 3)]
+        assert values == sorted(values)
+        assert values[2] > 3 * values[0]
+        # with reliable disks the extra tolerance dominates
+        good = [
+            mttdl_markov(params(fault_tolerance=f, disk_mttf_hours=10_000.0))
+            for f in (1, 2, 3)
+        ]
+        assert good[2] > 100 * good[0]
+
+    def test_monotone_in_rebuild_speed(self):
+        slow = mttdl_markov(params(rebuild_hours=20.0))
+        fast = mttdl_markov(params(rebuild_hours=5.0))
+        assert fast > slow
+
+    def test_monotone_in_disk_quality(self):
+        bad = mttdl_markov(params(disk_mttf_hours=50.0))
+        good = mttdl_markov(params(disk_mttf_hours=500.0))
+        assert good > bad
+
+    def test_parallel_repair_helps(self):
+        serial = mttdl_markov(params())
+        parallel = mttdl_markov(params(parallel_repair=True))
+        assert parallel > serial
+
+    def test_realistic_scale(self):
+        """RS(6,3)-class array with datacenter disks: astronomically
+        large MTTDL, far beyond any single-disk lifetime."""
+        p = ReliabilityParams(9, 3, 1e6, 2.0)
+        assert mttdl_markov(p) > 1e15
+
+
+class TestMonteCarloAgreement:
+    @pytest.mark.parametrize("f", [1, 2, 3])
+    def test_matches_markov(self, f):
+        p = params(fault_tolerance=f)
+        exact = mttdl_markov(p)
+        mc = mttdl_monte_carlo(p, trials=500, seed=42)
+        assert mc == pytest.approx(exact, rel=0.2)
+
+    def test_trials_validated(self):
+        with pytest.raises(ValueError):
+            mttdl_monte_carlo(params(), trials=0)
+
+
+class TestRebuildBridge:
+    def test_ecfrm_rebuild_speedup_buys_reliability(self):
+        """EC-FRM's load-aware rebuild spreads helper reads over all
+        survivors, shortening the rebuild window and raising MTTDL at the
+        same fault tolerance — quantified through the actual planner.
+
+        (Note: LRC's local repair lowers *total* rebuild I/O, not the
+        bottleneck makespan — its helper sets are fixed on few disks —
+        so the reliability lever here is the layout, not the code.)
+        """
+        from repro.codes import make_rs
+        from repro.disks import SAVVIO_10K3
+        from repro.layout import FRMPlacement, StandardPlacement
+
+        MiB = 1024 * 1024
+        rows = 200
+        code = make_rs(6, 3)
+        std_hours = rebuild_hours(StandardPlacement(code), SAVVIO_10K3, MiB, rows)
+        frm_hours = rebuild_hours(FRMPlacement(code), SAVVIO_10K3, MiB, rows)
+        assert frm_hours < std_hours
+        std_p = ReliabilityParams(9, 3, 1e5, std_hours)
+        frm_p = ReliabilityParams(9, 3, 1e5, frm_hours)
+        assert mttdl_markov(frm_p) > mttdl_markov(std_p)
+
+
+class TestLatentSectorErrors:
+    def test_zero_lse_matches_base_model(self):
+        assert mttdl_markov(params(lse_prob=0.0)) == mttdl_markov(params())
+
+    def test_lse_reduces_mttdl(self):
+        base = mttdl_markov(params())
+        with_lse = mttdl_markov(params(lse_prob=0.01))
+        assert with_lse < base
+
+    def test_monotone_in_lse(self):
+        values = [mttdl_markov(params(lse_prob=p)) for p in (0.0, 0.001, 0.01, 0.1)]
+        assert values == sorted(values, reverse=True)
+
+    def test_lse_dominates_when_large(self):
+        """With near-certain LSE at the critical state, the array behaves
+        as if it tolerated one failure less."""
+        weak = mttdl_markov(params(fault_tolerance=2))
+        lse_heavy = mttdl_markov(params(fault_tolerance=3, lse_prob=0.999))
+        # heavy LSE pushes f=3 toward (but not below) the f=2 model
+        assert weak * 0.5 < lse_heavy < mttdl_markov(params(fault_tolerance=3))
+
+    def test_monte_carlo_agrees_with_lse(self):
+        p = params(lse_prob=0.05)
+        assert mttdl_monte_carlo(p, trials=500, seed=3) == pytest.approx(
+            mttdl_markov(p), rel=0.2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            params(lse_prob=1.0)
+        with pytest.raises(ValueError):
+            params(lse_prob=-0.1)

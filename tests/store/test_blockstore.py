@@ -1,0 +1,179 @@
+"""Tests for the erasure-coded block store."""
+
+import numpy as np
+import pytest
+
+from repro.codes import DecodeFailure, make_lrc, make_rs
+from repro.store import BlockStore
+
+
+@pytest.fixture
+def store():
+    return BlockStore(make_lrc(6, 2, 2), "ec-frm", element_size=64)
+
+
+def blob(n, seed=1):
+    return np.random.default_rng(seed).integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+
+class TestWritePath:
+    def test_append_returns_offset(self, store):
+        assert store.append(b"x" * 100) == 0
+        assert store.append(b"y" * 100) == 100
+
+    def test_full_rows_flush_automatically(self, store):
+        data = blob(store.row_bytes * 2)
+        store.append(data)
+        assert store.size_bytes == store.row_bytes * 2
+        assert store.pending_bytes == 0
+
+    def test_partial_row_buffers(self, store):
+        store.append(b"z" * 10)
+        assert store.size_bytes == 0
+        assert store.pending_bytes == 10
+
+    def test_flush_pads_with_zeros(self, store):
+        store.append(b"z" * 10)
+        store.flush()
+        assert store.size_bytes == store.row_bytes
+        assert store.read(0, 12) == b"z" * 10 + b"\0\0"
+
+    def test_flush_noop_when_empty(self, store):
+        store.flush()
+        assert store.size_bytes == 0
+
+    def test_parities_actually_written(self, store):
+        store.append(blob(store.row_bytes))
+        total_slots = sum(d.occupied_slots for d in store.array.disks)
+        assert total_slots == store.code.n  # one full candidate row
+
+
+class TestReadPath:
+    def test_roundtrip(self, store):
+        data = blob(store.row_bytes * 3)
+        store.append(data)
+        assert store.read(0, len(data)) == data
+
+    def test_unaligned_ranges(self, store):
+        data = blob(store.row_bytes * 2)
+        store.append(data)
+        for off, ln in [(1, 5), (63, 2), (64, 64), (100, 300), (0, 1)]:
+            assert store.read(off, ln) == data[off : off + ln], (off, ln)
+
+    def test_out_of_range_rejected(self, store):
+        store.append(blob(store.row_bytes))
+        with pytest.raises(ValueError):
+            store.read(0, store.row_bytes + 1)
+        with pytest.raises(ValueError):
+            store.read(-1, 10)
+        with pytest.raises(ValueError):
+            store.read(0, 0)
+
+    def test_pending_data_not_readable(self, store):
+        store.append(b"q" * 10)
+        with pytest.raises(ValueError, match="flush"):
+            store.read(0, 10)
+
+    def test_outcome_has_timing(self, store):
+        data = blob(store.row_bytes)
+        store.append(data)
+        got, outcome = store.read_with_outcome(0, 128)
+        assert got == data[:128]
+        assert outcome.completion_time_s > 0
+        assert outcome.plan.request.count == 2
+
+
+class TestDegradedReads:
+    @pytest.mark.parametrize("form", ["standard", "rotated", "ec-frm"])
+    def test_any_single_disk_failure(self, form):
+        code = make_lrc(6, 2, 2)
+        bs = BlockStore(code, form, element_size=32)
+        data = blob(bs.row_bytes * 4)
+        bs.append(data)
+        for d in range(code.n):
+            bs.array.fail_disk(d)
+            assert bs.read(0, len(data)) == data, (form, d)
+            bs.array.restore_disk(d, wipe=False)
+
+    def test_degraded_cost_reported(self):
+        bs = BlockStore(make_rs(6, 3), "standard", element_size=32)
+        bs.append(blob(bs.row_bytes))
+        bs.array.fail_disk(0)
+        _, outcome = bs.read_with_outcome(0, bs.row_bytes)
+        assert outcome.plan.read_cost >= 1.0
+        assert outcome.plan.failed_disk == 0
+
+    def test_two_failures_rejected_by_fast_path(self):
+        bs = BlockStore(make_rs(6, 3), "ec-frm", element_size=32)
+        bs.append(blob(bs.row_bytes))
+        bs.array.fail_disk(0)
+        bs.array.fail_disk(1)
+        with pytest.raises(DecodeFailure):
+            bs.read(0, 10)
+
+    @pytest.mark.parametrize("form", ["standard", "ec-frm"])
+    def test_multi_failure_reads(self, form):
+        code = make_rs(6, 3)
+        bs = BlockStore(code, form, element_size=32)
+        data = blob(bs.row_bytes * 3)
+        bs.append(data)
+        bs.array.fail_disk(1)
+        bs.array.fail_disk(4)
+        bs.array.fail_disk(7)
+        assert bs.read_degraded_multi(0, len(data)) == data
+
+    def test_multi_failure_beyond_tolerance(self):
+        code = make_rs(4, 2)
+        bs = BlockStore(code, "standard", element_size=32)
+        bs.append(blob(bs.row_bytes))
+        for d in (0, 1, 2):
+            bs.array.fail_disk(d)
+        with pytest.raises(DecodeFailure):
+            bs.read_degraded_multi(0, 10)
+
+
+class TestRebuild:
+    @pytest.mark.parametrize("form", ["standard", "rotated", "ec-frm"])
+    def test_rebuild_restores_contents(self, form):
+        code = make_lrc(6, 2, 2)
+        bs = BlockStore(code, form, element_size=32)
+        data = blob(bs.row_bytes * 5)
+        bs.append(data)
+        before = {s: bs.array[3]._slots[s] for s in bs.array[3]._slots}
+        bs.array.fail_disk(3)
+        rebuilt = bs.rebuild_disk(3)
+        assert rebuilt == len(before)
+        assert bs.array[3]._slots == before
+        assert bs.read(0, len(data)) == data
+
+    def test_rebuild_healthy_disk_rejected(self):
+        bs = BlockStore(make_rs(6, 3), "standard", element_size=32)
+        with pytest.raises(ValueError):
+            bs.rebuild_disk(0)
+
+    def test_rebuild_blocked_by_second_failure(self):
+        bs = BlockStore(make_rs(6, 3), "standard", element_size=32)
+        bs.append(blob(bs.row_bytes))
+        bs.array.fail_disk(0)
+        bs.array.fail_disk(1)
+        with pytest.raises(DecodeFailure):
+            bs.rebuild_disk(0)
+
+
+class TestValidation:
+    def test_bad_element_size(self):
+        with pytest.raises(ValueError):
+            BlockStore(make_rs(6, 3), "standard", element_size=0)
+
+    def test_placement_instance_accepted(self):
+        from repro.layout import FRMPlacement
+
+        code = make_rs(6, 3)
+        bs = BlockStore(code, FRMPlacement(code), element_size=16)
+        assert bs.placement.name == "ec-frm"
+
+    def test_placement_code_mismatch_rejected(self):
+        from repro.layout import FRMPlacement
+
+        with pytest.raises(ValueError):
+            BlockStore(make_rs(6, 3), FRMPlacement(make_rs(8, 4)), element_size=16)

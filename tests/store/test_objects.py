@@ -1,0 +1,85 @@
+"""Tests for the object store and checksum layer."""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_lrc
+from repro.store import (
+    BlockStore,
+    ChecksumMismatchError,
+    ObjectStore,
+    checksum,
+    verify_checksum,
+)
+
+
+@pytest.fixture
+def objects():
+    return ObjectStore(BlockStore(make_lrc(6, 2, 2), "ec-frm", element_size=64))
+
+
+def blob(n, seed=3):
+    return np.random.default_rng(seed).integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+
+class TestChecksum:
+    def test_deterministic(self):
+        assert checksum(b"hello") == checksum(b"hello")
+
+    def test_verify_passes(self):
+        verify_checksum(b"abc", checksum(b"abc"))
+
+    def test_verify_fails(self):
+        with pytest.raises(ChecksumMismatchError, match="mycontext"):
+            verify_checksum(b"abc", checksum(b"abd"), context="mycontext")
+
+
+class TestObjectStore:
+    def test_put_get_roundtrip(self, objects):
+        data = blob(1000)
+        manifest = objects.put("a", data)
+        assert manifest.length == 1000
+        assert objects.get("a") == data
+
+    def test_multiple_objects(self, objects):
+        blobs = {f"obj{i}": blob(100 + 37 * i, seed=i) for i in range(8)}
+        for name, data in blobs.items():
+            objects.put(name, data)
+        for name, data in blobs.items():
+            assert objects.get(name) == data
+        assert objects.list_objects() == list(blobs)
+        assert len(objects) == 8
+
+    def test_get_range(self, objects):
+        data = blob(500)
+        objects.put("a", data)
+        assert objects.get_range("a", 100, 50) == data[100:150]
+
+    def test_get_range_bounds(self, objects):
+        objects.put("a", blob(100))
+        with pytest.raises(ValueError):
+            objects.get_range("a", 90, 20)
+        with pytest.raises(ValueError):
+            objects.get_range("a", -1, 5)
+
+    def test_immutability(self, objects):
+        objects.put("a", b"abc")
+        with pytest.raises(KeyError, match="immutable"):
+            objects.put("a", b"def")
+
+    def test_unknown_object(self, objects):
+        with pytest.raises(KeyError):
+            objects.get("nope")
+        assert "nope" not in objects
+
+    def test_empty_rejected(self, objects):
+        with pytest.raises(ValueError):
+            objects.put("a", b"")
+        with pytest.raises(ValueError):
+            objects.put("", b"x")
+
+    def test_degraded_get_verifies(self, objects):
+        data = blob(3000)
+        objects.put("a", data)
+        objects.blocks.array.fail_disk(4)
+        assert objects.get("a") == data

@@ -1,0 +1,98 @@
+"""Tests for the silent-corruption scrubber."""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_lrc, make_rs
+from repro.store import BlockStore, Scrubber
+
+
+@pytest.fixture
+def populated():
+    bs = BlockStore(make_lrc(6, 2, 2), "ec-frm", element_size=64)
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, 256, size=6 * bs.row_bytes, dtype=np.uint8).tobytes()
+    bs.append(data)
+    return bs, data
+
+
+class TestScrub:
+    def test_clean_store_verifies(self, populated):
+        bs, _ = populated
+        report = Scrubber(bs).scrub()
+        assert report.clean
+        assert report.rows_checked == 6
+
+    def test_detects_data_corruption(self, populated):
+        bs, _ = populated
+        sc = Scrubber(bs)
+        sc.inject_corruption(3, 1)
+        report = sc.scrub()
+        assert report.corrupt_rows == [3]
+        assert not report.clean
+
+    def test_detects_parity_corruption(self, populated):
+        bs, _ = populated
+        sc = Scrubber(bs)
+        sc.inject_corruption(0, 8)  # a global parity element
+        assert sc.scrub().corrupt_rows == [0]
+
+    def test_multiple_rows(self, populated):
+        bs, _ = populated
+        sc = Scrubber(bs)
+        sc.inject_corruption(1, 0)
+        sc.inject_corruption(4, 9)
+        assert sc.scrub().corrupt_rows == [1, 4]
+
+    def test_refuses_degraded_array(self, populated):
+        bs, _ = populated
+        bs.array.fail_disk(0)
+        with pytest.raises(RuntimeError):
+            Scrubber(bs).scrub()
+
+
+class TestLocate:
+    @pytest.mark.parametrize("element", [0, 3, 5, 6, 8, 9])
+    def test_locates_any_single_corruption(self, populated, element):
+        bs, _ = populated
+        sc = Scrubber(bs)
+        sc.inject_corruption(2, element)
+        assert sc.locate(2) == element
+
+    def test_clean_row_returns_none(self, populated):
+        bs, _ = populated
+        assert Scrubber(bs).locate(0) is None
+
+    def test_rs_single_corruption_located(self):
+        bs = BlockStore(make_rs(6, 3), "standard", element_size=32)
+        rng = np.random.default_rng(3)
+        bs.append(rng.integers(0, 256, size=4 * bs.row_bytes, dtype=np.uint8).tobytes())
+        sc = Scrubber(bs)
+        sc.inject_corruption(1, 7)
+        assert sc.locate(1) == 7
+
+
+class TestRepair:
+    def test_repair_restores_bytes(self, populated):
+        bs, data = populated
+        sc = Scrubber(bs)
+        sc.inject_corruption(3, 2)
+        assert sc.repair(3) == 2
+        assert sc.scrub().clean
+        assert bs.read(0, len(data)) == data
+
+    def test_repair_clean_row_rejected(self, populated):
+        bs, _ = populated
+        with pytest.raises(ValueError):
+            Scrubber(bs).repair(0)
+
+    def test_scrub_and_repair_sweep(self, populated):
+        bs, data = populated
+        sc = Scrubber(bs)
+        sc.inject_corruption(0, 5)
+        sc.inject_corruption(5, 7)
+        report, repairs = sc.scrub_and_repair()
+        assert report.corrupt_rows == [0, 5]
+        assert repairs == [(0, 5), (5, 7)]
+        assert sc.scrub().clean
+        assert bs.read(0, len(data)) == data

@@ -1,0 +1,93 @@
+"""Stateful property test: the store behaves like a byte array, always.
+
+Drives a BlockStore through random interleavings of appends, reads,
+single-disk failures, transient restores, rebuilds and scrubs, checking
+after every step that reads match a plain in-memory reference model.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.codes import make_lrc
+from repro.store import BlockStore, Scrubber
+
+
+class StoreMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.code = make_lrc(6, 2, 2)
+        self.store = BlockStore(self.code, "ec-frm", element_size=16)
+        self.reference = bytearray()
+        self.rng = np.random.default_rng(0xFEED)
+        self.failed: int | None = None
+
+    # ------------------------------------------------------------------
+    @rule(nbytes=st.integers(1, 400))
+    def append(self, nbytes):
+        data = self.rng.integers(0, 256, size=nbytes, dtype=np.uint8).tobytes()
+        # writes require a healthy array in this model
+        if self.failed is not None:
+            self.store.array.restore_disk(self.failed, wipe=False)
+            self.failed = None
+        self.store.append(data)
+        self.reference.extend(data)
+
+    @rule()
+    def flush(self):
+        if self.failed is not None:
+            self.store.array.restore_disk(self.failed, wipe=False)
+            self.failed = None
+        pending = self.store.pending_bytes
+        self.store.flush()
+        if pending:
+            self.reference.extend(b"\0" * (self.store.row_bytes - pending))
+
+    @precondition(lambda self: self.failed is None)
+    @rule(disk=st.integers(0, 9))
+    def fail_disk(self, disk):
+        self.store.array.fail_disk(disk)
+        self.failed = disk
+
+    @precondition(lambda self: self.failed is not None)
+    @rule()
+    def restore_transient(self):
+        self.store.array.restore_disk(self.failed, wipe=False)
+        self.failed = None
+
+    @precondition(lambda self: self.failed is not None)
+    @rule()
+    def rebuild(self):
+        self.store.rebuild_disk(self.failed)
+        self.failed = None
+
+    @precondition(lambda self: self.failed is None)
+    @rule()
+    def scrub_clean(self):
+        if self.store.size_bytes:
+            assert Scrubber(self.store).scrub().clean
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def reads_match_reference(self):
+        flushed = self.store.size_bytes
+        if flushed == 0:
+            return
+        # probe a few ranges, including the tail
+        probes = [(0, min(64, flushed)), (max(0, flushed - 40), min(40, flushed))]
+        for offset, length in probes:
+            if length <= 0:
+                continue
+            got = self.store.read(offset, length)
+            assert got == bytes(self.reference[offset : offset + length])
+
+    @invariant()
+    def size_bookkeeping(self):
+        assert self.store.size_bytes + self.store.pending_bytes == len(self.reference)
+
+
+TestStoreStateful = StoreMachine.TestCase
+TestStoreStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,121 @@
+"""Tests for the repro-ecfrm CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        p = build_parser()
+        p.parse_args(["layout", "rs-6-3"])
+        p.parse_args(["figures", "fig4"])
+        p.parse_args(["bench", "8a", "--normal-trials", "10"])
+        p.parse_args(["codes"])
+        p.parse_args(["demo", "--code", "lrc-6-2-2"])
+
+
+class TestCommands:
+    def test_layout(self, capsys):
+        assert main(["layout", "lrc-6-2-2", "--groups"]) == 0
+        out = capsys.readouterr().out
+        assert "EC-FRM[LRC(6,2,2)]" in out
+        assert "G1 = {d0,6" in out
+
+    def test_layout_grid_style(self, capsys):
+        assert main(["layout", "rs-6-3", "--style", "grid"]) == 0
+        assert "d0,0" in capsys.readouterr().out
+
+    def test_figures_all(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 7" in out
+
+    def test_figures_unknown(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+
+    def test_codes(self, capsys):
+        assert main(["codes"]) == 0
+        out = capsys.readouterr().out
+        assert "rs-10-5" in out and "lrc-10-2-4" in out
+
+    def test_bench_tiny(self, capsys):
+        rc = main(
+            ["bench", "8a", "--normal-trials", "30", "--degraded-trials", "30",
+             "--element-size", "65536"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 8(a)" in out
+        assert "EC-FRM-RS vs RS" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--code", "rs-6-3", "--form", "ec-frm"]) == 0
+        out = capsys.readouterr().out
+        assert "byte-exact: OK" in out
+
+    def test_bad_code_spec_raises(self):
+        with pytest.raises(ValueError):
+            main(["layout", "nope-1-2"])
+
+    def test_recover(self, capsys):
+        assert main(["recover", "rdp-5", "--disk", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "conventional: 16 element reads" in out
+        assert "25.0% saved" in out
+
+    def test_recover_unknown_code(self):
+        with pytest.raises(ValueError, match="unknown array code"):
+            main(["recover", "nope-5"])
+
+    def test_recover_wrong_arity(self):
+        with pytest.raises(ValueError, match="parameter"):
+            main(["recover", "rdp-5-2"])
+
+    def test_rebuild(self, capsys):
+        assert main(["rebuild", "--code", "rs-6-3", "--rows", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "standard" in out and "ec-frm" in out and "bottleneck" in out
+
+    def test_scrub(self, capsys):
+        assert main(["scrub", "--code", "lrc-6-2-2"]) == 0
+        out = capsys.readouterr().out
+        assert "post-repair scrub clean: True" in out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "lrc-6-2-2", "--size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "P(max=1)=1.000" in out
+        assert "ratio at L=8: 2.000" in out
+
+
+class TestSweepCommand:
+    def test_sweep_writes_files(self, tmp_path, capsys):
+        rc = main([
+            "sweep", "--out", str(tmp_path), "--normal-trials", "60",
+            "--degraded-trials", "60", "--format", "csv",
+        ])
+        assert rc == 0
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == [
+            "fig8a.csv", "fig8b.csv", "fig9a.csv",
+            "fig9b.csv", "fig9c.csv", "fig9d.csv",
+        ]
+        out = capsys.readouterr().out
+        assert out.count("wrote ") == 6
+
+
+class TestMttdlCommand:
+    def test_mttdl(self, capsys):
+        rc = main(["mttdl", "--code", "rs-6-3", "--rows", "30"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MTTDL" in out and "standard" in out and "ec-frm" in out
+
+    def test_mttdl_with_lse(self, capsys):
+        assert main(["mttdl", "--code", "rs-6-3", "--rows", "30", "--lse-prob", "0.01"]) == 0
+        assert "LSE probability 0.01" in capsys.readouterr().out

@@ -1,0 +1,104 @@
+"""Top-level reproduction check: the paper's headline claims, end to end.
+
+One reduced-scale pass over the complete evaluation (Figures 8 and 9),
+asserting every ordering and band the abstract quotes.  The full-scale
+equivalents live in ``benchmarks/``; this test keeps the claims guarded
+inside the fast suite.
+"""
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.metrics import improvement_pct
+from repro.harness.paperfigs import figure8a, figure8b, figure9a, figure9b, figure9c, figure9d
+
+CFG = ExperimentConfig(normal_trials=400, degraded_trials=600, address_space_rows=400)
+
+
+@pytest.fixture(scope="module")
+def all_figures():
+    return {
+        "8a": figure8a(CFG),
+        "8b": figure8b(CFG),
+        "9a": figure9a(CFG),
+        "9b": figure9b(CFG),
+        "9c": figure9c(CFG),
+        "9d": figure9d(CFG),
+    }
+
+
+def gains(table, subject, baseline):
+    return [
+        improvement_pct(table.value(subject, x), table.value(baseline, x))
+        for x in table.x_labels
+    ]
+
+
+class TestAbstractClaims:
+    """'EC-FRM-RS gains 19.2% to 33.9% higher normal read speed and 9.1%
+    to 9.9% higher degraded read speed than standard Reed-Solomon code,
+    while EC-FRM-LRC owns 23.5% to 46.9% higher normal read speed and
+    3.3% to 12.8% higher degraded read speed than standard LRC.'"""
+
+    def test_ecfrm_rs_normal_band(self, all_figures):
+        for g in gains(all_figures["8a"], "EC-FRM-RS", "RS"):
+            assert 15.0 <= g <= 45.0
+
+    def test_ecfrm_lrc_normal_band(self, all_figures):
+        for g in gains(all_figures["8b"], "EC-FRM-LRC", "LRC"):
+            assert 18.0 <= g <= 60.0
+
+    def test_ecfrm_rs_degraded_band(self, all_figures):
+        for g in gains(all_figures["9c"], "EC-FRM-RS", "RS"):
+            assert 3.0 <= g <= 20.0
+
+    def test_ecfrm_lrc_degraded_band(self, all_figures):
+        for g in gains(all_figures["9d"], "EC-FRM-LRC", "LRC"):
+            assert 2.0 <= g <= 25.0
+
+
+class TestStructuralClaims:
+    def test_ecfrm_beats_both_baselines_on_normal_reads(self, all_figures):
+        for fig, subject in (("8a", "EC-FRM-RS"), ("8b", "EC-FRM-LRC")):
+            table = all_figures[fig]
+            for x in table.x_labels:
+                top = table.value(subject, x)
+                assert all(
+                    top > table.value(name, x)
+                    for name in table.series
+                    if name != subject
+                ), (fig, x)
+
+    def test_degraded_cost_is_form_invariant(self, all_figures):
+        """Figure 9(a)/(b): <0.9%/<0.7% spread in the paper.  At this
+        reduced trial count sampling noise dominates, so the bound here is
+        loose; the full-scale benches (bench_fig9a/9b) assert <3%."""
+        for fig in ("9a", "9b"):
+            table = all_figures[fig]
+            for x in table.x_labels:
+                values = [table.value(name, x) for name in table.series]
+                assert (max(values) - min(values)) / min(values) < 0.08, (fig, x)
+
+    def test_lrc_cost_below_rs_cost(self, all_figures):
+        rs = all_figures["9a"]
+        lrc = all_figures["9b"]
+        for x_rs, x_lrc in zip(rs.x_labels, lrc.x_labels):
+            assert lrc.value("LRC", x_lrc) < rs.value("RS", x_rs)
+
+    def test_degraded_gain_smaller_than_normal_gain(self, all_figures):
+        """§V-A: 'the improved range will be less than that on normal
+        reads.'"""
+        for normal_fig, degraded_fig, subject, baseline in (
+            ("8a", "9c", "EC-FRM-RS", "RS"),
+            ("8b", "9d", "EC-FRM-LRC", "LRC"),
+        ):
+            n = gains(all_figures[normal_fig], subject, baseline)
+            d = gains(all_figures[degraded_fig], subject, baseline)
+            assert sum(d) / len(d) < sum(n) / len(n)
+
+    def test_speeds_grow_with_scale(self, all_figures):
+        """More disks, more parallelism: within every series, speed rises
+        with the parameter size (as in the paper's bars)."""
+        for fig in ("8a", "8b", "9c", "9d"):
+            for series in all_figures[fig].series.values():
+                assert series == sorted(series), fig

@@ -1,0 +1,123 @@
+"""Tests for workload generators."""
+
+import pytest
+
+from repro.workloads import (
+    PAPER_DEGRADED_TRIALS,
+    PAPER_MAX_READ_ELEMENTS,
+    PAPER_NORMAL_TRIALS,
+    FileSizeWorkload,
+    RandomDegradedWorkload,
+    RandomReadWorkload,
+    SequentialScanWorkload,
+    ZipfReadWorkload,
+)
+
+
+class TestRandomReads:
+    def test_paper_defaults(self):
+        w = RandomReadWorkload(address_space=1000)
+        reqs = list(w)
+        assert len(reqs) == PAPER_NORMAL_TRIALS == 2000
+        assert all(1 <= r.count <= PAPER_MAX_READ_ELEMENTS for r in reqs)
+
+    def test_requests_stay_in_bounds(self):
+        w = RandomReadWorkload(address_space=50, trials=500, seed=9)
+        for r in w:
+            assert r.start >= 0
+            assert r.start + r.count <= 50
+
+    def test_deterministic_by_seed(self):
+        a = list(RandomReadWorkload(address_space=100, trials=50, seed=4))
+        b = list(RandomReadWorkload(address_space=100, trials=50, seed=4))
+        c = list(RandomReadWorkload(address_space=100, trials=50, seed=5))
+        assert a == b
+        assert a != c
+
+    def test_all_sizes_appear(self):
+        sizes = {r.count for r in RandomReadWorkload(address_space=1000, trials=2000)}
+        assert sizes == set(range(1, 21))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomReadWorkload(address_space=10)  # smaller than max_size
+        with pytest.raises(ValueError):
+            RandomReadWorkload(address_space=100, min_size=5, max_size=4)
+        with pytest.raises(ValueError):
+            RandomReadWorkload(address_space=100, trials=0)
+
+
+class TestRandomDegraded:
+    def test_paper_defaults(self):
+        w = RandomDegradedWorkload(address_space=1000, num_disks=10)
+        trials = list(w)
+        assert len(trials) == PAPER_DEGRADED_TRIALS == 5000
+
+    def test_failed_disk_varies_and_in_range(self):
+        w = RandomDegradedWorkload(address_space=1000, num_disks=9, trials=500, seed=2)
+        disks = {t.failed_disk for t in w}
+        assert disks == set(range(9))
+
+    def test_deterministic(self):
+        a = list(RandomDegradedWorkload(address_space=100, num_disks=5, trials=30, seed=1))
+        b = list(RandomDegradedWorkload(address_space=100, num_disks=5, trials=30, seed=1))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomDegradedWorkload(address_space=100, num_disks=1)
+
+
+class TestSequentialScan:
+    def test_covers_space_without_overlap(self):
+        w = SequentialScanWorkload(address_space=100, request_size=10)
+        reqs = list(w)
+        assert len(reqs) == 10
+        covered = [t for r in reqs for t in r.elements]
+        assert covered == list(range(100))
+
+    def test_partial_tail_dropped(self):
+        reqs = list(SequentialScanWorkload(address_space=25, request_size=10))
+        assert len(reqs) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SequentialScanWorkload(address_space=5, request_size=10)
+        with pytest.raises(ValueError):
+            SequentialScanWorkload(address_space=5, request_size=0)
+
+
+class TestZipf:
+    def test_skewed_toward_zero(self):
+        reqs = list(ZipfReadWorkload(address_space=10_000, trials=2000, seed=3))
+        starts = [r.start for r in reqs]
+        # median start of a zipf(1.2) is tiny compared to the space
+        assert sorted(starts)[len(starts) // 2] < 100
+
+    def test_in_bounds(self):
+        for r in ZipfReadWorkload(address_space=100, trials=500, seed=8):
+            assert 0 <= r.start and r.start + r.count <= 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfReadWorkload(address_space=100, trials=10, zipf_s=1.0)
+
+
+class TestFileSize:
+    def test_sizes_log_normal_ish(self):
+        reqs = list(FileSizeWorkload(address_space=10_000, trials=1000, seed=5))
+        sizes = [r.count for r in reqs]
+        assert min(sizes) >= 1
+        assert max(sizes) <= 64
+        # median near the configured median
+        assert 3 <= sorted(sizes)[len(sizes) // 2] <= 10
+
+    def test_in_bounds(self):
+        for r in FileSizeWorkload(address_space=200, trials=300, seed=6):
+            assert r.start + r.count <= 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FileSizeWorkload(address_space=10, trials=5, max_elements=20)
+        with pytest.raises(ValueError):
+            FileSizeWorkload(address_space=100, trials=5, median_elements=0)
