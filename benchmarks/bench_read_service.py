@@ -1,0 +1,117 @@
+"""Benchmark: the concurrent read service, standard vs EC-FRM.
+
+Sweeps queue depth 1..32 over a repeated random-read workload served by
+:class:`repro.engine.ReadService` on real stores (payloads materialized
+and decode-verified, stats accounted), measuring:
+
+* aggregate throughput per form and depth — EC-FRM's all-spindle layout
+  should beat the standard k-disk funnel once several requests overlap;
+* planning cost with the plan cache cold vs warm — the warm replay of the
+  identical workload must skip the planners entirely.
+
+Results are printed, attached to ``benchmark.extra_info``, and exported
+to ``results/read_service.json`` via the shared conftest helper.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import run_once, write_results_json
+
+from repro.codes import make_rs
+from repro.engine import ReadService
+from repro.store import BlockStore
+
+DEPTHS = (1, 2, 4, 8, 16, 32)
+ELEMENT_SIZE = 4096
+ROWS = 64
+REQUESTS = 300
+SPAN = 4 * ELEMENT_SIZE
+
+
+def _build_store(form: str) -> tuple[BlockStore, bytes]:
+    code = make_rs(6, 3)
+    store = BlockStore(code, form, element_size=ELEMENT_SIZE)
+    rng = np.random.default_rng(2015)
+    data = rng.integers(0, 256, size=ROWS * store.row_bytes, dtype=np.uint8).tobytes()
+    store.append(data)
+    return store, data
+
+
+def _workload(store: BlockStore) -> list[tuple[int, int]]:
+    rng = np.random.default_rng(42)
+    return [
+        (int(rng.integers(0, store.user_bytes - SPAN)), SPAN)
+        for _ in range(REQUESTS)
+    ]
+
+
+def sweep():
+    out: dict = {"throughput_mib_s": {}, "planning": {}}
+    for form in ("standard", "ec-frm"):
+        store, data = _build_store(form)
+        svc = ReadService(store, cache_capacity=2 * REQUESTS)
+        ranges = _workload(store)
+
+        # planning-only passes isolate the cache's effect from payload I/O
+        t0 = time.perf_counter()
+        for offset, length in ranges:
+            svc.plan(offset, length)
+        cold_s = time.perf_counter() - t0
+        plans_built = svc.cache.stats.plans_built
+
+        t0 = time.perf_counter()
+        for offset, length in ranges:
+            svc.plan(offset, length)
+        warm_s = time.perf_counter() - t0
+        assert svc.cache.stats.plans_built == plans_built, "warm pass replanned"
+
+        warm = svc.submit(ranges, queue_depth=1)
+        assert warm.payloads == [data[o : o + n] for o, n in ranges]
+        assert warm.cache_misses == 0, "warm replay must hit the cache"
+
+        by_depth = {}
+        for depth in DEPTHS:
+            by_depth[depth] = svc.submit(
+                ranges, queue_depth=depth
+            ).throughput.throughput_mib_s
+        out["throughput_mib_s"][form] = by_depth
+        out["planning"][form] = {
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "plans_built": plans_built,
+            "warm_hits": warm.cache_hits,
+        }
+    return out
+
+
+@pytest.mark.benchmark(group="service")
+def test_read_service_sweep(benchmark):
+    results = run_once(benchmark, sweep)
+    print()
+    header = "form      " + "".join(f"  qd={d:<6d}" for d in DEPTHS)
+    print(header)
+    for form, by_depth in results["throughput_mib_s"].items():
+        print(f"{form:10s}" + "".join(f"  {v:8.1f}" for v in by_depth.values()))
+    for form, p in results["planning"].items():
+        print(
+            f"{form:10s} planning: cold {p['cold_s'] * 1e3:7.1f} ms "
+            f"({p['plans_built']} plans) -> warm {p['warm_s'] * 1e3:7.1f} ms "
+            f"({p['warm_hits']} cache hits)"
+        )
+    benchmark.extra_info.update(results)
+    write_results_json("read_service", results)
+
+    tput = results["throughput_mib_s"]
+    # EC-FRM wins aggregate throughput once the queue is deep enough
+    for depth in (8, 16, 32):
+        assert tput["ec-frm"][depth] > tput["standard"][depth]
+    # concurrency helps both forms
+    for series in tput.values():
+        assert series[32] > series[1]
+    # the warm (cached) pass skips planning and must be faster
+    for p in results["planning"].values():
+        assert p["warm_s"] < p["cold_s"]
+        assert p["warm_hits"] == REQUESTS

@@ -12,7 +12,9 @@ quick pass.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -45,3 +47,17 @@ def attach_series(benchmark, table):
     benchmark.extra_info["title"] = table.title
     benchmark.extra_info["x_labels"] = list(table.x_labels)
     benchmark.extra_info["series"] = {k: list(v) for k, v in table.series.items()}
+
+
+def write_results_json(name: str, payload: dict) -> Path:
+    """Persist a benchmark's result payload as ``results/<name>.json``.
+
+    Same output directory the ``sweep`` CLI command uses, so ad-hoc bench
+    output and the figure exports live side by side.  Override the
+    directory with ``ECFRM_RESULTS_DIR``.
+    """
+    out_dir = Path(os.environ.get("ECFRM_RESULTS_DIR", "results"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -282,7 +282,7 @@ class MatrixCode(ErasureCode):
         block = self.coding_block
         for row in range(self.num_parity):
             for col in range(self.k):
-                self.field.axpy(out[row], int(block[row, col]), symbols[col])
+                self.field.axpy(out[row], int(block[row, col]), symbols[col], trusted=True)
         return self._bytes_of(out).reshape(self.num_parity, data.shape[1])
 
     def element_equation(self, index: int) -> np.ndarray:
@@ -350,7 +350,7 @@ class MatrixCode(ErasureCode):
                 row = self._generator[e]
                 buf = np.zeros(full_symbols.shape[1], dtype=self.field.dtype)
                 for j in range(self.k):
-                    self.field.axpy(buf, int(row[j]), full_symbols[j])
+                    self.field.axpy(buf, int(row[j]), full_symbols[j], trusted=True)
                 solved[e] = self._bytes_of(buf)
         return {e: solved[e] for e in erased_list}
 
@@ -395,7 +395,7 @@ class MatrixCode(ErasureCode):
                             f"parity {p} depends on data {j} which is neither "
                             "available nor erased"
                         )
-                    f.axpy(rhs[r], coeff, self._symbols(known_data[j][np.newaxis, :])[0])
+                    f.axpy(rhs[r], coeff, self._symbols(known_data[j][np.newaxis, :])[0], trusted=True)
 
         # Select an invertible square system by row reduction over a copy.
         rows = self._independent_rows(a, len(unknowns))
@@ -431,7 +431,7 @@ class MatrixCode(ErasureCode):
             for r in range(len(work)):
                 if r != pivot_row and work[r, pivot_col]:
                     factor = int(work[r, pivot_col])
-                    work[r] ^= f.scalar_mul_vec(factor, work[pivot_row])
+                    work[r] ^= f.scalar_mul_vec(factor, work[pivot_row], trusted=True)
         return chosen
 
     # -- repair planning --------------------------------------------------

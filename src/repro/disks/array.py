@@ -30,12 +30,16 @@ class BatchTiming:
         Number of element accesses across all disks.
     total_bytes:
         Bytes moved across all disks.
+    payloads:
+        ``(disk, slot) -> payload`` for every access, when the batch was
+        executed with ``fetch=True``; ``None`` for timing-only batches.
     """
 
     completion_time_s: float
     per_disk_time_s: dict[int, float]
     total_accesses: int
     total_bytes: int
+    payloads: dict[tuple[int, int], bytes] | None = None
 
     @property
     def bottleneck_disk(self) -> int | None:
@@ -84,8 +88,24 @@ class DiskArray:
     # ------------------------------------------------------------------
     # timing plane
     # ------------------------------------------------------------------
-    def execute_batch(self, per_disk_accesses: dict[int, list[tuple[int, int]]]) -> BatchTiming:
+    def execute_batch(
+        self,
+        per_disk_accesses: dict[int, list[tuple[int, int]]],
+        *,
+        fetch: bool = False,
+    ) -> BatchTiming:
         """Serve a parallel batch: ``disk id -> [(slot, nbytes), ...]``.
+
+        This is the *single* accounting point for served reads: each access
+        in the batch increments the owning disk's ``stats.accesses`` and
+        ``bytes_read`` exactly once, and the disk's service time is added
+        to ``busy_time_s`` — whether the batch is timing-only or also
+        fetches payloads (``fetch=True``).  Callers must not re-read the
+        same accesses through :meth:`SimDisk.read_slot` afterwards; that
+        would double-count.
+
+        With ``fetch=True`` the returned timing carries the payloads keyed
+        ``(disk, slot)``; every accessed slot must then hold a payload.
 
         Raises
         ------
@@ -96,6 +116,7 @@ class DiskArray:
         per_disk_time: dict[int, float] = {}
         total_accesses = 0
         total_bytes = 0
+        payloads: dict[tuple[int, int], bytes] | None = {} if fetch else None
         for disk_id, accesses in per_disk_accesses.items():
             if not 0 <= disk_id < len(self.disks):
                 raise ValueError(f"disk id {disk_id} out of range")
@@ -105,6 +126,11 @@ class DiskArray:
             if disk.failed:
                 raise DiskFailedError(f"batch touches failed disk {disk_id}")
             per_disk_time[disk_id] = disk.service_time_s(accesses)
+            disk.stats.accesses += len(accesses)
+            disk.stats.bytes_read += sum(nbytes for _, nbytes in accesses)
+            if payloads is not None:
+                for slot, _ in accesses:
+                    payloads[(disk_id, slot)] = disk.peek_slot(slot)
             total_accesses += len(accesses)
             total_bytes += sum(nbytes for _, nbytes in accesses)
         completion = max(per_disk_time.values()) if per_disk_time else 0.0
@@ -113,6 +139,7 @@ class DiskArray:
             per_disk_time_s=per_disk_time,
             total_accesses=total_accesses,
             total_bytes=total_bytes,
+            payloads=payloads,
         )
 
     def reset_stats(self) -> None:

@@ -85,15 +85,31 @@ class SimDisk:
         self.stats.bytes_written += len(buf)
 
     def read_slot(self, slot: int) -> bytes:
-        """Fetch the element payload at ``slot``."""
+        """Fetch the element payload at ``slot``, counting one access.
+
+        For payload fetches that are already accounted elsewhere (the
+        store's batched read path accounts whole batches through
+        :meth:`DiskArray.execute_batch`), use :meth:`peek_slot` instead so
+        a single physical access is never counted twice.
+        """
         self._check_alive()
-        try:
-            buf = self._slots[slot]
-        except KeyError:
-            raise KeyError(f"disk {self.disk_id} has no payload at slot {slot}") from None
+        buf = self.peek_slot(slot)
         self.stats.accesses += 1
         self.stats.bytes_read += len(buf)
         return buf
+
+    def peek_slot(self, slot: int) -> bytes:
+        """Fetch the element payload at ``slot`` without touching stats.
+
+        Still refuses failed disks; this is the data-plane primitive for
+        callers that do their own accounting (batch execution) or that
+        must not perturb counters (corruption injection in tests).
+        """
+        self._check_alive()
+        try:
+            return self._slots[slot]
+        except KeyError:
+            raise KeyError(f"disk {self.disk_id} has no payload at slot {slot}") from None
 
     def has_slot(self, slot: int) -> bool:
         """True if a payload exists at ``slot`` (works on failed disks —

@@ -3,7 +3,9 @@
 * :mod:`repro.engine.requests` — request/plan data types and metrics;
 * :mod:`repro.engine.planner` — normal-read planning;
 * :mod:`repro.engine.degraded` — degraded-read planning with repair sets;
-* :mod:`repro.engine.executor` — timing plans against the disk simulator.
+* :mod:`repro.engine.executor` — timing plans against the disk simulator;
+* :mod:`repro.engine.plancache` — LRU memoization of the planners;
+* :mod:`repro.engine.service` — batched, plan-cached concurrent reads.
 """
 
 from .concurrency import ThroughputResult, simulate_concurrent
@@ -11,9 +13,11 @@ from .degraded import plan_degraded_read
 from .executor import ReadOutcome, execute_plan, simulate_plan
 from .multifailure import plan_degraded_read_multi
 from .optimizing import plan_degraded_read_optimized, repair_set_alternatives
+from .plancache import PlanCache, PlanCacheStats, placement_signature
 from .planner import plan_normal_read
 from .rebuild import RebuildPlan, plan_disk_rebuild, rebuild_time_s
 from .requests import AccessKind, AccessPlan, ElementAccess, ReadRequest
+from .service import BatchReadResult, ReadService, ServiceCounters
 
 __all__ = [
     "ReadRequest",
@@ -33,4 +37,10 @@ __all__ = [
     "rebuild_time_s",
     "ThroughputResult",
     "simulate_concurrent",
+    "PlanCache",
+    "PlanCacheStats",
+    "placement_signature",
+    "ReadService",
+    "BatchReadResult",
+    "ServiceCounters",
 ]

@@ -77,9 +77,11 @@ def simulate_plan(
 def execute_plan(plan: AccessPlan, array: DiskArray) -> ReadOutcome:
     """Time a plan against a stateful :class:`DiskArray`.
 
-    Unlike :func:`simulate_plan` this accounts busy time into the disks'
-    statistics and refuses to touch failed disks, so it composes with
-    failure injection in integration tests.
+    Unlike :func:`simulate_plan` this accounts the plan into the disks'
+    statistics — each access counted exactly once (accesses, bytes read,
+    busy time) by :meth:`DiskArray.execute_batch` — and refuses to touch
+    failed disks, so it composes with failure injection in integration
+    tests.
     """
     timing: BatchTiming = array.execute_batch(plan.per_disk_batches())
     if timing.completion_time_s <= 0.0:

@@ -1,0 +1,179 @@
+"""LRU cache for access plans.
+
+Planning a read — especially a degraded read, whose repair-set search is
+combinatorial — dominates request latency once payload sizes are small.
+Cloud read workloads are heavily repetitive (hot objects, fixed request
+sizes), so the same ``(placement, request, failure signature)`` triple
+recurs constantly.  :class:`PlanCache` memoizes the planners behind a
+bounded LRU keyed on exactly that triple:
+
+* **placement identity** — class, form name, code description and disk
+  count, so two stores with identical geometry share entries while any
+  geometric difference isolates them;
+* **request** — the element-aligned ``(start, count)`` window plus the
+  element size;
+* **failure signature** — the sorted tuple of failed disks.  Because the
+  signature is part of the key, failing or restoring a disk *implicitly*
+  invalidates every cached plan: the next lookup simply misses and replans.
+  No explicit flush hooks are needed, and restoring the original failure
+  state re-hits the old entries.
+
+The cache is thread-safe; hit/miss/build/eviction counters feed the read
+service's metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..layout.base import Placement
+from .degraded import plan_degraded_read
+from .planner import plan_normal_read
+from .requests import AccessPlan, ReadRequest
+
+__all__ = ["PlanCacheStats", "PlanCache", "placement_signature"]
+
+
+def placement_signature(placement: Placement) -> tuple:
+    """Hashable identity of a placement's read-relevant geometry.
+
+    Two placements with equal signatures produce identical plans for every
+    request, so they may share cache entries.
+    """
+    return (
+        type(placement).__name__,
+        placement.name,
+        placement.code.describe(),
+        placement.num_disks,
+    )
+
+
+@dataclass
+class PlanCacheStats:
+    """Cumulative cache counters."""
+
+    hits: int = 0
+    misses: int = 0
+    plans_built: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when untouched)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> dict[str, int | float]:
+        """Plain-dict view for metrics export."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "plans_built": self.plans_built,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PlanCache:
+    """Bounded LRU of :class:`AccessPlan` keyed by (placement, request,
+    failure signature).
+
+    Plans are immutable once built (the planners return fresh structures
+    and nothing in the execution path mutates them), so returning shared
+    references is safe.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self.stats = PlanCacheStats()
+        self._entries: OrderedDict[tuple, AccessPlan] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def _key(
+        self,
+        placement: Placement,
+        request: ReadRequest,
+        element_size: int,
+        failed_disks: Iterable[int],
+    ) -> tuple:
+        return (
+            placement_signature(placement),
+            element_size,
+            request.start,
+            request.count,
+            tuple(sorted(failed_disks)),
+        )
+
+    def lookup(
+        self,
+        placement: Placement,
+        request: ReadRequest,
+        element_size: int,
+        failed_disks: Iterable[int],
+    ) -> AccessPlan | None:
+        """Return the cached plan for the triple, or None on a miss."""
+        key = self._key(placement, request, element_size, failed_disks)
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return plan
+
+    def plan(
+        self,
+        placement: Placement,
+        request: ReadRequest,
+        element_size: int,
+        failed_disks: Iterable[int],
+    ) -> AccessPlan:
+        """Return a plan for the triple, building and caching on a miss.
+
+        Dispatches to :func:`plan_normal_read` (no failures) or
+        :func:`plan_degraded_read` (exactly one).  Multi-failure patterns
+        are not cached — they go through the store's exhaustive
+        ``read_degraded_multi`` path, which has no plan object to reuse.
+        """
+        failed = tuple(sorted(failed_disks))
+        if len(failed) > 1:
+            raise ValueError(
+                f"plan cache does not serve multi-failure patterns {failed}"
+            )
+        cached = self.lookup(placement, request, element_size, failed)
+        if cached is not None:
+            return cached
+        # Build outside the lock: planning can be expensive, and a rare
+        # duplicate build on a race is cheaper than serializing planners.
+        if failed:
+            plan = plan_degraded_read(placement, request, failed[0], element_size)
+        else:
+            plan = plan_normal_read(placement, request, element_size)
+        key = self._key(placement, request, element_size, failed)
+        with self._lock:
+            self.stats.plans_built += 1
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return plan
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()

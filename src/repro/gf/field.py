@@ -36,13 +36,16 @@ class GF:
     encoding of whole stripes.
     """
 
-    __slots__ = ("tables", "_exp", "_log", "dtype")
+    __slots__ = ("tables", "_exp", "_log", "dtype", "_dtype_can_overflow")
 
     def __init__(self, w: int, poly: int | None = None) -> None:
         self.tables: GFTables = build_tables(w, poly)
         self._exp = self.tables.exp
         self._log = self.tables.log
         self.dtype = self._exp.dtype
+        # True iff the element dtype can hold values outside the field
+        # (w=4 in uint8); fields that fill their dtype need no buffer checks.
+        self._dtype_can_overflow = int(np.iinfo(self.dtype).max) >= self.order
 
     # ------------------------------------------------------------------
     # field metadata
@@ -141,49 +144,64 @@ class GF:
     # ------------------------------------------------------------------
     # vectorized operations (NumPy buffers of field elements)
     # ------------------------------------------------------------------
-    def asarray(self, data) -> np.ndarray:
-        """Coerce ``data`` to a NumPy array of the field's element dtype."""
+    def asarray(self, data, *, trusted: bool = False) -> np.ndarray:
+        """Coerce ``data`` to a NumPy array of the field's element dtype.
+
+        Values are range-checked against the field order — including when
+        the dtype already matches (a uint8 buffer holding 200 is *not* a
+        GF(2^4) buffer) — raising :class:`ValueError` instead of letting
+        the table gathers fail with an ``IndexError`` or silently read
+        garbage.  ``trusted=True`` skips the matching-dtype scan for
+        internal callers whose buffers are valid by construction (the hot
+        ``axpy`` encode loop); for fields whose elements fill their dtype
+        (w=8, w=16) the scan is skipped automatically because out-of-field
+        values are unrepresentable.
+        """
         arr = np.asarray(data)
         if arr.dtype != self.dtype:
             if arr.size and (arr.min() < 0 or arr.max() >= self.order):
                 raise ValueError(f"values outside GF(2^{self.w})")
             arr = arr.astype(self.dtype)
+        elif self._dtype_can_overflow and not trusted and arr.size:
+            if arr.max() >= self.order:
+                raise ValueError(f"values outside GF(2^{self.w})")
         return arr
 
     def add_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Elementwise field addition of two buffers."""
         return np.bitwise_xor(self.asarray(a), self.asarray(b))
 
-    def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def mul_vec(self, a: np.ndarray, b: np.ndarray, *, trusted: bool = False) -> np.ndarray:
         """Elementwise field multiplication of two buffers (broadcasting)."""
-        a = self.asarray(a)
-        b = self.asarray(b)
+        a = self.asarray(a, trusted=trusted)
+        b = self.asarray(b, trusted=trusted)
         # log[0] is a sentinel pointing into the zero pad of exp, so zero
         # operands flow through the gathers without branching.
         return self._exp[self._log[a] + self._log[b]]
 
-    def scalar_mul_vec(self, c: int, a: np.ndarray) -> np.ndarray:
+    def scalar_mul_vec(self, c: int, a: np.ndarray, *, trusted: bool = False) -> np.ndarray:
         """Multiply buffer ``a`` by field scalar ``c``."""
         self._check(c)
-        a = self.asarray(a)
+        a = self.asarray(a, trusted=trusted)
         if c == 0:
             return np.zeros_like(a)
         if c == 1:
             return a.copy()
         return self._exp[self._log[a] + int(self._log[c])]
 
-    def axpy(self, acc: np.ndarray, c: int, x: np.ndarray) -> None:
+    def axpy(self, acc: np.ndarray, c: int, x: np.ndarray, *, trusted: bool = False) -> None:
         """In-place accumulate ``acc ^= c * x`` (the encode inner loop).
 
         ``acc`` must be a writable buffer of the field dtype; ``x`` is any
         broadcast-compatible buffer.  This is the single hottest kernel in
         the library: one gather-add-gather plus one XOR, no temporaries
-        beyond the product.
+        beyond the product.  Pass ``trusted=True`` only when ``x`` is known
+        valid by construction (see :meth:`asarray`).
         """
         self._check(c)
         if c == 0:
             return
-        x = self.asarray(x)
+        x = self.asarray(x, trusted=trusted)
         if c == 1:
             np.bitwise_xor(acc, x, out=acc)
             return

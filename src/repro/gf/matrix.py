@@ -93,15 +93,19 @@ def invert(field: GF, m) -> np.ndarray:
             inv[[col, pivot]] = inv[[pivot, col]]
         pivot_inv = field.inv(int(a[col, col]))
         if pivot_inv != 1:
-            a[col] = field.scalar_mul_vec(pivot_inv, a[col])
-            inv[col] = field.scalar_mul_vec(pivot_inv, inv[col])
+            a[col] = field.scalar_mul_vec(pivot_inv, a[col], trusted=True)
+            inv[col] = field.scalar_mul_vec(pivot_inv, inv[col], trusted=True)
         # Eliminate the column everywhere else in one vectorized sweep.
         factors = a[:, col].copy()
         factors[col] = 0
         nz = np.nonzero(factors)[0]
         if nz.size:
-            a[nz] ^= field.mul_vec(factors[nz, np.newaxis], a[col][np.newaxis, :])
-            inv[nz] ^= field.mul_vec(factors[nz, np.newaxis], inv[col][np.newaxis, :])
+            a[nz] ^= field.mul_vec(
+                factors[nz, np.newaxis], a[col][np.newaxis, :], trusted=True
+            )
+            inv[nz] ^= field.mul_vec(
+                factors[nz, np.newaxis], inv[col][np.newaxis, :], trusted=True
+            )
     return inv
 
 
@@ -121,12 +125,14 @@ def rank(field: GF, m) -> int:
             a[[r, pivot]] = a[[pivot, r]]
         pivot_inv = field.inv(int(a[r, col]))
         if pivot_inv != 1:
-            a[r] = field.scalar_mul_vec(pivot_inv, a[r])
+            a[r] = field.scalar_mul_vec(pivot_inv, a[r], trusted=True)
         factors = a[:, col].copy()
         factors[r] = 0
         nz = np.nonzero(factors)[0]
         if nz.size:
-            a[nz] ^= field.mul_vec(factors[nz, np.newaxis], a[r][np.newaxis, :])
+            a[nz] ^= field.mul_vec(
+                factors[nz, np.newaxis], a[r][np.newaxis, :], trusted=True
+            )
         r += 1
     return r
 

@@ -20,7 +20,7 @@ from .experiment import (
     run_normal_read_experiment,
 )
 from .export import export_all_figures, table_to_csv, table_to_json
-from .metrics import SampleSummary, improvement_pct, summarize
+from .metrics import SampleSummary, improvement_pct, service_report, summarize
 from .report import SeriesTable, format_pct_range, render_improvements
 
 __all__ = [
@@ -38,6 +38,7 @@ __all__ = [
     "SampleSummary",
     "summarize",
     "improvement_pct",
+    "service_report",
     "SeriesTable",
     "render_improvements",
     "format_pct_range",

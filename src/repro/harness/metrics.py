@@ -12,7 +12,7 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
-__all__ = ["SampleSummary", "improvement_pct", "summarize"]
+__all__ = ["SampleSummary", "improvement_pct", "service_report", "summarize"]
 
 
 @dataclass(frozen=True)
@@ -64,6 +64,32 @@ def _quantile(sorted_xs: Sequence[float], q: float) -> float:
         return sorted_xs[lo]
     frac = pos - lo
     return sorted_xs[lo] * (1 - frac) + sorted_xs[hi] * frac
+
+
+def service_report(service) -> str:
+    """Render a :class:`repro.engine.service.ReadService` metrics snapshot.
+
+    Duck-typed on ``service.metrics()`` (the harness sits above the engine
+    in the layer stack, so no engine import here).  One line per counter
+    plus a compact per-disk load histogram — the operational companion to
+    the per-experiment summaries above.
+    """
+    m = service.metrics()
+    cache = m["cache"]
+    lines = [
+        f"requests served : {m['requests']} ({m['batches']} batches, "
+        f"max queue depth {m['max_queue_depth']})",
+        f"bytes served    : {m['bytes_served']}",
+        f"plan cache      : {cache['hits']} hits / {cache['misses']} misses "
+        f"(hit rate {cache['hit_rate']:.1%}), {cache['plans_built']} built, "
+        f"{cache['evictions']} evicted",
+    ]
+    load = m["disk_load"]
+    if load:
+        peak = max(load.values())
+        bars = " ".join(f"d{d}:{load[d]}" for d in sorted(load))
+        lines.append(f"disk load       : {bars} (peak {peak})")
+    return "\n".join(lines)
 
 
 def improvement_pct(new: float, baseline: float) -> float:

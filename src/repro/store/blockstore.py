@@ -8,9 +8,23 @@ any pattern the code tolerates), and full disk rebuilds.
 The store follows the paper's cloud-storage write model (§I): writes are
 append-only and buffered until a whole candidate row is available, then
 encoded and flushed ("full stripe writes").
+
+Offsets are *logical*: they address the stream of bytes the user appended.
+:meth:`BlockStore.flush` zero-pads a partial row to make it durable; the
+pad bytes occupy physical slots but are invisible to the logical stream —
+``append`` offsets and ``read`` ranges never include them (see
+:attr:`user_bytes` vs :attr:`size_bytes`).
+
+Every physical element access a read performs is accounted into the owning
+disk's :class:`~repro.disks.disk.DiskStats` exactly once (accesses, bytes
+read, and busy time together), via :meth:`DiskArray.execute_batch` — the
+single accounting pass shared by :meth:`read`, :meth:`read_with_outcome`,
+:meth:`read_many`, :meth:`read_degraded_multi` and :meth:`rebuild_disk`.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -19,7 +33,7 @@ from ..disks.array import DiskArray
 from ..disks.model import DiskModel
 from ..disks.presets import SAVVIO_10K3
 from ..engine.degraded import plan_degraded_read
-from ..engine.executor import ReadOutcome, execute_plan
+from ..engine.executor import ReadOutcome
 from ..engine.planner import plan_normal_read
 from ..engine.requests import AccessPlan, ReadRequest
 from ..layout import Placement, make_placement
@@ -61,6 +75,11 @@ class BlockStore:
         self.array = DiskArray(code.n, disk_model)
         self._pending = bytearray()
         self._elements_written = 0  # completed logical data elements
+        self._user_bytes = 0  # durable bytes the user wrote (pad excluded)
+        #: physical (start, length) of every flush-inserted zero-pad run,
+        #: ascending and disjoint; the logical<->physical translation walks
+        #: this list.
+        self._pad_runs: list[tuple[int, int]] = []
 
     # ------------------------------------------------------------------
     # geometry
@@ -72,8 +91,22 @@ class BlockStore:
 
     @property
     def size_bytes(self) -> int:
-        """Bytes durably stored (flushed), excluding the pending buffer."""
+        """Physical bytes durably stored (flushed), *including* flush
+        padding; excludes the pending buffer.  See :attr:`user_bytes` for
+        the logical stream length."""
         return self._elements_written * self.element_size
+
+    @property
+    def user_bytes(self) -> int:
+        """Durable bytes the user actually appended — the high-water mark
+        of the logical stream.  ``read`` offsets address ``[0,
+        user_bytes)``; flush padding is excluded."""
+        return self._user_bytes
+
+    @property
+    def padding_bytes(self) -> int:
+        """Durable zero-pad bytes inserted by :meth:`flush`."""
+        return self.size_bytes - self._user_bytes
 
     @property
     def pending_bytes(self) -> int:
@@ -86,24 +119,37 @@ class BlockStore:
     def append(self, data: bytes) -> int:
         """Append bytes; full rows are encoded and flushed immediately.
 
-        Returns the logical offset at which ``data`` begins.
+        Returns the true logical offset at which ``data`` begins: the
+        number of user bytes written before it, *excluding* any zero
+        padding earlier ``flush`` calls inserted.  The offset is directly
+        usable with :meth:`read`.
         """
-        offset = self.size_bytes + len(self._pending)
+        offset = self._user_bytes + len(self._pending)
         self._pending.extend(data)
         while len(self._pending) >= self.row_bytes:
             chunk = bytes(self._pending[: self.row_bytes])
             del self._pending[: self.row_bytes]
-            self._flush_row(chunk)
+            self._flush_row(chunk, user_len=self.row_bytes)
         return offset
 
     def flush(self) -> None:
-        """Zero-pad and flush any partial pending row."""
+        """Zero-pad and flush any partial pending row.
+
+        The pad bytes become durable physically (they participate in
+        parity and occupy slots — see :attr:`padding_bytes`) but are *not*
+        part of the logical stream: subsequent ``append`` offsets and
+        ``read`` ranges skip them, so ``flush`` never perturbs logical
+        addressing.
+        """
         if self._pending:
+            pending_len = len(self._pending)
+            pad_start = self.size_bytes + pending_len
+            self._pad_runs.append((pad_start, self.row_bytes - pending_len))
             chunk = bytes(self._pending).ljust(self.row_bytes, b"\0")
             self._pending.clear()
-            self._flush_row(chunk)
+            self._flush_row(chunk, user_len=pending_len)
 
-    def _flush_row(self, row_payload: bytes) -> None:
+    def _flush_row(self, row_payload: bytes, user_len: int) -> None:
         k, s = self.code.k, self.element_size
         data = np.frombuffer(row_payload, dtype=np.uint8).reshape(k, s)
         parity = self.code.encode(data)
@@ -115,6 +161,39 @@ class BlockStore:
             if not disk.failed:
                 disk.write_slot(addr.slot, payload)
         self._elements_written += k
+        self._user_bytes += user_len
+
+    # ------------------------------------------------------------------
+    # logical <-> physical offset translation
+    # ------------------------------------------------------------------
+    def _logical_to_physical(self, offset: int) -> int:
+        """Physical stream position of logical byte ``offset``."""
+        phys = offset
+        for pad_start, pad_len in self._pad_runs:
+            if phys >= pad_start:
+                phys += pad_len
+            else:
+                break
+        return phys
+
+    def _excise_padding(self, buf: bytes, phys_start: int) -> bytes:
+        """Drop pad bytes from ``buf`` covering physical ``[phys_start,
+        phys_start + len(buf))``, yielding contiguous logical bytes."""
+        end = phys_start + len(buf)
+        pieces: list[bytes] = []
+        cursor = phys_start
+        for pad_start, pad_len in self._pad_runs:
+            pad_end = pad_start + pad_len
+            if pad_end <= cursor:
+                continue
+            if pad_start >= end:
+                break
+            if pad_start > cursor:
+                pieces.append(buf[cursor - phys_start : pad_start - phys_start])
+            cursor = min(pad_end, end)
+        if cursor < end:
+            pieces.append(buf[cursor - phys_start :])
+        return b"".join(pieces)
 
     # ------------------------------------------------------------------
     # read path
@@ -132,22 +211,63 @@ class BlockStore:
 
     def read_with_outcome(self, offset: int, length: int) -> tuple[bytes, ReadOutcome]:
         """Like :meth:`read` but also returns the simulated timing outcome."""
-        request = self._byte_range_to_request(offset, length)
+        plan = self.plan_read(offset, length)
+        return self.execute_read(plan, offset, length)
+
+    def plan_read(self, offset: int, length: int) -> AccessPlan:
+        """Build (but do not execute) the access plan of a byte read.
+
+        This is the planning half of :meth:`read_with_outcome`, exposed so
+        a plan cache (:class:`repro.engine.plancache.PlanCache`) or a
+        batched service can reuse plans across requests.  The plan depends
+        only on the placement, the element-aligned request, and the
+        current failure signature.
+        """
+        request = self.byte_request(offset, length)
         failed = self.array.failed_disks
         if not failed:
-            plan = plan_normal_read(self.placement, request, self.element_size)
-        elif len(failed) == 1:
-            plan = plan_degraded_read(
+            return plan_normal_read(self.placement, request, self.element_size)
+        if len(failed) == 1:
+            return plan_degraded_read(
                 self.placement, request, failed[0], self.element_size
             )
-        else:
-            raise DecodeFailure(
-                f"{len(failed)} disks down; use read_degraded_multi for "
-                "multi-failure reads"
-            )
-        outcome = execute_plan(plan, self.array)
-        elements = self._materialize_plan(plan)
-        return self._slice_bytes(elements, request, offset, length), outcome
+        raise DecodeFailure(
+            f"{len(failed)} disks down; use read_degraded_multi for "
+            "multi-failure reads"
+        )
+
+    def execute_read(
+        self, plan: AccessPlan, offset: int, length: int
+    ) -> tuple[bytes, ReadOutcome]:
+        """Execute a previously built plan: one accounted pass that times
+        the batch, fetches payloads, decodes losses, and slices bytes.
+
+        ``plan`` must have been built by :meth:`plan_read` for the same
+        ``(offset, length)`` under the current failure signature (a cached
+        plan is fine — byte ranges with the same element request share
+        plans).
+        """
+        timing = self.array.execute_batch(plan.per_disk_batches(), fetch=True)
+        if timing.completion_time_s <= 0.0:
+            raise ValueError("plan has no accesses; cannot compute a speed")
+        outcome = ReadOutcome(
+            plan=plan,
+            completion_time_s=timing.completion_time_s,
+            speed_bps=plan.requested_bytes / timing.completion_time_s,
+        )
+        elements = self._materialize_plan(plan, timing.payloads or {})
+        return self._slice_bytes(elements, plan.request, offset, length), outcome
+
+    def read_many(self, ranges: Sequence[tuple[int, int]]) -> list[bytes]:
+        """Read several ``(offset, length)`` ranges; returns their payloads.
+
+        The batch-submission primitive under
+        :class:`repro.engine.service.ReadService` — each range is planned
+        and executed through the unified accounting pass.  For concurrent
+        timing and plan caching, use the service; this method models the
+        data plane only.
+        """
+        return [self.read(offset, length) for offset, length in ranges]
 
     def read_degraded_multi(self, offset: int, length: int) -> bytes:
         """Read under any decodable multi-disk failure pattern.
@@ -156,21 +276,27 @@ class BlockStore:
         not I/O-minimal (the paper only evaluates single-failure degraded
         reads), but exercises the full fault-tolerance envelope.
         """
-        request = self._byte_range_to_request(offset, length)
+        request = self.byte_request(offset, length)
         failed = set(self.array.failed_disks)
         elements: dict[int, bytes] = {}
         rows = sorted({t // self.code.k for t in request.elements})
         for row in rows:
             available: dict[int, np.ndarray] = {}
             lost_data: list[int] = []
+            batch: dict[int, list[tuple[int, int]]] = {}
+            survivors: list[tuple[int, int, int]] = []  # (element, disk, slot)
             for e in range(self.code.n):
                 addr = self.placement.locate_row_element(row, e)
                 if addr.disk in failed:
                     if e < self.code.k:
                         lost_data.append(e)
                     continue
-                buf = self.array[addr.disk].read_slot(addr.slot)
-                available[e] = np.frombuffer(buf, dtype=np.uint8)
+                batch.setdefault(addr.disk, []).append((addr.slot, self.element_size))
+                survivors.append((e, addr.disk, addr.slot))
+            timing = self.array.execute_batch(batch, fetch=True)
+            payloads = timing.payloads or {}
+            for e, disk, slot in survivors:
+                available[e] = np.frombuffer(payloads[(disk, slot)], dtype=np.uint8)
             wanted = [
                 t % self.code.k
                 for t in request.elements
@@ -198,7 +324,9 @@ class BlockStore:
 
         Returns the number of elements rebuilt.  Uses each code's repair
         plan per row (LRC rebuilds a lost data element from its local
-        group only).
+        group only).  Helper reads are accounted through the unified batch
+        pass, so per-disk stats (accesses, bytes, busy time) reflect the
+        rebuild I/O exactly.
         """
         disk = self.array[disk_id]
         if not disk.failed:
@@ -220,12 +348,20 @@ class BlockStore:
             ]
             for e in lost:
                 helpers = self.code.repair_plan(e)
-                available = {}
+                batch: dict[int, list[tuple[int, int]]] = {}
+                helper_addrs: list[tuple[int, int, int]] = []
                 for h in helpers:
                     addr = self.placement.locate_row_element(row, h)
-                    available[h] = np.frombuffer(
-                        self.array[addr.disk].read_slot(addr.slot), dtype=np.uint8
+                    batch.setdefault(addr.disk, []).append(
+                        (addr.slot, self.element_size)
                     )
+                    helper_addrs.append((h, addr.disk, addr.slot))
+                timing = self.array.execute_batch(batch, fetch=True)
+                payloads = timing.payloads or {}
+                available = {
+                    h: np.frombuffer(payloads[(d, s)], dtype=np.uint8)
+                    for h, d, s in helper_addrs
+                }
                 recovered = self.code.decode(available, [e], self.element_size)
                 addr = self.placement.locate_row_element(row, e)
                 disk.write_slot(addr.slot, recovered[e])
@@ -235,24 +371,38 @@ class BlockStore:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _byte_range_to_request(self, offset: int, length: int) -> ReadRequest:
+    def byte_request(self, offset: int, length: int) -> ReadRequest:
+        """Element-aligned :class:`ReadRequest` covering a logical byte range.
+
+        Public because the read service keys its plan cache on the request;
+        the mapping is stable for any already-written range (flush padding
+        is only ever appended past the current high-water mark).
+        """
         if offset < 0 or length <= 0:
             raise ValueError(f"invalid byte range offset={offset} length={length}")
-        if offset + length > self.size_bytes:
+        if offset + length > self.user_bytes:
             raise ValueError(
                 f"range [{offset}, {offset + length}) beyond stored "
-                f"{self.size_bytes} bytes (flush() pending data first)"
+                f"{self.user_bytes} user bytes (flush() pending data first)"
             )
-        first = offset // self.element_size
-        last = (offset + length - 1) // self.element_size
+        phys_first = self._logical_to_physical(offset)
+        phys_last = self._logical_to_physical(offset + length - 1)
+        first = phys_first // self.element_size
+        last = phys_last // self.element_size
         return ReadRequest(start=first, count=last - first + 1)
 
-    def _materialize_plan(self, plan: AccessPlan) -> dict[int, bytes]:
-        """Fetch payloads for a plan and decode any lost requested elements."""
+    def _materialize_plan(
+        self, plan: AccessPlan, payloads: dict[tuple[int, int], bytes]
+    ) -> dict[int, bytes]:
+        """Assemble fetched payloads and decode any lost requested elements.
+
+        ``payloads`` comes from the accounted batch execution; this method
+        performs no disk I/O of its own.
+        """
         k = self.code.k
         fetched: dict[tuple[int, int], bytes] = {}
         for access in plan.accesses:
-            buf = self.array[access.address.disk].read_slot(access.address.slot)
+            buf = payloads[(access.address.disk, access.address.slot)]
             fetched[(access.row, access.element)] = buf
 
         elements: dict[int, bytes] = {}
@@ -282,5 +432,15 @@ class BlockStore:
         length: int,
     ) -> bytes:
         joined = b"".join(elements[t] for t in request.elements)
-        skip = offset - request.start * self.element_size
-        return joined[skip : skip + length]
+        phys_start = request.start * self.element_size
+        logical = self._excise_padding(joined, phys_start)
+        skip = self._logical_to_physical(offset) - phys_start
+        # translate the skip into the pad-free buffer: subtract pad bytes
+        # that preceded the target inside the fetched physical window.
+        pad_before = sum(
+            min(pad_start + pad_len, self._logical_to_physical(offset)) - pad_start
+            for pad_start, pad_len in self._pad_runs
+            if phys_start <= pad_start < self._logical_to_physical(offset)
+        )
+        skip -= pad_before
+        return logical[skip : skip + length]

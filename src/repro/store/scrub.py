@@ -48,12 +48,19 @@ class Scrubber:
     def _read_row(self, row: int) -> np.ndarray:
         code = self.store.code
         s = self.store.element_size
-        out = np.zeros((code.n, s), dtype=np.uint8)
+        batch: dict[int, list[tuple[int, int]]] = {}
+        addrs = []
         for e in range(code.n):
             addr = self.store.placement.locate_row_element(row, e)
-            out[e] = np.frombuffer(
-                self.store.array[addr.disk].read_slot(addr.slot), dtype=np.uint8
-            )
+            batch.setdefault(addr.disk, []).append((addr.slot, s))
+            addrs.append(addr)
+        # One accounted batch per row: accesses, bytes and busy time land
+        # on the disks together, same as the store's read path.
+        timing = self.store.array.execute_batch(batch, fetch=True)
+        payloads = timing.payloads or {}
+        out = np.zeros((code.n, s), dtype=np.uint8)
+        for e, addr in enumerate(addrs):
+            out[e] = np.frombuffer(payloads[(addr.disk, addr.slot)], dtype=np.uint8)
         return out
 
     def _row_count(self) -> int:
@@ -145,11 +152,15 @@ class Scrubber:
     def inject_corruption(
         self, row: int, element: int, rng: np.random.Generator | None = None
     ) -> None:
-        """Testing hook: overwrite one element with random garbage."""
+        """Testing hook: overwrite one element with random garbage.
+
+        Uses :meth:`SimDisk.peek_slot` for the probe read so corruption
+        injection does not perturb the read counters under test.
+        """
         rng = rng or np.random.default_rng(0xBAD)
         addr = self.store.placement.locate_row_element(row, element)
         disk = self.store.array[addr.disk]
-        original = np.frombuffer(disk.read_slot(addr.slot), dtype=np.uint8)
+        original = np.frombuffer(disk.peek_slot(addr.slot), dtype=np.uint8)
         garbage = original.copy()
         while np.array_equal(garbage, original):
             garbage = rng.integers(0, 256, size=original.shape, dtype=np.uint8)

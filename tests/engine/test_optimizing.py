@@ -98,7 +98,8 @@ class TestOptimizedPlanner:
         # materialize through the optimized plan by hand
         req = ReadRequest(0, 14)
         plan = plan_degraded_read_optimized(bs.placement, req, 0, bs.element_size)
-        got = bs._materialize_plan(plan)
+        timing = bs.array.execute_batch(plan.per_disk_batches(), fetch=True)
+        got = bs._materialize_plan(plan, timing.payloads)
         expect = {
             t: data[t * 16 : (t + 1) * 16] for t in req.elements
         }

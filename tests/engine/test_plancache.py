@@ -1,0 +1,197 @@
+"""Plan cache: correctness, LRU behaviour, and failure-signature keys."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import make_lrc, make_rs
+from repro.engine import (
+    PlanCache,
+    ReadRequest,
+    placement_signature,
+    plan_degraded_read,
+    plan_normal_read,
+)
+from repro.layout import FRMPlacement, StandardPlacement, make_placement
+
+
+def plans_equal(a, b):
+    """Structural equality of two plans (the dataclasses are not frozen
+    all the way down, so compare the observable surface)."""
+    return (
+        a.request == b.request
+        and sorted(
+            (acc.address.disk, acc.address.slot, acc.row, acc.element)
+            for acc in a.accesses
+        )
+        == sorted(
+            (acc.address.disk, acc.address.slot, acc.row, acc.element)
+            for acc in b.accesses
+        )
+    )
+
+
+class TestCachedEqualsFresh:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        start=st.integers(0, 200),
+        count=st.integers(1, 40),
+        failed=st.none() | st.integers(0, 8),
+    )
+    def test_cached_plan_matches_planner_output(self, start, count, failed):
+        placement = FRMPlacement(make_rs(6, 3))
+        cache = PlanCache(capacity=512)
+        request = ReadRequest(start, count)
+        failed_disks = [] if failed is None else [failed]
+        first = cache.plan(placement, request, 64, failed_disks)
+        again = cache.plan(placement, request, 64, failed_disks)
+        assert again is first  # hit returns the shared instance
+        if failed is None:
+            fresh = plan_normal_read(placement, request, 64)
+        else:
+            fresh = plan_degraded_read(placement, request, failed, 64)
+        assert plans_equal(first, fresh)
+
+    def test_counters(self):
+        placement = FRMPlacement(make_rs(6, 3))
+        cache = PlanCache(capacity=8)
+        req = ReadRequest(0, 4)
+        cache.plan(placement, req, 64, [])
+        cache.plan(placement, req, 64, [])
+        cache.plan(placement, ReadRequest(1, 4), 64, [])
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.plans_built == 2
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+
+class TestFailureSignatureInvalidation:
+    def test_fail_restore_round_trip(self):
+        """Failing a disk must miss (replan); restoring must re-hit the
+        original healthy entry — no stale degraded plans either way."""
+        placement = FRMPlacement(make_lrc(6, 2, 2))
+        cache = PlanCache(capacity=64)
+        req = ReadRequest(0, 6)
+        healthy = cache.plan(placement, req, 64, [])
+        degraded = cache.plan(placement, req, 64, [0])
+        assert not plans_equal(healthy, degraded)
+        assert cache.stats.plans_built == 2
+        # back to healthy: hits the original entry, no rebuild
+        assert cache.plan(placement, req, 64, []) is healthy
+        assert cache.plan(placement, req, 64, [0]) is degraded
+        assert cache.stats.plans_built == 2
+
+    def test_different_failed_disk_is_a_different_key(self):
+        placement = FRMPlacement(make_lrc(6, 2, 2))
+        cache = PlanCache(capacity=64)
+        req = ReadRequest(0, 6)
+        cache.plan(placement, req, 64, [0])
+        cache.plan(placement, req, 64, [1])
+        assert cache.stats.plans_built == 2
+
+    def test_multi_failure_rejected(self):
+        placement = FRMPlacement(make_rs(6, 3))
+        cache = PlanCache()
+        with pytest.raises(ValueError):
+            cache.plan(placement, ReadRequest(0, 1), 64, [0, 1])
+
+
+class TestIdentityKeys:
+    def test_same_geometry_shares_entries(self):
+        cache = PlanCache()
+        a = FRMPlacement(make_rs(6, 3))
+        b = FRMPlacement(make_rs(6, 3))
+        assert placement_signature(a) == placement_signature(b)
+        cache.plan(a, ReadRequest(0, 4), 64, [])
+        cache.plan(b, ReadRequest(0, 4), 64, [])
+        assert cache.stats.hits == 1
+
+    def test_different_form_or_code_isolated(self):
+        cache = PlanCache()
+        code = make_rs(6, 3)
+        cache.plan(FRMPlacement(code), ReadRequest(0, 4), 64, [])
+        cache.plan(StandardPlacement(code), ReadRequest(0, 4), 64, [])
+        cache.plan(FRMPlacement(make_rs(10, 4)), ReadRequest(0, 4), 64, [])
+        assert cache.stats.plans_built == 3
+
+    def test_element_size_in_key(self):
+        cache = PlanCache()
+        placement = FRMPlacement(make_rs(6, 3))
+        cache.plan(placement, ReadRequest(0, 4), 64, [])
+        cache.plan(placement, ReadRequest(0, 4), 128, [])
+        assert cache.stats.plans_built == 2
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        placement = FRMPlacement(make_rs(6, 3))
+        cache = PlanCache(capacity=2)
+        r0, r1, r2 = ReadRequest(0, 1), ReadRequest(1, 1), ReadRequest(2, 1)
+        cache.plan(placement, r0, 64, [])
+        cache.plan(placement, r1, 64, [])
+        cache.plan(placement, r0, 64, [])  # refresh r0
+        cache.plan(placement, r2, 64, [])  # evicts r1 (LRU)
+        assert cache.stats.evictions == 1
+        cache.plan(placement, r0, 64, [])
+        assert cache.stats.hits == 2  # r0 survived
+        cache.plan(placement, r1, 64, [])
+        assert cache.stats.plans_built == 4  # r1 was rebuilt
+
+    def test_capacity_bound_holds(self):
+        placement = FRMPlacement(make_rs(6, 3))
+        cache = PlanCache(capacity=4)
+        for start in range(20):
+            cache.plan(placement, ReadRequest(start, 1), 64, [])
+        assert len(cache) == 4
+        assert cache.stats.evictions == 16
+
+    def test_clear_keeps_counters(self):
+        placement = FRMPlacement(make_rs(6, 3))
+        cache = PlanCache()
+        cache.plan(placement, ReadRequest(0, 1), 64, [])
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.plans_built == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+class TestCachedExecutionByteIdentical:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        form=st.sampled_from(["standard", "rotated", "ec-frm"]),
+        offset=st.integers(0, 2000),
+        length=st.integers(1, 500),
+        fail=st.none() | st.integers(0, 8),
+    )
+    def test_cached_and_fresh_reads_agree(self, form, offset, length, fail):
+        """Property: serving a read through a cached plan returns the same
+        bytes as planning from scratch."""
+        from repro.store import BlockStore
+
+        code = make_rs(6, 3)
+        store = BlockStore(code, form, element_size=32)
+        rng = np.random.default_rng(3)
+        data = rng.integers(
+            0, 256, size=20 * store.row_bytes, dtype=np.uint8
+        ).tobytes()
+        store.append(data)
+        if fail is not None and fail < code.n:
+            store.array.fail_disk(fail)
+        offset = min(offset, store.user_bytes - length)
+        fresh = store.read(offset, length)
+        cache = PlanCache()
+        request = store.byte_request(offset, length)
+        plan = cache.plan(
+            store.placement, request, store.element_size, store.array.failed_disks
+        )
+        cached, _ = store.execute_read(plan, offset, length)
+        # twice more through the cache: still identical
+        plan2 = cache.plan(
+            store.placement, request, store.element_size, store.array.failed_disks
+        )
+        cached2, _ = store.execute_read(plan2, offset, length)
+        assert cached == fresh == cached2 == data[offset : offset + length]

@@ -1,0 +1,160 @@
+"""Read service: batch submission, caching, counters, metrics surface."""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_rs
+from repro.engine import PlanCache, ReadService
+from repro.harness import service_report
+from repro.store import BlockStore
+
+
+@pytest.fixture()
+def loaded():
+    code = make_rs(6, 3)
+    store = BlockStore(code, "ec-frm", element_size=64)
+    rng = np.random.default_rng(9)
+    data = rng.integers(0, 256, size=16 * store.row_bytes, dtype=np.uint8).tobytes()
+    store.append(data)
+    return store, data
+
+
+class TestSubmission:
+    def test_payloads_byte_exact(self, loaded):
+        store, data = loaded
+        svc = ReadService(store)
+        ranges = [(0, 100), (1000, 256), (64, 64), (5000, 1)]
+        result = svc.submit(ranges, queue_depth=4)
+        assert result.payloads == [data[o : o + n] for o, n in ranges]
+        assert len(result.plans) == len(ranges)
+
+    def test_single_read_helper(self, loaded):
+        store, data = loaded
+        svc = ReadService(store)
+        assert svc.read(300, 128) == data[300:428]
+
+    def test_empty_batch_rejected(self, loaded):
+        store, _ = loaded
+        with pytest.raises(ValueError):
+            ReadService(store).submit([])
+
+    def test_throughput_timing_present(self, loaded):
+        store, _ = loaded
+        svc = ReadService(store)
+        result = svc.submit([(0, 256)] * 10, queue_depth=4)
+        assert result.throughput.makespan_s > 0
+        assert result.throughput.throughput_bps > 0
+        assert result.throughput.total_requested_bytes > 0
+
+    def test_deeper_queue_does_not_hurt_throughput(self, loaded):
+        store, _ = loaded
+        svc = ReadService(store)
+        ranges = [(i * 137, 256) for i in range(40)]
+        shallow = svc.submit(ranges, queue_depth=1).throughput.throughput_bps
+        deep = svc.submit(ranges, queue_depth=16).throughput.throughput_bps
+        assert deep >= shallow
+
+    def test_degraded_batch(self, loaded):
+        store, data = loaded
+        store.array.fail_disk(1)
+        svc = ReadService(store)
+        ranges = [(0, 300), (2000, 128)]
+        result = svc.submit(ranges, queue_depth=2)
+        assert result.payloads == [data[o : o + n] for o, n in ranges]
+
+
+class TestCaching:
+    def test_replay_hits(self, loaded):
+        store, _ = loaded
+        svc = ReadService(store)
+        ranges = [(0, 100), (1000, 256)]
+        cold = svc.submit(ranges, queue_depth=2)
+        warm = svc.submit(ranges, queue_depth=2)
+        assert cold.cache_misses == 2 and cold.cache_hits == 0
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+        assert warm.payloads == cold.payloads
+
+    def test_failure_invalidates_then_restore_rehits(self, loaded):
+        store, data = loaded
+        svc = ReadService(store)
+        svc.submit([(0, 100)], queue_depth=1)
+        store.array.fail_disk(0)
+        degraded = svc.submit([(0, 100)], queue_depth=1)
+        assert degraded.cache_misses == 1
+        assert degraded.payloads[0] == data[:100]
+        store.array.restore_disk(0, wipe=False)
+        healthy = svc.submit([(0, 100)], queue_depth=1)
+        assert healthy.cache_hits == 1 and healthy.cache_misses == 0
+
+    def test_shared_cache_across_services(self, loaded):
+        store, _ = loaded
+        shared = PlanCache(capacity=32)
+        a = ReadService(store, cache=shared)
+        b = ReadService(store, cache=shared)
+        a.submit([(0, 100)], queue_depth=1)
+        result = b.submit([(0, 100)], queue_depth=1)
+        assert result.cache_hits == 1
+
+
+class TestCountersAndMetrics:
+    def test_counters_accumulate(self, loaded):
+        store, _ = loaded
+        svc = ReadService(store)
+        svc.submit([(0, 100), (500, 50)], queue_depth=2)
+        svc.submit([(0, 100)], queue_depth=8)
+        c = svc.counters
+        assert c.requests == 3
+        assert c.batches == 2
+        assert c.bytes_served == 250
+        assert c.max_queue_depth == 8
+        assert sum(c.disk_load.values()) > 0
+
+    def test_load_histogram_matches_plans(self, loaded):
+        store, _ = loaded
+        svc = ReadService(store)
+        result = svc.submit([(0, 1000)], queue_depth=1)
+        expected = result.plans[0].per_disk_loads()
+        assert svc.counters.load_histogram() == {
+            d: expected[d] for d in sorted(expected)
+        }
+
+    def test_metrics_shape(self, loaded):
+        store, _ = loaded
+        svc = ReadService(store)
+        svc.submit([(0, 100)], queue_depth=1)
+        m = svc.metrics()
+        assert set(m) == {
+            "requests",
+            "batches",
+            "bytes_served",
+            "max_queue_depth",
+            "disk_load",
+            "cache",
+        }
+        assert m["cache"]["plans_built"] == 1
+
+    def test_service_report_renders(self, loaded):
+        store, _ = loaded
+        svc = ReadService(store)
+        svc.submit([(0, 100), (200, 100)], queue_depth=2)
+        text = service_report(svc)
+        assert "plan cache" in text
+        assert "disk load" in text
+        assert "2 batches" not in text  # one batch so far
+        assert "1 batches" in text
+
+
+class TestAccountingThroughService:
+    def test_service_reads_account_exactly_once(self, loaded):
+        """Queue depth changes overlap, not work: stats must equal the
+        planned loads regardless of depth."""
+        store, _ = loaded
+        svc = ReadService(store)
+        store.array.reset_stats()
+        result = svc.submit([(0, 500), (3000, 200)], queue_depth=16)
+        expected = {}
+        for plan in result.plans:
+            for disk_id, load in plan.per_disk_loads().items():
+                expected[disk_id] = expected.get(disk_id, 0) + load
+        for disk in store.array.disks:
+            assert disk.stats.accesses == expected.get(disk.disk_id, 0)

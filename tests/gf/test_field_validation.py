@@ -1,0 +1,105 @@
+"""Regression tests: buffer range validation in GF vector operations.
+
+The seed skipped validation whenever the input dtype already matched the
+field dtype, so ``GF4.mul_vec(np.array([200], dtype=np.uint8), ...)``
+crashed with an ``IndexError`` from the table gather instead of raising
+``ValueError``.  Out-of-field inputs must raise ``ValueError`` for every
+width and every vector entry point, through both the matching-dtype and
+the wider-dtype paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gf import GF4, GF8, GF16
+
+FIELDS = pytest.mark.parametrize("gf", [GF4, GF8, GF16], ids=["w4", "w8", "w16"])
+
+
+def bad_buffer(gf):
+    """An out-of-field buffer for ``gf`` in the tightest dtype that can
+    represent the rogue value (matching dtype for w=4, wider otherwise)."""
+    if gf.w == 4:
+        return np.array([1, 200, 3], dtype=np.uint8)  # matches GF4's dtype
+    return np.array([1, gf.order + 44, 3], dtype=np.int64)
+
+
+def good_buffer(gf):
+    return np.array([1, 2, 3], dtype=gf.dtype)
+
+
+@FIELDS
+class TestOutOfFieldBuffers:
+    def test_mul_vec_raises_value_error(self, gf):
+        with pytest.raises(ValueError):
+            gf.mul_vec(bad_buffer(gf), good_buffer(gf))
+        with pytest.raises(ValueError):
+            gf.mul_vec(good_buffer(gf), bad_buffer(gf))
+
+    def test_scalar_mul_vec_raises_value_error(self, gf):
+        with pytest.raises(ValueError):
+            gf.scalar_mul_vec(3, bad_buffer(gf))
+
+    def test_axpy_raises_value_error(self, gf):
+        acc = np.zeros(3, dtype=gf.dtype)
+        with pytest.raises(ValueError):
+            gf.axpy(acc, 3, bad_buffer(gf))
+
+    def test_add_vec_raises_value_error(self, gf):
+        with pytest.raises(ValueError):
+            gf.add_vec(bad_buffer(gf), good_buffer(gf))
+
+    def test_asarray_raises_value_error(self, gf):
+        with pytest.raises(ValueError):
+            gf.asarray(bad_buffer(gf))
+
+    def test_negative_values_rejected(self, gf):
+        with pytest.raises(ValueError):
+            gf.asarray(np.array([-1, 0], dtype=np.int64))
+
+    def test_valid_buffers_still_work(self, gf):
+        got = gf.mul_vec(good_buffer(gf), good_buffer(gf))
+        assert got.dtype == gf.dtype
+        assert int(got[0]) == gf.mul(1, 1)
+
+
+class TestGF4MatchingDtypeRegression:
+    """The literal seed crash: a uint8 buffer holding 200 fed to GF4."""
+
+    def test_exact_repro_raises_value_error_not_index_error(self):
+        bad = np.array([200], dtype=np.uint8)
+        other = np.array([3], dtype=np.uint8)
+        with pytest.raises(ValueError):
+            GF4.mul_vec(bad, other)
+
+    def test_boundary_value_rejected(self):
+        with pytest.raises(ValueError):
+            GF4.asarray(np.array([16], dtype=np.uint8))
+
+    def test_max_field_element_accepted(self):
+        arr = GF4.asarray(np.array([15], dtype=np.uint8))
+        assert int(arr[0]) == 15
+
+
+class TestTrustedFastPath:
+    def test_trusted_skips_the_scan(self):
+        # trusted=True is a caller promise; the gather then indexes with
+        # garbage, so only exercise it with *valid* data and check equality
+        a = np.array([1, 7, 15], dtype=np.uint8)
+        b = np.array([3, 5, 9], dtype=np.uint8)
+        assert np.array_equal(
+            GF4.mul_vec(a, b, trusted=True), GF4.mul_vec(a, b)
+        )
+
+    def test_trusted_only_bypasses_matching_dtype(self):
+        # a wider dtype still gets validated even when trusted: the astype
+        # conversion would otherwise truncate silently
+        bad = np.array([300], dtype=np.int64)
+        with pytest.raises(ValueError):
+            GF4.mul_vec(bad, np.array([1], dtype=np.uint8), trusted=True)
+
+    def test_full_width_fields_need_no_scan(self):
+        # w=8/w=16 fill their dtype; every representable value is in-field
+        assert not GF8._dtype_can_overflow
+        assert not GF16._dtype_can_overflow
+        assert GF4._dtype_can_overflow

@@ -32,11 +32,26 @@ class TestWritePath:
         assert store.size_bytes == 0
         assert store.pending_bytes == 10
 
-    def test_flush_pads_with_zeros(self, store):
+    def test_flush_pads_physically_but_not_logically(self, store):
         store.append(b"z" * 10)
         store.flush()
+        # the padded row is durable physically...
         assert store.size_bytes == store.row_bytes
-        assert store.read(0, 12) == b"z" * 10 + b"\0\0"
+        assert store.padding_bytes == store.row_bytes - 10
+        # ...but the logical stream holds only the user bytes
+        assert store.user_bytes == 10
+        assert store.read(0, 10) == b"z" * 10
+        with pytest.raises(ValueError):
+            store.read(0, 12)  # pad bytes are not addressable
+
+    def test_append_offsets_skip_flush_padding(self, store):
+        assert store.append(b"a" * 10) == 0
+        store.flush()
+        # next append continues the logical stream at 10, not at row_bytes
+        assert store.append(b"b" * 5) == 10
+        store.flush()
+        assert store.read(0, 15) == b"a" * 10 + b"b" * 5
+        assert store.read(8, 4) == b"aabb"  # spans the pad run transparently
 
     def test_flush_noop_when_empty(self, store):
         store.flush()
@@ -59,6 +74,20 @@ class TestReadPath:
         store.append(data)
         for off, ln in [(1, 5), (63, 2), (64, 64), (100, 300), (0, 1)]:
             assert store.read(off, ln) == data[off : off + ln], (off, ln)
+
+    def test_read_many(self, store):
+        data = blob(store.row_bytes * 2)
+        store.append(data)
+        ranges = [(0, 64), (100, 300), (1, 5), (0, 64)]
+        got = store.read_many(ranges)
+        assert got == [data[o : o + n] for o, n in ranges]
+
+    def test_read_many_degraded(self, store):
+        data = blob(store.row_bytes * 2)
+        store.append(data)
+        store.array.fail_disk(0)
+        ranges = [(0, 64), (100, 300)]
+        assert store.read_many(ranges) == [data[o : o + n] for o, n in ranges]
 
     def test_out_of_range_rejected(self, store):
         store.append(blob(store.row_bytes))

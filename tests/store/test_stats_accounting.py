@@ -1,0 +1,180 @@
+"""Regression tests: unified, exactly-once disk-stats accounting.
+
+The seed split accounting across two passes — plan execution charged busy
+time while payload materialization separately charged accesses/bytes, and
+the rebuild/scrub/multi-failure paths charged accesses with *zero* busy
+time.  These tests pin the invariant down: after any store operation,
+every disk's ``DiskStats`` reflects the planned physical work exactly
+once, with accesses, bytes and busy time moving together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_lrc, make_rs
+from repro.store import BlockStore, Scrubber
+
+
+def build_store(code=None, form="ec-frm", rows=6, element_size=32):
+    code = code or make_rs(6, 3)
+    store = BlockStore(code, form, element_size=element_size)
+    rng = np.random.default_rng(11)
+    data = rng.integers(0, 256, size=rows * store.row_bytes, dtype=np.uint8).tobytes()
+    store.append(data)
+    return store, data
+
+
+def read_stats(store):
+    """Post-write read-side counters: (accesses, bytes_read, busy) per disk."""
+    return {
+        d.disk_id: (d.stats.accesses, d.stats.bytes_read, d.stats.busy_time_s)
+        for d in store.array.disks
+    }
+
+
+class TestNormalReadAccounting:
+    def test_accesses_equal_planned_loads(self):
+        store, _ = build_store()
+        store.array.reset_stats()
+        plan = store.plan_read(64, 300)
+        store.read(64, 300)
+        loads = plan.per_disk_loads()
+        for disk in store.array.disks:
+            assert disk.stats.accesses == loads.get(disk.disk_id, 0)
+
+    def test_bytes_and_busy_move_with_accesses(self):
+        store, _ = build_store()
+        store.array.reset_stats()
+        store.read(0, 4 * store.element_size)
+        for disk in store.array.disks:
+            if disk.stats.accesses:
+                assert disk.stats.bytes_read == disk.stats.accesses * store.element_size
+                assert disk.stats.busy_time_s > 0.0
+            else:
+                assert disk.stats.bytes_read == 0
+                assert disk.stats.busy_time_s == 0.0
+
+    def test_read_with_outcome_accounts_once(self):
+        """The seed's split pass made read_with_outcome charge timing and
+        payload fetch separately; now it is one accounted pass."""
+        store, data = build_store()
+        store.array.reset_stats()
+        plan = store.plan_read(0, 200)
+        got, outcome = store.read_with_outcome(0, 200)
+        assert got == data[:200]
+        assert outcome.completion_time_s > 0.0
+        loads = plan.per_disk_loads()
+        total_planned = sum(loads.values())
+        assert sum(d.stats.accesses for d in store.array.disks) == total_planned
+
+    def test_sequence_of_reads_accumulates_exactly(self):
+        store, _ = build_store()
+        store.array.reset_stats()
+        expected = {d.disk_id: 0 for d in store.array.disks}
+        for offset, length in [(0, 50), (100, 400), (0, 50), (777, 33)]:
+            plan = store.plan_read(offset, length)
+            for disk_id, load in plan.per_disk_loads().items():
+                expected[disk_id] += load
+            store.read(offset, length)
+        for disk in store.array.disks:
+            assert disk.stats.accesses == expected[disk.disk_id]
+
+
+class TestDegradedReadAccounting:
+    def test_degraded_accesses_equal_planned_loads(self):
+        store, data = build_store(code=make_lrc(6, 2, 2))
+        store.array.fail_disk(0)
+        store.array.reset_stats()
+        plan = store.plan_read(0, 3 * store.element_size)
+        got = store.read(0, 3 * store.element_size)
+        assert got == data[: 3 * store.element_size]
+        loads = plan.per_disk_loads()
+        for disk in store.array.disks:
+            assert disk.stats.accesses == loads.get(disk.disk_id, 0)
+            if disk.stats.accesses:
+                assert disk.stats.busy_time_s > 0.0
+
+    def test_multi_failure_read_charges_busy_time(self):
+        store, data = build_store()
+        store.array.fail_disk(0)
+        store.array.fail_disk(1)
+        store.array.reset_stats()
+        got = store.read_degraded_multi(0, store.row_bytes)
+        assert got == data[: store.row_bytes]
+        touched = [d for d in store.array.disks if d.stats.accesses]
+        assert touched, "survivor reads must be accounted"
+        for disk in touched:
+            assert disk.stats.busy_time_s > 0.0
+            assert disk.stats.bytes_read == disk.stats.accesses * store.element_size
+
+
+class TestRebuildAccounting:
+    def test_rebuild_charges_busy_time_on_helpers(self):
+        """The seed charged rebuild helper reads as accesses with zero busy
+        time; helper I/O must now account fully."""
+        store, data = build_store(code=make_lrc(6, 2, 2))
+        store.array.fail_disk(2)
+        store.array.reset_stats()
+        rebuilt = store.rebuild_disk(2)
+        assert rebuilt > 0
+        helpers = [
+            d for d in store.array.disks if d.disk_id != 2 and d.stats.accesses
+        ]
+        assert helpers, "rebuild must read helpers"
+        for disk in helpers:
+            assert disk.stats.busy_time_s > 0.0
+            assert disk.stats.bytes_read == disk.stats.accesses * store.element_size
+        # the rebuilt data is intact
+        assert store.read(0, store.user_bytes) == data
+
+    def test_rebuilt_disk_only_written(self):
+        store, _ = build_store(code=make_lrc(6, 2, 2))
+        store.array.fail_disk(2)
+        store.array.reset_stats()
+        store.rebuild_disk(2)
+        target = store.array[2]
+        assert target.stats.bytes_read == 0
+        assert target.stats.bytes_written > 0
+
+
+class TestScrubAccounting:
+    def test_scrub_charges_busy_time(self):
+        store, _ = build_store()
+        store.array.reset_stats()
+        report = Scrubber(store).scrub()
+        assert report.clean
+        for disk in store.array.disks:
+            assert disk.stats.accesses > 0
+            assert disk.stats.busy_time_s > 0.0
+
+    def test_corruption_injection_does_not_perturb_read_counters(self):
+        store, _ = build_store()
+        store.array.reset_stats()
+        Scrubber(store).inject_corruption(0, 1)
+        assert all(d.stats.accesses == 0 or d.stats.bytes_written > 0
+                   for d in store.array.disks)
+        assert sum(d.stats.bytes_read for d in store.array.disks) == 0
+
+
+class TestPeekSlot:
+    def test_peek_does_not_count(self):
+        store, _ = build_store(rows=1)
+        disk = next(d for d in store.array.disks if d.occupied_slots)
+        slot = next(s for s in range(64) if disk.has_slot(s))
+        before = (disk.stats.accesses, disk.stats.bytes_read)
+        disk.peek_slot(slot)
+        assert (disk.stats.accesses, disk.stats.bytes_read) == before
+
+    def test_read_slot_still_counts(self):
+        store, _ = build_store(rows=1)
+        disk = next(d for d in store.array.disks if d.occupied_slots)
+        slot = next(s for s in range(64) if disk.has_slot(s))
+        before = disk.stats.accesses
+        payload = disk.read_slot(slot)
+        assert disk.stats.accesses == before + 1
+        assert payload == disk.peek_slot(slot)
+
+    def test_peek_missing_slot_raises(self):
+        store, _ = build_store(rows=1)
+        with pytest.raises(KeyError):
+            store.array[0].peek_slot(10_000)

@@ -17,6 +17,7 @@ class TestParser:
         p.parse_args(["bench", "8a", "--normal-trials", "10"])
         p.parse_args(["codes"])
         p.parse_args(["demo", "--code", "lrc-6-2-2"])
+        p.parse_args(["serve", "--queue-depth", "4", "--fail-disk", "2"])
 
 
 class TestCommands:
@@ -57,6 +58,23 @@ class TestCommands:
         assert main(["demo", "--code", "rs-6-3", "--form", "ec-frm"]) == 0
         out = capsys.readouterr().out
         assert "byte-exact: OK" in out
+
+    def test_serve(self, capsys):
+        rc = main(["serve", "--requests", "40", "--queue-depth", "4",
+                   "--element-size", "1024"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "payloads byte-exact: OK" in out
+        assert "plan cache" in out
+        assert "40 cache hits" in out  # warm pass replays from the cache
+
+    def test_serve_degraded(self, capsys):
+        rc = main(["serve", "--requests", "20", "--fail-disk", "1",
+                   "--element-size", "1024"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serving degraded" in out
+        assert "payloads byte-exact: OK" in out
 
     def test_bad_code_spec_raises(self):
         with pytest.raises(ValueError):
