@@ -1,0 +1,151 @@
+"""Benchmark: read service under fault injection, standard vs EC-FRM.
+
+Runs the same random-read workload through :class:`repro.engine.ReadService`
+on real stores while a seeded :class:`repro.faults.FaultInjector` drives a
+fault schedule against the array, measuring:
+
+* aggregate throughput per form under each schedule (clean baseline, one
+  mid-batch disk crash, one straggler disk, scattered bit rot) — EC-FRM's
+  degraded-read cost advantage should show up as a smaller crash penalty;
+* the self-healing counters: batch retries, degraded serves, corruptions
+  detected/repaired.
+
+Every scenario asserts the payloads are byte-identical to the written
+data — faults must never change what the reader sees.  Results are
+printed, attached to ``benchmark.extra_info``, and exported to
+``results/faulted_reads.json`` via the shared conftest helper.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once, write_results_json
+
+from repro.codes import make_rs
+from repro.engine import ReadService
+from repro.faults import FaultEvent, FaultKind, FaultSchedule
+from repro.store import BlockStore
+
+ELEMENT_SIZE = 4096
+ROWS = 48
+REQUESTS = 200
+SPAN = 4 * ELEMENT_SIZE
+QUEUE_DEPTH = 8
+SEED = 2015
+
+
+def _build_store(form: str) -> tuple[BlockStore, bytes]:
+    code = make_rs(6, 3)
+    store = BlockStore(code, form, element_size=ELEMENT_SIZE)
+    rng = np.random.default_rng(SEED)
+    data = rng.integers(0, 256, size=ROWS * store.row_bytes, dtype=np.uint8).tobytes()
+    store.append(data)
+    return store, data
+
+
+def _workload(store: BlockStore) -> list[tuple[int, int]]:
+    rng = np.random.default_rng(42)
+    return [
+        (int(rng.integers(0, store.user_bytes - SPAN)), SPAN)
+        for _ in range(REQUESTS)
+    ]
+
+
+def _schedules() -> dict[str, FaultSchedule]:
+    return {
+        "clean": FaultSchedule.scripted([]),
+        "crash": FaultSchedule.scripted(
+            [FaultEvent(at_op=10, kind=FaultKind.CRASH, disk=1)]
+        ),
+        "straggler": FaultSchedule.scripted(
+            [FaultEvent(at_op=2, kind=FaultKind.STRAGGLER, disk=1, factor=4.0)]
+        ),
+        "bitrot": FaultSchedule.scripted(
+            [
+                FaultEvent(at_op=5, kind=FaultKind.BIT_ROT, disk=d)
+                for d in (0, 2, 4, 5)
+            ]
+        ),
+    }
+
+
+def sweep():
+    from repro.faults import FaultInjector
+    from repro.store import Scrubber
+
+    out: dict = {}
+    for scenario, schedule in _schedules().items():
+        per_form: dict = {}
+        for form in ("standard", "ec-frm"):
+            store, data = _build_store(form)
+            svc = ReadService(store, cache_capacity=2 * REQUESTS)
+            ranges = _workload(store)
+            injector = FaultInjector(store.array, schedule, seed=SEED).attach()
+            result = svc.submit(ranges, queue_depth=QUEUE_DEPTH)
+            injector.detach()
+            assert result.payloads == [
+                data[o : o + n] for o, n in ranges
+            ], f"{scenario}/{form}: payloads diverged under faults"
+            m = svc.metrics()
+            scrub_repairs = 0
+            if scenario == "bitrot":
+                # rot the workload never touched (e.g. on parity elements)
+                # is the scrubber's job; together they catch every event
+                _, repairs = Scrubber(store).scrub_and_repair()
+                scrub_repairs = len(repairs)
+            per_form[form] = {
+                "throughput_mib_s": (
+                    result.throughput.throughput_mib_s
+                    if result.throughput is not None
+                    else None
+                ),
+                "retries": m["retries"],
+                "degraded_serves": m["degraded_serves"],
+                "plan_invalidations": m["cache"]["invalidations"],
+                "corruptions_repaired": m["health"]["corruptions_repaired"],
+                "self_heal_writes": m["health"]["self_heal_writes"],
+                "scrub_repairs": scrub_repairs,
+                "events_fired": len(injector.fired),
+            }
+        out[scenario] = per_form
+    return out
+
+
+@pytest.mark.benchmark(group="faults")
+def test_faulted_read_sweep(benchmark):
+    results = run_once(benchmark, sweep)
+    print()
+    for scenario, per_form in results.items():
+        for form, r in per_form.items():
+            tput = r["throughput_mib_s"]
+            tput_s = f"{tput:8.1f} MiB/s" if tput is not None else "  (multi) "
+            print(
+                f"{scenario:10s} {form:10s} {tput_s}  "
+                f"retries={r['retries']} degraded={r['degraded_serves']} "
+                f"healed={r['self_heal_writes']}"
+            )
+    benchmark.extra_info.update(results)
+    write_results_json("faulted_reads", results)
+
+    for scenario, per_form in results.items():
+        for form, r in per_form.items():
+            if scenario == "clean":
+                assert r["retries"] == 0 and r["degraded_serves"] == 0
+            if scenario == "crash":
+                # the mid-batch crash forces a replan-and-retry
+                assert r["retries"] >= 1
+                assert r["degraded_serves"] > 0
+                assert r["plan_invalidations"] > 0
+            if scenario == "bitrot":
+                # reads heal what they touch; the scrub catches the rest
+                assert (
+                    r["corruptions_repaired"] + r["scrub_repairs"]
+                    == r["events_fired"]
+                )
+        # a straggler disk must cost throughput vs the clean run
+        if scenario == "straggler":
+            for form in per_form:
+                assert (
+                    per_form[form]["throughput_mib_s"]
+                    < results["clean"][form]["throughput_mib_s"]
+                )

@@ -22,6 +22,7 @@ from . import (
     codes,
     disks,
     engine,
+    faults,
     frm,
     gf,
     harness,
@@ -39,6 +40,7 @@ __all__ = [
     "codes",
     "disks",
     "engine",
+    "faults",
     "frm",
     "gf",
     "harness",

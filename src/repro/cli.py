@@ -8,7 +8,9 @@ Subcommands
   paper-style table plus headline improvement lines;
 * ``codes``   — list the Table I codes and their properties;
 * ``demo``    — end-to-end store demo: write, fail a disk, degraded read;
-* ``serve``   — concurrent read-service demo with plan-cache metrics.
+* ``serve``   — concurrent read-service demo with plan-cache metrics;
+* ``faults``  — fault-injection demo: self-healing reads under a seeded
+  fault schedule (crash, outage, latent sector, bit rot, straggler).
 """
 
 from __future__ import annotations
@@ -130,6 +132,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--queue-depth", type=int, default=8)
     p_serve.add_argument("--fail-disk", type=int, default=None)
     p_serve.add_argument("--seed", type=int, default=2015)
+
+    p_flt = sub.add_parser(
+        "faults", help="fault-injection demo: self-healing reads under a schedule"
+    )
+    p_flt.add_argument(
+        "scenario",
+        nargs="?",
+        default="mixed",
+        choices=("crash", "outage", "latent", "bitrot", "straggler", "mixed"),
+        help="fault scenario preset (default: mixed, seeded-random)",
+    )
+    p_flt.add_argument("--code", default="rs-6-3")
+    p_flt.add_argument("--form", default="ec-frm")
+    p_flt.add_argument("--element-size", type=int, default=1024)
+    p_flt.add_argument("--requests", type=int, default=48)
+    p_flt.add_argument("--queue-depth", type=int, default=8)
+    p_flt.add_argument("--seed", type=int, default=2015)
 
     p_rel = sub.add_parser(
         "mttdl", help="mean time to data loss from measured rebuild speed"
@@ -369,6 +388,84 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _fault_schedule(scenario: str, code, seed: int):
+    """Build the preset schedule for one ``faults`` CLI scenario."""
+    from .faults import FaultEvent, FaultKind, FaultSchedule
+
+    scripted = {
+        "crash": [FaultEvent(at_op=5, kind=FaultKind.CRASH, disk=1)],
+        "outage": [
+            FaultEvent(
+                at_op=5, kind=FaultKind.TRANSIENT_OUTAGE, disk=2, duration_ops=6
+            )
+        ],
+        "latent": [
+            FaultEvent(at_op=3, kind=FaultKind.LATENT_SECTOR, disk=0),
+            FaultEvent(at_op=9, kind=FaultKind.LATENT_SECTOR, disk=4),
+        ],
+        "bitrot": [
+            FaultEvent(at_op=3, kind=FaultKind.BIT_ROT, disk=3),
+            FaultEvent(at_op=7, kind=FaultKind.BIT_ROT, disk=5),
+        ],
+        "straggler": [
+            FaultEvent(at_op=2, kind=FaultKind.STRAGGLER, disk=1, factor=4.0)
+        ],
+    }
+    if scenario in scripted:
+        return FaultSchedule.scripted(scripted[scenario])
+    return FaultSchedule.random(
+        seed,
+        ops=40,
+        num_disks=code.n,
+        crash_prob=0.02,
+        outage_prob=0.02,
+        latent_prob=0.05,
+        bitrot_prob=0.05,
+        straggler_prob=0.02,
+        max_disk_failures=code.fault_tolerance - 1 or 1,
+    )
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .engine import ReadService
+    from .faults import FaultInjector
+    from .harness import service_report
+
+    code = parse_code_spec(args.code)
+    bs = BlockStore(code, args.form, element_size=args.element_size)
+    rng = np.random.default_rng(args.seed)
+    rows = 16
+    data = rng.integers(0, 256, size=rows * bs.row_bytes, dtype=np.uint8).tobytes()
+    bs.append(data)
+
+    schedule = _fault_schedule(args.scenario, code, args.seed)
+    print(
+        f"{bs.placement.describe()}, scenario {args.scenario!r} "
+        f"({len(schedule)} scheduled events, seed {args.seed})"
+    )
+    injector = FaultInjector(bs.array, schedule, seed=args.seed).attach()
+
+    svc = ReadService(bs)
+    span = 4 * args.element_size
+    ranges = [
+        (int(rng.integers(0, bs.user_bytes - span)), span)
+        for _ in range(args.requests)
+    ]
+    result = svc.submit(ranges, queue_depth=args.queue_depth)
+    injector.detach()
+
+    ok = result.payloads == [data[o : o + n] for o, n in ranges]
+    for op, event in injector.fired:
+        where = f" slot {event.slot}" if event.slot is not None else ""
+        print(f"  op {op:3d}: {event.kind.value} on disk {event.disk}{where}")
+    for op, event in injector.skipped:
+        print(f"  op {op:3d}: {event.kind.value} on disk {event.disk} (skipped)")
+    print(f"payloads byte-exact under faults: {'OK' if ok else 'FAILED'}")
+    print()
+    print(service_report(svc))
+    return 0 if ok else 1
+
+
 def _cmd_mttdl(args: argparse.Namespace) -> int:
     from .disks.presets import SAVVIO_10K3
     from .layout import make_placement
@@ -408,6 +505,7 @@ _HANDLERS = {
     "analyze": _cmd_analyze,
     "sweep": _cmd_sweep,
     "serve": _cmd_serve,
+    "faults": _cmd_faults,
     "mttdl": _cmd_mttdl,
 }
 

@@ -8,7 +8,13 @@
 """
 
 from .array import BatchTiming, DiskArray
-from .disk import DiskFailedError, DiskStats, SimDisk
+from .disk import (
+    DiskFailedError,
+    DiskStats,
+    SimDisk,
+    SlotMissingError,
+    SlotUnreadableError,
+)
 from .model import DiskModel
 from .presets import (
     DISK_PRESETS,
@@ -24,6 +30,8 @@ __all__ = [
     "SimDisk",
     "DiskStats",
     "DiskFailedError",
+    "SlotUnreadableError",
+    "SlotMissingError",
     "DiskArray",
     "BatchTiming",
     "SAVVIO_10K3",

@@ -2,15 +2,17 @@
 
 The array implements the paper's timing semantics (§III): disks serve
 their access lists concurrently and a request completes when the slowest
-participating disk finishes.  Failure injection (fail / restore) drives
-the degraded-read experiments.
+participating disk finishes.  Failure injection (fail / restore, plus the
+richer schedules of :mod:`repro.faults`) drives the degraded-read and
+self-healing experiments.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
-from .disk import DiskFailedError, SimDisk
+from .disk import DiskFailedError, SimDisk, SlotUnreadableError
 from .model import DiskModel
 
 __all__ = ["BatchTiming", "DiskArray"]
@@ -33,6 +35,12 @@ class BatchTiming:
     payloads:
         ``(disk, slot) -> payload`` for every access, when the batch was
         executed with ``fetch=True``; ``None`` for timing-only batches.
+    unreadable:
+        ``(disk, slot)`` pairs the fetch could not serve — latent sector
+        errors or never-written slots.  The disk still did (and was
+        charged for) the positioning work; the payload is simply absent
+        from :attr:`payloads`, and the store demotes those elements to
+        erasures.  Always empty for timing-only batches.
     """
 
     completion_time_s: float
@@ -40,6 +48,7 @@ class BatchTiming:
     total_accesses: int
     total_bytes: int
     payloads: dict[tuple[int, int], bytes] | None = None
+    unreadable: tuple[tuple[int, int], ...] = ()
 
     @property
     def bottleneck_disk(self) -> int | None:
@@ -57,6 +66,11 @@ class DiskArray:
             raise ValueError(f"need at least one disk, got {num_disks}")
         self.model = model
         self.disks = [SimDisk(i, model) for i in range(num_disks)]
+        #: optional observer invoked at the start of every
+        #: :meth:`execute_batch` call — the seam a
+        #: :class:`repro.faults.FaultInjector` attaches to so faults fire
+        #: *mid-workload*, between (or inside) multi-request batches.
+        self.on_batch_start: Callable[[], None] | None = None
 
     def __len__(self) -> int:
         return len(self.disks)
@@ -85,6 +99,10 @@ class DiskArray:
         """Currently healthy disk ids, ascending."""
         return [d.disk_id for d in self.disks if not d.failed]
 
+    def slowdowns(self) -> dict[int, float]:
+        """Per-disk straggler multipliers, for disks slower than nominal."""
+        return {d.disk_id: d.slowdown for d in self.disks if d.slowdown != 1.0}
+
     # ------------------------------------------------------------------
     # timing plane
     # ------------------------------------------------------------------
@@ -105,18 +123,28 @@ class DiskArray:
         would double-count.
 
         With ``fetch=True`` the returned timing carries the payloads keyed
-        ``(disk, slot)``; every accessed slot must then hold a payload.
+        ``(disk, slot)``.  Slots that cannot be served — latent sector
+        errors, never-written slots — are reported in ``unreadable``
+        instead of raising: the disk already did the positioning work, and
+        the store turns each unreadable slot into an erasure to
+        reconstruct.
 
         Raises
         ------
         DiskFailedError
             If the batch touches a failed disk — the planner should never
-            schedule reads there.
+            schedule reads there.  A disk may fail *between* planning and
+            execution (fault injection); accesses accounted before the
+            failed disk is encountered stay charged — a real array pays
+            for the I/O an aborted request already issued.
         """
+        if self.on_batch_start is not None:
+            self.on_batch_start()
         per_disk_time: dict[int, float] = {}
         total_accesses = 0
         total_bytes = 0
         payloads: dict[tuple[int, int], bytes] | None = {} if fetch else None
+        unreadable: list[tuple[int, int]] = []
         for disk_id, accesses in per_disk_accesses.items():
             if not 0 <= disk_id < len(self.disks):
                 raise ValueError(f"disk id {disk_id} out of range")
@@ -130,7 +158,10 @@ class DiskArray:
             disk.stats.bytes_read += sum(nbytes for _, nbytes in accesses)
             if payloads is not None:
                 for slot, _ in accesses:
-                    payloads[(disk_id, slot)] = disk.peek_slot(slot)
+                    try:
+                        payloads[(disk_id, slot)] = disk.peek_slot(slot)
+                    except SlotUnreadableError:
+                        unreadable.append((disk_id, slot))
             total_accesses += len(accesses)
             total_bytes += sum(nbytes for _, nbytes in accesses)
         completion = max(per_disk_time.values()) if per_disk_time else 0.0
@@ -140,6 +171,7 @@ class DiskArray:
             total_accesses=total_accesses,
             total_bytes=total_bytes,
             payloads=payloads,
+            unreadable=tuple(unreadable),
         )
 
     def reset_stats(self) -> None:

@@ -8,11 +8,45 @@ import numpy as np
 
 from .model import DiskModel
 
-__all__ = ["DiskFailedError", "DiskStats", "SimDisk"]
+__all__ = [
+    "DiskFailedError",
+    "SlotUnreadableError",
+    "SlotMissingError",
+    "DiskStats",
+    "SimDisk",
+]
 
 
 class DiskFailedError(RuntimeError):
     """Raised on any access to a failed disk."""
+
+
+class SlotUnreadableError(RuntimeError):
+    """A slot cannot be served: the sector is unreadable.
+
+    This is the *latent sector error* of the reliability literature — the
+    disk is up and serving other slots, but this one returns an
+    unrecoverable read error.  Carries the ``disk_id`` and ``slot`` so the
+    store can demote exactly that element to an erasure and reconstruct it.
+    """
+
+    def __init__(self, disk_id: int, slot: int, reason: str = "latent sector error"):
+        super().__init__(f"disk {disk_id} slot {slot}: {reason}")
+        self.disk_id = disk_id
+        self.slot = slot
+
+
+class SlotMissingError(SlotUnreadableError, KeyError):
+    """No payload was ever written at the slot.
+
+    Subclasses :class:`SlotUnreadableError` (the store treats a missing
+    payload like an unreadable sector: reconstruct and self-heal) and
+    ``KeyError`` for backward compatibility with callers that predate the
+    typed hierarchy.  New code should catch :class:`SlotUnreadableError`.
+    """
+
+    def __init__(self, disk_id: int, slot: int):
+        super().__init__(disk_id, slot, reason="no payload written")
 
 
 @dataclass
@@ -38,6 +72,13 @@ class SimDisk:
     Payloads are kept sparsely (slot -> bytes); the store layer writes
     element-sized buffers, and the simulator layer may run "timing only"
     without any payloads present.
+
+    Fault surface (driven by :class:`repro.faults.FaultInjector`):
+
+    * :meth:`fail` / :meth:`restore` — crash failures and transient outages;
+    * :meth:`mark_unreadable` — latent sector errors on individual slots;
+    * :meth:`corrupt_slot` — silent bit rot of a stored payload;
+    * :attr:`slowdown` — straggler multiplier applied to every service time.
     """
 
     def __init__(self, disk_id: int, model: DiskModel) -> None:
@@ -45,7 +86,11 @@ class SimDisk:
         self.model = model
         self.failed = False
         self.stats = DiskStats()
+        #: straggler multiplier: every service time is scaled by this
+        #: (aging spindle, background scrub, noisy neighbour).
+        self.slowdown = 1.0
         self._slots: dict[int, bytes] = {}
+        self._unreadable: set[int] = set()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "FAILED" if self.failed else "ok"
@@ -60,10 +105,20 @@ class SimDisk:
 
     def restore(self, *, wipe: bool = True) -> None:
         """Bring the disk back.  ``wipe`` (default) discards old contents,
-        modelling a replacement drive rather than a transient outage."""
+        modelling a *replacement* drive rather than a transient outage.
+
+        A replacement drive starts from factory state: contents, latent
+        sector errors, the straggler multiplier *and the service counters*
+        are all reset, so post-rebuild accounting starts clean.  A
+        transient restore (``wipe=False``) keeps everything — the same
+        spindle came back.
+        """
         self.failed = False
         if wipe:
             self._slots.clear()
+            self._unreadable.clear()
+            self.slowdown = 1.0
+            self.stats.reset()
 
     def _check_alive(self) -> None:
         if self.failed:
@@ -73,7 +128,13 @@ class SimDisk:
     # payload plane
     # ------------------------------------------------------------------
     def write_slot(self, slot: int, payload: bytes | np.ndarray) -> None:
-        """Store an element payload at ``slot``."""
+        """Store an element payload at ``slot``.
+
+        Charges the write through the service model (accesses, bytes
+        written *and* busy time move together — symmetric with the unified
+        read accounting).  Rewriting a slot clears any latent sector error
+        on it: the drive remaps the sector on write.
+        """
         self._check_alive()
         if slot < 0:
             raise ValueError(f"slot must be >= 0, got {slot}")
@@ -81,8 +142,12 @@ class SimDisk:
             payload, np.ndarray
         ) else bytes(payload)
         self._slots[slot] = buf
+        self._unreadable.discard(slot)
         self.stats.accesses += 1
         self.stats.bytes_written += len(buf)
+        self.stats.busy_time_s += (
+            self.model.service_time_s([(slot, len(buf))]) * self.slowdown
+        )
 
     def read_slot(self, slot: int) -> bytes:
         """Fetch the element payload at ``slot``, counting one access.
@@ -104,12 +169,21 @@ class SimDisk:
         Still refuses failed disks; this is the data-plane primitive for
         callers that do their own accounting (batch execution) or that
         must not perturb counters (corruption injection in tests).
+
+        Raises
+        ------
+        SlotUnreadableError
+            If the slot carries a latent sector error.
+        SlotMissingError
+            If no payload was ever written at the slot.
         """
         self._check_alive()
+        if slot in self._unreadable:
+            raise SlotUnreadableError(self.disk_id, slot)
         try:
             return self._slots[slot]
         except KeyError:
-            raise KeyError(f"disk {self.disk_id} has no payload at slot {slot}") from None
+            raise SlotMissingError(self.disk_id, slot) from None
 
     def has_slot(self, slot: int) -> bool:
         """True if a payload exists at ``slot`` (works on failed disks —
@@ -121,13 +195,54 @@ class SimDisk:
         """Number of stored element payloads."""
         return len(self._slots)
 
+    def slot_ids(self) -> tuple[int, ...]:
+        """Occupied slot ids, ascending (metadata — works on failed disks)."""
+        return tuple(sorted(self._slots))
+
+    # ------------------------------------------------------------------
+    # fault surface
+    # ------------------------------------------------------------------
+    def mark_unreadable(self, slot: int) -> None:
+        """Inject a latent sector error: reads of ``slot`` now raise
+        :class:`SlotUnreadableError` until the slot is rewritten."""
+        if slot < 0:
+            raise ValueError(f"slot must be >= 0, got {slot}")
+        self._unreadable.add(slot)
+
+    @property
+    def unreadable_slots(self) -> frozenset[int]:
+        """Slots currently carrying a latent sector error."""
+        return frozenset(self._unreadable)
+
+    def corrupt_slot(
+        self, slot: int, rng: np.random.Generator | None = None
+    ) -> bytes:
+        """Inject silent bit rot: overwrite the payload at ``slot`` with
+        garbage guaranteed to differ from the original.
+
+        Bypasses the service model and statistics entirely (bit rot is not
+        an I/O) and returns the original payload so tests can assert the
+        repaired bytes.  Deterministic for a given ``rng``.
+        """
+        rng = rng or np.random.default_rng(0xB17)
+        try:
+            original = self._slots[slot]
+        except KeyError:
+            raise SlotMissingError(self.disk_id, slot) from None
+        buf = np.frombuffer(original, dtype=np.uint8)
+        garbage = buf.copy()
+        while np.array_equal(garbage, buf):
+            garbage = rng.integers(0, 256, size=buf.shape, dtype=np.uint8)
+        self._slots[slot] = garbage.tobytes()
+        return original
+
     # ------------------------------------------------------------------
     # timing plane
     # ------------------------------------------------------------------
     def service_time_s(self, accesses: list[tuple[int, int]]) -> float:
         """Service time for a batch of ``(slot, nbytes)`` reads; accounted
-        into :attr:`stats` as busy time."""
+        into :attr:`stats` as busy time.  Scaled by :attr:`slowdown`."""
         self._check_alive()
-        t = self.model.service_time_s(accesses)
+        t = self.model.service_time_s(accesses) * self.slowdown
         self.stats.busy_time_s += t
         return t

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from ..disks.model import DiskModel
 from .requests import AccessPlan
@@ -53,7 +53,11 @@ class ThroughputResult:
 
 
 def simulate_concurrent(
-    plans: Sequence[AccessPlan], model: DiskModel, queue_depth: int
+    plans: Sequence[AccessPlan],
+    model: DiskModel,
+    queue_depth: int,
+    *,
+    slowdowns: Mapping[int, float] | None = None,
 ) -> ThroughputResult:
     """Run ``plans`` with up to ``queue_depth`` requests in flight.
 
@@ -61,6 +65,11 @@ def simulate_concurrent(
     FCFS per disk; the request finishes when its slowest disk does.  A new
     request dispatches as soon as a concurrency slot frees.  With
     ``queue_depth=1`` this degenerates to back-to-back serial execution.
+
+    ``slowdowns`` maps disk id to a service-time multiplier for straggler
+    disks (missing disks run at nominal speed); a single straggler on the
+    critical path stretches every request that touches it, which is why
+    tail-tolerant placements matter.
     """
     if queue_depth <= 0:
         raise ValueError(f"queue depth must be > 0, got {queue_depth}")
@@ -80,6 +89,8 @@ def simulate_concurrent(
         finish = dispatch
         for disk, accesses in plan.per_disk_batches().items():
             service = model.service_time_s(accesses)
+            if slowdowns:
+                service *= slowdowns.get(disk, 1.0)
             start = max(dispatch, disk_free.get(disk, 0.0))
             end = start + service
             disk_free[disk] = end

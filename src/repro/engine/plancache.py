@@ -59,6 +59,7 @@ class PlanCacheStats:
     misses: int = 0
     plans_built: int = 0
     evictions: int = 0
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -77,6 +78,7 @@ class PlanCacheStats:
             "misses": self.misses,
             "plans_built": self.plans_built,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
         }
 
@@ -172,6 +174,23 @@ class PlanCache:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
         return plan
+
+    def invalidate_failure(self, failed_disks: Iterable[int]) -> int:
+        """Drop every entry planned under the given failure signature.
+
+        The read service calls this when a fault fires *mid-batch*: plans
+        built for the old signature are stale (they may route I/O to a
+        disk that just failed, or degrade around one that recovered), but
+        entries for other signatures remain valid and stay cached.
+        Returns the number of entries dropped.
+        """
+        signature = tuple(sorted(failed_disks))
+        with self._lock:
+            stale = [k for k in self._entries if k[-1] == signature]
+            for k in stale:
+                del self._entries[k]
+            self.stats.invalidations += len(stale)
+        return len(stale)
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""

@@ -27,6 +27,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
+from ..codes.base import DecodeFailure
+from ..disks import DiskFailedError
 from .concurrency import ThroughputResult, simulate_concurrent
 from .plancache import PlanCache
 from .requests import AccessPlan
@@ -45,14 +47,27 @@ class ServiceCounters:
     batches: int = 0
     bytes_served: int = 0
     max_queue_depth: int = 0
+    #: batches re-executed after a mid-batch fault invalidated their plans.
+    retries: int = 0
+    #: requests served through a degraded (reconstructing) path.
+    degraded_serves: int = 0
     #: physical element reads each disk served on behalf of this service.
     disk_load: Counter = field(default_factory=Counter)
 
     def observe_batch(
-        self, plans: Sequence[AccessPlan], nbytes: int, queue_depth: int
+        self,
+        plans: Sequence[AccessPlan],
+        nbytes: int,
+        queue_depth: int,
+        *,
+        nrequests: int | None = None,
     ) -> None:
-        """Fold one executed batch into the counters."""
-        self.requests += len(plans)
+        """Fold one executed batch into the counters.
+
+        ``nrequests`` overrides the request count for plan-less batches
+        (the multi-failure fallback reads rows directly, without plans).
+        """
+        self.requests += len(plans) if nrequests is None else nrequests
         self.batches += 1
         self.bytes_served += nbytes
         self.max_queue_depth = max(self.max_queue_depth, queue_depth)
@@ -74,17 +89,24 @@ class BatchReadResult:
         The requested byte ranges, in submission order, decode-verified.
     throughput:
         Closed-loop timing of the batch at the submitted queue depth.
+        ``None`` when the batch was served through the plan-less
+        multi-failure fallback (no access plans to time).
     plans:
         The access plans executed (cached or fresh), submission order.
+        Empty for the multi-failure fallback.
     cache_hits / cache_misses:
         Plan-cache outcomes for *this batch* only.
+    retries:
+        Times this batch was replanned and re-executed after a mid-batch
+        fault invalidated its plans.
     """
 
     payloads: list[bytes]
-    throughput: ThroughputResult
+    throughput: ThroughputResult | None
     plans: list[AccessPlan]
     cache_hits: int
     cache_misses: int
+    retries: int = 0
 
 
 class ReadService:
@@ -130,7 +152,11 @@ class ReadService:
         return result.payloads[0]
 
     def submit(
-        self, ranges: Sequence[tuple[int, int]], queue_depth: int = 8
+        self,
+        ranges: Sequence[tuple[int, int]],
+        queue_depth: int = 8,
+        *,
+        max_retries: int = 3,
     ) -> BatchReadResult:
         """Serve a batch of ``(offset, length)`` ranges concurrently.
 
@@ -140,38 +166,124 @@ class ReadService:
         per-disk busy/access statistics reflect the physical work exactly
         once regardless of queue depth (concurrency changes wall-clock
         overlap, not the work done).
+
+        **Self-healing**: per-slot faults (latent sector errors, bit rot)
+        are absorbed inside the store — demoted to erasures, reconstructed
+        and healed in place.  A *disk* failing mid-batch surfaces here as
+        :class:`DiskFailedError`; the service then invalidates every plan
+        cached under the now-stale failure signature, replans against the
+        new one (degraded where needed), and re-executes — up to
+        ``max_retries`` times before the error propagates.  Payloads are
+        byte-identical to the fault-free run whenever the failure pattern
+        stays decodable.
         """
         if not ranges:
             raise ValueError("empty batch")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         hits0, misses0 = self.cache.stats.hits, self.cache.stats.misses
-        plans = [self.plan(offset, length) for offset, length in ranges]
-        throughput = simulate_concurrent(plans, self.store.array.model, queue_depth)
+        retries = 0
+        while True:
+            failed_before = self.store.array.failed_disks
+            try:
+                if len(failed_before) > 1:
+                    result = self._submit_multi_failure(ranges, queue_depth)
+                    break
+                plans = [self.plan(offset, length) for offset, length in ranges]
+                payloads = [
+                    self.store.execute_read(plan, offset, length)[0]
+                    for plan, (offset, length) in zip(plans, ranges)
+                ]
+                # Timed after materialization so straggler slowdowns that
+                # appeared mid-batch are reflected in this batch's numbers.
+                throughput = simulate_concurrent(
+                    plans,
+                    self.store.array.model,
+                    queue_depth,
+                    slowdowns=self.store.array.slowdowns(),
+                )
+            except (DiskFailedError, DecodeFailure):
+                # The failure signature changed under us: plans (and any
+                # cache entries) built for the old signature may route I/O
+                # to a dead disk.  Drop exactly those entries and replan.
+                self.cache.invalidate_failure(failed_before)
+                if retries >= max_retries:
+                    raise
+                retries += 1
+                self.counters.retries += 1
+                continue
+            nbytes = sum(len(p) for p in payloads)
+            self.counters.observe_batch(plans, nbytes, queue_depth)
+            self.counters.degraded_serves += sum(
+                1 for plan in plans if plan.failed_disk is not None
+            )
+            result = BatchReadResult(
+                payloads=payloads,
+                throughput=throughput,
+                plans=plans,
+                cache_hits=self.cache.stats.hits - hits0,
+                cache_misses=self.cache.stats.misses - misses0,
+            )
+            break
+        if retries:
+            result = BatchReadResult(
+                payloads=result.payloads,
+                throughput=result.throughput,
+                plans=result.plans,
+                cache_hits=result.cache_hits,
+                cache_misses=result.cache_misses,
+                retries=retries,
+            )
+        return result
+
+    def _submit_multi_failure(
+        self, ranges: Sequence[tuple[int, int]], queue_depth: int
+    ) -> BatchReadResult:
+        """Serve a batch with >1 failed disk via the store's exhaustive
+        multi-failure decoder.
+
+        There is no plan object (and hence no cache entry or closed-loop
+        timing) for these patterns; the store fetches all survivors per
+        row through its accounted pass.  Every range counts as a degraded
+        serve.
+        """
         payloads = [
-            self.store.execute_read(plan, offset, length)[0]
-            for plan, (offset, length) in zip(plans, ranges)
+            self.store.read_degraded_multi(offset, length)
+            for offset, length in ranges
         ]
         nbytes = sum(len(p) for p in payloads)
-        self.counters.observe_batch(plans, nbytes, queue_depth)
+        self.counters.observe_batch(
+            [], nbytes, queue_depth, nrequests=len(ranges)
+        )
+        self.counters.degraded_serves += len(ranges)
         return BatchReadResult(
             payloads=payloads,
-            throughput=throughput,
-            plans=plans,
-            cache_hits=self.cache.stats.hits - hits0,
-            cache_misses=self.cache.stats.misses - misses0,
+            throughput=None,
+            plans=[],
+            cache_hits=0,
+            cache_misses=0,
         )
 
     # ------------------------------------------------------------------
     def metrics(self) -> dict:
-        """Flat metrics snapshot: service counters + cache counters.
+        """Flat metrics snapshot: service + cache + store-health counters.
 
         The shape is consumed by :func:`repro.harness.metrics.
-        service_report`; keep keys stable.
+        service_report`; keep keys stable.  Health counters are pulled
+        duck-typed off ``store.health`` (the engine cannot import the
+        store layer); stores without one simply omit the key.
         """
-        return {
+        out = {
             "requests": self.counters.requests,
             "batches": self.counters.batches,
             "bytes_served": self.counters.bytes_served,
             "max_queue_depth": self.counters.max_queue_depth,
+            "retries": self.counters.retries,
+            "degraded_serves": self.counters.degraded_serves,
             "disk_load": self.counters.load_histogram(),
             "cache": self.cache.stats.snapshot(),
         }
+        health = getattr(self.store, "health", None)
+        if health is not None:
+            out["health"] = health.snapshot()
+        return out

@@ -1,0 +1,21 @@
+"""Fault injection: deterministic failure schedules for the disk array.
+
+Failures in erasure-coded clusters are continuous background events, not
+exceptions (Rashmi et al., PAPERS.md); this package makes them first-class
+in the simulator so the read path can be *tested* against them:
+
+* :mod:`repro.faults.events` — the injection DSL: :class:`FaultKind`,
+  :class:`FaultEvent`, and scripted / seeded-random :class:`FaultSchedule`;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, which attaches to
+  a :class:`~repro.disks.array.DiskArray` and fires events on a
+  per-operation clock.
+
+The matching recovery machinery lives in the store (checksums + self-heal)
+and the service (:meth:`repro.engine.service.ReadService.submit` retry
+loop).
+"""
+
+from .events import FaultEvent, FaultKind, FaultSchedule
+from .injector import FaultInjector
+
+__all__ = ["FaultKind", "FaultEvent", "FaultSchedule", "FaultInjector"]

@@ -1,0 +1,182 @@
+"""Fault events and schedules: the injection DSL.
+
+A fault schedule is a list of :class:`FaultEvent` rows, each saying *what*
+goes wrong, *where*, and *when* — "when" measured in array operations
+(one operation = one :meth:`DiskArray.execute_batch` call), so schedules
+are deterministic regardless of wall clock, payload sizes, or Python
+version.  Schedules are either **scripted** (hand-written event lists,
+the reproducible regression vector) or **probabilistic** (drawn from a
+seeded RNG by :meth:`FaultSchedule.random`, the soak-test vector — same
+seed, same schedule, forever).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["FaultKind", "FaultEvent", "FaultSchedule"]
+
+
+class FaultKind(Enum):
+    """The failure classes the injector can drive."""
+
+    #: permanent disk failure; contents unreachable until rebuilt.
+    CRASH = "crash"
+    #: disk goes away and comes back with data intact after
+    #: ``duration_ops`` operations (controller reset, cable pull).
+    TRANSIENT_OUTAGE = "transient-outage"
+    #: bring a disk back without wiping (the outage end; usually emitted
+    #: automatically by the injector, but scriptable directly).
+    RESTORE = "restore"
+    #: one slot becomes unreadable until rewritten (latent sector error).
+    LATENT_SECTOR = "latent-sector"
+    #: one slot's payload is silently overwritten with garbage (bit rot).
+    BIT_ROT = "bit-rot"
+    #: the disk's every service time is multiplied by ``factor``.
+    STRAGGLER = "straggler"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Attributes
+    ----------
+    at_op:
+        Operation count at which the event fires (1 = before the first
+        batch executes after attach).
+    kind:
+        The failure class.
+    disk:
+        Target disk id.
+    slot:
+        Target slot for :attr:`FaultKind.LATENT_SECTOR` / ``BIT_ROT``;
+        ``None`` lets the injector pick a random *occupied* slot from its
+        seeded RNG.
+    factor:
+        Straggler service-time multiplier (``STRAGGLER`` only).
+    duration_ops:
+        Outage length in operations (``TRANSIENT_OUTAGE`` only); the
+        matching ``RESTORE`` fires ``duration_ops`` operations later.
+    """
+
+    at_op: int
+    kind: FaultKind
+    disk: int
+    slot: int | None = None
+    factor: float = 2.0
+    duration_ops: int = 4
+
+    def __post_init__(self) -> None:
+        if self.at_op < 1:
+            raise ValueError(f"at_op must be >= 1, got {self.at_op}")
+        if self.disk < 0:
+            raise ValueError(f"disk must be >= 0, got {self.disk}")
+        if self.slot is not None and self.slot < 0:
+            raise ValueError(f"slot must be >= 0, got {self.slot}")
+        if self.factor <= 0:
+            raise ValueError(f"factor must be > 0, got {self.factor}")
+        if self.duration_ops < 1:
+            raise ValueError(f"duration_ops must be >= 1, got {self.duration_ops}")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, time-ordered set of fault events."""
+
+    events: tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "events", tuple(sorted(self.events, key=lambda e: e.at_op))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def scripted(cls, events: list[FaultEvent] | tuple[FaultEvent, ...]) -> "FaultSchedule":
+        """Build a schedule from an explicit event list."""
+        return cls(tuple(events))
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        ops: int,
+        num_disks: int,
+        crash_prob: float = 0.0,
+        outage_prob: float = 0.0,
+        latent_prob: float = 0.0,
+        bitrot_prob: float = 0.0,
+        straggler_prob: float = 0.0,
+        max_disk_failures: int = 1,
+        max_slot_faults: int | None = None,
+        straggler_factor: float = 3.0,
+        outage_ops: int = 4,
+    ) -> "FaultSchedule":
+        """Draw a probabilistic schedule from a seeded RNG.
+
+        Each operation tick ``1..ops`` draws one Bernoulli per fault
+        class; a hit schedules that fault on a uniformly random disk (slot
+        selection is deferred to the injector, which knows occupancy).
+        Whole-disk failures (crash + outage) are capped at
+        ``max_disk_failures`` *and* spread over distinct disks, so a
+        schedule never exceeds the code's fault tolerance by construction
+        — pass the code's tolerance as the cap.  ``max_slot_faults``
+        optionally caps latent + bit-rot events the same way: a row can
+        accumulate at most one erasure per slot fault plus one per failed
+        disk, so ``max_disk_failures + max_slot_faults <= tolerance``
+        keeps *every* row decodable regardless of where the slots land.
+
+        The same ``seed`` and parameters always produce the identical
+        schedule (the determinism contract CI's fault matrix relies on).
+        """
+        if ops < 1:
+            raise ValueError(f"ops must be >= 1, got {ops}")
+        if num_disks < 1:
+            raise ValueError(f"num_disks must be >= 1, got {num_disks}")
+        rng = np.random.default_rng(seed)
+        events: list[FaultEvent] = []
+        failures_left = max_disk_failures
+        slots_left = max_slot_faults if max_slot_faults is not None else -1
+        failed_disks: set[int] = set()
+        per_kind = (
+            (FaultKind.CRASH, crash_prob),
+            (FaultKind.TRANSIENT_OUTAGE, outage_prob),
+            (FaultKind.LATENT_SECTOR, latent_prob),
+            (FaultKind.BIT_ROT, bitrot_prob),
+            (FaultKind.STRAGGLER, straggler_prob),
+        )
+        for op in range(1, ops + 1):
+            for kind, prob in per_kind:
+                if prob <= 0.0 or rng.random() >= prob:
+                    continue
+                disk = int(rng.integers(0, num_disks))
+                if kind in (FaultKind.CRASH, FaultKind.TRANSIENT_OUTAGE):
+                    if failures_left <= 0 or disk in failed_disks:
+                        continue
+                    failures_left -= 1
+                    failed_disks.add(disk)
+                elif kind in (FaultKind.LATENT_SECTOR, FaultKind.BIT_ROT):
+                    if slots_left == 0:
+                        continue
+                    slots_left -= 1
+                events.append(
+                    FaultEvent(
+                        at_op=op,
+                        kind=kind,
+                        disk=disk,
+                        factor=straggler_factor,
+                        duration_ops=outage_ops,
+                    )
+                )
+        return cls(tuple(events))

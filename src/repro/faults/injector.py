@@ -1,0 +1,146 @@
+"""Deterministic fault injection against a :class:`DiskArray`.
+
+The injector attaches to the array's ``on_batch_start`` seam, so its
+operation clock ticks once per :meth:`DiskArray.execute_batch` call —
+every store read, scrub row, or rebuild helper fetch advances it.  Faults
+therefore land *mid-workload* (between the requests of one service batch,
+or between planning and execution of a single request), which is exactly
+the regime the self-healing read path has to survive.
+
+Everything is deterministic: scripted schedules fire at fixed operation
+counts, and the only randomness (picking an occupied slot when an event
+does not name one, garbage bytes for bit rot) comes from the injector's
+own seeded generator.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+
+from numpy import random as np_random
+
+from ..disks.array import DiskArray
+from .events import FaultEvent, FaultKind, FaultSchedule
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Drives a fault schedule against a disk array.
+
+    Parameters
+    ----------
+    array:
+        The target array.
+    schedule:
+        Initial fault schedule; more events can be added with :meth:`add`.
+    seed:
+        Seed for slot selection and bit-rot garbage.
+
+    Usage::
+
+        injector = FaultInjector(store.array, schedule, seed=7).attach()
+        ...run workload...
+        injector.detach()
+
+    ``fired`` records ``(op_count, event)`` for every fault that actually
+    landed, in firing order — the audit trail tests and the CLI print.
+    """
+
+    def __init__(
+        self,
+        array: DiskArray,
+        schedule: FaultSchedule | None = None,
+        *,
+        seed: int = 0,
+    ) -> None:
+        self.array = array
+        # single bound-method object, so attach/detach identity checks work
+        self._hook = self.tick
+        self._rng = np_random.default_rng(seed)
+        self._seq = count()
+        self._pending: list[tuple[int, int, FaultEvent]] = []
+        self.op_count = 0
+        self.fired: list[tuple[int, FaultEvent]] = []
+        #: events that could not be applied (e.g. bit rot on an empty disk).
+        self.skipped: list[tuple[int, FaultEvent]] = []
+        for event in schedule or ():
+            self.add(event)
+
+    # ------------------------------------------------------------------
+    def add(self, event: FaultEvent) -> None:
+        """Schedule one more event (may be in the past; fires next tick)."""
+        heapq.heappush(self._pending, (event.at_op, next(self._seq), event))
+
+    @property
+    def pending(self) -> int:
+        """Events not yet fired."""
+        return len(self._pending)
+
+    def attach(self) -> "FaultInjector":
+        """Hook into the array's batch seam.  Returns self for chaining."""
+        if self.array.on_batch_start not in (None, self._hook):
+            raise RuntimeError("array already has a batch observer attached")
+        self.array.on_batch_start = self._hook
+        return self
+
+    def detach(self) -> None:
+        """Unhook from the array (pending events stop firing)."""
+        if self.array.on_batch_start is self._hook:
+            self.array.on_batch_start = None
+
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """Advance the operation clock and fire every due event."""
+        self.op_count += 1
+        while self._pending and self._pending[0][0] <= self.op_count:
+            _, _, event = heapq.heappop(self._pending)
+            self._fire(event)
+
+    def _fire(self, event: FaultEvent) -> None:
+        if not 0 <= event.disk < len(self.array):
+            self.skipped.append((self.op_count, event))
+            return
+        disk = self.array[event.disk]
+        kind = event.kind
+        if kind is FaultKind.CRASH:
+            disk.fail()
+        elif kind is FaultKind.TRANSIENT_OUTAGE:
+            disk.fail()
+            self.add(
+                FaultEvent(
+                    at_op=self.op_count + event.duration_ops,
+                    kind=FaultKind.RESTORE,
+                    disk=event.disk,
+                )
+            )
+        elif kind is FaultKind.RESTORE:
+            disk.restore(wipe=False)
+        elif kind is FaultKind.STRAGGLER:
+            disk.slowdown = event.factor
+        elif kind is FaultKind.LATENT_SECTOR:
+            slot = event.slot if event.slot is not None else self._pick_slot(disk)
+            if slot is None:
+                self.skipped.append((self.op_count, event))
+                return
+            disk.mark_unreadable(slot)
+        elif kind is FaultKind.BIT_ROT:
+            if disk.failed:
+                self.skipped.append((self.op_count, event))
+                return
+            slot = event.slot if event.slot is not None else self._pick_slot(disk)
+            if slot is None or not disk.has_slot(slot):
+                self.skipped.append((self.op_count, event))
+                return
+            disk.corrupt_slot(slot, self._rng)
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self.fired.append((self.op_count, event))
+
+    def _pick_slot(self, disk) -> int | None:
+        """A random occupied slot on ``disk`` (None if the disk is empty)."""
+        occupied = disk.slot_ids()
+        if not occupied:
+            return None
+        return int(occupied[int(self._rng.integers(0, len(occupied)))])

@@ -82,8 +82,28 @@ def service_report(service) -> str:
         f"bytes served    : {m['bytes_served']}",
         f"plan cache      : {cache['hits']} hits / {cache['misses']} misses "
         f"(hit rate {cache['hit_rate']:.1%}), {cache['plans_built']} built, "
-        f"{cache['evictions']} evicted",
+        f"{cache['evictions']} evicted"
+        + (
+            f", {cache['invalidations']} invalidated"
+            if cache.get("invalidations")
+            else ""
+        ),
     ]
+    if m.get("retries") or m.get("degraded_serves"):
+        lines.append(
+            f"fault handling  : {m.get('retries', 0)} batch retries, "
+            f"{m.get('degraded_serves', 0)} degraded serves"
+        )
+    health = m.get("health")
+    if health and any(health.values()):
+        lines.append(
+            "store health    : "
+            f"{health['corruptions_detected']} corruptions detected "
+            f"({health['corruptions_repaired']} repaired), "
+            f"{health['latent_errors_detected']} latent errors detected "
+            f"({health['latent_errors_repaired']} repaired), "
+            f"{health['self_heal_writes']} heal writes"
+        )
     load = m["disk_load"]
     if load:
         peak = max(load.values())

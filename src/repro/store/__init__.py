@@ -6,14 +6,21 @@
 * :mod:`repro.store.verify` — integrity utilities.
 """
 
-from .blockstore import BlockStore
+from .blockstore import BlockStore, HealthCounters
 from .objects import ObjectManifest, ObjectStore
 from .scrub import ScrubReport, Scrubber
 from .update import UpdateResult, update_bytes, update_element
-from .verify import ChecksumMismatchError, checksum, verify_checksum
+from .verify import (
+    ChecksumMismatchError,
+    CorruptPayloadError,
+    checksum,
+    crc32c,
+    verify_checksum,
+)
 
 __all__ = [
     "BlockStore",
+    "HealthCounters",
     "ObjectStore",
     "ObjectManifest",
     "Scrubber",
@@ -22,6 +29,8 @@ __all__ = [
     "update_element",
     "update_bytes",
     "checksum",
+    "crc32c",
     "verify_checksum",
     "ChecksumMismatchError",
+    "CorruptPayloadError",
 ]

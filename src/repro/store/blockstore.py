@@ -20,10 +20,19 @@ disk's :class:`~repro.disks.disk.DiskStats` exactly once (accesses, bytes
 read, and busy time together), via :meth:`DiskArray.execute_batch` — the
 single accounting pass shared by :meth:`read`, :meth:`read_with_outcome`,
 :meth:`read_many`, :meth:`read_degraded_multi` and :meth:`rebuild_disk`.
+
+Integrity: every element payload is checksummed (CRC32C) at write time and
+verified on every read.  A mismatch (silent bit rot) or an unreadable slot
+(latent sector error) demotes that element to an *erasure*: the read
+reconstructs it through the code, returns the correct bytes, and
+**self-heals** by rewriting the repaired element in place — so the next
+read of the same range is clean and fault-free.  :class:`HealthCounters`
+tracks detections and repairs.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -37,8 +46,37 @@ from ..engine.executor import ReadOutcome
 from ..engine.planner import plan_normal_read
 from ..engine.requests import AccessPlan, ReadRequest
 from ..layout import Placement, make_placement
+from ..layout.base import Address
+from .verify import crc32c
 
-__all__ = ["BlockStore"]
+__all__ = ["BlockStore", "HealthCounters"]
+
+
+@dataclass
+class HealthCounters:
+    """Cumulative integrity/self-heal counters for one store.
+
+    ``*_detected`` counts every time a read-side verification flags an
+    element (scrubs included); ``*_repaired`` counts the subset that was
+    reconstructed *and* rewritten in place.  ``self_heal_writes`` is the
+    total number of heal rewrites (corrupt + latent).
+    """
+
+    corruptions_detected: int = 0
+    corruptions_repaired: int = 0
+    latent_errors_detected: int = 0
+    latent_errors_repaired: int = 0
+    self_heal_writes: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain-dict view for metrics export."""
+        return {
+            "corruptions_detected": self.corruptions_detected,
+            "corruptions_repaired": self.corruptions_repaired,
+            "latent_errors_detected": self.latent_errors_detected,
+            "latent_errors_repaired": self.latent_errors_repaired,
+            "self_heal_writes": self.self_heal_writes,
+        }
 
 
 class BlockStore:
@@ -76,6 +114,9 @@ class BlockStore:
         self._pending = bytearray()
         self._elements_written = 0  # completed logical data elements
         self._user_bytes = 0  # durable bytes the user wrote (pad excluded)
+        #: write-time CRC32C per physical address; verified on every read.
+        self._checksums: dict[tuple[int, int], int] = {}
+        self.health = HealthCounters()
         #: physical (start, length) of every flush-inserted zero-pad run,
         #: ascending and disjoint; the logical<->physical translation walks
         #: this list.
@@ -157,11 +198,23 @@ class BlockStore:
         for e in range(self.code.n):
             addr = self.placement.locate_row_element(row, e)
             payload = data[e] if e < k else parity[e - k]
-            disk = self.array[addr.disk]
-            if not disk.failed:
-                disk.write_slot(addr.slot, payload)
+            if not self.array[addr.disk].failed:
+                self._write_element(addr, payload)
         self._elements_written += k
         self._user_bytes += user_len
+
+    def _write_element(self, addr: Address, payload: bytes | np.ndarray) -> None:
+        """The single element-write point: store the payload and record its
+        write-time CRC32C.  Every write path (flush, rebuild, in-place
+        update, scrub repair, self-heal) must come through here, or reads
+        would flag the stale checksum as corruption."""
+        buf = (
+            np.asarray(payload, dtype=np.uint8).tobytes()
+            if isinstance(payload, np.ndarray)
+            else bytes(payload)
+        )
+        self.array[addr.disk].write_slot(addr.slot, buf)
+        self._checksums[(addr.disk, addr.slot)] = crc32c(buf)
 
     # ------------------------------------------------------------------
     # logical <-> physical offset translation
@@ -274,46 +327,26 @@ class BlockStore:
 
         Fetches *all* surviving elements of every affected row and decodes;
         not I/O-minimal (the paper only evaluates single-failure degraded
-        reads), but exercises the full fault-tolerance envelope.
+        reads), but exercises the full fault-tolerance envelope.  Fetched
+        elements are checksum-verified like every other read path;
+        corrupt/unreadable survivors become additional erasures and are
+        self-healed when their disks are alive.
         """
         request = self.byte_request(offset, length)
-        failed = set(self.array.failed_disks)
         elements: dict[int, bytes] = {}
-        rows = sorted({t // self.code.k for t in request.elements})
-        for row in rows:
-            available: dict[int, np.ndarray] = {}
-            lost_data: list[int] = []
-            batch: dict[int, list[tuple[int, int]]] = {}
-            survivors: list[tuple[int, int, int]] = []  # (element, disk, slot)
-            for e in range(self.code.n):
-                addr = self.placement.locate_row_element(row, e)
-                if addr.disk in failed:
-                    if e < self.code.k:
-                        lost_data.append(e)
-                    continue
-                batch.setdefault(addr.disk, []).append((addr.slot, self.element_size))
-                survivors.append((e, addr.disk, addr.slot))
-            timing = self.array.execute_batch(batch, fetch=True)
-            payloads = timing.payloads or {}
-            for e, disk, slot in survivors:
-                available[e] = np.frombuffer(payloads[(disk, slot)], dtype=np.uint8)
-            wanted = [
-                t % self.code.k
-                for t in request.elements
-                if t // self.code.k == row
-            ]
-            # Decode every lost data element of the row, not only the
-            # wanted ones: surviving parity equations reference them all.
-            if any(e in lost_data for e in wanted):
-                recovered = self.code.decode(available, lost_data, self.element_size)
-            else:
-                recovered = {}
+        k = self.code.k
+        for row in sorted({t // k for t in request.elements}):
+            good, bad = self._fetch_elements(row, range(self.code.n))
+            wanted = [t % k for t in request.elements if t // k == row]
+            if bad:
+                try:
+                    good.update(self._repair_row(row, good, bad))
+                except DecodeFailure:
+                    if any(e in bad for e in wanted):
+                        raise
+                    # unneeded elements are beyond repair; serve what we have
             for e in wanted:
-                t = row * self.code.k + e
-                if e in recovered:
-                    elements[t] = recovered[e].tobytes()
-                else:
-                    elements[t] = available[e].tobytes()
+                elements[row * k + e] = good[e]
         return self._slice_bytes(elements, request, offset, length)
 
     # ------------------------------------------------------------------
@@ -349,22 +382,41 @@ class BlockStore:
             for e in lost:
                 helpers = self.code.repair_plan(e)
                 batch: dict[int, list[tuple[int, int]]] = {}
-                helper_addrs: list[tuple[int, int, int]] = []
+                helper_addrs: list[tuple[int, Address]] = []
                 for h in helpers:
                     addr = self.placement.locate_row_element(row, h)
                     batch.setdefault(addr.disk, []).append(
                         (addr.slot, self.element_size)
                     )
-                    helper_addrs.append((h, addr.disk, addr.slot))
+                    helper_addrs.append((h, addr))
                 timing = self.array.execute_batch(batch, fetch=True)
                 payloads = timing.payloads or {}
-                available = {
-                    h: np.frombuffer(payloads[(d, s)], dtype=np.uint8)
-                    for h, d, s in helper_addrs
-                }
-                recovered = self.code.decode(available, [e], self.element_size)
+                good: dict[int, bytes] = {}
+                bad: dict[int, str] = {}
+                for h, addr in helper_addrs:
+                    buf = payloads.get((addr.disk, addr.slot))
+                    if buf is None:
+                        bad[h] = "latent"
+                        self.health.latent_errors_detected += 1
+                    elif not self._element_ok(addr.disk, addr.slot, buf):
+                        bad[h] = "corrupt"
+                        self.health.corruptions_detected += 1
+                    else:
+                        good[h] = buf
                 addr = self.placement.locate_row_element(row, e)
-                disk.write_slot(addr.slot, recovered[e])
+                if not bad:
+                    available = {
+                        h: np.frombuffer(buf, dtype=np.uint8)
+                        for h, buf in good.items()
+                    }
+                    recovered = self.code.decode(available, [e], self.element_size)
+                    self._write_element(addr, recovered[e])
+                else:
+                    # a helper is corrupt or unreadable: escalate to a
+                    # whole-row repair, which rebuilds the target *and*
+                    # self-heals the bad helper in one decode.
+                    bad[e] = "rebuild"
+                    self._repair_row(row, good, bad)
                 rebuilt += 1
         return rebuilt
 
@@ -391,37 +443,166 @@ class BlockStore:
         last = phys_last // self.element_size
         return ReadRequest(start=first, count=last - first + 1)
 
+    def _element_ok(self, disk: int, slot: int, buf: bytes) -> bool:
+        """Verify one fetched payload against its write-time CRC32C.
+
+        Payloads with no recorded checksum (written directly to the disk
+        plane, bypassing the store) are trusted and fingerprinted on first
+        read.
+        """
+        key = (disk, slot)
+        expected = self._checksums.get(key)
+        if expected is None:
+            self._checksums[key] = crc32c(buf)
+            return True
+        return crc32c(buf) == expected
+
+    def _fetch_elements(
+        self, row: int, need: Sequence[int]
+    ) -> tuple[dict[int, bytes], dict[int, str]]:
+        """Fetch and verify elements ``need`` of candidate ``row`` in one
+        accounted batch.
+
+        Returns ``(good, bad)``: verified payloads keyed by element, and
+        undeliverable elements keyed to a reason — ``"failed-disk"``
+        (crashed disk, not fetched), ``"latent"`` (unreadable slot), or
+        ``"corrupt"`` (checksum mismatch).  Detections are counted into
+        :attr:`health`.
+        """
+        failed = set(self.array.failed_disks)
+        batch: dict[int, list[tuple[int, int]]] = {}
+        addrs: list[tuple[int, Address]] = []
+        good: dict[int, bytes] = {}
+        bad: dict[int, str] = {}
+        for e in need:
+            addr = self.placement.locate_row_element(row, e)
+            if addr.disk in failed:
+                bad[e] = "failed-disk"
+                continue
+            batch.setdefault(addr.disk, []).append((addr.slot, self.element_size))
+            addrs.append((e, addr))
+        timing = self.array.execute_batch(batch, fetch=True)
+        payloads = timing.payloads or {}
+        for e, addr in addrs:
+            buf = payloads.get((addr.disk, addr.slot))
+            if buf is None:
+                bad[e] = "latent"
+                self.health.latent_errors_detected += 1
+            elif not self._element_ok(addr.disk, addr.slot, buf):
+                bad[e] = "corrupt"
+                self.health.corruptions_detected += 1
+            else:
+                good[e] = buf
+        return good, bad
+
+    def _repair_row(
+        self, row: int, good: dict[int, bytes], bad: dict[int, str]
+    ) -> dict[int, bytes]:
+        """Reconstruct the ``bad`` elements of ``row`` and self-heal.
+
+        ``good`` holds already-verified payloads (mutated in place as the
+        remaining row elements are fetched).  Decodes every bad *data*
+        element plus every healable bad element, rewrites repaired elements
+        whose disks are alive (``corrupt``/``latent`` reasons — plus
+        ``"rebuild"``, the rebuild escalation target), and returns the
+        repaired payloads keyed by element.
+
+        Raises :class:`DecodeFailure` when the combined erasure pattern
+        exceeds the code's tolerance.
+        """
+        need = [e for e in range(self.code.n) if e not in good and e not in bad]
+        if need:
+            more_good, more_bad = self._fetch_elements(row, need)
+            good.update(more_good)
+            bad.update(more_bad)
+        # Parity on a crashed disk is neither requested nor healable; do
+        # not make the decode harder by asking for it.
+        lost = sorted(
+            e
+            for e, reason in bad.items()
+            if e < self.code.k or reason in ("corrupt", "latent", "rebuild")
+        )
+        available = {
+            e: np.frombuffer(buf, dtype=np.uint8) for e, buf in good.items()
+        }
+        recovered = self.code.decode(available, lost, self.element_size)
+        failed = set(self.array.failed_disks)
+        out: dict[int, bytes] = {}
+        for e in lost:
+            payload = recovered[e]
+            out[e] = payload.tobytes()
+            reason = bad[e]
+            addr = self.placement.locate_row_element(row, e)
+            if addr.disk in failed:
+                continue
+            if reason == "corrupt":
+                self._write_element(addr, payload)
+                self.health.corruptions_repaired += 1
+                self.health.self_heal_writes += 1
+            elif reason == "latent":
+                self._write_element(addr, payload)
+                self.health.latent_errors_repaired += 1
+                self.health.self_heal_writes += 1
+            elif reason == "rebuild":
+                self._write_element(addr, payload)
+        return out
+
     def _materialize_plan(
         self, plan: AccessPlan, payloads: dict[tuple[int, int], bytes]
     ) -> dict[int, bytes]:
         """Assemble fetched payloads and decode any lost requested elements.
 
-        ``payloads`` comes from the accounted batch execution; this method
+        ``payloads`` comes from the accounted batch execution.  Every
+        payload is checksum-verified; corrupt or unreadable elements are
+        demoted to erasures, reconstructed (fetching the rest of their row
+        in a further accounted batch) and self-healed in place.  On the
+        fault-free path — including planned degraded decodes — this method
         performs no disk I/O of its own.
         """
         k = self.code.k
-        fetched: dict[tuple[int, int], bytes] = {}
+        good_by_row: dict[int, dict[int, bytes]] = {}
+        bad_by_row: dict[int, dict[int, str]] = {}
         for access in plan.accesses:
-            buf = payloads[(access.address.disk, access.address.slot)]
-            fetched[(access.row, access.element)] = buf
+            row, e = access.row, access.element
+            buf = payloads.get((access.address.disk, access.address.slot))
+            if buf is None:
+                bad_by_row.setdefault(row, {})[e] = "latent"
+                self.health.latent_errors_detected += 1
+            elif not self._element_ok(access.address.disk, access.address.slot, buf):
+                bad_by_row.setdefault(row, {})[e] = "corrupt"
+                self.health.corruptions_detected += 1
+            else:
+                good_by_row.setdefault(row, {})[e] = buf
 
-        elements: dict[int, bytes] = {}
-        lost_by_row: dict[int, list[int]] = {}
         for t in plan.request.elements:
             row, e = divmod(t, k)
-            if (row, e) in fetched:
-                elements[t] = fetched[(row, e)]
+            if e not in good_by_row.get(row, {}) and e not in bad_by_row.get(row, {}):
+                # never fetched: the degraded planner deliberately skipped
+                # it and scheduled a repair set instead.
+                bad_by_row.setdefault(row, {})[e] = "planned"
+
+        resolved: dict[int, dict[int, bytes]] = {}
+        for row, bad in bad_by_row.items():
+            good = good_by_row.get(row, {})
+            if set(bad.values()) == {"planned"}:
+                # fault-free degraded decode from the planned repair set:
+                # exactly the fetched elements, no extra I/O.
+                available = {
+                    e: np.frombuffer(buf, dtype=np.uint8) for e, buf in good.items()
+                }
+                lost = sorted(bad)
+                recovered = self.code.decode(available, lost, self.element_size)
+                resolved[row] = {e: recovered[e].tobytes() for e in lost}
             else:
-                lost_by_row.setdefault(row, []).append(e)
-        for row, lost in lost_by_row.items():
-            available = {
-                e: np.frombuffer(buf, dtype=np.uint8)
-                for (r, e), buf in fetched.items()
-                if r == row
-            }
-            recovered = self.code.decode(available, lost, self.element_size)
-            for e in lost:
-                elements[row * k + e] = recovered[e].tobytes()
+                resolved[row] = self._repair_row(row, dict(good), bad)
+
+        elements: dict[int, bytes] = {}
+        for t in plan.request.elements:
+            row, e = divmod(t, k)
+            if e in good_by_row.get(row, {}):
+                elements[t] = good_by_row[row][e]
+            else:
+                elements[t] = resolved[row][e]
         return elements
 
     def _slice_bytes(

@@ -1,17 +1,23 @@
 """Background scrubbing: detect, locate and repair silent corruption.
 
 Erasure codes as deployed in cloud storage are also the defence against
-*silent* data corruption (bit rot, torn writes): periodically re-verify
-every stripe's parity equations and repair mismatches.  The paper's SD/
-STAIR citations (§II-B) are about exactly this failure class at sector
-granularity; this module provides the store-level operational loop:
+*silent* data corruption (bit rot, torn writes) and *latent sector errors*
+(slots that stopped reading back): periodically re-verify every stripe and
+repair what is wrong.  The paper's SD/STAIR citations (§II-B) are about
+exactly this failure class at sector granularity; this module provides the
+store-level operational loop:
 
-* :meth:`Scrubber.scrub` — sweep all rows, flag parity mismatches;
-* :meth:`Scrubber.locate` — identify *which* element of a flagged row is
-  corrupt (unique for a single corruption when the code tolerates >= 2
-  erasures: erasing the true culprit is the only erasure that yields a
-  consistent re-encode matching every surviving element);
-* :meth:`Scrubber.repair` — rewrite the located element from the others.
+* :meth:`Scrubber.scrub` — sweep all rows; flag checksum mismatches
+  (bit rot), unreadable slots (latent errors), and parity inconsistencies;
+* :meth:`Scrubber.repair_row` — reconstruct and rewrite every flagged
+  element of a row through the store's self-heal machinery;
+* :meth:`Scrubber.locate` — the checksum-free fallback: identify *which*
+  element of a parity-inconsistent row is corrupt by trial re-encode
+  (unique for a single corruption when the code tolerates >= 2 erasures).
+
+Detection and repair both run through the store's accounted batch pass and
+its :class:`~repro.store.blockstore.HealthCounters`, so a scrub shows up
+in the same operational metrics as read-path self-healing.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..codes.base import DecodeFailure
 from .blockstore import BlockStore
 
 __all__ = ["ScrubReport", "Scrubber"]
@@ -31,6 +38,11 @@ class ScrubReport:
 
     rows_checked: int
     corrupt_rows: list[int] = field(default_factory=list)
+    #: ``(row, element)`` flagged by a write-time CRC32C mismatch (bit rot).
+    checksum_mismatches: list[tuple[int, int]] = field(default_factory=list)
+    #: ``(row, element)`` that could not be read (latent sector errors or
+    #: never-written slots, e.g. a replaced disk awaiting rebuild).
+    unreadable: list[tuple[int, int]] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -39,13 +51,14 @@ class ScrubReport:
 
 
 class Scrubber:
-    """Parity-consistency scrubber over a :class:`BlockStore`."""
+    """Integrity scrubber over a :class:`BlockStore`."""
 
     def __init__(self, store: BlockStore) -> None:
         self.store = store
 
     # ------------------------------------------------------------------
     def _read_row(self, row: int) -> np.ndarray:
+        """Raw row fetch for the trial-decode fallback (no verification)."""
         code = self.store.code
         s = self.store.element_size
         batch: dict[int, list[tuple[int, int]]] = {}
@@ -57,6 +70,12 @@ class Scrubber:
         # One accounted batch per row: accesses, bytes and busy time land
         # on the disks together, same as the store's read path.
         timing = self.store.array.execute_batch(batch, fetch=True)
+        if timing.unreadable:
+            disk, slot = timing.unreadable[0]
+            raise DecodeFailure(
+                f"row {row}: slot {slot} on disk {disk} is unreadable; "
+                "repair_row handles latent errors"
+            )
         payloads = timing.payloads or {}
         out = np.zeros((code.n, s), dtype=np.uint8)
         for e, addr in enumerate(addrs):
@@ -68,28 +87,41 @@ class Scrubber:
 
     # ------------------------------------------------------------------
     def scrub(self) -> ScrubReport:
-        """Verify every flushed row's parity equations.
+        """Verify every flushed row: checksums, readability, parity.
 
         Requires all disks healthy (scrubbing a degraded array would
-        conflate erasures with corruption).
+        conflate disk-level erasures with corruption).
         """
         if self.store.array.failed_disks:
             raise RuntimeError(
                 f"cannot scrub with failed disks {self.store.array.failed_disks}"
             )
+        code = self.store.code
         report = ScrubReport(rows_checked=self._row_count())
         for row in range(report.rows_checked):
-            elements = self._read_row(row)
-            if not self.store.code.verify_codeword(elements):
+            good, bad = self.store._fetch_elements(row, range(code.n))
+            for e in sorted(bad):
+                if bad[e] == "corrupt":
+                    report.checksum_mismatches.append((row, e))
+                else:
+                    report.unreadable.append((row, e))
+            flagged = bool(bad)
+            if not bad:
+                elements = np.stack(
+                    [np.frombuffer(good[e], dtype=np.uint8) for e in range(code.n)]
+                )
+                flagged = not code.verify_codeword(elements)
+            if flagged:
                 report.corrupt_rows.append(row)
         return report
 
     def locate(self, row: int) -> int | None:
-        """Locate the single corrupt element of a flagged row.
+        """Locate the single corrupt element of a parity-inconsistent row.
 
-        Returns the element index, or None if the row is consistent or
-        the corruption is not uniquely locatable (more corruption than
-        the code can disambiguate).
+        The checksum-free fallback (it never consults the store's CRCs):
+        returns the element index, or None if the row is consistent or the
+        corruption is not uniquely locatable (more corruption than the
+        code can disambiguate).
         """
         code = self.store.code
         elements = self._read_row(row)
@@ -111,31 +143,60 @@ class Scrubber:
             return suspects[0]
         return None
 
-    def repair(self, row: int) -> int:
-        """Locate and rewrite the corrupt element of ``row``.
+    # ------------------------------------------------------------------
+    def repair_row(self, row: int) -> list[int]:
+        """Reconstruct and rewrite every flagged element of ``row``.
 
-        Returns the repaired element index.
+        Checksum mismatches and unreadable slots are demoted to erasures
+        and healed through the store's repair machinery.  If the checksums
+        are silent but the parity equations disagree (corruption that
+        predates checksum tracking), falls back to trial-decode location.
+
+        Returns the repaired element indices, ascending (empty if the row
+        was clean).
+
+        Raises
+        ------
+        ValueError
+            If flagged elements cannot be reconstructed (erasure pattern
+            beyond the code's tolerance, or unlocatable corruption).
+        """
+        good, bad = self.store._fetch_elements(row, range(self.store.code.n))
+        if bad:
+            try:
+                self.store._repair_row(row, good, bad)
+            except DecodeFailure as exc:
+                raise ValueError(f"row {row}: cannot repair: {exc}") from exc
+            return sorted(bad)
+        culprit = self.locate(row)
+        if culprit is None:
+            return []
+        code = self.store.code
+        elements = self._read_row(row)
+        available = {i: elements[i] for i in range(code.n) if i != culprit}
+        rebuilt = code.decode(available, [culprit], self.store.element_size)[culprit]
+        addr = self.store.placement.locate_row_element(row, culprit)
+        self.store._write_element(addr, rebuilt)
+        return [culprit]
+
+    def repair(self, row: int) -> int:
+        """Legacy single-corruption repair: fix ``row`` and return the
+        (first) repaired element index.
 
         Raises
         ------
         ValueError
             If the row is consistent or the corruption cannot be located.
         """
-        culprit = self.locate(row)
-        if culprit is None:
+        fixed = self.repair_row(row)
+        if not fixed:
             raise ValueError(
                 f"row {row}: no uniquely locatable corruption to repair"
             )
-        code = self.store.code
-        elements = self._read_row(row)
-        available = {i: elements[i] for i in range(code.n) if i != culprit}
-        rebuilt = code.decode(available, [culprit], self.store.element_size)[culprit]
-        addr = self.store.placement.locate_row_element(row, culprit)
-        self.store.array[addr.disk].write_slot(addr.slot, rebuilt)
-        return culprit
+        return fixed[0]
 
     def scrub_and_repair(self) -> tuple[ScrubReport, list[tuple[int, int]]]:
-        """Full sweep: scrub, then repair every locatable corruption.
+        """Full sweep: scrub, then repair every repairable flagged row.
 
         Returns the report and a list of ``(row, element)`` repairs made.
         """
@@ -143,7 +204,7 @@ class Scrubber:
         repairs: list[tuple[int, int]] = []
         for row in report.corrupt_rows:
             try:
-                repairs.append((row, self.repair(row)))
+                repairs.extend((row, e) for e in self.repair_row(row))
             except ValueError:
                 continue
         return report, repairs
@@ -154,14 +215,11 @@ class Scrubber:
     ) -> None:
         """Testing hook: overwrite one element with random garbage.
 
-        Uses :meth:`SimDisk.peek_slot` for the probe read so corruption
-        injection does not perturb the read counters under test.
+        Uses :meth:`SimDisk.corrupt_slot`, which bypasses the service
+        model and counters entirely — bit rot is not an I/O — and leaves
+        the store's write-time checksum stale, exactly like real silent
+        corruption.
         """
         rng = rng or np.random.default_rng(0xBAD)
         addr = self.store.placement.locate_row_element(row, element)
-        disk = self.store.array[addr.disk]
-        original = np.frombuffer(disk.peek_slot(addr.slot), dtype=np.uint8)
-        garbage = original.copy()
-        while np.array_equal(garbage, original):
-            garbage = rng.integers(0, 256, size=original.shape, dtype=np.uint8)
-        disk.write_slot(addr.slot, garbage)
+        self.store.array[addr.disk].corrupt_slot(addr.slot, rng)

@@ -71,7 +71,9 @@ def update_element(store: BlockStore, t: int, payload: bytes) -> UpdateResult:
 
     reads: dict[int, list[tuple[int, int]]] = {addr.disk: [(addr.slot, store.element_size)]}
     writes: dict[int, list[tuple[int, int]]] = {addr.disk: [(addr.slot, store.element_size)]}
-    disk.write_slot(addr.slot, payload)
+    # through the store's write point so the element checksum follows the
+    # new payload (a raw disk write would read back as bit rot)
+    store._write_element(addr, payload)
     elements_read = 1
     elements_written = 1
 
@@ -85,7 +87,7 @@ def update_element(store: BlockStore, t: int, payload: bytes) -> UpdateResult:
         old_parity = np.frombuffer(p_disk.read_slot(p_addr.slot), dtype=np.uint8)
         parity_symbols = code._symbols(old_parity[np.newaxis, :])[0].copy()
         code.field.axpy(parity_symbols, coeff, delta_symbols)
-        p_disk.write_slot(p_addr.slot, code._bytes_of(parity_symbols))
+        store._write_element(p_addr, code._bytes_of(parity_symbols))
         reads.setdefault(p_addr.disk, []).append((p_addr.slot, store.element_size))
         writes.setdefault(p_addr.disk, []).append((p_addr.slot, store.element_size))
         elements_read += 1

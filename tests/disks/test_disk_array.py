@@ -3,7 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.disks import DiskArray, DiskFailedError, DiskModel, SimDisk, UNIFORM_UNIT
+from repro.disks import (
+    DiskArray,
+    DiskFailedError,
+    DiskModel,
+    SimDisk,
+    SlotMissingError,
+    SlotUnreadableError,
+    UNIFORM_UNIT,
+)
 
 MODEL = DiskModel(1e-3, 1e-3, 1024 * 1024)
 
@@ -24,6 +32,16 @@ class TestSimDisk:
         d = SimDisk(0, MODEL)
         with pytest.raises(KeyError):
             d.read_slot(9)
+
+    def test_missing_slot_is_typed(self):
+        d = SimDisk(7, MODEL)
+        with pytest.raises(SlotMissingError) as exc:
+            d.peek_slot(9)
+        assert exc.value.disk_id == 7
+        assert exc.value.slot == 9
+        # the typed error is also an unreadable-slot error and a KeyError
+        assert isinstance(exc.value, SlotUnreadableError)
+        assert isinstance(exc.value, KeyError)
 
     def test_negative_slot_rejected(self):
         d = SimDisk(0, MODEL)
@@ -74,6 +92,67 @@ class TestSimDisk:
         assert d.stats.busy_time_s > 0
         d.stats.reset()
         assert d.stats.accesses == 0
+
+    def test_write_charges_busy_time(self):
+        d = SimDisk(0, MODEL)
+        d.write_slot(0, b"x" * 1000)
+        expected = MODEL.service_time_s([(0, 1000)])
+        assert d.stats.busy_time_s == pytest.approx(expected, rel=1e-9)
+
+    def test_replacement_restore_resets_everything(self):
+        d = SimDisk(0, MODEL)
+        d.write_slot(0, b"x")
+        d.mark_unreadable(0)
+        d.slowdown = 3.0
+        d.fail()
+        d.restore(wipe=True)
+        assert d.occupied_slots == 0
+        assert d.unreadable_slots == frozenset()
+        assert d.slowdown == 1.0
+        assert d.stats.accesses == 0
+        assert d.stats.busy_time_s == 0.0
+
+    def test_transient_restore_keeps_stats_and_faults(self):
+        d = SimDisk(0, MODEL)
+        d.write_slot(0, b"x")
+        d.mark_unreadable(0)
+        d.fail()
+        d.restore(wipe=False)
+        assert d.stats.accesses == 1
+        assert d.unreadable_slots == frozenset({0})
+
+    def test_latent_error_cleared_by_rewrite(self):
+        d = SimDisk(0, MODEL)
+        d.write_slot(2, b"old")
+        d.mark_unreadable(2)
+        with pytest.raises(SlotUnreadableError):
+            d.peek_slot(2)
+        d.write_slot(2, b"new")
+        assert d.peek_slot(2) == b"new"
+
+    def test_slowdown_scales_service_time(self):
+        a, b = SimDisk(0, MODEL), SimDisk(1, MODEL)
+        b.slowdown = 2.5
+        accesses = [(0, 4096)]
+        assert b.service_time_s(accesses) == pytest.approx(
+            2.5 * a.service_time_s(accesses), rel=1e-9
+        )
+
+    def test_corrupt_slot_differs_and_returns_original(self):
+        d = SimDisk(0, MODEL)
+        d.write_slot(1, b"payload!")
+        before = (d.stats.accesses, d.stats.busy_time_s)
+        original = d.corrupt_slot(1, np.random.default_rng(0))
+        assert original == b"payload!"
+        assert d.peek_slot(1) != original
+        assert len(d.peek_slot(1)) == len(original)
+        assert (d.stats.accesses, d.stats.busy_time_s) == before
+
+    def test_slot_ids_sorted(self):
+        d = SimDisk(0, MODEL)
+        for s in (5, 1, 3):
+            d.write_slot(s, b"x")
+        assert d.slot_ids() == (1, 3, 5)
 
 
 class TestDiskArray:
@@ -130,3 +209,33 @@ class TestDiskArray:
         arr.execute_batch({0: [(0, 10)]})
         arr.reset_stats()
         assert arr[0].stats.busy_time_s == 0.0
+
+    def test_fetch_collects_unreadable_instead_of_raising(self):
+        arr = DiskArray(2, MODEL)
+        arr[0].write_slot(0, b"ok")
+        arr[0].write_slot(1, b"bad")
+        arr[0].mark_unreadable(1)
+        timing = arr.execute_batch(
+            {0: [(0, 2), (1, 3)], 1: [(7, 4)]}, fetch=True
+        )
+        assert timing.payloads == {(0, 0): b"ok"}
+        assert sorted(timing.unreadable) == [(0, 1), (1, 7)]
+        # the disk still did (and was charged for) all the positioning work
+        assert arr[0].stats.accesses == 2 + 2  # 2 writes + 2 batch reads
+        assert timing.total_accesses == 3
+
+    def test_on_batch_start_hook_fires_first(self):
+        arr = DiskArray(2, MODEL)
+        arr[0].write_slot(0, b"x")
+        calls = []
+        arr.on_batch_start = lambda: calls.append(arr[0].stats.accesses)
+        arr.execute_batch({0: [(0, 1)]})
+        arr.execute_batch({})
+        # hook saw pre-batch accounting state both times
+        assert calls == [1, 2]
+
+    def test_slowdowns_reports_only_stragglers(self):
+        arr = DiskArray(3, MODEL)
+        assert arr.slowdowns() == {}
+        arr[2].slowdown = 4.0
+        assert arr.slowdowns() == {2: 4.0}

@@ -128,9 +128,14 @@ class TestCountersAndMetrics:
             "batches",
             "bytes_served",
             "max_queue_depth",
+            "retries",
+            "degraded_serves",
             "disk_load",
             "cache",
+            "health",
         }
+        assert m["retries"] == 0
+        assert m["degraded_serves"] == 0
         assert m["cache"]["plans_built"] == 1
 
     def test_service_report_renders(self, loaded):

@@ -1,0 +1,184 @@
+"""Fault DSL and injector: schedules, determinism, per-kind semantics."""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_rs
+from repro.disks import SlotUnreadableError
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultSchedule
+from repro.store import BlockStore
+
+
+@pytest.fixture()
+def loaded():
+    store = BlockStore(make_rs(3, 2), "ec-frm", element_size=64)
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, 256, size=6 * store.row_bytes, dtype=np.uint8).tobytes()
+    store.append(data)
+    return store, data
+
+
+def _tick(array, times=1):
+    """Run empty accounted batches just to advance the injector clock."""
+    for _ in range(times):
+        array.execute_batch({}, fetch=False)
+
+
+class TestSchedule:
+    def test_events_sorted_by_op(self):
+        sched = FaultSchedule.scripted(
+            [
+                FaultEvent(at_op=9, kind=FaultKind.CRASH, disk=0),
+                FaultEvent(at_op=2, kind=FaultKind.STRAGGLER, disk=1),
+            ]
+        )
+        assert [e.at_op for e in sched] == [2, 9]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at_op=0, kind=FaultKind.CRASH, disk=0)
+        with pytest.raises(ValueError):
+            FaultEvent(at_op=1, kind=FaultKind.CRASH, disk=-1)
+        with pytest.raises(ValueError):
+            FaultEvent(at_op=1, kind=FaultKind.STRAGGLER, disk=0, factor=0.0)
+
+    def test_random_is_deterministic(self):
+        kwargs = dict(
+            ops=50,
+            num_disks=5,
+            crash_prob=0.05,
+            latent_prob=0.1,
+            bitrot_prob=0.1,
+            straggler_prob=0.05,
+        )
+        a = FaultSchedule.random(123, **kwargs)
+        b = FaultSchedule.random(123, **kwargs)
+        c = FaultSchedule.random(124, **kwargs)
+        assert a.events == b.events
+        assert a.events != c.events
+
+    def test_random_caps_whole_disk_failures(self):
+        sched = FaultSchedule.random(
+            5, ops=400, num_disks=6, crash_prob=0.5, outage_prob=0.5,
+            max_disk_failures=2,
+        )
+        whole = [
+            e for e in sched
+            if e.kind in (FaultKind.CRASH, FaultKind.TRANSIENT_OUTAGE)
+        ]
+        assert len(whole) == 2
+        assert len({e.disk for e in whole}) == 2
+
+
+class TestInjector:
+    def test_clock_ticks_per_batch(self, loaded):
+        store, _ = loaded
+        inj = FaultInjector(store.array).attach()
+        _tick(store.array, 3)
+        assert inj.op_count == 3
+        inj.detach()
+        _tick(store.array, 2)
+        assert inj.op_count == 3  # detached: clock frozen
+
+    def test_crash_fires_at_op(self, loaded):
+        store, _ = loaded
+        sched = FaultSchedule.scripted(
+            [FaultEvent(at_op=3, kind=FaultKind.CRASH, disk=1)]
+        )
+        inj = FaultInjector(store.array, sched).attach()
+        _tick(store.array, 2)
+        assert store.array.failed_disks == []
+        _tick(store.array)
+        assert store.array.failed_disks == [1]
+        assert [(op, e.kind) for op, e in inj.fired] == [(3, FaultKind.CRASH)]
+
+    def test_outage_schedules_restore(self, loaded):
+        store, _ = loaded
+        sched = FaultSchedule.scripted(
+            [
+                FaultEvent(
+                    at_op=2, kind=FaultKind.TRANSIENT_OUTAGE, disk=0,
+                    duration_ops=3,
+                )
+            ]
+        )
+        FaultInjector(store.array, sched).attach()
+        before = dict(store.array[0]._slots)
+        _tick(store.array, 2)
+        assert store.array.failed_disks == [0]
+        _tick(store.array, 3)
+        assert store.array.failed_disks == []
+        assert dict(store.array[0]._slots) == before  # data intact
+
+    def test_latent_marks_slot_unreadable(self, loaded):
+        store, _ = loaded
+        sched = FaultSchedule.scripted(
+            [FaultEvent(at_op=1, kind=FaultKind.LATENT_SECTOR, disk=2, slot=0)]
+        )
+        FaultInjector(store.array, sched).attach()
+        _tick(store.array)
+        with pytest.raises(SlotUnreadableError):
+            store.array[2].peek_slot(0)
+
+    def test_bitrot_changes_payload_silently(self, loaded):
+        store, _ = loaded
+        before = store.array[1].peek_slot(0)
+        stats_before = (
+            store.array[1].stats.accesses, store.array[1].stats.bytes_read
+        )
+        sched = FaultSchedule.scripted(
+            [FaultEvent(at_op=1, kind=FaultKind.BIT_ROT, disk=1, slot=0)]
+        )
+        FaultInjector(store.array, sched, seed=3).attach()
+        _tick(store.array)
+        after = store.array[1].peek_slot(0)
+        assert after != before
+        # bit rot is not an I/O: disk counters unchanged by the corruption
+        assert (
+            store.array[1].stats.accesses, store.array[1].stats.bytes_read
+        ) == (stats_before[0], stats_before[1])
+
+    def test_straggler_sets_slowdown(self, loaded):
+        store, _ = loaded
+        sched = FaultSchedule.scripted(
+            [FaultEvent(at_op=1, kind=FaultKind.STRAGGLER, disk=4, factor=3.5)]
+        )
+        FaultInjector(store.array, sched).attach()
+        _tick(store.array)
+        assert store.array[4].slowdown == 3.5
+        assert store.array.slowdowns() == {4: 3.5}
+
+    def test_bitrot_on_empty_disk_is_skipped(self):
+        store = BlockStore(make_rs(3, 2), "ec-frm", element_size=64)
+        # nothing appended: disks are empty
+        sched = FaultSchedule.scripted(
+            [FaultEvent(at_op=1, kind=FaultKind.BIT_ROT, disk=0)]
+        )
+        inj = FaultInjector(store.array, sched).attach()
+        store.array.execute_batch({}, fetch=False)
+        assert inj.fired == []
+        assert len(inj.skipped) == 1
+
+    def test_double_attach_rejected(self, loaded):
+        store, _ = loaded
+        FaultInjector(store.array).attach()
+        with pytest.raises(RuntimeError):
+            FaultInjector(store.array).attach()
+
+    def test_same_seed_same_firing_order(self, loaded):
+        """The full audit trail is reproducible from (schedule, seed)."""
+        def run():
+            store = BlockStore(make_rs(3, 2), "ec-frm", element_size=64)
+            rng = np.random.default_rng(7)
+            store.append(
+                rng.integers(0, 256, size=6 * store.row_bytes, dtype=np.uint8)
+                .tobytes()
+            )
+            sched = FaultSchedule.random(
+                11, ops=20, num_disks=5, latent_prob=0.2, bitrot_prob=0.2
+            )
+            inj = FaultInjector(store.array, sched, seed=11).attach()
+            _tick(store.array, 20)
+            return [(op, e.kind, e.disk) for op, e in inj.fired]
+
+        assert run() == run()

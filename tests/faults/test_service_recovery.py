@@ -1,0 +1,131 @@
+"""Service-level recovery: retry loop, plan-cache invalidation, fallback."""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_rs
+from repro.disks import DiskFailedError
+from repro.engine import ReadService
+from repro.engine.plancache import placement_signature
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultSchedule
+from repro.store import BlockStore
+
+
+@pytest.fixture()
+def loaded():
+    store = BlockStore(make_rs(4, 2), "ec-frm", element_size=128)
+    rng = np.random.default_rng(33)
+    data = rng.integers(0, 256, size=8 * store.row_bytes, dtype=np.uint8).tobytes()
+    store.append(data)
+    return store, data
+
+
+class TestMidBatchCrash:
+    def test_retry_replans_degraded_and_serves(self, loaded):
+        store, data = loaded
+        sched = FaultSchedule.scripted(
+            [FaultEvent(at_op=3, kind=FaultKind.CRASH, disk=1)]
+        )
+        injector = FaultInjector(store.array, sched).attach()
+        svc = ReadService(store)
+        ranges = [(i * 400, 300) for i in range(8)]
+        result = svc.submit(ranges, queue_depth=4)
+        injector.detach()
+
+        assert result.payloads == [data[o : o + n] for o, n in ranges]
+        assert result.retries == 1
+        assert svc.counters.retries == 1
+        assert svc.counters.degraded_serves == len(ranges)
+        assert all(p.failed_disk == 1 for p in result.plans)
+
+    def test_invalidation_targets_only_stale_signature(self, loaded):
+        store, data = loaded
+        svc = ReadService(store)
+        # a multi-row span, so the plan touches every disk in the array
+        span = (0, 4 * store.row_bytes)
+        # warm two signatures: healthy, and degraded-under-disk-2
+        svc.submit([span], queue_depth=1)
+        store.array.fail_disk(2)
+        svc.submit([span], queue_depth=1)
+        store.array.restore_disk(2, wipe=False)
+        assert len(svc.cache) == 2
+
+        # crash disk 1 mid-batch: only the healthy-signature entry is stale
+        sched = FaultSchedule.scripted(
+            [FaultEvent(at_op=1, kind=FaultKind.CRASH, disk=1)]
+        )
+        injector = FaultInjector(store.array, sched).attach()
+        result = svc.submit([span], queue_depth=1)
+        injector.detach()
+        assert result.payloads == [data[: span[1]]]
+        assert svc.cache.stats.invalidations == 1
+        # the disk-2 degraded entry survived alongside the new disk-1 entry
+        sig = placement_signature(store.placement)
+        keys = list(svc.cache._entries)
+        assert all(k[0] == sig for k in keys)
+        assert {k[-1] for k in keys} == {(2,), (1,)}
+
+    def test_exhausted_retries_raise(self, loaded):
+        store, _ = loaded
+        svc = ReadService(store)
+        # fail a new disk on every batch op: replans can never stabilize
+        sched = FaultSchedule.scripted(
+            [
+                FaultEvent(at_op=op, kind=FaultKind.CRASH, disk=d)
+                for op, d in ((1, 0), (2, 1), (3, 2))
+            ]
+        )
+        injector = FaultInjector(store.array, sched).attach()
+        with pytest.raises(DiskFailedError):
+            svc.submit([(0, 100)], queue_depth=1, max_retries=0)
+        injector.detach()
+
+
+class TestMultiFailureFallback:
+    def test_two_failures_served_planless(self, loaded):
+        store, data = loaded
+        store.array.fail_disk(0)
+        store.array.fail_disk(3)
+        svc = ReadService(store)
+        ranges = [(0, 600), (2000, 256)]
+        result = svc.submit(ranges, queue_depth=2)
+        assert result.payloads == [data[o : o + n] for o, n in ranges]
+        assert result.plans == []
+        assert result.throughput is None
+        assert svc.counters.degraded_serves == len(ranges)
+        assert svc.counters.requests == len(ranges)
+
+    def test_second_crash_mid_batch_falls_back(self, loaded):
+        store, data = loaded
+        store.array.fail_disk(0)
+        sched = FaultSchedule.scripted(
+            [FaultEvent(at_op=2, kind=FaultKind.CRASH, disk=3)]
+        )
+        injector = FaultInjector(store.array, sched).attach()
+        svc = ReadService(store)
+        ranges = [(i * 512, 256) for i in range(6)]
+        result = svc.submit(ranges, queue_depth=2)
+        injector.detach()
+        assert result.payloads == [data[o : o + n] for o, n in ranges]
+        assert result.retries >= 1
+
+
+class TestStraggler:
+    def test_slowdown_stretches_batch_throughput(self, loaded):
+        store, _ = loaded
+        svc = ReadService(store)
+        ranges = [(i * 256, 256) for i in range(10)]
+        clean = svc.submit(ranges, queue_depth=4).throughput.throughput_bps
+        store.array[1].slowdown = 5.0
+        slowed = svc.submit(ranges, queue_depth=4).throughput.throughput_bps
+        assert slowed < clean
+
+
+class TestRetryAccounting:
+    def test_clean_runs_report_zero_retries(self, loaded):
+        store, _ = loaded
+        svc = ReadService(store)
+        result = svc.submit([(0, 100)], queue_depth=1)
+        assert result.retries == 0
+        m = svc.metrics()
+        assert m["retries"] == 0 and m["degraded_serves"] == 0

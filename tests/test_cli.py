@@ -76,6 +76,23 @@ class TestCommands:
         assert "serving degraded" in out
         assert "payloads byte-exact: OK" in out
 
+    def test_faults_scripted_scenarios(self, capsys):
+        for scenario in ("crash", "latent", "bitrot", "straggler"):
+            rc = main(["faults", scenario, "--requests", "24",
+                       "--element-size", "512"])
+            out = capsys.readouterr().out
+            assert rc == 0, out
+            assert "payloads byte-exact under faults: OK" in out
+            assert f"scenario '{scenario}'" in out
+
+    def test_faults_mixed_is_seeded(self, capsys):
+        assert main(["faults", "mixed", "--seed", "7", "--requests", "24",
+                     "--element-size", "512"]) == 0
+        first = capsys.readouterr().out
+        assert main(["faults", "mixed", "--seed", "7", "--requests", "24",
+                     "--element-size", "512"]) == 0
+        assert capsys.readouterr().out == first  # deterministic end to end
+
     def test_bad_code_spec_raises(self):
         with pytest.raises(ValueError):
             main(["layout", "nope-1-2"])
