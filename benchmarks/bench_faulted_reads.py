@@ -99,8 +99,8 @@ def sweep():
                     if result.throughput is not None
                     else None
                 ),
-                "retries": m["retries"],
-                "degraded_serves": m["degraded_serves"],
+                "retries": m["service"]["retries"],
+                "degraded_serves": m["service"]["degraded_serves"],
                 "plan_invalidations": m["cache"]["invalidations"],
                 "corruptions_repaired": m["health"]["corruptions_repaired"],
                 "self_heal_writes": m["health"]["self_heal_writes"],

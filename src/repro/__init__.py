@@ -6,6 +6,8 @@ degraded — spread across *all* disks instead of only the data disks.
 
 Public API highlights
 ---------------------
+* :func:`open_store` — one-call facade: a wired, optionally traced
+  :class:`ReadService` over a fresh :class:`BlockStore`;
 * :class:`repro.codes.ReedSolomonCode`, :class:`repro.codes.LocalReconstructionCode`
   — the candidate codes;
 * :class:`repro.frm.FRMCode` — the EC-FRM transformation of any candidate;
@@ -13,6 +15,7 @@ Public API highlights
 * :mod:`repro.disks` — the calibrated disk-array simulator;
 * :mod:`repro.engine` — normal and degraded read planning and execution;
 * :mod:`repro.store` — a functional byte store for end-to-end verification;
+* :mod:`repro.obs` — tracing, histograms and the unified metrics registry;
 * :mod:`repro.harness` — the experiment harness regenerating every figure
   and table of the paper (see EXPERIMENTS.md).
 """
@@ -27,13 +30,89 @@ from . import (
     gf,
     harness,
     layout,
+    obs,
     recovery,
     reliability,
     store,
     workloads,
 )
+from .engine import PlanCache, ReadService
+from .faults import FaultEvent, FaultInjector, FaultKind, FaultSchedule
+from .obs import SCHEMA_VERSION, Histogram, MetricsRegistry, Tracer
+from .store import BlockStore, Scrubber
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def open_store(
+    code,
+    layout="ec-frm",
+    *,
+    element_size=4096,
+    disk_model=None,
+    tracing=False,
+    tracer=None,
+    registry=None,
+    cache=None,
+    cache_capacity=256,
+):
+    """Open a fresh erasure-coded store and return its read service.
+
+    The facade wires the full stack — :class:`BlockStore` over a
+    :class:`repro.disks.DiskArray`, fronted by a :class:`ReadService` with
+    a plan cache — and threads a single tracer/registry pair through every
+    layer, so ``svc.metrics()`` returns the complete namespaced snapshot
+    (``service.* / cache.* / disks.* / health.*``).
+
+    Parameters
+    ----------
+    code:
+        An :class:`repro.codes.ErasureCode` instance, or a code spec
+        string such as ``"rs-6-3"`` or ``"lrc-6-2-2"``.
+    layout:
+        Placement form name (``"standard"``, ``"rotated"``, ``"ec-frm"``)
+        or a pre-built :class:`repro.layout.Placement`.
+    element_size:
+        Bytes per stripe element.
+    disk_model:
+        Disk service model; the calibrated Savvio 10K.3 preset when
+        omitted.
+    tracing:
+        When True, create an enabled :class:`Tracer` (unless ``tracer``
+        is given) so per-request spans and the latency breakdown are
+        recorded.  Off by default: the disabled tracer adds no overhead.
+    tracer / registry:
+        Pre-built observability objects to share across stores; fresh
+        ones are created when omitted (registry always, tracer only if
+        ``tracing``).
+    cache / cache_capacity:
+        Plan cache to share, or the capacity of the private one.
+
+    Returns
+    -------
+    ReadService
+        Use ``svc.store`` for the block store, ``svc.store.array`` for
+        failure control, ``svc.tracer`` / ``svc.registry`` for the
+        observability plane.
+    """
+    from .disks.presets import SAVVIO_10K3
+
+    if isinstance(code, str):
+        code = codes.parse_code_spec(code)
+    if tracer is None and tracing:
+        tracer = Tracer(enabled=True)
+    if registry is None:
+        registry = MetricsRegistry()
+    bs = BlockStore(
+        code,
+        layout,
+        element_size=element_size,
+        disk_model=disk_model if disk_model is not None else SAVVIO_10K3,
+        tracer=tracer,
+        registry=registry,
+    )
+    return ReadService(bs, cache=cache, cache_capacity=cache_capacity)
+
 
 __all__ = [
     "analysis",
@@ -45,9 +124,23 @@ __all__ = [
     "gf",
     "harness",
     "layout",
+    "obs",
     "recovery",
     "reliability",
     "store",
     "workloads",
+    "open_store",
+    "BlockStore",
+    "ReadService",
+    "PlanCache",
+    "Scrubber",
+    "FaultInjector",
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
+    "Tracer",
+    "MetricsRegistry",
+    "Histogram",
+    "SCHEMA_VERSION",
     "__version__",
 ]

@@ -10,7 +10,9 @@ Subcommands
 * ``demo``    — end-to-end store demo: write, fail a disk, degraded read;
 * ``serve``   — concurrent read-service demo with plan-cache metrics;
 * ``faults``  — fault-injection demo: self-healing reads under a seeded
-  fault schedule (crash, outage, latent sector, bit rot, straggler).
+  fault schedule (crash, outage, latent sector, bit rot, straggler);
+* ``trace``   — traced read run: per-request spans to JSONL, per-stage
+  latency breakdown to JSON, Prometheus-style metrics exposition.
 """
 
 from __future__ import annotations
@@ -149,6 +151,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_flt.add_argument("--requests", type=int, default=48)
     p_flt.add_argument("--queue-depth", type=int, default=8)
     p_flt.add_argument("--seed", type=int, default=2015)
+
+    p_tr = sub.add_parser(
+        "trace", help="traced read run: span dump, latency breakdown, metrics"
+    )
+    p_tr.add_argument(
+        "scenario",
+        nargs="?",
+        default="clean",
+        choices=(
+            "clean", "crash", "outage", "latent", "bitrot", "straggler", "mixed"
+        ),
+        help="fault scenario to trace under (default: clean, no faults)",
+    )
+    p_tr.add_argument("--code", default="rs-6-3")
+    p_tr.add_argument("--form", default="ec-frm")
+    p_tr.add_argument("--element-size", type=int, default=1024)
+    p_tr.add_argument("--requests", type=int, default=48)
+    p_tr.add_argument("--queue-depth", type=int, default=8)
+    p_tr.add_argument("--seed", type=int, default=2015)
+    p_tr.add_argument("--out", default="results", help="output directory")
+    p_tr.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="also print the Prometheus-style text exposition",
+    )
 
     p_rel = sub.add_parser(
         "mttdl", help="mean time to data loss from measured rebuild speed"
@@ -389,9 +416,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _fault_schedule(scenario: str, code, seed: int):
-    """Build the preset schedule for one ``faults`` CLI scenario."""
+    """Build the preset schedule for one ``faults``/``trace`` scenario."""
     from .faults import FaultEvent, FaultKind, FaultSchedule
 
+    if scenario == "clean":
+        return FaultSchedule.scripted([])
     scripted = {
         "crash": [FaultEvent(at_op=5, kind=FaultKind.CRASH, disk=1)],
         "outage": [
@@ -466,6 +495,80 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .engine import ReadService
+    from .faults import FaultInjector
+    from .harness import service_report
+    from .obs import (
+        MetricsRegistry,
+        Tracer,
+        latency_breakdown,
+        render_latency_breakdown,
+        to_prometheus,
+        write_trace_jsonl,
+    )
+
+    code = parse_code_spec(args.code)
+    tracer = Tracer(enabled=True)
+    registry = MetricsRegistry()
+    bs = BlockStore(
+        code, args.form, element_size=args.element_size,
+        tracer=tracer, registry=registry,
+    )
+    rng = np.random.default_rng(args.seed)
+    rows = 16
+    data = rng.integers(0, 256, size=rows * bs.row_bytes, dtype=np.uint8).tobytes()
+    bs.append(data)
+
+    schedule = _fault_schedule(args.scenario, code, args.seed)
+    injector = (
+        FaultInjector(bs.array, schedule, seed=args.seed)
+        .register_metrics(registry)
+        .attach()
+    )
+    svc = ReadService(bs)
+    span = 4 * args.element_size
+    ranges = [
+        (int(rng.integers(0, bs.user_bytes - span)), span)
+        for _ in range(args.requests)
+    ]
+    result = svc.submit(ranges, queue_depth=args.queue_depth)
+    injector.detach()
+    ok = result.payloads == [data[o : o + n] for o, n in ranges]
+
+    out = Path(args.out)
+    trace_path = out / f"trace_{args.scenario}.jsonl"
+    write_trace_jsonl(tracer, trace_path)
+    nspans = len(tracer.spans)
+    breakdown = latency_breakdown(tracer)
+    breakdown_path = out / "latency_breakdown.json"
+    breakdown_path.parent.mkdir(parents=True, exist_ok=True)
+    breakdown_path.write_text(json.dumps(breakdown, indent=2, sort_keys=True))
+
+    print(
+        f"{bs.placement.describe()}, scenario {args.scenario!r}, "
+        f"{args.requests} requests at queue depth {args.queue_depth}"
+    )
+    if injector.fired:
+        for op, event in injector.fired:
+            print(f"  op {op:3d}: {event.kind.value} on disk {event.disk}")
+    print(f"payloads byte-exact: {'OK' if ok else 'FAILED'}")
+    print(f"wrote {nspans} spans to {trace_path}")
+    print(f"wrote per-stage breakdown to {breakdown_path} "
+          f"(coverage {breakdown['consistency']['coverage']:.2f})")
+    print()
+    print(render_latency_breakdown(breakdown["stages"]))
+    print()
+    print(service_report(svc))
+    if args.prometheus:
+        print()
+        print(to_prometheus(svc.metrics()))
+    return 0 if ok else 1
+
+
 def _cmd_mttdl(args: argparse.Namespace) -> int:
     from .disks.presets import SAVVIO_10K3
     from .layout import make_placement
@@ -506,6 +609,7 @@ _HANDLERS = {
     "sweep": _cmd_sweep,
     "serve": _cmd_serve,
     "faults": _cmd_faults,
+    "trace": _cmd_trace,
     "mttdl": _cmd_mttdl,
 }
 

@@ -71,6 +71,10 @@ class DiskArray:
         #: :class:`repro.faults.FaultInjector` attaches to so faults fire
         #: *mid-workload*, between (or inside) multi-request batches.
         self.on_batch_start: Callable[[], None] | None = None
+        # observability: populated by bind_registry(); None keeps the
+        # batch path free of any metrics work.
+        self._batch_hist = None
+        self._batch_counter = None
 
     def __len__(self) -> int:
         return len(self.disks)
@@ -102,6 +106,46 @@ class DiskArray:
     def slowdowns(self) -> dict[int, float]:
         """Per-disk straggler multipliers, for disks slower than nominal."""
         return {d.disk_id: d.slowdown for d in self.disks if d.slowdown != 1.0}
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def bind_registry(self, registry) -> None:
+        """Publish this array into a :class:`repro.obs.MetricsRegistry`.
+
+        Registers the ``disks`` namespace collector and starts feeding a
+        log-bucketed histogram of simulated batch service times
+        (``disks.batch_seconds``) plus a batch counter.  Duck-typed so
+        the disks layer needs no hard dependency on :mod:`repro.obs`.
+        """
+        registry.register_collector("disks", self.stats_snapshot)
+        self._batch_hist = registry.histogram("disks.batch_seconds")
+        self._batch_counter = registry.counter("disks.batches_executed")
+
+    def stats_snapshot(self) -> dict:
+        """Per-disk service statistics for the ``disks.*`` namespace."""
+        per_disk = {
+            str(d.disk_id): {
+                "accesses": d.stats.accesses,
+                "bytes_read": d.stats.bytes_read,
+                "bytes_written": d.stats.bytes_written,
+                "busy_time_s": d.stats.busy_time_s,
+                "failed": d.failed,
+            }
+            for d in self.disks
+        }
+        return {
+            "count": len(self.disks),
+            "failed": self.failed_disks,
+            "slowdowns": {str(k): v for k, v in self.slowdowns().items()},
+            "total_accesses": sum(d.stats.accesses for d in self.disks),
+            "total_bytes_read": sum(d.stats.bytes_read for d in self.disks),
+            "total_bytes_written": sum(
+                d.stats.bytes_written for d in self.disks
+            ),
+            "total_busy_time_s": sum(d.stats.busy_time_s for d in self.disks),
+            "per_disk": per_disk,
+        }
 
     # ------------------------------------------------------------------
     # timing plane
@@ -165,6 +209,9 @@ class DiskArray:
             total_accesses += len(accesses)
             total_bytes += sum(nbytes for _, nbytes in accesses)
         completion = max(per_disk_time.values()) if per_disk_time else 0.0
+        if self._batch_hist is not None:
+            self._batch_hist.observe(completion)
+            self._batch_counter.inc()
         return BatchTiming(
             completion_time_s=completion,
             per_disk_time_s=per_disk_time,

@@ -39,12 +39,21 @@ class ThroughputResult:
         ``total_requested_bytes / makespan_s``.
     mean_latency_s:
         Mean per-request completion latency (dispatch to finish).
+    latencies_s:
+        Per-request completion latency, submission order.
+    queue_waits_s:
+        Per-request queueing delay, submission order: latency minus the
+        request's standalone critical path (its slowest disk served
+        alone).  This is the simulated-clock ``queue_wait`` stage the
+        tracer records.
     """
 
     makespan_s: float
     total_requested_bytes: int
     throughput_bps: float
     mean_latency_s: float
+    latencies_s: tuple[float, ...] = ()
+    queue_waits_s: tuple[float, ...] = ()
 
     @property
     def throughput_mib_s(self) -> float:
@@ -79,6 +88,7 @@ def simulate_concurrent(
     disk_free: dict[int, float] = {}
     inflight: list[float] = []  # completion-time heap
     latencies: list[float] = []
+    queue_waits: list[float] = []
     clock = 0.0
     last_completion = 0.0
 
@@ -87,16 +97,19 @@ def simulate_concurrent(
             clock = max(clock, heapq.heappop(inflight))
         dispatch = clock
         finish = dispatch
+        standalone = 0.0
         for disk, accesses in plan.per_disk_batches().items():
             service = model.service_time_s(accesses)
             if slowdowns:
                 service *= slowdowns.get(disk, 1.0)
+            standalone = max(standalone, service)
             start = max(dispatch, disk_free.get(disk, 0.0))
             end = start + service
             disk_free[disk] = end
             finish = max(finish, end)
         heapq.heappush(inflight, finish)
         latencies.append(finish - dispatch)
+        queue_waits.append(max(0.0, finish - dispatch - standalone))
         last_completion = max(last_completion, finish)
 
     total_bytes = sum(p.requested_bytes for p in plans)
@@ -108,4 +121,6 @@ def simulate_concurrent(
         total_requested_bytes=total_bytes,
         throughput_bps=total_bytes / makespan,
         mean_latency_s=sum(latencies) / len(latencies),
+        latencies_s=tuple(latencies),
+        queue_waits_s=tuple(queue_waits),
     )

@@ -146,19 +146,31 @@ class PlanCache:
     ) -> AccessPlan:
         """Return a plan for the triple, building and caching on a miss.
 
+        Equivalent to :meth:`lookup` followed by :meth:`build`; the two
+        halves are public so a traced caller can time the cache lookup
+        and the planner separately without double-counting cache stats.
+        """
+        failed = self._signature(failed_disks)
+        cached = self.lookup(placement, request, element_size, failed)
+        if cached is not None:
+            return cached
+        return self.build(placement, request, element_size, failed)
+
+    def build(
+        self,
+        placement: Placement,
+        request: ReadRequest,
+        element_size: int,
+        failed_disks: Iterable[int],
+    ) -> AccessPlan:
+        """Build a plan for the triple and insert it (no lookup).
+
         Dispatches to :func:`plan_normal_read` (no failures) or
         :func:`plan_degraded_read` (exactly one).  Multi-failure patterns
         are not cached — they go through the store's exhaustive
         ``read_degraded_multi`` path, which has no plan object to reuse.
         """
-        failed = tuple(sorted(failed_disks))
-        if len(failed) > 1:
-            raise ValueError(
-                f"plan cache does not serve multi-failure patterns {failed}"
-            )
-        cached = self.lookup(placement, request, element_size, failed)
-        if cached is not None:
-            return cached
+        failed = self._signature(failed_disks)
         # Build outside the lock: planning can be expensive, and a rare
         # duplicate build on a race is cheaper than serializing planners.
         if failed:
@@ -174,6 +186,15 @@ class PlanCache:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
         return plan
+
+    @staticmethod
+    def _signature(failed_disks: Iterable[int]) -> tuple[int, ...]:
+        failed = tuple(sorted(failed_disks))
+        if len(failed) > 1:
+            raise ValueError(
+                f"plan cache does not serve multi-failure patterns {failed}"
+            )
+        return failed
 
     def invalidate_failure(self, failed_disks: Iterable[int]) -> int:
         """Drop every entry planned under the given failure signature.

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from ..codes.base import DecodeFailure
 from ..disks import DiskFailedError
+from ..obs import NULL_TRACER, MetricsRegistry, Tracer
 from .concurrency import ThroughputResult, simulate_concurrent
 from .plancache import PlanCache
 from .requests import AccessPlan
@@ -122,6 +123,17 @@ class ReadService:
         geometrically identical stores is safe and intended.
     cache_capacity:
         Capacity of the private cache when ``cache`` is omitted.
+    tracer:
+        Span tracer for the request pipeline.  Defaults to the store's
+        tracer when it has one (so `repro.open_store` wires a single
+        tracer through both layers), else the shared disabled tracer.
+    registry:
+        Metrics registry to publish into.  Defaults to the store's
+        registry when it has one, else a fresh private registry.  The
+        service registers ``service``/``cache`` collectors, plus
+        ``health``/``disks`` when the store exposes them (registration is
+        idempotent, so sharing the store's registry never double
+        registers).
     """
 
     def __init__(
@@ -130,21 +142,63 @@ class ReadService:
         *,
         cache: PlanCache | None = None,
         cache_capacity: int = 256,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.store = store
         self.cache = cache if cache is not None else PlanCache(cache_capacity)
         self.counters = ServiceCounters()
+        if tracer is None:
+            tracer = getattr(store, "tracer", None)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if registry is None:
+            registry = getattr(store, "registry", None)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.registry.register_collector("service", self._service_snapshot)
+        self.registry.register_collector("cache", self.cache.stats.snapshot)
+        # The engine cannot import the store layer; pick up its metric
+        # surfaces duck-typed, same as the health counters always were.
+        health = getattr(store, "health", None)
+        if health is not None:
+            self.registry.register_collector("health", health.snapshot)
+        array = getattr(store, "array", None)
+        if array is not None and hasattr(array, "stats_snapshot"):
+            self.registry.register_collector("disks", array.stats_snapshot)
 
     # ------------------------------------------------------------------
     def plan(self, offset: int, length: int) -> AccessPlan:
         """Plan one byte range through the cache (no execution)."""
+        return self._plan(offset, length, self.store.array.failed_disks)
+
+    def _plan(
+        self, offset: int, length: int, failed: Sequence[int]
+    ) -> AccessPlan:
+        """Plan through the cache under an explicit failure signature.
+
+        ``submit`` freezes the signature at batch start so a fault firing
+        mid-batch cannot split one batch across two signatures — exactly
+        the semantics of planning the whole batch up front.
+        """
         request = self.store.byte_request(offset, length)
-        return self.cache.plan(
-            self.store.placement,
-            request,
-            self.store.element_size,
-            self.store.array.failed_disks,
-        )
+        t = self.tracer
+        if not t.enabled:
+            return self.cache.plan(
+                self.store.placement, request, self.store.element_size, failed
+            )
+        with t.span("cache_lookup") as sp:
+            cached = self.cache.lookup(
+                self.store.placement,
+                request,
+                self.store.element_size,
+                sorted(failed),
+            )
+            sp.set(hit=cached is not None)
+        if cached is not None:
+            return cached
+        with t.span("plan", degraded=bool(failed)):
+            return self.cache.build(
+                self.store.placement, request, self.store.element_size, failed
+            )
 
     def read(self, offset: int, length: int) -> bytes:
         """Serve one read through the cache and the accounted store pass."""
@@ -181,19 +235,24 @@ class ReadService:
             raise ValueError("empty batch")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        t = self.tracer
         hits0, misses0 = self.cache.stats.hits, self.cache.stats.misses
         retries = 0
         while True:
             failed_before = self.store.array.failed_disks
             try:
                 if len(failed_before) > 1:
-                    result = self._submit_multi_failure(ranges, queue_depth)
-                    break
-                plans = [self.plan(offset, length) for offset, length in ranges]
-                payloads = [
-                    self.store.execute_read(plan, offset, length)[0]
-                    for plan, (offset, length) in zip(plans, ranges)
-                ]
+                    return self._submit_multi_failure(
+                        ranges, queue_depth, retries=retries
+                    )
+                plans: list[AccessPlan] = []
+                payloads: list[bytes] = []
+                for offset, length in ranges:
+                    with t.request("read", offset=offset, length=length):
+                        plan = self._plan(offset, length, failed_before)
+                        payload, _ = self.store.execute_read(plan, offset, length)
+                    plans.append(plan)
+                    payloads.append(payload)
                 # Timed after materialization so straggler slowdowns that
                 # appeared mid-batch are reflected in this batch's numbers.
                 throughput = simulate_concurrent(
@@ -211,33 +270,35 @@ class ReadService:
                     raise
                 retries += 1
                 self.counters.retries += 1
+                t.point("retry", attempt=retries, failed=list(failed_before))
                 continue
+            if t.enabled:
+                # queue_wait lives on the simulated clock: the closed-loop
+                # model's per-request delay at this queue depth.
+                for i, wait in enumerate(throughput.queue_waits_s):
+                    t.record("queue_wait", wait, index=i)
             nbytes = sum(len(p) for p in payloads)
             self.counters.observe_batch(plans, nbytes, queue_depth)
             self.counters.degraded_serves += sum(
                 1 for plan in plans if plan.failed_disk is not None
             )
-            result = BatchReadResult(
+            # retries is folded in at construction — the only code path —
+            # so the counter can never drift from the result field.
+            return BatchReadResult(
                 payloads=payloads,
                 throughput=throughput,
                 plans=plans,
                 cache_hits=self.cache.stats.hits - hits0,
                 cache_misses=self.cache.stats.misses - misses0,
-            )
-            break
-        if retries:
-            result = BatchReadResult(
-                payloads=result.payloads,
-                throughput=result.throughput,
-                plans=result.plans,
-                cache_hits=result.cache_hits,
-                cache_misses=result.cache_misses,
                 retries=retries,
             )
-        return result
 
     def _submit_multi_failure(
-        self, ranges: Sequence[tuple[int, int]], queue_depth: int
+        self,
+        ranges: Sequence[tuple[int, int]],
+        queue_depth: int,
+        *,
+        retries: int = 0,
     ) -> BatchReadResult:
         """Serve a batch with >1 failed disk via the store's exhaustive
         multi-failure decoder.
@@ -247,10 +308,11 @@ class ReadService:
         row through its accounted pass.  Every range counts as a degraded
         serve.
         """
-        payloads = [
-            self.store.read_degraded_multi(offset, length)
-            for offset, length in ranges
-        ]
+        t = self.tracer
+        payloads = []
+        for offset, length in ranges:
+            with t.request("read", offset=offset, length=length, multi=True):
+                payloads.append(self.store.read_degraded_multi(offset, length))
         nbytes = sum(len(p) for p in payloads)
         self.counters.observe_batch(
             [], nbytes, queue_depth, nrequests=len(ranges)
@@ -262,17 +324,13 @@ class ReadService:
             plans=[],
             cache_hits=0,
             cache_misses=0,
+            retries=retries,
         )
 
     # ------------------------------------------------------------------
-    def metrics(self) -> dict:
-        """Flat metrics snapshot: service + cache + store-health counters.
-
-        The shape is consumed by :func:`repro.harness.metrics.
-        service_report`; keep keys stable.  Health counters are pulled
-        duck-typed off ``store.health`` (the engine cannot import the
-        store layer); stores without one simply omit the key.
-        """
+    def _service_snapshot(self) -> dict:
+        """The ``service.*`` namespace: request/batch counters plus the
+        per-stage latency breakdown when tracing is on."""
         out = {
             "requests": self.counters.requests,
             "batches": self.counters.batches,
@@ -281,9 +339,38 @@ class ReadService:
             "retries": self.counters.retries,
             "degraded_serves": self.counters.degraded_serves,
             "disk_load": self.counters.load_histogram(),
-            "cache": self.cache.stats.snapshot(),
+            "latency": self.tracer.breakdown() if self.tracer.enabled else {},
         }
-        health = getattr(self.store, "health", None)
-        if health is not None:
-            out["health"] = health.snapshot()
         return out
+
+    def metrics(self, *, flat: bool = False) -> dict:
+        """Versioned, namespaced metrics snapshot of the whole service.
+
+        The default shape is the registry's snapshot schema
+        (:data:`repro.obs.SCHEMA_VERSION`): a ``schema_version`` key plus
+        ``service`` / ``cache`` namespaces, ``health`` and ``disks`` when
+        the store exposes them, and any further namespaces registered
+        into :attr:`registry` (e.g. ``faults`` via
+        :meth:`repro.faults.FaultInjector.register_metrics`).
+
+        ``flat=True`` returns the legacy pre-1.1 flat dict (service
+        counters at top level, ``cache``/``health`` nested).  It exists
+        as a one-release migration path and will be removed; new code
+        should read the namespaced schema.
+        """
+        if flat:
+            out = {
+                "requests": self.counters.requests,
+                "batches": self.counters.batches,
+                "bytes_served": self.counters.bytes_served,
+                "max_queue_depth": self.counters.max_queue_depth,
+                "retries": self.counters.retries,
+                "degraded_serves": self.counters.degraded_serves,
+                "disk_load": self.counters.load_histogram(),
+                "cache": self.cache.stats.snapshot(),
+            }
+            health = getattr(self.store, "health", None)
+            if health is not None:
+                out["health"] = health.snapshot()
+            return out
+        return self.registry.snapshot()

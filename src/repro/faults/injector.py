@@ -78,6 +78,33 @@ class FaultInjector:
         """Events not yet fired."""
         return len(self._pending)
 
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def register_metrics(self, registry) -> "FaultInjector":
+        """Publish the injector's audit counters as the ``faults``
+        namespace of a :class:`repro.obs.MetricsRegistry`.
+
+        Duck-typed (no obs import): the injector only needs
+        ``register_collector``.  Returns self for chaining with
+        :meth:`attach`.
+        """
+        registry.register_collector("faults", self.stats_snapshot)
+        return self
+
+    def stats_snapshot(self) -> dict:
+        """Plain-dict audit view for the metrics snapshot."""
+        by_kind: dict[str, int] = {}
+        for _, event in self.fired:
+            by_kind[event.kind.value] = by_kind.get(event.kind.value, 0) + 1
+        return {
+            "op_count": self.op_count,
+            "events_fired": len(self.fired),
+            "events_skipped": len(self.skipped),
+            "events_pending": self.pending,
+            "fired_by_kind": by_kind,
+        }
+
     def attach(self) -> "FaultInjector":
         """Hook into the array's batch seam.  Returns self for chaining."""
         if self.array.on_batch_start not in (None, self._hook):

@@ -70,16 +70,21 @@ def service_report(service) -> str:
     """Render a :class:`repro.engine.service.ReadService` metrics snapshot.
 
     Duck-typed on ``service.metrics()`` (the harness sits above the engine
-    in the layer stack, so no engine import here).  One line per counter
-    plus a compact per-disk load histogram — the operational companion to
-    the per-experiment summaries above.
+    in the layer stack, so no engine import here).  Consumes the
+    namespaced snapshot schema (``schema_version`` + ``service.*`` /
+    ``cache.*`` / ``health.*`` / ``faults.*`` namespaces); the legacy flat
+    shape is still accepted for callers that pass ``metrics(flat=True)``
+    output around.  One line per counter, a compact per-disk load
+    histogram, and — when tracing is on — a per-stage latency-breakdown
+    table.
     """
     m = service.metrics()
+    svc = m.get("service", m)  # legacy flat shape: counters at top level
     cache = m["cache"]
     lines = [
-        f"requests served : {m['requests']} ({m['batches']} batches, "
-        f"max queue depth {m['max_queue_depth']})",
-        f"bytes served    : {m['bytes_served']}",
+        f"requests served : {svc['requests']} ({svc['batches']} batches, "
+        f"max queue depth {svc['max_queue_depth']})",
+        f"bytes served    : {svc['bytes_served']}",
         f"plan cache      : {cache['hits']} hits / {cache['misses']} misses "
         f"(hit rate {cache['hit_rate']:.1%}), {cache['plans_built']} built, "
         f"{cache['evictions']} evicted"
@@ -89,13 +94,28 @@ def service_report(service) -> str:
             else ""
         ),
     ]
-    if m.get("retries") or m.get("degraded_serves"):
+    if svc.get("retries") or svc.get("degraded_serves"):
         lines.append(
-            f"fault handling  : {m.get('retries', 0)} batch retries, "
-            f"{m.get('degraded_serves', 0)} degraded serves"
+            f"fault handling  : {svc.get('retries', 0)} batch retries, "
+            f"{svc.get('degraded_serves', 0)} degraded serves"
+        )
+    faults = m.get("faults")
+    if faults and faults.get("events_fired"):
+        by_kind = faults.get("fired_by_kind", {})
+        kinds = ", ".join(f"{k}:{by_kind[k]}" for k in sorted(by_kind))
+        lines.append(
+            f"faults injected : {faults['events_fired']} fired"
+            + (f" ({kinds})" if kinds else "")
+            + (
+                f", {faults['events_skipped']} skipped"
+                if faults.get("events_skipped")
+                else ""
+            )
         )
     health = m.get("health")
-    if health and any(health.values()):
+    if health and any(
+        v for k, v in health.items() if not isinstance(v, dict)
+    ):
         lines.append(
             "store health    : "
             f"{health['corruptions_detected']} corruptions detected "
@@ -104,11 +124,25 @@ def service_report(service) -> str:
             f"({health['latent_errors_repaired']} repaired), "
             f"{health['self_heal_writes']} heal writes"
         )
-    load = m["disk_load"]
+    scrub = (health or {}).get("scrub")
+    if scrub and scrub.get("sweeps"):
+        lines.append(
+            f"scrub           : {scrub['sweeps']} sweeps, "
+            f"{scrub['rows_checked']} rows checked, "
+            f"{scrub['rows_flagged']} flagged, "
+            f"{scrub['repairs_made']} repairs"
+        )
+    load = svc["disk_load"]
     if load:
         peak = max(load.values())
         bars = " ".join(f"d{d}:{load[d]}" for d in sorted(load))
         lines.append(f"disk load       : {bars} (peak {peak})")
+    latency = svc.get("latency")
+    if latency:
+        from ..obs import render_latency_breakdown
+
+        lines.append("latency breakdown:")
+        lines.append(render_latency_breakdown(latency))
     return "\n".join(lines)
 
 

@@ -1,0 +1,49 @@
+"""Observability: request tracing, latency histograms, unified metrics.
+
+The measurement substrate of the repro (PAPERS.md: Rashmi et al. and the
+online-EC SSD study both argue that *tails and per-stage breakdowns*, not
+means, distinguish erasure-coded read paths):
+
+* :mod:`repro.obs.trace` — :class:`Tracer` / :class:`Span`: per-request
+  stage spans (``plan``, ``cache_lookup``, ``queue_wait``, ``disk_io``,
+  ``decode``, ``heal``, ``retry``) with zero overhead when disabled;
+* :mod:`repro.obs.hist` — log-bucketed :class:`Histogram` (p50/p95/p99/
+  p999 without raw samples) and monotonic :class:`Counter`;
+* :mod:`repro.obs.registry` — :class:`MetricsRegistry` and the versioned
+  namespaced snapshot schema (``schema_version``, ``service.*``,
+  ``cache.*``, ``disks.*``, ``health.*``, ``faults.*``);
+* :mod:`repro.obs.export` — JSONL trace dump, Prometheus-style text
+  exposition, and the per-stage latency-breakdown table.
+
+This package sits at the bottom of the layer stack: it imports nothing
+from the rest of :mod:`repro`, so every layer (disks, engine, store,
+faults, harness, CLI) may depend on it.
+"""
+
+from .export import (
+    latency_breakdown,
+    render_latency_breakdown,
+    spans_to_jsonl,
+    to_prometheus,
+    write_trace_jsonl,
+)
+from .hist import Counter, Histogram
+from .registry import SCHEMA_VERSION, MetricsRegistry, flatten_snapshot
+from .trace import NULL_TRACER, STAGES, Span, Tracer
+
+__all__ = [
+    "STAGES",
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "SCHEMA_VERSION",
+    "flatten_snapshot",
+    "spans_to_jsonl",
+    "write_trace_jsonl",
+    "to_prometheus",
+    "latency_breakdown",
+    "render_latency_breakdown",
+]

@@ -1,0 +1,130 @@
+"""Exporters for traces and metric snapshots.
+
+Three output formats, one per audience:
+
+* :func:`write_trace_jsonl` / :func:`spans_to_jsonl` — the raw span
+  stream, one JSON object per line, for offline tooling;
+* :func:`to_prometheus` — text exposition of a snapshot (gauge per
+  scalar, flattened dotted names), for scrape-style collection;
+* :func:`latency_breakdown` / :func:`render_latency_breakdown` — the
+  per-stage latency table (p50/p95/p99 per stage plus a consistency
+  block tying the wall stages back to total request wall time), the
+  table EXPERIMENTS.md analyses.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Iterable
+
+from .registry import SCHEMA_VERSION, flatten_snapshot
+from .trace import Span, Tracer
+
+__all__ = [
+    "spans_to_jsonl",
+    "write_trace_jsonl",
+    "to_prometheus",
+    "latency_breakdown",
+    "render_latency_breakdown",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """Serialize spans as JSON lines (trailing newline included)."""
+    lines = [json.dumps(s.to_dict(), sort_keys=True) for s in spans]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_trace_jsonl(tracer: Tracer, path: str | Path) -> Path:
+    """Dump a tracer's spans to ``path`` as JSONL; returns the path."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(spans_to_jsonl(tracer.spans))
+    return p
+
+
+# ----------------------------------------------------------------------
+# Prometheus-style text exposition
+# ----------------------------------------------------------------------
+def to_prometheus(snapshot: dict[str, Any], *, prefix: str = "ecfrm") -> str:
+    """Render a metrics snapshot in the Prometheus text format.
+
+    Every numeric leaf of the (nested) snapshot becomes one gauge sample
+    named ``<prefix>_<dotted_path_with_underscores>``.  Booleans export
+    as 0/1; strings and lists are skipped (they are labels in spirit, and
+    this exposition stays label-free for simplicity).
+    """
+    lines: list[str] = []
+    for key, value in sorted(flatten_snapshot(snapshot).items()):
+        if isinstance(value, bool):
+            value = int(value)
+        if not isinstance(value, (int, float)):
+            continue
+        name = _NAME_RE.sub("_", f"{prefix}_{key}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {value}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# latency breakdown
+# ----------------------------------------------------------------------
+def latency_breakdown(tracer: Tracer) -> dict[str, Any]:
+    """The per-stage latency-breakdown document.
+
+    ``stages`` holds one summary per stage (count/total/mean/min/max/
+    p50/p95/p99/p999 plus its clock).  ``consistency`` relates the wall
+    stages to the total request wall time: their summed totals can never
+    exceed it (stages nest inside requests), and the coverage ratio says
+    how much request time the instrumentation attributes to a stage —
+    the acceptance check for "per-stage times are consistent with batch
+    wall-clock".  Sim-clock stages (``queue_wait``) are excluded from the
+    wall sum; they live on the simulated clock.
+    """
+    stages = tracer.breakdown()
+    wall_total = sum(
+        s["total"] for s in stages.values() if s["clock"] == "wall"
+    )
+    req_total = tracer.requests_total_s()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "stages": stages,
+        "requests": {
+            "count": tracer.request_count(),
+            "total_wall_s": req_total,
+        },
+        "consistency": {
+            "stage_wall_total_s": wall_total,
+            "request_wall_total_s": req_total,
+            "coverage": wall_total / req_total if req_total > 0 else 0.0,
+        },
+    }
+
+
+def render_latency_breakdown(stages: dict[str, dict]) -> str:
+    """Fixed-width table of per-stage latencies (milliseconds).
+
+    Accepts the ``stages`` mapping of :func:`latency_breakdown` (or
+    :meth:`Tracer.breakdown` output directly).  Stages are ordered by
+    total time descending — the top line is where the time goes.
+    """
+    if not stages:
+        return "(no spans recorded)"
+    header = (
+        f"{'stage':<13s} {'clock':<5s} {'count':>7s} "
+        f"{'p50 ms':>9s} {'p95 ms':>9s} {'p99 ms':>9s} {'total ms':>10s}"
+    )
+    lines = [header]
+    for name, s in sorted(
+        stages.items(), key=lambda kv: kv[1]["total"], reverse=True
+    ):
+        lines.append(
+            f"{name:<13s} {s['clock']:<5s} {s['count']:>7d} "
+            f"{s['p50'] * 1e3:>9.3f} {s['p95'] * 1e3:>9.3f} "
+            f"{s['p99'] * 1e3:>9.3f} {s['total'] * 1e3:>10.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Log-bucketed histograms and named counters.
+
+The observability layer needs tail quantiles (p50/p95/p99/p999) over
+millions of per-request samples without keeping the samples: a
+:class:`Histogram` folds each observation into a geometric bucket and
+answers quantile queries from the bucket counts.  With the default growth
+factor of 1.1 every reported quantile is within ~5% (relative) of the
+exact sample quantile — tight enough to compare read-path stages, loose
+enough to cost O(1) memory per stage.
+
+:class:`Counter` is the matching monotonic counter.  Both carry dotted
+names (``service.retries``, ``disks.batch_seconds``) so the
+:class:`~repro.obs.registry.MetricsRegistry` can place them in the
+namespaced snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["Counter", "Histogram"]
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be >= 0: counters only go up)."""
+        if n < 0:
+            raise ValueError(f"counters are monotonic; cannot add {n}")
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Geometric-bucket histogram with quantile estimation.
+
+    Parameters
+    ----------
+    name:
+        Dotted metric name (cosmetic; the registry keys on it).
+    growth:
+        Bucket boundary ratio.  Quantiles are exact to within a factor of
+        ``sqrt(growth)`` — 1.1 gives <= ~4.9% relative error.
+    min_value:
+        Lower edge of the first bucket; observations below it (but > 0)
+        land in underflow buckets with the same relative accuracy.
+
+    Observations must be finite and >= 0; zeros are tracked exactly in a
+    dedicated bucket so stage histograms can absorb zero-duration events.
+    """
+
+    __slots__ = (
+        "name",
+        "growth",
+        "_lg",
+        "_min",
+        "_buckets",
+        "_zeros",
+        "count",
+        "total",
+        "min",
+        "max",
+    )
+
+    def __init__(
+        self, name: str = "", *, growth: float = 1.1, min_value: float = 1e-9
+    ) -> None:
+        if growth <= 1.0:
+            raise ValueError(f"growth must be > 1, got {growth}")
+        if min_value <= 0.0:
+            raise ValueError(f"min_value must be > 0, got {min_value}")
+        self.name = name
+        self.growth = growth
+        self._lg = math.log(growth)
+        self._min = min_value
+        self._buckets: dict[int, int] = {}
+        self._zeros = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def __len__(self) -> int:
+        return self.count
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Fold one observation into the buckets."""
+        v = float(value)
+        if not math.isfinite(v) or v < 0.0:
+            raise ValueError(f"observations must be finite and >= 0, got {value}")
+        self.count += 1
+        self.total += v
+        self.min = min(self.min, v)
+        self.max = max(self.max, v)
+        if v == 0.0:
+            self._zeros += 1
+            return
+        idx = math.floor(math.log(v / self._min) / self._lg)
+        self._buckets[idx] = self._buckets.get(idx, 0) + 1
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Fold a batch of observations."""
+        for v in values:
+            self.observe(v)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (geometric bucket midpoint, clamped to
+        the exact observed min/max)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            raise ValueError("cannot take a quantile of an empty histogram")
+        rank = q * (self.count - 1)
+        seen = self._zeros
+        if rank < seen or not self._buckets:
+            return max(0.0, self.min)
+        for idx in sorted(self._buckets):
+            seen += self._buckets[idx]
+            if rank < seen:
+                mid = self._min * self.growth ** (idx + 0.5)
+                return min(max(mid, self.min), self.max)
+        return self.max
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard latency quartet: p50/p95/p99/p999."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
+        }
+
+    def summary(self) -> dict[str, float | int]:
+        """Plain-dict view for the metrics snapshot (safe when empty)."""
+        if self.count == 0:
+            return {
+                "count": 0,
+                "total": 0.0,
+                "mean": 0.0,
+                "min": 0.0,
+                "max": 0.0,
+                "p50": 0.0,
+                "p95": 0.0,
+                "p99": 0.0,
+                "p999": 0.0,
+            }
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            **self.percentiles(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram({self.name!r}, count={self.count})"

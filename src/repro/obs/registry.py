@@ -1,0 +1,152 @@
+"""The unified metrics surface: named metrics + one versioned snapshot.
+
+Every component of the read path (service, plan cache, block store, disk
+array, scrubber, fault injector) registers into one
+:class:`MetricsRegistry`; :meth:`MetricsRegistry.snapshot` renders the
+whole system as a single nested dict with namespaced sections::
+
+    {
+        "schema_version": 1,
+        "service": {...},   # request/batch counters + latency breakdown
+        "cache":   {...},   # plan-cache hit/miss/eviction counters
+        "disks":   {...},   # per-disk stats, failures, slowdowns
+        "health":  {...},   # integrity detections/repairs (+ scrub)
+        "faults":  {...},   # injector audit counters (when attached)
+    }
+
+Components contribute two ways:
+
+* **owned metrics** — ``registry.counter("disks.batches_executed")`` /
+  ``registry.histogram("disks.batch_seconds")``: get-or-create by dotted
+  name; the part before the first dot is the namespace.
+* **collectors** — ``registry.register_collector("health",
+  health.snapshot)``: a callable returning a dict, merged under the
+  namespace at snapshot time.  Registration is idempotent per bound
+  method, so a store and a service sharing one registry don't double
+  register.
+
+``schema_version`` is bumped *only* on breaking shape changes; the
+contract tests pin the current value so a bump is always an explicit,
+reviewed act.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .hist import Counter, Histogram
+
+__all__ = ["SCHEMA_VERSION", "MetricsRegistry", "flatten_snapshot"]
+
+#: version of the snapshot schema produced by :meth:`MetricsRegistry.snapshot`
+#: and :meth:`repro.engine.service.ReadService.metrics`.
+SCHEMA_VERSION = 1
+
+
+def _split_name(name: str) -> tuple[str, str]:
+    if "." not in name:
+        raise ValueError(
+            f"metric name {name!r} needs a '<namespace>.<metric>' form"
+        )
+    ns, rest = name.split(".", 1)
+    return ns, rest
+
+
+class MetricsRegistry:
+    """Hosts named counters/histograms and namespace collectors."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._collectors: list[tuple[str, Callable[[], dict]]] = []
+        self._collector_keys: set[tuple] = set()
+
+    # ------------------------------------------------------------------
+    # owned metrics
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter at dotted ``name``."""
+        _split_name(name)
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def histogram(self, name: str, **kwargs: Any) -> Histogram:
+        """Get or create the histogram at dotted ``name`` (``kwargs`` are
+        only applied on creation)."""
+        _split_name(name)
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, **kwargs)
+        return h
+
+    # ------------------------------------------------------------------
+    # collectors
+    # ------------------------------------------------------------------
+    def register_collector(
+        self, namespace: str, fn: Callable[[], dict]
+    ) -> None:
+        """Merge ``fn()`` under ``namespace`` at every snapshot.
+
+        Idempotent: registering the same bound method (or function) under
+        the same namespace twice keeps a single entry.
+        """
+        if not namespace or "." in namespace:
+            raise ValueError(f"invalid namespace {namespace!r}")
+        key = (
+            namespace,
+            id(getattr(fn, "__self__", None)),
+            getattr(fn, "__func__", fn),
+        )
+        if key in self._collector_keys:
+            return
+        self._collector_keys.add(key)
+        self._collectors.append((namespace, fn))
+
+    # ------------------------------------------------------------------
+    # snapshot
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        """Dotted names of every owned counter and histogram, sorted."""
+        return sorted([*self._counters, *self._histograms])
+
+    def snapshot(self) -> dict[str, Any]:
+        """Render the versioned, namespaced snapshot.
+
+        Collectors run first (in registration order), then owned counters
+        and histograms overlay their values, so an owned metric wins a
+        name clash deterministically.
+        """
+        out: dict[str, Any] = {"schema_version": SCHEMA_VERSION}
+        for namespace, fn in self._collectors:
+            out.setdefault(namespace, {}).update(fn())
+        for name, c in self._counters.items():
+            ns, rest = _split_name(name)
+            out.setdefault(ns, {})[rest] = c.value
+        for name, h in self._histograms.items():
+            ns, rest = _split_name(name)
+            out.setdefault(ns, {})[rest] = h.summary()
+        return out
+
+
+def flatten_snapshot(
+    snapshot: dict[str, Any], *, sep: str = "."
+) -> dict[str, Any]:
+    """Flatten a nested snapshot into dotted scalar keys.
+
+    The one-release compatibility helper for consumers of the old flat
+    ``metrics()`` dicts, and the basis of the Prometheus exposition.
+    Lists are kept as values; nested dicts recurse.
+    """
+    flat: dict[str, Any] = {}
+
+    def walk(prefix: str, node: Any) -> None:
+        if isinstance(node, dict):
+            for k, v in node.items():
+                walk(f"{prefix}{sep}{k}" if prefix else str(k), v)
+        else:
+            flat[prefix] = node
+
+    walk("", snapshot)
+    return flat

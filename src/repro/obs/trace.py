@@ -1,0 +1,270 @@
+"""Per-request span tracing for the read path.
+
+A :class:`Tracer` records *spans* — named, timed stages of a request —
+so a run can answer "where does degraded-read time go?" instead of only
+reporting end-of-run aggregates.  The read path emits the stages
+
+``plan``, ``cache_lookup``, ``queue_wait``, ``disk_io``, ``decode``,
+``heal``, ``retry``
+
+plus one ``request``-kind parent span per submitted range.  Spans carry a
+``clock`` marker: ``"wall"`` spans are measured on the tracer's monotonic
+clock (CPU time actually spent in planning, fetching, decoding), while
+``"sim"`` spans carry durations taken from the simulated disk model
+(queue wait at the modelled queue depth).  The two must never be summed
+together; :meth:`Tracer.breakdown` keeps them apart.
+
+Disabled tracing is free by construction: every instrumentation site does
+one ``enabled`` check and receives a shared no-op context manager, so the
+payload and accounting planes are bit-identical with tracing on or off —
+``tests/obs/test_trace_equivalence.py`` pins that.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["STAGES", "Span", "Tracer", "NULL_TRACER"]
+
+#: the read-path stage vocabulary, in pipeline order.
+STAGES = (
+    "plan",
+    "cache_lookup",
+    "queue_wait",
+    "disk_io",
+    "decode",
+    "heal",
+    "retry",
+)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished span.
+
+    ``trace_id`` groups the stages of one request (None for spans emitted
+    outside any request — e.g. scrub I/O).  ``parent``/``parent_kind``
+    identify the enclosing span so nested work (a heal's internal disk
+    fetches) can be excluded from top-level breakdowns.
+    """
+
+    name: str
+    kind: str  # "request" | "stage"
+    start_s: float
+    duration_s: float
+    clock: str = "wall"  # "wall" | "sim"
+    trace_id: int | None = None
+    parent: str | None = None
+    parent_kind: str | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready record (the JSONL trace dump format)."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "clock": self.clock,
+        }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        if self.parent is not None:
+            out["parent"] = self.parent
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+
+class _NullSpan:
+    """Shared no-op context manager handed out when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        """No-op attribute setter (mirrors :meth:`_ActiveSpan.set`)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """A span being timed; append to the tracer on exit."""
+
+    __slots__ = ("_tracer", "name", "kind", "attrs", "_t0", "trace_id",
+                 "parent", "parent_kind")
+
+    def __init__(self, tracer: "Tracer", name: str, kind: str,
+                 attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.kind = kind
+        self.attrs = attrs
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-span (e.g. simulated service
+        time, access counts)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_ActiveSpan":
+        tr = self._tracer
+        stack = tr._stack
+        if stack:
+            top = stack[-1]
+            self.parent, self.parent_kind = top.name, top.kind
+            self.trace_id = top.trace_id
+        else:
+            self.parent = self.parent_kind = None
+            self.trace_id = None
+        if self.kind == "request":
+            tr._next_trace += 1
+            self.trace_id = tr._next_trace
+        stack.append(self)
+        self._t0 = tr._clock()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        tr = self._tracer
+        t1 = tr._clock()
+        tr._stack.pop()
+        tr.spans.append(
+            Span(
+                name=self.name,
+                kind=self.kind,
+                start_s=self._t0,
+                duration_s=t1 - self._t0,
+                clock="wall",
+                trace_id=self.trace_id,
+                parent=self.parent,
+                parent_kind=self.parent_kind,
+                attrs=self.attrs,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Records request/stage spans; free when disabled.
+
+    Parameters
+    ----------
+    enabled:
+        When False every instrumentation site gets a shared no-op context
+        manager and nothing is recorded.
+    clock:
+        Monotonic time source for wall spans; injectable for deterministic
+        tests.  Defaults to :func:`time.perf_counter`.
+    """
+
+    def __init__(
+        self, enabled: bool = True, *, clock: Callable[[], float] | None = None
+    ) -> None:
+        self.enabled = enabled
+        self._clock = clock if clock is not None else time.perf_counter
+        self.spans: list[Span] = []
+        self._stack: list[_ActiveSpan] = []
+        self._next_trace = 0
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def request(self, name: str = "read", **attrs: Any):
+        """Open a request-kind parent span (context manager)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, name, "request", attrs)
+
+    def span(self, name: str, **attrs: Any):
+        """Open a stage span (context manager) under the current request."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, name, "stage", attrs)
+
+    def record(
+        self, name: str, duration_s: float, *, clock: str = "sim", **attrs: Any
+    ) -> None:
+        """Append a span with an externally supplied duration.
+
+        This is how simulated-clock stages (``queue_wait``) enter the
+        trace: the closed-loop model computed the duration; there is no
+        wall interval to measure.
+        """
+        if not self.enabled:
+            return
+        parent = parent_kind = None
+        trace_id = None
+        if self._stack:
+            top = self._stack[-1]
+            parent, parent_kind, trace_id = top.name, top.kind, top.trace_id
+        self.spans.append(
+            Span(
+                name=name,
+                kind="stage",
+                start_s=self._clock(),
+                duration_s=float(duration_s),
+                clock=clock,
+                trace_id=trace_id,
+                parent=parent,
+                parent_kind=parent_kind,
+                attrs=attrs,
+            )
+        )
+
+    def point(self, name: str, **attrs: Any) -> None:
+        """Append a zero-duration wall event (e.g. a retry marker)."""
+        self.record(name, 0.0, clock="wall", **attrs)
+
+    def reset(self) -> None:
+        """Drop recorded spans (the trace-id counter keeps running)."""
+        self.spans.clear()
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def breakdown(self, *, top_level_only: bool = True) -> dict[str, dict]:
+        """Per-stage latency summaries from the recorded spans.
+
+        Returns ``{stage: {count, total, mean, min, max, p50, p95, p99,
+        p999, clock}}``.  With ``top_level_only`` (default) spans nested
+        inside another *stage* (a heal's internal disk fetches) are
+        excluded, so the wall stages of one request sum to at most the
+        request's own duration.
+        """
+        from .hist import Histogram  # local: keep import-time cost off the hot path
+
+        hists: dict[str, Histogram] = {}
+        clocks: dict[str, str] = {}
+        for s in self.spans:
+            if s.kind != "stage":
+                continue
+            if top_level_only and s.parent_kind == "stage":
+                continue
+            hists.setdefault(s.name, Histogram(s.name)).observe(s.duration_s)
+            clocks.setdefault(s.name, s.clock)
+        return {
+            name: {**h.summary(), "clock": clocks[name]}
+            for name, h in sorted(hists.items())
+        }
+
+    def requests_total_s(self) -> float:
+        """Summed wall duration of all request-kind spans."""
+        return sum(s.duration_s for s in self.spans if s.kind == "request")
+
+    def request_count(self) -> int:
+        """Number of finished request-kind spans."""
+        return sum(1 for s in self.spans if s.kind == "request")
+
+
+#: the shared disabled tracer — safe to use as a default everywhere.
+NULL_TRACER = Tracer(enabled=False)

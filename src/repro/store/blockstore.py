@@ -47,6 +47,7 @@ from ..engine.planner import plan_normal_read
 from ..engine.requests import AccessPlan, ReadRequest
 from ..layout import Placement, make_placement
 from ..layout.base import Address
+from ..obs import NULL_TRACER, MetricsRegistry, Tracer
 from .verify import crc32c
 
 __all__ = ["BlockStore", "HealthCounters"]
@@ -94,6 +95,14 @@ class BlockStore:
     disk_model:
         Service model for the backing array (timing statistics only; the
         data plane is exact regardless).
+    tracer:
+        Span tracer for the read path (``disk_io`` / ``decode`` / ``heal``
+        stages).  Defaults to the shared disabled tracer: zero overhead,
+        identical behaviour.
+    registry:
+        Metrics registry to publish ``health`` and ``disks`` collectors
+        into (and the array's batch-service histogram).  ``None`` (the
+        default) skips registration entirely.
     """
 
     def __init__(
@@ -102,6 +111,9 @@ class BlockStore:
         form: str | Placement = "ec-frm",
         element_size: int = 1024,
         disk_model: DiskModel = SAVVIO_10K3,
+        *,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if element_size <= 0:
             raise ValueError(f"element size must be > 0, got {element_size}")
@@ -117,6 +129,12 @@ class BlockStore:
         #: write-time CRC32C per physical address; verified on every read.
         self._checksums: dict[tuple[int, int], int] = {}
         self.health = HealthCounters()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.registry = registry
+        if registry is not None:
+            registry.register_collector("health", self.health.snapshot)
+            registry.register_collector("disks", self.array.stats_snapshot)
+            self.array.bind_registry(registry)
         #: physical (start, length) of every flush-inserted zero-pad run,
         #: ascending and disjoint; the logical<->physical translation walks
         #: this list.
@@ -300,7 +318,12 @@ class BlockStore:
         plan is fine — byte ranges with the same element request share
         plans).
         """
-        timing = self.array.execute_batch(plan.per_disk_batches(), fetch=True)
+        with self.tracer.span("disk_io") as sp:
+            timing = self.array.execute_batch(plan.per_disk_batches(), fetch=True)
+            sp.set(
+                sim_service_s=timing.completion_time_s,
+                accesses=timing.total_accesses,
+            )
         if timing.completion_time_s <= 0.0:
             raise ValueError("plan has no accesses; cannot compute a speed")
         outcome = ReadOutcome(
@@ -481,7 +504,9 @@ class BlockStore:
                 continue
             batch.setdefault(addr.disk, []).append((addr.slot, self.element_size))
             addrs.append((e, addr))
-        timing = self.array.execute_batch(batch, fetch=True)
+        with self.tracer.span("disk_io", row=row) as sp:
+            timing = self.array.execute_batch(batch, fetch=True)
+            sp.set(sim_service_s=timing.completion_time_s)
         payloads = timing.payloads or {}
         for e, addr in addrs:
             buf = payloads.get((addr.disk, addr.slot))
@@ -510,42 +535,46 @@ class BlockStore:
         Raises :class:`DecodeFailure` when the combined erasure pattern
         exceeds the code's tolerance.
         """
-        need = [e for e in range(self.code.n) if e not in good and e not in bad]
-        if need:
-            more_good, more_bad = self._fetch_elements(row, need)
-            good.update(more_good)
-            bad.update(more_bad)
-        # Parity on a crashed disk is neither requested nor healable; do
-        # not make the decode harder by asking for it.
-        lost = sorted(
-            e
-            for e, reason in bad.items()
-            if e < self.code.k or reason in ("corrupt", "latent", "rebuild")
-        )
-        available = {
-            e: np.frombuffer(buf, dtype=np.uint8) for e, buf in good.items()
-        }
-        recovered = self.code.decode(available, lost, self.element_size)
-        failed = set(self.array.failed_disks)
-        out: dict[int, bytes] = {}
-        for e in lost:
-            payload = recovered[e]
-            out[e] = payload.tobytes()
-            reason = bad[e]
-            addr = self.placement.locate_row_element(row, e)
-            if addr.disk in failed:
-                continue
-            if reason == "corrupt":
-                self._write_element(addr, payload)
-                self.health.corruptions_repaired += 1
-                self.health.self_heal_writes += 1
-            elif reason == "latent":
-                self._write_element(addr, payload)
-                self.health.latent_errors_repaired += 1
-                self.health.self_heal_writes += 1
-            elif reason == "rebuild":
-                self._write_element(addr, payload)
-        return out
+        with self.tracer.span("heal", row=row) as sp:
+            need = [
+                e for e in range(self.code.n) if e not in good and e not in bad
+            ]
+            if need:
+                more_good, more_bad = self._fetch_elements(row, need)
+                good.update(more_good)
+                bad.update(more_bad)
+            # Parity on a crashed disk is neither requested nor healable; do
+            # not make the decode harder by asking for it.
+            lost = sorted(
+                e
+                for e, reason in bad.items()
+                if e < self.code.k or reason in ("corrupt", "latent", "rebuild")
+            )
+            sp.set(lost=lost)
+            available = {
+                e: np.frombuffer(buf, dtype=np.uint8) for e, buf in good.items()
+            }
+            recovered = self.code.decode(available, lost, self.element_size)
+            failed = set(self.array.failed_disks)
+            out: dict[int, bytes] = {}
+            for e in lost:
+                payload = recovered[e]
+                out[e] = payload.tobytes()
+                reason = bad[e]
+                addr = self.placement.locate_row_element(row, e)
+                if addr.disk in failed:
+                    continue
+                if reason == "corrupt":
+                    self._write_element(addr, payload)
+                    self.health.corruptions_repaired += 1
+                    self.health.self_heal_writes += 1
+                elif reason == "latent":
+                    self._write_element(addr, payload)
+                    self.health.latent_errors_repaired += 1
+                    self.health.self_heal_writes += 1
+                elif reason == "rebuild":
+                    self._write_element(addr, payload)
+            return out
 
     def _materialize_plan(
         self, plan: AccessPlan, payloads: dict[tuple[int, int], bytes]
@@ -587,12 +616,16 @@ class BlockStore:
             if set(bad.values()) == {"planned"}:
                 # fault-free degraded decode from the planned repair set:
                 # exactly the fetched elements, no extra I/O.
-                available = {
-                    e: np.frombuffer(buf, dtype=np.uint8) for e, buf in good.items()
-                }
-                lost = sorted(bad)
-                recovered = self.code.decode(available, lost, self.element_size)
-                resolved[row] = {e: recovered[e].tobytes() for e in lost}
+                with self.tracer.span("decode", row=row, lost=sorted(bad)):
+                    available = {
+                        e: np.frombuffer(buf, dtype=np.uint8)
+                        for e, buf in good.items()
+                    }
+                    lost = sorted(bad)
+                    recovered = self.code.decode(
+                        available, lost, self.element_size
+                    )
+                    resolved[row] = {e: recovered[e].tobytes() for e in lost}
             else:
                 resolved[row] = self._repair_row(row, dict(good), bad)
 

@@ -51,10 +51,46 @@ class ScrubReport:
 
 
 class Scrubber:
-    """Integrity scrubber over a :class:`BlockStore`."""
+    """Integrity scrubber over a :class:`BlockStore`.
 
-    def __init__(self, store: BlockStore) -> None:
+    Parameters
+    ----------
+    store:
+        Target store.
+    registry:
+        Optional :class:`repro.obs.MetricsRegistry`.  When given, the
+        scrubber publishes cumulative sweep counters under the ``health``
+        namespace (as a nested ``scrub`` dict, alongside the store's
+        :class:`HealthCounters`).
+    """
+
+    def __init__(self, store: BlockStore, *, registry=None) -> None:
         self.store = store
+        self.sweeps = 0
+        self.rows_checked = 0
+        self.rows_flagged = 0
+        self.repairs_made = 0
+        if registry is not None:
+            self.register_metrics(registry)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def register_metrics(self, registry) -> "Scrubber":
+        """Publish scrub counters into the ``health`` namespace."""
+        registry.register_collector("health", self.stats_snapshot)
+        return self
+
+    def stats_snapshot(self) -> dict:
+        """Cumulative scrub counters, nested for the health namespace."""
+        return {
+            "scrub": {
+                "sweeps": self.sweeps,
+                "rows_checked": self.rows_checked,
+                "rows_flagged": self.rows_flagged,
+                "repairs_made": self.repairs_made,
+            }
+        }
 
     # ------------------------------------------------------------------
     def _read_row(self, row: int) -> np.ndarray:
@@ -113,6 +149,9 @@ class Scrubber:
                 flagged = not code.verify_codeword(elements)
             if flagged:
                 report.corrupt_rows.append(row)
+        self.sweeps += 1
+        self.rows_checked += report.rows_checked
+        self.rows_flagged += len(report.corrupt_rows)
         return report
 
     def locate(self, row: int) -> int | None:
@@ -167,6 +206,7 @@ class Scrubber:
                 self.store._repair_row(row, good, bad)
             except DecodeFailure as exc:
                 raise ValueError(f"row {row}: cannot repair: {exc}") from exc
+            self.repairs_made += len(bad)
             return sorted(bad)
         culprit = self.locate(row)
         if culprit is None:
@@ -177,6 +217,7 @@ class Scrubber:
         rebuilt = code.decode(available, [culprit], self.store.element_size)[culprit]
         addr = self.store.placement.locate_row_element(row, culprit)
         self.store._write_element(addr, rebuilt)
+        self.repairs_made += 1
         return [culprit]
 
     def repair(self, row: int) -> int:

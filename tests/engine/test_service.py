@@ -123,7 +123,28 @@ class TestCountersAndMetrics:
         svc = ReadService(store)
         svc.submit([(0, 100)], queue_depth=1)
         m = svc.metrics()
-        assert set(m) == {
+        assert {"schema_version", "service", "cache", "health", "disks"} <= set(m)
+        assert set(m["service"]) == {
+            "requests",
+            "batches",
+            "bytes_served",
+            "max_queue_depth",
+            "retries",
+            "degraded_serves",
+            "disk_load",
+            "latency",
+        }
+        assert m["service"]["retries"] == 0
+        assert m["service"]["degraded_serves"] == 0
+        assert m["cache"]["plans_built"] == 1
+
+    def test_metrics_flat_compat(self, loaded):
+        """flat=True keeps the pre-1.1 shape for one release."""
+        store, _ = loaded
+        svc = ReadService(store)
+        svc.submit([(0, 100)], queue_depth=1)
+        flat = svc.metrics(flat=True)
+        assert set(flat) == {
             "requests",
             "batches",
             "bytes_served",
@@ -134,9 +155,11 @@ class TestCountersAndMetrics:
             "cache",
             "health",
         }
-        assert m["retries"] == 0
-        assert m["degraded_serves"] == 0
-        assert m["cache"]["plans_built"] == 1
+        m = svc.metrics()
+        for key in ("requests", "batches", "bytes_served", "retries"):
+            assert flat[key] == m["service"][key]
+        assert flat["cache"] == m["cache"]
+        assert flat["health"] == m["health"]
 
     def test_service_report_renders(self, loaded):
         store, _ = loaded

@@ -128,4 +128,5 @@ class TestRetryAccounting:
         result = svc.submit([(0, 100)], queue_depth=1)
         assert result.retries == 0
         m = svc.metrics()
-        assert m["retries"] == 0 and m["degraded_serves"] == 0
+        svc_m = m["service"]
+        assert svc_m["retries"] == 0 and svc_m["degraded_serves"] == 0

@@ -1,0 +1,95 @@
+"""Exporters: JSONL trace dump, Prometheus exposition, breakdown table."""
+
+import json
+
+from repro.obs import (
+    Tracer,
+    latency_breakdown,
+    render_latency_breakdown,
+    spans_to_jsonl,
+    to_prometheus,
+    write_trace_jsonl,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+def _traced():
+    t = Tracer(clock=FakeClock())
+    with t.request("read", offset=0):
+        with t.span("plan"):
+            pass
+        t.record("queue_wait", 0.5)
+    return t
+
+
+class TestJsonl:
+    def test_round_trips(self):
+        t = _traced()
+        text = spans_to_jsonl(t.spans)
+        rows = [json.loads(line) for line in text.splitlines()]
+        assert len(rows) == 3
+        names = {r["name"] for r in rows}
+        assert names == {"read", "plan", "queue_wait"}
+        req = next(r for r in rows if r["name"] == "read")
+        assert req["kind"] == "request" and req["trace_id"] == 1
+
+    def test_empty_tracer_empty_string(self):
+        assert spans_to_jsonl([]) == ""
+
+    def test_write_creates_parents(self, tmp_path):
+        t = _traced()
+        path = write_trace_jsonl(t, tmp_path / "deep" / "trace.jsonl")
+        assert path.exists()
+        assert len(path.read_text().splitlines()) == 3
+
+
+class TestPrometheus:
+    def test_numeric_leaves_only(self):
+        text = to_prometheus(
+            {
+                "schema_version": 1,
+                "service": {"retries": 2, "name": "x", "ids": [1, 2]},
+                "disks": {"failed": True},
+            }
+        )
+        assert "ecfrm_service_retries 2" in text
+        assert "ecfrm_disks_failed 1" in text  # bool -> 0/1
+        assert "name" not in text and "ids" not in text
+        assert text.count("# TYPE") == 3  # schema_version is numeric too
+
+    def test_name_sanitized(self):
+        text = to_prometheus({"disks": {"per-disk 0": 1}}, prefix="p")
+        assert "p_disks_per_disk_0 1" in text
+
+
+class TestBreakdownDoc:
+    def test_consistency_block(self):
+        t = _traced()
+        doc = latency_breakdown(t)
+        assert doc["schema_version"] == 1
+        assert doc["requests"]["count"] == 1
+        c = doc["consistency"]
+        # wall stages nest inside requests: sum <= request total
+        assert c["stage_wall_total_s"] <= c["request_wall_total_s"]
+        assert 0.0 < c["coverage"] <= 1.0
+        # sim-clock queue_wait is excluded from the wall sum
+        assert c["stage_wall_total_s"] < 0.5 + doc["stages"]["plan"]["total"]
+
+    def test_render_table(self):
+        doc = latency_breakdown(_traced())
+        table = render_latency_breakdown(doc["stages"])
+        lines = table.splitlines()
+        assert lines[0].startswith("stage")
+        assert any(line.startswith("plan") for line in lines)
+        assert any(" sim " in line for line in lines)
+
+    def test_render_empty(self):
+        assert render_latency_breakdown({}) == "(no spans recorded)"

@@ -1,0 +1,107 @@
+"""Histogram and counter semantics, including quantile accuracy."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.harness import summarize
+from repro.obs import Counter, Histogram
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("service.retries")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x.y").inc(-1)
+
+
+class TestHistogramBasics:
+    def test_empty_summary_is_safe(self):
+        s = Histogram("a.b").summary()
+        assert s["count"] == 0
+        assert s["p99"] == 0.0
+
+    def test_empty_quantile_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("a.b").quantile(0.5)
+
+    def test_quantile_range_checked(self):
+        h = Histogram("a.b")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_rejects_bad_observations(self):
+        h = Histogram("a.b")
+        for bad in (-1.0, math.nan, math.inf):
+            with pytest.raises(ValueError):
+                h.observe(bad)
+
+    def test_zeros_tracked_exactly(self):
+        h = Histogram("a.b")
+        h.observe_many([0.0] * 10)
+        assert h.quantile(0.5) == 0.0
+        assert h.summary()["max"] == 0.0
+
+    def test_single_observation(self):
+        h = Histogram("a.b")
+        h.observe(0.125)
+        for q in (0.0, 0.5, 1.0):
+            assert h.quantile(q) == pytest.approx(0.125, rel=0.05)
+
+    def test_min_max_tracked_exactly_quantiles_bounded(self):
+        h = Histogram("a.b")
+        h.observe_many([0.002, 0.9, 0.04])
+        assert h.min == 0.002 and h.max == 0.9
+        # extreme quantiles are clamped into [min, max] and within the
+        # bucket error bound of the true extremes
+        assert 0.002 <= h.quantile(0.0) <= 0.002 * 1.05
+        assert h.quantile(1.0) == 0.9  # last bucket clamps to exact max
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("a.b", growth=1.0)
+        with pytest.raises(ValueError):
+            Histogram("a.b", min_value=0.0)
+
+
+class TestQuantileAccuracy:
+    """The headline property: bucketed quantiles track exact sample
+    quantiles within the growth-factor error bound (~5% at 1.1)."""
+
+    @pytest.mark.parametrize("dist", ["lognormal", "uniform", "exponential"])
+    def test_vs_exact_summarize(self, dist):
+        rng = np.random.default_rng(7)
+        if dist == "lognormal":
+            xs = rng.lognormal(mean=-6.0, sigma=1.0, size=20_000)
+        elif dist == "uniform":
+            xs = rng.uniform(1e-4, 1e-1, size=20_000)
+        else:
+            xs = rng.exponential(scale=3e-3, size=20_000)
+        h = Histogram("lat.s")
+        h.observe_many(xs)
+        exact = summarize(xs.tolist())
+        assert h.quantile(0.50) == pytest.approx(exact.p50, rel=0.05)
+        assert h.quantile(0.95) == pytest.approx(exact.p95, rel=0.05)
+        assert h.mean == pytest.approx(float(np.mean(xs)), rel=1e-9)
+        assert h.summary()["count"] == 20_000
+
+    def test_monotone_in_q(self):
+        rng = np.random.default_rng(3)
+        h = Histogram("lat.s")
+        h.observe_many(rng.exponential(scale=1e-3, size=5000))
+        qs = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.99, 0.999)]
+        assert qs == sorted(qs)
+
+    def test_tiny_values_below_min_value_still_bounded(self):
+        h = Histogram("lat.s", min_value=1e-6)
+        xs = [3e-9, 5e-8, 2e-7, 4e-6]
+        h.observe_many(xs)
+        assert h.quantile(0.0) == pytest.approx(3e-9, rel=0.05)
+        assert h.quantile(1.0) == pytest.approx(4e-6, rel=0.05)

@@ -1,0 +1,92 @@
+"""MetricsRegistry: named metrics, collectors, snapshot assembly."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, SCHEMA_VERSION, flatten_snapshot
+
+
+class TestOwnedMetrics:
+    def test_counter_get_or_create(self):
+        r = MetricsRegistry()
+        c1 = r.counter("service.retries")
+        c1.inc(3)
+        assert r.counter("service.retries") is c1
+        assert r.snapshot()["service"]["retries"] == 3
+
+    def test_histogram_get_or_create(self):
+        r = MetricsRegistry()
+        h = r.histogram("disks.batch_seconds")
+        h.observe(0.5)
+        assert r.histogram("disks.batch_seconds") is h
+        snap = r.snapshot()["disks"]["batch_seconds"]
+        assert snap["count"] == 1
+
+    def test_undotted_names_rejected(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError):
+            r.counter("retries")
+        with pytest.raises(ValueError):
+            r.histogram("latency")
+
+    def test_names_sorted(self):
+        r = MetricsRegistry()
+        r.counter("b.two")
+        r.histogram("a.one")
+        assert r.names() == ["a.one", "b.two"]
+
+
+class TestCollectors:
+    def test_collector_merged_under_namespace(self):
+        r = MetricsRegistry()
+        r.register_collector("health", lambda: {"repairs": 2})
+        assert r.snapshot()["health"] == {"repairs": 2}
+
+    def test_two_collectors_same_namespace_merge(self):
+        r = MetricsRegistry()
+        r.register_collector("health", lambda: {"repairs": 2})
+        r.register_collector("health", lambda: {"scrub": {"sweeps": 1}})
+        assert r.snapshot()["health"] == {"repairs": 2, "scrub": {"sweeps": 1}}
+
+    def test_bound_method_idempotent(self):
+        class Src:
+            def snap(self):
+                return {"x": 1}
+
+        src = Src()
+        r = MetricsRegistry()
+        r.register_collector("a", src.snap)
+        r.register_collector("a", src.snap)  # same bound method: no-op
+        assert len(r._collectors) == 1
+        other = Src()
+        r.register_collector("a", other.snap)  # different instance: kept
+        assert len(r._collectors) == 2
+
+    def test_invalid_namespace_rejected(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError):
+            r.register_collector("", dict)
+        with pytest.raises(ValueError):
+            r.register_collector("a.b", dict)
+
+    def test_owned_metric_overlays_collector(self):
+        r = MetricsRegistry()
+        r.register_collector("service", lambda: {"retries": 99})
+        r.counter("service.retries").inc(1)
+        assert r.snapshot()["service"]["retries"] == 1
+
+
+class TestSnapshot:
+    def test_schema_version_present(self):
+        assert MetricsRegistry().snapshot() == {"schema_version": SCHEMA_VERSION}
+
+    def test_flatten(self):
+        snap = {
+            "schema_version": 1,
+            "service": {"retries": 2, "latency": {"plan": {"p50": 0.1}}},
+        }
+        flat = flatten_snapshot(snap)
+        assert flat == {
+            "schema_version": 1,
+            "service.retries": 2,
+            "service.latency.plan.p50": 0.1,
+        }

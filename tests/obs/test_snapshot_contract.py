@@ -1,0 +1,159 @@
+"""Contract tests for the versioned snapshot schema.
+
+These pin the *shape* of the namespaced metrics snapshot — the keys each
+namespace guarantees — so any breaking change forces an explicit
+``SCHEMA_VERSION`` bump and a rewrite of this file.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine import ReadService
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultSchedule
+from repro.obs import SCHEMA_VERSION, MetricsRegistry, Tracer
+from repro.store import BlockStore, Scrubber
+
+
+@pytest.fixture()
+def traced_service():
+    svc = repro.open_store("rs-6-3", element_size=64, tracing=True)
+    rng = np.random.default_rng(5)
+    data = rng.integers(
+        0, 256, size=8 * svc.store.row_bytes, dtype=np.uint8
+    ).tobytes()
+    svc.store.append(data)
+    svc.submit([(0, 200), (512, 64)], queue_depth=2)
+    return svc
+
+
+SERVICE_KEYS = {
+    "requests", "batches", "bytes_served", "max_queue_depth",
+    "retries", "degraded_serves", "disk_load", "latency",
+}
+CACHE_KEYS = {
+    "hits", "misses", "plans_built", "evictions", "invalidations", "hit_rate",
+}
+HEALTH_KEYS = {
+    "corruptions_detected", "corruptions_repaired",
+    "latent_errors_detected", "latent_errors_repaired", "self_heal_writes",
+}
+DISKS_KEYS = {
+    "count", "failed", "slowdowns", "per_disk",
+    "total_accesses", "total_bytes_read", "total_bytes_written",
+    "total_busy_time_s", "batch_seconds", "batches_executed",
+}
+HIST_KEYS = {"count", "total", "mean", "min", "max", "p50", "p95", "p99", "p999"}
+
+
+class TestNamespaces:
+    def test_version_and_top_level(self, traced_service):
+        m = traced_service.metrics()
+        assert m["schema_version"] == SCHEMA_VERSION == 1
+        assert {"service", "cache", "health", "disks"} <= set(m)
+
+    def test_service_namespace(self, traced_service):
+        svc = traced_service.metrics()["service"]
+        assert set(svc) == SERVICE_KEYS
+        assert svc["requests"] == 2
+        for stage, summary in svc["latency"].items():
+            assert HIST_KEYS | {"clock"} <= set(summary), stage
+
+    def test_cache_namespace(self, traced_service):
+        assert set(traced_service.metrics()["cache"]) == CACHE_KEYS
+
+    def test_health_namespace(self, traced_service):
+        health = traced_service.metrics()["health"]
+        assert HEALTH_KEYS <= set(health)
+
+    def test_disks_namespace(self, traced_service):
+        disks = traced_service.metrics()["disks"]
+        assert set(disks) == DISKS_KEYS
+        assert disks["count"] == 9  # rs-6-3 -> n = 9 disks
+        assert set(disks["per_disk"]) == {str(i) for i in range(9)}
+        assert HIST_KEYS <= set(disks["batch_seconds"])
+        assert disks["batches_executed"] == disks["batch_seconds"]["count"] > 0
+
+    def test_faults_namespace(self):
+        svc = repro.open_store("rs-6-3", element_size=64)
+        rng = np.random.default_rng(5)
+        svc.store.append(
+            rng.integers(
+                0, 256, size=8 * svc.store.row_bytes, dtype=np.uint8
+            ).tobytes()
+        )
+        schedule = FaultSchedule.scripted(
+            [FaultEvent(at_op=1, kind=FaultKind.CRASH, disk=2)]
+        )
+        injector = (
+            FaultInjector(svc.store.array, schedule)
+            .register_metrics(svc.registry)
+            .attach()
+        )
+        svc.submit([(0, 200)] * 4, queue_depth=2)
+        injector.detach()
+        faults = svc.metrics()["faults"]
+        assert set(faults) == {
+            "op_count", "events_fired", "events_skipped",
+            "events_pending", "fired_by_kind",
+        }
+        assert faults["events_fired"] == 1
+        assert faults["fired_by_kind"] == {"crash": 1}
+
+    def test_scrub_counters_nest_under_health(self):
+        registry = MetricsRegistry()
+        svc = repro.open_store("rs-6-3", element_size=64, registry=registry)
+        rng = np.random.default_rng(5)
+        svc.store.append(
+            rng.integers(
+                0, 256, size=8 * svc.store.row_bytes, dtype=np.uint8
+            ).tobytes()
+        )
+        scrubber = Scrubber(svc.store, registry=registry)
+        scrubber.inject_corruption(1, 2, rng)
+        scrubber.scrub_and_repair()
+        scrub = svc.metrics()["health"]["scrub"]
+        assert scrub["sweeps"] == 1
+        assert scrub["rows_checked"] == 8
+        assert scrub["rows_flagged"] == 1
+        assert scrub["repairs_made"] == 1
+
+    def test_repeated_snapshots_stable(self, traced_service):
+        # snapshotting must be read-only and idempotent: no counter moves,
+        # no collector duplicates
+        first = traced_service.metrics()
+        second = traced_service.metrics()
+        assert first == second
+
+    def test_second_service_overlays_service_namespace(self, traced_service):
+        # a second service over the same store shares the registry; its
+        # (fresh) collectors deterministically overlay the namespace —
+        # newest registration wins, nothing is double-counted or summed
+        svc = traced_service
+        svc2 = ReadService(svc.store)
+        assert svc2.registry is svc.registry
+        m = svc2.metrics()
+        assert m["service"]["requests"] == 0  # svc2's own counters
+        assert m["cache"]["hits"] == 0
+
+    def test_flat_flag_matches_nested(self, traced_service):
+        m = traced_service.metrics()
+        flat = traced_service.metrics(flat=True)
+        assert flat["requests"] == m["service"]["requests"]
+        assert flat["cache"] == m["cache"]
+        assert "schema_version" not in flat
+
+
+class TestTracerDefaultWiring:
+    def test_service_inherits_store_tracer(self):
+        tracer = Tracer(enabled=True)
+        from repro.codes import make_rs
+
+        store = BlockStore(make_rs(4, 2), "ec-frm", element_size=64, tracer=tracer)
+        svc = ReadService(store)
+        assert svc.tracer is tracer
+
+    def test_disabled_by_default(self):
+        svc = repro.open_store("rs-4-2", element_size=64)
+        assert not svc.tracer.enabled
+        assert svc.metrics()["service"]["latency"] == {}

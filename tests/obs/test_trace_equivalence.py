@@ -1,0 +1,114 @@
+"""Tracing must observe, never perturb.
+
+The same workload runs on three geometrically identical stores — no
+observability objects at all, disabled tracer, enabled tracer — and every
+behavioural output (payloads, per-disk DiskStats, plan-cache counters,
+health counters, closed-loop timing) must be identical across the three.
+This is the acceptance gate for "zero overhead when disabled" meaning
+*zero behavioural footprint*, not just low cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_rs
+from repro.engine import ReadService
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultSchedule
+from repro.obs import MetricsRegistry, Tracer
+from repro.store import BlockStore
+
+ELEMENT = 64
+ROWS = 12
+
+
+def _run(tracer, registry, *, schedule=None, fail_disk=None):
+    store = BlockStore(
+        make_rs(6, 3), "ec-frm", element_size=ELEMENT,
+        tracer=tracer, registry=registry,
+    )
+    rng = np.random.default_rng(11)
+    data = rng.integers(0, 256, size=ROWS * store.row_bytes, dtype=np.uint8).tobytes()
+    store.append(data)
+    if fail_disk is not None:
+        store.array.fail_disk(fail_disk)
+    injector = None
+    if schedule is not None:
+        injector = FaultInjector(store.array, schedule, seed=3).attach()
+    svc = ReadService(store)
+    ranges = [(int(rng.integers(0, store.user_bytes - 256)), 256) for _ in range(30)]
+    result = svc.submit(ranges, queue_depth=4)
+    if injector is not None:
+        injector.detach()
+    return store, svc, result, data, ranges
+
+
+def _observable_state(store, svc, result):
+    """Everything the system *does*, as one comparable structure."""
+    return {
+        "payloads": result.payloads,
+        "retries": result.retries,
+        "disk_stats": [
+            (d.stats.accesses, d.stats.bytes_read, d.stats.bytes_written,
+             d.stats.busy_time_s, d.failed)
+            for d in store.array.disks
+        ],
+        "cache": svc.cache.stats.snapshot(),
+        "health": store.health.snapshot(),
+        "makespan": (
+            result.throughput.makespan_s if result.throughput else None
+        ),
+        "latencies": (
+            result.throughput.latencies_s if result.throughput else None
+        ),
+    }
+
+
+SCENARIOS = {
+    "clean": {},
+    "degraded": {"fail_disk": 1},
+    "crash-mid-batch": {
+        "schedule": FaultSchedule.scripted(
+            [FaultEvent(at_op=4, kind=FaultKind.CRASH, disk=2)]
+        )
+    },
+    "latent+rot": {
+        "schedule": FaultSchedule.scripted(
+            [
+                FaultEvent(at_op=2, kind=FaultKind.LATENT_SECTOR, disk=0, slot=3),
+                FaultEvent(at_op=5, kind=FaultKind.BIT_ROT, disk=4, slot=2),
+            ]
+        )
+    },
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_tracing_changes_nothing(scenario):
+    kwargs = SCENARIOS[scenario]
+    base = _observable_state(*_run(None, None, **kwargs)[:3])
+    off = _observable_state(
+        *_run(Tracer(enabled=False), MetricsRegistry(), **kwargs)[:3]
+    )
+    on = _observable_state(
+        *_run(Tracer(enabled=True), MetricsRegistry(), **kwargs)[:3]
+    )
+    assert off == base, f"{scenario}: disabled tracer perturbed behaviour"
+    assert on == base, f"{scenario}: enabled tracer perturbed behaviour"
+
+
+def test_payloads_correct_and_traced():
+    """The enabled run is not just self-consistent: bytes are right and
+    the trace actually covers every request."""
+    tracer = Tracer(enabled=True)
+    store, svc, result, data, ranges = _run(tracer, MetricsRegistry())
+    assert result.payloads == [data[o : o + n] for o, n in ranges]
+    assert tracer.request_count() == len(ranges)
+    stages = tracer.breakdown()
+    assert {"cache_lookup", "disk_io"} <= set(stages)
+    assert stages["disk_io"]["count"] >= len(ranges)
+
+
+def test_null_tracer_emits_no_spans_through_full_stack():
+    tracer = Tracer(enabled=False)
+    _run(tracer, MetricsRegistry())
+    assert len(tracer.spans) == 0

@@ -1,0 +1,129 @@
+"""Tracer span recording, nesting, clocks, and the disabled fast path."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, STAGES, Tracer
+
+
+class FakeClock:
+    """Deterministic monotonic clock: each call advances by `step`."""
+
+    def __init__(self, step=1.0):
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.t += self.step
+        return self.t
+
+
+class TestDisabled:
+    def test_null_tracer_records_nothing(self):
+        t = NULL_TRACER
+        with t.request("read", offset=0) as r:
+            r.set(foo=1)
+            with t.span("plan") as s:
+                s.set(bar=2)
+        t.record("queue_wait", 1.0)
+        t.point("retry")
+        assert len(t.spans) == 0
+
+    def test_disabled_handles_are_shared(self):
+        t = Tracer(enabled=False)
+        assert t.request() is t.span("plan")  # one shared no-op object
+
+
+class TestRecording:
+    def test_stage_inside_request_carries_trace_id(self):
+        t = Tracer(clock=FakeClock())
+        with t.request("read", offset=7):
+            with t.span("plan"):
+                pass
+        with t.request("read"):
+            pass
+        plan, req1, req2 = t.spans
+        assert plan.name == "plan" and plan.kind == "stage"
+        assert plan.parent == "read" and plan.parent_kind == "request"
+        assert plan.trace_id == req1.trace_id == 1
+        assert req2.trace_id == 2
+        assert req1.attrs == {"offset": 7}
+
+    def test_durations_come_from_injected_clock(self):
+        t = Tracer(clock=FakeClock(step=0.5))
+        with t.span("plan"):
+            pass
+        # enter/exit are two clock reads, 0.5 apart
+        assert t.spans[0].duration_s == pytest.approx(0.5)
+
+    def test_nested_stage_marked(self):
+        t = Tracer(clock=FakeClock())
+        with t.span("heal"):
+            with t.span("disk_io"):
+                pass
+        io, heal = t.spans
+        assert io.parent == "heal" and io.parent_kind == "stage"
+        assert heal.parent is None
+
+    def test_record_is_sim_clock_by_default(self):
+        t = Tracer(clock=FakeClock())
+        with t.request("read"):
+            t.record("queue_wait", 0.25)
+        qw = t.spans[0]
+        assert qw.clock == "sim" and qw.duration_s == 0.25
+        assert qw.trace_id == 1
+
+    def test_point_is_zero_duration_wall(self):
+        t = Tracer(clock=FakeClock())
+        t.point("retry", attempt=1)
+        s = t.spans[0]
+        assert s.clock == "wall" and s.duration_s == 0.0
+        assert s.attrs == {"attempt": 1}
+
+    def test_reset_keeps_trace_counter(self):
+        t = Tracer(clock=FakeClock())
+        with t.request("read"):
+            pass
+        t.reset()
+        with t.request("read"):
+            pass
+        assert len(t.spans) == 1
+        assert t.spans[0].trace_id == 2
+
+
+class TestBreakdown:
+    def test_top_level_only_excludes_nested(self):
+        t = Tracer(clock=FakeClock())
+        with t.request("read"):
+            with t.span("heal"):
+                with t.span("disk_io"):
+                    pass
+        top = t.breakdown()
+        assert set(top) == {"heal"}
+        full = t.breakdown(top_level_only=False)
+        assert set(full) == {"heal", "disk_io"}
+
+    def test_clocks_preserved_and_stages_summed(self):
+        t = Tracer(clock=FakeClock())
+        with t.request("read"):
+            with t.span("plan"):
+                pass
+            t.record("queue_wait", 2.0)
+        b = t.breakdown()
+        assert b["plan"]["clock"] == "wall"
+        assert b["queue_wait"]["clock"] == "sim"
+        assert b["queue_wait"]["total"] == 2.0
+
+    def test_request_accounting(self):
+        t = Tracer(clock=FakeClock())
+        for _ in range(3):
+            with t.request("read"):
+                pass
+        assert t.request_count() == 3
+        assert t.requests_total_s() == pytest.approx(3.0)
+
+    def test_stage_vocabulary(self):
+        # the read path's stage names are a stable, documented vocabulary
+        assert STAGES == (
+            "plan", "cache_lookup", "queue_wait", "disk_io",
+            "decode", "heal", "retry",
+        )

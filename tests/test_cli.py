@@ -1,5 +1,7 @@
 """Tests for the repro-ecfrm CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -126,6 +128,40 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "P(max=1)=1.000" in out
         assert "ratio at L=8: 2.000" in out
+
+
+class TestTraceCommand:
+    def test_trace_clean_writes_artifacts(self, tmp_path, capsys):
+        rc = main(["trace", "--requests", "16", "--element-size", "512",
+                   "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "payloads byte-exact: OK" in out
+        assert "stage" in out and "p95 ms" in out
+        trace = tmp_path / "trace_clean.jsonl"
+        spans = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert sum(1 for s in spans if s["kind"] == "request") == 16
+        doc = json.loads((tmp_path / "latency_breakdown.json").read_text())
+        assert doc["schema_version"] == 1
+        assert doc["requests"]["count"] == 16
+        c = doc["consistency"]
+        assert 0.0 < c["stage_wall_total_s"] <= c["request_wall_total_s"]
+
+    def test_trace_fault_scenario(self, tmp_path, capsys):
+        rc = main(["trace", "crash", "--requests", "16",
+                   "--element-size", "512", "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "crash on disk 1" in out
+        assert "payloads byte-exact: OK" in out
+        assert (tmp_path / "trace_crash.jsonl").exists()
+
+    def test_trace_prometheus_flag(self, tmp_path, capsys):
+        rc = main(["trace", "--requests", "8", "--element-size", "512",
+                   "--out", str(tmp_path), "--prometheus"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# TYPE ecfrm_service_requests gauge" in out
 
 
 class TestSweepCommand:

@@ -1,0 +1,66 @@
+"""The ``repro.open_store`` facade and top-level re-exports."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestReExports:
+    def test_public_surface(self):
+        for name in (
+            "open_store", "BlockStore", "ReadService", "PlanCache",
+            "Scrubber", "FaultInjector", "FaultEvent", "FaultKind",
+            "FaultSchedule", "Tracer", "MetricsRegistry", "Histogram",
+            "SCHEMA_VERSION",
+        ):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__
+
+    def test_obs_module_exposed(self):
+        assert repro.obs.NULL_TRACER.enabled is False
+
+
+class TestOpenStore:
+    def test_string_spec_end_to_end(self):
+        svc = repro.open_store("lrc-6-2-2", element_size=128)
+        rng = np.random.default_rng(1)
+        data = rng.integers(
+            0, 256, size=4 * svc.store.row_bytes, dtype=np.uint8
+        ).tobytes()
+        svc.store.append(data)
+        assert svc.read(100, 500) == data[100:600]
+        assert svc.store.placement.name == "ec-frm"
+
+    def test_code_instance_and_layout(self):
+        code = repro.codes.make_rs(4, 2)
+        svc = repro.open_store(code, "standard", element_size=64)
+        assert svc.store.code is code
+        assert svc.store.placement.name == "standard"
+
+    def test_single_registry_threaded_through(self):
+        svc = repro.open_store("rs-4-2", element_size=64)
+        assert svc.registry is svc.store.registry
+        m = svc.metrics()
+        assert {"service", "cache", "health", "disks"} <= set(m)
+
+    def test_tracing_flag_wires_one_tracer(self):
+        svc = repro.open_store("rs-4-2", element_size=64, tracing=True)
+        assert svc.tracer.enabled
+        assert svc.tracer is svc.store.tracer
+
+    def test_explicit_tracer_wins(self):
+        tracer = repro.Tracer(enabled=True)
+        svc = repro.open_store("rs-4-2", element_size=64, tracer=tracer)
+        assert svc.tracer is tracer is svc.store.tracer
+
+    def test_custom_disk_model(self):
+        from repro.disks.presets import DISK_PRESETS
+
+        model = DISK_PRESETS["savvio-10k3"]
+        svc = repro.open_store("rs-4-2", element_size=64, disk_model=model)
+        assert svc.store.array.model is model
+
+    def test_bad_spec_raises(self):
+        with pytest.raises(ValueError):
+            repro.open_store("nope-1-2")
