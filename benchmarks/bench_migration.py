@@ -1,0 +1,185 @@
+"""Benchmark: foreground read latency while migrating standard -> EC-FRM.
+
+An rs-6-3 volume is converted online while a :class:`ReadService` keeps
+serving a fixed random-read workload between mover steps.  Measures:
+
+* the foreground p99 latency trajectory across migration steps, against
+  clean never-migrating baselines on both the source and target forms —
+  throttled migration must keep foreground p99 within ``P99_BOUND`` of
+  the source-form baseline (the mix of layouts mid-migration sits
+  between the two clean endpoints);
+* a throttle sweep: token budget vs steps taken, stalls and pooled
+  foreground p99;
+* the paper's headline load win: max disk load for L contiguous
+  elements drops from ceil(L/k) (standard) to ceil(L/n) (EC-FRM) once
+  migration completes.
+
+Results are exported to ``results/migration.json``.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once, write_results_json
+
+from repro.codes import make_rs
+from repro.engine import ReadService
+from repro.migrate import MigrationJournal, Migrator
+from repro.store import BlockStore
+
+ELEMENT_SIZE = 4096
+ROWS = 60  # 20 windows of 3 rows for rs-6-3 (n=9, G=3)
+REQUESTS = 100
+SPAN = 4 * ELEMENT_SIZE
+QUEUE_DEPTH = 4
+BUDGETS = (20, 45, 90, 300)  # one rs-6-3 window costs 3*(6+9) = 45 ops
+LOADS = (9, 18, 27, 36)
+P99_BOUND = 1.25  # foreground p99 during throttled migration vs clean source
+
+
+def _build(form: str = "standard") -> tuple[BlockStore, bytes]:
+    code = make_rs(6, 3)
+    store = BlockStore(code, form, element_size=ELEMENT_SIZE)
+    rng = np.random.default_rng(2015)
+    data = rng.integers(0, 256, size=ROWS * store.row_bytes, dtype=np.uint8).tobytes()
+    store.append(data)
+    return store, data
+
+
+def _workload(store: BlockStore) -> list[tuple[int, int]]:
+    rng = np.random.default_rng(42)
+    return [
+        (int(rng.integers(0, store.user_bytes - SPAN)), SPAN)
+        for _ in range(REQUESTS)
+    ]
+
+
+def _p99_ms(latencies) -> float:
+    return float(np.percentile(np.asarray(latencies), 99) * 1e3)
+
+
+def _clean_p99(form: str) -> float:
+    store, data = _build(form)
+    svc = ReadService(store)
+    ranges = _workload(store)
+    result = svc.submit(ranges, queue_depth=QUEUE_DEPTH)
+    assert result.payloads == [data[o : o + n] for o, n in ranges]
+    return _p99_ms(result.throughput.latencies_s)
+
+
+def _migrate_with_foreground(tmp_path, budget):
+    store, data = _build()
+    svc = ReadService(store)
+    ranges = _workload(store)
+    expected = [data[o : o + n] for o, n in ranges]
+    journal = MigrationJournal(tmp_path / f"mig-{budget or 'unthrottled'}.jsonl")
+    mig = Migrator(store, "ec-frm", journal=journal, cache=svc.cache,
+                   budget_per_step=budget)
+    trajectory = []
+    pooled = []
+    step = 0
+    while mig.step():
+        step += 1
+        result = svc.submit(ranges, queue_depth=QUEUE_DEPTH)
+        assert result.payloads == expected, f"step {step}: foreground diverged"
+        lat = result.throughput.latencies_s
+        pooled.extend(lat)
+        trajectory.append({
+            "step": step,
+            "windows_done": mig.stats_snapshot()["windows_done"],
+            "p99_ms": _p99_ms(lat),
+        })
+    final = svc.submit(ranges, queue_depth=QUEUE_DEPTH)
+    assert final.payloads == expected
+    return {
+        "budget": budget,
+        "steps": step + 1,
+        "throttle_stalls": mig.throttle_stalls,
+        "p99_ms": _p99_ms(pooled),
+        "final_p99_ms": _p99_ms(final.throughput.latencies_s),
+        "trajectory": trajectory,
+        "store": store,
+    }
+
+
+def scenario(tmp_path):
+    out: dict = {
+        "config": {
+            "code": "rs-6-3", "rows": ROWS, "element_size": ELEMENT_SIZE,
+            "requests": REQUESTS, "queue_depth": QUEUE_DEPTH,
+            "p99_bound": P99_BOUND,
+        },
+        "clean_p99_ms": {
+            "standard": _clean_p99("standard"),
+            "ec-frm": _clean_p99("ec-frm"),
+        },
+    }
+
+    throttled = _migrate_with_foreground(tmp_path, budget=45)
+    store = throttled.pop("store")
+    out["throttled_migration"] = throttled
+
+    # the paper's headline: the same stream now loads the hottest disk
+    # ceil(L/n) instead of ceil(L/k)
+    source_pl = _build("standard")[0].placement
+    out["max_disk_load"] = [
+        {
+            "L": L,
+            "standard": source_pl.max_disk_load(0, L),
+            "ec-frm": store.placement.max_disk_load(0, L),
+        }
+        for L in LOADS
+    ]
+
+    sweep = []
+    for budget in BUDGETS:
+        if budget == 45:
+            run = {k: v for k, v in throttled.items() if k != "trajectory"}
+        else:
+            run = _migrate_with_foreground(tmp_path, budget)
+            run.pop("store")
+            run.pop("trajectory")
+        sweep.append(run)
+    out["throttle_sweep"] = sweep
+    return out
+
+
+@pytest.mark.benchmark(group="migration")
+def test_migration_foreground_latency(benchmark, tmp_path):
+    results = run_once(benchmark, scenario, tmp_path)
+    print()
+    clean = results["clean_p99_ms"]
+    print(f"clean p99: standard {clean['standard']:.2f} ms, "
+          f"ec-frm {clean['ec-frm']:.2f} ms")
+    mig = results["throttled_migration"]
+    print(f"during throttled migration (budget 45): p99 {mig['p99_ms']:.2f} ms "
+          f"over {mig['steps']} steps ({mig['throttle_stalls']} stalls); "
+          f"post-migration p99 {mig['final_p99_ms']:.2f} ms")
+    print("budget   steps  stalls  p99 ms")
+    for run in results["throttle_sweep"]:
+        print(f"{run['budget']:6d}  {run['steps']:5d}  {run['throttle_stalls']:6d}"
+              f"  {run['p99_ms']:6.2f}")
+    print("L     standard  ec-frm")
+    for row in results["max_disk_load"]:
+        print(f"{row['L']:<5d} {row['standard']:8d}  {row['ec-frm']:6d}")
+    benchmark.extra_info.update(results)
+    write_results_json("migration", results)
+
+    code = make_rs(6, 3)
+    for row in results["max_disk_load"]:
+        assert row["standard"] == -(-row["L"] // code.k)  # ceil(L/k)
+        assert row["ec-frm"] == -(-row["L"] // code.n)  # ceil(L/n)
+        assert row["ec-frm"] < row["standard"]
+
+    # throttled migration must not blow up foreground tail latency
+    assert mig["p99_ms"] <= P99_BOUND * clean["standard"], (
+        f"foreground p99 {mig['p99_ms']:.2f} ms exceeds {P99_BOUND}x the "
+        f"clean source baseline {clean['standard']:.2f} ms"
+    )
+    # and the finished volume serves the ec-frm tail, not the standard one
+    assert mig["final_p99_ms"] <= P99_BOUND * clean["ec-frm"]
+
+    # tighter throttles take more steps and stall more
+    steps = [run["steps"] for run in results["throttle_sweep"]]
+    assert steps == sorted(steps, reverse=True)
+    assert results["throttle_sweep"][0]["throttle_stalls"] > 0

@@ -54,10 +54,16 @@ def write_results_json(name: str, payload: dict) -> Path:
 
     Same output directory the ``sweep`` CLI command uses, so ad-hoc bench
     output and the figure exports live side by side.  Override the
-    directory with ``ECFRM_RESULTS_DIR``.
+    directory with ``ECFRM_RESULTS_DIR``.  Every file is stamped with the
+    obs snapshot ``schema_version`` so result files are self-describing,
+    like the metrics snapshot (an explicit ``schema_version`` in
+    ``payload`` wins).
     """
+    from repro.obs import SCHEMA_VERSION
+
     out_dir = Path(os.environ.get("ECFRM_RESULTS_DIR", "results"))
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    stamped = {"schema_version": SCHEMA_VERSION, **payload}
+    path.write_text(json.dumps(stamped, indent=2, sort_keys=True) + "\n")
     return path

@@ -30,6 +30,7 @@ from . import (
     gf,
     harness,
     layout,
+    migrate,
     obs,
     recovery,
     reliability,
@@ -38,6 +39,7 @@ from . import (
 )
 from .engine import PlanCache, ReadService
 from .faults import FaultEvent, FaultInjector, FaultKind, FaultSchedule
+from .migrate import MigrationJournal, Migrator, plan_migration, resume_migration
 from .obs import SCHEMA_VERSION, Histogram, MetricsRegistry, Tracer
 from .store import BlockStore, Scrubber
 
@@ -124,6 +126,7 @@ __all__ = [
     "gf",
     "harness",
     "layout",
+    "migrate",
     "obs",
     "recovery",
     "reliability",
@@ -138,6 +141,10 @@ __all__ = [
     "FaultEvent",
     "FaultKind",
     "FaultSchedule",
+    "Migrator",
+    "MigrationJournal",
+    "plan_migration",
+    "resume_migration",
     "Tracer",
     "MetricsRegistry",
     "Histogram",

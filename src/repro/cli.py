@@ -12,7 +12,11 @@ Subcommands
 * ``faults``  — fault-injection demo: self-healing reads under a seeded
   fault schedule (crash, outage, latent sector, bit rot, straggler);
 * ``trace``   — traced read run: per-request spans to JSONL, per-stage
-  latency breakdown to JSON, Prometheus-style metrics exposition.
+  latency breakdown to JSON, Prometheus-style metrics exposition;
+* ``migrate`` — online layout migration: ``start`` a throttled
+  standard/rotated → EC-FRM conversion with foreground reads interleaved
+  (optionally crashing mid-way), ``status`` a journal, ``resume`` a
+  crashed run from its write-ahead journal.
 """
 
 from __future__ import annotations
@@ -176,6 +180,58 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the Prometheus-style text exposition",
     )
+
+    p_mig = sub.add_parser(
+        "migrate", help="online layout migration: start / status / resume"
+    )
+    mig_sub = p_mig.add_subparsers(dest="action", required=True)
+    m_start = mig_sub.add_parser(
+        "start", help="migrate a seeded live volume between placement forms"
+    )
+    m_start.add_argument("--code", default="rs-6-3")
+    m_start.add_argument(
+        "--source", default="standard", choices=("standard", "rotated", "ec-frm")
+    )
+    m_start.add_argument(
+        "--target", default="ec-frm", choices=("standard", "rotated", "ec-frm")
+    )
+    m_start.add_argument("--rows", type=int, default=24)
+    m_start.add_argument("--element-size", type=int, default=1024)
+    m_start.add_argument("--seed", type=int, default=2015)
+    m_start.add_argument(
+        "--journal",
+        default="results/migration_journal.jsonl",
+        help="write-ahead journal path (must not exist yet)",
+    )
+    m_start.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="element ops per mover step (default: unthrottled)",
+    )
+    m_start.add_argument("--requests", type=int, default=4,
+                         help="foreground reads interleaved per mover step")
+    m_start.add_argument("--queue-depth", type=int, default=4)
+    m_start.add_argument(
+        "--crash-after",
+        choices=("stage", "mid-write", "commit"),
+        default=None,
+        help="simulate a crash at this WAL point of --crash-at-window",
+    )
+    m_start.add_argument("--crash-at-window", type=int, default=0)
+    m_status = mig_sub.add_parser("status", help="inspect a migration journal")
+    m_status.add_argument(
+        "--journal", default="results/migration_journal.jsonl"
+    )
+    m_resume = mig_sub.add_parser(
+        "resume", help="resume a crashed migration from its journal"
+    )
+    m_resume.add_argument(
+        "--journal", default="results/migration_journal.jsonl"
+    )
+    m_resume.add_argument("--budget", type=int, default=None)
+    m_resume.add_argument("--requests", type=int, default=4)
+    m_resume.add_argument("--queue-depth", type=int, default=4)
 
     p_rel = sub.add_parser(
         "mttdl", help="mean time to data loss from measured rebuild speed"
@@ -569,6 +625,186 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _seeded_migration_store(
+    spec: str, form: str, rows: int, element_size: int, seed: int
+):
+    """Deterministically (re)build the migrate demo's store and payload.
+
+    ``start`` and ``resume`` run in different processes over an in-memory
+    disk array, so the array's contents are re-derived from (spec, form,
+    rows, element size, seed) — all persisted in the journal's plan
+    record — and the committed moves are then re-applied from the WAL.
+    """
+    code = parse_code_spec(spec)
+    bs = BlockStore(code, form, element_size=element_size)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=rows * bs.row_bytes, dtype=np.uint8).tobytes()
+    bs.append(data)
+    return bs, data, rng
+
+
+def _drive_migration(mig, svc, data, requests: int, queue_depth: int, rng) -> bool:
+    """Step the mover to completion with foreground reads interleaved.
+
+    Returns False if any foreground read came back byte-incorrect.
+    """
+    ok = True
+    store = svc.store
+    while mig.step():
+        if requests > 0 and store.user_bytes > store.element_size:
+            span = min(4 * store.element_size, store.user_bytes)
+            ranges = [
+                (int(rng.integers(0, store.user_bytes - span + 1)), span)
+                for _ in range(requests)
+            ]
+            result = svc.submit(ranges, queue_depth=queue_depth)
+            ok &= result.payloads == [data[o : o + n] for o, n in ranges]
+    return ok
+
+
+def _print_migration_summary(mig, store, source_form: str) -> None:
+    from .layout import make_placement
+
+    stats = mig.stats_snapshot()
+    print(
+        f"migrated {stats['windows_done']}/{stats['windows_total']} windows "
+        f"({stats['rows_moved']} rows, {stats['elements_moved']} elements, "
+        f"{stats['bytes_moved']} bytes)"
+    )
+    print(
+        f"throttle stalls {stats['throttle_stalls']}, resumes {stats['resumes']}, "
+        f"cache invalidations {stats['cache_invalidations']}, "
+        f"checkpoints {stats['checkpoints']} "
+        f"(invariant {'OK' if stats['invariant_ok'] else 'VIOLATED'})"
+    )
+    src = make_placement(source_form, store.code)
+    L = 2 * store.code.n
+    print(
+        f"max disk load for L={L} contiguous elements: "
+        f"{src.max_disk_load(0, L)} ({source_form}) -> "
+        f"{store.placement.max_disk_load(0, L)} ({store.placement.name})"
+    )
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    from .engine import ReadService
+    from .migrate import (
+        MigrationCrash,
+        MigrationJournal,
+        Migrator,
+        resume_migration,
+    )
+
+    journal = MigrationJournal(args.journal)
+
+    if args.action == "status":
+        if not journal.exists():
+            print(f"no journal at {journal.path}")
+            return 2
+        state = journal.load()
+        ctx = state.context or {}
+        print(f"journal {journal.path}: {state.records} records")
+        print(
+            f"  plan: {ctx.get('source')} -> {ctx.get('target')}, "
+            f"{ctx.get('rows')} rows in {ctx.get('windows')} windows "
+            f"of {ctx.get('unit_rows')} (code {ctx.get('code')})"
+        )
+        print(
+            f"  committed {len(state.committed)}/{ctx.get('windows')} windows; "
+            f"pending stage: "
+            + (f"window {state.pending.window}" if state.pending else "none")
+        )
+        for cp in state.checkpoints[-3:]:
+            print(
+                f"  checkpoint: {cp.get('windows_done')}/{cp.get('windows_total')} "
+                f"windows, invariant {'OK' if cp.get('invariant_ok') else 'VIOLATED'}"
+            )
+        print(f"  complete: {state.complete}")
+        return 0
+
+    if args.action == "start":
+        if journal.exists():
+            print(
+                f"journal {journal.path} already exists; "
+                "use 'migrate resume' or remove it",
+                file=sys.stderr,
+            )
+            return 2
+        journal.path.parent.mkdir(parents=True, exist_ok=True)
+        bs, data, rng = _seeded_migration_store(
+            args.code, args.source, args.rows, args.element_size, args.seed
+        )
+        svc = ReadService(bs)
+        mig = Migrator(
+            bs,
+            args.target,
+            journal=journal,
+            cache=svc.cache,
+            registry=svc.registry,
+            budget_per_step=args.budget,
+            crash_after=args.crash_after,
+            crash_at_window=args.crash_at_window,
+            context_extra={"spec": args.code, "seed": args.seed},
+        )
+        print(
+            f"migrating {bs.placement.describe()} "
+            f"({mig.plan.num_windows} windows of {mig.plan.unit_rows} rows, "
+            f"budget {args.budget or 'unthrottled'})"
+        )
+        try:
+            ok = _drive_migration(
+                mig, svc, data, args.requests, args.queue_depth, rng
+            )
+        except MigrationCrash as crash:
+            print(f"CRASH: {crash}")
+            print(f"journal preserved at {journal.path}; resume with:")
+            print(f"  repro-ecfrm migrate resume --journal {journal.path}")
+            return 0
+        final_ok = bs.read(0, bs.user_bytes) == data
+        _print_migration_summary(mig, bs, args.source)
+        print(
+            "foreground reads byte-exact during migration: "
+            f"{'OK' if ok else 'FAILED'}; final stream: "
+            f"{'OK' if final_ok else 'FAILED'}"
+        )
+        return 0 if ok and final_ok else 1
+
+    # resume
+    if not journal.exists():
+        print(f"no journal at {journal.path}", file=sys.stderr)
+        return 2
+    state = journal.load()
+    if not state.started:
+        print(f"journal {journal.path} has no plan record", file=sys.stderr)
+        return 2
+    ctx = state.context
+    bs, data, rng = _seeded_migration_store(
+        ctx["spec"], ctx["source"], ctx["rows"], ctx["element_size"], ctx["seed"]
+    )
+    svc = ReadService(bs)
+    mig = resume_migration(
+        bs,
+        journal,
+        cache=svc.cache,
+        registry=svc.registry,
+        budget_per_step=args.budget,
+        restage=True,
+    )
+    print(
+        f"resumed from {journal.path}: {mig.windows_done}/{mig.plan.num_windows} "
+        "windows already committed"
+    )
+    ok = _drive_migration(mig, svc, data, args.requests, args.queue_depth, rng)
+    final_ok = bs.read(0, bs.user_bytes) == data
+    _print_migration_summary(mig, bs, ctx["source"])
+    print(
+        "foreground reads byte-exact during migration: "
+        f"{'OK' if ok else 'FAILED'}; final stream: "
+        f"{'OK' if final_ok else 'FAILED'}"
+    )
+    return 0 if ok and final_ok else 1
+
+
 def _cmd_mttdl(args: argparse.Namespace) -> int:
     from .disks.presets import SAVVIO_10K3
     from .layout import make_placement
@@ -610,6 +846,7 @@ _HANDLERS = {
     "serve": _cmd_serve,
     "faults": _cmd_faults,
     "trace": _cmd_trace,
+    "migrate": _cmd_migrate,
     "mttdl": _cmd_mttdl,
 }
 

@@ -213,6 +213,39 @@ class PlanCache:
             self.stats.invalidations += len(stale)
         return len(stale)
 
+    def invalidate_elements(
+        self,
+        start: int,
+        stop: int,
+        placement: Placement | None = None,
+    ) -> int:
+        """Drop every entry whose request window overlaps ``[start, stop)``.
+
+        The migration mover calls this after committing a window: the
+        window's elements now live at target-layout addresses, and the
+        checksums of the rewritten slots have been updated, so a stale
+        plan would fetch bytes that *pass* verification yet belong to a
+        different element.  Element indices are logical data elements.
+        Pass ``placement`` to restrict the sweep to one placement
+        signature (entries for other stores sharing the cache survive).
+        Returns the number of entries dropped.
+        """
+        if stop <= start:
+            return 0
+        signature = placement_signature(placement) if placement is not None else None
+        with self._lock:
+            stale = []
+            for key in self._entries:
+                if signature is not None and key[0] != signature:
+                    continue
+                req_start, req_count = key[2], key[3]
+                if req_start < stop and start < req_start + req_count:
+                    stale.append(key)
+            for k in stale:
+                del self._entries[k]
+            self.stats.invalidations += len(stale)
+        return len(stale)
+
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
         with self._lock:

@@ -354,11 +354,21 @@ class ReadService:
         :meth:`repro.faults.FaultInjector.register_metrics`).
 
         ``flat=True`` returns the legacy pre-1.1 flat dict (service
-        counters at top level, ``cache``/``health`` nested).  It exists
-        as a one-release migration path and will be removed; new code
-        should read the namespaced schema.
+        counters at top level, ``cache``/``health`` nested).  It is
+        deprecated and will be removed next release; read the namespaced
+        schema instead (``repro.obs.flatten_snapshot`` recovers dotted
+        scalar keys if a flat shape is genuinely needed).
         """
         if flat:
+            import warnings
+
+            warnings.warn(
+                "ReadService.metrics(flat=True) is deprecated; use the "
+                "namespaced snapshot (metrics()) or "
+                "repro.obs.flatten_snapshot()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
             out = {
                 "requests": self.counters.requests,
                 "batches": self.counters.batches,

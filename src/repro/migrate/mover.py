@@ -1,0 +1,526 @@
+"""Throttled, crash-safe background mover: the migration engine proper.
+
+:class:`Migrator` converts a live :class:`~repro.store.blockstore.
+BlockStore` from its current placement to a target placement window by
+window, while the store keeps serving byte-correct reads:
+
+* the store's placement is swapped to a :class:`~repro.migrate.router.
+  MigrationRouter` up front, so every read resolves each element's
+  *current* physical address;
+* each window follows the WAL discipline of :mod:`repro.migrate.journal`
+  — stage (verified data payloads, repairing any faulted elements on the
+  way), apply (re-encode parity, rewrite at target addresses), commit;
+* window applies are atomic with respect to foreground reads: reads
+  interleave *between* :meth:`Migrator.step` calls, never inside one —
+  the same contract a real system gets from blocking reads to an
+  in-flight extent.  After a crash, :func:`resume_migration` replays the
+  pending window from the journal *before* returning the handle, so no
+  read can observe a half-rewritten window (WAL recovery runs at mount
+  time, ahead of I/O);
+* after each commit, plan-cache entries covering the window's elements
+  are dropped (:meth:`~repro.engine.plancache.PlanCache.
+  invalidate_elements`): the rewritten slots carry fresh checksums, so a
+  stale plan would fetch bytes that *pass* verification yet belong to a
+  different element — invalidation is a correctness requirement here,
+  not an optimization;
+* throttling is a token bucket over physical element operations: each
+  step deposits ``budget_per_step`` tokens and a window only runs once
+  the bucket covers its cost (``rows × (k reads + n writes)``), else the
+  step records a throttle stall and yields.  All I/O flows through
+  ``DiskArray.execute_batch`` / ``write_slot``, so migration work is
+  charged to :class:`~repro.disks.disk.DiskStats` and ticks the
+  :class:`~repro.faults.FaultInjector` clock exactly like foreground
+  traffic.
+
+Crash testing hooks: ``crash_after`` raises :class:`MigrationCrash` at a
+chosen WAL stage of ``crash_at_window`` — after staging (no slot
+touched), mid-apply (mixed-layout band), or after the commit record
+(router/cache state lost) — covering all three recovery cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.plancache import PlanCache
+from ..layout import Placement, make_placement
+from ..obs import NULL_TRACER, MetricsRegistry, Tracer
+from .journal import MigrationJournal, PendingStage
+from .plan import MigrationPlan, plan_migration
+from .router import MigrationError, MigrationRouter
+
+__all__ = ["MigrationCrash", "MigrationError", "Migrator", "resume_migration"]
+
+#: valid ``crash_after`` hook points, in WAL order.
+CRASH_POINTS = ("stage", "mid-write", "commit")
+
+
+class MigrationCrash(RuntimeError):
+    """Simulated process crash at a WAL stage (testing hook).
+
+    The in-memory mover is dead after this; the journal and the disks
+    survive.  Recover with :func:`resume_migration`.
+    """
+
+
+class Migrator:
+    """Online layout migration of one store, driven by :meth:`step`.
+
+    Parameters
+    ----------
+    store:
+        The live store to migrate.  Its current placement becomes the
+        migration source; it must not already be mid-migration.
+    target:
+        Target form name (``standard`` / ``rotated`` / ``ec-frm``) or a
+        ready-made placement built for the store's code.
+    journal:
+        Journal (or path) for crash-safe move records.  A fresh start
+        requires a fresh journal; resuming goes through
+        :func:`resume_migration`.
+    cache:
+        Plan cache serving reads over this store (e.g.
+        ``ReadService.cache``); entries covering each migrated window are
+        invalidated at commit.  ``None`` if no cache is in play.
+    registry:
+        Metrics registry; when given, a ``migration`` namespace collector
+        is registered.  Defaults to the store's registry.
+    tracer:
+        Span tracer (``migrate`` spans).  Defaults to the store's tracer.
+    budget_per_step:
+        Token-bucket deposit per :meth:`step`, in physical element
+        operations.  ``None`` means unthrottled (a window per step).
+    checkpoint_every:
+        Commit count between journal checkpoints (the final commit always
+        checkpoints).  Each checkpoint verifies the Lemma-1 invariant
+        under the current routing and records the result.
+    crash_after / crash_at_window:
+        Testing hooks, see module docstring.
+    """
+
+    def __init__(
+        self,
+        store,
+        target: str | Placement = "ec-frm",
+        *,
+        journal: MigrationJournal | str,
+        cache: PlanCache | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        budget_per_step: int | None = None,
+        checkpoint_every: int = 4,
+        crash_after: str | None = None,
+        crash_at_window: int = 0,
+        context_extra: dict | None = None,
+        _resume_committed: set[int] | None = None,
+    ) -> None:
+        if isinstance(store.placement, MigrationRouter):
+            raise MigrationError(
+                "store is already mid-migration; use resume_migration()"
+            )
+        if crash_after is not None and crash_after not in CRASH_POINTS:
+            raise ValueError(
+                f"crash_after must be one of {CRASH_POINTS}, got {crash_after!r}"
+            )
+        if checkpoint_every <= 0:
+            raise ValueError(f"checkpoint_every must be > 0, got {checkpoint_every}")
+        if budget_per_step is not None and budget_per_step <= 0:
+            raise ValueError(
+                f"budget_per_step must be > 0, got {budget_per_step}"
+            )
+        self.store = store
+        self.source = store.placement
+        self.target = (
+            target
+            if isinstance(target, Placement)
+            else make_placement(target, store.code)
+        )
+        if self.target.code is not store.code:
+            raise MigrationError("target placement was built for a different code")
+        self.journal = (
+            journal if isinstance(journal, MigrationJournal) else MigrationJournal(journal)
+        )
+        self.cache = cache
+        self.tracer = tracer if tracer is not None else getattr(store, "tracer", NULL_TRACER)
+        self.registry = registry if registry is not None else getattr(store, "registry", None)
+        self.budget_per_step = budget_per_step
+        self.checkpoint_every = checkpoint_every
+        self.crash_after = crash_after
+        self.crash_at_window = crash_at_window
+        self.context_extra = dict(context_extra or {})
+
+        self.plan: MigrationPlan = plan_migration(
+            self.source, self.target, store.rows_written
+        )
+        self.router = MigrationRouter(
+            self.source,
+            self.target,
+            unit_rows=self.plan.unit_rows,
+            planned_rows=self.plan.rows,
+        )
+
+        # throttle + observability state
+        self._tokens = 0
+        self.rows_moved = 0
+        self.elements_moved = 0
+        self.bytes_moved = 0
+        self.bytes_staged = 0
+        self.throttle_stalls = 0
+        self.resumes = 0
+        self.write_intents = 0
+        self.cache_invalidations = 0
+        self.checkpoints = 0
+        self.invariant_ok = True
+        self._finalized = False
+
+        if _resume_committed is None:
+            if self.journal.exists():
+                raise MigrationError(
+                    f"journal {self.journal.path} already exists; "
+                    "use resume_migration()"
+                )
+            self.journal.write_plan(self._context())
+        else:
+            for w in sorted(_resume_committed):
+                self.router.mark_migrated(w)
+                self.rows_moved += len(self.plan.window_rows(w))
+
+        # route reads through the migration table from here on
+        store.placement = self.router
+        if self.registry is not None:
+            self.registry.register_collector("migration", self.stats_snapshot)
+
+    # ------------------------------------------------------------------
+    # progress
+    # ------------------------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        """True once every planned window is committed."""
+        return self.router.complete
+
+    @property
+    def windows_done(self) -> int:
+        """Committed window count."""
+        return self.router.windows_done
+
+    @property
+    def progress_ratio(self) -> float:
+        """Committed fraction of the schedule."""
+        return self.router.progress_ratio
+
+    def _context(self) -> dict:
+        """Plan context persisted in the journal's first record.
+
+        ``context_extra`` rides along (e.g. the CLI stores its code spec
+        and data seed so ``migrate resume`` can rebuild the store)."""
+        return {
+            "source": self.source.name,
+            "target": self.target.name,
+            "code": self.store.code.describe(),
+            "rows": self.plan.rows,
+            "unit_rows": self.plan.unit_rows,
+            "windows": self.plan.num_windows,
+            "element_size": self.store.element_size,
+            **self.context_extra,
+        }
+
+    def _next_window(self) -> int | None:
+        for w in range(self.plan.num_windows):
+            if w not in self.router.migrated_windows:
+                return w
+        return None
+
+    def _window_cost(self, window: int) -> int:
+        """Physical element operations one window costs: ``k`` reads plus
+        ``n`` writes per row (repairs on faulted rows cost extra, which
+        the throttle deliberately does not pre-charge)."""
+        rows = self.plan.window_rows(window)
+        return len(rows) * (self.store.code.k + self.store.code.n)
+
+    # ------------------------------------------------------------------
+    # the move loop
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run one throttled quantum; returns True while work remains.
+
+        Deposits ``budget_per_step`` tokens; if the bucket covers the next
+        window's cost, migrates it (stage → apply → commit → invalidate),
+        else records a throttle stall.  Foreground reads interleave
+        between steps.
+        """
+        if self.complete:
+            self._finalize()
+            return False
+        window = self._next_window()
+        assert window is not None
+        cost = self._window_cost(window)
+        if self.budget_per_step is not None:
+            self._tokens += self.budget_per_step
+            if self._tokens < cost:
+                self.throttle_stalls += 1
+                return True
+            self._tokens -= cost
+        self._migrate_window(window)
+        if self.complete:
+            self._finalize()
+        return not self.complete
+
+    def run(self) -> int:
+        """Drive :meth:`step` to completion; returns steps taken."""
+        steps = 0
+        while True:
+            steps += 1
+            if not self.step():
+                return steps
+
+    def _migrate_window(self, window: int) -> None:
+        rows = self.plan.window_rows(window)
+        with self.tracer.span("migrate", window=window, rows=len(rows)):
+            # stage: verified data payloads, via the router's source side
+            # (repairing faulted elements through the normal machinery)
+            payloads = [self.store.fetch_row_data(row) for row in rows]
+            self.bytes_staged += sum(len(p) for row in payloads for p in row)
+            self.journal.write_stage(window, list(rows), payloads)
+            self._maybe_crash("stage", window)
+            self._apply_window(window, rows, payloads)
+            self.journal.write_commit(window)
+            self._maybe_crash("commit", window)
+            self._commit_window(window, rows)
+
+    def _apply_window(
+        self,
+        window: int,
+        rows: range | tuple[int, ...],
+        payloads,
+        *,
+        crash_enabled: bool = True,
+    ) -> None:
+        """Rewrite a staged window at its target addresses (idempotent)."""
+        k, n, s = self.store.code.k, self.store.code.n, self.store.element_size
+        crash_row = len(rows) // 2
+        for i, row in enumerate(rows):
+            if (
+                crash_enabled
+                and self.crash_after == "mid-write"
+                and window == self.crash_at_window
+                and i == crash_row
+            ):
+                raise MigrationCrash(
+                    f"simulated crash mid-apply of window {window} (row {row})"
+                )
+            data = np.stack(
+                [np.frombuffer(p, dtype=np.uint8) for p in payloads[i]]
+            )
+            parity = self.store.code.encode(data)
+            for e in range(n):
+                addr = self.target.locate_row_element(row, e)
+                payload = data[e] if e < k else parity[e - k]
+                if not self.store.put_element(addr, payload):
+                    self.write_intents += 1
+                self.elements_moved += 1
+                self.bytes_moved += s
+            self.rows_moved += 1
+
+    def _commit_window(self, window: int, rows) -> None:
+        """Flip routing to the target side and drop stale cached plans."""
+        self.router.mark_migrated(window)
+        if self.cache is not None:
+            k = self.store.code.k
+            dropped = self.cache.invalidate_elements(
+                rows[0] * k, (rows[-1] + 1) * k, placement=self.router
+            )
+            self.cache_invalidations += dropped
+        if (
+            self.windows_done % self.checkpoint_every == 0
+            or self.complete
+        ):
+            self.checkpoint()
+
+    def _maybe_crash(self, point: str, window: int) -> None:
+        if self.crash_after == point and window == self.crash_at_window:
+            raise MigrationCrash(
+                f"simulated crash after {point} of window {window}"
+            )
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def _replay_pending(self, pending: PendingStage) -> None:
+        """Re-apply a staged-but-uncommitted window from the journal.
+
+        Idempotent by construction: every write lands the same payload at
+        the same address, refreshing content and checksum, whether the
+        crash happened before, during, or after the original apply.
+        """
+        rows = pending.rows
+        with self.tracer.span("migrate", window=pending.window, replay=True):
+            self._apply_window(
+                pending.window, rows, pending.payloads, crash_enabled=False
+            )
+            self.journal.write_commit(pending.window)
+            self._commit_window(pending.window, rows)
+
+    # ------------------------------------------------------------------
+    # finalization & observability
+    # ------------------------------------------------------------------
+    def _finalize(self) -> None:
+        """Swap the store onto the native target placement once done.
+
+        The router already routes every row (planned and beyond) to the
+        target, so this is an identity change of addressing — it restores
+        the native placement signature so post-migration stores are
+        indistinguishable from natively created ones (plan-cache entries
+        included).
+        """
+        if self._finalized:
+            return
+        if not self.router.verify_invariant():
+            self.invariant_ok = False
+            raise MigrationError(
+                "post-migration invariant check failed; refusing to finalize"
+            )
+        self.store.placement = self.target
+        self._finalized = True
+
+    def checkpoint(self) -> dict:
+        """Verify the Lemma-1 invariant under current routing and journal
+        the result.  Returns the checkpoint payload."""
+        ok = self.router.verify_invariant()
+        self.invariant_ok = self.invariant_ok and ok
+        payload = {
+            "windows_done": self.windows_done,
+            "windows_total": self.plan.num_windows,
+            "progress": self.progress_ratio,
+            "invariant_ok": ok,
+            "rows_moved": self.rows_moved,
+            "elements_moved": self.elements_moved,
+        }
+        self.journal.write_checkpoint(payload)
+        self.checkpoints += 1
+        if not ok:
+            raise MigrationError(
+                f"Lemma-1 invariant violated at window {self.windows_done}"
+            )
+        return payload
+
+    def stats_snapshot(self) -> dict:
+        """The ``migration.*`` metrics namespace."""
+        routed = self.router.counters
+        return {
+            "windows_done": self.windows_done,
+            "windows_total": self.plan.num_windows,
+            "progress_ratio": self.progress_ratio,
+            "rows_moved": self.rows_moved,
+            "elements_moved": self.elements_moved,
+            "bytes_moved": self.bytes_moved,
+            "bytes_staged": self.bytes_staged,
+            "throttle_stalls": self.throttle_stalls,
+            "resumes": self.resumes,
+            "write_intents": self.write_intents,
+            "cache_invalidations": self.cache_invalidations,
+            "checkpoints": self.checkpoints,
+            "invariant_ok": int(self.invariant_ok),
+            "routed_source": routed.routed_source,
+            "routed_target": routed.routed_target,
+            "bytes_forwarded": routed.routed_target * self.store.element_size,
+            "complete": int(self.complete),
+        }
+
+
+def resume_migration(
+    store,
+    journal: MigrationJournal | str,
+    *,
+    cache: PlanCache | None = None,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    budget_per_step: int | None = None,
+    checkpoint_every: int = 4,
+    crash_after: str | None = None,
+    crash_at_window: int = 0,
+    restage: bool = False,
+) -> Migrator:
+    """Recover a crashed migration from its journal.
+
+    Rebuilds the router from the journal's committed windows, replays the
+    pending staged window (if any) *before* returning — so the store never
+    serves a read from a half-rewritten band — and returns a
+    :class:`Migrator` ready to :meth:`~Migrator.step`/:meth:`~Migrator.
+    run` the remaining windows.
+
+    With ``restage=False`` (in-process recovery: the disks survived the
+    crash), ``store`` must hold the partially migrated content the
+    journal describes.  With ``restage=True`` (cross-process recovery:
+    the CLI rebuilds a pristine *source-form* store from the recorded
+    context), every committed window is re-applied from its staged
+    payloads first, re-deriving the exact partially-migrated disk state
+    the journal promises — possible because the journal is a complete
+    WAL of every move.
+    """
+    journal = (
+        journal if isinstance(journal, MigrationJournal) else MigrationJournal(journal)
+    )
+    state = journal.load()
+    if not state.started:
+        raise MigrationError(f"journal {journal.path} has no plan record")
+    ctx = state.context
+    if isinstance(store.placement, MigrationRouter):
+        # crashed in-process: drop the dead router, recover from source
+        store.placement = store.placement.source
+    if store.placement.name != ctx["source"]:
+        raise MigrationError(
+            f"store placement {store.placement.name!r} does not match the "
+            f"journal's source form {ctx['source']!r}"
+        )
+    if store.element_size != ctx["element_size"]:
+        raise MigrationError(
+            f"store element size {store.element_size} does not match the "
+            f"journal's {ctx['element_size']}"
+        )
+    if store.rows_written < ctx["rows"]:
+        raise MigrationError(
+            f"store has {store.rows_written} rows, journal planned {ctx['rows']}"
+        )
+    mig = Migrator(
+        store,
+        ctx["target"],
+        journal=journal,
+        cache=cache,
+        registry=registry,
+        tracer=tracer,
+        budget_per_step=budget_per_step,
+        checkpoint_every=checkpoint_every,
+        crash_after=crash_after,
+        crash_at_window=crash_at_window,
+        _resume_committed=set() if restage else state.committed,
+    )
+    if mig.plan.rows != ctx["rows"] or mig.plan.unit_rows != ctx["unit_rows"]:
+        raise MigrationError(
+            "rebuilt plan geometry disagrees with the journal's plan record"
+        )
+    mig.resumes += 1
+    if restage:
+        for w in sorted(state.committed):
+            st = state.staged.get(w)
+            if st is None:
+                raise MigrationError(
+                    f"window {w} committed but its stage record is missing; "
+                    "journal is not a complete WAL"
+                )
+            mig._apply_window(w, st.rows, st.payloads, crash_enabled=False)
+            mig.router.mark_migrated(w)
+    if cache is not None:
+        # A cache that survived the "crash" (tests reuse the object; a real
+        # restart would start cold) may hold entries for windows whose
+        # commit record landed but whose invalidation did not.  Sweep the
+        # whole planned range once — resume is rare, correctness is not.
+        mig.cache_invalidations += cache.invalidate_elements(
+            0, mig.plan.rows * store.code.k, placement=mig.router
+        )
+    if state.pending is not None:
+        mig._replay_pending(state.pending)
+    elif not mig.complete:
+        mig.checkpoint()
+    if mig.complete:
+        mig._finalize()
+    return mig

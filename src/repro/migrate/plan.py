@@ -1,0 +1,169 @@
+"""Migration planning: a safe move schedule from one placement to another.
+
+The paper presents EC-FRM as a *layout transformation*: the elements of
+existing candidate-code rows are re-deployed onto the group-preserving
+EC-FRM grid (Eq. (1)-(4)).  This module turns that transformation into an
+executable *move schedule* for a volume that already holds data.
+
+The schedule's atomic unit is a **window** of consecutive candidate rows.
+The window size is the least common multiple of the two placements'
+natural stripe periods (one row for the standard and rotated forms,
+``n/r`` rows — one EC-FRM stripe — for the EC-FRM form), because that is
+the granularity at which both placements address a *closed* slot range:
+every element of the window's rows lives at a slot inside the window's
+own slot band, under the source *and* the target placement.  Closure is
+what makes the in-place move safe — staging a window and rewriting it in
+the target layout can never clobber an element of another window.
+
+:func:`plan_migration` verifies two properties per window before the
+mover is allowed to run (:meth:`MigrationPlan.verify`):
+
+1. **closure** — all source and target addresses of the window's rows
+   fall inside the window's slot band ``[w*U, (w+1)*U)``;
+2. **Lemma 1 at every step** — every candidate row has exactly one
+   element per disk under the source and under the target placement.
+   Because the mover commits whole windows and the router serves each
+   row from exactly one side, *every intermediate migration state* is a
+   per-row mix of two placements that each satisfy the invariant — so
+   fault tolerance never dips mid-migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import lcm
+
+from ..layout.base import Placement
+from ..layout.frm import FRMPlacement
+
+__all__ = ["MigrationPlanError", "MigrationPlan", "natural_unit_rows", "plan_migration"]
+
+
+class MigrationPlanError(ValueError):
+    """The requested placement pair admits no safe in-place move schedule."""
+
+
+def natural_unit_rows(placement: Placement) -> int:
+    """The placement's stripe period in candidate rows.
+
+    The standard and rotated forms place each candidate row inside its own
+    physical row (period 1); the EC-FRM form spreads ``n/r`` candidate
+    rows (groups) over one ``n/r``-row stripe.
+    """
+    if isinstance(placement, FRMPlacement):
+        return placement.geometry.num_groups
+    return 1
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """A verified window-by-window move schedule.
+
+    Attributes
+    ----------
+    source / target:
+        The placements being migrated between (same code, same disks).
+    rows:
+        Candidate rows covered by the schedule (rows appended after
+        planning stay in the source form until a follow-up migration).
+    unit_rows:
+        Rows per migration window (see module docstring).
+    """
+
+    source: Placement
+    target: Placement
+    rows: int
+    unit_rows: int
+
+    @property
+    def num_windows(self) -> int:
+        """Windows in the schedule (the last one may be partial)."""
+        return -(-self.rows // self.unit_rows) if self.rows else 0
+
+    def window_rows(self, window: int) -> range:
+        """Candidate rows of ``window`` (clipped at the schedule's end)."""
+        if not 0 <= window < self.num_windows:
+            raise ValueError(
+                f"window {window} out of range [0, {self.num_windows})"
+            )
+        start = window * self.unit_rows
+        return range(start, min(start + self.unit_rows, self.rows))
+
+    def window_of_row(self, row: int) -> int:
+        """Window that owns candidate ``row``."""
+        if row < 0:
+            raise ValueError(f"row must be >= 0, got {row}")
+        return row // self.unit_rows
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Check closure and the Lemma-1 invariant for every window.
+
+        Raises :class:`MigrationPlanError` with a diagnostic message on
+        the first violation.  Cost is ``O(rows * n)`` per placement.
+        """
+        n = self.source.code.n
+        for w in range(self.num_windows):
+            rows = self.window_rows(w)
+            lo, hi = w * self.unit_rows, (w + 1) * self.unit_rows
+            for side, placement in (("source", self.source), ("target", self.target)):
+                claimed: dict[tuple[int, int], tuple[int, int]] = {}
+                for row in rows:
+                    disks_seen: set[int] = set()
+                    for e in range(n):
+                        addr = placement.locate_row_element(row, e)
+                        if not 0 <= addr.disk < placement.num_disks:
+                            raise MigrationPlanError(
+                                f"{side} row {row} element {e} on bad disk {addr.disk}"
+                            )
+                        if addr.disk in disks_seen:
+                            raise MigrationPlanError(
+                                f"{side} row {row} places two elements on disk "
+                                f"{addr.disk}; Lemma-1 invariant violated"
+                            )
+                        disks_seen.add(addr.disk)
+                        if not lo <= addr.slot < hi:
+                            raise MigrationPlanError(
+                                f"{side} row {row} element {e} at slot {addr.slot} "
+                                f"escapes window {w}'s slot band [{lo}, {hi}); "
+                                "in-place migration would clobber another window"
+                            )
+                        key = (addr.disk, addr.slot)
+                        if key in claimed:
+                            raise MigrationPlanError(
+                                f"{side} address {key} claimed by rows "
+                                f"{claimed[key]} and {(row, e)}"
+                            )
+                        claimed[key] = (row, e)
+
+
+def plan_migration(source: Placement, target: Placement, rows: int) -> MigrationPlan:
+    """Build and verify the move schedule ``source -> target`` over ``rows``.
+
+    Parameters
+    ----------
+    source / target:
+        Placements built for the *same* code instance.
+    rows:
+        Candidate rows currently flushed in the volume.
+
+    Raises
+    ------
+    MigrationPlanError
+        If the placements disagree on code/geometry, or any window fails
+        closure or the Lemma-1 invariant.
+    """
+    if source.code is not target.code:
+        raise MigrationPlanError(
+            "source and target placements must share one code instance"
+        )
+    if source.num_disks != target.num_disks:  # pragma: no cover - same code
+        raise MigrationPlanError("placements disagree on disk count")
+    if rows < 0:
+        raise MigrationPlanError(f"rows must be >= 0, got {rows}")
+    unit = lcm(natural_unit_rows(source), natural_unit_rows(target))
+    plan = MigrationPlan(source=source, target=target, rows=rows, unit_rows=unit)
+    plan.verify()
+    return plan

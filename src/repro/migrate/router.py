@@ -1,0 +1,197 @@
+"""Dual-layout read routing during an online migration.
+
+While a volume migrates, some candidate rows already live at their target
+addresses and the rest still sit in the source layout.
+:class:`MigrationRouter` is a real :class:`~repro.layout.base.Placement`
+that forwards each ``(row, element)`` lookup to the owning side, so every
+consumer of the placement interface — the normal and degraded planners,
+the plan cache, the scrubber, disk rebuild, flush of new rows — resolves
+an element's *current* physical address without knowing a migration is in
+flight.
+
+The forwarding table is per-window (the mover's atomic commit unit, see
+:mod:`repro.migrate.plan`): a window is either fully source- or fully
+target-routed, never split, so every routed row satisfies the Lemma-1
+one-element-per-disk invariant of whichever placement serves it.  Once
+the migration completes, rows beyond the planned range also route to the
+target — the volume then behaves exactly like one created natively in
+the target form, new appends included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..layout.base import Address, Placement
+
+__all__ = ["MigrationError", "RouterCounters", "MigrationRouter"]
+
+
+class MigrationError(RuntimeError):
+    """The migration cannot proceed (invariant violation, bad state)."""
+
+
+@dataclass
+class RouterCounters:
+    """Forwarding statistics: where lookups were routed.
+
+    Lookups happen at plan-build time, so cached plans do not re-count;
+    the numbers measure routing *decisions*, not element fetches.
+    """
+
+    routed_source: int = 0
+    routed_target: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain-dict view for metrics export."""
+        return {
+            "routed_source": self.routed_source,
+            "routed_target": self.routed_target,
+        }
+
+
+class MigrationRouter(Placement):
+    """Placement that forwards lookups between a source and target layout.
+
+    Parameters
+    ----------
+    source / target:
+        Placements built for the same code instance.
+    unit_rows:
+        Rows per migration window (from the :class:`MigrationPlan`).
+    planned_rows:
+        Rows covered by the migration schedule.  Rows beyond it keep the
+        source form until the migration completes, after which they route
+        to the target (fresh windows are empty under either layout, so
+        new appends land natively in the target form).
+    """
+
+    name = "migrating"
+
+    def __init__(
+        self,
+        source: Placement,
+        target: Placement,
+        *,
+        unit_rows: int,
+        planned_rows: int,
+    ) -> None:
+        if source.code is not target.code:
+            raise ValueError("source and target placements must share one code")
+        if unit_rows <= 0:
+            raise ValueError(f"unit_rows must be > 0, got {unit_rows}")
+        if planned_rows < 0:
+            raise ValueError(f"planned_rows must be >= 0, got {planned_rows}")
+        super().__init__(source.code)
+        self.source = source
+        self.target = target
+        self.unit_rows = unit_rows
+        self.planned_rows = planned_rows
+        self.planned_windows = -(-planned_rows // unit_rows) if planned_rows else 0
+        self.counters = RouterCounters()
+        self._migrated: set[int] = set()
+        # The name feeds placement_signature(), the plan-cache key: it must
+        # stay *stable* across the whole migration — entries are instead
+        # dropped per committed window by the mover, through the cache's
+        # element-range invalidation.
+        self.name = f"migrating({source.name}->{target.name})"
+
+    # ------------------------------------------------------------------
+    # forwarding state
+    # ------------------------------------------------------------------
+    @property
+    def migrated_windows(self) -> frozenset[int]:
+        """Windows already committed to the target layout."""
+        return frozenset(self._migrated)
+
+    @property
+    def windows_done(self) -> int:
+        """Committed window count."""
+        return len(self._migrated)
+
+    @property
+    def complete(self) -> bool:
+        """True once every planned window routes to the target."""
+        return len(self._migrated) >= self.planned_windows
+
+    @property
+    def progress_ratio(self) -> float:
+        """Committed fraction of the planned schedule (1.0 when empty)."""
+        if self.planned_windows == 0:
+            return 1.0
+        return len(self._migrated) / self.planned_windows
+
+    def window_of_row(self, row: int) -> int:
+        """Window that owns candidate ``row``."""
+        if row < 0:
+            raise ValueError(f"row must be >= 0, got {row}")
+        return row // self.unit_rows
+
+    def mark_migrated(self, window: int) -> None:
+        """Commit ``window`` to the target side (idempotent)."""
+        if not 0 <= window < self.planned_windows:
+            raise ValueError(
+                f"window {window} out of range [0, {self.planned_windows})"
+            )
+        self._migrated.add(window)
+
+    def routes_to_target(self, row: int) -> bool:
+        """True if candidate ``row`` currently resolves to target addresses.
+
+        Rows beyond the planned range cannot exist while the migration is
+        active: the plan covers every row flushed at start time, and new
+        appends are frozen until completion — an appended row's target
+        addresses could land inside a slot band still holding un-migrated
+        source data.  Such lookups raise :class:`MigrationError`.  After
+        completion they resolve to the target, so fresh appends land
+        natively in the target form.
+        """
+        window = self.window_of_row(row)
+        if window in self._migrated:
+            return True
+        if row >= self.planned_rows:
+            if self.complete:
+                return True
+            raise MigrationError(
+                f"row {row} is beyond the migration plan ({self.planned_rows} "
+                "rows); appends are frozen while a migration is active"
+            )
+        return False
+
+    # ------------------------------------------------------------------
+    # placement interface
+    # ------------------------------------------------------------------
+    def locate_row_element(self, row: int, element: int) -> Address:
+        if self.routes_to_target(row):
+            self.counters.routed_target += 1
+            return self.target.locate_row_element(row, element)
+        self.counters.routed_source += 1
+        return self.source.locate_row_element(row, element)
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def verify_invariant(self, rows: int | None = None) -> bool:
+        """Check Lemma 1 under the *current* routing: every candidate row
+        resolves to exactly one element per disk.
+
+        Called by the mover at every journal checkpoint.  Bypasses the
+        forwarding counters so observability never perturbs its own
+        numbers.  Returns True on success; False identifies a violated
+        row (the mover escalates).
+        """
+        limit = self.planned_rows if rows is None else rows
+        n = self.code.n
+        for row in range(limit):
+            side = self.target if self.routes_to_target(row) else self.source
+            disks = {side.locate_row_element(row, e).disk for e in range(n)}
+            if len(disks) != n:
+                return False
+        return True
+
+    def describe(self) -> str:
+        """One-line description including migration progress."""
+        return (
+            f"{self.name}[{self.code.describe()}] "
+            f"{self.windows_done}/{self.planned_windows} windows migrated"
+        )

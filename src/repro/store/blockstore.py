@@ -39,6 +39,7 @@ import numpy as np
 
 from ..codes.base import DecodeFailure, ErasureCode
 from ..disks.array import DiskArray
+from ..disks.disk import DiskFailedError
 from ..disks.model import DiskModel
 from ..disks.presets import SAVVIO_10K3
 from ..engine.degraded import plan_degraded_read
@@ -172,6 +173,11 @@ class BlockStore:
         """Bytes buffered awaiting a full row."""
         return len(self._pending)
 
+    @property
+    def rows_written(self) -> int:
+        """Candidate rows durably flushed (the migration planning unit)."""
+        return self._elements_written // self.code.k
+
     # ------------------------------------------------------------------
     # write path
     # ------------------------------------------------------------------
@@ -233,6 +239,56 @@ class BlockStore:
         )
         self.array[addr.disk].write_slot(addr.slot, buf)
         self._checksums[(addr.disk, addr.slot)] = crc32c(buf)
+
+    def put_element(self, addr: Address, payload: bytes | np.ndarray) -> bool:
+        """Write one element payload at ``addr``; returns True if written.
+
+        The migration mover's write point.  When ``addr.disk`` is down the
+        write is skipped but the *new* payload's checksum is still
+        recorded — so after the disk comes back (``restore(wipe=False)``)
+        the stale on-disk content fails verification and the regular
+        read-side self-heal machinery rewrites the correct bytes.  Without
+        the recorded intent, the stale element would carry a *matching*
+        stale checksum and read back silently wrong.
+        """
+        buf = (
+            np.asarray(payload, dtype=np.uint8).tobytes()
+            if isinstance(payload, np.ndarray)
+            else bytes(payload)
+        )
+        if self.array[addr.disk].failed:
+            self._checksums[(addr.disk, addr.slot)] = crc32c(buf)
+            return False
+        self._write_element(addr, buf)
+        return True
+
+    def fetch_row_data(self, row: int) -> list[bytes]:
+        """Verified data payloads of candidate ``row``, candidate order.
+
+        Fetches the ``k`` data elements in one accounted batch and repairs
+        any that are lost, corrupt, or unreadable (self-healing live disks
+        as usual).  Parity is *not* returned: a caller that needs it
+        (e.g. the migration mover re-laying a row) re-encodes from data —
+        encoding is deterministic and placement-independent, so the bytes
+        are identical, and this sidesteps parity stranded on a crashed
+        disk, which the repair path deliberately never reconstructs.
+        """
+        if not 0 <= row < self.rows_written:
+            raise ValueError(f"row {row} out of range [0, {self.rows_written})")
+        # A disk can fail at the batch boundary (fault injection fires on
+        # execute_batch entry), after the batch was planned against the
+        # previous failure set.  Re-plan against the refreshed set, like
+        # the read service does; each retry excludes the newly dead disk,
+        # so the loop is bounded by the array width.
+        for _ in range(len(self.array) + 1):
+            try:
+                good, bad = self._fetch_elements(row, range(self.code.k))
+                if bad:
+                    good.update(self._repair_row(row, good, bad))
+                return [good[e] for e in range(self.code.k)]
+            except DiskFailedError:
+                continue
+        raise DiskFailedError(f"row {row}: disks kept failing mid-fetch")
 
     # ------------------------------------------------------------------
     # logical <-> physical offset translation

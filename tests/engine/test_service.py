@@ -139,11 +139,12 @@ class TestCountersAndMetrics:
         assert m["cache"]["plans_built"] == 1
 
     def test_metrics_flat_compat(self, loaded):
-        """flat=True keeps the pre-1.1 shape for one release."""
+        """flat=True keeps the pre-1.1 shape but now warns deprecation."""
         store, _ = loaded
         svc = ReadService(store)
         svc.submit([(0, 100)], queue_depth=1)
-        flat = svc.metrics(flat=True)
+        with pytest.warns(DeprecationWarning, match="flat=True"):
+            flat = svc.metrics(flat=True)
         assert set(flat) == {
             "requests",
             "batches",

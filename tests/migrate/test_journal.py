@@ -1,0 +1,118 @@
+"""Migration journal: WAL round trips, torn tails, recovery states."""
+
+import json
+
+import pytest
+
+from repro.migrate import JournalError, MigrationJournal
+
+
+PAYLOADS = [[b"abc", b"def", b"ghi"], [b"jkl", b"mno", b"pqr"]]
+
+
+def _journal(tmp_path, name="mig.jsonl"):
+    return MigrationJournal(tmp_path / name)
+
+
+class TestRoundTrip:
+    def test_empty_journal_loads_empty_state(self, tmp_path):
+        j = _journal(tmp_path)
+        state = j.load()
+        assert not j.exists()
+        assert not state.started
+        assert state.committed == set()
+        assert state.pending is None
+        assert not state.complete
+
+    def test_full_cycle(self, tmp_path):
+        j = _journal(tmp_path)
+        j.write_plan({"source": "standard", "target": "ec-frm", "windows": 2})
+        j.write_stage(0, [0, 1], PAYLOADS)
+        j.write_commit(0)
+        j.write_checkpoint({"windows_done": 1, "invariant_ok": True})
+        state = j.load()
+        assert state.started
+        assert state.windows_total == 2
+        assert state.committed == {0}
+        assert state.pending is None  # window 0 committed
+        assert state.checkpoints == [{"windows_done": 1, "invariant_ok": True}]
+        assert not state.complete
+        j.write_stage(1, [2, 3], PAYLOADS)
+        j.write_commit(1)
+        assert j.load().complete
+
+    def test_staged_payload_bytes_survive(self, tmp_path):
+        j = _journal(tmp_path)
+        j.write_plan({"windows": 1})
+        blob = bytes(range(256))
+        j.write_stage(0, [0], [[blob, blob[::-1]]])
+        pending = j.load().pending
+        assert pending is not None
+        assert pending.window == 0
+        assert pending.rows == (0,)
+        assert pending.payloads == ((blob, blob[::-1]),)
+
+    def test_staged_records_retained_for_committed_windows(self, tmp_path):
+        """The full WAL supports restage-style (cross-process) recovery."""
+        j = _journal(tmp_path)
+        j.write_plan({"windows": 2})
+        j.write_stage(0, [0, 1], PAYLOADS)
+        j.write_commit(0)
+        state = j.load()
+        assert 0 in state.staged
+        assert state.staged[0].payloads[0][0] == b"abc"
+
+
+class TestCrashTolerance:
+    def test_torn_tail_discarded(self, tmp_path):
+        j = _journal(tmp_path)
+        j.write_plan({"windows": 2})
+        j.write_stage(0, [0, 1], PAYLOADS)
+        with open(j.path, "a") as fh:
+            fh.write('{"type": "commit", "win')  # crash mid-append
+        state = j.load()
+        assert state.committed == set()
+        assert state.pending is not None and state.pending.window == 0
+
+    def test_malformed_interior_line_raises(self, tmp_path):
+        j = _journal(tmp_path)
+        j.write_plan({"windows": 1})
+        with open(j.path, "a") as fh:
+            fh.write("not json at all\n")
+        j.write_commit(0)
+        with pytest.raises(JournalError, match="malformed"):
+            j.load()
+
+    def test_unknown_record_type_raises(self, tmp_path):
+        j = _journal(tmp_path)
+        j._append({"type": "mystery"})
+        with pytest.raises(JournalError, match="unknown record type"):
+            j.load()
+
+    def test_duplicate_plan_raises(self, tmp_path):
+        j = _journal(tmp_path)
+        j.write_plan({"windows": 1})
+        j.write_plan({"windows": 1})
+        with pytest.raises(JournalError, match="duplicate plan"):
+            j.load()
+
+    def test_multiple_uncommitted_stages_raise(self, tmp_path):
+        j = _journal(tmp_path)
+        j.write_plan({"windows": 2})
+        j.write_stage(0, [0], [[b"x", b"y"]])
+        j.write_stage(1, [1], [[b"z", b"w"]])
+        with pytest.raises(JournalError, match="one window at a time"):
+            j.load()
+
+    def test_records_are_one_json_object_per_line(self, tmp_path):
+        j = _journal(tmp_path)
+        j.write_plan({"windows": 1})
+        j.write_stage(0, [0], [[b"x", b"y"]])
+        j.write_commit(0)
+        lines = j.path.read_text().splitlines()
+        assert len(lines) == 3
+        assert [json.loads(l)["type"] for l in lines] == [
+            "plan",
+            "stage",
+            "commit",
+        ]

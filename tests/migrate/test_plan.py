@@ -1,0 +1,139 @@
+"""Migration planner: window math, closure and Lemma-1 verification."""
+
+import pytest
+
+from repro.codes import ReedSolomonCode, make_rs, parse_code_spec
+from repro.layout import make_placement
+from repro.layout.base import Address, Placement
+from repro.migrate import MigrationPlanError, natural_unit_rows, plan_migration
+
+
+class TestNaturalUnitRows:
+    def test_standard_and_rotated_have_period_one(self):
+        code = make_rs(6, 3)
+        assert natural_unit_rows(make_placement("standard", code)) == 1
+        assert natural_unit_rows(make_placement("rotated", code)) == 1
+
+    def test_frm_period_is_group_count(self):
+        code = make_rs(6, 3)  # n=9, r=gcd(9,6)=3, groups=3
+        frm = make_placement("ec-frm", code)
+        assert natural_unit_rows(frm) == frm.geometry.num_groups == 3
+
+
+class TestPlanGeometry:
+    def test_unit_is_lcm_of_periods(self):
+        code = make_rs(3, 2)  # n=5, r=1, groups=5
+        plan = plan_migration(
+            make_placement("standard", code), make_placement("ec-frm", code), 12
+        )
+        assert plan.unit_rows == 5
+        assert plan.num_windows == 3  # ceil(12/5), last window partial
+
+    def test_window_rows_clip_at_schedule_end(self):
+        code = make_rs(3, 2)
+        plan = plan_migration(
+            make_placement("standard", code), make_placement("ec-frm", code), 12
+        )
+        assert list(plan.window_rows(0)) == [0, 1, 2, 3, 4]
+        assert list(plan.window_rows(2)) == [10, 11]
+        with pytest.raises(ValueError):
+            plan.window_rows(3)
+
+    def test_window_of_row(self):
+        code = make_rs(3, 2)
+        plan = plan_migration(
+            make_placement("standard", code), make_placement("ec-frm", code), 12
+        )
+        assert plan.window_of_row(0) == 0
+        assert plan.window_of_row(4) == 0
+        assert plan.window_of_row(5) == 1
+        with pytest.raises(ValueError):
+            plan.window_of_row(-1)
+
+    def test_zero_rows_has_zero_windows(self):
+        code = make_rs(3, 2)
+        plan = plan_migration(
+            make_placement("standard", code), make_placement("ec-frm", code), 0
+        )
+        assert plan.num_windows == 0
+
+
+class TestPlanValidation:
+    @pytest.mark.parametrize(
+        "src,dst",
+        [
+            ("standard", "ec-frm"),
+            ("rotated", "ec-frm"),
+            ("ec-frm", "standard"),
+            ("ec-frm", "rotated"),
+            ("standard", "rotated"),
+        ],
+    )
+    @pytest.mark.parametrize("spec", ["rs-3-2", "rs-6-3", "lrc-6-2-2"])
+    def test_all_form_pairs_verify(self, spec, src, dst):
+        code = parse_code_spec(spec)
+        plan = plan_migration(
+            make_placement(src, code), make_placement(dst, code), 17
+        )
+        plan.verify()  # idempotent; plan_migration already verified
+
+    def test_distinct_code_instances_rejected(self):
+        # make_rs memoizes, so build raw instances to get distinct objects
+        a, b = ReedSolomonCode(3, 2), ReedSolomonCode(3, 2)
+        with pytest.raises(MigrationPlanError, match="share one code"):
+            plan_migration(
+                make_placement("standard", a), make_placement("ec-frm", b), 4
+            )
+
+    def test_negative_rows_rejected(self):
+        code = make_rs(3, 2)
+        with pytest.raises(MigrationPlanError, match="rows"):
+            plan_migration(
+                make_placement("standard", code),
+                make_placement("ec-frm", code),
+                -1,
+            )
+
+    def test_lemma1_violation_detected(self):
+        code = make_rs(3, 2)
+
+        class Clumped(Placement):
+            name = "clumped"
+
+            def locate_row_element(self, row, element):
+                return Address(disk=0, slot=row * self.code.n + element)
+
+        with pytest.raises(MigrationPlanError, match="Lemma-1"):
+            plan_migration(
+                make_placement("standard", code), Clumped(code), 4
+            ).verify()
+
+    def test_band_escape_detected(self):
+        code = make_rs(3, 2)
+
+        class Shifted(Placement):
+            name = "shifted"
+
+            def locate_row_element(self, row, element):
+                return Address(disk=element, slot=row + 1)
+
+        with pytest.raises(MigrationPlanError, match="slot band"):
+            plan_migration(
+                make_placement("standard", code), Shifted(code), 4
+            )
+
+    def test_double_booking_detected(self):
+        code = make_rs(3, 2)
+
+        class DoubleBooked(Placement):
+            name = "double-booked"
+
+            def locate_row_element(self, row, element):
+                # rows within a window collapse onto one slot per disk:
+                # Lemma 1 holds per row, the address set does not
+                return Address(disk=element, slot=(row // 2) * 2)
+
+        with pytest.raises(MigrationPlanError):
+            plan_migration(
+                make_placement("standard", code), DoubleBooked(code), 4
+            )

@@ -1,0 +1,138 @@
+"""Dual-layout router: forwarding, invariants, append freeze."""
+
+import pytest
+
+from repro.codes import ReedSolomonCode, make_rs
+from repro.layout import make_placement
+from repro.migrate import MigrationError, MigrationRouter, plan_migration
+
+
+def _router(rows=12):
+    code = make_rs(3, 2)  # n=5, groups=5 -> unit 5
+    source = make_placement("standard", code)
+    target = make_placement("ec-frm", code)
+    plan = plan_migration(source, target, rows)
+    return (
+        MigrationRouter(
+            source, target, unit_rows=plan.unit_rows, planned_rows=plan.rows
+        ),
+        source,
+        target,
+    )
+
+
+class TestRouting:
+    def test_initially_everything_routes_to_source(self):
+        router, source, _ = _router()
+        for row in range(12):
+            for e in range(router.code.n):
+                assert router.locate_row_element(row, e) == \
+                    source.locate_row_element(row, e)
+        assert router.counters.routed_source == 12 * router.code.n
+        assert router.counters.routed_target == 0
+
+    def test_marked_window_routes_to_target(self):
+        router, source, target = _router()
+        router.mark_migrated(1)  # rows 5..9
+        for row in range(12):
+            side = target if 5 <= row <= 9 else source
+            assert router.locate_row_element(row, 0) == \
+                side.locate_row_element(row, 0)
+        assert router.routes_to_target(5)
+        assert not router.routes_to_target(4)
+
+    def test_complete_router_matches_native_target_everywhere(self):
+        router, _, target = _router()
+        for w in range(router.planned_windows):
+            router.mark_migrated(w)
+        assert router.complete
+        for row in range(12):
+            for e in range(router.code.n):
+                assert router.locate_row_element(row, e) == \
+                    target.locate_row_element(row, e)
+
+    def test_progress_accounting(self):
+        router, _, _ = _router()
+        assert router.progress_ratio == 0.0
+        router.mark_migrated(0)
+        router.mark_migrated(0)  # idempotent
+        assert router.windows_done == 1
+        assert router.progress_ratio == pytest.approx(1 / 3)
+        assert not router.complete
+
+    def test_mark_out_of_range_rejected(self):
+        router, _, _ = _router()
+        with pytest.raises(ValueError):
+            router.mark_migrated(3)
+        with pytest.raises(ValueError):
+            router.mark_migrated(-1)
+
+
+class TestAppendFreeze:
+    def test_beyond_plan_rows_frozen_while_active(self):
+        router, _, _ = _router()
+        with pytest.raises(MigrationError, match="frozen"):
+            router.locate_row_element(12, 0)
+
+    def test_beyond_plan_rows_route_to_target_once_complete(self):
+        router, _, target = _router()
+        for w in range(router.planned_windows):
+            router.mark_migrated(w)
+        assert router.locate_row_element(40, 2) == \
+            target.locate_row_element(40, 2)
+
+    def test_rows_of_committed_partial_window_are_reachable(self):
+        # rows=12 -> window 2 covers planned rows 10,11; row 12 shares
+        # window 2.  Once that window is committed, appends into it are
+        # target-form and therefore routable even mid-migration.
+        router, _, target = _router()
+        router.mark_migrated(2)
+        assert router.locate_row_element(12, 0) == \
+            target.locate_row_element(12, 0)
+
+
+class TestInvariant:
+    def test_invariant_holds_at_every_intermediate_state(self):
+        router, _, _ = _router()
+        assert router.verify_invariant()
+        for w in range(router.planned_windows):
+            router.mark_migrated(w)
+            assert router.verify_invariant(), f"violated after window {w}"
+
+    def test_invariant_check_does_not_touch_counters(self):
+        router, _, _ = _router()
+        router.verify_invariant()
+        assert router.counters.snapshot() == {
+            "routed_source": 0,
+            "routed_target": 0,
+        }
+
+
+class TestConstruction:
+    def test_distinct_code_instances_rejected(self):
+        a, b = ReedSolomonCode(3, 2), ReedSolomonCode(3, 2)
+        with pytest.raises(ValueError, match="share one code"):
+            MigrationRouter(
+                make_placement("standard", a),
+                make_placement("ec-frm", b),
+                unit_rows=5,
+                planned_rows=10,
+            )
+
+    def test_name_is_stable_and_descriptive(self):
+        router, _, _ = _router()
+        assert router.name == "migrating(standard->ec-frm)"
+        router.mark_migrated(0)
+        assert router.name == "migrating(standard->ec-frm)"
+        assert "1/3 windows" in router.describe()
+
+    def test_empty_plan_is_instantly_complete(self):
+        code = make_rs(3, 2)
+        router = MigrationRouter(
+            make_placement("standard", code),
+            make_placement("ec-frm", code),
+            unit_rows=5,
+            planned_rows=0,
+        )
+        assert router.complete
+        assert router.progress_ratio == 1.0

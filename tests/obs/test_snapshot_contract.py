@@ -138,7 +138,8 @@ class TestNamespaces:
 
     def test_flat_flag_matches_nested(self, traced_service):
         m = traced_service.metrics()
-        flat = traced_service.metrics(flat=True)
+        with pytest.warns(DeprecationWarning, match="flat=True"):
+            flat = traced_service.metrics(flat=True)
         assert flat["requests"] == m["service"]["requests"]
         assert flat["cache"] == m["cache"]
         assert "schema_version" not in flat

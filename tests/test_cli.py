@@ -190,3 +190,61 @@ class TestMttdlCommand:
     def test_mttdl_with_lse(self, capsys):
         assert main(["mttdl", "--code", "rs-6-3", "--rows", "30", "--lse-prob", "0.01"]) == 0
         assert "LSE probability 0.01" in capsys.readouterr().out
+
+
+class TestMigrateCommand:
+    def test_clean_migration(self, tmp_path, capsys):
+        journal = tmp_path / "mig.jsonl"
+        rc = main([
+            "migrate", "start", "--code", "rs-3-2", "--rows", "10",
+            "--element-size", "512", "--journal", str(journal),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "migrated 2/2 windows" in out
+        assert "foreground reads byte-exact during migration: OK" in out
+        assert "final stream: OK" in out
+        assert "max disk load" in out
+
+    def test_crash_status_resume_round_trip(self, tmp_path, capsys):
+        journal = tmp_path / "mig.jsonl"
+        rc = main([
+            "migrate", "start", "--code", "rs-6-3", "--rows", "24",
+            "--element-size", "512", "--journal", str(journal),
+            "--crash-after", "mid-write", "--crash-at-window", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "CRASH" in out and "migrate resume" in out
+
+        assert main(["migrate", "status", "--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "committed 3/8 windows" in out
+        assert "pending stage: window 3" in out
+        assert "complete: False" in out
+
+        assert main(["migrate", "resume", "--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "migrated 8/8 windows" in out
+        assert "final stream: OK" in out
+
+        assert main(["migrate", "status", "--journal", str(journal)]) == 0
+        assert "complete: True" in capsys.readouterr().out
+
+    def test_start_refuses_existing_journal(self, tmp_path, capsys):
+        journal = tmp_path / "mig.jsonl"
+        assert main([
+            "migrate", "start", "--code", "rs-3-2", "--rows", "5",
+            "--element-size", "512", "--journal", str(journal),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "migrate", "start", "--code", "rs-3-2", "--rows", "5",
+            "--element-size", "512", "--journal", str(journal),
+        ]) == 2
+        assert "already exists" in capsys.readouterr().err
+
+    def test_status_and_resume_without_journal(self, tmp_path, capsys):
+        missing = tmp_path / "none.jsonl"
+        assert main(["migrate", "status", "--journal", str(missing)]) == 2
+        assert main(["migrate", "resume", "--journal", str(missing)]) == 2
