@@ -1,0 +1,149 @@
+"""Benchmark: cluster read throughput scaling and load balance.
+
+A fixed skewed workload — Zipf object popularity scattered across the
+keyspace (hot objects land anywhere, as in a real cluster namespace),
+uniform 16..64-element spans — is replayed against hash-ring clusters of
+1..4 shards built from identical rs-6-3 EC-FRM volumes.  Measures:
+
+* aggregate read throughput (total bytes / summed batch makespans, where
+  a batch's makespan is the *slowest shard's* — shards serve in
+  parallel), which must increase monotonically with the shard count;
+* cluster-wide disk-load imbalance (max/mean per-disk busy time over
+  every disk of every shard, the paper's Figure 8/9 bottleneck metric
+  lifted to the cluster), measured over the read phase only, which must
+  stay <= ``IMBALANCE_BOUND`` under the skew for the hash-ring map;
+* the round-robin baseline at the largest cluster for comparison.
+
+Results are exported to ``results/cluster_scaling.json``.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once, write_results_json
+
+from repro.cluster import ClusterService
+from repro.codes import make_rs
+
+ELEMENT_SIZE = 4096
+STRIPES = 256
+TRIALS = 400
+BATCH = 50
+QUEUE_DEPTH = 4
+SHARD_COUNTS = (1, 2, 3, 4)
+ZIPF_S = 1.2
+SPAN_ELEMENTS = (16, 64)  # multi-stripe spans: the fan-out regime
+VNODES = 192
+IMBALANCE_BOUND = 1.5
+
+
+def _workload(k: int) -> list[tuple[int, int]]:
+    """Zipf-popular objects scattered over the stripe space.
+
+    Rank r of the popularity law is assigned to a *pseudo-random* stripe
+    (fixed permutation), so the hot set is spread across the keyspace —
+    the regime consistent hashing is designed for — rather than a single
+    hot contiguous prefix that necessarily lives on one shard.  Reads
+    start uniformly inside the chosen stripe and span 16..64 elements,
+    crossing several stripe (hence shard) boundaries.
+    """
+    rng = np.random.default_rng(7)
+    perm = np.random.default_rng(42).permutation(STRIPES)
+    space = STRIPES * k
+    ranges = []
+    for _ in range(TRIALS):
+        rank = min(int(rng.zipf(ZIPF_S)) - 1, STRIPES - 1)
+        size = int(rng.integers(SPAN_ELEMENTS[0], SPAN_ELEMENTS[1] + 1))
+        start = int(perm[rank]) * k + int(rng.integers(0, k))
+        start = min(start, space - size)
+        ranges.append((start * ELEMENT_SIZE, size * ELEMENT_SIZE))
+    return ranges
+
+
+def _run(map_name: str, shards: int) -> dict:
+    code = make_rs(6, 3)
+    cluster = ClusterService(
+        code, shards=shards, map=map_name,
+        element_size=ELEMENT_SIZE, vnodes=VNODES,
+    )
+    rng = np.random.default_rng(2015)
+    data = rng.integers(
+        0, 256, size=STRIPES * cluster.stripe_bytes, dtype=np.uint8
+    ).tobytes()
+    cluster.append(data)
+    ranges = _workload(code.k)
+    expected = [data[o : o + n] for o, n in ranges]
+
+    # writes also accrue busy time; measure balance over the read phase
+    busy_before = [
+        d.stats.busy_time_s
+        for vol in cluster.volumes
+        for d in vol.store.array.disks
+    ]
+    makespan = 0.0
+    payloads: list[bytes] = []
+    for i in range(0, len(ranges), BATCH):
+        result = cluster.submit(ranges[i : i + BATCH], queue_depth=QUEUE_DEPTH)
+        makespan += result.makespan_s
+        payloads.extend(result.payloads)
+    assert payloads == expected, f"{map_name} S={shards}: reads diverged"
+
+    busy_after = [
+        d.stats.busy_time_s
+        for vol in cluster.volumes
+        for d in vol.store.array.disks
+    ]
+    busy_delta = [a - b for a, b in zip(busy_after, busy_before)]
+    mean_busy = sum(busy_delta) / len(busy_delta)
+    snap = cluster.stats_snapshot()
+    return {
+        "map": map_name,
+        "shards": shards,
+        "throughput_mib_s": cluster.counters.bytes_served / makespan / 2**20,
+        "read_makespan_s": makespan,
+        "read_imbalance": max(busy_delta) / mean_busy,
+        "cumulative_imbalance": snap["imbalance"],
+        "spanning_reads": snap["spanning_reads"],
+        "stripes_per_shard": {
+            sid: s["stripes"] for sid, s in snap["per_shard"].items()
+        },
+    }
+
+
+def scenario() -> dict:
+    return {
+        "config": {
+            "code": "rs-6-3", "element_size": ELEMENT_SIZE,
+            "stripes": STRIPES, "trials": TRIALS, "batch": BATCH,
+            "queue_depth": QUEUE_DEPTH, "zipf_s": ZIPF_S,
+            "span_elements": list(SPAN_ELEMENTS), "vnodes": VNODES,
+            "imbalance_bound": IMBALANCE_BOUND,
+        },
+        "scaling": [_run("hash-ring", s) for s in SHARD_COUNTS],
+        "round_robin_baseline": _run("round-robin", SHARD_COUNTS[-1]),
+    }
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_cluster_scaling(benchmark):
+    results = run_once(benchmark, scenario)
+    print()
+    print("map         shards  tput MiB/s  read imbalance")
+    for row in results["scaling"] + [results["round_robin_baseline"]]:
+        print(f"{row['map']:<11s} {row['shards']:6d}  "
+              f"{row['throughput_mib_s']:10.2f}  {row['read_imbalance']:14.3f}")
+    benchmark.extra_info.update(results)
+    write_results_json("cluster_scaling", results)
+
+    # aggregate throughput must scale monotonically 1 -> 4 shards
+    tputs = [row["throughput_mib_s"] for row in results["scaling"]]
+    assert tputs == sorted(tputs), f"non-monotonic scaling: {tputs}"
+    assert tputs[-1] > 1.5 * tputs[0]
+
+    # and the skewed load stays balanced under the hash-ring map
+    for row in results["scaling"]:
+        assert row["read_imbalance"] <= IMBALANCE_BOUND, (
+            f"S={row['shards']}: imbalance {row['read_imbalance']:.3f} "
+            f"exceeds {IMBALANCE_BOUND}"
+        )
+        assert sum(row["stripes_per_shard"].values()) == STRIPES

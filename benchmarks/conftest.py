@@ -56,11 +56,21 @@ def write_results_json(name: str, payload: dict) -> Path:
     output and the figure exports live side by side.  Override the
     directory with ``ECFRM_RESULTS_DIR``.  Every file is stamped with the
     obs snapshot ``schema_version`` so result files are self-describing,
-    like the metrics snapshot (an explicit ``schema_version`` in
-    ``payload`` wins).
+    like the metrics snapshot.  A ``schema_version`` already present in
+    ``payload`` must match :data:`repro.SCHEMA_VERSION` — a mismatch means
+    the payload embeds a snapshot from a different schema generation, and
+    silently re-stamping it would hide the drift from result consumers, so
+    it is rejected instead.
     """
     from repro.obs import SCHEMA_VERSION
 
+    declared = payload.get("schema_version", SCHEMA_VERSION)
+    if declared != SCHEMA_VERSION:
+        raise ValueError(
+            f"results/{name}.json declares schema_version {declared!r} but "
+            f"repro.SCHEMA_VERSION is {SCHEMA_VERSION!r}; regenerate the "
+            "payload against the current snapshot schema"
+        )
     out_dir = Path(os.environ.get("ECFRM_RESULTS_DIR", "results"))
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"{name}.json"

@@ -22,6 +22,7 @@ Public API highlights
 
 from . import (
     analysis,
+    cluster,
     codes,
     disks,
     engine,
@@ -37,13 +38,14 @@ from . import (
     store,
     workloads,
 )
+from .cluster import ClusterService
 from .engine import PlanCache, ReadService
 from .faults import FaultEvent, FaultInjector, FaultKind, FaultSchedule
 from .migrate import MigrationJournal, Migrator, plan_migration, resume_migration
 from .obs import SCHEMA_VERSION, Histogram, MetricsRegistry, Tracer
 from .store import BlockStore, Scrubber
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 def open_store(
@@ -118,6 +120,7 @@ def open_store(
 
 __all__ = [
     "analysis",
+    "cluster",
     "codes",
     "disks",
     "engine",
@@ -134,6 +137,7 @@ __all__ = [
     "workloads",
     "open_store",
     "BlockStore",
+    "ClusterService",
     "ReadService",
     "PlanCache",
     "Scrubber",

@@ -16,7 +16,11 @@ Subcommands
 * ``migrate`` — online layout migration: ``start`` a throttled
   standard/rotated → EC-FRM conversion with foreground reads interleaved
   (optionally crashing mid-way), ``status`` a journal, ``resume`` a
-  crashed run from its write-ahead journal.
+  crashed run from its write-ahead journal;
+* ``cluster`` — sharded multi-volume demo: scatter-gather reads across
+  shards (optionally degraded on one shard, optionally under a Zipf
+  skew), per-shard load table with the cluster imbalance stat, and an
+  optional hash-ring rebalance onto a freshly added shard.
 """
 
 from __future__ import annotations
@@ -232,6 +236,37 @@ def build_parser() -> argparse.ArgumentParser:
     m_resume.add_argument("--budget", type=int, default=None)
     m_resume.add_argument("--requests", type=int, default=4)
     m_resume.add_argument("--queue-depth", type=int, default=4)
+
+    p_cl = sub.add_parser(
+        "cluster", help="sharded multi-volume cluster demo"
+    )
+    p_cl.add_argument("--code", default="rs-6-3")
+    p_cl.add_argument("--shards", type=int, default=3)
+    p_cl.add_argument(
+        "--map", choices=("hash-ring", "round-robin"), default="hash-ring"
+    )
+    p_cl.add_argument("--stripes", type=int, default=48)
+    p_cl.add_argument("--element-size", type=int, default=4096)
+    p_cl.add_argument("--requests", type=int, default=100)
+    p_cl.add_argument("--queue-depth", type=int, default=4)
+    p_cl.add_argument(
+        "--zipf",
+        type=float,
+        default=None,
+        help="Zipf exponent (>1) for a skewed workload; uniform if omitted",
+    )
+    p_cl.add_argument(
+        "--fail-disk",
+        default=None,
+        metavar="SHARD:DISK",
+        help="fail one disk of one shard before reading (degraded demo)",
+    )
+    p_cl.add_argument(
+        "--add-shard",
+        action="store_true",
+        help="after reading, rebalance onto a new shard and re-verify",
+    )
+    p_cl.add_argument("--seed", type=int, default=2015)
 
     p_rel = sub.add_parser(
         "mttdl", help="mean time to data loss from measured rebuild speed"
@@ -805,6 +840,106 @@ def _cmd_migrate(args: argparse.Namespace) -> int:
     return 0 if ok and final_ok else 1
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .cluster import ClusterService
+    from .workloads import ZipfReadWorkload
+
+    code = parse_code_spec(args.code)
+    cluster = ClusterService(
+        code,
+        shards=args.shards,
+        map=args.map,
+        element_size=args.element_size,
+        map_seed=args.seed,
+    )
+    rng = np.random.default_rng(args.seed)
+    data = rng.integers(
+        0, 256, size=args.stripes * cluster.stripe_bytes, dtype=np.uint8
+    ).tobytes()
+    cluster.append(data)
+    print(
+        f"{cluster.map.describe()}, {cluster.stripes_written} stripes of "
+        f"{code.describe()} ({cluster.user_bytes} bytes)"
+    )
+
+    if args.fail_disk is not None:
+        try:
+            shard_s, disk_s = args.fail_disk.split(":")
+            shard, disk = int(shard_s), int(disk_s)
+        except ValueError:
+            print(
+                f"--fail-disk wants SHARD:DISK, got {args.fail_disk!r}",
+                file=sys.stderr,
+            )
+            return 2
+        cluster.volumes[shard].store.array.fail_disk(disk)
+        print(f"disk {disk} of shard {shard} failed — that shard serves degraded")
+
+    span_elems = (2, 8)
+    if args.zipf is not None:
+        wl = ZipfReadWorkload(
+            address_space=args.stripes * code.k,
+            trials=args.requests,
+            zipf_s=args.zipf,
+            min_size=span_elems[0],
+            max_size=span_elems[1],
+            seed=args.seed,
+        )
+        ranges = [
+            (r.start * args.element_size, r.count * args.element_size)
+            for r in wl
+        ]
+    else:
+        ranges = []
+        for _ in range(args.requests):
+            size = int(rng.integers(span_elems[0], span_elems[1] + 1))
+            size *= args.element_size
+            ranges.append((int(rng.integers(0, len(data) - size)), size))
+    result = cluster.submit(ranges, queue_depth=args.queue_depth)
+    ok = result.payloads == [data[o : o + n] for o, n in ranges]
+
+    snap = cluster.stats_snapshot()
+    print(f"\nshard  stripes  sub-reads  busy s   failed disks")
+    for sid, s in sorted(snap["per_shard"].items(), key=lambda kv: int(kv[0])):
+        failed = ",".join(str(d) for d in s["failed_disks"]) or "-"
+        print(
+            f"{sid:>5s}  {s['stripes']:7d}  {s['sub_reads']:9d}  "
+            f"{s['busy_time_s']:6.3f}   {failed}"
+        )
+    tput = (
+        f"{result.throughput_mib_s:8.1f} MiB/s"
+        if result.throughput_mib_s is not None
+        else "  (untimed fallback)"
+    )
+    print(
+        f"\n{snap['requests']} requests ({snap['spanning_reads']} spanned "
+        f"shards): {tput}, disk-load imbalance {snap['imbalance']:.3f}"
+    )
+    print(f"payloads byte-exact: {'OK' if ok else 'FAILED'}")
+
+    if args.add_shard:
+        try:
+            report = cluster.add_shard()
+        except ValueError as err:
+            print(f"\nadd-shard refused: {err}", file=sys.stderr)
+            return 2
+        print(
+            f"\nadded shard {report.new_shard}: moved {report.stripes_moved}/"
+            f"{report.stripes_total} stripes "
+            f"({report.moved_fraction:.1%}; expected ~{1 / cluster.num_shards:.1%})"
+        )
+        again = cluster.submit(ranges, queue_depth=args.queue_depth)
+        ok &= again.payloads == [data[o : o + n] for o, n in ranges]
+        print(
+            "post-rebalance stripes per shard: "
+            + " ".join(
+                f"s{sid}:{n}" for sid, n in sorted(cluster.stripes_per_shard().items())
+            )
+        )
+        print(f"post-rebalance reads byte-exact: {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
 def _cmd_mttdl(args: argparse.Namespace) -> int:
     from .disks.presets import SAVVIO_10K3
     from .layout import make_placement
@@ -847,6 +982,7 @@ _HANDLERS = {
     "faults": _cmd_faults,
     "trace": _cmd_trace,
     "migrate": _cmd_migrate,
+    "cluster": _cmd_cluster,
     "mttdl": _cmd_mttdl,
 }
 

@@ -1,0 +1,42 @@
+"""Sharded multi-volume cluster layer.
+
+Places whole candidate stripes across ``S`` independent
+:class:`~repro.store.blockstore.BlockStore` volumes through a
+deterministic stripe→shard map and serves byte-range reads through a
+scatter-gather :class:`ClusterService` frontend — degraded shards,
+shard-targeted fault injection, cluster-rolled-up metrics, and
+journal-backed stripe rebalancing included.
+
+* :mod:`repro.cluster.shardmap` — :class:`HashRingMap` (consistent
+  hashing, virtual nodes, stable under shard addition) and
+  :class:`RoundRobinMap` (balanced baseline, rebalance-excluded);
+* :mod:`repro.cluster.service` — :class:`ClusterService` and the
+  per-shard plumbing (:class:`ShardVolume`, :class:`ShardTracer`);
+* :mod:`repro.cluster.rebalance` — crash-safe stripe moves onto a new
+  shard, reusing the migration write-ahead journal.
+"""
+
+from .rebalance import RebalanceCrash, RebalanceReport, run_rebalance
+from .service import (
+    ClusterCounters,
+    ClusterReadResult,
+    ClusterService,
+    ShardTracer,
+    ShardVolume,
+)
+from .shardmap import HashRingMap, RoundRobinMap, ShardMap, make_shard_map
+
+__all__ = [
+    "ShardMap",
+    "HashRingMap",
+    "RoundRobinMap",
+    "make_shard_map",
+    "ClusterService",
+    "ClusterReadResult",
+    "ClusterCounters",
+    "ShardVolume",
+    "ShardTracer",
+    "RebalanceCrash",
+    "RebalanceReport",
+    "run_rebalance",
+]

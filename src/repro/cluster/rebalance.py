@@ -1,0 +1,112 @@
+"""Stripe rebalancing when a shard joins the cluster.
+
+Adding a shard to a hash-ring cluster remaps an expected ``1/(S+1)``
+fraction of stripes — all of them onto the new shard (a consistent-
+hashing property the tests pin).  The rebalancer moves exactly those
+stripes: it fetches each stripe's verified data payloads from the source
+shard, appends them to the new shard's store (parity is re-encoded there,
+deterministically), and flips the cluster's stripe-location entry.
+
+Reads stay byte-correct *throughout*: the cluster routes reads through
+its stripe-location table, not the shard map, so a stripe serves from its
+old shard until the instant its location entry flips — there is no window
+where a read can chase a stripe that has not arrived yet.
+
+Crash safety reuses the migration write-ahead journal
+(:class:`repro.migrate.MigrationJournal`) with the same WAL discipline —
+stage (payloads into the journal), apply (append on the target shard),
+commit — one window per moved stripe.  A crash between stage and commit
+leaves at most one pending window; :meth:`~repro.cluster.service.
+ClusterService.resume_rebalance` re-applies it from the staged payloads
+(skipping the append if the location entry already flipped) and carries
+on with the remaining moves.  The source copy of a moved stripe is never
+deleted (shard stores are append-only); it is tracked as garbage rows,
+the cluster's compaction debt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - layering: service imports this module
+    from ..migrate.journal import MigrationJournal, PendingStage
+    from .service import ClusterService
+
+__all__ = ["RebalanceCrash", "RebalanceReport", "run_rebalance"]
+
+
+class RebalanceCrash(RuntimeError):
+    """Simulated crash during a rebalance (test/demo hook)."""
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """Outcome of one ``add_shard`` rebalance (or its resume)."""
+
+    new_shard: int
+    stripes_total: int
+    stripes_moved: int
+    windows_committed: int
+    resumed: bool = False
+
+    @property
+    def moved_fraction(self) -> float:
+        """Fraction of all stripes that changed shards."""
+        if self.stripes_total == 0:
+            return 0.0
+        return self.stripes_moved / self.stripes_total
+
+
+def run_rebalance(
+    cluster: "ClusterService",
+    moved: list[int],
+    journal: "MigrationJournal | None",
+    *,
+    committed: set[int] | None = None,
+    pending: "PendingStage | None" = None,
+    crash_after_moves: int | None = None,
+) -> int:
+    """Move ``moved`` stripes to their new shards; returns windows committed.
+
+    ``committed`` windows (from a journal replay) are skipped; ``pending``
+    supplies the staged payloads of a window that crashed between stage
+    and commit.  ``crash_after_moves`` raises :class:`RebalanceCrash`
+    after that many moves have committed *and* the next window has been
+    staged — the worst-case WAL crash point.
+    """
+    committed = committed or set()
+    done = 0
+    for w, g in enumerate(moved):
+        if w in committed:
+            continue
+        sid_old, row_old = cluster.locate_stripe(g)
+        target = cluster.map.shard_of(g)
+        if pending is not None and pending.window == w:
+            data_elems = list(pending.payloads[0])
+        else:
+            data_elems = cluster.volumes[sid_old].store.fetch_row_data(row_old)
+            if journal is not None:
+                journal.write_stage(w, [g], [data_elems])
+        if crash_after_moves is not None and done >= crash_after_moves:
+            raise RebalanceCrash(
+                f"simulated crash after staging window {w} "
+                f"({done} moves committed)"
+            )
+        if sid_old != target:
+            # normal path; on resume the apply may already have happened
+            # (crash between apply and commit) — the flipped location
+            # entry tells us, and re-appending would duplicate the stripe.
+            cluster.apply_move(g, target, data_elems)
+        if journal is not None:
+            journal.write_commit(w)
+        done += 1
+    if journal is not None:
+        journal.write_checkpoint(
+            {
+                "windows_done": len(moved),
+                "windows_total": len(moved),
+                "stripes_total": cluster.stripes_written,
+            }
+        )
+    return done

@@ -1,0 +1,673 @@
+"""Sharded multi-volume cluster: stripes spread across independent volumes.
+
+EC-FRM's row-major placement spreads one volume's reads across all ``n``
+disks of *its* array; this module scales the same idea out.  A
+:class:`ClusterService` places whole candidate stripes across ``S``
+independent :class:`~repro.store.blockstore.BlockStore` volumes — each
+with its own :class:`~repro.disks.array.DiskArray`, placement and
+:class:`~repro.engine.service.ReadService` — via a deterministic
+stripe→shard map (:mod:`repro.cluster.shardmap`), and serves byte-range
+reads by splitting them at stripe boundaries, fanning the pieces out to
+the owning shards' services, and reassembling byte-correct results.
+
+Faults stay shard-local: a crashed disk degrades reads on its shard only
+(that shard's service replans and reconstructs as usual) while every
+other shard serves clean — the cluster-level analogue of the paper's
+single-failure story.  Per-shard metrics registries roll up into a
+``cluster.`` namespace carrying the cluster-wide load-imbalance statistic
+(max/mean disk busy time, the Figure 8/9 metric lifted to the cluster),
+tracer spans carry a ``shard`` attribute, fault schedules can target an
+individual shard (:meth:`ClusterService.attach_injector`), and
+:meth:`ClusterService.add_shard` rebalances stripes onto a new shard with
+the migration journal providing crash safety.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Sequence
+
+from ..codes.base import ErasureCode
+from ..disks.model import DiskModel
+from ..disks.presets import SAVVIO_10K3
+from ..engine.service import BatchReadResult, ReadService
+from ..obs import NULL_TRACER, MetricsRegistry, Tracer
+from ..store.blockstore import BlockStore
+from .rebalance import RebalanceReport, run_rebalance
+from .shardmap import ShardMap, make_shard_map
+
+if TYPE_CHECKING:  # pragma: no cover - optional collaborators
+    from ..faults import FaultInjector, FaultSchedule
+    from ..migrate.journal import MigrationJournal
+
+__all__ = [
+    "ShardTracer",
+    "ShardVolume",
+    "ClusterCounters",
+    "ClusterReadResult",
+    "ClusterService",
+]
+
+
+class ShardTracer:
+    """A shard-tagging view of a shared :class:`~repro.obs.Tracer`.
+
+    Every span the shard's store and service emit through this view
+    carries a ``shard`` attribute, so one cluster-wide trace can be
+    filtered per shard.  Duck-typed to the tracer surface the read path
+    uses (``enabled`` / ``request`` / ``span`` / ``record`` / ``point`` /
+    ``breakdown``); disabled parents stay zero-overhead because every
+    call forwards to the parent's own enabled check.
+    """
+
+    __slots__ = ("_parent", "shard")
+
+    def __init__(self, parent: Tracer, shard: int) -> None:
+        self._parent = parent
+        self.shard = shard
+
+    @property
+    def enabled(self) -> bool:
+        return self._parent.enabled
+
+    @property
+    def spans(self):
+        return self._parent.spans
+
+    def request(self, name: str = "read", **attrs: Any):
+        return self._parent.request(name, shard=self.shard, **attrs)
+
+    def span(self, name: str, **attrs: Any):
+        return self._parent.span(name, shard=self.shard, **attrs)
+
+    def record(
+        self, name: str, duration_s: float, *, clock: str = "sim", **attrs: Any
+    ) -> None:
+        self._parent.record(
+            name, duration_s, clock=clock, shard=self.shard, **attrs
+        )
+
+    def point(self, name: str, **attrs: Any) -> None:
+        self._parent.point(name, shard=self.shard, **attrs)
+
+    def breakdown(self, **kwargs: Any) -> dict:
+        return self._parent.breakdown(**kwargs)
+
+
+@dataclass(frozen=True)
+class ShardVolume:
+    """One shard: an independent store + service + metrics registry."""
+
+    shard_id: int
+    store: BlockStore
+    service: ReadService
+    registry: MetricsRegistry
+
+
+@dataclass
+class ClusterCounters:
+    """Cumulative cluster-frontend counters."""
+
+    requests: int = 0
+    batches: int = 0
+    bytes_served: int = 0
+    #: requests whose byte range crossed at least one shard boundary.
+    spanning_reads: int = 0
+    #: sub-reads fanned out, per shard id.
+    sub_reads: dict[int, int] = field(default_factory=dict)
+    rebalances: int = 0
+    stripes_moved: int = 0
+
+
+@dataclass(frozen=True)
+class ClusterReadResult:
+    """Outcome of one :meth:`ClusterService.submit` batch.
+
+    Attributes
+    ----------
+    payloads:
+        The requested byte ranges, submission order, byte-exact.
+    shard_results:
+        The per-shard :class:`BatchReadResult` of every shard that served
+        at least one sub-read, keyed by shard id.
+    makespan_s:
+        Cluster batch wall-clock on the simulated clock: shards run in
+        parallel, so this is the *max* of the per-shard makespans.
+        ``None`` when any shard served through the plan-less
+        multi-failure fallback (no closed-loop timing exists for it).
+    bytes_served:
+        Total payload bytes across the batch.
+    """
+
+    payloads: list[bytes]
+    shard_results: dict[int, BatchReadResult]
+    makespan_s: float | None
+    bytes_served: int
+
+    @property
+    def throughput_mib_s(self) -> float | None:
+        """Aggregate cluster throughput in MiB/s (None if untimed)."""
+        if not self.makespan_s:
+            return None
+        return self.bytes_served / self.makespan_s / (1024 * 1024)
+
+
+class ClusterService:
+    """Byte-range read/write frontend over ``S`` sharded volumes.
+
+    Parameters
+    ----------
+    code:
+        The erasure code every volume uses.
+    shards:
+        Number of shards (ignored when ``map`` is a pre-built
+        :class:`ShardMap`, which knows its own count).
+    map:
+        Shard-map name (``"hash-ring"`` / ``"round-robin"``) or instance.
+    form:
+        Placement form for every shard's store.
+    element_size / disk_model:
+        Per-volume store geometry, as for :class:`BlockStore`.
+    tracer:
+        Cluster-wide tracer; each shard sees it through a
+        :class:`ShardTracer`, so every span carries its shard id.
+    registry:
+        Cluster-level registry the ``cluster`` namespace collector is
+        registered into (fresh when omitted).  Each shard additionally
+        keeps its own private registry — see :meth:`shard_metrics`.
+    map_seed / vnodes:
+        Hash-ring parameters when ``map`` is given by name.
+    cache_capacity:
+        Per-shard plan-cache capacity (caches are per shard: plans embed
+        per-volume failure signatures, which shards don't share).
+    """
+
+    def __init__(
+        self,
+        code: ErasureCode,
+        *,
+        shards: int = 2,
+        map: str | ShardMap = "hash-ring",
+        form: str = "ec-frm",
+        element_size: int = 1024,
+        disk_model: DiskModel = SAVVIO_10K3,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+        map_seed: int = 0,
+        vnodes: int = 96,
+        cache_capacity: int = 256,
+    ) -> None:
+        self.code = code
+        self.map = (
+            map
+            if isinstance(map, ShardMap)
+            else make_shard_map(map, shards, vnodes=vnodes, seed=map_seed)
+        )
+        self.form = form
+        self.element_size = element_size
+        self.disk_model = disk_model
+        self.cache_capacity = cache_capacity
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.volumes: list[ShardVolume] = [
+            self._new_volume(sid) for sid in range(self.map.num_shards)
+        ]
+        self.counters = ClusterCounters()
+        self._pending = bytearray()
+        self._user_bytes = 0
+        #: global stripe id -> (shard id, local row on that shard's store).
+        #: Reads route through this table, not the map, so rebalancing can
+        #: flip entries one stripe at a time without a stale-read window.
+        self._locations: list[tuple[int, int]] = []
+        #: physical (start, length) of flush-inserted zero-pad runs in the
+        #: cluster's stripe-space byte stream (same scheme as BlockStore).
+        self._pad_runs: list[tuple[int, int]] = []
+        #: orphaned source rows left behind by rebalance moves, per shard.
+        self.garbage_rows: dict[int, int] = {}
+        self._injectors: list["FaultInjector"] = []
+        self.registry.register_collector("cluster", self.stats_snapshot)
+
+    def _new_volume(self, shard_id: int) -> ShardVolume:
+        registry = MetricsRegistry()
+        tracer = ShardTracer(self.tracer, shard_id)
+        store = BlockStore(
+            self.code,
+            self.form,
+            element_size=self.element_size,
+            disk_model=self.disk_model,
+            tracer=tracer,  # duck-typed tracer view
+            registry=registry,
+        )
+        service = ReadService(store, cache_capacity=self.cache_capacity)
+        return ShardVolume(
+            shard_id=shard_id, store=store, service=service, registry=registry
+        )
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """Shards currently in the cluster."""
+        return len(self.volumes)
+
+    @property
+    def stripe_bytes(self) -> int:
+        """User bytes per stripe — the placement and read-split unit."""
+        return self.code.k * self.element_size
+
+    @property
+    def stripes_written(self) -> int:
+        """Stripes durably placed across the cluster."""
+        return len(self._locations)
+
+    @property
+    def user_bytes(self) -> int:
+        """Durable bytes appended, excluding cluster flush padding."""
+        return self._user_bytes
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting a full stripe."""
+        return len(self._pending)
+
+    def locate_stripe(self, stripe: int) -> tuple[int, int]:
+        """Current ``(shard id, local row)`` of global stripe ``stripe``."""
+        return self._locations[stripe]
+
+    def stripes_per_shard(self) -> dict[int, int]:
+        """Live stripe count per shard (moved-away stripes excluded)."""
+        out = {vol.shard_id: 0 for vol in self.volumes}
+        for sid, _ in self._locations:
+            out[sid] += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def append(self, data: bytes) -> int:
+        """Append bytes; each completed stripe is placed on its shard.
+
+        Returns the logical offset at which ``data`` begins (flush padding
+        excluded), directly usable with :meth:`read` — the same contract
+        as :meth:`BlockStore.append`.
+        """
+        offset = self._user_bytes + len(self._pending)
+        self._pending.extend(data)
+        sb = self.stripe_bytes
+        while len(self._pending) >= sb:
+            chunk = bytes(self._pending[:sb])
+            del self._pending[:sb]
+            self._place_stripe(chunk, user_len=sb)
+        return offset
+
+    def flush(self) -> None:
+        """Zero-pad and place any partial pending stripe.
+
+        Pad bytes are durable on the owning shard but invisible to the
+        cluster's logical stream, exactly like :meth:`BlockStore.flush`.
+        """
+        if self._pending:
+            pending_len = len(self._pending)
+            sb = self.stripe_bytes
+            pad_start = len(self._locations) * sb + pending_len
+            self._pad_runs.append((pad_start, sb - pending_len))
+            chunk = bytes(self._pending).ljust(sb, b"\0")
+            self._pending.clear()
+            self._place_stripe(chunk, user_len=pending_len)
+
+    def _place_stripe(self, chunk: bytes, user_len: int) -> None:
+        g = len(self._locations)
+        sid = self.map.shard_of(g)
+        vol = self.volumes[sid]
+        local_row = vol.store.rows_written
+        vol.store.append(chunk)  # exactly one full row: flushes immediately
+        self._locations.append((sid, local_row))
+        self._user_bytes += user_len
+
+    def apply_move(
+        self, stripe: int, target: int, data_elems: Sequence[bytes]
+    ) -> None:
+        """Rebalance write point: land ``stripe`` on shard ``target``.
+
+        Appends the stripe's data payloads to the target store (parity is
+        re-encoded there) and flips the location entry; the source copy
+        becomes garbage.  Called by :func:`repro.cluster.rebalance.
+        run_rebalance` — one location flip per move keeps concurrent
+        reads byte-correct throughout.
+        """
+        sid_old, _ = self._locations[stripe]
+        tvol = self.volumes[target]
+        local_row = tvol.store.rows_written
+        tvol.store.append(b"".join(data_elems))
+        self._locations[stripe] = (target, local_row)
+        self.garbage_rows[sid_old] = self.garbage_rows.get(sid_old, 0) + 1
+        self.counters.stripes_moved += 1
+
+    # ------------------------------------------------------------------
+    # logical <-> physical translation (cluster pad runs)
+    # ------------------------------------------------------------------
+    def _logical_to_physical(self, offset: int) -> int:
+        phys = offset
+        for pad_start, pad_len in self._pad_runs:
+            if phys >= pad_start:
+                phys += pad_len
+            else:
+                break
+        return phys
+
+    def _excise_padding(self, buf: bytes, phys_start: int) -> bytes:
+        end = phys_start + len(buf)
+        pieces: list[bytes] = []
+        cursor = phys_start
+        for pad_start, pad_len in self._pad_runs:
+            pad_end = pad_start + pad_len
+            if pad_end <= cursor:
+                continue
+            if pad_start >= end:
+                break
+            if pad_start > cursor:
+                pieces.append(buf[cursor - phys_start : pad_start - phys_start])
+            cursor = min(pad_end, end)
+        if cursor < end:
+            pieces.append(buf[cursor - phys_start :])
+        return b"".join(pieces)
+
+    def _split_physical(
+        self, phys_start: int, phys_len: int
+    ) -> list[tuple[int, int, int]]:
+        """Split a physical byte window into per-shard local sub-ranges.
+
+        Returns ``[(shard id, local offset, length), ...]`` in stream
+        order — one piece per stripe touched (shard stores never pad, so
+        local offsets are plain ``row * stripe_bytes`` arithmetic).
+        """
+        sb = self.stripe_bytes
+        end = phys_start + phys_len
+        pieces: list[tuple[int, int, int]] = []
+        for g in range(phys_start // sb, (end - 1) // sb + 1):
+            lo = max(phys_start, g * sb)
+            hi = min(end, (g + 1) * sb)
+            sid, local_row = self._locations[g]
+            pieces.append((sid, local_row * sb + (lo - g * sb), hi - lo))
+        return pieces
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at logical ``offset``, shard-transparent."""
+        return self.submit([(offset, length)], queue_depth=1).payloads[0]
+
+    def submit(
+        self,
+        ranges: Sequence[tuple[int, int]],
+        queue_depth: int = 8,
+        *,
+        max_retries: int = 3,
+    ) -> ClusterReadResult:
+        """Serve a batch of byte ranges across the cluster.
+
+        Each range is split at stripe boundaries into per-shard sub-reads;
+        every touched shard serves its sub-batch through its own
+        :class:`ReadService` (plan cache, closed-loop timing, degraded
+        replan, bounded fault retries — all per shard), and the pieces are
+        reassembled in submission order.  Shards are independent arrays,
+        so the batch's simulated wall-clock is the slowest shard's.
+        """
+        if not ranges:
+            raise ValueError("empty batch")
+        per_shard: dict[int, list[tuple[int, int]]] = {}
+        layout: list[list[tuple[int, int]]] = []
+        phys_starts: list[int] = []
+        for offset, length in ranges:
+            if offset < 0 or length <= 0:
+                raise ValueError(
+                    f"invalid byte range offset={offset} length={length}"
+                )
+            if offset + length > self._user_bytes:
+                raise ValueError(
+                    f"range [{offset}, {offset + length}) beyond stored "
+                    f"{self._user_bytes} user bytes (flush() pending data "
+                    "first)"
+                )
+            phys_first = self._logical_to_physical(offset)
+            phys_last = self._logical_to_physical(offset + length - 1)
+            phys_starts.append(phys_first)
+            pieces = self._split_physical(phys_first, phys_last - phys_first + 1)
+            slots: list[tuple[int, int]] = []
+            for sid, local_off, piece_len in pieces:
+                bucket = per_shard.setdefault(sid, [])
+                slots.append((sid, len(bucket)))
+                bucket.append((local_off, piece_len))
+            layout.append(slots)
+            touched = {sid for sid, _ in slots}
+            if len(touched) > 1:
+                self.counters.spanning_reads += 1
+
+        shard_results: dict[int, BatchReadResult] = {}
+        for sid in sorted(per_shard):
+            vol = self.volumes[sid]
+            with self.tracer.span(
+                "shard_fanout", shard=sid, sub_reads=len(per_shard[sid])
+            ):
+                shard_results[sid] = vol.service.submit(
+                    per_shard[sid], queue_depth, max_retries=max_retries
+                )
+            self.counters.sub_reads[sid] = self.counters.sub_reads.get(
+                sid, 0
+            ) + len(per_shard[sid])
+
+        payloads: list[bytes] = []
+        for i, (offset, length) in enumerate(ranges):
+            joined = b"".join(
+                shard_results[sid].payloads[j] for sid, j in layout[i]
+            )
+            logical = self._excise_padding(joined, phys_starts[i])
+            assert len(logical) == length, (
+                f"range {i}: reassembled {len(logical)} bytes, wanted {length}"
+            )
+            payloads.append(logical)
+
+        makespan: float | None = 0.0
+        for result in shard_results.values():
+            if result.throughput is None:
+                makespan = None
+                break
+            makespan = max(makespan, result.throughput.makespan_s)
+        nbytes = sum(len(p) for p in payloads)
+        self.counters.requests += len(ranges)
+        self.counters.batches += 1
+        self.counters.bytes_served += nbytes
+        return ClusterReadResult(
+            payloads=payloads,
+            shard_results=shard_results,
+            makespan_s=makespan,
+            bytes_served=nbytes,
+        )
+
+    # ------------------------------------------------------------------
+    # faults
+    # ------------------------------------------------------------------
+    def attach_injector(
+        self, shard: int, schedule: "FaultSchedule", *, seed: int = 0
+    ) -> "FaultInjector":
+        """Attach a fault schedule to one shard's disk array.
+
+        The injector's audit counters are published into that shard's
+        registry (``faults`` namespace of :meth:`shard_metrics`); other
+        shards are untouched, so the schedule exercises exactly the
+        degraded-on-one-shard / healthy-elsewhere regime.
+        """
+        from ..faults import FaultInjector
+
+        if not 0 <= shard < len(self.volumes):
+            raise ValueError(f"shard {shard} out of range [0, {len(self.volumes)})")
+        vol = self.volumes[shard]
+        injector = FaultInjector(vol.store.array, schedule, seed=seed)
+        injector.register_metrics(vol.registry)
+        injector.attach()
+        self._injectors.append(injector)
+        return injector
+
+    def detach_injectors(self) -> None:
+        """Detach every injector attached through :meth:`attach_injector`."""
+        for injector in self._injectors:
+            injector.detach()
+        self._injectors.clear()
+
+    # ------------------------------------------------------------------
+    # rebalance
+    # ------------------------------------------------------------------
+    def add_shard(
+        self,
+        *,
+        journal: "MigrationJournal | None" = None,
+        crash_after_moves: int | None = None,
+    ) -> RebalanceReport:
+        """Grow the cluster by one shard and rebalance stripes onto it.
+
+        Only stable maps rebalance: the hash-ring's ``with_added_shard``
+        moves an expected ``1/(S+1)`` of stripes, all onto the new shard;
+        round-robin would move ``~S/(S+1)`` of everything and is refused.
+        With ``journal``, every move is staged/committed through the
+        migration WAL so a crash mid-rebalance (``crash_after_moves``
+        simulates one) is recoverable via :meth:`resume_rebalance`.
+        """
+        if not self.map.supports_rebalance:
+            raise ValueError(
+                f"{self.map.name} map does not support rebalancing (adding "
+                "a shard would remap ~S/(S+1) of all stripes); use hash-ring"
+            )
+        old_map = self.map
+        new_map = old_map.with_added_shard()
+        new_sid = old_map.num_shards
+        self.volumes.append(self._new_volume(new_sid))
+        self.map = new_map
+        moved = [
+            g
+            for g in range(len(self._locations))
+            if new_map.shard_of(g) != old_map.shard_of(g)
+        ]
+        if journal is not None:
+            journal.write_plan(
+                {
+                    "kind": "cluster-rebalance",
+                    "map": new_map.name,
+                    "from_shards": old_map.num_shards,
+                    "to_shards": new_map.num_shards,
+                    "stripes": len(self._locations),
+                    "windows": len(moved),
+                    "moved": moved,
+                    "element_size": self.element_size,
+                }
+            )
+        committed = run_rebalance(
+            self, moved, journal, crash_after_moves=crash_after_moves
+        )
+        self.counters.rebalances += 1
+        return RebalanceReport(
+            new_shard=new_sid,
+            stripes_total=len(self._locations),
+            stripes_moved=len(moved),
+            windows_committed=committed,
+        )
+
+    def resume_rebalance(self, journal: "MigrationJournal") -> RebalanceReport:
+        """Finish a crashed rebalance from its write-ahead journal.
+
+        The cluster must already carry the new shard (``add_shard`` adds
+        it before any move).  Committed windows are skipped; a pending
+        staged window is re-applied from its journaled payloads — or just
+        committed, if the crash hit between apply and commit — and the
+        remaining moves run normally.
+        """
+        state = journal.load()
+        ctx = state.context or {}
+        if ctx.get("kind") != "cluster-rebalance":
+            raise ValueError(
+                f"journal {journal.path} is not a cluster-rebalance journal"
+            )
+        if ctx["to_shards"] != self.map.num_shards:
+            raise ValueError(
+                f"journal expects {ctx['to_shards']} shards, cluster has "
+                f"{self.map.num_shards}"
+            )
+        moved = list(ctx["moved"])
+        committed = run_rebalance(
+            self,
+            moved,
+            journal,
+            committed=state.committed,
+            pending=state.pending,
+        )
+        return RebalanceReport(
+            new_shard=self.map.num_shards - 1,
+            stripes_total=len(self._locations),
+            stripes_moved=len(moved),
+            windows_committed=committed,
+            resumed=True,
+        )
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def load_imbalance(self) -> dict[str, float]:
+        """Cluster-wide disk-load balance: max/mean busy time over every
+        disk of every shard — the paper's Figure 8/9 bottleneck metric
+        lifted to the cluster.  ``imbalance`` is 0.0 before any traffic."""
+        busy = [
+            d.stats.busy_time_s
+            for vol in self.volumes
+            for d in vol.store.array.disks
+        ]
+        mean = sum(busy) / len(busy) if busy else 0.0
+        peak = max(busy) if busy else 0.0
+        return {
+            "disk_busy_max_s": peak,
+            "disk_busy_mean_s": mean,
+            "imbalance": (peak / mean) if mean > 0 else 0.0,
+        }
+
+    def stats_snapshot(self) -> dict:
+        """The ``cluster.*`` namespace: frontend counters, the rolled-up
+        per-shard summaries, and the cluster load-imbalance stats."""
+        live = self.stripes_per_shard()
+        per_shard = {}
+        for vol in self.volumes:
+            stats = vol.store.array.stats_snapshot()
+            per_shard[str(vol.shard_id)] = {
+                "stripes": live[vol.shard_id],
+                "garbage_rows": self.garbage_rows.get(vol.shard_id, 0),
+                "sub_reads": self.counters.sub_reads.get(vol.shard_id, 0),
+                "requests": vol.service.counters.requests,
+                "bytes_served": vol.service.counters.bytes_served,
+                "degraded_serves": vol.service.counters.degraded_serves,
+                "retries": vol.service.counters.retries,
+                "busy_time_s": stats["total_busy_time_s"],
+                "failed_disks": stats["failed"],
+            }
+        return {
+            "shards": len(self.volumes),
+            "map": self.map.name,
+            "stripes": len(self._locations),
+            "requests": self.counters.requests,
+            "batches": self.counters.batches,
+            "bytes_served": self.counters.bytes_served,
+            "spanning_reads": self.counters.spanning_reads,
+            "rebalances": self.counters.rebalances,
+            "stripes_moved": self.counters.stripes_moved,
+            **self.load_imbalance(),
+            "per_shard": per_shard,
+        }
+
+    def metrics(self) -> dict:
+        """Versioned snapshot of the cluster registry (``cluster.*`` plus
+        any other namespaces registered into :attr:`registry`)."""
+        return self.registry.snapshot()
+
+    def shard_metrics(self, shard: int) -> dict:
+        """One shard's full namespaced snapshot (``service.* / cache.* /
+        health.* / disks.*`` — and ``faults.*`` when an injector targets
+        it)."""
+        return self.volumes[shard].service.metrics()

@@ -1,0 +1,167 @@
+"""Deterministic stripe→shard maps for the sharded cluster layer.
+
+A cluster spreads whole candidate stripes across ``S`` independent
+volumes.  The map is the only placement decision the cluster makes —
+inside a shard, the existing :class:`repro.layout.Placement` machinery
+decides disks and slots — so the map must be cheap, deterministic across
+processes, and (for elastic clusters) *stable*: adding a shard should
+remap as few stripes as possible.
+
+Two maps are provided:
+
+* :class:`RoundRobinMap` — ``stripe mod S``.  Perfectly balanced for
+  sequential stripe ids, but adding a shard remaps almost every stripe
+  (``stripe mod S`` and ``stripe mod (S+1)`` agree only on ~``1/(S+1)``
+  of ids), so it is excluded from rebalancing and exists as the
+  comparison baseline.
+* :class:`HashRingMap` — consistent hashing with virtual nodes.  Each
+  shard owns ``vnodes`` pseudo-random points on a 64-bit ring; a stripe
+  maps to the shard owning the first point at or after the stripe's own
+  ring position.  Adding a shard inserts only that shard's points, so
+  exactly the stripes whose successor became a *new* point move — an
+  expected ``1/(S+1)`` fraction, and every moved stripe lands on the new
+  shard (the property the cluster's :meth:`~repro.cluster.service.
+  ClusterService.add_shard` rebalance path relies on).
+
+All hashing uses an explicit splitmix64-style mixer — never Python's
+``hash`` — so the mapping is identical across interpreter runs and
+``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from bisect import bisect_left
+
+__all__ = ["ShardMap", "RoundRobinMap", "HashRingMap", "make_shard_map"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer: a well-distributed 64-bit mix of ``x``."""
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class ShardMap(ABC):
+    """Maps global stripe ids onto shard ids ``0..num_shards-1``."""
+
+    #: registry-style name, e.g. ``"round-robin"`` / ``"hash-ring"``.
+    name: str = "abstract"
+    #: whether :meth:`with_added_shard` yields a *stable* map (few stripes
+    #: move); the cluster refuses to rebalance maps where it does not.
+    supports_rebalance: bool = False
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"need at least one shard, got {num_shards}")
+        self.num_shards = num_shards
+
+    @abstractmethod
+    def shard_of(self, stripe: int) -> int:
+        """Shard id owning global stripe ``stripe``."""
+
+    @abstractmethod
+    def with_added_shard(self) -> "ShardMap":
+        """The same map family over ``num_shards + 1`` shards."""
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        return f"{self.name}[{self.num_shards} shards]"
+
+
+class RoundRobinMap(ShardMap):
+    """``stripe mod S`` — the balanced but unstable baseline."""
+
+    name = "round-robin"
+    supports_rebalance = False
+
+    def shard_of(self, stripe: int) -> int:
+        if stripe < 0:
+            raise ValueError(f"stripe must be >= 0, got {stripe}")
+        return stripe % self.num_shards
+
+    def with_added_shard(self) -> "RoundRobinMap":
+        """Exists for completeness; the result remaps ~``S/(S+1)`` of all
+        stripes, which is why :attr:`supports_rebalance` is False and the
+        cluster's ``add_shard`` refuses round-robin clusters."""
+        return RoundRobinMap(self.num_shards + 1)
+
+
+class HashRingMap(ShardMap):
+    """Consistent hashing over a 64-bit ring with virtual nodes.
+
+    Parameters
+    ----------
+    num_shards:
+        Shards on the ring.
+    vnodes:
+        Ring points per shard.  More points tighten both balance and the
+        ``~1/(S+1)`` remap bound at slightly higher build cost; lookups
+        stay O(log(S * vnodes)).
+    seed:
+        Ring salt.  Maps with the same ``(vnodes, seed)`` and different
+        shard counts share every surviving shard's points — the stability
+        property.
+    """
+
+    name = "hash-ring"
+    supports_rebalance = True
+
+    def __init__(self, num_shards: int, *, vnodes: int = 96, seed: int = 0) -> None:
+        super().__init__(num_shards)
+        if vnodes <= 0:
+            raise ValueError(f"need at least one virtual node, got {vnodes}")
+        self.vnodes = vnodes
+        self.seed = seed
+        points: list[tuple[int, int]] = []
+        salt = _mix64(seed ^ 0x9E3779B97F4A7C15)
+        for shard in range(num_shards):
+            base = _mix64(salt ^ (shard * 0xD1B54A32D192ED03))
+            for v in range(vnodes):
+                points.append((_mix64(base ^ (v * 0x8CB92BA72F3D8DD7)), shard))
+        # sort by (point, shard): the shard id tie-break keeps the ring
+        # deterministic even in the astronomically unlikely collision case
+        points.sort()
+        self._ring = [p for p, _ in points]
+        self._owner = [s for _, s in points]
+        self._salt = salt
+
+    def _key(self, stripe: int) -> int:
+        """Ring position of a stripe — independent of the shard count."""
+        return _mix64(self._salt ^ (stripe * 0xA24BAED4963EE407) ^ 0x5851F42D4C957F2D)
+
+    def shard_of(self, stripe: int) -> int:
+        if stripe < 0:
+            raise ValueError(f"stripe must be >= 0, got {stripe}")
+        i = bisect_left(self._ring, self._key(stripe))
+        if i == len(self._ring):
+            i = 0  # wrap: successor of the highest point is the first point
+        return self._owner[i]
+
+    def with_added_shard(self) -> "HashRingMap":
+        return HashRingMap(
+            self.num_shards + 1, vnodes=self.vnodes, seed=self.seed
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}[{self.num_shards} shards x {self.vnodes} vnodes, "
+            f"seed {self.seed}]"
+        )
+
+
+def make_shard_map(
+    name: str, num_shards: int, *, vnodes: int = 96, seed: int = 0
+) -> ShardMap:
+    """Factory: build a shard map by registry name."""
+    if name == "round-robin":
+        return RoundRobinMap(num_shards)
+    if name == "hash-ring":
+        return HashRingMap(num_shards, vnodes=vnodes, seed=seed)
+    raise ValueError(
+        f"unknown shard map {name!r}; known: 'hash-ring', 'round-robin'"
+    )

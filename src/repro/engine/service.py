@@ -343,44 +343,18 @@ class ReadService:
         }
         return out
 
-    def metrics(self, *, flat: bool = False) -> dict:
+    def metrics(self) -> dict:
         """Versioned, namespaced metrics snapshot of the whole service.
 
-        The default shape is the registry's snapshot schema
+        The shape is the registry's snapshot schema
         (:data:`repro.obs.SCHEMA_VERSION`): a ``schema_version`` key plus
         ``service`` / ``cache`` namespaces, ``health`` and ``disks`` when
         the store exposes them, and any further namespaces registered
         into :attr:`registry` (e.g. ``faults`` via
         :meth:`repro.faults.FaultInjector.register_metrics`).
 
-        ``flat=True`` returns the legacy pre-1.1 flat dict (service
-        counters at top level, ``cache``/``health`` nested).  It is
-        deprecated and will be removed next release; read the namespaced
-        schema instead (``repro.obs.flatten_snapshot`` recovers dotted
-        scalar keys if a flat shape is genuinely needed).
+        The pre-1.1 ``flat=True`` legacy shape is gone (deprecated in
+        1.1); callers that need dotted scalar keys should flatten the
+        snapshot with :func:`repro.obs.flatten_snapshot`.
         """
-        if flat:
-            import warnings
-
-            warnings.warn(
-                "ReadService.metrics(flat=True) is deprecated; use the "
-                "namespaced snapshot (metrics()) or "
-                "repro.obs.flatten_snapshot()",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            out = {
-                "requests": self.counters.requests,
-                "batches": self.counters.batches,
-                "bytes_served": self.counters.bytes_served,
-                "max_queue_depth": self.counters.max_queue_depth,
-                "retries": self.counters.retries,
-                "degraded_serves": self.counters.degraded_serves,
-                "disk_load": self.counters.load_histogram(),
-                "cache": self.cache.stats.snapshot(),
-            }
-            health = getattr(self.store, "health", None)
-            if health is not None:
-                out["health"] = health.snapshot()
-            return out
         return self.registry.snapshot()

@@ -72,11 +72,10 @@ def service_report(service) -> str:
     Duck-typed on ``service.metrics()`` (the harness sits above the engine
     in the layer stack, so no engine import here).  Consumes the
     namespaced snapshot schema (``schema_version`` + ``service.*`` /
-    ``cache.*`` / ``health.*`` / ``faults.*`` namespaces); the legacy flat
-    shape is still accepted for callers that pass ``metrics(flat=True)``
-    output around.  One line per counter, a compact per-disk load
-    histogram, and — when tracing is on — a per-stage latency-breakdown
-    table.
+    ``cache.*`` / ``health.*`` / ``faults.*`` namespaces); pre-1.1 flat
+    dicts that older tooling may have persisted still render (counters at
+    top level).  One line per counter, a compact per-disk load histogram,
+    and — when tracing is on — a per-stage latency-breakdown table.
     """
     m = service.metrics()
     svc = m.get("service", m)  # legacy flat shape: counters at top level

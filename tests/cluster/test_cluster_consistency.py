@@ -1,0 +1,164 @@
+"""Randomized cluster-consistency harness.
+
+The cluster's whole contract is shard transparency: any byte-range read
+served through :class:`ClusterService` — clean, spanning shard
+boundaries, degraded on one shard while others are healthy, or under a
+randomized fault schedule targeting a random shard — must be byte-equal
+to the same read against a single flat reference :class:`BlockStore`
+holding the identical byte stream (and to the raw bytes themselves).
+
+Each seed draws a random shard count, shard map (hash-ring with random
+vnodes/seed, or round-robin), stream length (to exercise the padded-tail
+path), read batch, and fault schedule, then checks all three sources
+agree.  ``ECFRM_CLUSTER_SEED`` offsets the seed block so CI matrix jobs
+cover disjoint sweeps; the default is seeds ``base*1000 .. base*1000+99``.
+"""
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterService
+from repro.codes import make_rs
+from repro.engine import ReadService
+from repro.faults import FaultSchedule
+from repro.store import BlockStore
+
+ELEMENT_SIZE = 32
+NUM_SEEDS = 100
+
+BASE = int(os.environ.get("ECFRM_CLUSTER_SEED", "1"))
+
+
+def _build(seed: int):
+    """Random cluster + flat reference store over the same byte stream."""
+    rng = random.Random(seed)
+    code = make_rs(3, 2)
+    shards = rng.randint(1, 4)
+    if rng.random() < 0.75:
+        cluster = ClusterService(
+            code,
+            shards=shards,
+            map="hash-ring",
+            element_size=ELEMENT_SIZE,
+            map_seed=rng.randrange(1 << 16),
+            vnodes=rng.choice([16, 48, 96]),
+        )
+    else:
+        cluster = ClusterService(
+            code, shards=shards, map="round-robin", element_size=ELEMENT_SIZE
+        )
+    stripes = rng.randint(2, 9)
+    tail = rng.choice([0, rng.randint(1, cluster.stripe_bytes - 1)])
+    nbytes = stripes * cluster.stripe_bytes + tail
+    data = np.random.default_rng(seed).integers(
+        0, 256, size=nbytes, dtype=np.uint8
+    ).tobytes()
+    # append in random-sized chunks so stripe assembly is exercised too
+    pos = 0
+    while pos < len(data):
+        step = rng.randint(1, 3 * cluster.stripe_bytes)
+        cluster.append(data[pos : pos + step])
+        pos += step
+    cluster.flush()
+
+    flat = BlockStore(code, "ec-frm", element_size=ELEMENT_SIZE)
+    flat.append(data)
+    flat.flush()
+    return rng, cluster, ReadService(flat), data
+
+
+def _ranges(rng: random.Random, nbytes: int) -> list[tuple[int, int]]:
+    out = []
+    for _ in range(rng.randint(1, 10)):
+        off = rng.randrange(nbytes)
+        ln = rng.randint(1, nbytes - off)
+        out.append((off, ln))
+    return out
+
+
+def _assert_agree(cluster, flat_svc, data, ranges, *, tag):
+    expected = [data[o : o + n] for o, n in ranges]
+    got = cluster.submit(ranges, queue_depth=4)
+    assert got.payloads == expected, f"{tag}: cluster diverged from raw bytes"
+    ref = flat_svc.submit(ranges, queue_depth=4)
+    assert got.payloads == ref.payloads, (
+        f"{tag}: cluster diverged from flat reference store"
+    )
+
+
+@pytest.mark.parametrize("seed", range(BASE * 1000, BASE * 1000 + NUM_SEEDS))
+def test_cluster_reads_match_flat_reference(seed):
+    rng, cluster, flat_svc, data = _build(seed)
+
+    # clean pass
+    _assert_agree(cluster, flat_svc, data, _ranges(rng, len(data)),
+                  tag=f"seed {seed} clean")
+
+    # a read guaranteed to span every shard boundary: the whole stream
+    _assert_agree(cluster, flat_svc, data, [(0, len(data))],
+                  tag=f"seed {seed} full-stream")
+
+    # degraded on one random shard (single disk crash), others healthy
+    victim = rng.randrange(cluster.num_shards)
+    array = cluster.volumes[victim].store.array
+    array.fail_disk(rng.randrange(len(array)))
+    _assert_agree(cluster, flat_svc, data, _ranges(rng, len(data)),
+                  tag=f"seed {seed} degraded shard {victim}")
+
+    # randomized fault schedule targeting another random shard, live
+    target = rng.randrange(cluster.num_shards)
+    schedule = FaultSchedule.random(
+        seed,
+        ops=12,
+        num_disks=len(cluster.volumes[target].store.array),
+        crash_prob=0.04,
+        outage_prob=0.04,
+        latent_prob=0.10,
+        bitrot_prob=0.10,
+        straggler_prob=0.03,
+        max_disk_failures=0 if target == victim else 1,
+        max_slot_faults=1,
+    )
+    injector = cluster.attach_injector(target, schedule, seed=seed)
+    _assert_agree(cluster, flat_svc, data, _ranges(rng, len(data)),
+                  tag=f"seed {seed} faulted shard {target}")
+    cluster.detach_injectors()
+
+    # faults stopped: a final clean pass still agrees
+    _assert_agree(cluster, flat_svc, data, _ranges(rng, len(data)),
+                  tag=f"seed {seed} post-fault (fired={injector.fired})")
+
+
+def test_sweep_actually_exercises_cluster_regimes():
+    """Guard: the sweep must hit multi-shard, spanning, degraded and
+    fault-firing cases, not silently degenerate to trivial clusters."""
+    multi_shard = spanning = fired = 0
+    for seed in range(BASE * 1000, BASE * 1000 + NUM_SEEDS):
+        rng, cluster, _, data = _build(seed)
+        if cluster.num_shards > 1:
+            multi_shard += 1
+        cluster.submit([(0, len(data))] + _ranges(rng, len(data)))
+        spanning += cluster.counters.spanning_reads
+        target = rng.randrange(cluster.num_shards)
+        schedule = FaultSchedule.random(
+            seed,
+            ops=12,
+            num_disks=len(cluster.volumes[target].store.array),
+            crash_prob=0.04,
+            outage_prob=0.04,
+            latent_prob=0.10,
+            bitrot_prob=0.10,
+            straggler_prob=0.03,
+            max_disk_failures=1,
+            max_slot_faults=1,
+        )
+        injector = cluster.attach_injector(target, schedule, seed=seed)
+        cluster.submit(_ranges(rng, len(data)), queue_depth=4)
+        cluster.detach_injectors()
+        fired += len(injector.fired)
+    assert multi_shard >= NUM_SEEDS // 2
+    assert spanning >= NUM_SEEDS  # whole-stream reads span on multi-shard
+    assert fired >= NUM_SEEDS // 2

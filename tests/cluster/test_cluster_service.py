@@ -1,0 +1,270 @@
+"""ClusterService unit tests: write/read geometry, observability rollup,
+shard-targeted faults, and journal-backed rebalance (crash + resume)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterService, HashRingMap, RebalanceCrash
+from repro.codes import make_rs
+from repro.faults import FaultSchedule
+from repro.migrate import MigrationJournal
+from repro.obs import MetricsRegistry, Tracer, flatten_snapshot
+
+ELEMENT_SIZE = 64
+
+
+def _cluster(shards=3, *, tail=0, stripes=9, **kw):
+    code = make_rs(4, 2)
+    cluster = ClusterService(
+        code, shards=shards, element_size=ELEMENT_SIZE, **kw
+    )
+    nbytes = stripes * cluster.stripe_bytes + tail
+    data = np.random.default_rng(7).integers(
+        0, 256, size=nbytes, dtype=np.uint8
+    ).tobytes()
+    cluster.append(data)
+    cluster.flush()
+    return cluster, data
+
+
+# ----------------------------------------------------------------------
+# write/read geometry
+# ----------------------------------------------------------------------
+def test_roundtrip_and_offsets():
+    cluster, data = _cluster(tail=37)
+    assert cluster.user_bytes == len(data)
+    assert cluster.stripes_written == 10  # 9 full + padded tail
+    assert cluster.read(0, len(data)) == data
+    assert cluster.read(len(data) - 37, 37) == data[-37:]
+    # append returns the logical offset of the appended bytes
+    off = cluster.append(b"x" * 10)
+    assert off == len(data)
+    assert cluster.pending_bytes == 10
+    cluster.flush()
+    assert cluster.read(off, 10) == b"x" * 10
+
+
+def test_every_stripe_lands_where_the_map_says():
+    cluster, _ = _cluster()
+    for g in range(cluster.stripes_written):
+        sid, row = cluster.locate_stripe(g)
+        assert sid == cluster.map.shard_of(g)
+        # and the shard's store really holds the stripe at that row
+        assert row < cluster.volumes[sid].store.rows_written
+
+
+def test_read_validation():
+    cluster, data = _cluster()
+    with pytest.raises(ValueError, match="beyond stored"):
+        cluster.read(len(data) - 1, 2)
+    with pytest.raises(ValueError, match="invalid byte range"):
+        cluster.read(-1, 4)
+    with pytest.raises(ValueError, match="invalid byte range"):
+        cluster.read(0, 0)
+    with pytest.raises(ValueError, match="empty batch"):
+        cluster.submit([])
+    cluster.append(b"pending")
+    with pytest.raises(ValueError, match="flush"):
+        cluster.read(len(data), 7)
+
+
+def test_spanning_read_counters_and_makespan():
+    cluster, data = _cluster()
+    sb = cluster.stripe_bytes
+    res = cluster.submit([(0, 2 * sb), (10, 5)])
+    assert res.payloads[0] == data[: 2 * sb]
+    assert cluster.counters.spanning_reads == 1  # only the 2-stripe read
+    assert res.bytes_served == 2 * sb + 5
+    # shards run in parallel: cluster makespan is the slowest shard's
+    per_shard = [
+        r.throughput.makespan_s for r in res.shard_results.values()
+    ]
+    assert res.makespan_s == max(per_shard)
+    assert res.throughput_mib_s and res.throughput_mib_s > 0
+
+
+def test_single_shard_cluster_degenerates_to_one_store():
+    cluster, data = _cluster(shards=1)
+    assert cluster.read(5, 200) == data[5:205]
+    assert cluster.counters.spanning_reads == 0
+    assert cluster.stripes_per_shard() == {0: cluster.stripes_written}
+
+
+# ----------------------------------------------------------------------
+# observability
+# ----------------------------------------------------------------------
+def test_cluster_metrics_rollup_shape():
+    registry = MetricsRegistry()
+    cluster, data = _cluster(registry=registry)
+    cluster.submit([(0, len(data)), (3, 100)])
+    snap = cluster.metrics()
+    assert snap["schema_version"] == 1
+    c = snap["cluster"]
+    assert c["shards"] == 3
+    assert c["map"] == "hash-ring"
+    assert c["stripes"] == cluster.stripes_written
+    assert c["requests"] == 2 and c["batches"] == 1
+    assert c["bytes_served"] == len(data) + 100
+    assert c["disk_busy_max_s"] > 0
+    assert c["disk_busy_mean_s"] > 0
+    assert c["imbalance"] >= 1.0
+    assert set(c["per_shard"]) == {"0", "1", "2"}
+    shard0 = c["per_shard"]["0"]
+    for key in ("stripes", "sub_reads", "requests", "bytes_served",
+                "busy_time_s", "failed_disks", "garbage_rows",
+                "degraded_serves", "retries"):
+        assert key in shard0
+    assert sum(s["stripes"] for s in c["per_shard"].values()) == c["stripes"]
+    # the rollup flattens like any other namespace
+    flat = flatten_snapshot(snap)
+    assert flat["cluster.shards"] == 3
+
+
+def test_imbalance_zero_before_traffic():
+    cluster = ClusterService(make_rs(4, 2), shards=3, element_size=ELEMENT_SIZE)
+    lb = cluster.load_imbalance()
+    assert lb == {
+        "disk_busy_max_s": 0.0, "disk_busy_mean_s": 0.0, "imbalance": 0.0
+    }
+
+
+def test_shard_metrics_are_per_shard_namespaced_snapshots():
+    cluster, data = _cluster()
+    cluster.read(0, len(data))
+    for sid in range(cluster.num_shards):
+        snap = cluster.shard_metrics(sid)
+        assert {"service", "cache", "disks", "health"} <= set(snap)
+
+
+def test_tracer_spans_carry_shard_attribute():
+    tracer = Tracer(enabled=True)
+    cluster, data = _cluster(tracer=tracer)
+    cluster.read(0, len(data))
+    tagged = [s for s in tracer.spans if "shard" in s.attrs]
+    assert tagged, "expected shard-tagged spans"
+    shards_seen = {s.attrs["shard"] for s in tagged}
+    assert shards_seen == set(range(cluster.num_shards))
+    # the fan-out span itself is tagged too
+    assert any(s.name == "shard_fanout" for s in tagged)
+
+
+# ----------------------------------------------------------------------
+# shard-targeted faults
+# ----------------------------------------------------------------------
+def test_attach_injector_targets_one_shard():
+    cluster, data = _cluster()
+    schedule = FaultSchedule.random(
+        3, ops=8, num_disks=len(cluster.volumes[1].store.array),
+        crash_prob=0.5, outage_prob=0.0, latent_prob=0.0, bitrot_prob=0.0,
+        straggler_prob=0.0, max_disk_failures=1,
+    )
+    injector = cluster.attach_injector(1, schedule, seed=3)
+    assert cluster.read(0, len(data)) == data
+    cluster.detach_injectors()
+    assert injector.fired, "schedule never fired"
+    # audit counters land in the targeted shard's registry only
+    assert "faults" in cluster.shard_metrics(1)
+    assert "faults" not in cluster.shard_metrics(0)
+    # and only shard 1's array saw failures
+    for sid, vol in enumerate(cluster.volumes):
+        failed = vol.store.array.failed_disks
+        assert bool(failed) == (sid == 1), (sid, failed)
+
+
+def test_attach_injector_validates_shard():
+    cluster, _ = _cluster()
+    schedule = FaultSchedule.scripted([])
+    with pytest.raises(ValueError, match="out of range"):
+        cluster.attach_injector(9, schedule)
+
+
+def test_degraded_shard_disables_batch_timing():
+    cluster, data = _cluster()
+    victim_sid = cluster.locate_stripe(0)[0]
+    array = cluster.volumes[victim_sid].store.array
+    array.fail_disk(0)
+    array.fail_disk(1)  # rs-4-2 double failure -> fallback path, untimed
+    res = cluster.submit([(0, len(data))])
+    assert res.payloads[0] == data
+    assert res.makespan_s is None
+    assert res.throughput_mib_s is None
+
+
+# ----------------------------------------------------------------------
+# rebalance
+# ----------------------------------------------------------------------
+def test_add_shard_moves_only_remapped_stripes():
+    cluster, data = _cluster(stripes=40)
+    before = {g: cluster.locate_stripe(g)[0]
+              for g in range(cluster.stripes_written)}
+    report = cluster.add_shard()
+    assert cluster.num_shards == 4
+    assert report.new_shard == 3
+    assert report.stripes_moved == report.windows_committed
+    assert 0 < report.moved_fraction <= 1.6 / 4
+    for g in range(cluster.stripes_written):
+        sid = cluster.locate_stripe(g)[0]
+        assert sid == cluster.map.shard_of(g)
+        if sid != before[g]:
+            assert sid == 3  # consistent hashing: moves go to the new shard
+    assert cluster.read(0, len(data)) == data
+    assert cluster.counters.rebalances == 1
+    assert cluster.counters.stripes_moved == report.stripes_moved
+    # source copies become tracked garbage, not corruption
+    assert sum(cluster.garbage_rows.values()) == report.stripes_moved
+
+
+def test_round_robin_refuses_rebalance():
+    cluster, _ = _cluster(map="round-robin")
+    with pytest.raises(ValueError, match="does not support rebalancing"):
+        cluster.add_shard()
+
+
+def test_rebalance_crash_and_resume(tmp_path):
+    cluster, data = _cluster(stripes=40, tail=21)
+    journal = MigrationJournal(tmp_path / "rebalance.jsonl")
+    with pytest.raises(RebalanceCrash):
+        cluster.add_shard(journal=journal, crash_after_moves=1)
+    # mid-rebalance reads stay byte-correct (location table routing)
+    assert cluster.read(0, len(data)) == data
+    assert journal.exists()
+
+    report = cluster.resume_rebalance(journal)
+    assert report.resumed
+    assert cluster.read(0, len(data)) == data
+    for g in range(cluster.stripes_written):
+        assert cluster.locate_stripe(g)[0] == cluster.map.shard_of(g)
+
+
+def test_resume_rejects_foreign_journal(tmp_path):
+    cluster, _ = _cluster()
+    journal = MigrationJournal(tmp_path / "foreign.jsonl")
+    journal.write_plan({"kind": "layout-migration"})
+    with pytest.raises(ValueError, match="not a cluster-rebalance"):
+        cluster.resume_rebalance(journal)
+
+
+def test_resume_rejects_shard_count_mismatch(tmp_path):
+    cluster, _ = _cluster()
+    journal = MigrationJournal(tmp_path / "mismatch.jsonl")
+    journal.write_plan({
+        "kind": "cluster-rebalance", "to_shards": 9, "moved": [],
+    })
+    with pytest.raises(ValueError, match="expects 9 shards"):
+        cluster.resume_rebalance(journal)
+
+
+def test_rebalanced_cluster_keeps_serving_degraded():
+    cluster, data = _cluster(stripes=30)
+    cluster.add_shard()
+    cluster.volumes[3].store.array.fail_disk(2)
+    assert cluster.read(0, len(data)) == data
+
+
+def test_prebuilt_map_instance_and_shards_param_ignored():
+    code = make_rs(4, 2)
+    cluster = ClusterService(
+        code, shards=7, map=HashRingMap(2, seed=3), element_size=ELEMENT_SIZE
+    )
+    assert cluster.num_shards == 2
+    assert cluster.map.seed == 3

@@ -1,0 +1,116 @@
+"""Shard-map determinism, balance, and hash-ring stability properties."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cluster import HashRingMap, RoundRobinMap, make_shard_map
+
+STRIPES = 4000
+
+
+# ----------------------------------------------------------------------
+# basics: every stripe maps to exactly one valid shard, deterministically
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ["round-robin", "hash-ring"])
+@pytest.mark.parametrize("shards", [1, 2, 3, 4, 5])
+def test_every_stripe_maps_to_exactly_one_shard(name, shards):
+    """Exhaustive small-cluster check: shard_of is a total function into
+    [0, S) and two independently built identical maps agree everywhere."""
+    a = make_shard_map(name, shards)
+    b = make_shard_map(name, shards)
+    for stripe in range(512):
+        sid = a.shard_of(stripe)
+        assert 0 <= sid < shards
+        assert b.shard_of(stripe) == sid  # rebuild-deterministic
+        assert a.shard_of(stripe) == sid  # call-deterministic
+
+
+def test_hash_ring_stable_across_processes():
+    """The ring must not depend on PYTHONHASHSEED (no builtin hash())."""
+    prog = (
+        "from repro.cluster import HashRingMap;"
+        "print([HashRingMap(3, seed=5).shard_of(g) for g in range(64)])"
+    )
+    outs = {
+        subprocess.run(
+            [sys.executable, "-c", prog],
+            capture_output=True, text=True, check=True,
+            env={**os.environ, "PYTHONPATH": "src", "PYTHONHASHSEED": str(h)},
+        ).stdout
+        for h in (0, 1, 12345)
+    }
+    assert len(outs) == 1
+
+
+def test_round_robin_is_modulo():
+    m = RoundRobinMap(4)
+    assert [m.shard_of(g) for g in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+@pytest.mark.parametrize("shards", [2, 3, 4, 8])
+def test_hash_ring_balance(shards):
+    """Virtual nodes keep per-shard stripe counts near uniform."""
+    m = HashRingMap(shards)
+    counts = [0] * shards
+    for g in range(STRIPES):
+        counts[m.shard_of(g)] += 1
+    mean = STRIPES / shards
+    assert max(counts) <= 1.35 * mean
+    assert min(counts) >= 0.65 * mean
+
+
+# ----------------------------------------------------------------------
+# stability: adding a shard remaps ~1/(S+1), all onto the new shard
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shards", [1, 2, 3, 4, 5, 6, 7])
+@pytest.mark.parametrize("seed", [0, 17])
+def test_hash_ring_add_shard_moves_few_all_to_new(shards, seed):
+    old = HashRingMap(shards, seed=seed)
+    new = old.with_added_shard()
+    assert new.num_shards == shards + 1
+    moved = [g for g in range(STRIPES) if new.shard_of(g) != old.shard_of(g)]
+    # expected fraction is 1/(S+1); allow generous sampling slack but pin
+    # the order of magnitude (round-robin would move ~S/(S+1))
+    assert len(moved) / STRIPES <= 1.6 / (shards + 1), (
+        f"S={shards}: moved {len(moved)}/{STRIPES}"
+    )
+    assert moved, "adding a shard must attract some stripes"
+    # consistent-hashing signature: every moved stripe lands on the NEW shard
+    assert all(new.shard_of(g) == shards for g in moved)
+
+
+def test_round_robin_add_shard_remaps_almost_everything():
+    """Why round-robin is excluded from rebalance: ~S/(S+1) moves."""
+    old = RoundRobinMap(3)
+    new = old.with_added_shard()
+    moved = sum(1 for g in range(STRIPES) if new.shard_of(g) != old.shard_of(g))
+    assert moved / STRIPES > 0.6
+
+
+def test_supports_rebalance_flags():
+    assert HashRingMap(2).supports_rebalance
+    assert not RoundRobinMap(2).supports_rebalance
+
+
+# ----------------------------------------------------------------------
+# API edges
+# ----------------------------------------------------------------------
+def test_factory_and_validation_errors():
+    with pytest.raises(ValueError, match="unknown shard map"):
+        make_shard_map("zone-aware", 2)
+    with pytest.raises(ValueError, match="at least one shard"):
+        HashRingMap(0)
+    with pytest.raises(ValueError, match="at least one virtual node"):
+        HashRingMap(2, vnodes=0)
+    with pytest.raises(ValueError, match=">= 0"):
+        HashRingMap(2).shard_of(-1)
+    with pytest.raises(ValueError, match=">= 0"):
+        RoundRobinMap(2).shard_of(-1)
+
+
+def test_describe():
+    assert "hash-ring" in HashRingMap(3, vnodes=8, seed=2).describe()
+    assert "round-robin" in RoundRobinMap(3).describe()

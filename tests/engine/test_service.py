@@ -6,6 +6,7 @@ import pytest
 from repro.codes import make_rs
 from repro.engine import PlanCache, ReadService
 from repro.harness import service_report
+from repro.obs import flatten_snapshot
 from repro.store import BlockStore
 
 
@@ -138,29 +139,19 @@ class TestCountersAndMetrics:
         assert m["service"]["degraded_serves"] == 0
         assert m["cache"]["plans_built"] == 1
 
-    def test_metrics_flat_compat(self, loaded):
-        """flat=True keeps the pre-1.1 shape but now warns deprecation."""
+    def test_metrics_flat_kwarg_removed(self, loaded):
+        """The pre-1.1 flat=True legacy shape is gone (deprecated in 1.1);
+        flatten_snapshot is the supported way to get dotted scalar keys."""
         store, _ = loaded
         svc = ReadService(store)
         svc.submit([(0, 100)], queue_depth=1)
-        with pytest.warns(DeprecationWarning, match="flat=True"):
-            flat = svc.metrics(flat=True)
-        assert set(flat) == {
-            "requests",
-            "batches",
-            "bytes_served",
-            "max_queue_depth",
-            "retries",
-            "degraded_serves",
-            "disk_load",
-            "cache",
-            "health",
-        }
+        with pytest.raises(TypeError):
+            svc.metrics(flat=True)
         m = svc.metrics()
+        flat = flatten_snapshot(m)
         for key in ("requests", "batches", "bytes_served", "retries"):
-            assert flat[key] == m["service"][key]
-        assert flat["cache"] == m["cache"]
-        assert flat["health"] == m["health"]
+            assert flat[f"service.{key}"] == m["service"][key]
+        assert flat["cache.plans_built"] == m["cache"]["plans_built"]
 
     def test_service_report_renders(self, loaded):
         store, _ = loaded

@@ -1,0 +1,67 @@
+"""The benchmark results writer must refuse schema_version drift.
+
+``benchmarks/conftest.py:write_results_json`` stamps every
+``results/*.json`` with :data:`repro.SCHEMA_VERSION`.  Before this guard
+an explicit ``schema_version`` in the payload silently won, so a payload
+built against an old snapshot schema could land in ``results/`` looking
+current.  Now a mismatching declaration is rejected outright.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+_BENCH_CONFTEST = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "conftest.py"
+)
+
+
+@pytest.fixture()
+def write_results_json():
+    """Load the benchmarks conftest as a plain module (it lives outside
+    the package tree, so import it by path under a private name)."""
+    spec = importlib.util.spec_from_file_location(
+        "_bench_conftest_under_test", _BENCH_CONFTEST
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    try:
+        yield module.write_results_json
+    finally:
+        sys.modules.pop("_bench_conftest_under_test", None)
+
+
+@pytest.fixture()
+def results_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("ECFRM_RESULTS_DIR", str(tmp_path))
+    return tmp_path
+
+
+def test_payload_is_stamped_with_current_schema(write_results_json, results_dir):
+    path = write_results_json("guard-ok", {"value": 1})
+    assert path == results_dir / "guard-ok.json"
+    doc = json.loads(path.read_text())
+    assert doc == {"schema_version": repro.SCHEMA_VERSION, "value": 1}
+
+
+def test_matching_declared_schema_is_accepted(write_results_json, results_dir):
+    path = write_results_json(
+        "guard-match", {"schema_version": repro.SCHEMA_VERSION, "value": 2}
+    )
+    assert json.loads(path.read_text())["value"] == 2
+
+
+@pytest.mark.parametrize("declared", [0, repro.SCHEMA_VERSION + 1, "1", None])
+def test_mismatching_declared_schema_is_rejected(
+    write_results_json, results_dir, declared
+):
+    with pytest.raises(ValueError, match="schema_version"):
+        write_results_json(
+            "guard-drift", {"schema_version": declared, "value": 3}
+        )
+    assert not (results_dir / "guard-drift.json").exists()

@@ -11,7 +11,7 @@ import pytest
 import repro
 from repro.engine import ReadService
 from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultSchedule
-from repro.obs import SCHEMA_VERSION, MetricsRegistry, Tracer
+from repro.obs import SCHEMA_VERSION, MetricsRegistry, Tracer, flatten_snapshot
 from repro.store import BlockStore, Scrubber
 
 
@@ -136,13 +136,15 @@ class TestNamespaces:
         assert m["service"]["requests"] == 0  # svc2's own counters
         assert m["cache"]["hits"] == 0
 
-    def test_flat_flag_matches_nested(self, traced_service):
+    def test_flat_flag_removed(self, traced_service):
+        # the pre-1.1 legacy shape was deprecated in 1.1 and is now gone;
+        # flatten_snapshot is the supported flat view of the snapshot
+        with pytest.raises(TypeError):
+            traced_service.metrics(flat=True)
         m = traced_service.metrics()
-        with pytest.warns(DeprecationWarning, match="flat=True"):
-            flat = traced_service.metrics(flat=True)
-        assert flat["requests"] == m["service"]["requests"]
-        assert flat["cache"] == m["cache"]
-        assert "schema_version" not in flat
+        flat = flatten_snapshot(m)
+        assert flat["service.requests"] == m["service"]["requests"]
+        assert flat["schema_version"] == m["schema_version"]
 
 
 class TestTracerDefaultWiring:

@@ -20,6 +20,7 @@ class TestParser:
         p.parse_args(["codes"])
         p.parse_args(["demo", "--code", "lrc-6-2-2"])
         p.parse_args(["serve", "--queue-depth", "4", "--fail-disk", "2"])
+        p.parse_args(["cluster", "--shards", "4", "--fail-disk", "1:2"])
 
 
 class TestCommands:
@@ -190,6 +191,49 @@ class TestMttdlCommand:
     def test_mttdl_with_lse(self, capsys):
         assert main(["mttdl", "--code", "rs-6-3", "--rows", "30", "--lse-prob", "0.01"]) == 0
         assert "LSE probability 0.01" in capsys.readouterr().out
+
+
+class TestClusterCommand:
+    def test_degraded_scatter_gather(self, capsys):
+        rc = main([
+            "cluster", "--code", "rs-3-2", "--shards", "3", "--stripes", "18",
+            "--element-size", "512", "--requests", "24", "--fail-disk", "1:0",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hash-ring[3 shards" in out
+        assert "that shard serves degraded" in out
+        assert "disk-load imbalance" in out
+        assert "payloads byte-exact: OK" in out
+
+    def test_add_shard_rebalance(self, capsys):
+        rc = main([
+            "cluster", "--code", "rs-3-2", "--shards", "2", "--stripes", "20",
+            "--element-size", "512", "--requests", "16", "--add-shard",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "added shard 2: moved" in out
+        assert "post-rebalance reads byte-exact: OK" in out
+
+    def test_round_robin_zipf_and_rebalance_refusal(self, capsys):
+        rc = main([
+            "cluster", "--code", "rs-3-2", "--map", "round-robin",
+            "--stripes", "12", "--element-size", "512", "--requests", "16",
+            "--zipf", "1.2", "--add-shard",
+        ])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "payloads byte-exact: OK" in captured.out
+        assert "add-shard refused" in captured.err
+
+    def test_bad_fail_disk_spec(self, capsys):
+        rc = main([
+            "cluster", "--code", "rs-3-2", "--stripes", "6",
+            "--element-size", "512", "--fail-disk", "nope",
+        ])
+        assert rc == 2
+        assert "SHARD:DISK" in capsys.readouterr().err
 
 
 class TestMigrateCommand:
