@@ -1,0 +1,192 @@
+"""Extension bench: the open-loop request pipeline.
+
+The paper's concurrency experiments are closed-loop: a fixed window of
+requests in flight, so a slow system throttles its own offered load.
+This bench drives the same store *open-loop* — arrivals at a configured
+rate regardless of completion — and measures the three things the
+pipeline exists for:
+
+* **closed vs open loop**: the closed-loop driver hides queueing delay
+  that the open-loop tail (p99/p999) exposes at the same offered work;
+* **hedging ablation**: with one 6x straggler in the array, racing a
+  parity-reconstruction plan against the laggard collapses the p999 —
+  the headline acceptance criterion (hedged p999 < unhedged p999 at the
+  same arrival rate and seed);
+* **overload**: above saturation, admission control keeps the wait queue
+  bounded and sheds the rest instead of growing an unbounded backlog.
+
+Writes ``results/open_loop.json``.
+"""
+
+import os
+
+import pytest
+
+from conftest import run_once, write_results_json
+
+from repro import open_store
+from repro.engine import (
+    AdmissionController,
+    HedgeConfig,
+    OpenLoopWorkload,
+    RequestPipeline,
+    simulate_concurrent,
+)
+from repro.faults import StragglerDetector
+
+SCALE = float(os.environ.get("ECFRM_TRIAL_SCALE", "1.0"))
+REQUESTS = max(200, int(2000 * SCALE))
+SEED = int(os.environ.get("ECFRM_PIPELINE_SEED", "2015"))
+RATE = 120.0
+ELEMENT = 64
+ROWS = 64
+
+
+def make_service(straggler_factor=None):
+    import numpy as np
+
+    svc = open_store("rs-6-3", "ec-frm", element_size=ELEMENT)
+    rng = np.random.default_rng(SEED)
+    data = rng.integers(
+        0, 256, size=ROWS * svc.store.row_bytes, dtype=np.uint8
+    ).tobytes()
+    svc.store.append(data)
+    if straggler_factor is not None:
+        svc.store.array[2].slowdown = straggler_factor
+    return svc
+
+
+def workload(svc, *, rate=RATE, requests=REQUESTS, zipf=1.4):
+    return OpenLoopWorkload(
+        svc.store.user_bytes,
+        requests=requests,
+        rate_rps=rate,
+        min_bytes=ELEMENT // 4,
+        max_bytes=4 * ELEMENT,
+        zipf_s=zipf,
+        seed=SEED,
+    )
+
+
+def open_loop_run(svc, wl, *, hedged=False, admission=None):
+    pipe = RequestPipeline(
+        [svc],
+        hedge=HedgeConfig(enabled=hedged, multiplier=2.0),
+        detector=StragglerDetector() if hedged else None,
+        admission=admission,
+        materialize=False,
+    )
+    return pipe.run(wl)
+
+
+def tail_ms(result):
+    return {
+        q: round(result.latency.quantile(p) * 1e3, 3)
+        for q, p in (("p50", 0.5), ("p99", 0.99), ("p999", 0.999))
+    }
+
+
+@pytest.mark.benchmark(group="open-loop")
+def test_open_loop_pipeline(benchmark):
+    def run():
+        out = {}
+
+        # -- closed vs open loop, same requests ------------------------
+        svc = make_service()
+        wl = workload(svc)
+        plans = [svc.plan(off, ln) for _, off, ln in wl]
+        closed = simulate_concurrent(
+            plans, svc.store.array.model, queue_depth=16
+        )
+        open_r = open_loop_run(svc, wl)
+        out["closed_vs_open"] = {
+            "closed_mean_latency_ms": round(closed.mean_latency_s * 1e3, 3),
+            "open": {**tail_ms(open_r), "completed": open_r.completed},
+            "coalesced": open_r.coalesced,
+        }
+
+        # -- hedging ablation under a 6x straggler ---------------------
+        ablation = {}
+        for hedged in (False, True):
+            svc = make_service(straggler_factor=6.0)
+            r = open_loop_run(svc, workload(svc), hedged=hedged)
+            ablation["hedged" if hedged else "unhedged"] = {
+                **tail_ms(r),
+                "hedges_launched": r.hedges_launched,
+                "hedges_won": r.hedges_won,
+                "hedges_wasted": r.hedges_wasted,
+            }
+        out["hedging_ablation"] = ablation
+
+        # -- arrival-rate sweep (hedged, straggler) --------------------
+        sweep = []
+        for rate in (60.0, 120.0, 240.0):
+            svc = make_service(straggler_factor=6.0)
+            r = open_loop_run(
+                svc, workload(svc, rate=rate), hedged=True
+            )
+            sweep.append({"rate_rps": rate, **tail_ms(r)})
+        out["rate_sweep"] = sweep
+
+        # -- overload: admission bounds the queue ----------------------
+        svc = make_service()
+        over = open_loop_run(
+            svc,
+            workload(svc, rate=2000.0),
+            admission=AdmissionController(max_inflight=32, queue_limit=64),
+        )
+        out["overload"] = {
+            "arrived": over.arrived,
+            "completed": over.completed,
+            "rejected": over.rejected,
+            "peak_queue_depth": over.peak_queue_depth,
+            "queue_limit": 64,
+        }
+        return out
+
+    results = run_once(benchmark, run)
+
+    print()
+    cvo = results["closed_vs_open"]
+    print(f"  closed-loop mean latency : {cvo['closed_mean_latency_ms']:8.3f} ms")
+    print(
+        f"  open-loop   p50/p99/p999 : {cvo['open']['p50']:8.3f} /"
+        f" {cvo['open']['p99']:8.3f} / {cvo['open']['p999']:8.3f} ms"
+        f"  (coalesced {cvo['coalesced']})"
+    )
+    ab = results["hedging_ablation"]
+    for name in ("unhedged", "hedged"):
+        r = ab[name]
+        print(
+            f"  straggler {name:8s} p999  : {r['p999']:8.3f} ms"
+            f"  (hedges {r['hedges_won']}/{r['hedges_launched']} won)"
+        )
+    ov = results["overload"]
+    print(
+        f"  overload: {ov['completed']} served, {ov['rejected']} shed,"
+        f" peak queue {ov['peak_queue_depth']}/{ov['queue_limit']}"
+    )
+
+    benchmark.extra_info.update(results)
+    write_results_json(
+        "open_loop",
+        {
+            "config": {
+                "requests": REQUESTS,
+                "rate_rps": RATE,
+                "seed": SEED,
+                "element_size": ELEMENT,
+                "straggler_factor": 6.0,
+                "zipf_s": 1.4,
+            },
+            **results,
+        },
+    )
+
+    # acceptance: hedging improves the p999 under the straggler schedule
+    # at a fixed arrival rate
+    assert ab["hedged"]["p999"] < ab["unhedged"]["p999"]
+    assert ab["hedged"]["hedges_won"] > 0
+    # admission control bounds the queue at overload rates
+    assert ov["peak_queue_depth"] <= ov["queue_limit"]
+    assert ov["completed"] + ov["rejected"] == ov["arrived"]

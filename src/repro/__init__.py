@@ -39,13 +39,28 @@ from . import (
     workloads,
 )
 from .cluster import ClusterService
-from .engine import PlanCache, ReadService
-from .faults import FaultEvent, FaultInjector, FaultKind, FaultSchedule
+from .engine import (
+    AdmissionController,
+    HedgeConfig,
+    OpenLoopResult,
+    OpenLoopWorkload,
+    PlanCache,
+    ReadService,
+    RequestPipeline,
+    UnsupportedFailurePatternError,
+)
+from .faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+    StragglerDetector,
+)
 from .migrate import MigrationJournal, Migrator, plan_migration, resume_migration
 from .obs import SCHEMA_VERSION, Histogram, MetricsRegistry, Tracer
 from .store import BlockStore, Scrubber
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 
 def open_store(
@@ -140,11 +155,18 @@ __all__ = [
     "ClusterService",
     "ReadService",
     "PlanCache",
+    "UnsupportedFailurePatternError",
+    "OpenLoopWorkload",
+    "AdmissionController",
+    "HedgeConfig",
+    "RequestPipeline",
+    "OpenLoopResult",
     "Scrubber",
     "FaultInjector",
     "FaultEvent",
     "FaultKind",
     "FaultSchedule",
+    "StragglerDetector",
     "Migrator",
     "MigrationJournal",
     "plan_migration",

@@ -486,6 +486,73 @@ class ClusterService:
             bytes_served=nbytes,
         )
 
+    def submit_open_loop(self, arrivals, **pipeline_kwargs):
+        """Drive an open-loop arrival process across the cluster.
+
+        ``arrivals`` is an iterable of ``(arrival_s, offset, length)``
+        logical byte reads (e.g. an
+        :class:`~repro.engine.pipeline.OpenLoopWorkload` over
+        :attr:`user_bytes`).  Each arrival is split at stripe boundaries
+        into per-shard pieces, and the whole process runs through one
+        :class:`~repro.engine.pipeline.RequestPipeline` spanning every
+        shard's service — asynchronous scatter-gather: a spanning read's
+        pieces queue on their shards *concurrently*, and the request
+        completes when the slowest piece does.  Admission, coalescing and
+        hedging apply per piece exactly as on a single volume; remaining
+        keyword arguments go to the pipeline constructor.  Returns the
+        run's :class:`~repro.engine.pipeline.OpenLoopResult` (payloads in
+        arrival order when materializing, reassembled and pad-excised).
+        """
+        from ..engine.pipeline import RequestPipeline
+
+        jobs: list[tuple[float, list[tuple[int, int, int]]]] = []
+        metas: list[tuple[int, int]] = []
+        for arrival_s, offset, length in arrivals:
+            if offset < 0 or length <= 0:
+                raise ValueError(
+                    f"invalid byte range offset={offset} length={length}"
+                )
+            if offset + length > self._user_bytes:
+                raise ValueError(
+                    f"range [{offset}, {offset + length}) beyond stored "
+                    f"{self._user_bytes} user bytes (flush() pending data "
+                    "first)"
+                )
+            phys_first = self._logical_to_physical(offset)
+            phys_last = self._logical_to_physical(offset + length - 1)
+            pieces = self._split_physical(
+                phys_first, phys_last - phys_first + 1
+            )
+            jobs.append((arrival_s, pieces))
+            metas.append((phys_first, length))
+            if len({sid for sid, _, _ in pieces}) > 1:
+                self.counters.spanning_reads += 1
+            for sid, _, _ in pieces:
+                self.counters.sub_reads[sid] = (
+                    self.counters.sub_reads.get(sid, 0) + 1
+                )
+
+        def assemble(meta: tuple[int, int], parts: list[bytes]) -> bytes:
+            phys_start, want = meta
+            logical = self._excise_padding(b"".join(parts), phys_start)
+            assert len(logical) == want, (
+                f"reassembled {len(logical)} bytes, wanted {want}"
+            )
+            return logical
+
+        pipe = RequestPipeline(
+            [vol.service for vol in self.volumes],
+            tracer=self.tracer,
+            registry=self.registry,
+            assemble=assemble,
+            **pipeline_kwargs,
+        )
+        result = pipe.run_jobs(jobs, metas=metas)
+        self.counters.requests += result.completed
+        self.counters.batches += 1
+        self.counters.bytes_served += result.bytes_served
+        return result
+
     # ------------------------------------------------------------------
     # faults
     # ------------------------------------------------------------------

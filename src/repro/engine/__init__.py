@@ -5,7 +5,9 @@
 * :mod:`repro.engine.degraded` — degraded-read planning with repair sets;
 * :mod:`repro.engine.executor` — timing plans against the disk simulator;
 * :mod:`repro.engine.plancache` — LRU memoization of the planners;
-* :mod:`repro.engine.service` — batched, plan-cached concurrent reads.
+* :mod:`repro.engine.service` — batched, plan-cached concurrent reads;
+* :mod:`repro.engine.pipeline` — open-loop event scheduler with hedged
+  sub-reads, admission control and request coalescing.
 """
 
 from .concurrency import ThroughputResult, simulate_concurrent
@@ -13,7 +15,19 @@ from .degraded import plan_degraded_read
 from .executor import ReadOutcome, execute_plan, simulate_plan
 from .multifailure import plan_degraded_read_multi
 from .optimizing import plan_degraded_read_optimized, repair_set_alternatives
-from .plancache import PlanCache, PlanCacheStats, placement_signature
+from .pipeline import (
+    AdmissionController,
+    HedgeConfig,
+    OpenLoopResult,
+    OpenLoopWorkload,
+    RequestPipeline,
+)
+from .plancache import (
+    PlanCache,
+    PlanCacheStats,
+    UnsupportedFailurePatternError,
+    placement_signature,
+)
 from .planner import plan_normal_read
 from .rebuild import RebuildPlan, plan_disk_rebuild, rebuild_time_s
 from .requests import AccessKind, AccessPlan, ElementAccess, ReadRequest
@@ -39,8 +53,14 @@ __all__ = [
     "simulate_concurrent",
     "PlanCache",
     "PlanCacheStats",
+    "UnsupportedFailurePatternError",
     "placement_signature",
     "ReadService",
     "BatchReadResult",
     "ServiceCounters",
+    "OpenLoopWorkload",
+    "AdmissionController",
+    "HedgeConfig",
+    "RequestPipeline",
+    "OpenLoopResult",
 ]

@@ -1,0 +1,34 @@
+"""Open-loop request pipeline: event-loop scheduling over the simulated
+clock.
+
+The package that turns the synchronous read frontend into the
+concurrency regime the paper's throughput claims (§VI) actually live in:
+
+* :mod:`repro.engine.pipeline.loadgen` — :class:`OpenLoopWorkload`,
+  timestamped Poisson/uniform arrivals with optional Zipf-hot offsets;
+* :mod:`repro.engine.pipeline.admission` — :class:`AdmissionController`,
+  bounded wait queue + concurrency gate with load shedding;
+* :mod:`repro.engine.pipeline.hedging` — :class:`HedgeConfig` /
+  :class:`HedgeCounters`, the reconstruction-vs-straggler race policy;
+* :mod:`repro.engine.pipeline.scheduler` — :class:`RequestPipeline`, the
+  completion-queue event loop with per-disk FCFS servers, request
+  coalescing and hedged sub-reads, returning :class:`OpenLoopResult`.
+
+Entry points: :meth:`repro.engine.service.ReadService.open_loop` for a
+single store, :meth:`repro.cluster.service.ClusterService.submit_open_loop`
+for sharded volumes, and the ``pipeline`` CLI subcommand.
+"""
+
+from .admission import AdmissionController
+from .hedging import HedgeConfig, HedgeCounters
+from .loadgen import OpenLoopWorkload
+from .scheduler import OpenLoopResult, RequestPipeline
+
+__all__ = [
+    "OpenLoopWorkload",
+    "AdmissionController",
+    "HedgeConfig",
+    "HedgeCounters",
+    "RequestPipeline",
+    "OpenLoopResult",
+]

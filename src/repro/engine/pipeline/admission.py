@@ -1,0 +1,97 @@
+"""Admission control: bounded wait queue plus a concurrency gate.
+
+An open-loop arrival process offered above capacity grows an unbounded
+queue — latency diverges and every request eventually times out.  The
+controller applies the standard two-stage defence:
+
+* at most ``max_inflight`` requests execute concurrently (the frontend's
+  worker slots);
+* overflow waits in a FIFO of at most ``queue_limit`` entries, and its
+  wait lands in the tracer's ``queue_wait`` stage;
+* arrivals beyond both bounds are **shed** immediately (backpressure to
+  the client), which is what keeps the queue — and the tail — bounded at
+  overload.
+
+The controller is pure bookkeeping over the pipeline's simulated clock;
+it never touches disks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Bounded FIFO admission for the open-loop pipeline.
+
+    Parameters
+    ----------
+    max_inflight:
+        Concurrent requests allowed past the gate.
+    queue_limit:
+        Arrivals allowed to wait when all slots are busy; further
+        arrivals are rejected.
+    """
+
+    def __init__(self, *, max_inflight: int = 64, queue_limit: int = 1024) -> None:
+        if max_inflight <= 0:
+            raise ValueError(f"max_inflight must be > 0, got {max_inflight}")
+        if queue_limit < 0:
+            raise ValueError(f"queue_limit must be >= 0, got {queue_limit}")
+        self.max_inflight = max_inflight
+        self.queue_limit = queue_limit
+        self.inflight = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.peak_queue_depth = 0
+        self._queue: deque[Any] = deque()
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs currently waiting behind the gate."""
+        return len(self._queue)
+
+    def offer(self, job: Any) -> str:
+        """Present one arrival; returns ``"admit"``, ``"queue"`` or
+        ``"reject"``.
+
+        ``"admit"`` takes a concurrency slot immediately; ``"queue"``
+        parks the job FIFO (it is handed back by :meth:`release` when a
+        slot frees); ``"reject"`` sheds it — the caller must not run it.
+        """
+        if self.inflight < self.max_inflight:
+            self.inflight += 1
+            self.admitted += 1
+            return "admit"
+        if len(self._queue) < self.queue_limit:
+            self._queue.append(job)
+            self.peak_queue_depth = max(self.peak_queue_depth, len(self._queue))
+            return "queue"
+        self.rejected += 1
+        return "reject"
+
+    def release(self) -> Any | None:
+        """Free one slot; returns the next waiting job (now admitted) or
+        ``None`` when the wait queue is empty."""
+        if self.inflight <= 0:
+            raise RuntimeError("release() without a matching admit")
+        if self._queue:
+            self.admitted += 1
+            return self._queue.popleft()
+        self.inflight -= 1
+        return None
+
+    def snapshot(self) -> dict:
+        """Plain-dict view for metrics export."""
+        return {
+            "max_inflight": self.max_inflight,
+            "queue_limit": self.queue_limit,
+            "inflight": self.inflight,
+            "queue_depth": self.queue_depth,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "peak_queue_depth": self.peak_queue_depth,
+        }

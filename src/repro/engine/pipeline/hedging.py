@@ -1,0 +1,80 @@
+"""Hedged sub-reads: race a reconstruction plan against a straggler.
+
+Erasure coding gives reads a second way to finish: any ``k`` of the
+stripe's elements reconstruct the rest.  When one disk of a dispatched
+plan lags — the classic tail-latency adversary — the pipeline launches a
+*hedge*: a degraded-read plan built **around** the lagging disk, racing
+reconstruction against the straggler.  Whichever attempt completes first
+wins; the loser's unstarted sub-reads are cancelled (in-flight ones run
+out, occupying their disk — a real cancel cannot recall a seek either).
+
+This is the same tail-vs-redundancy trade the Piggybacking framework
+(PAPERS.md) exploits for repair traffic, applied to foreground reads.
+Two triggers exist:
+
+* **deadline** — the hedge fires when the piece is still incomplete
+  ``multiplier ×`` its nominal critical path after dispatch;
+* **detector** — a :class:`repro.faults.stragglers.StragglerDetector`
+  flag on a planned disk arms the hedge at dispatch time, skipping the
+  wait entirely.
+
+``hedges_won / hedges_wasted`` count races won by the reconstruction and
+races the primary won anyway (the hedge's cost with no benefit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HedgeConfig", "HedgeCounters"]
+
+
+@dataclass(frozen=True)
+class HedgeConfig:
+    """Hedging policy knobs.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch; disabled turns the pipeline into a pure FCFS
+        scheduler (the ablation baseline).
+    multiplier:
+        Deadline factor: hedge when a piece is still incomplete
+        ``multiplier ×`` its nominal (unslowed) critical path after
+        dispatch.  Values well above 1 keep hedges rare on healthy
+        arrays.
+    min_delay_s:
+        Floor on the deadline, so sub-millisecond plans don't hedge on
+        scheduling noise.
+    """
+
+    enabled: bool = True
+    multiplier: float = 3.0
+    min_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.multiplier <= 1.0:
+            raise ValueError(f"multiplier must be > 1, got {self.multiplier}")
+        if self.min_delay_s < 0.0:
+            raise ValueError(f"min_delay_s must be >= 0, got {self.min_delay_s}")
+
+    def deadline_after(self, nominal_s: float) -> float:
+        """Seconds after dispatch at which the hedge trigger fires."""
+        return max(self.min_delay_s, self.multiplier * nominal_s)
+
+
+@dataclass
+class HedgeCounters:
+    """Cumulative hedge-race outcomes."""
+
+    launched: int = 0
+    won: int = 0
+    wasted: int = 0
+
+    def snapshot(self) -> dict:
+        """Plain-dict view for metrics export."""
+        return {
+            "hedges_launched": self.launched,
+            "hedges_won": self.won,
+            "hedges_wasted": self.wasted,
+        }

@@ -1,0 +1,97 @@
+"""Open-loop arrival generation for the request pipeline.
+
+A *closed-loop* driver (:func:`repro.engine.concurrency.simulate_concurrent`)
+holds a fixed number of requests in flight: a slow system automatically
+slows its own offered load, which hides queueing collapse.  Real cloud
+frontends are *open-loop* — clients arrive at their own rate whether or
+not the system keeps up — and that is the regime where admission control
+and hedging earn their keep.  :class:`OpenLoopWorkload` generates that
+arrival process: timestamped ``(arrival_s, offset, length)`` byte reads
+at a configured rate, with optionally Zipf-skewed offsets (hot objects)
+and Poisson or uniform inter-arrival gaps.
+
+Zipf starts land on multiples of ``max_bytes``, so hot small reads fall
+*inside* hot large reads — the overlap the pipeline's request coalescing
+collapses into shared executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["OpenLoopWorkload"]
+
+
+@dataclass(frozen=True)
+class OpenLoopWorkload:
+    """Timestamped open-loop byte-read arrivals.
+
+    Parameters
+    ----------
+    user_bytes:
+        Logical address space; every generated range fits inside it.
+    requests:
+        Number of arrivals to generate.
+    rate_rps:
+        Mean arrival rate, requests per (simulated) second.
+    min_bytes / max_bytes:
+        Uniform request-size bounds, inclusive.
+    zipf_s:
+        ``None`` for uniform offsets; a value > 1 draws Zipf(s)-skewed
+        offsets clustered at the start of the space (hot prefix).
+    arrival:
+        ``"poisson"`` for exponential inter-arrival gaps (memoryless open
+        loop), ``"uniform"`` for a fixed ``1/rate`` cadence.
+    seed:
+        RNG seed; identical parameters and seed reproduce the exact
+        arrival sequence.
+    """
+
+    user_bytes: int
+    requests: int
+    rate_rps: float
+    min_bytes: int = 1
+    max_bytes: int = 65536
+    zipf_s: float | None = None
+    arrival: str = "poisson"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.requests <= 0:
+            raise ValueError(f"requests must be > 0, got {self.requests}")
+        if self.rate_rps <= 0.0:
+            raise ValueError(f"rate_rps must be > 0, got {self.rate_rps}")
+        if not 1 <= self.min_bytes <= self.max_bytes:
+            raise ValueError("need 1 <= min_bytes <= max_bytes")
+        if self.user_bytes < self.max_bytes:
+            raise ValueError("address space smaller than max_bytes")
+        if self.zipf_s is not None and self.zipf_s <= 1.0:
+            raise ValueError(f"zipf exponent must be > 1, got {self.zipf_s}")
+        if self.arrival not in ("poisson", "uniform"):
+            raise ValueError(f"arrival must be poisson|uniform, got {self.arrival!r}")
+
+    def __len__(self) -> int:
+        return self.requests
+
+    def arrivals(self) -> Iterator[tuple[float, int, int]]:
+        """Yield ``(arrival_s, offset, length)`` in arrival order."""
+        rng = np.random.default_rng(self.seed)
+        clock = 0.0
+        for _ in range(self.requests):
+            if self.arrival == "poisson":
+                clock += float(rng.exponential(1.0 / self.rate_rps))
+            else:
+                clock += 1.0 / self.rate_rps
+            length = int(rng.integers(self.min_bytes, self.max_bytes + 1))
+            limit = self.user_bytes - length
+            if self.zipf_s is None:
+                offset = int(rng.integers(0, limit + 1))
+            else:
+                offset = min((int(rng.zipf(self.zipf_s)) - 1) * self.max_bytes, limit)
+            yield clock, offset, length
+
+    def __iter__(self) -> Iterator[tuple[float, int, int]]:
+        return self.arrivals()

@@ -34,7 +34,34 @@ from .degraded import plan_degraded_read
 from .planner import plan_normal_read
 from .requests import AccessPlan, ReadRequest
 
-__all__ = ["PlanCacheStats", "PlanCache", "placement_signature"]
+__all__ = [
+    "UnsupportedFailurePatternError",
+    "PlanCacheStats",
+    "PlanCache",
+    "placement_signature",
+]
+
+
+class UnsupportedFailurePatternError(ValueError):
+    """A multi-disk failure signature reached the plan cache.
+
+    The cache only serves normal (zero-failure) and single-failure plans;
+    patterns with two or more failed disks have no plan object at all —
+    they must be served through the store's exhaustive
+    :meth:`repro.store.blockstore.BlockStore.read_degraded_multi`
+    fallback, the way :meth:`repro.engine.service.ReadService.submit`
+    routes them.  Subclasses :class:`ValueError` so pre-1.3 callers that
+    caught the untyped error keep working.
+    """
+
+    def __init__(self, failed_disks: tuple[int, ...]) -> None:
+        super().__init__(
+            f"plan cache does not serve multi-failure patterns "
+            f"{failed_disks}; route the read through the store's "
+            "read_degraded_multi fallback (ReadService.submit does this "
+            "automatically)"
+        )
+        self.failed_disks = failed_disks
 
 
 def placement_signature(placement: Placement) -> tuple:
@@ -126,8 +153,16 @@ class PlanCache:
         element_size: int,
         failed_disks: Iterable[int],
     ) -> AccessPlan | None:
-        """Return the cached plan for the triple, or None on a miss."""
-        key = self._key(placement, request, element_size, failed_disks)
+        """Return the cached plan for the triple, or None on a miss.
+
+        Raises
+        ------
+        UnsupportedFailurePatternError
+            If the failure signature has two or more disks.  Validated at
+            entry so the error surfaces here, typed, rather than as an
+            opaque failure deep inside a later :meth:`build`.
+        """
+        key = self._key(placement, request, element_size, self._signature(failed_disks))
         with self._lock:
             plan = self._entries.get(key)
             if plan is None:
@@ -191,9 +226,7 @@ class PlanCache:
     def _signature(failed_disks: Iterable[int]) -> tuple[int, ...]:
         failed = tuple(sorted(failed_disks))
         if len(failed) > 1:
-            raise ValueError(
-                f"plan cache does not serve multi-failure patterns {failed}"
-            )
+            raise UnsupportedFailurePatternError(failed)
         return failed
 
     def invalidate_failure(self, failed_disks: Iterable[int]) -> int:

@@ -59,21 +59,34 @@ class ServiceCounters:
         self,
         plans: Sequence[AccessPlan],
         nbytes: int,
-        queue_depth: int,
+        queue_depth: int | None,
         *,
         nrequests: int | None = None,
+        disk_deltas: Counter | None = None,
     ) -> None:
         """Fold one executed batch into the counters.
 
         ``nrequests`` overrides the request count for plan-less batches
         (the multi-failure fallback reads rows directly, without plans).
+        ``queue_depth`` is ``None`` for batches the closed-loop model
+        never timed (again the multi-failure fallback) — an untimed batch
+        must not inflate ``max_queue_depth``, which reports the deepest
+        queue actually *simulated*.  ``disk_deltas`` supplies measured
+        per-disk access counts (snapshot deltas around the executed pass);
+        when given it replaces the plan-derived loads, capturing physical
+        work plans cannot see — survivor fetches of the multi-failure
+        path, aborted retry attempts, self-heal refetches.
         """
         self.requests += len(plans) if nrequests is None else nrequests
         self.batches += 1
         self.bytes_served += nbytes
-        self.max_queue_depth = max(self.max_queue_depth, queue_depth)
-        for plan in plans:
-            self.disk_load.update(plan.per_disk_loads())
+        if queue_depth is not None:
+            self.max_queue_depth = max(self.max_queue_depth, queue_depth)
+        if disk_deltas is not None:
+            self.disk_load.update(disk_deltas)
+        else:
+            for plan in plans:
+                self.disk_load.update(plan.per_disk_loads())
 
     def load_histogram(self) -> dict[int, int]:
         """Per-disk element-read histogram, ascending disk id."""
@@ -167,23 +180,44 @@ class ReadService:
 
     # ------------------------------------------------------------------
     def plan(self, offset: int, length: int) -> AccessPlan:
-        """Plan one byte range through the cache (no execution)."""
-        return self._plan(offset, length, self.store.array.failed_disks)
+        """Plan one byte range through the cache (no execution).
+
+        Raises
+        ------
+        repro.engine.plancache.UnsupportedFailurePatternError
+            If two or more disks are currently failed: such patterns have
+            no plan object and must be served through the store's
+            ``read_degraded_multi`` fallback (:meth:`submit` routes them
+            there automatically).
+        """
+        plan, _ = self._plan(offset, length, self.store.array.failed_disks)
+        return plan
 
     def _plan(
         self, offset: int, length: int, failed: Sequence[int]
-    ) -> AccessPlan:
+    ) -> tuple[AccessPlan, bool]:
         """Plan through the cache under an explicit failure signature.
 
         ``submit`` freezes the signature at batch start so a fault firing
         mid-batch cannot split one batch across two signatures — exactly
-        the semantics of planning the whole batch up front.
+        the semantics of planning the whole batch up front.  Returns the
+        plan and whether it came from the cache, so callers can count
+        their *own* cache outcomes locally instead of diffing the global
+        stats (which other services sharing the cache also move).
         """
         request = self.store.byte_request(offset, length)
         t = self.tracer
         if not t.enabled:
-            return self.cache.plan(
+            cached = self.cache.lookup(
                 self.store.placement, request, self.store.element_size, failed
+            )
+            if cached is not None:
+                return cached, True
+            return (
+                self.cache.build(
+                    self.store.placement, request, self.store.element_size, failed
+                ),
+                False,
             )
         with t.span("cache_lookup") as sp:
             cached = self.cache.lookup(
@@ -194,10 +228,13 @@ class ReadService:
             )
             sp.set(hit=cached is not None)
         if cached is not None:
-            return cached
+            return cached, True
         with t.span("plan", degraded=bool(failed)):
-            return self.cache.build(
-                self.store.placement, request, self.store.element_size, failed
+            return (
+                self.cache.build(
+                    self.store.placement, request, self.store.element_size, failed
+                ),
+                False,
             )
 
     def read(self, offset: int, length: int) -> bytes:
@@ -236,21 +273,34 @@ class ReadService:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         t = self.tracer
-        hits0, misses0 = self.cache.stats.hits, self.cache.stats.misses
+        # Physical accounting baseline: every access the array performs on
+        # behalf of this batch — including aborted retry attempts and the
+        # escalation into the multi-failure path — lands in the delta
+        # between this snapshot and the post-batch counts.
+        access_base = self._access_snapshot()
         retries = 0
         while True:
             failed_before = self.store.array.failed_disks
             try:
                 if len(failed_before) > 1:
                     return self._submit_multi_failure(
-                        ranges, queue_depth, retries=retries
+                        ranges, retries=retries, access_base=access_base
                     )
                 plans: list[AccessPlan] = []
                 payloads: list[bytes] = []
+                # Cache outcomes for this attempt only: counting locally
+                # (rather than diffing the cache's global stats) keeps
+                # discarded retry attempts and other services sharing the
+                # cache out of this batch's numbers.
+                batch_hits = batch_misses = 0
                 for offset, length in ranges:
                     with t.request("read", offset=offset, length=length):
-                        plan = self._plan(offset, length, failed_before)
+                        plan, hit = self._plan(offset, length, failed_before)
                         payload, _ = self.store.execute_read(plan, offset, length)
+                    if hit:
+                        batch_hits += 1
+                    else:
+                        batch_misses += 1
                     plans.append(plan)
                     payloads.append(payload)
                 # Timed after materialization so straggler slowdowns that
@@ -278,7 +328,12 @@ class ReadService:
                 for i, wait in enumerate(throughput.queue_waits_s):
                     t.record("queue_wait", wait, index=i)
             nbytes = sum(len(p) for p in payloads)
-            self.counters.observe_batch(plans, nbytes, queue_depth)
+            self.counters.observe_batch(
+                plans,
+                nbytes,
+                queue_depth,
+                disk_deltas=self._access_deltas(access_base),
+            )
             self.counters.degraded_serves += sum(
                 1 for plan in plans if plan.failed_disk is not None
             )
@@ -288,17 +343,17 @@ class ReadService:
                 payloads=payloads,
                 throughput=throughput,
                 plans=plans,
-                cache_hits=self.cache.stats.hits - hits0,
-                cache_misses=self.cache.stats.misses - misses0,
+                cache_hits=batch_hits,
+                cache_misses=batch_misses,
                 retries=retries,
             )
 
     def _submit_multi_failure(
         self,
         ranges: Sequence[tuple[int, int]],
-        queue_depth: int,
         *,
         retries: int = 0,
+        access_base: dict[int, int] | None = None,
     ) -> BatchReadResult:
         """Serve a batch with >1 failed disk via the store's exhaustive
         multi-failure decoder.
@@ -306,8 +361,13 @@ class ReadService:
         There is no plan object (and hence no cache entry or closed-loop
         timing) for these patterns; the store fetches all survivors per
         row through its accounted pass.  Every range counts as a degraded
-        serve.
+        serve.  The batch is observed with ``queue_depth=None`` — nothing
+        was timed, so ``max_queue_depth`` stays untouched — and its disk
+        load comes from the array's access-count deltas around the pass,
+        so the physical survivor reads are not lost.
         """
+        if access_base is None:
+            access_base = self._access_snapshot()
         t = self.tracer
         payloads = []
         for offset, length in ranges:
@@ -315,7 +375,11 @@ class ReadService:
                 payloads.append(self.store.read_degraded_multi(offset, length))
         nbytes = sum(len(p) for p in payloads)
         self.counters.observe_batch(
-            [], nbytes, queue_depth, nrequests=len(ranges)
+            [],
+            nbytes,
+            None,
+            nrequests=len(ranges),
+            disk_deltas=self._access_deltas(access_base),
         )
         self.counters.degraded_serves += len(ranges)
         return BatchReadResult(
@@ -326,6 +390,51 @@ class ReadService:
             cache_misses=0,
             retries=retries,
         )
+
+    # ------------------------------------------------------------------
+    def open_loop(
+        self,
+        arrivals,
+        **pipeline_kwargs,
+    ):
+        """Drive an open-loop arrival process through this service.
+
+        ``arrivals`` is any iterable of ``(arrival_s, offset, length)``
+        tuples — typically an
+        :class:`~repro.engine.pipeline.OpenLoopWorkload`.  Remaining
+        keyword arguments go to
+        :class:`~repro.engine.pipeline.RequestPipeline` (``admission``,
+        ``hedge``, ``detector``, ``coalesce``, ``materialize``, ...);
+        the pipeline shares this service's tracer, registry and plan
+        cache, so queue waits land in the ``queue_wait`` trace stage and
+        the run shows up under ``service.pipeline.*`` in
+        :meth:`metrics`.  Returns the run's
+        :class:`~repro.engine.pipeline.OpenLoopResult`.
+        """
+        from .pipeline import RequestPipeline  # local: pipeline imports engine types
+
+        return RequestPipeline([self], **pipeline_kwargs).run(arrivals)
+
+    # ------------------------------------------------------------------
+    def _access_snapshot(self) -> dict[int, int]:
+        """Per-disk cumulative access counts, for delta accounting."""
+        return {
+            disk.disk_id: disk.stats.accesses for disk in self.store.array.disks
+        }
+
+    def _access_deltas(self, base: dict[int, int]) -> Counter:
+        """Accesses performed since ``base`` was snapshotted.
+
+        Disks restored with ``wipe=True`` reset their stats, so a current
+        count below the baseline is clamped to zero rather than counted
+        negative.
+        """
+        deltas: Counter = Counter()
+        for disk in self.store.array.disks:
+            delta = disk.stats.accesses - base.get(disk.disk_id, 0)
+            if delta > 0:
+                deltas[disk.disk_id] = delta
+        return deltas
 
     # ------------------------------------------------------------------
     def _service_snapshot(self) -> dict:

@@ -8,7 +8,10 @@ in the simulator so the read path can be *tested* against them:
   :class:`FaultEvent`, and scripted / seeded-random :class:`FaultSchedule`;
 * :mod:`repro.faults.injector` — :class:`FaultInjector`, which attaches to
   a :class:`~repro.disks.array.DiskArray` and fires events on a
-  per-operation clock.
+  per-operation clock;
+* :mod:`repro.faults.stragglers` — :class:`StragglerDetector`, which
+  recovers silent slowdowns from observed service times and drives the
+  pipeline's pre-deadline hedging.
 
 The matching recovery machinery lives in the store (checksums + self-heal)
 and the service (:meth:`repro.engine.service.ReadService.submit` retry
@@ -17,5 +20,12 @@ loop).
 
 from .events import FaultEvent, FaultKind, FaultSchedule
 from .injector import FaultInjector
+from .stragglers import StragglerDetector
 
-__all__ = ["FaultKind", "FaultEvent", "FaultSchedule", "FaultInjector"]
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjector",
+    "StragglerDetector",
+]

@@ -1,0 +1,101 @@
+"""Online straggler detection from observed service times.
+
+The injector's :attr:`~repro.faults.events.FaultKind.STRAGGLER` events
+multiply a disk's service time silently — nothing in the array flags the
+disk as slow, exactly like a real drive with a dying head or a noisy
+neighbour.  :class:`StragglerDetector` recovers the signal the way a
+frontend would: it compares each sub-read's *observed* service time
+against the disk model's *nominal* prediction for the same access batch
+and keeps a per-disk EWMA of the ratio.  A disk whose smoothed ratio
+exceeds the threshold is flagged, and the open-loop pipeline
+(:mod:`repro.engine.pipeline`) uses the flag to launch reconstruction
+hedges before the usual hedge deadline.
+
+The detector is model-relative, so a disk that is slow because its batch
+is large is *not* flagged — only one that is slow relative to what the
+elevator model says the batch should cost.
+"""
+
+from __future__ import annotations
+
+__all__ = ["StragglerDetector"]
+
+
+class StragglerDetector:
+    """Per-disk EWMA of observed/nominal service-time ratios.
+
+    Parameters
+    ----------
+    threshold:
+        Smoothed ratio above which a disk counts as straggling.
+    min_samples:
+        Observations required before a disk may be flagged (a single
+        unlucky batch must not trigger hedging storms).
+    alpha:
+        EWMA smoothing factor; higher reacts faster, lower is steadier.
+    """
+
+    def __init__(
+        self,
+        *,
+        threshold: float = 2.0,
+        min_samples: int = 4,
+        alpha: float = 0.3,
+    ) -> None:
+        if threshold <= 1.0:
+            raise ValueError(f"threshold must be > 1, got {threshold}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.alpha = alpha
+        self._ewma: dict[int, float] = {}
+        self._samples: dict[int, int] = {}
+
+    def observe(self, disk: int, nominal_s: float, actual_s: float) -> None:
+        """Fold one completed sub-read into the disk's smoothed ratio."""
+        if nominal_s <= 0.0:
+            return
+        ratio = actual_s / nominal_s
+        prev = self._ewma.get(disk)
+        if prev is None:
+            self._ewma[disk] = ratio
+        else:
+            self._ewma[disk] = prev + self.alpha * (ratio - prev)
+        self._samples[disk] = self._samples.get(disk, 0) + 1
+
+    def ratio(self, disk: int) -> float:
+        """Current smoothed observed/nominal ratio (1.0 when unseen)."""
+        return self._ewma.get(disk, 1.0)
+
+    def samples(self, disk: int) -> int:
+        """Observations folded in for ``disk``."""
+        return self._samples.get(disk, 0)
+
+    def is_straggling(self, disk: int) -> bool:
+        """Whether ``disk`` is currently flagged."""
+        return (
+            self._samples.get(disk, 0) >= self.min_samples
+            and self._ewma.get(disk, 1.0) > self.threshold
+        )
+
+    def straggling(self) -> list[int]:
+        """All currently flagged disks, ascending."""
+        return sorted(d for d in self._ewma if self.is_straggling(d))
+
+    def reset(self) -> None:
+        """Forget every observation."""
+        self._ewma.clear()
+        self._samples.clear()
+
+    def snapshot(self) -> dict:
+        """Plain-dict view for metrics export."""
+        return {
+            "threshold": self.threshold,
+            "flagged": self.straggling(),
+            "ratios": {
+                str(d): round(r, 4) for d, r in sorted(self._ewma.items())
+            },
+        }

@@ -5,7 +5,7 @@ so a run can answer "where does degraded-read time go?" instead of only
 reporting end-of-run aggregates.  The read path emits the stages
 
 ``plan``, ``cache_lookup``, ``queue_wait``, ``disk_io``, ``decode``,
-``heal``, ``retry``
+``heal``, ``retry``, ``hedge``
 
 plus one ``request``-kind parent span per submitted range.  Spans carry a
 ``clock`` marker: ``"wall"`` spans are measured on the tracer's monotonic
@@ -37,6 +37,7 @@ STAGES = (
     "decode",
     "heal",
     "retry",
+    "hedge",
 )
 
 

@@ -1,0 +1,131 @@
+"""Open-loop scatter-gather across the sharded cluster.
+
+``ClusterService.submit_open_loop`` splits each arrival at stripe
+boundaries and drives every shard's service through *one*
+:class:`RequestPipeline`, so a spanning read's pieces queue on their
+shards concurrently and the request completes when the last piece lands.
+"""
+
+import numpy as np
+
+from repro.cluster import ClusterService
+from repro.codes import make_rs
+from repro.engine import AdmissionController, HedgeConfig, OpenLoopWorkload
+from repro.faults import StragglerDetector
+
+ELEMENT_SIZE = 64
+
+
+def _cluster(shards=3, stripes=12, tail=21):
+    cluster = ClusterService(make_rs(4, 2), shards=shards, element_size=ELEMENT_SIZE)
+    nbytes = stripes * cluster.stripe_bytes + tail
+    data = np.random.default_rng(5).integers(
+        0, 256, size=nbytes, dtype=np.uint8
+    ).tobytes()
+    cluster.append(data)
+    cluster.flush()
+    return cluster, data
+
+
+def test_scatter_gather_is_byte_exact():
+    cluster, data = _cluster()
+    sb = cluster.stripe_bytes
+    # hand-picked arrivals: in-shard, stripe-spanning, and tail-touching
+    arrivals = [
+        (0.000, 0, 64),
+        (0.001, sb - 32, 64),  # spans stripes 0-1 (different shards)
+        (0.002, 3 * sb - 100, 2 * sb),  # spans three stripes
+        (0.003, len(data) - 40, 40),  # padded tail stripe
+    ]
+    result = cluster.submit_open_loop(arrivals)
+    assert result.completed == len(arrivals)
+    for (_, offset, length), payload in zip(arrivals, result.payloads):
+        assert payload == data[offset : offset + length]
+    assert cluster.counters.spanning_reads >= 2
+
+
+def test_workload_sweep_is_byte_exact():
+    cluster, data = _cluster()
+    wl = OpenLoopWorkload(
+        cluster.user_bytes,
+        requests=150,
+        rate_rps=500.0,
+        min_bytes=16,
+        max_bytes=2 * cluster.stripe_bytes,
+        seed=9,
+    )
+    result = cluster.submit_open_loop(wl)
+    assert result.completed == 150
+    for (_, offset, length), payload in zip(wl, result.payloads):
+        assert payload == data[offset : offset + length]
+
+
+def test_pieces_fan_out_across_shards():
+    cluster, _ = _cluster()
+    wl = OpenLoopWorkload(
+        cluster.user_bytes,
+        requests=100,
+        rate_rps=500.0,
+        min_bytes=cluster.stripe_bytes,
+        max_bytes=2 * cluster.stripe_bytes,
+        seed=3,
+    )
+    cluster.submit_open_loop(wl)
+    # spanning requests touched more than one shard's sub-read counter
+    busy = [s for s, n in cluster.counters.sub_reads.items() if n > 0]
+    assert len(busy) > 1
+
+
+def test_hedging_against_straggling_shard():
+    cluster, _ = _cluster()
+    # slow one disk inside shard 0's array
+    cluster.volumes[0].store.array[1].slowdown = 6.0
+    wl = OpenLoopWorkload(
+        cluster.user_bytes,
+        requests=800,
+        rate_rps=150.0,
+        min_bytes=16,
+        max_bytes=256,
+        seed=4,
+    )
+
+    def run(hedged):
+        return cluster.submit_open_loop(
+            wl,
+            hedge=HedgeConfig(enabled=hedged, multiplier=2.0),
+            detector=StragglerDetector() if hedged else None,
+            materialize=False,
+        )
+
+    base, hedged = run(False), run(True)
+    assert hedged.hedges_won > 0
+    assert hedged.latency.quantile(0.999) < base.latency.quantile(0.999)
+
+
+def test_admission_bounds_cluster_overload():
+    cluster, _ = _cluster()
+    wl = OpenLoopWorkload(
+        cluster.user_bytes,
+        requests=2000,
+        rate_rps=3000.0,
+        min_bytes=16,
+        max_bytes=256,
+        seed=6,
+    )
+    result = cluster.submit_open_loop(
+        wl,
+        admission=AdmissionController(max_inflight=16, queue_limit=48),
+        materialize=False,
+    )
+    assert result.completed + result.rejected == 2000
+    assert result.rejected > 0
+    assert result.peak_queue_depth <= 48
+
+
+def test_pipeline_namespace_in_cluster_metrics():
+    cluster, _ = _cluster()
+    arrivals = [(i * 1e-3, i * 64, 64) for i in range(20)]
+    cluster.submit_open_loop(arrivals)
+    snap = cluster.metrics()
+    assert "pipeline" in snap["service"]
+    assert snap["service"]["pipeline"]["completed"] == 20

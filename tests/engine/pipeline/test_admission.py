@@ -1,0 +1,66 @@
+"""Admission controller unit tests."""
+
+import pytest
+
+from repro.engine import AdmissionController
+
+
+def test_admit_until_inflight_cap():
+    ac = AdmissionController(max_inflight=2, queue_limit=3)
+    assert ac.offer("a") == "admit"
+    assert ac.offer("b") == "admit"
+    assert ac.offer("c") == "queue"
+    assert ac.queue_depth == 1
+
+
+def test_shed_when_queue_full():
+    ac = AdmissionController(max_inflight=1, queue_limit=2)
+    ac.offer("a")
+    assert ac.offer("b") == "queue"
+    assert ac.offer("c") == "queue"
+    assert ac.offer("d") == "reject"
+    assert ac.rejected == 1
+    assert ac.peak_queue_depth == 2
+
+
+def test_release_hands_back_queued_job():
+    ac = AdmissionController(max_inflight=1, queue_limit=4)
+    ac.offer("a")
+    ac.offer("b")
+    ac.offer("c")
+    # finishing "a" promotes "b" without dropping the inflight slot
+    assert ac.release() == "b"
+    assert ac.queue_depth == 1
+    assert ac.release() == "c"
+    assert ac.release() is None  # queue drained: slot actually freed
+    assert ac.offer("d") == "admit"
+
+
+def test_fifo_order():
+    ac = AdmissionController(max_inflight=1, queue_limit=8)
+    ac.offer(0)
+    for job in range(1, 5):
+        ac.offer(job)
+    assert [ac.release() for _ in range(4)] == [1, 2, 3, 4]
+
+
+def test_counters_and_snapshot():
+    ac = AdmissionController(max_inflight=1, queue_limit=1)
+    ac.offer("a")
+    ac.offer("b")
+    ac.offer("c")  # shed
+    snap = ac.snapshot()
+    assert snap["admitted"] == 1  # "b" counts only once it passes the gate
+    assert snap["rejected"] == 1
+    assert snap["queue_depth"] == 1
+    assert snap["peak_queue_depth"] == 1
+    assert ac.release() == "b"
+    assert ac.admitted == 2
+
+
+@pytest.mark.parametrize("kwargs", [{"max_inflight": 0}, {"queue_limit": -1}])
+def test_validation(kwargs):
+    base = {"max_inflight": 4, "queue_limit": 4}
+    base.update(kwargs)
+    with pytest.raises(ValueError):
+        AdmissionController(**base)

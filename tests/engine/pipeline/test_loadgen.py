@@ -1,0 +1,82 @@
+"""Open-loop workload generator tests."""
+
+import pytest
+
+from repro.engine import OpenLoopWorkload
+
+
+USER_BYTES = 1 << 20
+
+
+def test_deterministic_for_seed():
+    wl = OpenLoopWorkload(USER_BYTES, requests=500, rate_rps=100.0, seed=7)
+    assert list(wl) == list(wl.arrivals())
+
+
+def test_seed_changes_schedule():
+    a = OpenLoopWorkload(USER_BYTES, requests=200, rate_rps=100.0, seed=1)
+    b = OpenLoopWorkload(USER_BYTES, requests=200, rate_rps=100.0, seed=2)
+    assert list(a) != list(b)
+
+
+def test_len_and_bounds():
+    wl = OpenLoopWorkload(
+        USER_BYTES, requests=300, rate_rps=50.0, min_bytes=16, max_bytes=4096
+    )
+    arrivals = list(wl)
+    assert len(wl) == len(arrivals) == 300
+    prev = 0.0
+    for t, offset, length in arrivals:
+        assert t >= prev  # arrival clock is monotone
+        prev = t
+        assert 16 <= length <= 4096
+        assert 0 <= offset and offset + length <= USER_BYTES
+
+
+def test_poisson_rate_roughly_honoured():
+    wl = OpenLoopWorkload(USER_BYTES, requests=4000, rate_rps=200.0, seed=3)
+    arrivals = list(wl)
+    span = arrivals[-1][0] - arrivals[0][0]
+    observed = (len(arrivals) - 1) / span
+    assert observed == pytest.approx(200.0, rel=0.15)
+
+
+def test_uniform_arrivals_evenly_spaced():
+    wl = OpenLoopWorkload(
+        USER_BYTES, requests=10, rate_rps=100.0, arrival="uniform", seed=0
+    )
+    times = [t for t, _, _ in wl]
+    gaps = {round(b - a, 9) for a, b in zip(times, times[1:])}
+    assert gaps == {round(1 / 100.0, 9)}
+
+
+def test_zipf_offsets_align_to_max_bytes():
+    wl = OpenLoopWorkload(
+        USER_BYTES, requests=500, rate_rps=100.0, max_bytes=4096, zipf_s=1.3, seed=5
+    )
+    arrivals = list(wl)
+    # uncapped draws land on slot boundaries (tail draws clamp to the end)
+    aligned = [off for _, off, length in arrivals if off + length < USER_BYTES - 4096]
+    assert aligned and all(off % 4096 == 0 for off in aligned)
+    # skew: the hottest offset dominates
+    offsets = [off for _, off, _ in arrivals]
+    assert offsets.count(0) > len(offsets) // 5
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"requests": 0},
+        {"rate_rps": 0.0},
+        {"min_bytes": 0},
+        {"max_bytes": USER_BYTES + 1},
+        {"min_bytes": 4096, "max_bytes": 64},
+        {"arrival": "bursty"},
+        {"zipf_s": 1.0},
+    ],
+)
+def test_validation(kwargs):
+    base = dict(user_bytes=USER_BYTES, requests=10, rate_rps=10.0)
+    base.update(kwargs)
+    with pytest.raises(ValueError):
+        OpenLoopWorkload(**base)

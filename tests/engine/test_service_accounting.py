@@ -1,0 +1,215 @@
+"""Regression tests for the 1.3 service-accounting fixes.
+
+Three bugs fixed together:
+
+1. the multi-failure fallback inflated ``max_queue_depth`` with a depth
+   the closed-loop model never simulated, and dropped all its physical
+   survivor reads from ``service.disk_load``;
+2. ``BatchReadResult.cache_hits/cache_misses`` were global-stats deltas
+   captured before the retry loop, so discarded attempts and *other*
+   services sharing the cache leaked into a batch's numbers;
+3. ``PlanCache.lookup`` accepted multi-failure signatures that ``build``
+   rejected, so ``ReadService.plan()`` under >= 2 failures raised an
+   opaque ``ValueError`` from deep inside the planner dispatch.
+
+Plus the property the fixes make true: ``service.disk_load`` equals the
+array's ``DiskStats`` access totals across clean, degraded,
+multi-failure and retried batches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_rs
+from repro.engine import (
+    PlanCache,
+    ReadService,
+    UnsupportedFailurePatternError,
+)
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultSchedule
+from repro.store import BlockStore
+
+
+@pytest.fixture()
+def loaded():
+    code = make_rs(6, 3)
+    store = BlockStore(code, "ec-frm", element_size=64)
+    rng = np.random.default_rng(11)
+    data = rng.integers(0, 256, size=24 * store.row_bytes, dtype=np.uint8).tobytes()
+    store.append(data)
+    return store, data
+
+
+class TestMultiFailureAccounting:
+    """Fix 1: the plan-less fallback's counters."""
+
+    def test_max_queue_depth_untouched_by_multi_failure(self, loaded):
+        store, _ = loaded
+        svc = ReadService(store)
+        store.array.fail_disk(0)
+        store.array.fail_disk(1)
+        result = svc.submit([(0, 200), (3000, 100)], queue_depth=32)
+        assert result.throughput is None  # nothing was timed...
+        assert svc.counters.max_queue_depth == 0  # ...so no depth recorded
+
+    def test_timed_batches_still_record_depth(self, loaded):
+        store, _ = loaded
+        svc = ReadService(store)
+        svc.submit([(0, 100)], queue_depth=8)
+        store.array.fail_disk(0)
+        store.array.fail_disk(1)
+        svc.submit([(0, 100)], queue_depth=64)
+        assert svc.counters.max_queue_depth == 8
+
+    def test_multi_failure_survivor_reads_in_disk_load(self, loaded):
+        store, _ = loaded
+        svc = ReadService(store)
+        store.array.fail_disk(0)
+        store.array.fail_disk(1)
+        store.array.reset_stats()
+        svc.submit([(0, 400)], queue_depth=4)
+        load = svc.counters.disk_load
+        assert sum(load.values()) > 0
+        for disk in store.array.disks:
+            assert load.get(disk.disk_id, 0) == disk.stats.accesses
+        assert 0 not in load and 1 not in load  # failed disks served nothing
+
+
+class TestPerBatchCacheCounters:
+    """Fix 2: cache hit/miss counts are the successful attempt's own."""
+
+    def test_other_service_lookups_do_not_leak(self, loaded):
+        store, _ = loaded
+        shared = PlanCache(capacity=64)
+        a = ReadService(store, cache=shared)
+        b = ReadService(store, cache=shared)
+        a.submit([(0, 100)], queue_depth=1)  # warms (0, 100)
+        # b's batch does one lookup (hit); a's earlier miss must not leak in
+        result = b.submit([(0, 100)], queue_depth=1)
+        assert (result.cache_hits, result.cache_misses) == (1, 0)
+
+    def test_retried_attempt_lookups_not_counted(self, loaded):
+        store, data = loaded
+        svc = ReadService(store)
+        # crash disk 1 at the second batch execution: the first attempt's
+        # plans (built healthy) die mid-materialization and are discarded
+        schedule = FaultSchedule.scripted(
+            [FaultEvent(at_op=2, kind=FaultKind.CRASH, disk=1)]
+        )
+        injector = FaultInjector(store.array, schedule, seed=0).attach()
+        try:
+            ranges = [(0, 384), (384, 384)]  # both span disks 0-5
+            result = svc.submit(ranges, queue_depth=2)
+        finally:
+            injector.detach()
+        assert result.retries == 1
+        assert result.payloads == [data[o : o + n] for o, n in ranges]
+        # only the successful attempt's planning counts: one outcome per range
+        assert result.cache_hits + result.cache_misses == len(ranges)
+
+
+class TestTypedMultiFailureError:
+    """Fix 3: lookup/plan reject multi signatures with a typed error."""
+
+    def test_lookup_raises_typed_error(self, loaded):
+        store, _ = loaded
+        cache = PlanCache()
+        request = store.byte_request(0, 100)
+        with pytest.raises(UnsupportedFailurePatternError) as exc:
+            cache.lookup(store.placement, request, store.element_size, [0, 1])
+        assert exc.value.failed_disks == (0, 1)
+        assert "read_degraded_multi" in str(exc.value)
+
+    def test_plan_method_raises_typed_error(self, loaded):
+        store, _ = loaded
+        svc = ReadService(store)
+        store.array.fail_disk(2)
+        store.array.fail_disk(5)
+        with pytest.raises(UnsupportedFailurePatternError):
+            svc.plan(0, 100)
+
+    def test_error_is_a_value_error(self):
+        # pre-1.3 callers caught ValueError; the subclassing keeps them alive
+        assert issubclass(UnsupportedFailurePatternError, ValueError)
+
+    def test_lookup_does_not_count_a_miss_on_rejection(self, loaded):
+        store, _ = loaded
+        cache = PlanCache()
+        request = store.byte_request(0, 100)
+        with pytest.raises(UnsupportedFailurePatternError):
+            cache.lookup(store.placement, request, store.element_size, [0, 1])
+        assert cache.stats.lookups == 0
+
+    def test_submit_still_serves_multi_failure(self, loaded):
+        store, data = loaded
+        svc = ReadService(store)
+        store.array.fail_disk(2)
+        store.array.fail_disk(5)
+        result = svc.submit([(0, 256)], queue_depth=2)
+        assert result.payloads[0] == data[:256]
+
+
+class TestDiskLoadMatchesDiskStats:
+    """Property: service.disk_load == DiskStats accesses, whatever the
+    batch went through (clean, degraded, multi-failure, retried)."""
+
+    def _assert_load_matches(self, svc, store):
+        for disk in store.array.disks:
+            assert svc.counters.disk_load.get(disk.disk_id, 0) == (
+                disk.stats.accesses
+            ), f"disk {disk.disk_id} load diverged from DiskStats"
+
+    def test_clean_and_degraded_batches(self, loaded):
+        store, _ = loaded
+        svc = ReadService(store)
+        store.array.reset_stats()
+        svc.submit([(0, 500), (3000, 200)], queue_depth=8)
+        store.array.fail_disk(1)
+        svc.submit([(0, 500), (5000, 100)], queue_depth=4)
+        self._assert_load_matches(svc, store)
+
+    def test_multi_failure_batches(self, loaded):
+        store, _ = loaded
+        svc = ReadService(store)
+        store.array.fail_disk(0)
+        store.array.fail_disk(4)
+        store.array.reset_stats()
+        svc.submit([(0, 300)], queue_depth=2)
+        svc.submit([(2000, 600)], queue_depth=2)
+        self._assert_load_matches(svc, store)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_fault_schedule_property(self, loaded, seed):
+        """Random fault schedules (crashes, outages, stragglers, slot
+        faults) cannot break the identity: every physical access the
+        array performed on the service's behalf — aborted attempts and
+        self-heal refetches included — lands in disk_load."""
+        store, data = loaded
+        svc = ReadService(store)
+        schedule = FaultSchedule.random(
+            seed,
+            ops=30,
+            num_disks=store.code.n,
+            crash_prob=0.05,
+            outage_prob=0.05,
+            latent_prob=0.08,
+            bitrot_prob=0.08,
+            straggler_prob=0.05,
+            max_disk_failures=store.code.fault_tolerance,
+        )
+        injector = FaultInjector(store.array, schedule, seed=seed).attach()
+        rng = np.random.default_rng(seed)
+        store.array.reset_stats()
+        try:
+            for _ in range(8):
+                n = int(rng.integers(1, 4))
+                ranges = [
+                    (int(rng.integers(0, store.user_bytes - 512)), 512)
+                    for _ in range(n)
+                ]
+                result = svc.submit(ranges, queue_depth=4)
+                expected = [data[o : o + ln] for o, ln in ranges]
+                assert result.payloads == expected
+        finally:
+            injector.detach()
+        self._assert_load_matches(svc, store)

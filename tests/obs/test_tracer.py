@@ -125,5 +125,5 @@ class TestBreakdown:
         # the read path's stage names are a stable, documented vocabulary
         assert STAGES == (
             "plan", "cache_lookup", "queue_wait", "disk_io",
-            "decode", "heal", "retry",
+            "decode", "heal", "retry", "hedge",
         )
