@@ -9,7 +9,7 @@ the balanced-optimum bottleneck and beats the standard form by ~1.3x.
 
 import pytest
 
-from conftest import run_once
+from conftest import run_once, write_results_json
 
 from repro.codes import make_lrc, make_rs
 from repro.disks import SAVVIO_10K3
@@ -18,6 +18,10 @@ from repro.layout import make_placement
 
 MiB = 1024 * 1024
 ROWS = 120
+
+# accumulated across parametrized invocations; every test rewrites the
+# file with what has been gathered so far, so the final write carries all
+_RESULTS = {"config": {"rows": ROWS, "element_bytes": MiB, "disk": "SAVVIO_10K3"}}
 
 
 def sweep(code):
@@ -40,6 +44,10 @@ def test_rebuild_time_by_form(benchmark, code):
     for form, t in times.items():
         print(f"  {form:9s}: mean rebuild {t:.2f} s over {ROWS} rows")
     benchmark.extra_info["mean_rebuild_s"] = {k: round(v, 3) for k, v in times.items()}
+    _RESULTS.setdefault("mean_rebuild_s", {})[code.describe()] = {
+        k: round(v, 3) for k, v in times.items()
+    }
+    write_results_json("rebuild_time", _RESULTS)
     # EC-FRM (optimized) rebuilds at least as fast as the standard form
     assert times["ec-frm"] <= times["standard"] * 1.02
 
@@ -64,5 +72,12 @@ def test_optimized_vs_naive_rebuild(benchmark):
         f"\nEC-FRM-RS rebuild: naive {t_naive:.2f}s (bottleneck {load_naive}) "
         f"-> optimized {t_opt:.2f}s (bottleneck {load_opt})"
     )
+    _RESULTS["optimized_vs_naive"] = {
+        "naive_s": round(t_naive, 3),
+        "optimized_s": round(t_opt, 3),
+        "naive_bottleneck": load_naive,
+        "optimized_bottleneck": load_opt,
+    }
+    write_results_json("rebuild_time", _RESULTS)
     assert t_opt < t_naive
     assert load_opt < load_naive

@@ -9,10 +9,14 @@ array codes in the library.
 
 import pytest
 
-from conftest import run_once
+from conftest import run_once, write_results_json
 
 from repro.codes import make_evenodd, make_rdp, make_xcode
 from repro.recovery import conventional_recovery_plan, optimal_recovery_plan
+
+# accumulated across parametrized invocations; every test rewrites the
+# file with what has been gathered so far, so the final write carries all
+_RESULTS = {}
 
 
 @pytest.mark.benchmark(group="recovery")
@@ -31,6 +35,12 @@ def test_rdp_hybrid_recovery(benchmark, p):
     )
     benchmark.extra_info["conventional"] = conv.io_count
     benchmark.extra_info["optimal"] = opt.io_count
+    _RESULTS.setdefault("rdp_hybrid", {})[f"p={p}"] = {
+        "conventional_reads": conv.io_count,
+        "optimal_reads": opt.io_count,
+        "reduction_pct": round(reduction, 1),
+    }
+    write_results_json("recovery_io", _RESULTS)
     # Xiang et al.'s headline: ~25% reduction
     assert conv.io_count == (p - 1) ** 2
     assert 23.0 <= reduction <= 27.0
@@ -53,6 +63,11 @@ def test_other_codes_recovery(benchmark, code):
     print()
     for failed, (c, o) in results.items():
         print(f"  disk {failed}: {c} -> {o} reads")
+    _RESULTS.setdefault("other_codes", {})[code.describe()] = {
+        str(failed): {"conventional_reads": c, "optimal_reads": o}
+        for failed, (c, o) in results.items()
+    }
+    write_results_json("recovery_io", _RESULTS)
     # optimization never hurts and helps on at least one disk
     assert all(o <= c for c, o in results.values())
     assert any(o < c for c, o in results.values())
@@ -73,4 +88,10 @@ def test_recovery_load_balance(benchmark):
 
     conv_max, opt_max = run_once(benchmark, run)
     print(f"\nRDP(p=7) rebuild bottleneck: conventional {conv_max}, hybrid {opt_max}")
+    _RESULTS["load_balance"] = {
+        "code": "rdp(p=7)",
+        "conventional_max_load": conv_max,
+        "optimal_max_load": opt_max,
+    }
+    write_results_json("recovery_io", _RESULTS)
     assert opt_max <= conv_max

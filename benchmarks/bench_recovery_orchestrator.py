@@ -1,0 +1,240 @@
+"""Extension bench: the autonomous recovery orchestrator under load.
+
+Three measurements, one results file (``results/recovery_orchestrator.json``):
+
+* **makespan vs throttle budget**: the same whole-disk rebuild driven by
+  the orchestrator at increasing token-bucket budgets — makespan (ticks
+  to idle) must fall monotonically as the budget grows, and the stall
+  counter shows where the bucket was the binding constraint;
+* **foreground p99 trajectory while rebuilding**: a mixed fg/bg run
+  through the open-loop pipeline (repair traffic tagged ``"bg"``,
+  user reads ``"fg"``; :meth:`RequestPipeline.job_latencies` slices the
+  per-class tails) feeding :meth:`RecoveryOrchestrator.observe_foreground`
+  — the AIMD controller backs repair off until the graceful-degradation
+  contract **fg p99 <= 1.5x clean** holds, asserted on the final phase;
+* **standard vs EC-FRM rebuild-time win**: the paper's claim measured
+  live — load-aware EC-FRM rebuild reaches the balanced-optimum
+  bottleneck the standard form cannot.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from conftest import run_once, write_results_json
+
+from repro.codes import make_rs
+from repro.disks import SAVVIO_10K3
+from repro.engine import (
+    OpenLoopWorkload,
+    ReadService,
+    RequestPipeline,
+    plan_disk_rebuild,
+    rebuild_time_s,
+)
+from repro.layout import make_placement
+from repro.recovery import RecoveryOrchestrator, RepairThrottle
+from repro.store import BlockStore
+
+SCALE = float(os.environ.get("ECFRM_TRIAL_SCALE", "1.0"))
+SEED = int(os.environ.get("ECFRM_RECOVERY_SEED", "1"))
+ELEMENT = 64
+ROWS = 24
+FG_REQUESTS = max(150, int(600 * SCALE))
+FG_RATE = 150.0
+CONTRACT = 1.5  # fg p99 <= CONTRACT * clean while rebuilding
+
+MiB = 1024 * 1024
+
+
+def _store(rows=ROWS):
+    store = BlockStore(make_rs(3, 2), "ec-frm", element_size=ELEMENT)
+    rng = np.random.default_rng(SEED)
+    data = rng.integers(
+        0, 256, size=rows * store.row_bytes, dtype=np.uint8
+    ).tobytes()
+    store.append(data)
+    store.flush()
+    return store
+
+
+def _fg_jobs(svc):
+    wl = OpenLoopWorkload(
+        svc.store.user_bytes,
+        requests=FG_REQUESTS,
+        rate_rps=FG_RATE,
+        min_bytes=ELEMENT // 4,
+        max_bytes=2 * ELEMENT,
+        zipf_s=1.4,
+        seed=SEED,
+    )
+    return [(t, [(0, off, ln)], "fg") for t, off, ln in wl]
+
+
+def _bg_jobs(store, rate_rps, horizon_s):
+    """Repair traffic: sequential whole-row reads at ``rate_rps`` — the
+    helper-read stream a windowed rebuild pushes through the same disks."""
+    jobs = []
+    i = 0
+    while (t := i / rate_rps) < horizon_s:
+        off = (i % ROWS) * store.row_bytes
+        jobs.append((t, [(0, off, store.row_bytes)], "bg"))
+        i += 1
+    return jobs
+
+
+def _mixed_p99(svc, bg_rate_rps):
+    jobs = _fg_jobs(svc)
+    horizon = jobs[-1][0]
+    if bg_rate_rps > 0:
+        jobs = sorted(jobs + _bg_jobs(svc.store, bg_rate_rps, horizon))
+    pipe = RequestPipeline([svc], materialize=False)
+    pipe.run_jobs(
+        ((t, pieces) for t, pieces, _ in jobs),
+        metas=[meta for _, _, meta in jobs],
+    )
+    fg = [lat for meta, lat in pipe.job_latencies() if meta == "fg" and lat]
+    return float(np.percentile(fg, 99))
+
+
+@pytest.mark.benchmark(group="recovery-orchestrator")
+def test_recovery_orchestrator(benchmark, tmp_path):
+    def run():
+        out = {}
+
+        # -- rebuild makespan vs throttle budget -----------------------
+        # window cost = unit_rows * (k + lost) = 4 * 5 = 20 element ops;
+        # budgets below that accrue tokens over several ticks per window
+        sweep = []
+        for budget in (5, 10, 20, 80):
+            store = _store()
+            throttle = RepairThrottle(
+                budget_per_step=budget, min_budget=budget, max_budget=1024
+            )
+            orch = RecoveryOrchestrator(
+                store,
+                journal_dir=tmp_path / f"budget-{budget}",
+                unit_rows=4,
+                throttle=throttle,
+            )
+            store.array.fail_disk(1)
+            ticks = orch.run_until_idle()
+            assert orch.rebuilds_completed == 1
+            sweep.append(
+                {
+                    "budget_per_step": budget,
+                    "makespan_ticks": ticks,
+                    "stalls": throttle.stalls,
+                }
+            )
+        out["makespan_vs_budget"] = sweep
+
+        # -- foreground p99 trajectory under AIMD repair QoS -----------
+        store = _store()
+        svc = ReadService(store)
+        clean_p99 = _mixed_p99(svc, bg_rate_rps=0.0)
+
+        throttle = RepairThrottle(budget_per_step=64, min_budget=4)
+        orch = RecoveryOrchestrator(
+            store, journal_dir=tmp_path / "aimd", throttle=throttle
+        )
+        # repair rate the pipeline sees is proportional to the budget the
+        # token bucket grants; start saturating (4x the fg arrival rate)
+        # and let the multiplicative backoff descend until the contract
+        # holds — min_budget guarantees the loop terminates under it
+        bg_per_budget = 4.0 * FG_RATE / 64
+        trajectory = []
+        for phase in range(10):
+            budget = throttle.budget_per_step
+            bg_rate = bg_per_budget * budget
+            p99 = _mixed_p99(svc, bg_rate)
+            ratio = orch.observe_foreground(p99_s=p99, clean_p99_s=clean_p99)
+            trajectory.append(
+                {
+                    "phase": phase,
+                    "budget_per_step": budget,
+                    "bg_rate_rps": round(bg_rate, 1),
+                    "fg_p99_ms": round(p99 * 1e3, 3),
+                    "ratio_vs_clean": round(ratio, 3),
+                }
+            )
+            if ratio <= throttle.target_ratio:
+                break
+        out["fg_p99_trajectory"] = {
+            "clean_p99_ms": round(clean_p99 * 1e3, 3),
+            "contract": CONTRACT,
+            "backoffs": throttle.backoffs,
+            "phases": trajectory,
+        }
+
+        # -- standard vs EC-FRM rebuild-time win -----------------------
+        code = make_rs(6, 3)
+        forms = {}
+        for form in ("standard", "ec-frm"):
+            p = make_placement(form, code)
+            times = [
+                rebuild_time_s(
+                    plan_disk_rebuild(p, failed, 120, optimize=True),
+                    SAVVIO_10K3,
+                    MiB,
+                )
+                for failed in range(code.n)
+            ]
+            forms[form] = sum(times) / len(times)
+        out["form_rebuild_s"] = {k: round(v, 3) for k, v in forms.items()}
+        out["ec_frm_win"] = round(forms["standard"] / forms["ec-frm"], 3)
+        return out
+
+    results = run_once(benchmark, run)
+
+    print()
+    for row in results["makespan_vs_budget"]:
+        print(
+            f"  budget {row['budget_per_step']:4d}/tick: "
+            f"{row['makespan_ticks']:4d} ticks  ({row['stalls']} stalls)"
+        )
+    traj = results["fg_p99_trajectory"]
+    print(f"  clean fg p99: {traj['clean_p99_ms']:.3f} ms")
+    for ph in traj["phases"]:
+        print(
+            f"  phase {ph['phase']}: budget {ph['budget_per_step']:3d}"
+            f" bg {ph['bg_rate_rps']:6.1f} rps"
+            f" -> fg p99 {ph['fg_p99_ms']:8.3f} ms"
+            f" ({ph['ratio_vs_clean']:.2f}x clean)"
+        )
+    print(
+        f"  rebuild: standard {results['form_rebuild_s']['standard']:.2f}s"
+        f" vs ec-frm {results['form_rebuild_s']['ec-frm']:.2f}s"
+        f" ({results['ec_frm_win']:.2f}x win)"
+    )
+
+    benchmark.extra_info.update(results)
+    write_results_json(
+        "recovery_orchestrator",
+        {
+            "config": {
+                "seed": SEED,
+                "element_size": ELEMENT,
+                "rows": ROWS,
+                "fg_requests": FG_REQUESTS,
+                "fg_rate_rps": FG_RATE,
+                "contract": CONTRACT,
+            },
+            **results,
+        },
+    )
+
+    # acceptance: more budget never slows the rebuild, and the smallest
+    # budget is visibly the bottleneck
+    spans = [r["makespan_ticks"] for r in results["makespan_vs_budget"]]
+    assert all(a >= b for a, b in zip(spans, spans[1:]))
+    assert spans[0] > spans[-1]
+    # acceptance: the AIMD loop lands inside the graceful-degradation
+    # contract — fg p99 <= 1.5x clean while repair traffic still flows
+    final = traj["phases"][-1]
+    assert final["fg_p99_ms"] <= CONTRACT * traj["clean_p99_ms"]
+    assert final["bg_rate_rps"] > 0
+    assert traj["backoffs"] >= 1  # the saturating start actually tripped it
+    # acceptance: EC-FRM rebuilds at least as fast as the standard form
+    assert results["ec_frm_win"] >= 0.98

@@ -60,6 +60,15 @@ _MEASURED_FIGURES = {
     "9d": figure9d,
 }
 
+#: ``recover`` positional values that run an online recovery-plane
+#: scenario instead of the offline XOR-plan calculation.
+_RECOVERY_SCENARIOS = (
+    "crash",
+    "crash-during-rebuild",
+    "spare-exhaustion",
+    "flapping",
+)
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests)."""
@@ -104,12 +113,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo.add_argument("--fail-disk", type=int, default=1)
 
     p_rec = sub.add_parser(
-        "recover", help="single-disk recovery I/O plans for XOR array codes"
+        "recover",
+        help="recovery I/O plans for XOR array codes, or an online "
+        "recovery-plane scenario",
     )
     p_rec.add_argument(
-        "code", help="array code spec: rdp-<p>, evenodd-<p>, xcode-<p>, weaver-<n>-<t>"
+        "code",
+        help="array code spec (rdp-<p>, evenodd-<p>, xcode-<p>, "
+        "weaver-<n>-<t>) for the plan calculation, or an orchestrator "
+        f"scenario: {', '.join(_RECOVERY_SCENARIOS)}",
     )
     p_rec.add_argument("--disk", type=int, default=0, help="failed disk to rebuild")
+    p_rec.add_argument(
+        "--ec-code", default="rs-4-2", help="store code for scenario runs"
+    )
+    p_rec.add_argument("--rows", type=int, default=24, help="stripes to write")
+    p_rec.add_argument("--element-size", type=int, default=512)
+    p_rec.add_argument("--unit-rows", type=int, default=4, help="rows per rebuild window")
+    p_rec.add_argument("--spares", type=int, default=1, help="hot-spare inventory")
+    p_rec.add_argument(
+        "--budget", type=int, default=None,
+        help="repair tokens per step (default: stock AIMD throttle)",
+    )
+    p_rec.add_argument("--seed", type=int, default=2015)
+    p_rec.add_argument(
+        "--journal-dir", default=None,
+        help="rebuild WAL directory (default: a fresh temp dir)",
+    )
 
     p_reb = sub.add_parser("rebuild", help="whole-disk rebuild timing across forms")
     p_reb.add_argument("--code", default="lrc-6-2-2")
@@ -418,6 +448,8 @@ def _parse_array_code(spec: str):
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
+    if args.code in _RECOVERY_SCENARIOS:
+        return _recover_scenario(args)
     from .recovery import conventional_recovery_plan, optimal_recovery_plan
 
     code = _parse_array_code(args.code)
@@ -431,6 +463,140 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     print("optimal per-disk reads: "
           + " ".join(f"d{d}:{loads.get(d, 0)}" for d in range(code.disks)))
     return 0
+
+
+def _recovery_store(args: argparse.Namespace):
+    """Seeded EC-FRM store for the recovery-plane scenarios."""
+    code = parse_code_spec(args.ec_code)
+    bs = BlockStore(code, "ec-frm", element_size=args.element_size)
+    rng = np.random.default_rng(args.seed)
+    data = rng.integers(
+        0, 256, size=args.rows * bs.row_bytes, dtype=np.uint8
+    ).tobytes()
+    bs.append(data)
+    bs.flush()
+    return bs, data
+
+
+def _recovery_verdict(bs, data) -> int:
+    from .store import Scrubber
+
+    ok = bs.read(0, len(data)) == data
+    clean = Scrubber(bs).scrub().clean
+    print(f"byte-exact after recovery: {'OK' if ok else 'FAILED'}; "
+          f"redundancy restored (clean scrub): {'OK' if clean else 'FAILED'}")
+    return 0 if ok and clean else 1
+
+
+def _recover_scenario(args: argparse.Namespace) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from .obs import MetricsRegistry
+    from .recovery import (
+        DiskRebuild,
+        RecoveryCrash,
+        RecoveryOrchestrator,
+        RepairThrottle,
+        resume_disk_rebuild,
+    )
+
+    journal_dir = Path(
+        args.journal_dir
+        if args.journal_dir is not None
+        else tempfile.mkdtemp(prefix="ecfrm-recover-")
+    )
+    bs, data = _recovery_store(args)
+    registry = MetricsRegistry()
+    throttle = (
+        RepairThrottle(budget_per_step=args.budget)
+        if args.budget is not None
+        else None
+    )
+    d = args.disk
+    print(
+        f"{bs.placement.describe()}: {args.rows} stripes, "
+        f"scenario {args.code!r}, journal WALs in {journal_dir}"
+    )
+
+    if args.code == "crash-during-rebuild":
+        # drive one rebuild by hand so the crash hook is visible end to end
+        bs.array.fail_disk(d)
+        journal = journal_dir / f"rebuild-d{d}.wal"
+        journal.parent.mkdir(parents=True, exist_ok=True)
+        rb = DiskRebuild(
+            bs, d, journal=journal, throttle=throttle,
+            unit_rows=args.unit_rows, registry=registry,
+            crash_after="reconstruct", crash_at_window=0,
+        )
+        try:
+            rb.run()
+        except RecoveryCrash as crash:
+            print(f"CRASH: {crash}")
+            print(f"journal preserved at {journal}; resuming...")
+        rb = resume_disk_rebuild(bs, journal, throttle=throttle)
+        steps = rb.run()
+        print(
+            f"resumed rebuild finished in {steps} steps: "
+            f"{rb.windows_committed}/{rb.num_windows} windows committed "
+            f"({rb.resumes} resume)"
+        )
+        return _recovery_verdict(bs, data)
+
+    orch = RecoveryOrchestrator(
+        bs, journal_dir=journal_dir, spares=args.spares,
+        throttle=throttle, unit_rows=args.unit_rows, registry=registry,
+    )
+
+    if args.code == "crash":
+        bs.array.fail_disk(d)
+        ticks = orch.run_until_idle()
+        print(
+            f"disk {d} confirmed failed, spare bound, rebuilt online in "
+            f"{ticks} ticks ({orch.rebuilds_completed} rebuild complete)"
+        )
+
+    elif args.code == "spare-exhaustion":
+        others = [x for x in range(len(bs.array)) if x != d]
+        second = others[0]
+        bs.array.fail_disk(d)
+        bs.array.fail_disk(second)
+        orch.run_until_idle()
+        print(
+            f"disks {d} and {second} failed with {args.spares} spare(s): "
+            f"{orch.rebuilds_completed} rebuilt, queue {orch.queued_disks} "
+            f"degraded-but-live (spare waits: {orch.spare_waits})"
+        )
+        orch.spares.restock(1)
+        ticks = orch.run_until_idle()
+        print(f"restocked one spare: queue drained in {ticks} more ticks")
+
+    else:  # flapping
+        bs.array.fail_disk(d)
+        orch.tick()  # first down poll: suspected, not confirmed
+        bs.array.restore_disk(d, wipe=False)  # blip over, contents intact
+        orch.run_until_idle()
+        print(
+            f"disk {d} blipped for one poll: damped as a flap "
+            f"(flaps={orch.detector.flaps}, rebuilds="
+            f"{orch.rebuilds_started}) — no rebuild triggered"
+        )
+        bs.array.fail_disk(d)  # now fail it for real
+        ticks = orch.run_until_idle()
+        print(
+            f"disk {d} down past the confirmation window: rebuilt in "
+            f"{ticks} ticks ({orch.rebuilds_completed} rebuild complete)"
+        )
+
+    snap = orch.stats_snapshot()
+    print(
+        "recovery: "
+        f"rebuilds={snap['rebuilds_completed']} "
+        f"spare_waits={snap['spare_waits']} "
+        f"throttle_backoffs={snap['throttle']['backoffs']} "
+        f"spares_left={orch.spares.available}"
+    )
+    return _recovery_verdict(bs, data)
 
 
 def _cmd_rebuild(args: argparse.Namespace) -> int:

@@ -21,6 +21,7 @@ from .service import (
     ClusterCounters,
     ClusterReadResult,
     ClusterService,
+    RebalanceUnsupportedError,
     ShardTracer,
     ShardVolume,
 )
@@ -38,5 +39,6 @@ __all__ = [
     "ShardTracer",
     "RebalanceCrash",
     "RebalanceReport",
+    "RebalanceUnsupportedError",
     "run_rebalance",
 ]

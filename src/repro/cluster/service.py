@@ -25,6 +25,7 @@ the migration journal providing crash safety.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Sequence
 
 from ..codes.base import ErasureCode
@@ -39,14 +40,34 @@ from .shardmap import ShardMap, make_shard_map
 if TYPE_CHECKING:  # pragma: no cover - optional collaborators
     from ..faults import FaultInjector, FaultSchedule
     from ..migrate.journal import MigrationJournal
+    from ..recovery import DetectorConfig, RecoveryOrchestrator
 
 __all__ = [
+    "RebalanceUnsupportedError",
     "ShardTracer",
     "ShardVolume",
     "ClusterCounters",
     "ClusterReadResult",
     "ClusterService",
 ]
+
+
+class RebalanceUnsupportedError(ValueError):
+    """Raised by :meth:`ClusterService.add_shard` on an unstable map.
+
+    Subclasses :class:`ValueError` so existing callers (including the CLI's
+    ``add-shard refused`` path) keep working; carries the offending
+    :class:`~repro.cluster.shardmap.ShardMap` so programmatic callers can
+    switch maps instead of string-matching the message.
+    """
+
+    def __init__(self, map: ShardMap) -> None:
+        self.map = map
+        super().__init__(
+            f"{map.name} map ({type(map).__name__}) does not support "
+            "rebalancing (adding a shard would remap ~S/(S+1) of all "
+            "stripes); use hash-ring"
+        )
 
 
 class ShardTracer:
@@ -225,6 +246,8 @@ class ClusterService:
         #: orphaned source rows left behind by rebalance moves, per shard.
         self.garbage_rows: dict[int, int] = {}
         self._injectors: list["FaultInjector"] = []
+        #: per-shard recovery planes, populated by :meth:`enable_recovery`.
+        self.orchestrators: list["RecoveryOrchestrator"] = []
         self.registry.register_collector("cluster", self.stats_snapshot)
 
     def _new_volume(self, shard_id: int) -> ShardVolume:
@@ -584,6 +607,121 @@ class ClusterService:
         self._injectors.clear()
 
     # ------------------------------------------------------------------
+    # recovery plane
+    # ------------------------------------------------------------------
+    def enable_recovery(
+        self,
+        journal_dir: str | Path,
+        *,
+        spares: int = 1,
+        detector_config: "DetectorConfig | None" = None,
+        unit_rows: int = 4,
+        steps_per_tick: int = 1,
+    ) -> list["RecoveryOrchestrator"]:
+        """Attach an autonomous recovery plane to every shard.
+
+        One :class:`~repro.recovery.RecoveryOrchestrator` per shard —
+        its own failure detector, hot-spare pool (``spares`` each) and
+        throttled crash-safe rebuild executor, journaling rebuild WALs
+        under ``journal_dir/shard-<id>/``.  Metrics land in each shard's
+        private registry (``recovery.*`` of :meth:`shard_metrics`), and
+        :meth:`stats_snapshot` rolls the plane up cluster-wide.  Shards
+        added later by :meth:`add_shard` join the plane automatically.
+        """
+        from ..recovery import RecoveryOrchestrator
+
+        self._recovery_config = {
+            "journal_dir": Path(journal_dir),
+            "spares": spares,
+            "detector_config": detector_config,
+            "unit_rows": unit_rows,
+            "steps_per_tick": steps_per_tick,
+        }
+        self.orchestrators = [
+            self._new_orchestrator(vol) for vol in self.volumes
+        ]
+        return list(self.orchestrators)
+
+    def _new_orchestrator(self, vol: ShardVolume) -> "RecoveryOrchestrator":
+        from ..recovery import RecoveryOrchestrator
+
+        cfg = self._recovery_config
+        return RecoveryOrchestrator(
+            vol.store,
+            journal_dir=cfg["journal_dir"] / f"shard-{vol.shard_id}",
+            spares=cfg["spares"],
+            detector_config=cfg["detector_config"],
+            cache=vol.service.cache,
+            tracer=ShardTracer(self.tracer, vol.shard_id),
+            registry=vol.registry,
+            unit_rows=cfg["unit_rows"],
+            steps_per_tick=cfg["steps_per_tick"],
+        )
+
+    def recovery_tick(self) -> bool:
+        """One heartbeat of every shard's recovery plane.
+
+        Returns True while any shard still has recovery work (shards
+        tick independently; a stuck rebuild's
+        :class:`~repro.recovery.DataLossError` propagates).
+        """
+        busy = False
+        for orch in self.orchestrators:
+            busy = orch.tick() or busy
+        return busy
+
+    def run_recovery_until_idle(self, max_ticks: int = 10_000) -> int:
+        """Tick all shards' planes until idle; returns ticks taken.
+
+        Like :meth:`RecoveryOrchestrator.run_until_idle`, shards that
+        are out of spares stay degraded-but-live rather than spinning.
+        """
+        ticks = 0
+        while ticks < max_ticks:
+            ticks += 1
+            if not self.recovery_tick():
+                return ticks
+            if all(
+                orch.active is None
+                and (not orch.queued_disks or orch.spares.available <= 0)
+                for orch in self.orchestrators
+            ) and any(orch.queued_disks for orch in self.orchestrators):
+                return ticks  # degraded steady-state: out of spares
+        from ..recovery import RecoveryError
+
+        raise RecoveryError(
+            f"cluster recovery plane still busy after {max_ticks} ticks"
+        )
+
+    def recovery_rollup(self) -> dict:
+        """Cluster-wide recovery totals plus the per-shard plane states."""
+        totals = {
+            "rebuilds_started": 0,
+            "rebuilds_completed": 0,
+            "spare_waits": 0,
+            "data_loss_events": 0,
+            "flaps": 0,
+            "spares_available": 0,
+        }
+        per_shard = {}
+        for vol, orch in zip(self.volumes, self.orchestrators):
+            totals["rebuilds_started"] += orch.rebuilds_started
+            totals["rebuilds_completed"] += orch.rebuilds_completed
+            totals["spare_waits"] += orch.spare_waits
+            totals["data_loss_events"] += orch.data_loss_events
+            totals["flaps"] += orch.detector.flaps
+            totals["spares_available"] += orch.spares.available
+            per_shard[str(vol.shard_id)] = {
+                "rebuilding_disk": orch.rebuilding_disk,
+                "queued_disks": orch.queued_disks,
+                "rebuilds_completed": orch.rebuilds_completed,
+                "flaps": orch.detector.flaps,
+                "spares_available": orch.spares.available,
+            }
+        totals["per_shard"] = per_shard
+        return totals
+
+    # ------------------------------------------------------------------
     # rebalance
     # ------------------------------------------------------------------
     def add_shard(
@@ -602,14 +740,14 @@ class ClusterService:
         simulates one) is recoverable via :meth:`resume_rebalance`.
         """
         if not self.map.supports_rebalance:
-            raise ValueError(
-                f"{self.map.name} map does not support rebalancing (adding "
-                "a shard would remap ~S/(S+1) of all stripes); use hash-ring"
-            )
+            raise RebalanceUnsupportedError(self.map)
         old_map = self.map
         new_map = old_map.with_added_shard()
         new_sid = old_map.num_shards
         self.volumes.append(self._new_volume(new_sid))
+        if self.orchestrators:
+            # the recovery plane covers new shards from their first tick
+            self.orchestrators.append(self._new_orchestrator(self.volumes[-1]))
         self.map = new_map
         moved = [
             g
@@ -714,7 +852,7 @@ class ClusterService:
                 "busy_time_s": stats["total_busy_time_s"],
                 "failed_disks": stats["failed"],
             }
-        return {
+        out = {
             "shards": len(self.volumes),
             "map": self.map.name,
             "stripes": len(self._locations),
@@ -727,6 +865,9 @@ class ClusterService:
             **self.load_imbalance(),
             "per_shard": per_shard,
         }
+        if self.orchestrators:
+            out["recovery"] = self.recovery_rollup()
+        return out
 
     def metrics(self) -> dict:
         """Versioned snapshot of the cluster registry (``cluster.*`` plus

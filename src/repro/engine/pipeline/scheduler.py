@@ -271,6 +271,7 @@ class RequestPipeline:
         self._seq = count()
         self._servers: dict[tuple[int, int], _DiskServer] = {}
         self._inflight: dict[int, list[_Piece]] = {}
+        self._jobs: list[_Job] = []
 
     # ------------------------------------------------------------------
     # public entry points
@@ -376,6 +377,23 @@ class RequestPipeline:
         )
         self._last_result = result
         return result
+
+    def job_latencies(self) -> list[tuple[Any, float | None]]:
+        """Per-job ``(meta, latency_s)`` of the most recent run, arrival
+        order; latency is ``None`` for rejected jobs.
+
+        The per-class drill-down the aggregate histograms cannot give:
+        callers that tag jobs via ``metas`` (e.g. ``"fg"`` foreground vs
+        ``"bg"`` repair traffic) slice their own tails from one mixed
+        run — the recovery throttle's AIMD loop feeds on exactly this.
+        """
+        return [
+            (
+                job.meta,
+                None if job.done_s is None else job.done_s - job.arrival_s,
+            )
+            for job in self._jobs
+        ]
 
     # ------------------------------------------------------------------
     # event handlers

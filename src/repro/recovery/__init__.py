@@ -1,10 +1,30 @@
-"""Single-failure recovery optimization (paper §II-D's second metric).
+"""Recovery: single-failure repair planning and the online recovery plane.
 
 * :mod:`repro.recovery.single` — minimum-I/O single-disk rebuild plans
   for XOR array codes, reproducing the hybrid row/diagonal recovery of
-  Xiang et al. (SIGMETRICS'10) that the paper cites.
+  Xiang et al. (SIGMETRICS'10) that the paper cites (§II-D's second
+  metric, as an offline calculation);
+* :mod:`repro.recovery.detector` — the failure detector: per-disk state
+  machine ``healthy -> suspected -> failed -> rebuilding -> healthy``
+  with flap damping and soft-suspicion decay;
+* :mod:`repro.recovery.spares` — hot-spare inventory;
+* :mod:`repro.recovery.throttle` — repair QoS: token-bucket budget with
+  AIMD foreground-tail protection;
+* :mod:`repro.recovery.orchestrator` — the autonomous loop: confirmed
+  failure -> bind spare -> crash-safe windowed online rebuild (WAL
+  stage/reconstruct/commit, resumable) -> redundancy restored.
 """
 
+from .detector import DetectorConfig, DiskState, FailureDetector
+from .orchestrator import (
+    REBUILD_CRASH_POINTS,
+    DataLossError,
+    DiskRebuild,
+    RecoveryCrash,
+    RecoveryError,
+    RecoveryOrchestrator,
+    resume_disk_rebuild,
+)
 from .single import (
     RecoveryPlan,
     conventional_recovery_plan,
@@ -12,6 +32,8 @@ from .single import (
     optimal_recovery_plan,
     recovery_equations,
 )
+from .spares import SpareExhaustedError, SparePool
+from .throttle import RepairThrottle
 
 __all__ = [
     "RecoveryPlan",
@@ -19,4 +41,17 @@ __all__ = [
     "conventional_recovery_plan",
     "optimal_recovery_plan",
     "greedy_recovery_plan",
+    "DiskState",
+    "DetectorConfig",
+    "FailureDetector",
+    "SparePool",
+    "SpareExhaustedError",
+    "RepairThrottle",
+    "REBUILD_CRASH_POINTS",
+    "RecoveryCrash",
+    "RecoveryError",
+    "DataLossError",
+    "DiskRebuild",
+    "resume_disk_rebuild",
+    "RecoveryOrchestrator",
 ]

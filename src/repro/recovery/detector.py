@@ -1,0 +1,299 @@
+"""Failure detection: turn raw fault signals into rebuild decisions.
+
+The simulator's fault signals already exist — crashed disks
+(:attr:`SimDisk.failed`), silent slowdowns (:meth:`DiskArray.slowdowns`
+and the EWMA :class:`~repro.faults.stragglers.StragglerDetector`), and
+read-side integrity demotions (CRC mismatches, unreadable slots).  What
+is missing is *judgement*: a transient outage (``FaultKind.
+TRANSIENT_OUTAGE``) looks exactly like a crash for a few operations, and
+kicking off a full disk rebuild for every controller reset would turn
+the repair plane into its own denial-of-service.  :class:`FailureDetector`
+adds that judgement as a per-disk state machine::
+
+    healthy ──suspect──> suspected ──confirm──> failed ──spare──> rebuilding
+       ^                     │                                        │
+       └──────flap/decay─────┘<────────────────── healthy <───────────┘
+
+* a disk observed down moves to ``suspected`` immediately and is only
+  *confirmed* failed after ``confirm_after`` consecutive down polls —
+  flap damping: outages shorter than the confirmation window bounce back
+  to ``healthy`` (counted in :attr:`flaps`) and never trigger a rebuild;
+* soft signals (checksum/latent-error demotions via :meth:`record_error`,
+  straggler flags, slowdown factors) suspect a *live* disk without ever
+  confirming it — suspicion decays after ``decay_after`` clean polls, and
+  the orchestrator surfaces suspects through :meth:`wants_scrub` so a
+  targeted scrub can settle the question;
+* ``failed -> rebuilding -> healthy`` transitions are driven explicitly
+  by the recovery orchestrator (:meth:`mark_rebuilding` /
+  :meth:`mark_healthy`) — the detector never guesses about a disk the
+  repair plane owns.
+
+Every transition is counted; :meth:`stats_snapshot` feeds the
+``recovery`` metrics namespace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..disks.array import DiskArray
+
+__all__ = ["DiskState", "DetectorConfig", "FailureDetector"]
+
+
+class DiskState(Enum):
+    """Per-disk health states of the detector's state machine."""
+
+    HEALTHY = "healthy"
+    SUSPECTED = "suspected"
+    FAILED = "failed"
+    REBUILDING = "rebuilding"
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Suspicion thresholds and damping knobs.
+
+    Attributes
+    ----------
+    confirm_after:
+        Consecutive down polls before a suspected disk is *confirmed*
+        failed.  ``1`` confirms on first sight (no flap damping);
+        the default ``2`` absorbs one-poll blips.
+    error_threshold:
+        Soft integrity errors (:meth:`FailureDetector.record_error`)
+        before a live disk is suspected.
+    slowdown_threshold:
+        Service-time multiplier (:meth:`DiskArray.slowdowns`) at or above
+        which a live disk is suspected.
+    decay_after:
+        Consecutive clean polls before a soft suspicion clears and the
+        disk's error count resets.
+    """
+
+    confirm_after: int = 2
+    error_threshold: int = 3
+    slowdown_threshold: float = 2.0
+    decay_after: int = 4
+
+    def __post_init__(self) -> None:
+        if self.confirm_after < 1:
+            raise ValueError(f"confirm_after must be >= 1, got {self.confirm_after}")
+        if self.error_threshold < 1:
+            raise ValueError(
+                f"error_threshold must be >= 1, got {self.error_threshold}"
+            )
+        if self.slowdown_threshold <= 1.0:
+            raise ValueError(
+                f"slowdown_threshold must be > 1, got {self.slowdown_threshold}"
+            )
+        if self.decay_after < 1:
+            raise ValueError(f"decay_after must be >= 1, got {self.decay_after}")
+
+
+class FailureDetector:
+    """Health monitor over one :class:`DiskArray`.
+
+    Parameters
+    ----------
+    array:
+        The monitored array.
+    straggler:
+        Optional :class:`~repro.faults.stragglers.StragglerDetector`
+        whose flags feed soft suspicion (the pipeline already maintains
+        one for hedging; sharing it costs nothing).
+    config:
+        Thresholds; defaults to :class:`DetectorConfig()`.
+    registry:
+        Optional metrics registry; when given, the detector publishes
+        itself into the ``recovery`` namespace.
+    """
+
+    def __init__(
+        self,
+        array: DiskArray,
+        *,
+        straggler=None,
+        config: DetectorConfig | None = None,
+        registry=None,
+    ) -> None:
+        self.array = array
+        self.straggler = straggler
+        self.config = config or DetectorConfig()
+        self._state: dict[int, DiskState] = {
+            d: DiskState.HEALTHY for d in range(len(array))
+        }
+        self._down_streak: dict[int, int] = {d: 0 for d in range(len(array))}
+        self._clean_streak: dict[int, int] = {d: 0 for d in range(len(array))}
+        self._errors: dict[int, int] = {d: 0 for d in range(len(array))}
+        #: error count as of the previous poll — a poll only counts as
+        #: dirty when *new* errors arrived, so suspicion can decay.
+        self._last_errors: dict[int, int] = {d: 0 for d in range(len(array))}
+        self.polls = 0
+        self.flaps = 0
+        self.errors_recorded = 0
+        self.transitions: dict[str, int] = {}
+        if registry is not None:
+            self.register_metrics(registry)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def register_metrics(self, registry) -> "FailureDetector":
+        """Publish detector state into the ``recovery`` namespace."""
+        registry.register_collector("recovery", self.stats_snapshot)
+        return self
+
+    def stats_snapshot(self) -> dict:
+        """Nested-dict view for the ``recovery.detector.*`` namespace."""
+        return {
+            "detector": {
+                "polls": self.polls,
+                "flaps": self.flaps,
+                "errors_recorded": self.errors_recorded,
+                "states": {
+                    str(d): s.value for d, s in sorted(self._state.items())
+                },
+                "transitions": dict(sorted(self.transitions.items())),
+            }
+        }
+
+    # ------------------------------------------------------------------
+    # state machine
+    # ------------------------------------------------------------------
+    def state(self, disk: int) -> DiskState:
+        """Current state of ``disk``."""
+        return self._state[disk]
+
+    def states(self) -> dict[int, DiskState]:
+        """All per-disk states (copy)."""
+        return dict(self._state)
+
+    def _transition(self, disk: int, to: DiskState) -> None:
+        frm = self._state[disk]
+        if frm is to:
+            return
+        self._state[disk] = to
+        key = f"{frm.value}->{to.value}"
+        self.transitions[key] = self.transitions.get(key, 0) + 1
+
+    def record_error(self, disk: int, reason: str) -> None:
+        """Feed one soft integrity signal (``"corrupt"`` / ``"latent"``).
+
+        The store's read path detects these; the caller (orchestrator or
+        service glue) forwards them here.  Errors alone never confirm a
+        failure — they suspect the disk until a scrub or ``decay_after``
+        clean polls settle it.
+        """
+        if not 0 <= disk < len(self.array):
+            return
+        self._errors[disk] += 1
+        self.errors_recorded += 1
+
+    def poll(self) -> list[int]:
+        """Sample every signal once; returns newly *confirmed* failures.
+
+        One poll = one detector heartbeat.  Confirmed disks transition to
+        :attr:`DiskState.FAILED` exactly once and are returned exactly
+        once; the orchestrator takes it from there.
+        """
+        self.polls += 1
+        cfg = self.config
+        slowdowns = self.array.slowdowns()
+        confirmed: list[int] = []
+        for d in range(len(self.array)):
+            st = self._state[d]
+            if st is DiskState.REBUILDING:
+                continue  # the repair plane owns this disk
+            if self.array[d].failed:
+                self._clean_streak[d] = 0
+                self._down_streak[d] += 1
+                if st is DiskState.HEALTHY:
+                    self._transition(d, DiskState.SUSPECTED)
+                    st = DiskState.SUSPECTED
+                if (
+                    st is DiskState.SUSPECTED
+                    and self._down_streak[d] >= cfg.confirm_after
+                ):
+                    self._transition(d, DiskState.FAILED)
+                    confirmed.append(d)
+                continue
+            # disk is up
+            if self._down_streak[d] > 0:
+                # came back before confirmation: a flap, not a failure
+                self._down_streak[d] = 0
+                if st is DiskState.SUSPECTED:
+                    self.flaps += 1
+                    self._transition(d, DiskState.HEALTHY)
+                    st = DiskState.HEALTHY
+                elif st is DiskState.FAILED:
+                    # restored out from under us (scripted RESTORE after
+                    # confirmation); treat as healed, no rebuild needed
+                    self.flaps += 1
+                    self._transition(d, DiskState.HEALTHY)
+                    st = DiskState.HEALTHY
+            fresh_errors = self._errors[d] > self._last_errors[d]
+            self._last_errors[d] = self._errors[d]
+            suspect = (
+                (fresh_errors and self._errors[d] >= cfg.error_threshold)
+                or slowdowns.get(d, 1.0) >= cfg.slowdown_threshold
+                or (self.straggler is not None and self.straggler.is_straggling(d))
+            )
+            if suspect:
+                self._clean_streak[d] = 0
+                if st is DiskState.HEALTHY:
+                    self._transition(d, DiskState.SUSPECTED)
+            elif st is DiskState.SUSPECTED:
+                self._clean_streak[d] += 1
+                if self._clean_streak[d] >= cfg.decay_after:
+                    self._errors[d] = 0
+                    self._last_errors[d] = 0
+                    self._transition(d, DiskState.HEALTHY)
+        return confirmed
+
+    def pending_failures(self) -> list[int]:
+        """Disks observed down but not yet handed to the repair plane.
+
+        Suspected-down disks (awaiting confirmation) plus confirmed
+        failures; the orchestrator must keep ticking while any exist.
+        """
+        return sorted(
+            d
+            for d, s in self._state.items()
+            if s is DiskState.FAILED
+            or (s is DiskState.SUSPECTED and self._down_streak[d] > 0)
+        )
+
+    def wants_scrub(self) -> list[int]:
+        """Live disks currently under soft suspicion, ascending.
+
+        The orchestrator points incremental scrubs here: a clean scrub
+        plus ``decay_after`` clean polls returns the disk to healthy, a
+        dirty one feeds :meth:`record_error` until confirmation.
+        """
+        return sorted(
+            d
+            for d, s in self._state.items()
+            if s is DiskState.SUSPECTED and not self.array[d].failed
+        )
+
+    # ------------------------------------------------------------------
+    # orchestrator hooks
+    # ------------------------------------------------------------------
+    def mark_rebuilding(self, disk: int) -> None:
+        """The orchestrator bound a spare and started rebuilding ``disk``."""
+        if self._state[disk] is not DiskState.FAILED:
+            raise ValueError(
+                f"disk {disk} is {self._state[disk].value}, not failed; "
+                "cannot start a rebuild"
+            )
+        self._transition(disk, DiskState.REBUILDING)
+
+    def mark_healthy(self, disk: int) -> None:
+        """The orchestrator finished (or abandoned) the disk's rebuild."""
+        self._down_streak[disk] = 0
+        self._clean_streak[disk] = 0
+        self._errors[disk] = 0
+        self._last_errors[disk] = 0
+        self._transition(disk, DiskState.HEALTHY)

@@ -1,0 +1,814 @@
+"""The recovery orchestrator: failure -> spare -> online rebuild -> healthy.
+
+This closes the loop the paper's §II-D only *calculates*: EC-FRM spreads
+rebuild helper reads over all survivors, so rebuild is faster for the
+same reason reads are — but a calculation repairs nothing.  The pieces:
+
+:class:`DiskRebuild` drives one failed disk's reconstruction onto a
+bound spare, incrementally in row-windows, through the same crash-safe
+WAL (:class:`~repro.migrate.journal.MigrationJournal`) the migration
+mover uses:
+
+1. **stage** — each window's verified *data* payloads are fetched
+   through :meth:`BlockStore.fetch_row_data` (repairing faulted elements
+   on the way) and journaled before any slot is touched;
+2. **reconstruct** — the window's lost elements are rewritten on the
+   spare: data straight from the staged payloads, parity re-encoded from
+   data (deterministic, so the bytes are identical);
+3. **commit** — a commit record marks the window durable; plan-cache
+   entries covering the window are dropped.
+
+A crash at any point (the ``crash_after`` hooks cover all three stages)
+is recovered by :func:`resume_disk_rebuild`: committed windows are
+trusted, the pending staged window is replayed idempotently, and the
+rebuild continues — converging on the same final state as an
+uninterrupted run.
+
+Rebuilt elements are readable *immediately*, and not just after their
+window commits: binding the spare (:meth:`SimDisk.restore(wipe=True)`)
+makes the disk alive-but-empty, so a degraded read of a not-yet-rebuilt
+slot demotes it to an erasure, reconstructs through the code, and
+self-heals it in place — the foreground read path and the rebuild
+executor write the same bytes through the same
+:meth:`~repro.store.blockstore.BlockStore.put_element` point, so their
+interleaving is idempotent by construction.
+
+**Heal priority**: an optional per-row heat map orders windows hottest
+first, so under a Zipf workload the stripes that dominate foreground
+traffic stop paying the degraded-read tax earliest.
+
+**Overlapping failures**: a second disk failing mid-rebuild makes some
+windows temporarily undecodable; those park (``DecodeFailure`` from the
+fetch) and are retried after the survivors change — a transient outage
+restores on the injector's op clock, which the rebuild's own I/O ticks.
+Only when retry rounds stop making progress is the typed
+:class:`DataLossError` raised, naming the unrecoverable rows.
+
+:class:`RecoveryOrchestrator` supervises the whole plane: it polls a
+:class:`~repro.recovery.detector.FailureDetector`, binds spares from a
+:class:`~repro.recovery.spares.SparePool` (staying gracefully degraded
+when the pool is dry), runs one :class:`DiskRebuild` at a time under a
+:class:`~repro.recovery.throttle.RepairThrottle`, and publishes the
+``recovery.`` metrics namespace.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..codes.base import DecodeFailure
+from ..migrate.journal import MigrationJournal, PendingStage
+from ..obs import NULL_TRACER, Tracer
+from .detector import DetectorConfig, FailureDetector
+from .spares import SparePool, SpareExhaustedError
+from .throttle import RepairThrottle
+
+__all__ = [
+    "REBUILD_CRASH_POINTS",
+    "RecoveryCrash",
+    "RecoveryError",
+    "DataLossError",
+    "DiskRebuild",
+    "resume_disk_rebuild",
+    "RecoveryOrchestrator",
+]
+
+#: valid ``crash_after`` hook points of one rebuild window, in WAL order.
+REBUILD_CRASH_POINTS = ("stage", "reconstruct", "commit")
+
+#: journal context discriminator (the WAL format is shared with
+#: migration and cluster rebalance; the kind keeps resumes honest).
+JOURNAL_KIND = "disk-rebuild"
+
+
+class RecoveryError(RuntimeError):
+    """Recovery plane misuse (wrong journal, wrong disk state, ...)."""
+
+
+class RecoveryCrash(RuntimeError):
+    """Simulated process crash at a rebuild WAL stage (testing hook).
+
+    The in-memory executor is dead after this; the journal and the disks
+    survive.  Recover with :func:`resume_disk_rebuild`.
+    """
+
+
+class DataLossError(RuntimeError):
+    """Stripe ranges are genuinely unrecoverable under current failures.
+
+    Raised only after parked-window retries stop making progress — a
+    transient second failure parks windows without ever raising this.
+    ``rows`` names the affected candidate rows.
+    """
+
+    def __init__(self, message: str, rows: list[int]) -> None:
+        super().__init__(message)
+        self.rows = list(rows)
+
+
+class DiskRebuild:
+    """Crash-safe, throttled rebuild of one failed disk onto a spare.
+
+    Parameters
+    ----------
+    store:
+        The live :class:`~repro.store.blockstore.BlockStore`.
+    failed_disk:
+        Disk to rebuild.  Must be failed at construction (fresh start);
+        the constructor binds the spare by restoring the disk wiped.
+    journal:
+        Journal (or path) for the rebuild WAL.  Fresh starts need a
+        fresh journal; crashed rebuilds resume via
+        :func:`resume_disk_rebuild`.
+    cache:
+        Optional plan cache serving reads over the store; entries
+        covering each window are invalidated at commit (a degraded plan
+        cached before the window committed would keep paying the
+        reconstruction tax — invalidation here is a performance fix, and
+        after the final window it is what lets plans stop degrading).
+    throttle:
+        Optional :class:`RepairThrottle`; ``None`` runs unthrottled.
+    unit_rows:
+        Rows per window.
+    heat:
+        Optional ``row -> score`` map; windows are rebuilt in descending
+        total-heat order (ties by window index).  The order is persisted
+        in the journal context so a resume follows the same permutation.
+    tracer / registry:
+        Observability; default to the store's.
+    crash_after / crash_at_window:
+        Testing hooks, see :data:`REBUILD_CRASH_POINTS`.  The window
+        index refers to the *visit order*, not the natural index.
+    """
+
+    def __init__(
+        self,
+        store,
+        failed_disk: int,
+        *,
+        journal: MigrationJournal | str | Path,
+        cache=None,
+        throttle: RepairThrottle | None = None,
+        unit_rows: int = 4,
+        heat: dict[int, float] | None = None,
+        tracer: Tracer | None = None,
+        registry=None,
+        crash_after: str | None = None,
+        crash_at_window: int = 0,
+        max_barren_rounds: int = 3,
+        _resume_committed: set[int] | None = None,
+        _resume_order: list[int] | None = None,
+    ) -> None:
+        if crash_after is not None and crash_after not in REBUILD_CRASH_POINTS:
+            raise ValueError(
+                f"crash_after must be one of {REBUILD_CRASH_POINTS}, "
+                f"got {crash_after!r}"
+            )
+        if unit_rows <= 0:
+            raise ValueError(f"unit_rows must be > 0, got {unit_rows}")
+        if max_barren_rounds < 1:
+            raise ValueError(
+                f"max_barren_rounds must be >= 1, got {max_barren_rounds}"
+            )
+        if not 0 <= failed_disk < len(store.array):
+            raise ValueError(f"disk {failed_disk} out of range")
+        self.store = store
+        self.failed_disk = failed_disk
+        self.journal = (
+            journal
+            if isinstance(journal, MigrationJournal)
+            else MigrationJournal(journal)
+        )
+        self.cache = cache
+        self.throttle = throttle
+        self.unit_rows = unit_rows
+        self.tracer = tracer if tracer is not None else getattr(store, "tracer", NULL_TRACER)
+        self.registry = registry if registry is not None else getattr(store, "registry", None)
+        self.crash_after = crash_after
+        self.crash_at_window = crash_at_window
+        self.max_barren_rounds = max_barren_rounds
+
+        self.rows = store.rows_written
+        self.num_windows = -(-self.rows // unit_rows) if self.rows else 0
+        if _resume_order is not None:
+            self.order = list(_resume_order)
+        else:
+            self.order = self._heat_order(heat)
+        if sorted(self.order) != list(range(self.num_windows)):
+            raise RecoveryError(
+                f"window order {self.order} is not a permutation of "
+                f"0..{self.num_windows - 1}"
+            )
+
+        self.done: set[int] = set()
+        self._parked: set[int] = set()
+        self.rows_rebuilt = 0
+        self.elements_rebuilt = 0
+        self.bytes_repaired = 0
+        self.bytes_staged = 0
+        self.write_intents = 0
+        self.parked_events = 0
+        self.retry_rounds = 0
+        self.resumes = 0
+        self.cache_invalidations = 0
+        self._barren_rounds = 0
+        self._round_progress = 1  # allow the first retry round
+
+        if _resume_committed is None:
+            if not store.array[failed_disk].failed:
+                raise RecoveryError(
+                    f"disk {failed_disk} has not failed; nothing to rebuild"
+                )
+            if self.journal.exists():
+                raise RecoveryError(
+                    f"journal {self.journal.path} already exists; "
+                    "use resume_disk_rebuild()"
+                )
+            self.journal.write_plan(self._context())
+            # bind the spare: the bay comes back alive and empty, so
+            # degraded reads can self-heal not-yet-rebuilt slots from here
+            store.array[failed_disk].restore(wipe=True)
+        else:
+            self.done.update(_resume_committed)
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def _heat_order(self, heat: dict[int, float] | None) -> list[int]:
+        windows = list(range(self.num_windows))
+        if not heat:
+            return windows
+        def score(w: int) -> float:
+            return sum(heat.get(r, 0.0) for r in self._window_rows(w))
+        return sorted(windows, key=lambda w: (-score(w), w))
+
+    def _window_rows(self, window: int) -> range:
+        start = window * self.unit_rows
+        return range(start, min(self.rows, start + self.unit_rows))
+
+    def _window_cost(self, window: int) -> int:
+        """Physical element operations: ``k`` reads + lost writes per row
+        (repairs on faulted rows cost extra, deliberately not pre-charged)."""
+        k, n = self.store.code.k, self.store.code.n
+        per_row = k + max(1, n - k)  # >= 1 lost element per row, all forms
+        return len(self._window_rows(window)) * per_row
+
+    def _context(self) -> dict:
+        return {
+            "kind": JOURNAL_KIND,
+            "failed_disk": self.failed_disk,
+            "rows": self.rows,
+            "unit_rows": self.unit_rows,
+            "windows": self.num_windows,
+            "element_size": self.store.element_size,
+            "order": list(self.order),
+        }
+
+    # ------------------------------------------------------------------
+    # progress
+    # ------------------------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        """True once every window has a commit record."""
+        return len(self.done) >= self.num_windows
+
+    @property
+    def windows_committed(self) -> int:
+        return len(self.done)
+
+    @property
+    def progress_ratio(self) -> float:
+        if self.num_windows == 0:
+            return 1.0
+        return len(self.done) / self.num_windows
+
+    @property
+    def parked_windows(self) -> list[int]:
+        """Windows currently parked as temporarily unreadable."""
+        return sorted(self._parked)
+
+    def parked_rows(self) -> list[int]:
+        """Candidate rows covered by parked windows, ascending."""
+        return sorted(r for w in self._parked for r in self._window_rows(w))
+
+    def _next_pending(self) -> int | None:
+        for w in self.order:
+            if w not in self.done and w not in self._parked:
+                return w
+        return None
+
+    # ------------------------------------------------------------------
+    # the rebuild loop
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run one throttled quantum; returns True while work remains.
+
+        Deposits the throttle's tokens; if the bucket covers the next
+        window's cost, rebuilds it (stage -> reconstruct -> commit ->
+        invalidate), else records a stall.  A window whose stripes are
+        temporarily undecodable (overlapping failure) parks and is
+        retried after the rest of the schedule — repeated barren retry
+        rounds raise :class:`DataLossError`.
+        """
+        if self.complete:
+            return False
+        window = self._next_pending()
+        if window is None:
+            # everything left is parked: begin a retry round
+            if self._round_progress == 0:
+                self._barren_rounds += 1
+                if self._barren_rounds >= self.max_barren_rounds:
+                    rows = self.parked_rows()
+                    raise DataLossError(
+                        f"disk {self.failed_disk}: rows {rows} unrecoverable "
+                        f"after {self._barren_rounds} barren retry rounds "
+                        f"(failed disks now: {self.store.array.failed_disks})",
+                        rows,
+                    )
+            else:
+                self._barren_rounds = 0
+            self._round_progress = 0
+            self.retry_rounds += 1
+            self._parked.clear()
+            window = self._next_pending()
+            assert window is not None
+        cost = self._window_cost(window)
+        if self.throttle is not None:
+            self.throttle.refill()
+            # a window bigger than the bucket must still be payable
+            if not self.throttle.spend(min(cost, self.throttle.max_budget)):
+                return True
+        try:
+            self._rebuild_window(window)
+            self._round_progress += 1
+        except DecodeFailure:
+            self._parked.add(window)
+            self.parked_events += 1
+        return not self.complete
+
+    def run(self, max_steps: int | None = None) -> int:
+        """Drive :meth:`step` until complete; returns steps taken.
+
+        Raises :class:`DataLossError` if parked windows stop converging.
+        ``max_steps`` bounds the loop (RuntimeError on overrun) so a
+        misconfigured throttle cannot spin forever.
+        """
+        steps = 0
+        while True:
+            steps += 1
+            if not self.step():
+                return steps
+            if max_steps is not None and steps >= max_steps:
+                raise RecoveryError(
+                    f"rebuild of disk {self.failed_disk} incomplete after "
+                    f"{steps} steps ({self.windows_committed}/{self.num_windows}"
+                    " windows)"
+                )
+
+    def _rebuild_window(self, window: int) -> None:
+        rows = self._window_rows(window)
+        with self.tracer.span(
+            "rebuild", disk=self.failed_disk, window=window, rows=len(rows)
+        ):
+            # stage: verified data payloads (faulted elements repaired on
+            # the way; a not-yet-rebuilt slot on the spare self-heals here)
+            payloads = [self.store.fetch_row_data(row) for row in rows]
+            self.bytes_staged += sum(len(p) for row in payloads for p in row)
+            self.journal.write_stage(window, list(rows), payloads)
+            self._maybe_crash("stage", window)
+            self._apply_window(window, rows, payloads)
+            self.journal.write_commit(window)
+            self._maybe_crash("commit", window)
+            self._commit_window(window, rows)
+
+    def _apply_window(
+        self,
+        window: int,
+        rows,
+        payloads,
+        *,
+        crash_enabled: bool = True,
+    ) -> None:
+        """Reconstruct the window's lost elements on the spare (idempotent)."""
+        k, s = self.store.code.k, self.store.element_size
+        placement = self.store.placement
+        crash_row = len(rows) // 2
+        visit = self.order.index(window)
+        for i, row in enumerate(rows):
+            if (
+                crash_enabled
+                and self.crash_after == "reconstruct"
+                and visit == self.crash_at_window
+                and i == crash_row
+            ):
+                raise RecoveryCrash(
+                    f"simulated crash mid-reconstruct of window {window} "
+                    f"(row {row})"
+                )
+            lost = [
+                e
+                for e in range(self.store.code.n)
+                if placement.locate_row_element(row, e).disk == self.failed_disk
+            ]
+            if not lost:
+                continue
+            data = np.stack(
+                [np.frombuffer(p, dtype=np.uint8) for p in payloads[i]]
+            )
+            parity = (
+                self.store.code.encode(data) if any(e >= k for e in lost) else None
+            )
+            for e in lost:
+                addr = placement.locate_row_element(row, e)
+                payload = data[e] if e < k else parity[e - k]
+                if self.store.put_element(addr, payload):
+                    self.bytes_repaired += s
+                else:
+                    self.write_intents += 1
+                self.elements_rebuilt += 1
+            self.rows_rebuilt += 1
+
+    def _commit_window(self, window: int, rows) -> None:
+        self.done.add(window)
+        if self.cache is not None:
+            k = self.store.code.k
+            self.cache_invalidations += self.cache.invalidate_elements(
+                rows[0] * k, (rows[-1] + 1) * k, placement=self.store.placement
+            )
+
+    def _maybe_crash(self, point: str, window: int) -> None:
+        if (
+            self.crash_after == point
+            and self.order.index(window) == self.crash_at_window
+        ):
+            raise RecoveryCrash(
+                f"simulated crash after {point} of window {window}"
+            )
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def _replay_pending(self, pending: PendingStage) -> None:
+        """Re-apply a staged-but-uncommitted window from the journal.
+
+        Idempotent: every write lands the same payload at the same
+        address, whether the crash hit before, during, or after the
+        original apply.
+        """
+        with self.tracer.span(
+            "rebuild", disk=self.failed_disk, window=pending.window, replay=True
+        ):
+            self._apply_window(
+                pending.window, pending.rows, pending.payloads, crash_enabled=False
+            )
+            self.journal.write_commit(pending.window)
+            self._commit_window(pending.window, pending.rows)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> dict:
+        """Nested-dict view for the ``recovery.rebuild.*`` namespace."""
+        return {
+            "rebuild": {
+                "failed_disk": self.failed_disk,
+                "windows_committed": self.windows_committed,
+                "windows_total": self.num_windows,
+                "progress_ratio": self.progress_ratio,
+                "rows_rebuilt": self.rows_rebuilt,
+                "elements_rebuilt": self.elements_rebuilt,
+                "bytes_repaired": self.bytes_repaired,
+                "bytes_staged": self.bytes_staged,
+                "write_intents": self.write_intents,
+                "parked_windows": self.parked_windows,
+                "parked_events": self.parked_events,
+                "retry_rounds": self.retry_rounds,
+                "resumes": self.resumes,
+                "cache_invalidations": self.cache_invalidations,
+                "complete": int(self.complete),
+            }
+        }
+
+
+def resume_disk_rebuild(
+    store,
+    journal: MigrationJournal | str | Path,
+    *,
+    cache=None,
+    throttle: RepairThrottle | None = None,
+    tracer: Tracer | None = None,
+    registry=None,
+    crash_after: str | None = None,
+    crash_at_window: int = 0,
+) -> DiskRebuild:
+    """Recover a crashed disk rebuild from its journal.
+
+    Trusts committed windows, replays the pending staged window (if any)
+    *before* returning — so no caller can observe a half-reconstructed
+    window as the executor's responsibility — and returns a
+    :class:`DiskRebuild` ready to :meth:`~DiskRebuild.step` /
+    :meth:`~DiskRebuild.run` the remaining schedule.  Also re-binds the
+    spare if the crash left the disk failed (a crash *between*
+    confirmation and binding).
+    """
+    journal = (
+        journal if isinstance(journal, MigrationJournal) else MigrationJournal(journal)
+    )
+    state = journal.load()
+    if not state.started:
+        raise RecoveryError(f"journal {journal.path} has no plan record")
+    ctx = state.context
+    if ctx.get("kind") != JOURNAL_KIND:
+        raise RecoveryError(
+            f"journal {journal.path} is a {ctx.get('kind', 'migration')!r} "
+            f"journal, not {JOURNAL_KIND!r}"
+        )
+    if store.element_size != ctx["element_size"]:
+        raise RecoveryError(
+            f"store element size {store.element_size} does not match the "
+            f"journal's {ctx['element_size']}"
+        )
+    if store.rows_written < ctx["rows"]:
+        raise RecoveryError(
+            f"store has {store.rows_written} rows, journal planned {ctx['rows']}"
+        )
+    failed_disk = int(ctx["failed_disk"])
+    if store.array[failed_disk].failed:
+        store.array[failed_disk].restore(wipe=True)
+    rb = DiskRebuild(
+        store,
+        failed_disk,
+        journal=journal,
+        cache=cache,
+        throttle=throttle,
+        unit_rows=int(ctx["unit_rows"]),
+        tracer=tracer,
+        registry=registry,
+        crash_after=crash_after,
+        crash_at_window=crash_at_window,
+        _resume_committed=set(state.committed),
+        _resume_order=[int(w) for w in ctx["order"]],
+    )
+    if rb.rows != ctx["rows"] or rb.num_windows != ctx["windows"]:
+        raise RecoveryError(
+            "rebuilt schedule geometry disagrees with the journal's plan record"
+        )
+    rb.resumes += 1
+    if cache is not None:
+        # entries for windows whose commit landed but whose invalidation
+        # did not must go; resume is rare, sweep the whole planned range.
+        rb.cache_invalidations += cache.invalidate_elements(
+            0, ctx["rows"] * store.code.k, placement=store.placement
+        )
+    if state.pending is not None:
+        rb._replay_pending(state.pending)
+    return rb
+
+
+class RecoveryOrchestrator:
+    """Autonomous supervisor: detect failures, bind spares, rebuild online.
+
+    Parameters
+    ----------
+    store:
+        The live store whose array is supervised.
+    journal_dir:
+        Directory for rebuild WALs (one journal per rebuild attempt).
+    spares:
+        :class:`SparePool` or an int inventory size (default 1).
+    detector:
+        :class:`FailureDetector` to drive; built over the store's array
+        (with ``detector_config``) when omitted.
+    throttle:
+        Shared :class:`RepairThrottle` for every rebuild (default: a
+        fresh one with stock knobs).
+    cache / tracer / registry:
+        Passed to each :class:`DiskRebuild`; registry also receives the
+        ``recovery`` namespace collector and the foreground-impact
+        histogram.
+    unit_rows / heat / steps_per_tick:
+        Rebuild granularity, heal-priority map, and how many throttled
+        rebuild quanta one :meth:`tick` runs.
+    """
+
+    def __init__(
+        self,
+        store,
+        *,
+        journal_dir: str | Path,
+        spares: SparePool | int = 1,
+        detector: FailureDetector | None = None,
+        detector_config: DetectorConfig | None = None,
+        straggler=None,
+        throttle: RepairThrottle | None = None,
+        cache=None,
+        tracer: Tracer | None = None,
+        registry=None,
+        unit_rows: int = 4,
+        heat: dict[int, float] | None = None,
+        steps_per_tick: int = 1,
+    ) -> None:
+        if steps_per_tick < 1:
+            raise ValueError(f"steps_per_tick must be >= 1, got {steps_per_tick}")
+        self.store = store
+        self.journal_dir = Path(journal_dir)
+        self.journal_dir.mkdir(parents=True, exist_ok=True)
+        self.spares = spares if isinstance(spares, SparePool) else SparePool(spares)
+        self.detector = detector or FailureDetector(
+            store.array, straggler=straggler, config=detector_config
+        )
+        self.throttle = throttle if throttle is not None else RepairThrottle()
+        self.cache = cache
+        self.tracer = tracer if tracer is not None else getattr(store, "tracer", NULL_TRACER)
+        self.registry = registry if registry is not None else getattr(store, "registry", None)
+        self.unit_rows = unit_rows
+        self.heat = heat
+        self.steps_per_tick = steps_per_tick
+
+        self.active: DiskRebuild | None = None
+        self._active_disk: int | None = None
+        self._active_journal: Path | None = None
+        self._queue: list[int] = []
+        self._journal_seq = 0
+
+        self.ticks = 0
+        self.rebuilds_started = 0
+        self.rebuilds_completed = 0
+        self.spare_waits = 0
+        self.data_loss_events = 0
+        self._impact_hist = None
+        if self.registry is not None:
+            self.registry.register_collector("recovery", self.stats_snapshot)
+            self.detector.register_metrics(self.registry)
+            self._impact_hist = self.registry.histogram(
+                "recovery.foreground_impact_ratio"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def rebuilding_disk(self) -> int | None:
+        """Disk currently under rebuild, or None when idle."""
+        return self._active_disk
+
+    @property
+    def queued_disks(self) -> list[int]:
+        """Confirmed failures awaiting a rebuild slot or a spare."""
+        return list(self._queue)
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is rebuilding, queued, or pending confirmation."""
+        return (
+            self.active is None
+            and not self._queue
+            and not self.detector.pending_failures()
+        )
+
+    # ------------------------------------------------------------------
+    # the supervision loop
+    # ------------------------------------------------------------------
+    def tick(self) -> bool:
+        """One supervision heartbeat; returns True while work remains.
+
+        Polls the detector, enqueues newly confirmed failures, starts the
+        next rebuild when idle (skipping it gracefully while the spare
+        pool is dry), and runs ``steps_per_tick`` throttled rebuild
+        quanta.  :class:`DataLossError` from a stuck rebuild propagates
+        after being counted — losing data silently is not an option.
+        """
+        self.ticks += 1
+        for disk in self.detector.poll():
+            if disk != self._active_disk and disk not in self._queue:
+                self._queue.append(disk)
+        if self.active is None and self._queue:
+            self._start_next()
+        if self.active is not None:
+            for _ in range(self.steps_per_tick):
+                try:
+                    more = self.active.step()
+                except DataLossError:
+                    self.data_loss_events += 1
+                    raise
+                if not more:
+                    self._finish_active()
+                    break
+        return not self.idle
+
+    def run_until_idle(self, max_ticks: int = 10_000) -> int:
+        """Tick until the plane is idle; returns ticks taken.
+
+        Stops early (without raising) if the only remaining work is
+        queued disks with no spare to bind — the system stays degraded
+        but live, which is the contract.
+        """
+        ticks = 0
+        while ticks < max_ticks:
+            ticks += 1
+            if not self.tick():
+                return ticks
+            if (
+                self.active is None
+                and self._queue
+                and self.spares.available <= 0
+            ):
+                return ticks  # degraded steady-state: out of spares
+        raise RecoveryError(
+            f"recovery plane still busy after {max_ticks} ticks "
+            f"(active={self._active_disk}, queue={self._queue})"
+        )
+
+    def _start_next(self) -> None:
+        disk = self._queue[0]
+        if not self.store.array[disk].failed:
+            # restored out from under us after confirmation (flap past
+            # the damping window): contents are intact, no rebuild needed
+            self._queue.pop(0)
+            self.detector.mark_healthy(disk)
+            return
+        try:
+            self.spares.bind(disk)
+        except SpareExhaustedError:
+            self.spare_waits += 1
+            return  # stay degraded; retried every tick
+        self._journal_seq += 1
+        journal_path = self.journal_dir / f"rebuild-d{disk}-{self._journal_seq}.wal"
+        self.active = DiskRebuild(
+            self.store,
+            disk,
+            journal=journal_path,
+            cache=self.cache,
+            throttle=self.throttle,
+            unit_rows=self.unit_rows,
+            heat=self.heat,
+            tracer=self.tracer,
+            registry=self.registry,
+        )
+        self._active_disk = disk
+        self._active_journal = journal_path
+        self._queue.pop(0)
+        self.detector.mark_rebuilding(disk)
+        self.rebuilds_started += 1
+        if self.active.complete:  # empty store: nothing to rebuild
+            self._finish_active()
+
+    def _finish_active(self) -> None:
+        assert self._active_disk is not None
+        self.detector.mark_healthy(self._active_disk)
+        self.rebuilds_completed += 1
+        self.active = None
+        self._active_disk = None
+
+    def resume_active(self) -> DiskRebuild:
+        """Recover the in-flight rebuild after a :class:`RecoveryCrash`.
+
+        Re-opens the active journal through :func:`resume_disk_rebuild`
+        (replaying the pending window) and re-installs the executor, so
+        the next :meth:`tick` continues where the crash hit.
+        """
+        if self._active_journal is None or self._active_disk is None:
+            raise RecoveryError("no crashed rebuild to resume")
+        self.active = resume_disk_rebuild(
+            self.store,
+            self._active_journal,
+            cache=self.cache,
+            throttle=self.throttle,
+            tracer=self.tracer,
+            registry=self.registry,
+        )
+        return self.active
+
+    # ------------------------------------------------------------------
+    # repair QoS feedback
+    # ------------------------------------------------------------------
+    def observe_foreground(self, p99_s: float, clean_p99_s: float) -> float:
+        """Report a foreground-tail sample into the throttle's AIMD loop.
+
+        Returns the observed p99 ratio; also lands in the
+        ``recovery.foreground_impact_ratio`` histogram.
+        """
+        ratio = self.throttle.observe_foreground(p99_s, clean_p99_s)
+        if self._impact_hist is not None:
+            self._impact_hist.observe(ratio)
+        return ratio
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> dict:
+        """The orchestrator's share of the ``recovery.*`` namespace."""
+        out = {
+            "ticks": self.ticks,
+            "rebuilds_started": self.rebuilds_started,
+            "rebuilds_completed": self.rebuilds_completed,
+            "spare_waits": self.spare_waits,
+            "data_loss_events": self.data_loss_events,
+            "rebuilding_disk": self._active_disk,
+            "queued_disks": list(self._queue),
+            "spares": self.spares.stats_snapshot(),
+            "throttle": self.throttle.stats_snapshot(),
+        }
+        if self.active is not None:
+            out.update(self.active.stats_snapshot())
+        return out

@@ -1,0 +1,100 @@
+"""Hot-spare inventory for the recovery orchestrator.
+
+A confirmed disk failure needs a replacement drive before rebuild can
+start.  :class:`SparePool` models the datacenter-side inventory: a fixed
+stock of identical spares, consumed one per rebuild.  In the simulator
+the physical "swap" is :meth:`SimDisk.restore(wipe=True) <repro.disks.
+disk.SimDisk.restore>` — the failed spindle's bay comes back alive and
+empty — so the pool only tracks *entitlement*: whether a spare is
+available to bind, which failed disk consumed which spare, and how often
+the pool ran dry.  Running dry is not an error state for the system —
+the store keeps serving degraded reads indefinitely — but the orchestrator
+surfaces it loudly (``spare_waits`` metric, :class:`SpareExhaustedError`
+at bind time) because a pool at zero means the *next* failure starts
+eating into the code's erasure budget.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SpareExhaustedError", "SparePool"]
+
+
+class SpareExhaustedError(RuntimeError):
+    """No spare left to bind; the disk stays failed (degraded reads only)."""
+
+
+class SparePool:
+    """A finite stock of hot spares.
+
+    Parameters
+    ----------
+    count:
+        Initial spare inventory (>= 0; a zero pool makes every failure a
+        spare-exhaustion scenario).
+    """
+
+    def __init__(self, count: int) -> None:
+        if count < 0:
+            raise ValueError(f"spare count must be >= 0, got {count}")
+        self.total = count
+        self._next_id = 0
+        #: failed disk id -> spare id currently bound to it.
+        self.bound: dict[int, int] = {}
+        self.consumed = 0
+        self.exhausted_binds = 0
+        self.restocked = 0
+
+    @property
+    def available(self) -> int:
+        """Spares still on the shelf."""
+        return self.total - self.consumed
+
+    def bind(self, disk: int) -> int:
+        """Consume one spare for ``disk``; returns the spare's id.
+
+        Raises
+        ------
+        SpareExhaustedError
+            If the pool is empty.  The caller leaves the disk degraded
+            and may retry after :meth:`restock`.
+        ValueError
+            If ``disk`` already holds a bound spare.
+        """
+        if disk in self.bound:
+            raise ValueError(f"disk {disk} already has spare {self.bound[disk]} bound")
+        if self.available <= 0:
+            self.exhausted_binds += 1
+            raise SpareExhaustedError(
+                f"no spare available for disk {disk} "
+                f"({self.consumed}/{self.total} consumed)"
+            )
+        spare_id = self._next_id
+        self._next_id += 1
+        self.consumed += 1
+        self.bound[disk] = spare_id
+        return spare_id
+
+    def release(self, disk: int) -> None:
+        """Return ``disk``'s spare to the shelf (rebuild abandoned)."""
+        if disk not in self.bound:
+            raise ValueError(f"disk {disk} has no bound spare")
+        del self.bound[disk]
+        self.consumed -= 1
+
+    def restock(self, count: int) -> None:
+        """Add ``count`` fresh spares to the inventory."""
+        if count < 0:
+            raise ValueError(f"restock count must be >= 0, got {count}")
+        self.total += count
+        self.restocked += count
+
+    def stats_snapshot(self) -> dict:
+        """Plain-dict view for the ``recovery.spares.*`` namespace."""
+        return {
+            "total": self.total,
+            "available": self.available,
+            "consumed": self.consumed,
+            "bound": {str(d): s for d, s in sorted(self.bound.items())},
+            "exhausted_binds": self.exhausted_binds,
+            "restocked": self.restocked,
+        }

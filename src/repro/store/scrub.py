@@ -70,6 +70,9 @@ class Scrubber:
         self.rows_checked = 0
         self.rows_flagged = 0
         self.repairs_made = 0
+        #: next row the incremental scrub will check (wraps at the end).
+        self.cursor = 0
+        self.incremental_sweeps = 0
         if registry is not None:
             self.register_metrics(registry)
 
@@ -82,14 +85,24 @@ class Scrubber:
         return self
 
     def stats_snapshot(self) -> dict:
-        """Cumulative scrub counters, nested for the health namespace."""
+        """Cumulative scrub counters, nested for the health namespace.
+
+        ``scrub_progress`` sits at the top level (flattening to
+        ``health.scrub_progress``): the fraction of the store the
+        incremental cursor has covered in its current lap, 0.0..1.0
+        (1.0 for an empty store — nothing left to scrub).
+        """
+        rows = self._row_count()
         return {
+            "scrub_progress": (self.cursor / rows) if rows else 1.0,
             "scrub": {
                 "sweeps": self.sweeps,
+                "incremental_sweeps": self.incremental_sweeps,
                 "rows_checked": self.rows_checked,
                 "rows_flagged": self.rows_flagged,
                 "repairs_made": self.repairs_made,
-            }
+                "cursor": self.cursor,
+            },
         }
 
     # ------------------------------------------------------------------
@@ -132,27 +145,68 @@ class Scrubber:
             raise RuntimeError(
                 f"cannot scrub with failed disks {self.store.array.failed_disks}"
             )
-        code = self.store.code
         report = ScrubReport(rows_checked=self._row_count())
         for row in range(report.rows_checked):
-            good, bad = self.store._fetch_elements(row, range(code.n))
-            for e in sorted(bad):
-                if bad[e] == "corrupt":
-                    report.checksum_mismatches.append((row, e))
-                else:
-                    report.unreadable.append((row, e))
-            flagged = bool(bad)
-            if not bad:
-                elements = np.stack(
-                    [np.frombuffer(good[e], dtype=np.uint8) for e in range(code.n)]
-                )
-                flagged = not code.verify_codeword(elements)
-            if flagged:
-                report.corrupt_rows.append(row)
+            self._check_row(row, report)
         self.sweeps += 1
         self.rows_checked += report.rows_checked
         self.rows_flagged += len(report.corrupt_rows)
         return report
+
+    def scrub_incremental(self, max_rows: int) -> ScrubReport:
+        """Verify at most ``max_rows`` rows from the cursor; resumable.
+
+        The stop-the-world-free variant the recovery orchestrator runs as
+        background work: each call picks up where the last left off,
+        wrapping to row 0 at the end of the store (a completed lap counts
+        as one :attr:`sweeps` increment, so full-coverage accounting
+        matches :meth:`scrub`).  ``health.scrub_progress`` gauges the
+        current lap's position.  Same degraded-array guard as
+        :meth:`scrub`.
+        """
+        if max_rows <= 0:
+            raise ValueError(f"max_rows must be > 0, got {max_rows}")
+        if self.store.array.failed_disks:
+            raise RuntimeError(
+                f"cannot scrub with failed disks {self.store.array.failed_disks}"
+            )
+        total = self._row_count()
+        if total == 0:
+            return ScrubReport(rows_checked=0)
+        if self.cursor >= total:
+            # the store shrank-proof guard (stores only grow, but a stale
+            # cursor from a different store instance must not index out)
+            self.cursor = 0
+        todo = min(max_rows, total)
+        report = ScrubReport(rows_checked=todo)
+        for _ in range(todo):
+            self._check_row(self.cursor, report)
+            self.cursor += 1
+            if self.cursor >= total:
+                self.cursor = 0
+                self.sweeps += 1
+        self.incremental_sweeps += 1
+        self.rows_checked += todo
+        self.rows_flagged += len(report.corrupt_rows)
+        return report
+
+    def _check_row(self, row: int, report: ScrubReport) -> None:
+        """Verify one row (checksums, readability, parity) into ``report``."""
+        code = self.store.code
+        good, bad = self.store._fetch_elements(row, range(code.n))
+        for e in sorted(bad):
+            if bad[e] == "corrupt":
+                report.checksum_mismatches.append((row, e))
+            else:
+                report.unreadable.append((row, e))
+        flagged = bool(bad)
+        if not bad:
+            elements = np.stack(
+                [np.frombuffer(good[e], dtype=np.uint8) for e in range(code.n)]
+            )
+            flagged = not code.verify_codeword(elements)
+        if flagged:
+            report.corrupt_rows.append(row)
 
     def locate(self, row: int) -> int | None:
         """Locate the single corrupt element of a parity-inconsistent row.

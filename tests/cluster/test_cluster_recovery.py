@@ -1,0 +1,93 @@
+"""Per-shard recovery planes under the cluster frontend."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterService
+from repro.codes import make_rs
+from repro.recovery import DetectorConfig
+
+ELEMENT_SIZE = 64
+
+
+def _cluster(shards=3, stripes=9):
+    cluster = ClusterService(
+        make_rs(4, 2), shards=shards, element_size=ELEMENT_SIZE
+    )
+    data = np.random.default_rng(17).integers(
+        0, 256, size=stripes * cluster.stripe_bytes, dtype=np.uint8
+    ).tobytes()
+    cluster.append(data)
+    cluster.flush()
+    return cluster, data
+
+
+def test_enable_recovery_builds_one_plane_per_shard(tmp_path):
+    cluster, _ = _cluster()
+    orchs = cluster.enable_recovery(tmp_path, spares=2, unit_rows=2)
+    assert len(orchs) == 3
+    assert cluster.orchestrators == orchs
+    # journals are shard-scoped directories
+    for sid in range(3):
+        assert (tmp_path / f"shard-{sid}").is_dir()
+
+
+def test_failures_on_two_shards_heal_independently(tmp_path):
+    cluster, data = _cluster()
+    cluster.enable_recovery(tmp_path, spares=1, unit_rows=2)
+    cluster.volumes[0].store.array.fail_disk(1)
+    cluster.volumes[2].store.array.fail_disk(4)
+    ticks = cluster.run_recovery_until_idle()
+    assert ticks > 0
+    roll = cluster.recovery_rollup()
+    assert roll["rebuilds_completed"] == 2
+    assert roll["per_shard"]["0"]["rebuilds_completed"] == 1
+    assert roll["per_shard"]["1"]["rebuilds_completed"] == 0
+    assert roll["per_shard"]["2"]["rebuilds_completed"] == 1
+    assert cluster.read(0, len(data)) == data
+    # cluster namespace carries the rollup; shard registries the detail
+    assert cluster.stats_snapshot()["recovery"]["rebuilds_completed"] == 2
+    assert cluster.shard_metrics(0)["recovery"]["rebuilds_completed"] == 1
+
+
+def test_reads_serve_degraded_while_plane_out_of_spares(tmp_path):
+    cluster, data = _cluster()
+    cluster.enable_recovery(tmp_path, spares=0)
+    cluster.volumes[1].store.array.fail_disk(2)
+    cluster.run_recovery_until_idle()
+    roll = cluster.recovery_rollup()
+    assert roll["rebuilds_completed"] == 0
+    assert roll["per_shard"]["1"]["queued_disks"] == [2]
+    # degraded-but-live: the failed shard replans, the rest serve clean
+    assert cluster.read(0, len(data)) == data
+    cluster.orchestrators[1].spares.restock(1)
+    cluster.run_recovery_until_idle()
+    assert cluster.recovery_rollup()["rebuilds_completed"] == 1
+
+
+def test_flap_damping_is_per_shard(tmp_path):
+    cluster, data = _cluster()
+    cluster.enable_recovery(
+        tmp_path, detector_config=DetectorConfig(confirm_after=2)
+    )
+    cluster.volumes[0].store.array.fail_disk(3)
+    cluster.recovery_tick()  # suspected on shard 0 only
+    cluster.volumes[0].store.array.restore_disk(3, wipe=False)
+    cluster.run_recovery_until_idle()
+    roll = cluster.recovery_rollup()
+    assert roll["flaps"] == 1
+    assert roll["rebuilds_started"] == 0
+    assert cluster.read(0, len(data)) == data
+
+
+def test_added_shard_joins_the_plane(tmp_path):
+    cluster, data = _cluster()
+    cluster.enable_recovery(tmp_path, spares=1, unit_rows=2)
+    cluster.add_shard()
+    assert len(cluster.orchestrators) == 4
+    new_vol = cluster.volumes[-1]
+    new_vol.store.array.fail_disk(0)
+    cluster.run_recovery_until_idle()
+    assert cluster.recovery_rollup()["per_shard"]["3"]["rebuilds_completed"] == 1
+    assert cluster.read(0, len(data)) == data
+    assert (tmp_path / "shard-3").is_dir()

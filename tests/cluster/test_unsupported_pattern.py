@@ -1,0 +1,137 @@
+"""Multi-failure patterns end to end: typed error, transparent fallbacks.
+
+The plan cache only holds normal and single-failure plans; a two-or-more
+failure signature raises the typed
+:class:`~repro.engine.plancache.UnsupportedFailurePatternError` at the
+planning layer.  These tests pin the *propagation* contract above it:
+``ReadService.submit``, ``ClusterService.submit`` scatter-gather and the
+open-loop pipeline all swallow the error internally, route the affected
+reads through the store's exhaustive ``read_degraded_multi`` fallback,
+and stay byte-exact — the typed error only ever reaches callers that ask
+for a bare plan.  Also pins the typed add-shard refusal
+(:class:`~repro.cluster.RebalanceUnsupportedError`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterService, RebalanceUnsupportedError
+from repro.codes import make_rs
+from repro.engine import OpenLoopWorkload, ReadService, UnsupportedFailurePatternError
+from repro.store.blockstore import BlockStore
+
+ELEMENT_SIZE = 64
+
+
+def _store(stripes=12):
+    store = BlockStore(make_rs(4, 2), "ec-frm", element_size=ELEMENT_SIZE)
+    data = np.random.default_rng(11).integers(
+        0, 256, size=stripes * 4 * ELEMENT_SIZE, dtype=np.uint8
+    ).tobytes()
+    store.append(data)
+    store.flush()
+    return store, data
+
+
+def _cluster(shards=3, stripes=12):
+    cluster = ClusterService(
+        make_rs(4, 2), shards=shards, element_size=ELEMENT_SIZE
+    )
+    data = np.random.default_rng(11).integers(
+        0, 256, size=stripes * cluster.stripe_bytes, dtype=np.uint8
+    ).tobytes()
+    cluster.append(data)
+    cluster.flush()
+    return cluster, data
+
+
+# ----------------------------------------------------------------------
+# the typed error at the planning layer
+# ----------------------------------------------------------------------
+def test_plan_raises_typed_error_on_double_failure():
+    store, _ = _store()
+    service = ReadService(store)
+    store.array.fail_disk(0)
+    store.array.fail_disk(2)
+    with pytest.raises(UnsupportedFailurePatternError) as exc:
+        service.plan(0, 128)
+    # typed payload: the offending signature, sorted
+    assert exc.value.failed_disks == (0, 2)
+    # pre-typed callers caught ValueError; that must keep working
+    assert isinstance(exc.value, ValueError)
+
+
+def test_submit_serves_what_plan_refuses():
+    store, data = _store()
+    service = ReadService(store)
+    store.array.fail_disk(0)
+    store.array.fail_disk(2)
+    # rs-4-2 tolerates two erasures: submit falls back and stays byte-exact
+    result = service.submit([(0, 256), (len(data) - 64, 64)])
+    assert result.payloads[0] == data[:256]
+    assert result.payloads[1] == data[-64:]
+    # the fallback path has no closed-loop timing
+    assert result.throughput is None
+
+
+# ----------------------------------------------------------------------
+# propagation through the cluster scatter-gather
+# ----------------------------------------------------------------------
+def test_cluster_submit_falls_back_on_double_failed_shard():
+    cluster, data = _cluster()
+    array = cluster.volumes[0].store.array
+    array.fail_disk(1)
+    array.fail_disk(3)
+    sb = cluster.stripe_bytes
+    res = cluster.submit([(0, len(data)), (sb - 32, 64)])
+    assert res.payloads[0] == data
+    assert res.payloads[1] == data[sb - 32 : sb + 32]
+    # any shard on the fallback path leaves the whole batch untimed
+    assert res.makespan_s is None
+    # the double failure stayed shard-local
+    for vol in cluster.volumes[1:]:
+        assert not vol.store.array.failed_disks
+
+
+def test_cluster_open_loop_falls_back_on_double_failed_shard():
+    cluster, data = _cluster()
+    array = cluster.volumes[1].store.array
+    array.fail_disk(0)
+    array.fail_disk(2)
+    wl = OpenLoopWorkload(
+        cluster.user_bytes,
+        requests=80,
+        rate_rps=400.0,
+        min_bytes=16,
+        max_bytes=2 * cluster.stripe_bytes,
+        seed=13,
+    )
+    result = cluster.submit_open_loop(wl)
+    assert result.completed == 80
+    for (_, offset, length), payload in zip(wl, result.payloads):
+        assert payload == data[offset : offset + length]
+
+
+def test_open_loop_beyond_tolerance_propagates():
+    """Three erasures exceed rs-4-2: the failure must surface, not hang."""
+    store, _ = _store()
+    service = ReadService(store)
+    for d in (0, 1, 2):
+        store.array.fail_disk(d)
+    with pytest.raises(Exception):
+        service.submit([(0, 256)])
+
+
+# ----------------------------------------------------------------------
+# typed add-shard refusal
+# ----------------------------------------------------------------------
+def test_add_shard_refusal_is_typed_and_names_the_map_class():
+    rr = ClusterService(
+        make_rs(4, 2), shards=2, map="round-robin", element_size=ELEMENT_SIZE
+    )
+    with pytest.raises(RebalanceUnsupportedError) as exc:
+        rr.add_shard()
+    assert exc.value.map is rr.map
+    assert "RoundRobinMap" in str(exc.value)
+    # the CLI (and any pre-typed caller) catches plain ValueError
+    assert isinstance(exc.value, ValueError)

@@ -232,3 +232,40 @@ def test_seed_matrix_invariants(salt):
     assert a.peak_queue_depth <= 32
     assert a.makespan_s > 0
     assert a.summary() == b.summary()  # same seed, same service → same events
+
+
+def test_job_latencies_carry_metas():
+    """Per-job (meta, latency) pairs — the fg/bg tail separation the
+    recovery throttle's AIMD loop feeds on."""
+    svc, data = make_service()
+    jobs = [
+        (i * 0.002, [(0, (i * 64) % svc.store.user_bytes, 64)])
+        for i in range(20)
+    ]
+    metas = ["fg" if i % 2 == 0 else "bg" for i in range(20)]
+    pipe = RequestPipeline([svc])
+    result = pipe.run_jobs(jobs, metas=metas)
+    assert result.completed == 20
+    lats = pipe.job_latencies()
+    assert [meta for meta, _ in lats] == metas
+    assert all(lat is not None and lat > 0 for _, lat in lats)
+    fg = [lat for meta, lat in lats if meta == "fg"]
+    bg = [lat for meta, lat in lats if meta == "bg"]
+    assert len(fg) == len(bg) == 10
+    # quantiles over the split are computable (what the bench does)
+    assert float(np.percentile(fg, 99)) > 0
+
+
+def test_job_latencies_mark_rejected_jobs_none():
+    svc, _ = make_service()
+    # zero-capacity admission: every arrival after the first wave rejects
+    pipe = RequestPipeline(
+        [svc],
+        admission=AdmissionController(max_inflight=1, queue_limit=0),
+    )
+    jobs = [(0.0, [(0, 0, 64)]) for _ in range(30)]
+    result = pipe.run_jobs(jobs, metas=list(range(30)))
+    assert result.rejected > 0
+    lats = pipe.job_latencies()
+    assert len(lats) == 30
+    assert sum(1 for _, lat in lats if lat is None) == result.rejected

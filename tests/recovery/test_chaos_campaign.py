@@ -1,0 +1,172 @@
+"""Chaos campaign: randomized failures through the full recovery plane.
+
+The robustness acceptance property for the orchestrator: under randomized
+fault schedules (crashes, transient outages, latent sector errors, bit
+rot, stragglers) interleaved with foreground reads — plus process crashes
+*inside* the rebuild WAL on half the seeds — the plane must end every run
+with
+
+* **zero data loss** (no :class:`DataLossError`; schedules stay within
+  the code's erasure budget by construction),
+* the full user stream **byte-identical** to the reference data, and
+* **redundancy restored**: every confirmed-failed disk rebuilt and a
+  final scrub-and-repair pass leaving the store clean.
+
+``ECFRM_RECOVERY_SEED`` offsets the seed block (CI runs a matrix of
+bases covering disjoint schedules); the sweep is ``base*1000 ..
+base*1000+99``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.codes import make_rs
+from repro.engine import ReadService
+from repro.faults import FaultInjector, FaultSchedule
+from repro.recovery import (
+    REBUILD_CRASH_POINTS,
+    DiskRebuild,
+    RecoveryCrash,
+    RecoveryOrchestrator,
+    resume_disk_rebuild,
+)
+from repro.store import BlockStore, Scrubber
+
+ELEMENT_SIZE = 32
+ROWS = 6
+NUM_SEEDS = 100
+
+BASE = int(os.environ.get("ECFRM_RECOVERY_SEED", "1"))
+SEEDS = range(BASE * 1000, BASE * 1000 + NUM_SEEDS)
+
+
+def _build():
+    code = make_rs(3, 2)
+    store = BlockStore(code, "ec-frm", element_size=ELEMENT_SIZE)
+    rng = np.random.default_rng(42)
+    data = rng.integers(
+        0, 256, size=ROWS * store.row_bytes, dtype=np.uint8
+    ).tobytes()
+    store.append(data)
+    store.flush()
+    return store, data
+
+
+def _schedule(seed: int, num_disks: int) -> FaultSchedule:
+    # RS(3,2) tolerates 2 erasures per row: at most 1 whole-disk fault
+    # plus 1 slot fault keeps every row decodable, so any data loss the
+    # campaign sees is a recovery-plane bug, not an over-budget schedule.
+    return FaultSchedule.random(
+        seed,
+        ops=14,
+        num_disks=num_disks,
+        crash_prob=0.06,
+        outage_prob=0.05,
+        latent_prob=0.10,
+        bitrot_prob=0.10,
+        straggler_prob=0.04,
+        max_disk_failures=1,
+        max_slot_faults=1,
+    )
+
+
+def _foreground(store, data, svc, rng) -> None:
+    span = 2 * ELEMENT_SIZE
+    ranges = [
+        (int(rng.integers(0, store.user_bytes - span)), span)
+        for _ in range(10)
+    ]
+    result = svc.submit(ranges, queue_depth=4)
+    assert result.payloads == [data[o : o + n] for o, n in ranges]
+
+
+def _assert_recovered(store, data, seed: int, context: str) -> None:
+    assert store.read(0, len(data)) == data, f"seed {seed}: {context}"
+    assert not store.array.failed_disks, f"seed {seed}: {context}"
+    # bit rot outside rebuilt windows is the scrubber's job; after its
+    # repair pass the store must verify end to end
+    scrubber = Scrubber(store)
+    scrubber.scrub_and_repair()
+    assert scrubber.scrub().clean, f"seed {seed}: {context}"
+    assert store.read(0, len(data)) == data, f"seed {seed}: {context}"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_recovery_campaign(seed, tmp_path):
+    store, data = _build()
+    rng = np.random.default_rng(seed)
+
+    if seed % 2 == 0:
+        # injector-driven: random faults fire while foreground reads run,
+        # then the autonomous plane detects and heals whatever stuck
+        injector = FaultInjector(
+            store.array, _schedule(seed, len(store.array)), seed=seed
+        ).attach()
+        svc = ReadService(store)
+        orch = RecoveryOrchestrator(
+            store,
+            journal_dir=tmp_path / "wals",
+            spares=2,
+            cache=svc.cache,
+            unit_rows=2,
+            steps_per_tick=2,
+        )
+        _foreground(store, data, svc, rng)
+        orch.run_until_idle()
+        _foreground(store, data, svc, rng)
+        orch.run_until_idle()
+        injector.detach()
+        # drain any outage that restored after detection: the plane may
+        # have one last rebuild in flight for it
+        orch.run_until_idle()
+        _assert_recovered(store, data, seed, f"fired={injector.fired}")
+    else:
+        # crash-during-rebuild: a disk fails for real, and the rebuild
+        # process dies at a random WAL point; resume must converge
+        disk = int(rng.integers(0, len(store.array)))
+        point = REBUILD_CRASH_POINTS[int(rng.integers(0, 3))]
+        window = int(rng.integers(0, -(-ROWS // 2)))
+        store.array.fail_disk(disk)
+        journal = tmp_path / "rebuild.wal"
+        heat = {r: float(rng.integers(1, 100)) for r in range(ROWS)}
+        rb = DiskRebuild(
+            store, disk, journal=journal, unit_rows=2, heat=heat,
+            crash_after=point, crash_at_window=window,
+        )
+        with pytest.raises(RecoveryCrash):
+            rb.run()
+        # degraded reads stay byte-exact between crash and resume
+        assert store.read(0, len(data)) == data, f"seed {seed}"
+        resumed = resume_disk_rebuild(store, journal)
+        resumed.run()
+        assert resumed.complete
+        _assert_recovered(
+            store, data, seed, f"crash after {point} at window {window}"
+        )
+
+
+def test_campaign_actually_exercises_faults():
+    """Guard against the even-seed half degenerating to fault-free runs."""
+    fired = 0
+    for seed in SEEDS:
+        if seed % 2:
+            continue
+        store, _ = _build()
+        injector = FaultInjector(
+            store.array, _schedule(seed, len(store.array)), seed=seed
+        ).attach()
+        svc = ReadService(store)
+        rng = np.random.default_rng(seed)
+        span = 2 * ELEMENT_SIZE
+        svc.submit(
+            [
+                (int(rng.integers(0, store.user_bytes - span)), span)
+                for _ in range(10)
+            ],
+            queue_depth=4,
+        )
+        injector.detach()
+        fired += len(injector.fired)
+    assert fired >= NUM_SEEDS // 2  # on average >= 1 fault per schedule

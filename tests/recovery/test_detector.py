@@ -1,0 +1,129 @@
+"""FailureDetector state machine: confirmation, flap damping, decay."""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_rs
+from repro.recovery import DetectorConfig, DiskState, FailureDetector
+from repro.obs import MetricsRegistry
+from repro.store import BlockStore
+
+
+def _store(rows=2):
+    store = BlockStore(make_rs(3, 2), "ec-frm", element_size=32)
+    rng = np.random.default_rng(1)
+    store.append(
+        rng.integers(0, 256, size=rows * store.row_bytes, dtype=np.uint8).tobytes()
+    )
+    return store
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="confirm_after"):
+        DetectorConfig(confirm_after=0)
+    with pytest.raises(ValueError, match="error_threshold"):
+        DetectorConfig(error_threshold=0)
+    with pytest.raises(ValueError, match="slowdown_threshold"):
+        DetectorConfig(slowdown_threshold=1.0)
+    with pytest.raises(ValueError, match="decay_after"):
+        DetectorConfig(decay_after=0)
+
+
+def test_confirmation_takes_consecutive_down_polls():
+    store = _store()
+    det = FailureDetector(store.array, config=DetectorConfig(confirm_after=3))
+    store.array.fail_disk(2)
+    assert det.poll() == []
+    assert det.state(2) is DiskState.SUSPECTED
+    assert det.poll() == []
+    assert det.poll() == [2]  # third consecutive down poll confirms
+    assert det.state(2) is DiskState.FAILED
+    # confirmed exactly once
+    assert det.poll() == []
+    assert det.pending_failures() == [2]
+
+
+def test_flap_within_window_never_confirms():
+    store = _store()
+    det = FailureDetector(store.array, config=DetectorConfig(confirm_after=2))
+    store.array.fail_disk(1)
+    det.poll()
+    assert det.pending_failures() == [1]
+    store.array.restore_disk(1, wipe=False)  # blip over before confirmation
+    assert det.poll() == []
+    assert det.state(1) is DiskState.HEALTHY
+    assert det.flaps == 1
+    assert det.pending_failures() == []
+    # a fresh outage starts a fresh streak
+    store.array.fail_disk(1)
+    det.poll()
+    assert det.poll() == [1]
+
+
+def test_soft_errors_suspect_then_decay():
+    store = _store()
+    cfg = DetectorConfig(error_threshold=2, decay_after=3)
+    det = FailureDetector(store.array, config=cfg)
+    det.record_error(0, "corrupt")
+    det.poll()
+    assert det.state(0) is DiskState.HEALTHY  # below threshold
+    det.record_error(0, "latent")
+    det.poll()
+    assert det.state(0) is DiskState.SUSPECTED
+    assert det.wants_scrub() == [0]
+    # suspicion decays only after decay_after clean polls
+    det.poll()
+    det.poll()
+    assert det.state(0) is DiskState.SUSPECTED
+    det.poll()
+    assert det.state(0) is DiskState.HEALTHY
+    # the error count reset with the decay
+    det.record_error(0, "corrupt")
+    det.poll()
+    assert det.state(0) is DiskState.HEALTHY
+
+
+def test_slowdown_suspicion():
+    store = _store()
+    det = FailureDetector(
+        store.array, config=DetectorConfig(slowdown_threshold=2.0)
+    )
+    store.array[3].slowdown = 2.5
+    det.poll()
+    assert det.state(3) is DiskState.SUSPECTED
+    assert det.wants_scrub() == [3]
+    # a slow disk is never *confirmed* failed
+    for _ in range(10):
+        det.poll()
+    assert det.state(3) is DiskState.SUSPECTED
+    assert det.pending_failures() == []
+
+
+def test_orchestrator_hooks_and_transition_counters():
+    store = _store()
+    det = FailureDetector(store.array, config=DetectorConfig(confirm_after=1))
+    with pytest.raises(ValueError, match="not failed"):
+        det.mark_rebuilding(0)
+    store.array.fail_disk(0)
+    assert det.poll() == [0]
+    det.mark_rebuilding(0)
+    assert det.state(0) is DiskState.REBUILDING
+    det.poll()  # the repair plane owns the disk: poll leaves it alone
+    assert det.state(0) is DiskState.REBUILDING
+    store.array.restore_disk(0)
+    det.mark_healthy(0)
+    assert det.state(0) is DiskState.HEALTHY
+    assert det.transitions["suspected->failed"] == 1
+    assert det.transitions["failed->rebuilding"] == 1
+    assert det.transitions["rebuilding->healthy"] == 1
+
+
+def test_metrics_namespace():
+    store = _store()
+    reg = MetricsRegistry()
+    det = FailureDetector(store.array, registry=reg)
+    store.array.fail_disk(1)
+    det.poll()
+    snap = reg.snapshot()
+    assert snap["recovery"]["detector"]["polls"] == 1
+    assert snap["recovery"]["detector"]["states"]["1"] == "suspected"

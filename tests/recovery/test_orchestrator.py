@@ -1,0 +1,180 @@
+"""RecoveryOrchestrator supervision: detect, bind, rebuild, degrade, QoS."""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_rs
+from repro.obs import MetricsRegistry
+from repro.recovery import (
+    DataLossError,
+    DetectorConfig,
+    RecoveryCrash,
+    RecoveryError,
+    RecoveryOrchestrator,
+    RepairThrottle,
+    SparePool,
+)
+from repro.store import BlockStore, Scrubber
+
+ELEMENT_SIZE = 32
+ROWS = 8
+
+
+def _store(seed=3, rows=ROWS):
+    store = BlockStore(make_rs(3, 2), "ec-frm", element_size=ELEMENT_SIZE)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(
+        0, 256, size=rows * store.row_bytes, dtype=np.uint8
+    ).tobytes()
+    store.append(data)
+    store.flush()
+    return store, data
+
+
+def _orch(store, tmp_path, **kw):
+    kw.setdefault("journal_dir", tmp_path / "wals")
+    kw.setdefault("unit_rows", 2)
+    return RecoveryOrchestrator(store, **kw)
+
+
+def test_single_failure_end_to_end(tmp_path):
+    store, data = _store()
+    reg = MetricsRegistry()
+    orch = _orch(store, tmp_path, registry=reg)
+    assert orch.idle
+    store.array.fail_disk(1)
+    ticks = orch.run_until_idle()
+    assert orch.rebuilds_completed == 1
+    assert orch.idle and ticks >= 2  # confirm_after=2 damping window
+    assert store.read(0, len(data)) == data
+    assert Scrubber(store).scrub().clean
+    snap = reg.snapshot()["recovery"]
+    assert snap["rebuilds_completed"] == 1
+    assert snap["detector"]["transitions"]["failed->rebuilding"] == 1
+    # the WAL landed where the orchestrator said it would
+    assert list((tmp_path / "wals").glob("rebuild-d1-*.wal"))
+
+
+def test_spare_exhaustion_stays_degraded_then_restocks(tmp_path):
+    store, data = _store()
+    orch = _orch(store, tmp_path, spares=1)
+    store.array.fail_disk(0)
+    store.array.fail_disk(3)
+    orch.run_until_idle()
+    assert orch.rebuilds_completed == 1
+    assert len(orch.queued_disks) == 1
+    assert not orch.idle  # degraded-but-live, not done
+    # degraded reads still serve while the queue waits
+    assert store.read(0, len(data)) == data
+    orch.spares.restock(1)
+    orch.run_until_idle()
+    assert orch.rebuilds_completed == 2
+    assert orch.idle
+    assert Scrubber(store).scrub().clean
+
+
+def test_overlapping_failure_mid_rebuild(tmp_path):
+    store, data = _store()
+    orch = _orch(store, tmp_path, spares=SparePool(2))
+    store.array.fail_disk(1)
+    # tick past confirmation until the rebuild is actually running
+    while orch.rebuilding_disk is None:
+        orch.tick()
+    store.array.fail_disk(4)  # second failure mid-rebuild: still decodable
+    orch.run_until_idle()
+    assert orch.rebuilds_completed == 2
+    assert store.read(0, len(data)) == data
+    assert Scrubber(store).scrub().clean
+
+
+def test_data_loss_is_typed_and_counted(tmp_path):
+    store, _ = _store()
+    orch = _orch(store, tmp_path, spares=SparePool(3))
+    store.array.fail_disk(0)
+    while orch.rebuilding_disk is None:
+        orch.tick()
+    # two more failures: unrebuilt rows now have 3 erasures > tolerance 2
+    store.array.fail_disk(1)
+    store.array.fail_disk(2)
+    with pytest.raises(DataLossError) as exc:
+        for _ in range(500):
+            orch.tick()
+    assert exc.value.rows  # the unrecoverable rows are named
+    assert orch.data_loss_events == 1
+
+
+def test_flap_never_binds_a_spare(tmp_path):
+    store, data = _store()
+    orch = _orch(store, tmp_path, detector_config=DetectorConfig(confirm_after=2))
+    store.array.fail_disk(2)
+    orch.tick()  # suspected
+    store.array.restore_disk(2, wipe=False)
+    orch.run_until_idle()
+    assert orch.detector.flaps == 1
+    assert orch.rebuilds_started == 0
+    assert orch.spares.consumed == 0
+    assert store.read(0, len(data)) == data
+
+
+def test_crash_mid_rebuild_resume_active(tmp_path):
+    store, data = _store()
+    orch = _orch(store, tmp_path)
+    store.array.fail_disk(1)
+    while orch.rebuilding_disk is None:
+        orch.tick()
+    # arm the crash hook on the in-flight executor
+    orch.active.crash_after = "reconstruct"
+    orch.active.crash_at_window = orch.active.windows_committed
+    with pytest.raises(RecoveryCrash):
+        for _ in range(100):
+            orch.tick()
+    resumed = orch.resume_active()
+    assert resumed.resumes == 1
+    orch.run_until_idle()
+    assert orch.rebuilds_completed == 1
+    assert store.read(0, len(data)) == data
+    assert Scrubber(store).scrub().clean
+
+
+def test_resume_active_without_crash_is_an_error(tmp_path):
+    store, _ = _store()
+    orch = _orch(store, tmp_path)
+    with pytest.raises(RecoveryError, match="no crashed rebuild"):
+        orch.resume_active()
+
+
+def test_empty_store_rebuild_is_instant(tmp_path):
+    store = BlockStore(make_rs(3, 2), "ec-frm", element_size=ELEMENT_SIZE)
+    orch = _orch(store, tmp_path)
+    store.array.fail_disk(0)
+    orch.run_until_idle()
+    assert orch.rebuilds_completed == 1
+    assert orch.idle
+
+
+def test_throttle_paces_the_rebuild(tmp_path):
+    store, data = _store()
+    # window cost = 2 rows * (k + n-k) = 10; budget 8/step forces stalls
+    throttle = RepairThrottle(budget_per_step=8, min_budget=8, max_budget=64)
+    orch = _orch(store, tmp_path, throttle=throttle)
+    store.array.fail_disk(0)
+    ticks = orch.run_until_idle()
+    assert throttle.stalls > 0
+    assert orch.rebuilds_completed == 1
+    assert ticks > 4  # visibly slower than the unthrottled run
+    assert store.read(0, len(data)) == data
+
+
+def test_observe_foreground_drives_aimd(tmp_path):
+    store, _ = _store()
+    reg = MetricsRegistry()
+    throttle = RepairThrottle(budget_per_step=64)
+    orch = _orch(store, tmp_path, throttle=throttle, registry=reg)
+    ratio = orch.observe_foreground(p99_s=0.009, clean_p99_s=0.005)
+    assert ratio == pytest.approx(1.8)
+    assert throttle.budget_per_step == 32  # backed off multiplicatively
+    assert throttle.backoffs == 1
+    orch.observe_foreground(p99_s=0.005, clean_p99_s=0.005)
+    assert throttle.budget_per_step == 40  # recovered additively
+    snap = reg.snapshot()["recovery"]
+    assert snap["throttle"]["backoffs"] == 1

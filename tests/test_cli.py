@@ -114,6 +114,38 @@ class TestCommands:
         with pytest.raises(ValueError, match="parameter"):
             main(["recover", "rdp-5-2"])
 
+    @pytest.mark.parametrize(
+        "scenario",
+        ["crash", "crash-during-rebuild", "spare-exhaustion", "flapping"],
+    )
+    def test_recover_scenarios(self, scenario, capsys, tmp_path):
+        assert main([
+            "recover", scenario, "--rows", "12",
+            "--journal-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "byte-exact after recovery: OK" in out
+        assert "redundancy restored (clean scrub): OK" in out
+
+    def test_recover_crash_during_rebuild_resumes(self, capsys, tmp_path):
+        assert main([
+            "recover", "crash-during-rebuild", "--rows", "12",
+            "--journal-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "CRASH: simulated crash" in out
+        assert "resumed rebuild finished" in out
+        assert (tmp_path / "rebuild-d0.wal").exists()
+
+    def test_recover_flapping_damps(self, capsys, tmp_path):
+        assert main([
+            "recover", "flapping", "--rows", "12",
+            "--journal-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "flaps=1" in out
+        assert "no rebuild triggered" in out
+
     def test_rebuild(self, capsys):
         assert main(["rebuild", "--code", "rs-6-3", "--rows", "20"]) == 0
         out = capsys.readouterr().out
