@@ -323,6 +323,11 @@ class RequestPipeline:
                 raise ValueError(f"job {idx} has no ranges")
             job = _Job(index=idx, arrival_s=arrival_s)
             if metas is not None:
+                if idx >= len(metas):
+                    raise ValueError(
+                        f"metas has {len(metas)} entries but the job stream "
+                        f"produced a job at index {idx}; pass one meta per job"
+                    )
                 job.meta = metas[idx]
             job.pieces = [
                 _Piece(job=job, service_idx=sid, offset=off, length=ln)
@@ -335,6 +340,11 @@ class RequestPipeline:
             self._push(arrival_s, "arrival", job)
         if not self._jobs:
             raise ValueError("no jobs to run")
+        if metas is not None and len(metas) != len(self._jobs):
+            raise ValueError(
+                f"metas has {len(metas)} entries for {len(self._jobs)} jobs; "
+                "pass one meta per job"
+            )
 
         while self._heap:
             t, _, kind, obj = heapq.heappop(self._heap)

@@ -23,6 +23,7 @@ from .orchestrator import (
     RecoveryCrash,
     RecoveryError,
     RecoveryOrchestrator,
+    SpareFailedError,
     resume_disk_rebuild,
 )
 from .single import (
@@ -50,6 +51,7 @@ __all__ = [
     "REBUILD_CRASH_POINTS",
     "RecoveryCrash",
     "RecoveryError",
+    "SpareFailedError",
     "DataLossError",
     "DiskRebuild",
     "resume_disk_rebuild",

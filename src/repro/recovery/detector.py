@@ -290,6 +290,22 @@ class FailureDetector:
             )
         self._transition(disk, DiskState.REBUILDING)
 
+    def mark_failed(self, disk: int) -> None:
+        """The orchestrator abandoned the disk's rebuild: the bound spare
+        died mid-rebuild, so the bay is back to a confirmed failure
+        awaiting a fresh spare.  Seeding the down-streak at the
+        confirmation threshold keeps :meth:`pending_failures` and the
+        restored-out-from-under-us branch of :meth:`poll` consistent with
+        a disk that really has been observed down."""
+        if self._state[disk] is not DiskState.REBUILDING:
+            raise ValueError(
+                f"disk {disk} is {self._state[disk].value}, not rebuilding; "
+                "cannot fail its rebuild"
+            )
+        self._down_streak[disk] = self.config.confirm_after
+        self._clean_streak[disk] = 0
+        self._transition(disk, DiskState.FAILED)
+
     def mark_healthy(self, disk: int) -> None:
         """The orchestrator finished (or abandoned) the disk's rebuild."""
         self._down_streak[disk] = 0

@@ -44,6 +44,13 @@ restores on the injector's op clock, which the rebuild's own I/O ticks.
 Only when retry rounds stop making progress is the typed
 :class:`DataLossError` raised, naming the unrecoverable rows.
 
+The *spare itself* dying mid-rebuild is not data loss: windows park
+(checked after their fetches, before their stage record, so the WAL
+never holds two uncommitted stages) and, if the spare stays dead through
+the retry rounds, :class:`SpareFailedError` tells the orchestrator to
+abandon the attempt — the dead spare stays consumed, the disk re-queues,
+and a fresh spare (when the pool has one) starts a new rebuild.
+
 :class:`RecoveryOrchestrator` supervises the whole plane: it polls a
 :class:`~repro.recovery.detector.FailureDetector`, binds spares from a
 :class:`~repro.recovery.spares.SparePool` (staying gracefully degraded
@@ -69,6 +76,7 @@ __all__ = [
     "REBUILD_CRASH_POINTS",
     "RecoveryCrash",
     "RecoveryError",
+    "SpareFailedError",
     "DataLossError",
     "DiskRebuild",
     "resume_disk_rebuild",
@@ -92,6 +100,26 @@ class RecoveryCrash(RuntimeError):
 
     The in-memory executor is dead after this; the journal and the disks
     survive.  Recover with :func:`resume_disk_rebuild`.
+    """
+
+
+class SpareFailedError(RecoveryError):
+    """The bound spare itself died mid-rebuild and stayed dead.
+
+    No data is lost — the failed disk's contents remain reconstructible
+    from the survivors — but this executor can make no further progress:
+    the bay needs a *fresh* spare.  The orchestrator reacts by abandoning
+    the rebuild (the dead spare stays consumed) and re-queueing the disk.
+    """
+
+
+class _SpareDown(Exception):
+    """Internal: the rebuild target disk is down at window-apply time.
+
+    Raised *before* the window is staged (so the WAL never accumulates a
+    second uncommitted stage record) and converted to a parked window by
+    :meth:`DiskRebuild.step` — a transient outage on the spare restores
+    on the injector's op clock, which the retry rounds' fetches tick.
     """
 
 
@@ -160,6 +188,7 @@ class DiskRebuild:
         max_barren_rounds: int = 3,
         _resume_committed: set[int] | None = None,
         _resume_order: list[int] | None = None,
+        _resume_rows: int | None = None,
     ) -> None:
         if crash_after is not None and crash_after not in REBUILD_CRASH_POINTS:
             raise ValueError(
@@ -190,7 +219,11 @@ class DiskRebuild:
         self.crash_at_window = crash_at_window
         self.max_barren_rounds = max_barren_rounds
 
-        self.rows = store.rows_written
+        # a resume rebuilds the journal's *planned* rows: rows appended
+        # after the plan record landed on a live (bound-spare) array and
+        # never need reconstruction, and recomputing the window count
+        # from a grown store would break the persisted order permutation.
+        self.rows = store.rows_written if _resume_rows is None else _resume_rows
         self.num_windows = -(-self.rows // unit_rows) if self.rows else 0
         if _resume_order is not None:
             self.order = list(_resume_order)
@@ -210,6 +243,7 @@ class DiskRebuild:
         self.bytes_staged = 0
         self.write_intents = 0
         self.parked_events = 0
+        self.spare_down_events = 0
         self.retry_rounds = 0
         self.resumes = 0
         self.cache_invalidations = 0
@@ -321,6 +355,16 @@ class DiskRebuild:
                 self._barren_rounds += 1
                 if self._barren_rounds >= self.max_barren_rounds:
                     rows = self.parked_rows()
+                    if self.store.array[self.failed_disk].failed:
+                        # the bound spare is the thing that is dead — the
+                        # parked rows stay reconstructible; this executor
+                        # just cannot land them anywhere
+                        raise SpareFailedError(
+                            f"disk {self.failed_disk}: bound spare died "
+                            f"mid-rebuild and stayed dead for "
+                            f"{self._barren_rounds} retry rounds; "
+                            f"{len(rows)} rows pending — bind a fresh spare"
+                        )
                     raise DataLossError(
                         f"disk {self.failed_disk}: rows {rows} unrecoverable "
                         f"after {self._barren_rounds} barren retry rounds "
@@ -343,7 +387,7 @@ class DiskRebuild:
         try:
             self._rebuild_window(window)
             self._round_progress += 1
-        except DecodeFailure:
+        except (DecodeFailure, _SpareDown):
             self._parked.add(window)
             self.parked_events += 1
         return not self.complete
@@ -375,6 +419,17 @@ class DiskRebuild:
             # stage: verified data payloads (faulted elements repaired on
             # the way; a not-yet-rebuilt slot on the spare self-heals here)
             payloads = [self.store.fetch_row_data(row) for row in rows]
+            if self.store.array[self.failed_disk].failed:
+                # the bound spare died during the fetches.  Faults fire
+                # on batch entry and writes never tick the clock, so
+                # checking here — after the last fetch, before the stage
+                # record — is race-free: a window that does get staged is
+                # guaranteed an up spare for every put, keeping
+                # put_element's dropped-write intent path out of the
+                # rebuild entirely and the WAL free of a second
+                # uncommitted stage.
+                self.spare_down_events += 1
+                raise _SpareDown(window)
             self.bytes_staged += sum(len(p) for row in payloads for p in row)
             self.journal.write_stage(window, list(rows), payloads)
             self._maybe_crash("stage", window)
@@ -484,6 +539,7 @@ class DiskRebuild:
                 "write_intents": self.write_intents,
                 "parked_windows": self.parked_windows,
                 "parked_events": self.parked_events,
+                "spare_down_events": self.spare_down_events,
                 "retry_rounds": self.retry_rounds,
                 "resumes": self.resumes,
                 "cache_invalidations": self.cache_invalidations,
@@ -550,8 +606,9 @@ def resume_disk_rebuild(
         crash_at_window=crash_at_window,
         _resume_committed=set(state.committed),
         _resume_order=[int(w) for w in ctx["order"]],
+        _resume_rows=int(ctx["rows"]),
     )
-    if rb.rows != ctx["rows"] or rb.num_windows != ctx["windows"]:
+    if rb.num_windows != ctx["windows"]:
         raise RecoveryError(
             "rebuilt schedule geometry disagrees with the journal's plan record"
         )
@@ -636,6 +693,7 @@ class RecoveryOrchestrator:
         self.ticks = 0
         self.rebuilds_started = 0
         self.rebuilds_completed = 0
+        self.rebuilds_abandoned = 0
         self.spare_waits = 0
         self.data_loss_events = 0
         self._impact_hist = None
@@ -688,6 +746,12 @@ class RecoveryOrchestrator:
             for _ in range(self.steps_per_tick):
                 try:
                     more = self.active.step()
+                except SpareFailedError:
+                    # the bound spare died mid-rebuild: abandon, re-queue
+                    # the disk, and let the next tick bind a fresh spare
+                    # (or stay degraded-but-live if the pool is dry)
+                    self._abandon_active()
+                    break
                 except DataLossError:
                     self.data_loss_events += 1
                     raise
@@ -754,11 +818,44 @@ class RecoveryOrchestrator:
             self._finish_active()
 
     def _finish_active(self) -> None:
-        assert self._active_disk is not None
-        self.detector.mark_healthy(self._active_disk)
+        assert self._active_disk is not None and self.active is not None
+        disk = self._active_disk
+        if self.store.array[disk].failed or self.active.write_intents > 0:
+            # every window committed, but the disk is not actually whole:
+            # the spare died (or dropped writes) in a gap the executor's
+            # own checks could not see.  Declaring this disk healthy
+            # would silently leave redundancy unrestored.
+            self._abandon_active()
+            return
+        # the spare is now permanently installed as the disk: unbind it
+        # without refunding the shelf, so a later failure of the same bay
+        # can bind a fresh spare instead of tripping over a stale binding
+        self.spares.complete(disk)
+        self.detector.mark_healthy(disk)
         self.rebuilds_completed += 1
         self.active = None
         self._active_disk = None
+        self._active_journal = None
+
+    def _abandon_active(self) -> None:
+        """Give up on the in-flight rebuild: its bound spare is dead.
+
+        The dead spare stays consumed (:meth:`SparePool.complete` — the
+        drive is gone either way), the detector returns the disk to
+        ``failed``, and the disk re-queues at the front so the next tick
+        retries with a fresh spare; with the pool dry the system stays
+        degraded-but-live, which is the contract.  The abandoned WAL is
+        left behind — the next attempt opens a new journal sequence.
+        """
+        assert self._active_disk is not None
+        disk = self._active_disk
+        self.spares.complete(disk)
+        self.detector.mark_failed(disk)
+        self._queue.insert(0, disk)
+        self.rebuilds_abandoned += 1
+        self.active = None
+        self._active_disk = None
+        self._active_journal = None
 
     def resume_active(self) -> DiskRebuild:
         """Recover the in-flight rebuild after a :class:`RecoveryCrash`.
@@ -802,6 +899,7 @@ class RecoveryOrchestrator:
             "ticks": self.ticks,
             "rebuilds_started": self.rebuilds_started,
             "rebuilds_completed": self.rebuilds_completed,
+            "rebuilds_abandoned": self.rebuilds_abandoned,
             "spare_waits": self.spare_waits,
             "data_loss_events": self.data_loss_events,
             "rebuilding_disk": self._active_disk,

@@ -74,8 +74,24 @@ class SparePool:
         self.bound[disk] = spare_id
         return spare_id
 
+    def complete(self, disk: int) -> None:
+        """Unbind ``disk``'s spare without refunding it.
+
+        The terminal unbind for both rebuild outcomes: a *finished*
+        rebuild permanently installs the spare as the disk (the shelf
+        stays one lighter), and an *abandoned* rebuild whose bound spare
+        itself died consumed the drive just as surely.  Either way the
+        binding must go, or the same bay failing again later could never
+        :meth:`bind` a fresh spare.
+        """
+        if disk not in self.bound:
+            raise ValueError(f"disk {disk} has no bound spare")
+        del self.bound[disk]
+
     def release(self, disk: int) -> None:
-        """Return ``disk``'s spare to the shelf (rebuild abandoned)."""
+        """Return ``disk``'s spare to the shelf (rebuild cancelled with
+        the spare still good — e.g. the original disk restored intact
+        before any reconstruction I/O was spent)."""
         if disk not in self.bound:
             raise ValueError(f"disk {disk} has no bound spare")
         del self.bound[disk]

@@ -256,6 +256,16 @@ def test_job_latencies_carry_metas():
     assert float(np.percentile(fg, 99)) > 0
 
 
+def test_run_jobs_rejects_mismatched_metas():
+    svc, _ = make_service()
+    pipe = RequestPipeline([svc])
+    jobs = [(i * 0.001, [(0, 0, 64)]) for i in range(3)]
+    with pytest.raises(ValueError, match="metas has 2 entries"):
+        pipe.run_jobs(jobs, metas=["a", "b"])
+    with pytest.raises(ValueError, match="metas has 4 entries"):
+        pipe.run_jobs(jobs, metas=["a", "b", "c", "d"])
+
+
 def test_job_latencies_mark_rejected_jobs_none():
     svc, _ = make_service()
     # zero-capacity admission: every arrival after the first wave rejects

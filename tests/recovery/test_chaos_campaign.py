@@ -12,6 +12,11 @@ with
 * **redundancy restored**: every confirmed-failed disk rebuilt and a
   final scrub-and-repair pass leaving the store clean.
 
+The main sweep's schedules stay within ``max_disk_failures=1``, so a
+dedicated refailure sweep covers the second-order scenarios that budget
+excludes: the bound spare dying mid-rebuild and the installed spare
+dying after a completed rebuild.
+
 ``ECFRM_RECOVERY_SEED`` offsets the seed block (CI runs a matrix of
 bases covering disjoint schedules); the sweep is ``base*1000 ..
 base*1000+99``.
@@ -145,6 +150,33 @@ def test_chaos_recovery_campaign(seed, tmp_path):
         _assert_recovered(
             store, data, seed, f"crash after {point} at window {window}"
         )
+
+
+@pytest.mark.parametrize("seed", [BASE * 1000 + i for i in range(20)])
+def test_spare_refailure_campaign(seed, tmp_path):
+    """The coverage hole the main campaign's 1-disk fault budget leaves
+    open: the rebuild target failing *again* — the bound spare dying
+    mid-rebuild (abandon, fresh spare, restart) or the installed spare
+    dying after completion (stale-binding-free re-bind).  Either way the
+    plane must converge to full redundancy with zero data loss."""
+    store, data = _build()
+    rng = np.random.default_rng(seed)
+    disk = int(rng.integers(0, len(store.array)))
+    orch = RecoveryOrchestrator(
+        store, journal_dir=tmp_path / "wals", spares=3, unit_rows=2
+    )
+    store.array.fail_disk(disk)
+    while orch.rebuilding_disk is None:
+        orch.tick()
+    # a random number of rebuild ticks lands the second failure anywhere
+    # from the first window to after the first rebuild completed
+    for _ in range(int(rng.integers(0, 6))):
+        orch.tick()
+    store.array.fail_disk(disk)
+    orch.run_until_idle()
+    assert orch.idle, f"seed {seed}"
+    assert orch.rebuilds_completed >= 1, f"seed {seed}"
+    _assert_recovered(store, data, seed, "spare refailure")
 
 
 def test_campaign_actually_exercises_faults():

@@ -8,6 +8,7 @@ from repro.obs import MetricsRegistry
 from repro.recovery import (
     DataLossError,
     DetectorConfig,
+    DiskState,
     RecoveryCrash,
     RecoveryError,
     RecoveryOrchestrator,
@@ -101,6 +102,93 @@ def test_data_loss_is_typed_and_counted(tmp_path):
             orch.tick()
     assert exc.value.rows  # the unrecoverable rows are named
     assert orch.data_loss_events == 1
+
+
+def test_same_disk_fails_again_after_completed_rebuild(tmp_path):
+    """A finished rebuild must unbind its spare, or the bay's *next*
+    failure trips over the stale binding and crashes the plane."""
+    store, data = _store()
+    orch = _orch(store, tmp_path, spares=SparePool(2))
+    store.array.fail_disk(1)
+    orch.run_until_idle()
+    assert orch.rebuilds_completed == 1
+    assert orch.spares.bound == {}  # installed, not left bound
+    assert orch.spares.available == 1  # and not refunded either
+    store.array.fail_disk(1)  # the installed spare dies later
+    orch.run_until_idle()
+    assert orch.rebuilds_completed == 2
+    assert orch.spares.consumed == 2
+    assert orch.idle
+    assert store.read(0, len(data)) == data
+    assert Scrubber(store).scrub().clean
+
+
+def test_spare_dies_mid_rebuild_binds_fresh_spare(tmp_path):
+    """The bound spare crashing mid-rebuild must not be mistaken for a
+    completed rebuild: the attempt is abandoned and a fresh spare
+    restarts it from scratch."""
+    store, data = _store()
+    orch = _orch(store, tmp_path, spares=SparePool(2))
+    store.array.fail_disk(1)
+    while orch.rebuilding_disk is None:
+        orch.tick()
+    store.array.fail_disk(1)  # the bound spare dies mid-rebuild
+    orch.run_until_idle()
+    assert orch.rebuilds_abandoned == 1
+    assert orch.rebuilds_completed == 1
+    assert orch.spares.consumed == 2  # the dead spare stayed consumed
+    assert orch.idle
+    assert store.read(0, len(data)) == data
+    assert Scrubber(store).scrub().clean
+
+
+def test_spare_death_with_dry_pool_stays_visibly_failed(tmp_path):
+    """With no spare left, a mid-rebuild spare death must leave the disk
+    *visibly* failed (queued, detector state failed) — never reported
+    healthy with redundancy silently unrestored."""
+    store, data = _store()
+    orch = _orch(store, tmp_path, spares=1)
+    store.array.fail_disk(2)
+    while orch.rebuilding_disk is None:
+        orch.tick()
+    store.array.fail_disk(2)  # the only spare dies mid-rebuild
+    orch.run_until_idle()  # returns early: degraded-but-live
+    assert orch.rebuilds_abandoned == 1
+    assert orch.rebuilds_completed == 0
+    assert not orch.idle
+    assert orch.queued_disks == [2]
+    assert orch.detector.state(2) is DiskState.FAILED
+    assert store.array[2].failed
+    assert store.read(0, len(data)) == data  # degraded reads still serve
+    orch.spares.restock(1)
+    orch.run_until_idle()
+    assert orch.rebuilds_completed == 1
+    assert orch.idle
+    assert Scrubber(store).scrub().clean
+
+
+def test_spare_outage_mid_rebuild_parks_then_converges(tmp_path):
+    """A transient outage on the bound spare parks windows (no dropped
+    writes, no second uncommitted WAL stage) and the same rebuild
+    finishes once the spare is back."""
+    store, data = _store()
+    orch = _orch(store, tmp_path, spares=SparePool(2))
+    store.array.fail_disk(1)
+    while orch.rebuilding_disk is None:
+        orch.tick()
+    store.array.fail_disk(1)
+    orch.tick()  # the in-flight window parks instead of dropping writes
+    assert orch.active is not None
+    assert orch.active.parked_windows
+    assert orch.active.spare_down_events >= 1
+    assert orch.active.write_intents == 0
+    store.array.restore_disk(1, wipe=False)  # outage ends, content intact
+    orch.run_until_idle()
+    assert orch.rebuilds_completed == 1
+    assert orch.rebuilds_abandoned == 0
+    assert orch.spares.consumed == 1  # same spare, no second bind
+    assert store.read(0, len(data)) == data
+    assert Scrubber(store).scrub().clean
 
 
 def test_flap_never_binds_a_spare(tmp_path):

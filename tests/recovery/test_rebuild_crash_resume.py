@@ -133,6 +133,33 @@ def test_fresh_rebuild_guards(tmp_path):
     rb.run()
 
 
+def test_resume_after_store_grew_rebuilds_planned_rows(tmp_path):
+    """Rows appended between crash and resume landed on the live bound
+    spare (fully redundant, nothing to rebuild); the resumed schedule
+    must keep the journal's planned geometry instead of recomputing it
+    from the grown store and tripping the order-permutation check."""
+    store, data = _store()
+    store.array.fail_disk(1)
+    journal = tmp_path / "r.wal"
+    rb = DiskRebuild(
+        store, 1, journal=journal, unit_rows=3,
+        crash_after="stage", crash_at_window=1,
+    )
+    with pytest.raises(RecoveryCrash):
+        rb.run()
+    rng = np.random.default_rng(9)
+    extra = rng.integers(
+        0, 256, size=2 * store.row_bytes, dtype=np.uint8
+    ).tobytes()
+    store.append(extra)
+    store.flush()
+    resumed = resume_disk_rebuild(store, journal)
+    assert resumed.rows == ROWS  # the plan's rows, not the grown count
+    resumed.run()
+    assert resumed.complete
+    _assert_recovered(store, data + extra)
+
+
 def test_resume_rejects_foreign_journals(tmp_path):
     store, _ = _store()
     journal = MigrationJournal(tmp_path / "m.wal")

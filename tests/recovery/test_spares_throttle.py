@@ -27,6 +27,20 @@ def test_spare_pool_bind_release_restock():
     assert pool.restocked == 3
 
 
+def test_spare_pool_complete_unbinds_without_refund():
+    pool = SparePool(2)
+    s0 = pool.bind(3)
+    pool.complete(3)  # rebuild finished: the spare is installed for good
+    assert pool.available == 1  # not refunded, unlike release()
+    assert pool.bound == {}
+    s1 = pool.bind(3)  # the same bay failing again binds a fresh spare
+    assert s1 != s0
+    pool.complete(3)
+    assert pool.available == 0
+    with pytest.raises(ValueError, match="no bound spare"):
+        pool.complete(3)
+
+
 def test_spare_pool_misuse():
     pool = SparePool(1)
     with pytest.raises(ValueError):
