@@ -22,8 +22,7 @@ import pytest
 
 from conftest import run_once, write_results_json
 
-from repro.cluster import ClusterService
-from repro.codes import make_rs
+from repro import open_cluster
 
 ELEMENT_SIZE = 4096
 STRIPES = 256
@@ -61,11 +60,11 @@ def _workload(k: int) -> list[tuple[int, int]]:
 
 
 def _run(map_name: str, shards: int) -> dict:
-    code = make_rs(6, 3)
-    cluster = ClusterService(
-        code, shards=shards, map=map_name,
+    cluster = open_cluster(
+        "rs-6-3", shards=shards, map=map_name,
         element_size=ELEMENT_SIZE, vnodes=VNODES,
     )
+    code = cluster.code
     rng = np.random.default_rng(2015)
     data = rng.integers(
         0, 256, size=STRIPES * cluster.stripe_bytes, dtype=np.uint8
@@ -95,7 +94,7 @@ def _run(map_name: str, shards: int) -> dict:
     ]
     busy_delta = [a - b for a, b in zip(busy_after, busy_before)]
     mean_busy = sum(busy_delta) / len(busy_delta)
-    snap = cluster.stats_snapshot()
+    snap = cluster.metrics()["cluster"]
     return {
         "map": map_name,
         "shards": shards,

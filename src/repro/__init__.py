@@ -6,8 +6,10 @@ degraded — spread across *all* disks instead of only the data disks.
 
 Public API highlights
 ---------------------
-* :func:`open_store` — one-call facade: a wired, optionally traced
-  :class:`ReadService` over a fresh :class:`BlockStore`;
+* :func:`open_cluster` — one-call facade: a sharded, optionally cached
+  (hot-tier), fault-injected, recovery-enabled :class:`ClusterService`;
+* :func:`open_store` — its single-volume sibling: a wired, optionally
+  traced :class:`ReadService` over a fresh :class:`BlockStore`;
 * :class:`repro.codes.ReedSolomonCode`, :class:`repro.codes.LocalReconstructionCode`
   — the candidate codes;
 * :class:`repro.frm.FRMCode` — the EC-FRM transformation of any candidate;
@@ -22,6 +24,7 @@ Public API highlights
 
 from . import (
     analysis,
+    cache,
     cluster,
     codes,
     disks,
@@ -38,7 +41,8 @@ from . import (
     store,
     workloads,
 )
-from .cluster import ClusterService
+from .cache import CacheConfig, CountMinSketch, HotTierCache
+from .cluster import ClusterService, InjectorHandle
 from .engine import (
     AdmissionController,
     HedgeConfig,
@@ -60,7 +64,7 @@ from .migrate import MigrationJournal, Migrator, plan_migration, resume_migratio
 from .obs import SCHEMA_VERSION, Histogram, MetricsRegistry, Tracer
 from .store import BlockStore, Scrubber
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 
 def open_store(
@@ -133,8 +137,127 @@ def open_store(
     return ReadService(bs, cache=cache, cache_capacity=cache_capacity)
 
 
+def open_cluster(
+    code,
+    *,
+    shards=2,
+    map="hash-ring",
+    layout="ec-frm",
+    element_size=4096,
+    disk_model=None,
+    cache=None,
+    tracing=False,
+    tracer=None,
+    registry=None,
+    map_seed=0,
+    vnodes=96,
+    plan_cache_capacity=256,
+    faults=None,
+    fault_seed=0,
+    recovery=None,
+):
+    """Open a sharded erasure-coded cluster — the one documented way to
+    stand up a cached, fault-injected, recovery-enabled
+    :class:`ClusterService`.
+
+    Mirrors :func:`open_store` one level up: ``S`` independent volumes
+    behind a scatter-gather frontend, optionally fronted by the hot-tier
+    replica cache, with fault schedules attached and the autonomous
+    recovery plane enabled — all from one call, with one tracer/registry
+    pair threaded through every layer so ``cluster.metrics()`` returns
+    the full namespaced snapshot (``cluster. / cache. / recovery. /
+    service.``).
+
+    Parameters
+    ----------
+    code:
+        An :class:`repro.codes.ErasureCode` instance, or a code spec
+        string such as ``"rs-6-3"`` or ``"lrc-6-2-2"``.
+    shards / map / map_seed / vnodes:
+        Cluster geometry: shard count and stripe→shard map
+        (``"hash-ring"`` / ``"round-robin"`` by name, or a pre-built
+        :class:`repro.cluster.ShardMap`, which knows its own count).
+    layout:
+        Placement form every shard's store uses (``"standard"``,
+        ``"rotated"``, ``"ec-frm"``).
+    element_size / disk_model:
+        Per-volume store geometry, as for :func:`open_store`.
+    cache:
+        The hot tier: ``True`` for a default
+        :class:`repro.cache.CacheConfig`, a config or pre-built
+        :class:`repro.cache.HotTierCache` to use as given, ``None``
+        (default) for no tier.
+    tracing / tracer / registry:
+        Observability plane, as for :func:`open_store`.
+    plan_cache_capacity:
+        Per-shard plan-cache capacity.
+    faults:
+        Shard-targeted fault schedules: a mapping ``{shard:
+        FaultSchedule}``, or a single
+        :class:`repro.faults.FaultSchedule` for shard 0 (the
+        degraded-on-one-shard regime).  Handles are on
+        ``cluster._injectors``; each supports ``.detach()``.
+    fault_seed:
+        Seed for the attached injectors.
+    recovery:
+        Enable the autonomous recovery plane: a journal directory
+        (``str`` / ``Path``), or a dict of
+        :meth:`ClusterService.enable_recovery` keyword arguments with a
+        ``"journal_dir"`` key (``spares``, ``detector_config``,
+        ``unit_rows``, ``steps_per_tick``, ``budget_per_step``).
+
+    Returns
+    -------
+    ClusterService
+        Use ``cluster.volumes`` for the shards, ``cluster.metrics()``
+        for the rolled-up snapshot, ``cluster.orchestrators`` for the
+        recovery planes.
+    """
+    from pathlib import Path
+
+    from .disks.presets import SAVVIO_10K3
+
+    if isinstance(code, str):
+        code = codes.parse_code_spec(code)
+    if tracer is None and tracing:
+        tracer = Tracer(enabled=True)
+    if registry is None:
+        registry = MetricsRegistry()
+    if cache is True:
+        cache = CacheConfig()
+    elif cache is False:
+        cache = None
+    svc = ClusterService(
+        code,
+        shards=shards,
+        map=map,
+        form=layout,
+        element_size=element_size,
+        disk_model=disk_model if disk_model is not None else SAVVIO_10K3,
+        tracer=tracer,
+        registry=registry,
+        map_seed=map_seed,
+        vnodes=vnodes,
+        cache_capacity=plan_cache_capacity,
+        cache=cache,
+    )
+    if recovery is not None:
+        if isinstance(recovery, (str, Path)):
+            svc.enable_recovery(recovery)
+        else:
+            opts = dict(recovery)
+            journal_dir = opts.pop("journal_dir")
+            svc.enable_recovery(journal_dir, **opts)
+    if faults is not None:
+        schedules = faults if isinstance(faults, dict) else {0: faults}
+        for shard, schedule in schedules.items():
+            svc.attach_injector(shard, schedule, seed=fault_seed)
+    return svc
+
+
 __all__ = [
     "analysis",
+    "cache",
     "cluster",
     "codes",
     "disks",
@@ -151,8 +274,13 @@ __all__ = [
     "store",
     "workloads",
     "open_store",
+    "open_cluster",
     "BlockStore",
     "ClusterService",
+    "InjectorHandle",
+    "CacheConfig",
+    "HotTierCache",
+    "CountMinSketch",
     "ReadService",
     "PlanCache",
     "UnsupportedFailurePatternError",

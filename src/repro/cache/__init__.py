@@ -1,0 +1,11 @@
+"""Hot-tier fractional replication over the EC cluster.
+
+A Count-Min-admitted, cost-aware-LRU replica cache that serves Zipf-hot
+stripes without touching the erasure path at all.  See
+:mod:`repro.cache.tier` for the policy discussion.
+"""
+
+from .sketch import CountMinSketch
+from .tier import CacheConfig, HotTierCache, TierCounters
+
+__all__ = ["CountMinSketch", "CacheConfig", "HotTierCache", "TierCounters"]

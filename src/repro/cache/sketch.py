@@ -1,0 +1,135 @@
+"""Access-frequency sketches for hot-tier admission.
+
+The hot tier must answer "is this stripe Zipf-hot?" without keeping a
+counter per stripe of a million-stripe cluster.  A Count-Min sketch
+(Cormode & Muthukrishnan) answers with bounded overestimation in O(width
+x depth) integers: each key increments one counter per row (chosen by an
+independent hash), and the estimate is the *minimum* over its rows, so
+collisions can only inflate a count, never hide a hot key.
+
+Two refinements matter for admission specifically:
+
+* **conservative update** — an increment only raises the counters that
+  equal the current minimum, which tightens the overestimate exactly
+  where admission thresholds live (cold keys colliding with hot ones);
+* **periodic halving** — every ``decay_every`` observations all counters
+  are halved, so the sketch tracks the *current* working set rather than
+  all history (a formerly hot stripe must re-earn admission after the
+  workload shifts).
+
+Hashing is the same explicit splitmix64 mixer the shard maps use — never
+Python's ``hash`` — so estimates are identical across interpreter runs
+and ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CountMinSketch"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer: a well-distributed 64-bit mix of ``x``."""
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class CountMinSketch:
+    """Conservative-update Count-Min sketch with periodic halving.
+
+    Parameters
+    ----------
+    width:
+        Counters per row.  The expected overestimate of a key is about
+        ``observations / width`` (before conservative update, which only
+        helps), so size width to a small multiple of the hot-set size.
+    depth:
+        Independent hash rows; the estimate is the min across them.
+    decay_every:
+        Observations between halving sweeps; ``0`` disables aging.
+    seed:
+        Salts the row hashes, so two sketches see uncorrelated collisions.
+    """
+
+    __slots__ = ("width", "depth", "decay_every", "_rows", "_salts",
+                 "observations", "decays")
+
+    def __init__(
+        self,
+        width: int = 1024,
+        depth: int = 4,
+        *,
+        decay_every: int = 0,
+        seed: int = 0,
+    ) -> None:
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if decay_every < 0:
+            raise ValueError(f"decay_every must be >= 0, got {decay_every}")
+        self.width = width
+        self.depth = depth
+        self.decay_every = decay_every
+        self._rows = [[0] * width for _ in range(depth)]
+        self._salts = [
+            _mix64((seed << 8) ^ (r * 0xD1B54A32D192ED03) ^ 0x9E3779B97F4A7C15)
+            for r in range(depth)
+        ]
+        #: total observations folded in (drives the halving cadence).
+        self.observations = 0
+        #: halving sweeps performed.
+        self.decays = 0
+
+    # ------------------------------------------------------------------
+    def _cells(self, key: int) -> list[int]:
+        return [
+            _mix64(key ^ salt) % self.width for salt in self._salts
+        ]
+
+    def add(self, key: int, n: int = 1) -> int:
+        """Observe ``key`` ``n`` more times; returns the new estimate.
+
+        Conservative update: only counters at the current minimum move,
+        so a cold key sharing cells with a hot one is not dragged up.
+        """
+        if n < 0:
+            raise ValueError(f"cannot observe a negative count: {n}")
+        cells = self._cells(key)
+        current = min(
+            row[c] for row, c in zip(self._rows, cells)
+        )
+        target = current + n
+        for row, c in zip(self._rows, cells):
+            if row[c] < target:
+                row[c] = target
+        self.observations += n
+        if self.decay_every and self.observations % self.decay_every == 0:
+            self._halve()
+            target = min(row[c] for row, c in zip(self._rows, cells))
+        return target
+
+    def estimate(self, key: int) -> int:
+        """Estimated observation count of ``key`` (never underestimates
+        relative to the decayed stream)."""
+        return min(row[c] for row, c in zip(self._rows, self._cells(key)))
+
+    def _halve(self) -> None:
+        for row in self._rows:
+            for i, v in enumerate(row):
+                if v:
+                    row[i] = v >> 1
+        self.decays += 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-dict view for the ``cache.sketch.*`` metrics namespace."""
+        return {
+            "width": self.width,
+            "depth": self.depth,
+            "observations": self.observations,
+            "decays": self.decays,
+        }

@@ -1,0 +1,293 @@
+"""The hot-tier replica cache: fractional replication for Zipf-hot stripes.
+
+EC-FRM speeds reads *inside* the erasure path; this tier keeps most
+traffic from entering it at all.  The HFR-code line of work (PAPERS.md)
+argues replication should be *fractional* — spent exactly where read and
+repair efficiency matter most — and the Facebook warehouse study shows
+production read traffic is heavily skewed: a small hot set dominates both
+reads and degraded-read cost.  :class:`HotTierCache` converts that skew
+into cache hits over whole stripes:
+
+* **admission** is earned, not granted: a stripe is only replicated into
+  the tier once the :class:`~repro.cache.sketch.CountMinSketch` has seen
+  it ``admit_after`` times, so one-shot scans cannot wash the hot set out
+  of a capacity-limited tier;
+* **eviction** is a cost-aware LRU: victims are sampled from the cold end
+  of the recency order, and each candidate's weight folds in its
+  *current* degraded-read cost — a stripe whose shard is serving through
+  reconstruction (failed disk, rebuilding spare) is worth more to keep
+  than an equally-recent stripe on a healthy shard, because a miss on it
+  costs a k-element decode instead of one aligned read;
+* **invalidation** is write-through: the cluster drops a stripe's replica
+  the moment its backing row moves (rebalance / migration) or is
+  rewritten, so cached bytes can never go stale.
+
+The tier stores whole physical stripes keyed by global stripe id; any
+byte sub-range of a resident stripe is a hit that bypasses the disk
+simulator entirely (zero ``DiskStats`` accesses — the property the
+hot-tier benchmark pins).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .sketch import CountMinSketch
+
+__all__ = ["CacheConfig", "TierCounters", "HotTierCache"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Hot-tier sizing and policy knobs.
+
+    Attributes
+    ----------
+    capacity_stripes:
+        Maximum resident stripes (the tier's fractional-replication
+        budget; multiply by the cluster's ``stripe_bytes`` for bytes).
+    admit_after:
+        Sketch estimate at which a missed stripe is promoted.  ``1``
+        admits on first touch (classic cache); the default ``2`` makes
+        stripes earn residency, which protects the tier from scans.
+    sketch_width / sketch_depth / sketch_decay_every:
+        Count-Min geometry and aging cadence (see
+        :class:`~repro.cache.sketch.CountMinSketch`); ``decay_every=0``
+        disables aging.
+    evict_sample:
+        Cold-end candidates examined per eviction.  ``1`` degenerates to
+        plain LRU; larger samples let the cost weighting matter more.
+    degraded_cost:
+        Eviction-weight multiplier for stripes whose shard currently
+        serves degraded reads.  Must be >= 1; the cluster supplies the
+        live per-stripe cost through its ``cost_of`` callback.
+    seed:
+        Salts the sketch hashes.
+    """
+
+    capacity_stripes: int = 64
+    admit_after: int = 2
+    sketch_width: int = 1024
+    sketch_depth: int = 4
+    sketch_decay_every: int = 0
+    evict_sample: int = 8
+    degraded_cost: float = 4.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity_stripes < 1:
+            raise ValueError(
+                f"capacity_stripes must be >= 1, got {self.capacity_stripes}"
+            )
+        if self.admit_after < 1:
+            raise ValueError(f"admit_after must be >= 1, got {self.admit_after}")
+        if self.evict_sample < 1:
+            raise ValueError(f"evict_sample must be >= 1, got {self.evict_sample}")
+        if self.degraded_cost < 1.0:
+            raise ValueError(
+                f"degraded_cost must be >= 1, got {self.degraded_cost}"
+            )
+
+
+@dataclass
+class TierCounters:
+    """Cumulative hot-tier counters (the ``cache.`` namespace scalars)."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    promotions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    #: lookups that missed but stayed below the admission threshold.
+    admission_rejects: int = 0
+    bytes_promoted: int = 0
+    bytes_evicted: int = 0
+    #: evictions where the cost weighting overrode pure recency order.
+    cost_saves: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class HotTierCache:
+    """Count-Min-admitted, cost-aware-LRU replica tier over whole stripes.
+
+    Parameters
+    ----------
+    config:
+        Sizing and policy (:class:`CacheConfig`).
+    cost_of:
+        ``stripe_id -> float`` live degraded-read-cost weight (>= 1.0).
+        The cluster binds this to its recovery-plane detector state:
+        stripes on a shard with a failed or rebuilding disk report
+        ``config.degraded_cost``, healthy shards report 1.0.  ``None``
+        weighs everything 1.0 (pure sampled LRU).
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig | None = None,
+        *,
+        cost_of: Callable[[int], float] | None = None,
+    ) -> None:
+        self.config = config if config is not None else CacheConfig()
+        self.cost_of = cost_of
+        self.sketch = CountMinSketch(
+            self.config.sketch_width,
+            self.config.sketch_depth,
+            decay_every=self.config.sketch_decay_every,
+            seed=self.config.seed,
+        )
+        self.counters = TierCounters()
+        #: stripe id -> stripe payload, LRU order (coldest first).
+        self._entries: "OrderedDict[int, bytes]" = OrderedDict()
+        self._bytes_resident = 0
+
+    # ------------------------------------------------------------------
+    # geometry / introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, stripe: int) -> bool:
+        return stripe in self._entries
+
+    @property
+    def bytes_resident(self) -> int:
+        """Payload bytes currently replicated in the tier."""
+        return self._bytes_resident
+
+    def resident_stripes(self) -> list[int]:
+        """Resident stripe ids, coldest (next eviction candidates) first."""
+        return list(self._entries)
+
+    def peek(self, stripe: int) -> bytes | None:
+        """Read a resident payload without touching recency or counters."""
+        return self._entries.get(stripe)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def lookup(self, stripe: int) -> bytes | None:
+        """One tier consult: feeds the sketch, counts the outcome.
+
+        A hit refreshes the stripe's recency and returns the whole
+        payload; a miss returns ``None`` (the caller decides whether to
+        promote via :meth:`wants_promotion`).
+        """
+        self.counters.lookups += 1
+        estimate = self.sketch.add(stripe)
+        payload = self._entries.get(stripe)
+        if payload is not None:
+            self.counters.hits += 1
+            self._entries.move_to_end(stripe)
+            return payload
+        self.counters.misses += 1
+        if estimate < self.config.admit_after:
+            self.counters.admission_rejects += 1
+        return payload
+
+    def wants_promotion(self, stripe: int) -> bool:
+        """Whether a just-missed stripe has earned admission."""
+        return (
+            stripe not in self._entries
+            and self.sketch.estimate(stripe) >= self.config.admit_after
+        )
+
+    def insert(self, stripe: int, payload: bytes) -> None:
+        """Replicate one whole stripe into the tier (evicting as needed)."""
+        old = self._entries.pop(stripe, None)
+        if old is not None:
+            self._bytes_resident -= len(old)
+        while len(self._entries) >= self.config.capacity_stripes:
+            self._evict_one()
+        self._entries[stripe] = payload
+        self._bytes_resident += len(payload)
+        self.counters.promotions += 1
+        self.counters.bytes_promoted += len(payload)
+
+    # ------------------------------------------------------------------
+    # eviction
+    # ------------------------------------------------------------------
+    def _evict_one(self) -> None:
+        """Evict the cheapest-to-lose of the coldest ``evict_sample``
+        entries.
+
+        Sampled GreedyDual-style policy: candidates come from the cold
+        end of the recency order; the victim is the candidate with the
+        lowest ``cost_of`` weight, ties broken toward the colder entry.
+        With every weight equal this is exactly LRU; with a degraded
+        shard in the cluster its stripes outlive equally-cold healthy
+        ones — the tier literally holds on to what is expensive to
+        re-read.
+        """
+        sample: list[int] = []
+        for stripe in self._entries:
+            sample.append(stripe)
+            if len(sample) >= self.config.evict_sample:
+                break
+        if self.cost_of is None or len(sample) == 1:
+            victim = sample[0]
+        else:
+            victim = min(enumerate(sample), key=lambda iv: (self.cost_of(iv[1]), iv[0]))[1]
+            if victim != sample[0]:
+                self.counters.cost_saves += 1
+        payload = self._entries.pop(victim)
+        self._bytes_resident -= len(payload)
+        self.counters.evictions += 1
+        self.counters.bytes_evicted += len(payload)
+
+    # ------------------------------------------------------------------
+    # write-through invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self, stripe: int) -> bool:
+        """Drop a stripe's replica (its backing row moved or changed).
+
+        Returns whether a replica was actually resident.  Cheap on a
+        miss, so write paths call it unconditionally.
+        """
+        payload = self._entries.pop(stripe, None)
+        if payload is None:
+            return False
+        self._bytes_resident -= len(payload)
+        self.counters.invalidations += 1
+        return True
+
+    def invalidate_all(self) -> int:
+        """Drop every replica; returns how many were resident."""
+        n = len(self._entries)
+        self.counters.invalidations += n
+        self._entries.clear()
+        self._bytes_resident = 0
+        return n
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The ``cache.*`` namespace payload."""
+        c = self.counters
+        return {
+            "enabled": True,
+            "lookups": c.lookups,
+            "hits": c.hits,
+            "misses": c.misses,
+            "hit_rate": c.hit_rate,
+            "promotions": c.promotions,
+            "evictions": c.evictions,
+            "invalidations": c.invalidations,
+            "admission_rejects": c.admission_rejects,
+            "cost_saves": c.cost_saves,
+            "stripes_resident": len(self._entries),
+            "bytes_resident": self._bytes_resident,
+            "bytes_promoted": c.bytes_promoted,
+            "bytes_evicted": c.bytes_evicted,
+            "capacity_stripes": self.config.capacity_stripes,
+            "admit_after": self.config.admit_after,
+            "sketch": self.sketch.snapshot(),
+        }

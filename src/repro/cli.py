@@ -300,6 +300,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="after reading, rebalance onto a new shard and re-verify",
     )
+    p_cl.add_argument(
+        "--cache",
+        type=int,
+        default=None,
+        metavar="STRIPES",
+        help="enable the hot-tier replica cache with this many resident "
+        "stripes (hits bypass the disk arrays entirely)",
+    )
+    p_cl.add_argument(
+        "--cache-admit",
+        type=int,
+        default=2,
+        help="accesses a stripe must earn before the tier admits it",
+    )
     p_cl.add_argument("--seed", type=int, default=2015)
 
     p_pipe = sub.add_parser(
@@ -336,6 +350,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--materialize",
         action="store_true",
         help="fetch and verify real payloads (slower than timing-only)",
+    )
+    p_pipe.add_argument(
+        "--shards", type=int, default=1, help="cluster shards to spread over"
+    )
+    p_pipe.add_argument(
+        "--cache",
+        type=int,
+        default=None,
+        metavar="STRIPES",
+        help="enable the hot-tier replica cache with this many resident "
+        "stripes (hits resolve at arrival, before admission and hedging)",
     )
     p_pipe.add_argument("--seed", type=int, default=2015)
 
@@ -465,17 +490,28 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
-def _recovery_store(args: argparse.Namespace):
-    """Seeded EC-FRM store for the recovery-plane scenarios."""
-    code = parse_code_spec(args.ec_code)
-    bs = BlockStore(code, "ec-frm", element_size=args.element_size)
+def _recovery_store(args: argparse.Namespace, *, recovery=None):
+    """Seeded single-shard EC-FRM cluster for the recovery scenarios.
+
+    Constructed through :func:`repro.open_cluster` (the one documented
+    construction path); scenarios drive the lone shard's store and
+    orchestrator directly.
+    """
+    from . import open_cluster
+
+    cluster = open_cluster(
+        args.ec_code,
+        shards=1,
+        element_size=args.element_size,
+        recovery=recovery,
+    )
     rng = np.random.default_rng(args.seed)
     data = rng.integers(
-        0, 256, size=args.rows * bs.row_bytes, dtype=np.uint8
+        0, 256, size=args.rows * cluster.stripe_bytes, dtype=np.uint8
     ).tobytes()
-    bs.append(data)
-    bs.flush()
-    return bs, data
+    cluster.append(data)
+    cluster.flush()
+    return cluster, cluster.volumes[0].store, data
 
 
 def _recovery_verdict(bs, data) -> int:
@@ -496,7 +532,6 @@ def _recover_scenario(args: argparse.Namespace) -> int:
     from .recovery import (
         DiskRebuild,
         RecoveryCrash,
-        RecoveryOrchestrator,
         RepairThrottle,
         resume_disk_rebuild,
     )
@@ -506,21 +541,21 @@ def _recover_scenario(args: argparse.Namespace) -> int:
         if args.journal_dir is not None
         else tempfile.mkdtemp(prefix="ecfrm-recover-")
     )
-    bs, data = _recovery_store(args)
-    registry = MetricsRegistry()
-    throttle = (
-        RepairThrottle(budget_per_step=args.budget)
-        if args.budget is not None
-        else None
-    )
     d = args.disk
-    print(
-        f"{bs.placement.describe()}: {args.rows} stripes, "
-        f"scenario {args.code!r}, journal WALs in {journal_dir}"
-    )
 
     if args.code == "crash-during-rebuild":
         # drive one rebuild by hand so the crash hook is visible end to end
+        _, bs, data = _recovery_store(args)
+        registry = MetricsRegistry()
+        throttle = (
+            RepairThrottle(budget_per_step=args.budget)
+            if args.budget is not None
+            else None
+        )
+        print(
+            f"{bs.placement.describe()}: {args.rows} stripes, "
+            f"scenario {args.code!r}, journal WALs in {journal_dir}"
+        )
         bs.array.fail_disk(d)
         journal = journal_dir / f"rebuild-d{d}.wal"
         journal.parent.mkdir(parents=True, exist_ok=True)
@@ -543,9 +578,19 @@ def _recover_scenario(args: argparse.Namespace) -> int:
         )
         return _recovery_verdict(bs, data)
 
-    orch = RecoveryOrchestrator(
-        bs, journal_dir=journal_dir, spares=args.spares,
-        throttle=throttle, unit_rows=args.unit_rows, registry=registry,
+    cluster, bs, data = _recovery_store(
+        args,
+        recovery={
+            "journal_dir": journal_dir,
+            "spares": args.spares,
+            "unit_rows": args.unit_rows,
+            "budget_per_step": args.budget,
+        },
+    )
+    orch = cluster.orchestrators[0]
+    print(
+        f"{bs.placement.describe()}: {args.rows} stripes, "
+        f"scenario {args.code!r}, journal WALs in {journal_dir}"
     )
 
     if args.code == "crash":
@@ -1048,17 +1093,25 @@ def _cmd_migrate(args: argparse.Namespace) -> int:
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
-    from .cluster import ClusterService
+    from . import open_cluster
+    from .cache import CacheConfig
     from .workloads import ZipfReadWorkload
 
-    code = parse_code_spec(args.code)
-    cluster = ClusterService(
-        code,
+    cluster = open_cluster(
+        args.code,
         shards=args.shards,
         map=args.map,
         element_size=args.element_size,
         map_seed=args.seed,
+        cache=(
+            CacheConfig(
+                capacity_stripes=args.cache, admit_after=args.cache_admit
+            )
+            if args.cache
+            else None
+        ),
     )
+    code = cluster.code
     rng = np.random.default_rng(args.seed)
     data = rng.integers(
         0, 256, size=args.stripes * cluster.stripe_bytes, dtype=np.uint8
@@ -1104,8 +1157,14 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             ranges.append((int(rng.integers(0, len(data) - size)), size))
     result = cluster.submit(ranges, queue_depth=args.queue_depth)
     ok = result.payloads == [data[o : o + n] for o, n in ranges]
+    if args.cache:
+        # second identical pass: hot stripes promoted by the first batch
+        # now serve from the tier (a batch can't hit its own promotions)
+        warm = cluster.submit(ranges, queue_depth=args.queue_depth)
+        ok &= warm.payloads == [data[o : o + n] for o, n in ranges]
 
-    snap = cluster.stats_snapshot()
+    rollup = cluster.metrics()
+    snap = rollup["cluster"]
     print(f"\nshard  stripes  sub-reads  busy s   failed disks")
     for sid, s in sorted(snap["per_shard"].items(), key=lambda kv: int(kv[0])):
         failed = ",".join(str(d) for d in s["failed_disks"]) or "-"
@@ -1122,6 +1181,14 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         f"\n{snap['requests']} requests ({snap['spanning_reads']} spanned "
         f"shards): {tput}, disk-load imbalance {snap['imbalance']:.3f}"
     )
+    if rollup["cache"].get("enabled"):
+        cm = rollup["cache"]
+        print(
+            f"hot tier: {cm['hits']}/{cm['lookups']} stripe lookups hit "
+            f"({cm['hit_rate']:.1%}), {cm['stripes_resident']}/"
+            f"{cm['capacity_stripes']} stripes resident, "
+            f"{cm['promotions']} promotions, {cm['evictions']} evictions"
+        )
     print(f"payloads byte-exact: {'OK' if ok else 'FAILED'}")
 
     if args.add_shard:
@@ -1148,30 +1215,41 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
-    from .engine import ReadService
+    from . import open_cluster
+    from .cache import CacheConfig
     from .engine.pipeline import (
         AdmissionController,
         HedgeConfig,
         OpenLoopWorkload,
-        RequestPipeline,
     )
     from .faults import StragglerDetector
 
-    code = parse_code_spec(args.code)
-    bs = BlockStore(code, args.form, element_size=args.element_size)
+    cluster = open_cluster(
+        args.code,
+        shards=args.shards,
+        layout=args.form,
+        element_size=args.element_size,
+        map_seed=args.seed,
+        cache=(
+            CacheConfig(capacity_stripes=args.cache) if args.cache else None
+        ),
+    )
     rng = np.random.default_rng(args.seed)
     rows = 64
-    data = rng.integers(0, 256, size=rows * bs.row_bytes, dtype=np.uint8).tobytes()
-    bs.append(data)
+    data = rng.integers(
+        0, 256, size=rows * cluster.stripe_bytes, dtype=np.uint8
+    ).tobytes()
+    cluster.append(data)
     if args.straggle_disk is not None:
-        bs.array[args.straggle_disk].slowdown = args.straggle_factor
+        cluster.volumes[0].store.array[args.straggle_disk].slowdown = (
+            args.straggle_factor
+        )
         print(
-            f"disk {args.straggle_disk} straggling at "
+            f"disk {args.straggle_disk} of shard 0 straggling at "
             f"x{args.straggle_factor:g} service time"
         )
-    svc = ReadService(bs)
     workload = OpenLoopWorkload(
-        user_bytes=bs.user_bytes,
+        user_bytes=cluster.user_bytes,
         requests=args.requests,
         rate_rps=args.rate,
         min_bytes=max(1, args.element_size // 4),
@@ -1179,8 +1257,12 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         zipf_s=args.zipf,
         seed=args.seed,
     )
-    pipe = RequestPipeline(
-        [svc],
+    if args.cache:
+        # warm pass: promotions land as jobs complete, so the measured
+        # run below sees a hot tier (one run can't hit its own promotions)
+        cluster.submit_open_loop(workload.arrivals(), materialize=True)
+    result = cluster.submit_open_loop(
+        workload.arrivals(),
         admission=AdmissionController(
             max_inflight=args.max_inflight, queue_limit=args.queue_limit
         ),
@@ -1190,11 +1272,12 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         detector=StragglerDetector(),
         materialize=args.materialize,
     )
-    result = pipe.run(workload)
     lat = result.latency.summary()
     wait = result.queue_wait.summary()
+    shard_note = f", {args.shards} shards" if args.shards > 1 else ""
     print(
-        f"{bs.placement.describe()}: open loop @ {args.rate:g} req/s, "
+        f"{cluster.volumes[0].store.placement.describe()}{shard_note}: "
+        f"open loop @ {args.rate:g} req/s, "
         f"hedging {'off' if args.no_hedge else 'on'}"
     )
     print(
@@ -1217,6 +1300,13 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         f"admission queue peak {result.peak_queue_depth} "
         f"(limit {args.queue_limit}), disk queue peak {result.peak_disk_depth}"
     )
+    cache_ns = cluster.metrics()["cache"]
+    if cache_ns.get("enabled"):
+        print(
+            f"hot tier: {cache_ns['hits']}/{cache_ns['lookups']} stripe "
+            f"lookups hit ({cache_ns['hit_rate']:.1%}), "
+            f"{cache_ns['stripes_resident']} stripes resident"
+        )
     ok = True
     if args.materialize:
         arrivals = list(workload.arrivals())

@@ -21,6 +21,7 @@ from .service import (
     ClusterCounters,
     ClusterReadResult,
     ClusterService,
+    InjectorHandle,
     RebalanceUnsupportedError,
     ShardTracer,
     ShardVolume,
@@ -35,6 +36,7 @@ __all__ = [
     "ClusterService",
     "ClusterReadResult",
     "ClusterCounters",
+    "InjectorHandle",
     "ShardVolume",
     "ShardTracer",
     "RebalanceCrash",

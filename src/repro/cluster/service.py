@@ -24,15 +24,17 @@ the migration journal providing crash safety.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Sequence
 
+from ..cache import CacheConfig, HotTierCache
 from ..codes.base import ErasureCode
 from ..disks.model import DiskModel
 from ..disks.presets import SAVVIO_10K3
 from ..engine.service import BatchReadResult, ReadService
-from ..obs import NULL_TRACER, MetricsRegistry, Tracer
+from ..obs import NULL_TRACER, Histogram, MetricsRegistry, Tracer
 from ..store.blockstore import BlockStore
 from .rebalance import RebalanceReport, run_rebalance
 from .shardmap import ShardMap, make_shard_map
@@ -49,6 +51,7 @@ __all__ = [
     "ClusterCounters",
     "ClusterReadResult",
     "ClusterService",
+    "InjectorHandle",
 ]
 
 
@@ -173,6 +176,41 @@ class ClusterReadResult:
         return self.bytes_served / self.makespan_s / (1024 * 1024)
 
 
+class InjectorHandle:
+    """Detachable handle for one shard-targeted fault injector.
+
+    Returned by :meth:`ClusterService.attach_injector` so attach and
+    detach are symmetric: call :meth:`detach` to unhook exactly this
+    schedule (``detach_injectors`` remains the bulk form).  Every other
+    attribute (``fired``, ``skipped``, counters, …) delegates to the
+    wrapped :class:`~repro.faults.FaultInjector`, so existing callers
+    that treated the return value as the injector keep working.
+    """
+
+    __slots__ = ("injector", "shard", "_cluster")
+
+    def __init__(
+        self, injector: "FaultInjector", shard: int, cluster: "ClusterService"
+    ) -> None:
+        self.injector = injector
+        self.shard = shard
+        self._cluster = cluster
+
+    def detach(self) -> None:
+        """Unhook this injector from its shard; idempotent."""
+        self.injector.detach()
+        try:
+            self._cluster._injectors.remove(self)
+        except ValueError:
+            pass
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.injector, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InjectorHandle(shard={self.shard}, injector={self.injector!r})"
+
+
 class ClusterService:
     """Byte-range read/write frontend over ``S`` sharded volumes.
 
@@ -201,6 +239,16 @@ class ClusterService:
     cache_capacity:
         Per-shard plan-cache capacity (caches are per shard: plans embed
         per-volume failure signatures, which shards don't share).
+    cache:
+        Hot-tier replica cache in front of the whole cluster: ``None``
+        (default) disables the tier, a
+        :class:`~repro.cache.CacheConfig` builds one, and a pre-built
+        :class:`~repro.cache.HotTierCache` is adopted as-is.  The tier
+        serves whole-stripe replicas of Zipf-hot stripes straight from
+        memory — hits bypass the shards (and their
+        :class:`~repro.disks.array.DiskArray` simulators) entirely —
+        and its eviction weight tracks each stripe's live degraded-read
+        cost through the recovery plane's detector state.
     """
 
     def __init__(
@@ -217,6 +265,7 @@ class ClusterService:
         map_seed: int = 0,
         vnodes: int = 96,
         cache_capacity: int = 256,
+        cache: CacheConfig | HotTierCache | None = None,
     ) -> None:
         self.code = code
         self.map = (
@@ -245,10 +294,23 @@ class ClusterService:
         self._pad_runs: list[tuple[int, int]] = []
         #: orphaned source rows left behind by rebalance moves, per shard.
         self.garbage_rows: dict[int, int] = {}
-        self._injectors: list["FaultInjector"] = []
+        self._injectors: list[InjectorHandle] = []
         #: per-shard recovery planes, populated by :meth:`enable_recovery`.
         self.orchestrators: list["RecoveryOrchestrator"] = []
-        self.registry.register_collector("cluster", self.stats_snapshot)
+        #: the hot-tier replica cache (None when disabled).
+        self.hot_tier: HotTierCache | None
+        if isinstance(cache, HotTierCache):
+            self.hot_tier = cache
+            if self.hot_tier.cost_of is None:
+                self.hot_tier.cost_of = self._stripe_cost
+        elif cache is not None:
+            self.hot_tier = HotTierCache(cache, cost_of=self._stripe_cost)
+        else:
+            self.hot_tier = None
+        self.registry.register_collector("cluster", self._cluster_snapshot)
+        self.registry.register_collector("cache", self._cache_snapshot)
+        self.registry.register_collector("recovery", self._recovery_snapshot)
+        self.registry.register_collector("service", self._service_rollup)
 
     def _new_volume(self, shard_id: int) -> ShardVolume:
         registry = MetricsRegistry()
@@ -347,6 +409,10 @@ class ClusterService:
         vol.store.append(chunk)  # exactly one full row: flushes immediately
         self._locations.append((sid, local_row))
         self._user_bytes += user_len
+        if self.hot_tier is not None:
+            # global stripe ids are append-only so g cannot be resident;
+            # the unconditional invalidate keeps the write path honest.
+            self.hot_tier.invalidate(g)
 
     def apply_move(
         self, stripe: int, target: int, data_elems: Sequence[bytes]
@@ -366,6 +432,10 @@ class ClusterService:
         self._locations[stripe] = (target, local_row)
         self.garbage_rows[sid_old] = self.garbage_rows.get(sid_old, 0) + 1
         self.counters.stripes_moved += 1
+        if self.hot_tier is not None:
+            # write-through invalidation: the replica (keyed by global
+            # stripe id) must never outlive a relocation of its row.
+            self.hot_tier.invalidate(stripe)
 
     # ------------------------------------------------------------------
     # logical <-> physical translation (cluster pad runs)
@@ -398,22 +468,66 @@ class ClusterService:
 
     def _split_physical(
         self, phys_start: int, phys_len: int
-    ) -> list[tuple[int, int, int]]:
-        """Split a physical byte window into per-shard local sub-ranges.
+    ) -> list[tuple[int, int, int, int]]:
+        """Split a physical byte window into per-stripe sub-ranges.
 
-        Returns ``[(shard id, local offset, length), ...]`` in stream
-        order — one piece per stripe touched (shard stores never pad, so
-        local offsets are plain ``row * stripe_bytes`` arithmetic).
+        Returns ``[(global stripe id, shard id, local offset, length),
+        ...]`` in stream order — one piece per stripe touched (shard
+        stores never pad, so local offsets are plain ``row *
+        stripe_bytes`` arithmetic; the stripe id keys the hot tier).
         """
         sb = self.stripe_bytes
         end = phys_start + phys_len
-        pieces: list[tuple[int, int, int]] = []
+        pieces: list[tuple[int, int, int, int]] = []
         for g in range(phys_start // sb, (end - 1) // sb + 1):
             lo = max(phys_start, g * sb)
             hi = min(end, (g + 1) * sb)
             sid, local_row = self._locations[g]
-            pieces.append((sid, local_row * sb + (lo - g * sb), hi - lo))
+            pieces.append((g, sid, local_row * sb + (lo - g * sb), hi - lo))
         return pieces
+
+    # ------------------------------------------------------------------
+    # hot tier
+    # ------------------------------------------------------------------
+    def _shard_degraded(self, sid: int) -> bool:
+        """Whether shard ``sid`` currently serves through reconstruction.
+
+        With a recovery plane attached this is the detector's live view
+        (SUSPECTED / FAILED / REBUILDING all mean reads there may pay a
+        decode); without one it falls back to raw array failure flags.
+        """
+        if self.orchestrators:
+            from ..recovery import DiskState
+
+            return any(
+                st is not DiskState.HEALTHY
+                for st in self.orchestrators[sid].detector.states().values()
+            )
+        return any(d.failed for d in self.volumes[sid].store.array.disks)
+
+    def _stripe_cost(self, stripe: int) -> float:
+        """Live eviction weight of a resident stripe.
+
+        Stripes whose shard is degraded cost ``degraded_cost`` (a miss
+        re-reads through a k-element reconstruction); healthy shards
+        cost 1.0.  Bound into the tier as its ``cost_of`` callback."""
+        sid, _ = self._locations[stripe]
+        if self._shard_degraded(sid):
+            return (
+                self.hot_tier.config.degraded_cost
+                if self.hot_tier is not None
+                else 1.0
+            )
+        return 1.0
+
+    def _tier_lookup(self, g: int) -> bytes | None:
+        """One traced hot-tier consult for global stripe ``g``."""
+        payload = self.hot_tier.lookup(g)
+        if self.tracer.enabled:
+            self.tracer.point(
+                "tier_lookup", stripe=g, hit=payload is not None
+            )
+        return payload
 
     # ------------------------------------------------------------------
     # read path
@@ -431,18 +545,32 @@ class ClusterService:
     ) -> ClusterReadResult:
         """Serve a batch of byte ranges across the cluster.
 
-        Each range is split at stripe boundaries into per-shard sub-reads;
-        every touched shard serves its sub-batch through its own
-        :class:`ReadService` (plan cache, closed-loop timing, degraded
-        replan, bounded fault retries — all per shard), and the pieces are
-        reassembled in submission order.  Shards are independent arrays,
-        so the batch's simulated wall-clock is the slowest shard's.
+        Each range is split at stripe boundaries into per-stripe pieces.
+        With a hot tier attached every piece consults it first: a hit is
+        served from the stripe's in-memory replica (no shard, no
+        :class:`~repro.disks.array.DiskArray` access at all), and a
+        hot-enough miss widens its sub-read to the whole stripe so the
+        replica can be promoted from the same accounted fetch.  The
+        remaining pieces fan out to the owning shards' services (plan
+        cache, closed-loop timing, degraded replan, bounded fault
+        retries — all per shard) and everything is reassembled in
+        submission order.  Shards are independent arrays, so the batch's
+        simulated wall-clock is the slowest shard's.
         """
         if not ranges:
             raise ValueError("empty batch")
+        sb = self.stripe_bytes
+        tier = self.hot_tier
         per_shard: dict[int, list[tuple[int, int]]] = {}
-        layout: list[list[tuple[int, int]]] = []
+        # Per-range assembly program; slot kinds:
+        #   ("shard", sid, j)                -> shard_results[sid].payloads[j]
+        #   ("tier", piece_bytes)            -> served from the hot tier
+        #   ("stripe", sid, j, in_off, n, g) -> slice of a promoted
+        #                                       full-stripe sub-read
+        layout: list[list[tuple]] = []
         phys_starts: list[int] = []
+        #: stripes already widened to a full-stripe fetch in this batch.
+        promoting: dict[int, tuple[int, int]] = {}
         for offset, length in ranges:
             if offset < 0 or length <= 0:
                 raise ValueError(
@@ -458,14 +586,34 @@ class ClusterService:
             phys_last = self._logical_to_physical(offset + length - 1)
             phys_starts.append(phys_first)
             pieces = self._split_physical(phys_first, phys_last - phys_first + 1)
-            slots: list[tuple[int, int]] = []
-            for sid, local_off, piece_len in pieces:
+            slots: list[tuple] = []
+            for g, sid, local_off, piece_len in pieces:
+                in_off = local_off % sb
+                if tier is not None:
+                    payload = self._tier_lookup(g)
+                    if payload is not None:
+                        slots.append(
+                            ("tier", payload[in_off : in_off + piece_len])
+                        )
+                        continue
+                    if g in promoting:
+                        psid, pj = promoting[g]
+                        slots.append(
+                            ("stripe", psid, pj, in_off, piece_len, g)
+                        )
+                        continue
+                    if tier.wants_promotion(g):
+                        bucket = per_shard.setdefault(sid, [])
+                        j = len(bucket)
+                        bucket.append((local_off - in_off, sb))
+                        promoting[g] = (sid, j)
+                        slots.append(("stripe", sid, j, in_off, piece_len, g))
+                        continue
                 bucket = per_shard.setdefault(sid, [])
-                slots.append((sid, len(bucket)))
+                slots.append(("shard", sid, len(bucket)))
                 bucket.append((local_off, piece_len))
             layout.append(slots)
-            touched = {sid for sid, _ in slots}
-            if len(touched) > 1:
+            if len({sid for _, sid, _, _ in pieces}) > 1:
                 self.counters.spanning_reads += 1
 
         shard_results: dict[int, BatchReadResult] = {}
@@ -483,10 +631,21 @@ class ClusterService:
 
         payloads: list[bytes] = []
         for i, (offset, length) in enumerate(ranges):
-            joined = b"".join(
-                shard_results[sid].payloads[j] for sid, j in layout[i]
-            )
-            logical = self._excise_padding(joined, phys_starts[i])
+            parts: list[bytes] = []
+            for slot in layout[i]:
+                kind = slot[0]
+                if kind == "tier":
+                    parts.append(slot[1])
+                elif kind == "shard":
+                    _, sid, j = slot
+                    parts.append(shard_results[sid].payloads[j])
+                else:  # promoted full-stripe read
+                    _, sid, j, in_off, piece_len, g = slot
+                    stripe_payload = shard_results[sid].payloads[j]
+                    if tier is not None and g not in tier:
+                        tier.insert(g, stripe_payload)
+                    parts.append(stripe_payload[in_off : in_off + piece_len])
+            logical = self._excise_padding(b"".join(parts), phys_starts[i])
             assert len(logical) == length, (
                 f"range {i}: reassembled {len(logical)} bytes, wanted {length}"
             )
@@ -525,11 +684,26 @@ class ClusterService:
         keyword arguments go to the pipeline constructor.  Returns the
         run's :class:`~repro.engine.pipeline.OpenLoopResult` (payloads in
         arrival order when materializing, reassembled and pad-excised).
+
+        With a hot tier attached, each arrival consults it at submission:
+        fully-resident arrivals resolve *at their arrival time* — they
+        never enter admission, hedging or any disk queue, and contribute
+        zero-latency samples to the merged result — while partially
+        resident arrivals enqueue only their uncached pieces.  Hot-enough
+        misses widen to full-stripe fetches and are promoted into the
+        tier as their jobs complete (materializing runs only).
         """
         from ..engine.pipeline import RequestPipeline
 
+        sb = self.stripe_bytes
+        tier = self.hot_tier
         jobs: list[tuple[float, list[tuple[int, int, int]]]] = []
-        metas: list[tuple[int, int]] = []
+        #: (phys_first, logical length, assembly segments) per job.
+        metas: list[tuple[int, int, list[tuple]]] = []
+        #: fully-tier-served arrivals: (arrival_s, payload).
+        cached: list[tuple[float, bytes]] = []
+        #: arrival-order provenance: ("pipe", job idx) | ("tier", cached idx).
+        order: list[tuple[str, int]] = []
         for arrival_s, offset, length in arrivals:
             if offset < 0 or length <= 0:
                 raise ValueError(
@@ -546,43 +720,172 @@ class ClusterService:
             pieces = self._split_physical(
                 phys_first, phys_last - phys_first + 1
             )
-            jobs.append((arrival_s, pieces))
-            metas.append((phys_first, length))
-            if len({sid for sid, _, _ in pieces}) > 1:
+            if len({sid for _, sid, _, _ in pieces}) > 1:
                 self.counters.spanning_reads += 1
-            for sid, _, _ in pieces:
+            # Segment kinds: ("lit", bytes) tier-served; ("part",) next
+            # pipeline payload as-is; ("stripe", in_off, n, g) next
+            # pipeline payload is a whole stripe — promote then slice.
+            segments: list[tuple] = []
+            job_ranges: list[tuple[int, int, int]] = []
+            for g, sid, local_off, piece_len in pieces:
+                in_off = local_off % sb
+                if tier is not None:
+                    payload = self._tier_lookup(g)
+                    if payload is not None:
+                        segments.append(
+                            ("lit", payload[in_off : in_off + piece_len])
+                        )
+                        continue
+                    if tier.wants_promotion(g):
+                        job_ranges.append((sid, local_off - in_off, sb))
+                        segments.append(("stripe", in_off, piece_len, g))
+                        self.counters.sub_reads[sid] = (
+                            self.counters.sub_reads.get(sid, 0) + 1
+                        )
+                        continue
+                job_ranges.append((sid, local_off, piece_len))
+                segments.append(("part",))
                 self.counters.sub_reads[sid] = (
                     self.counters.sub_reads.get(sid, 0) + 1
                 )
+            if not job_ranges:
+                buf = b"".join(seg[1] for seg in segments)
+                logical = self._excise_padding(buf, phys_first)
+                assert len(logical) == length, (
+                    f"tier-assembled {len(logical)} bytes, wanted {length}"
+                )
+                order.append(("tier", len(cached)))
+                cached.append((arrival_s, logical))
+            else:
+                order.append(("pipe", len(jobs)))
+                jobs.append((arrival_s, job_ranges))
+                metas.append((phys_first, length, segments))
 
-        def assemble(meta: tuple[int, int], parts: list[bytes]) -> bytes:
-            phys_start, want = meta
-            logical = self._excise_padding(b"".join(parts), phys_start)
+        def assemble(
+            meta: tuple[int, int, list[tuple]], parts: list[bytes]
+        ) -> bytes:
+            phys_start, want, segments = meta
+            out: list[bytes] = []
+            it = iter(parts)
+            for seg in segments:
+                if seg[0] == "lit":
+                    out.append(seg[1])
+                elif seg[0] == "part":
+                    out.append(next(it))
+                else:  # promoted full-stripe fetch
+                    _, in_off, piece_len, g = seg
+                    stripe_payload = next(it)
+                    if tier is not None and g not in tier:
+                        tier.insert(g, stripe_payload)
+                    out.append(stripe_payload[in_off : in_off + piece_len])
+            logical = self._excise_padding(b"".join(out), phys_start)
             assert len(logical) == want, (
                 f"reassembled {len(logical)} bytes, wanted {want}"
             )
             return logical
 
-        pipe = RequestPipeline(
-            [vol.service for vol in self.volumes],
-            tracer=self.tracer,
-            registry=self.registry,
-            assemble=assemble,
-            **pipeline_kwargs,
-        )
-        result = pipe.run_jobs(jobs, metas=metas)
+        result = None
+        if jobs:
+            pipe = RequestPipeline(
+                [vol.service for vol in self.volumes],
+                tracer=self.tracer,
+                registry=self.registry,
+                assemble=assemble,
+                **pipeline_kwargs,
+            )
+            result = pipe.run_jobs(jobs, metas=metas)
+        if cached:
+            pipe_first = jobs[0][0] if jobs else None
+            result = self._merge_open_loop(result, cached, order, pipe_first)
+        if result is None:
+            raise ValueError("no jobs to run")
         self.counters.requests += result.completed
         self.counters.batches += 1
         self.counters.bytes_served += result.bytes_served
         return result
+
+    def _merge_open_loop(self, result, cached, order, pipe_first):
+        """Fold tier-served arrivals into a pipeline run's result.
+
+        Tier hits complete the instant they arrive (the replica is in
+        memory), so each contributes a zero-latency sample and extends
+        the completion horizon only to its own arrival time.
+        ``result`` is ``None`` when *every* arrival was tier-served —
+        the pipeline never ran (it refuses empty job lists).
+        """
+        from ..engine.pipeline import OpenLoopResult
+
+        cached_bytes = sum(len(p) for _, p in cached)
+        first_cached = min(t for t, _ in cached)
+        last_cached = max(t for t, _ in cached)
+        if result is None:
+            latency = Histogram("service.pipeline.latency_s")
+            latency.observe_many(0.0 for _ in cached)
+            return OpenLoopResult(
+                arrived=len(cached),
+                completed=len(cached),
+                rejected=0,
+                coalesced=0,
+                hedges_launched=0,
+                hedges_won=0,
+                hedges_wasted=0,
+                retries=0,
+                makespan_s=last_cached - first_cached,
+                bytes_served=cached_bytes,
+                latency=latency,
+                queue_wait=Histogram("service.pipeline.queue_wait_s"),
+                disk_depth=Histogram("service.pipeline.disk_depth"),
+                peak_queue_depth=0,
+                peak_disk_depth=0,
+                disk_load={},
+                payloads=[p for _, p in cached],
+            )
+        result.latency.observe_many(0.0 for _ in cached)
+        # run_jobs reports makespan relative to its own first arrival;
+        # re-anchor to the merged stream's first arrival and stretch the
+        # horizon to the last tier hit if it lands after the pipeline.
+        pipe_done = pipe_first + result.makespan_s
+        first_arrival = min(first_cached, pipe_first)
+        last_done = max(pipe_done, last_cached)
+        payloads = None
+        if result.payloads is not None:
+            payloads = [
+                result.payloads[idx] if kind == "pipe" else cached[idx][1]
+                for kind, idx in order
+            ]
+        return OpenLoopResult(
+            arrived=result.arrived + len(cached),
+            completed=result.completed + len(cached),
+            rejected=result.rejected,
+            coalesced=result.coalesced,
+            hedges_launched=result.hedges_launched,
+            hedges_won=result.hedges_won,
+            hedges_wasted=result.hedges_wasted,
+            retries=result.retries,
+            makespan_s=max(0.0, last_done - first_arrival),
+            bytes_served=result.bytes_served + cached_bytes,
+            latency=result.latency,
+            queue_wait=result.queue_wait,
+            disk_depth=result.disk_depth,
+            peak_queue_depth=result.peak_queue_depth,
+            peak_disk_depth=result.peak_disk_depth,
+            disk_load=result.disk_load,
+            payloads=payloads,
+        )
 
     # ------------------------------------------------------------------
     # faults
     # ------------------------------------------------------------------
     def attach_injector(
         self, shard: int, schedule: "FaultSchedule", *, seed: int = 0
-    ) -> "FaultInjector":
+    ) -> InjectorHandle:
         """Attach a fault schedule to one shard's disk array.
+
+        Returns an :class:`InjectorHandle` — call its ``.detach()`` to
+        unhook exactly this schedule (the symmetric counterpart of this
+        method; :meth:`detach_injectors` stays as the bulk form).  The
+        handle forwards every injector attribute, so counters like
+        ``fired`` read straight through it.
 
         The injector's audit counters are published into that shard's
         registry (``faults`` namespace of :meth:`shard_metrics`); other
@@ -597,13 +900,17 @@ class ClusterService:
         injector = FaultInjector(vol.store.array, schedule, seed=seed)
         injector.register_metrics(vol.registry)
         injector.attach()
-        self._injectors.append(injector)
-        return injector
+        handle = InjectorHandle(injector, shard, self)
+        self._injectors.append(handle)
+        return handle
 
     def detach_injectors(self) -> None:
-        """Detach every injector attached through :meth:`attach_injector`."""
-        for injector in self._injectors:
-            injector.detach()
+        """Detach every injector attached through :meth:`attach_injector`.
+
+        The bulk counterpart of :meth:`InjectorHandle.detach`.
+        """
+        for handle in list(self._injectors):
+            handle.injector.detach()
         self._injectors.clear()
 
     # ------------------------------------------------------------------
@@ -617,6 +924,7 @@ class ClusterService:
         detector_config: "DetectorConfig | None" = None,
         unit_rows: int = 4,
         steps_per_tick: int = 1,
+        budget_per_step: int | None = None,
     ) -> list["RecoveryOrchestrator"]:
         """Attach an autonomous recovery plane to every shard.
 
@@ -625,8 +933,11 @@ class ClusterService:
         throttled crash-safe rebuild executor, journaling rebuild WALs
         under ``journal_dir/shard-<id>/``.  Metrics land in each shard's
         private registry (``recovery.*`` of :meth:`shard_metrics`), and
-        :meth:`stats_snapshot` rolls the plane up cluster-wide.  Shards
-        added later by :meth:`add_shard` join the plane automatically.
+        :meth:`metrics` rolls the plane up cluster-wide.  Shards added
+        later by :meth:`add_shard` join the plane automatically.
+        ``budget_per_step`` (physical element operations per repair
+        quantum) gives every shard a
+        :class:`~repro.recovery.RepairThrottle` at that deposit.
         """
         from ..recovery import RecoveryOrchestrator
 
@@ -636,6 +947,7 @@ class ClusterService:
             "detector_config": detector_config,
             "unit_rows": unit_rows,
             "steps_per_tick": steps_per_tick,
+            "budget_per_step": budget_per_step,
         }
         self.orchestrators = [
             self._new_orchestrator(vol) for vol in self.volumes
@@ -643,14 +955,20 @@ class ClusterService:
         return list(self.orchestrators)
 
     def _new_orchestrator(self, vol: ShardVolume) -> "RecoveryOrchestrator":
-        from ..recovery import RecoveryOrchestrator
+        from ..recovery import RecoveryOrchestrator, RepairThrottle
 
         cfg = self._recovery_config
+        throttle = (
+            RepairThrottle(cfg["budget_per_step"])
+            if cfg.get("budget_per_step") is not None
+            else None
+        )
         return RecoveryOrchestrator(
             vol.store,
             journal_dir=cfg["journal_dir"] / f"shard-{vol.shard_id}",
             spares=cfg["spares"],
             detector_config=cfg["detector_config"],
+            throttle=throttle,
             cache=vol.service.cache,
             tracer=ShardTracer(self.tracer, vol.shard_id),
             registry=vol.registry,
@@ -835,6 +1153,23 @@ class ClusterService:
         }
 
     def stats_snapshot(self) -> dict:
+        """Deprecated alias for the ``cluster.*`` namespace dict.
+
+        .. deprecated:: 1.4
+           Use :meth:`metrics` — the rolled-up, versioned snapshot with
+           ``cluster. / cache. / recovery. / service.`` namespaces —
+           or ``metrics()["cluster"]`` for exactly this dict.  Removed
+           after one release, per the repo's deprecation policy.
+        """
+        warnings.warn(
+            "ClusterService.stats_snapshot() is deprecated; use "
+            "metrics()['cluster'] (the rolled-up namespaced snapshot)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._cluster_snapshot()
+
+    def _cluster_snapshot(self) -> dict:
         """The ``cluster.*`` namespace: frontend counters, the rolled-up
         per-shard summaries, and the cluster load-imbalance stats."""
         live = self.stripes_per_shard()
@@ -869,9 +1204,52 @@ class ClusterService:
             out["recovery"] = self.recovery_rollup()
         return out
 
+    def _cache_snapshot(self) -> dict:
+        """The ``cache.*`` namespace: hot-tier hit/miss/promotion/eviction
+        counters and residency (``{"enabled": False}`` without a tier)."""
+        if self.hot_tier is None:
+            return {"enabled": False}
+        return self.hot_tier.snapshot()
+
+    def _recovery_snapshot(self) -> dict:
+        """The ``recovery.*`` namespace: the cluster-wide rollup of every
+        shard's recovery plane (``{"enabled": False}`` without one)."""
+        if not self.orchestrators:
+            return {"enabled": False}
+        return {"enabled": True, **self.recovery_rollup()}
+
+    def _service_rollup(self) -> dict:
+        """The ``service.*`` namespace: per-shard read services summed
+        cluster-wide (the pipeline adds ``service.pipeline.*`` beside
+        these when :meth:`submit_open_loop` runs)."""
+        out = {
+            "requests": 0,
+            "bytes_served": 0,
+            "degraded_serves": 0,
+            "retries": 0,
+            "plan_cache_hits": 0,
+            "plan_cache_misses": 0,
+        }
+        for vol in self.volumes:
+            c = vol.service.counters
+            out["requests"] += c.requests
+            out["bytes_served"] += c.bytes_served
+            out["degraded_serves"] += c.degraded_serves
+            out["retries"] += c.retries
+            out["plan_cache_hits"] += vol.service.cache.stats.hits
+            out["plan_cache_misses"] += vol.service.cache.stats.misses
+        return out
+
     def metrics(self) -> dict:
-        """Versioned snapshot of the cluster registry (``cluster.*`` plus
-        any other namespaces registered into :attr:`registry`)."""
+        """The rolled-up, versioned cluster snapshot.
+
+        One call, every namespace: ``cluster.*`` (frontend counters and
+        per-shard rollup), ``cache.*`` (hot tier), ``recovery.*``
+        (cluster-wide recovery plane), ``service.*`` (summed per-shard
+        read services, plus ``service.pipeline.*`` once an open-loop run
+        has registered) — and anything else registered into
+        :attr:`registry`.  This is the single metrics entry point;
+        :meth:`stats_snapshot` is its deprecated predecessor."""
         return self.registry.snapshot()
 
     def shard_metrics(self, shard: int) -> dict:

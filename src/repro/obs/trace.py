@@ -30,6 +30,7 @@ __all__ = ["STAGES", "Span", "Tracer", "NULL_TRACER"]
 
 #: the read-path stage vocabulary, in pipeline order.
 STAGES = (
+    "tier_lookup",
     "plan",
     "cache_lookup",
     "queue_wait",

@@ -1,0 +1,184 @@
+"""HotTierCache unit behavior: admission, cost-aware eviction, invalidation."""
+
+import pytest
+
+from repro.cache import CacheConfig, HotTierCache
+
+
+def _tier(**kwargs) -> HotTierCache:
+    cost_of = kwargs.pop("cost_of", None)
+    defaults = dict(capacity_stripes=4, admit_after=2, evict_sample=4)
+    defaults.update(kwargs)
+    return HotTierCache(CacheConfig(**defaults), cost_of=cost_of)
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"capacity_stripes": 0},
+        {"admit_after": 0},
+        {"evict_sample": 0},
+        {"degraded_cost": 0.5},
+    ])
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CacheConfig(**kwargs)
+
+    def test_default_config_when_omitted(self):
+        tier = HotTierCache()
+        assert tier.config == CacheConfig()
+
+
+class TestAdmission:
+    def test_miss_below_threshold_counts_admission_reject(self):
+        tier = _tier(admit_after=3)
+        assert tier.lookup(7) is None
+        assert not tier.wants_promotion(7)
+        assert tier.counters.admission_rejects == 1
+
+    def test_promotion_earned_at_threshold(self):
+        tier = _tier(admit_after=2)
+        tier.lookup(7)
+        assert not tier.wants_promotion(7)
+        tier.lookup(7)
+        assert tier.wants_promotion(7)
+
+    def test_admit_after_one_admits_on_first_touch(self):
+        tier = _tier(admit_after=1)
+        tier.lookup(7)
+        assert tier.wants_promotion(7)
+
+    def test_resident_stripe_never_wants_promotion(self):
+        tier = _tier(admit_after=1)
+        tier.lookup(7)
+        tier.insert(7, b"x" * 8)
+        assert not tier.wants_promotion(7)
+
+
+class TestLookup:
+    def test_hit_returns_payload_and_refreshes_recency(self):
+        tier = _tier(admit_after=1)
+        tier.insert(1, b"a")
+        tier.insert(2, b"b")
+        assert tier.lookup(1) == b"a"
+        # 1 was refreshed: 2 is now the coldest
+        assert tier.resident_stripes() == [2, 1]
+
+    def test_counters_track_outcomes(self):
+        tier = _tier(admit_after=1)
+        tier.insert(1, b"a")
+        tier.lookup(1)
+        tier.lookup(2)
+        c = tier.counters
+        assert (c.lookups, c.hits, c.misses) == (2, 1, 1)
+        assert c.hit_rate == pytest.approx(0.5)
+
+    def test_peek_touches_nothing(self):
+        tier = _tier()
+        tier.insert(1, b"a")
+        before = tier.counters.lookups
+        assert tier.peek(1) == b"a"
+        assert tier.peek(99) is None
+        assert tier.counters.lookups == before
+
+
+class TestEviction:
+    def test_capacity_is_enforced(self):
+        tier = _tier(capacity_stripes=3)
+        for g in range(5):
+            tier.insert(g, bytes([g]) * 4)
+        assert len(tier) == 3
+        assert tier.counters.evictions == 2
+        assert tier.bytes_resident == 12
+
+    def test_plain_lru_without_cost_callback(self):
+        tier = _tier(capacity_stripes=2)
+        tier.insert(1, b"a")
+        tier.insert(2, b"b")
+        tier.insert(3, b"c")
+        assert 1 not in tier
+        assert tier.resident_stripes() == [2, 3]
+        assert tier.counters.cost_saves == 0
+
+    def test_cost_weighting_overrides_recency(self):
+        # stripe 1 is coldest but degraded-expensive: LRU would evict it,
+        # the cost-aware policy spares it and counts the save
+        costs = {1: 4.0, 2: 1.0, 3: 1.0}
+        tier = _tier(capacity_stripes=3, evict_sample=3,
+                     cost_of=lambda g: costs.get(g, 1.0))
+        tier.insert(1, b"a")
+        tier.insert(2, b"b")
+        tier.insert(3, b"c")
+        tier.insert(4, b"d")
+        assert 1 in tier
+        assert 2 not in tier
+        assert tier.counters.cost_saves == 1
+
+    def test_equal_costs_tie_break_to_coldest(self):
+        tier = _tier(capacity_stripes=2, evict_sample=2, cost_of=lambda g: 1.0)
+        tier.insert(1, b"a")
+        tier.insert(2, b"b")
+        tier.insert(3, b"c")
+        assert 1 not in tier
+        assert tier.counters.cost_saves == 0
+
+    def test_sample_window_bounds_cost_search(self):
+        # expensive stripe outside the evict_sample window is not examined:
+        # the victim comes from the cold end regardless of its cost
+        costs = {1: 1.0, 2: 1.0, 3: 9.0}
+        tier = _tier(capacity_stripes=3, evict_sample=2,
+                     cost_of=lambda g: costs.get(g, 1.0))
+        tier.insert(3, b"c")  # coldest... but sampled window is [3, 1]
+        tier.insert(1, b"a")
+        tier.insert(2, b"b")
+        tier.insert(4, b"d")
+        assert 3 in tier  # expensive, spared within the window
+        assert 1 not in tier
+
+    def test_reinsert_updates_payload_without_evicting(self):
+        tier = _tier(capacity_stripes=2)
+        tier.insert(1, b"old!")
+        tier.insert(2, b"b")
+        tier.insert(1, b"new")
+        assert len(tier) == 2
+        assert tier.peek(1) == b"new"
+        assert tier.bytes_resident == 4
+        assert tier.counters.evictions == 0
+
+
+class TestInvalidation:
+    def test_invalidate_resident_stripe(self):
+        tier = _tier()
+        tier.insert(1, b"abcd")
+        assert tier.invalidate(1) is True
+        assert 1 not in tier
+        assert tier.bytes_resident == 0
+        assert tier.counters.invalidations == 1
+
+    def test_invalidate_absent_stripe_is_cheap_noop(self):
+        tier = _tier()
+        assert tier.invalidate(99) is False
+        assert tier.counters.invalidations == 0
+
+    def test_invalidate_all(self):
+        tier = _tier()
+        for g in range(3):
+            tier.insert(g, b"x")
+        assert tier.invalidate_all() == 3
+        assert len(tier) == 0
+        assert tier.counters.invalidations == 3
+
+
+def test_snapshot_is_the_cache_namespace_payload():
+    tier = _tier(capacity_stripes=2, admit_after=1)
+    tier.lookup(1)
+    tier.insert(1, b"abcd")
+    tier.lookup(1)
+    snap = tier.snapshot()
+    assert snap["enabled"] is True
+    assert snap["lookups"] == 2
+    assert snap["hits"] == 1
+    assert snap["promotions"] == 1
+    assert snap["stripes_resident"] == 1
+    assert snap["bytes_resident"] == 4
+    assert snap["capacity_stripes"] == 2
+    assert snap["sketch"]["observations"] == 2

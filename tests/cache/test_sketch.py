@@ -1,0 +1,148 @@
+"""Count-Min sketch: estimates, conservative update, halving, hashing."""
+
+import pytest
+
+from repro.cache import CountMinSketch
+from repro.cache.sketch import _mix64
+
+
+class TestBasics:
+    def test_unseen_key_estimates_zero(self):
+        s = CountMinSketch(64, 4)
+        assert s.estimate(12345) == 0
+
+    def test_add_returns_running_estimate(self):
+        s = CountMinSketch(64, 4)
+        assert s.add(7) == 1
+        assert s.add(7) == 2
+        assert s.add(7, 3) == 5
+        assert s.estimate(7) == 5
+
+    def test_never_underestimates(self):
+        # CM's one-sided error guarantee: estimate >= true count, always
+        s = CountMinSketch(16, 2)  # tiny: collisions guaranteed
+        truth: dict[int, int] = {}
+        for key in range(200):
+            n = (key % 3) + 1
+            s.add(key, n)
+            truth[key] = truth.get(key, 0) + n
+        for key, count in truth.items():
+            assert s.estimate(key) >= count
+
+    def test_observations_counter(self):
+        s = CountMinSketch(64, 4)
+        s.add(1)
+        s.add(2, 5)
+        assert s.observations == 6
+
+    def test_zero_increment_is_a_noop_estimate(self):
+        s = CountMinSketch(64, 4)
+        s.add(9, 2)
+        assert s.add(9, 0) == 2
+
+    def test_negative_increment_rejected(self):
+        s = CountMinSketch(64, 4)
+        with pytest.raises(ValueError):
+            s.add(1, -1)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"width": 0}, {"depth": 0}, {"decay_every": -1},
+    ])
+    def test_bad_geometry_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CountMinSketch(**{"width": 8, "depth": 2, **kwargs})
+
+
+class TestConservativeUpdate:
+    def test_shared_cell_not_raised_past_colliders_target(self):
+        """Conservative update only raises cells up to the key's own new
+        minimum: a cell shared with a hot key is already above a cold
+        key's target and must stay put (plain CM would blindly += it)."""
+        s = CountMinSketch(8, 2)
+        pair = None
+        for a in range(200):
+            ca = s._cells(a)
+            for b in range(a + 1, 200):
+                cb = s._cells(b)
+                if ca[0] == cb[0] and ca[1] != cb[1]:
+                    pair = (a, b)
+                    break
+            if pair:
+                break
+        assert pair, "no partially-colliding pair in 200 keys (width 8?)"
+        a, b = pair
+        s.add(a, 10)
+        s.add(b, 1)
+        shared = s._cells(a)[0]
+        assert s._rows[0][shared] == 10  # plain CM would read 11 here
+        assert s.estimate(b) == 1  # cold key's estimate stays exact
+        assert s.estimate(a) == 10
+
+    def test_disjoint_keys_stay_exact_in_wide_sketch(self):
+        s = CountMinSketch(4096, 4)
+        for key in range(20):
+            for _ in range(key + 1):
+                s.add(key)
+        for key in range(20):
+            assert s.estimate(key) == key + 1
+
+
+class TestDecay:
+    def test_halving_fires_on_cadence(self):
+        s = CountMinSketch(64, 2, decay_every=10)
+        for _ in range(10):
+            s.add(5)
+        assert s.decays == 1
+        assert s.estimate(5) == 5  # 10 >> 1
+
+    def test_decay_disabled_by_default(self):
+        s = CountMinSketch(64, 2)
+        for _ in range(1000):
+            s.add(5)
+        assert s.decays == 0
+        assert s.estimate(5) == 1000
+
+    def test_formerly_hot_key_must_re_earn_admission(self):
+        s = CountMinSketch(64, 2, decay_every=8)
+        for _ in range(8):
+            s.add(1)
+        assert s.estimate(1) == 4
+        for _ in range(8):
+            s.add(2)
+        # two halvings later the old hot key has faded
+        assert s.estimate(1) <= 2
+
+    def test_add_returns_post_decay_estimate(self):
+        s = CountMinSketch(64, 2, decay_every=4)
+        for _ in range(3):
+            s.add(9)
+        assert s.add(9) == 2  # the 4th add triggered the halving: 4 >> 1
+
+
+class TestHashing:
+    def test_mix64_is_deterministic_and_distinct(self):
+        assert _mix64(0) == _mix64(0)
+        outs = {_mix64(i) for i in range(1000)}
+        assert len(outs) == 1000
+
+    def test_seed_changes_cell_placement(self):
+        a = CountMinSketch(1 << 20, 1, seed=0)
+        b = CountMinSketch(1 << 20, 1, seed=1)
+        assert any(a._cells(k) != b._cells(k) for k in range(32))
+
+    def test_same_seed_same_estimates(self):
+        a = CountMinSketch(64, 4, seed=7)
+        b = CountMinSketch(64, 4, seed=7)
+        for k in range(50):
+            a.add(k)
+            b.add(k)
+        assert all(a.estimate(k) == b.estimate(k) for k in range(50))
+
+
+def test_snapshot_shape():
+    s = CountMinSketch(32, 3, decay_every=4)
+    for _ in range(8):
+        s.add(1)
+    assert s.snapshot() == {
+        "width": 32, "depth": 3, "observations": 8, "decays": 2,
+    }

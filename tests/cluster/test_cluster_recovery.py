@@ -46,7 +46,7 @@ def test_failures_on_two_shards_heal_independently(tmp_path):
     assert roll["per_shard"]["2"]["rebuilds_completed"] == 1
     assert cluster.read(0, len(data)) == data
     # cluster namespace carries the rollup; shard registries the detail
-    assert cluster.stats_snapshot()["recovery"]["rebuilds_completed"] == 2
+    assert cluster.metrics()["recovery"]["rebuilds_completed"] == 2
     assert cluster.shard_metrics(0)["recovery"]["rebuilds_completed"] == 1
 
 

@@ -124,6 +124,6 @@ class TestBreakdown:
     def test_stage_vocabulary(self):
         # the read path's stage names are a stable, documented vocabulary
         assert STAGES == (
-            "plan", "cache_lookup", "queue_wait", "disk_io",
+            "tier_lookup", "plan", "cache_lookup", "queue_wait", "disk_io",
             "decode", "heal", "retry", "hedge",
         )

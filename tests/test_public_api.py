@@ -1,0 +1,88 @@
+"""Pin the public API surface.
+
+``repro.__all__`` is the contract users import against: every addition
+or removal must be deliberate, so the exact list is checked in here.
+When this test fails you either forgot to export a new name or broke a
+published one — update ``EXPECTED`` only as part of an intentional API
+change.
+"""
+
+import pytest
+
+import repro
+
+EXPECTED = [
+    # subpackages
+    "analysis",
+    "cache",
+    "cluster",
+    "codes",
+    "disks",
+    "engine",
+    "faults",
+    "frm",
+    "gf",
+    "harness",
+    "layout",
+    "migrate",
+    "obs",
+    "recovery",
+    "reliability",
+    "store",
+    "workloads",
+    # facades
+    "open_store",
+    "open_cluster",
+    # core classes
+    "BlockStore",
+    "ClusterService",
+    "InjectorHandle",
+    "CacheConfig",
+    "HotTierCache",
+    "CountMinSketch",
+    "ReadService",
+    "PlanCache",
+    "UnsupportedFailurePatternError",
+    "OpenLoopWorkload",
+    "AdmissionController",
+    "HedgeConfig",
+    "RequestPipeline",
+    "OpenLoopResult",
+    "Scrubber",
+    "FaultInjector",
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
+    "StragglerDetector",
+    "Migrator",
+    "MigrationJournal",
+    "plan_migration",
+    "resume_migration",
+    "Tracer",
+    "MetricsRegistry",
+    "Histogram",
+    "SCHEMA_VERSION",
+    "__version__",
+]
+
+
+def test_all_matches_pinned_list():
+    assert list(repro.__all__) == EXPECTED
+
+
+def test_no_duplicates():
+    assert len(repro.__all__) == len(set(repro.__all__))
+
+
+@pytest.mark.parametrize("name", EXPECTED)
+def test_every_name_importable(name):
+    assert hasattr(repro, name), f"repro.{name} missing"
+    assert getattr(repro, name) is not None
+
+
+def test_star_import_is_exactly_all():
+    ns: dict = {}
+    exec("from repro import *", ns)
+    imported = {k for k in ns if not k.startswith("__")}
+    # star import skips dunders (__version__) by Python's own rules
+    assert imported == {n for n in EXPECTED if not n.startswith("__")}
