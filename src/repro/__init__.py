@@ -35,6 +35,7 @@ from . import (
     harness,
     layout,
     migrate,
+    net,
     obs,
     recovery,
     reliability,
@@ -61,10 +62,11 @@ from .faults import (
     StragglerDetector,
 )
 from .migrate import MigrationJournal, Migrator, plan_migration, resume_migration
+from .net import InvalidTopologyError, Topology
 from .obs import SCHEMA_VERSION, Histogram, MetricsRegistry, Tracer
 from .store import BlockStore, Scrubber
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 
 def open_store(
@@ -78,6 +80,7 @@ def open_store(
     registry=None,
     cache=None,
     cache_capacity=256,
+    topology=None,
 ):
     """Open a fresh erasure-coded store and return its read service.
 
@@ -110,6 +113,12 @@ def open_store(
         ``tracing``).
     cache / cache_capacity:
         Plan cache to share, or the capacity of the private one.
+    topology:
+        Rack topology for the array: a :class:`repro.net.Topology` or a
+        spec string (``"flat"``, ``"racks:3"``, or an explicit comma
+        list like ``"0,0,1,1,2"``).  When set, degraded reads and
+        rebuilds use minimum-transfer repair planning, makespans include
+        network shipping time, and ``net.*`` metrics are published.
 
     Returns
     -------
@@ -133,6 +142,7 @@ def open_store(
         disk_model=disk_model if disk_model is not None else SAVVIO_10K3,
         tracer=tracer,
         registry=registry,
+        topology=topology,
     )
     return ReadService(bs, cache=cache, cache_capacity=cache_capacity)
 
@@ -155,6 +165,7 @@ def open_cluster(
     faults=None,
     fault_seed=0,
     recovery=None,
+    topology=None,
 ):
     """Open a sharded erasure-coded cluster — the one documented way to
     stand up a cached, fault-injected, recovery-enabled
@@ -205,6 +216,11 @@ def open_cluster(
         :meth:`ClusterService.enable_recovery` keyword arguments with a
         ``"journal_dir"`` key (``spares``, ``detector_config``,
         ``unit_rows``, ``steps_per_tick``, ``budget_per_step``).
+    topology:
+        Rack topology shared by every shard's array: a
+        :class:`repro.net.Topology` or a spec string, as for
+        :func:`open_store`.  Enables minimum-transfer repair planning on
+        each shard and the cluster-wide ``net.*`` metrics rollup.
 
     Returns
     -------
@@ -240,6 +256,7 @@ def open_cluster(
         vnodes=vnodes,
         cache_capacity=plan_cache_capacity,
         cache=cache,
+        topology=topology,
     )
     if recovery is not None:
         if isinstance(recovery, (str, Path)):
@@ -268,6 +285,7 @@ __all__ = [
     "harness",
     "layout",
     "migrate",
+    "net",
     "obs",
     "recovery",
     "reliability",
@@ -299,6 +317,8 @@ __all__ = [
     "MigrationJournal",
     "plan_migration",
     "resume_migration",
+    "Topology",
+    "InvalidTopologyError",
     "Tracer",
     "MetricsRegistry",
     "Histogram",

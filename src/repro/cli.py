@@ -140,6 +140,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--journal-dir", default=None,
         help="rebuild WAL directory (default: a fresh temp dir)",
     )
+    p_rec.add_argument(
+        "--topology", default=None,
+        help="rack topology for scenario runs: 'flat', 'racks:R', or a "
+        "comma list of rack ids per disk — rebuilds then stage through "
+        "minimum-transfer repair plans and report net.* traffic",
+    )
 
     p_reb = sub.add_parser("rebuild", help="whole-disk rebuild timing across forms")
     p_reb.add_argument("--code", default="lrc-6-2-2")
@@ -313,6 +319,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="accesses a stripe must earn before the tier admits it",
+    )
+    p_cl.add_argument(
+        "--topology", default=None,
+        help="rack topology for every shard's array: 'flat', 'racks:R', "
+        "or a comma list of rack ids per disk — degraded reads then use "
+        "minimum-transfer repair plans and the net.* rollup is printed",
     )
     p_cl.add_argument("--seed", type=int, default=2015)
 
@@ -504,7 +516,10 @@ def _recovery_store(args: argparse.Namespace, *, recovery=None):
         shards=1,
         element_size=args.element_size,
         recovery=recovery,
+        topology=getattr(args, "topology", None),
     )
+    if cluster.topology is not None:
+        print(f"topology: {cluster.topology.describe()}")
     rng = np.random.default_rng(args.seed)
     data = rng.integers(
         0, 256, size=args.rows * cluster.stripe_bytes, dtype=np.uint8
@@ -521,6 +536,14 @@ def _recovery_verdict(bs, data) -> int:
     clean = Scrubber(bs).scrub().clean
     print(f"byte-exact after recovery: {'OK' if ok else 'FAILED'}; "
           f"redundancy restored (clean scrub): {'OK' if clean else 'FAILED'}")
+    if getattr(bs, "topology", None) is not None:
+        ns = bs.net_snapshot()
+        print(
+            f"net: {ns['bytes_moved']} repair bytes moved "
+            f"({ns['cross_rack_bytes']} cross-rack, "
+            f"{ns['intra_rack_bytes']} in-rack) over {ns['repair_sets']} "
+            f"repair sets, mean set size {ns['repair_set_size']:.2f}"
+        )
     return 0 if ok and clean else 1
 
 
@@ -1110,6 +1133,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             if args.cache
             else None
         ),
+        topology=args.topology,
     )
     code = cluster.code
     rng = np.random.default_rng(args.seed)
@@ -1121,6 +1145,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         f"{cluster.map.describe()}, {cluster.stripes_written} stripes of "
         f"{code.describe()} ({cluster.user_bytes} bytes)"
     )
+    if cluster.topology is not None:
+        print(f"topology: {cluster.topology.describe()}")
 
     if args.fail_disk is not None:
         try:
@@ -1181,6 +1207,13 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         f"\n{snap['requests']} requests ({snap['spanning_reads']} spanned "
         f"shards): {tput}, disk-load imbalance {snap['imbalance']:.3f}"
     )
+    if rollup["net"].get("enabled"):
+        nm = rollup["net"]
+        print(
+            f"net: {nm['bytes_moved']} repair bytes moved "
+            f"({nm['cross_rack_bytes']} cross-rack) over "
+            f"{nm['repair_sets']} repair sets across {nm['racks']} racks"
+        )
     if rollup["cache"].get("enabled"):
         cm = rollup["cache"]
         print(

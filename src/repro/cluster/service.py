@@ -34,6 +34,7 @@ from ..codes.base import ErasureCode
 from ..disks.model import DiskModel
 from ..disks.presets import SAVVIO_10K3
 from ..engine.service import BatchReadResult, ReadService
+from ..net import Topology, TransferSummary
 from ..obs import NULL_TRACER, Histogram, MetricsRegistry, Tracer
 from ..store.blockstore import BlockStore
 from .rebalance import RebalanceReport, run_rebalance
@@ -266,8 +267,16 @@ class ClusterService:
         vnodes: int = 96,
         cache_capacity: int = 256,
         cache: CacheConfig | HotTierCache | None = None,
+        topology: Topology | str | None = None,
     ) -> None:
         self.code = code
+        #: rack topology shared by every shard's store (Topology is
+        #: immutable, so one instance serves all volumes).  When set,
+        #: each shard plans minimum-transfer repairs and the cluster
+        #: publishes the rolled-up ``net.*`` namespace.
+        self.topology = (
+            Topology.from_spec(topology, code.n) if topology is not None else None
+        )
         self.map = (
             map
             if isinstance(map, ShardMap)
@@ -308,6 +317,7 @@ class ClusterService:
         else:
             self.hot_tier = None
         self.registry.register_collector("cluster", self._cluster_snapshot)
+        self.registry.register_collector("net", self._net_snapshot)
         self.registry.register_collector("cache", self._cache_snapshot)
         self.registry.register_collector("recovery", self._recovery_snapshot)
         self.registry.register_collector("service", self._service_rollup)
@@ -322,6 +332,7 @@ class ClusterService:
             disk_model=self.disk_model,
             tracer=tracer,  # duck-typed tracer view
             registry=registry,
+            topology=self.topology,
         )
         service = ReadService(store, cache_capacity=self.cache_capacity)
         return ShardVolume(
@@ -1202,6 +1213,23 @@ class ClusterService:
         }
         if self.orchestrators:
             out["recovery"] = self.recovery_rollup()
+        return out
+
+    def _net_snapshot(self) -> dict:
+        """The ``net.*`` namespace: repair traffic summed over every
+        shard's store (``{"enabled": False}`` without a topology)."""
+        if self.topology is None:
+            return {"enabled": False}
+        total = TransferSummary()
+        net_time_s = 0.0
+        for vol in self.volumes:
+            if vol.store.net is not None:
+                total.add(vol.store.net)
+                net_time_s += vol.store._net_time_s
+        out = total.snapshot()
+        out["net_time_s"] = net_time_s
+        out["racks"] = self.topology.num_racks
+        out["enabled"] = True
         return out
 
     def _cache_snapshot(self) -> dict:

@@ -5,6 +5,7 @@
 * :mod:`repro.codes.reed_solomon` — systematic Vandermonde RS(k, m);
 * :mod:`repro.codes.lrc` — Azure-style LRC(k, l, m);
 * :mod:`repro.codes.cauchy_rs` — Cauchy RS with bitmatrix expansion;
+* :mod:`repro.codes.piggyback` — piggybacked RS (cheap single repair);
 * :mod:`repro.codes.vertical` — X-Code and WEAVER (comparison extensions);
 * :mod:`repro.codes.registry` — spec-string parsing (``"rs-6-3"``).
 """
@@ -12,6 +13,7 @@
 from .base import DecodeFailure, ErasureCode, MatrixCode
 from .cauchy_rs import CauchyReedSolomonCode, make_cauchy_rs
 from .lrc import LocalReconstructionCode, make_lrc
+from .piggyback import PiggybackRSCode, make_pb_rs
 from .raid6 import EvenOddCode, RDPCode, StarCode, make_evenodd, make_rdp, make_star
 from .reed_solomon import ReedSolomonCode, make_rs
 from .registry import CODE_FACTORIES, parse_code_spec, register_code_factory
@@ -27,6 +29,8 @@ __all__ = [
     "make_lrc",
     "CauchyReedSolomonCode",
     "make_cauchy_rs",
+    "PiggybackRSCode",
+    "make_pb_rs",
     "VerticalCode",
     "XCode",
     "WeaverCode",

@@ -157,6 +157,24 @@ class ErasureCode(ABC):
         """Number of element reads needed to repair ``lost`` from scratch."""
         return len(self.repair_plan(lost))
 
+    def repair_candidates(
+        self, lost: int, have: frozenset[int] = frozenset()
+    ) -> list[dict[int, float]]:
+        """Alternative repair read-sets for ``lost``, as ``{helper: fraction}``.
+
+        Each candidate maps helper element indices to the fraction of the
+        element's bytes the reconstruction consumes — sub-element repair
+        (piggybacked codes) reads the whole slot off the disk but only
+        ships that fraction over the network.  Contract: every candidate's
+        *whole-element* support set must decode ``[lost]`` on its own, so
+        the data plane can always fall back to full-element decoding.
+        The minimum-transfer planner (:mod:`repro.net.planner`) prices the
+        candidates against a rack topology and picks the cheapest.
+
+        The default is the single conventional plan at full fraction.
+        """
+        return [{h: 1.0 for h in self.repair_plan(lost, have)}]
+
     # ------------------------------------------------------------------
     # verification helpers
     # ------------------------------------------------------------------
@@ -306,6 +324,25 @@ class MatrixCode(ErasureCode):
         erased: Sequence[int],
         element_size: int,
     ) -> dict[int, np.ndarray]:
+        try:
+            return self._decode_strict(available, erased, element_size)
+        except DecodeFailure:
+            # The strict path solves erased data then re-encodes erased
+            # parity from the full data row, which rejects sparse helper
+            # sets (e.g. a minimum-transfer set mixing a local parity with
+            # globals) that are nonetheless sufficient.  Fall back to
+            # per-element span reconstruction; re-raise if even that fails.
+            out = self._decode_by_span(available, erased, element_size)
+            if out is None:
+                raise
+            return out
+
+    def _decode_strict(
+        self,
+        available: Mapping[int, np.ndarray],
+        erased: Sequence[int],
+        element_size: int,
+    ) -> dict[int, np.ndarray]:
         erased_list = [int(e) for e in erased]
         erased_set = set(erased_list)
         if erased_set & set(available.keys()):
@@ -353,6 +390,68 @@ class MatrixCode(ErasureCode):
                     self.field.axpy(buf, int(row[j]), full_symbols[j], trusted=True)
                 solved[e] = self._bytes_of(buf)
         return {e: solved[e] for e in erased_list}
+
+    def _decode_by_span(
+        self,
+        available: Mapping[int, np.ndarray],
+        erased: Sequence[int],
+        element_size: int,
+    ) -> dict[int, np.ndarray] | None:
+        """Reconstruct each erased element as a GF-linear combination of the
+        available payloads, or None if any erased row is outside their span.
+
+        This realizes the maximally-recoverable contract for helper subsets
+        the strict path cannot use: an element is recoverable from a helper
+        set iff its generator row lies in the span of the helpers' rows, in
+        which case the same combination applied to the payloads yields the
+        element bytes.
+        """
+        f = self.field
+        payloads = {
+            int(i): self._payload(buf, element_size)[0] for i, buf in available.items()
+        }
+        helpers = sorted(payloads)
+        symbols = {
+            h: self._symbols(payloads[h][np.newaxis, :])[0] for h in helpers
+        }
+        symbol_count = self._symbols(
+            np.zeros((1, element_size), dtype=np.uint8)
+        ).shape[1]
+        out: dict[int, np.ndarray] = {}
+        for e in (int(x) for x in erased):
+            coeffs = self._span_coefficients(helpers, e)
+            if coeffs is None:
+                return None
+            acc = np.zeros(symbol_count, dtype=f.dtype)
+            for h, c in coeffs.items():
+                f.axpy(acc, c, symbols[h], trusted=True)
+            out[e] = self._bytes_of(acc)
+        return out
+
+    def _span_coefficients(
+        self, helpers: Sequence[int], target: int
+    ) -> dict[int, int] | None:
+        """Coefficients ``{helper: c}`` with ``row(target) = Σ c·row(helper)``
+        over the field, or None when the target row is outside the span."""
+        f = self.field
+        rows = self._generator[list(helpers)]
+        r = gfm.rank(f, rows)
+        if r == 0:
+            return None
+        basis = self._independent_rows(rows.copy(), r)
+        sub = rows[basis]
+        cols = self._independent_rows(np.ascontiguousarray(sub.T), r)
+        square = sub[:, cols].T
+        b = self._generator[target][cols]
+        y = gfm.solve(f, square, b)
+        combo = np.zeros(self.k, dtype=f.dtype)
+        for i in range(r):
+            f.axpy(combo, int(y[i]), sub[i], trusted=True)
+        if not np.array_equal(combo, self._generator[target]):
+            return None
+        return {
+            helpers[basis[i]]: int(y[i]) for i in range(r) if int(y[i])
+        }
 
     def _solve_data(
         self,
@@ -450,6 +549,33 @@ class MatrixCode(ErasureCode):
         preference = sorted(
             survivors,
             key=lambda i: (i not in have, self.is_parity(i), i),
+        )
+        for size in range(self.k, len(survivors) + 1):
+            candidate = frozenset(preference[:size])
+            if self._repairable_from(lost, candidate):
+                return candidate
+        raise DecodeFailure(f"element {lost} cannot be repaired from survivors")
+
+    def repair_plan_costed(
+        self,
+        lost: int,
+        cost,
+        have: frozenset[int] = frozenset(),
+    ) -> frozenset[int]:
+        """Cost-directed variant of :meth:`repair_plan`.
+
+        ``cost(element) -> float`` prices each survivor (the topology
+        planner charges cross-rack helpers above in-rack ones); the greedy
+        prefix prefers cheap survivors first, then ``have`` members, then
+        data over parity, and widens until solvable — same solvability
+        guarantee as :meth:`repair_plan`, different preference order.
+        """
+        if not 0 <= lost < self.n:
+            raise ValueError(f"element index {lost} out of range for n={self.n}")
+        survivors = [i for i in range(self.n) if i != lost]
+        preference = sorted(
+            survivors,
+            key=lambda i: (cost(i), i not in have, self.is_parity(i), i),
         )
         for size in range(self.k, len(survivors) + 1):
             candidate = frozenset(preference[:size])

@@ -146,6 +146,23 @@ class LocalReconstructionCode(MatrixCode):
             return frozenset(self.data_of_group(lost - self.k))
         return frozenset(range(self.k))
 
+    def repair_candidates(
+        self, lost: int, have: frozenset[int] = frozenset()
+    ) -> list[dict[int, float]]:
+        """Local-group plan first, then the generic global set.
+
+        The local set is what makes LRC cheap, but when the group is
+        scattered across racks and the global parities are co-located
+        with the repair site, the k-element global set can ship fewer
+        cross-rack bytes — so both are offered and the topology planner
+        prices them.
+        """
+        candidates = [{h: 1.0 for h in self.repair_plan(lost, have)}]
+        global_set = MatrixCode.repair_plan(self, lost, have)
+        if global_set != frozenset(candidates[0]):
+            candidates.append({h: 1.0 for h in global_set})
+        return candidates
+
     # ------------------------------------------------------------------
     # information-theoretic decodability oracle (topology-level)
     # ------------------------------------------------------------------

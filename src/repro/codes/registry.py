@@ -11,6 +11,7 @@ from typing import Callable
 from .base import ErasureCode
 from .cauchy_rs import make_cauchy_rs
 from .lrc import make_lrc
+from .piggyback import make_pb_rs
 from .reed_solomon import make_rs
 
 __all__ = ["CODE_FACTORIES", "parse_code_spec", "register_code_factory"]
@@ -20,6 +21,7 @@ CODE_FACTORIES: dict[str, tuple[Callable[..., ErasureCode], int]] = {
     "rs": (make_rs, 2),
     "lrc": (make_lrc, 3),
     "cauchy-rs": (make_cauchy_rs, 2),
+    "pb-rs": (make_pb_rs, 2),
 }
 
 

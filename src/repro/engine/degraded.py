@@ -10,6 +10,13 @@ A structural invariant shared by all three placement forms makes single-
 failure planning exact: every candidate row has **exactly one element per
 disk**, so one failed disk erases at most one element of any row and the
 single-loss repair API suffices (asserted below).
+
+With a :class:`~repro.net.Topology` attached, helper selection goes
+through the minimum-transfer planner: candidate repair sets are priced
+by cross-rack bytes then bytes moved against the failed disk's rack.
+Either way the plan records its repair traffic in
+:attr:`AccessPlan.repair_reads`, so any plan can be summarized against
+any topology (the benchmarks compare planners this way).
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ def plan_degraded_read(
     request: ReadRequest,
     failed_disk: int,
     element_size: int,
+    topology=None,
 ) -> AccessPlan:
     """Build the access plan of a read with ``failed_disk`` down.
 
@@ -38,6 +46,11 @@ def plan_degraded_read(
         Disk id that is unavailable.
     element_size:
         Element payload size in bytes.
+    topology:
+        Optional :class:`repro.net.Topology`; when given, each lost
+        element's helpers come from
+        :func:`repro.net.plan_min_transfer_repair` with the failed
+        disk's rack as the repair site.
     """
     if element_size <= 0:
         raise ValueError(f"element size must be > 0, got {element_size}")
@@ -69,16 +82,34 @@ def plan_degraded_read(
         surviving_by_row.setdefault(row, set()).add(e)
 
     # Pass 2: reconstruction fetches for each lost element.
+    site_rack = topology.rack_of(failed_disk) if topology is not None else None
     for row, e in lost:
         have = frozenset(surviving_by_row.get(row, set()))
-        helpers = code.repair_plan(e, have)
-        for h in sorted(helpers):
+        if topology is None:
+            reads = [(h, 1.0) for h in sorted(code.repair_plan(e, have))]
+        else:
+            from ..net.planner import plan_min_transfer_repair
+
+            transfer = plan_min_transfer_repair(
+                code,
+                e,
+                element_rack=lambda h, row=row: topology.rack_of(
+                    placement.locate_row_element(row, h).disk
+                ),
+                site_rack=site_rack,
+                element_size=element_size,
+                have=have,
+            )
+            reads = list(transfer.reads)
+        plan.repair_sets += 1
+        for h, fraction in reads:
             addr = placement.locate_row_element(row, h)
             if addr.disk == failed_disk:  # pragma: no cover - repair invariant
                 raise AssertionError(
                     f"repair plan for row {row} element {e} uses helper {h} "
                     f"on the failed disk"
                 )
+            plan.repair_reads.append((addr, _ship_bytes(fraction, element_size)))
             if addr in planned:
                 continue
             plan.add(
@@ -88,3 +119,9 @@ def plan_degraded_read(
             )
             planned.add(addr)
     return plan
+
+
+def _ship_bytes(fraction: float, element_size: int) -> int:
+    from ..net.planner import ship_bytes
+
+    return ship_bytes(fraction, element_size)

@@ -66,6 +66,13 @@ class AccessPlan:
     accesses: list[ElementAccess] = field(default_factory=list)
     #: disk that failed (degraded plans) or None (normal plans).
     failed_disk: int | None = None
+    #: network repair traffic, one ``(address, shipped bytes)`` per helper
+    #: read of every reconstruction set — helpers shared with requested
+    #: fetches included (their bytes travel either way).  Disks always
+    #: read whole slots; sub-element plans ship fewer bytes than fetched.
+    repair_reads: list[tuple[Address, int]] = field(default_factory=list)
+    #: number of reconstruction sets (lost elements repaired) in the plan.
+    repair_sets: int = 0
 
     def add(self, access: ElementAccess) -> None:
         """Append an access (planners must not double-book an address)."""
@@ -93,6 +100,11 @@ class AccessPlan:
     def read_cost(self) -> float:
         """Paper's degraded read cost: elements fetched / elements requested."""
         return self.total_elements_read / self.request.count
+
+    @property
+    def repair_bytes_moved(self) -> int:
+        """Network bytes the plan's reconstruction sets ship."""
+        return sum(nbytes for _, nbytes in self.repair_reads)
 
     def per_disk_loads(self) -> Counter:
         """Access count per disk — Figure 3 / Figure 7 histograms."""

@@ -1,0 +1,28 @@
+"""Network topology and minimum-transfer repair planning.
+
+* :mod:`repro.net.topology` — :class:`Topology` (disk→rack map +
+  :class:`LinkCost`), :class:`InvalidTopologyError`;
+* :mod:`repro.net.planner` — :func:`plan_min_transfer_repair` and the
+  :class:`TransferSummary` counters behind the ``net.*`` metrics.
+"""
+
+from .planner import (
+    RepairTransferPlan,
+    TransferSummary,
+    plan_min_transfer_repair,
+    score_reads,
+    ship_bytes,
+)
+from .topology import DEFAULT_LINK, InvalidTopologyError, LinkCost, Topology
+
+__all__ = [
+    "Topology",
+    "LinkCost",
+    "DEFAULT_LINK",
+    "InvalidTopologyError",
+    "TransferSummary",
+    "RepairTransferPlan",
+    "plan_min_transfer_repair",
+    "score_reads",
+    "ship_bytes",
+]

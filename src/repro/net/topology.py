@@ -1,0 +1,244 @@
+"""Rack/network topology for the simulated cluster.
+
+The paper's disk model times what the *spindles* do; production EC
+clusters are additionally gated by what the *network* does, and the two
+costs are wildly asymmetric: intra-rack links run at full line rate
+while cross-rack traffic shares an oversubscribed aggregation layer
+(Rashmi et al.'s Facebook-warehouse study measures repair traffic
+saturating exactly that layer).  :class:`Topology` gives every disk a
+rack and prices a transfer by whether it crosses racks, in the same
+seconds-per-byte units as :meth:`repro.disks.model.DiskModel.service_time_s`
+— so a batch makespan can add "ship the fetched bytes to the reader" on
+top of "read the bytes off the platters" per disk and take the max.
+
+The model is deliberately two-level (intra-rack vs cross-rack): that is
+the distinction the minimum-transfer repair planner optimizes for, and
+the one the repair-bandwidth literature measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+__all__ = ["InvalidTopologyError", "LinkCost", "DEFAULT_LINK", "Topology"]
+
+
+class InvalidTopologyError(ValueError):
+    """A rack map that cannot describe the array it is attached to.
+
+    Raised for maps that do not cover every disk exactly once (missing or
+    out-of-range disk ids), maps whose size disagrees with the array being
+    opened, unparsable ``--topology`` specs, and out-of-range rack lookups.
+    """
+
+
+@dataclass(frozen=True)
+class LinkCost:
+    """Two-level link model, in bytes/second and seconds.
+
+    Defaults approximate a 10 GbE access layer with a 10:1 oversubscribed
+    aggregation layer: intra-rack moves at 1.25 GB/s, cross-rack at an
+    effective 125 MB/s, with a small fixed per-transfer latency each.
+    """
+
+    intra_rack_bps: float = 1.25e9
+    cross_rack_bps: float = 1.25e8
+    intra_rack_rtt_s: float = 0.05e-3
+    cross_rack_rtt_s: float = 0.5e-3
+
+    def __post_init__(self) -> None:
+        if self.intra_rack_bps <= 0 or self.cross_rack_bps <= 0:
+            raise ValueError("link bandwidths must be > 0")
+        if self.intra_rack_rtt_s < 0 or self.cross_rack_rtt_s < 0:
+            raise ValueError("link RTTs must be >= 0")
+
+    def transfer_time_s(self, nbytes: int, cross_rack: bool) -> float:
+        """Seconds to ship ``nbytes`` over one link (0 bytes costs 0)."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        if cross_rack:
+            return self.cross_rack_rtt_s + nbytes / self.cross_rack_bps
+        return self.intra_rack_rtt_s + nbytes / self.intra_rack_bps
+
+
+#: the stock link model used when a topology does not supply its own.
+DEFAULT_LINK = LinkCost()
+
+
+class Topology:
+    """Immutable disk→rack assignment plus a :class:`LinkCost`.
+
+    Parameters
+    ----------
+    rack_map:
+        ``rack_map[disk] -> rack`` as a sequence (disk id is the position)
+        or a mapping whose keys must be exactly ``0..num_disks-1``.  Rack
+        ids are arbitrary non-negative ints.
+    link:
+        Link-cost model; :data:`DEFAULT_LINK` when omitted.
+    reader_rack:
+        Rack the frontend/reader sits in (where fetched bytes terminate);
+        defaults to the smallest rack id.
+    """
+
+    def __init__(
+        self,
+        rack_map: Sequence[int] | Mapping[int, int],
+        *,
+        link: LinkCost | None = None,
+        reader_rack: int | None = None,
+    ) -> None:
+        if isinstance(rack_map, Mapping):
+            keys = sorted(rack_map)
+            if keys != list(range(len(keys))):
+                raise InvalidTopologyError(
+                    f"rack map keys {keys} must be exactly 0..{len(keys) - 1}: "
+                    "every disk needs a rack"
+                )
+            racks = [rack_map[d] for d in keys]
+        else:
+            racks = list(rack_map)
+        if not racks:
+            raise InvalidTopologyError("rack map is empty; no disks covered")
+        for d, r in enumerate(racks):
+            if not isinstance(r, int) or isinstance(r, bool) or r < 0:
+                raise InvalidTopologyError(
+                    f"disk {d} assigned invalid rack {r!r} (need an int >= 0)"
+                )
+        self._racks = tuple(racks)
+        self.link = link if link is not None else DEFAULT_LINK
+        self.racks: tuple[int, ...] = tuple(sorted(set(self._racks)))
+        self.reader_rack = self.racks[0] if reader_rack is None else reader_rack
+        if self.reader_rack not in self.racks:
+            raise InvalidTopologyError(
+                f"reader rack {self.reader_rack} is not one of {self.racks}"
+            )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def flat(cls, num_disks: int, **kwargs) -> "Topology":
+        """Every disk in one rack: network cost is uniform (intra-rack)."""
+        if num_disks <= 0:
+            raise InvalidTopologyError(f"num_disks must be > 0, got {num_disks}")
+        return cls([0] * num_disks, **kwargs)
+
+    @classmethod
+    def uniform(cls, num_disks: int, racks: int, **kwargs) -> "Topology":
+        """``racks`` contiguous, near-equal rack blocks over the disks."""
+        if num_disks <= 0:
+            raise InvalidTopologyError(f"num_disks must be > 0, got {num_disks}")
+        if not 0 < racks <= num_disks:
+            raise InvalidTopologyError(
+                f"racks must be in 1..{num_disks}, got {racks}"
+            )
+        return cls([d * racks // num_disks for d in range(num_disks)], **kwargs)
+
+    @classmethod
+    def from_spec(cls, spec: "str | Topology", num_disks: int, **kwargs) -> "Topology":
+        """Parse a CLI/config topology spec for an array of ``num_disks``.
+
+        Accepted forms: ``"flat"``; ``"racks:R"`` for R contiguous rack
+        blocks; an explicit comma-separated disk→rack list (``"0,0,1,1"``).
+        A pre-built :class:`Topology` passes through after a size check.
+        """
+        if isinstance(spec, Topology):
+            spec.validate_for(num_disks)
+            return spec
+        text = spec.strip().lower()
+        if text == "flat":
+            return cls.flat(num_disks, **kwargs)
+        if text.startswith("racks:"):
+            try:
+                racks = int(text.split(":", 1)[1])
+            except ValueError as exc:
+                raise InvalidTopologyError(f"bad rack count in spec {spec!r}") from exc
+            return cls.uniform(num_disks, racks, **kwargs)
+        if "," in text:
+            try:
+                rack_map = [int(part) for part in text.split(",")]
+            except ValueError as exc:
+                raise InvalidTopologyError(
+                    f"non-integer rack id in spec {spec!r}"
+                ) from exc
+            topo = cls(rack_map, **kwargs)
+            topo.validate_for(num_disks)
+            return topo
+        raise InvalidTopologyError(
+            f"unknown topology spec {spec!r}; expected 'flat', 'racks:R', "
+            "or an explicit disk->rack list like '0,0,1,1'"
+        )
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_disks(self) -> int:
+        return len(self._racks)
+
+    @property
+    def num_racks(self) -> int:
+        return len(self.racks)
+
+    def rack_of(self, disk: int) -> int:
+        """Rack id of ``disk``."""
+        if not 0 <= disk < len(self._racks):
+            raise InvalidTopologyError(
+                f"disk {disk} out of range for {len(self._racks)}-disk topology"
+            )
+        return self._racks[disk]
+
+    def disks_in(self, rack: int) -> list[int]:
+        """Disk ids assigned to ``rack`` (possibly empty), ascending."""
+        return [d for d, r in enumerate(self._racks) if r == rack]
+
+    def is_cross_rack(self, disk: int, rack: int) -> bool:
+        """True if a ``disk -> rack`` transfer crosses racks."""
+        return self.rack_of(disk) != rack
+
+    def validate_for(self, num_disks: int, what: str = "disks") -> None:
+        """Raise :class:`InvalidTopologyError` unless the map covers
+        exactly ``num_disks`` entries."""
+        if self.num_disks != num_disks:
+            raise InvalidTopologyError(
+                f"topology covers {self.num_disks} {what}, "
+                f"but the array has {num_disks}"
+            )
+
+    # ------------------------------------------------------------------
+    # cost model
+    # ------------------------------------------------------------------
+    def transfer_time_s(self, nbytes: int, src_disk: int, dst_rack: int | None = None) -> float:
+        """Seconds to ship ``nbytes`` from ``src_disk`` to ``dst_rack``
+        (the reader rack when omitted).  Composable with
+        ``DiskModel.service_time_s``: completion of a disk's contribution
+        is its service time plus this."""
+        dst = self.reader_rack if dst_rack is None else dst_rack
+        return self.link.transfer_time_s(nbytes, self.is_cross_rack(src_disk, dst))
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        sizes = "+".join(str(len(self.disks_in(r))) for r in self.racks)
+        return (
+            f"topology({self.num_disks} disks / {self.num_racks} racks "
+            f"[{sizes}], reader in rack {self.reader_rack})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Topology({list(self._racks)!r}, reader_rack={self.reader_rack})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Topology):
+            return NotImplemented
+        return (
+            self._racks == other._racks
+            and self.link == other.link
+            and self.reader_rack == other.reader_rack
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._racks, self.link, self.reader_rack))

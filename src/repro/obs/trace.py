@@ -4,8 +4,8 @@ A :class:`Tracer` records *spans* — named, timed stages of a request —
 so a run can answer "where does degraded-read time go?" instead of only
 reporting end-of-run aggregates.  The read path emits the stages
 
-``plan``, ``cache_lookup``, ``queue_wait``, ``disk_io``, ``decode``,
-``heal``, ``retry``, ``hedge``
+``plan``, ``cache_lookup``, ``queue_wait``, ``disk_io``,
+``net_transfer``, ``decode``, ``heal``, ``retry``, ``hedge``
 
 plus one ``request``-kind parent span per submitted range.  Spans carry a
 ``clock`` marker: ``"wall"`` spans are measured on the tracer's monotonic
@@ -35,6 +35,7 @@ STAGES = (
     "cache_lookup",
     "queue_wait",
     "disk_io",
+    "net_transfer",
     "decode",
     "heal",
     "retry",

@@ -189,6 +189,7 @@ class DiskRebuild:
         _resume_committed: set[int] | None = None,
         _resume_order: list[int] | None = None,
         _resume_rows: int | None = None,
+        _resume_staged: str | None = None,
     ) -> None:
         if crash_after is not None and crash_after not in REBUILD_CRASH_POINTS:
             raise ValueError(
@@ -218,6 +219,27 @@ class DiskRebuild:
         self.crash_after = crash_after
         self.crash_at_window = crash_at_window
         self.max_barren_rounds = max_barren_rounds
+
+        # What each stage record holds, persisted in the WAL context so a
+        # resume replays it the same way:
+        #   "row-data"      — the k verified data payloads of every row
+        #                     (lost elements re-derived at apply time);
+        #   "lost-elements" — only the reconstructed lost payloads, fetched
+        #                     through the minimum-transfer repair planner.
+        # Topology-attached stores default to lost-elements so rebuild
+        # traffic follows the same rack-aware plans as degraded reads.
+        if _resume_staged is not None:
+            if _resume_staged not in ("row-data", "lost-elements"):
+                raise RecoveryError(
+                    f"unknown staged payload mode {_resume_staged!r} in journal"
+                )
+            self.staged_mode = _resume_staged
+        else:
+            self.staged_mode = (
+                "lost-elements"
+                if getattr(store, "topology", None) is not None
+                else "row-data"
+            )
 
         # a resume rebuilds the journal's *planned* rows: rows appended
         # after the plan record landed on a live (bound-spare) array and
@@ -298,7 +320,17 @@ class DiskRebuild:
             "windows": self.num_windows,
             "element_size": self.store.element_size,
             "order": list(self.order),
+            "staged": self.staged_mode,
         }
+
+    def _lost_elements(self, row: int) -> list[int]:
+        """Element indices of ``row`` living on the rebuilt disk, ascending."""
+        placement = self.store.placement
+        return [
+            e
+            for e in range(self.store.code.n)
+            if placement.locate_row_element(row, e).disk == self.failed_disk
+        ]
 
     # ------------------------------------------------------------------
     # progress
@@ -416,9 +448,19 @@ class DiskRebuild:
         with self.tracer.span(
             "rebuild", disk=self.failed_disk, window=window, rows=len(rows)
         ):
-            # stage: verified data payloads (faulted elements repaired on
-            # the way; a not-yet-rebuilt slot on the spare self-heals here)
-            payloads = [self.store.fetch_row_data(row) for row in rows]
+            # stage: verified payloads (faulted elements repaired on the
+            # way; a not-yet-rebuilt slot on the spare self-heals here).
+            # In lost-elements mode only the reconstructed targets are
+            # staged, fetched through the min-transfer repair planner.
+            if self.staged_mode == "lost-elements":
+                payloads = []
+                for row in rows:
+                    repaired = self.store.fetch_repair_payloads(
+                        row, self._lost_elements(row)
+                    )
+                    payloads.append([repaired[e] for e in sorted(repaired)])
+            else:
+                payloads = [self.store.fetch_row_data(row) for row in rows]
             if self.store.array[self.failed_disk].failed:
                 # the bound spare died during the fetches.  Faults fire
                 # on batch entry and writes never tick the clock, so
@@ -462,22 +504,24 @@ class DiskRebuild:
                     f"simulated crash mid-reconstruct of window {window} "
                     f"(row {row})"
                 )
-            lost = [
-                e
-                for e in range(self.store.code.n)
-                if placement.locate_row_element(row, e).disk == self.failed_disk
-            ]
+            lost = self._lost_elements(row)
             if not lost:
                 continue
-            data = np.stack(
-                [np.frombuffer(p, dtype=np.uint8) for p in payloads[i]]
-            )
-            parity = (
-                self.store.code.encode(data) if any(e >= k for e in lost) else None
-            )
-            for e in lost:
+            if self.staged_mode == "lost-elements":
+                # the staged record *is* the lost payloads, in lost order
+                targets = list(zip(lost, payloads[i]))
+            else:
+                data = np.stack(
+                    [np.frombuffer(p, dtype=np.uint8) for p in payloads[i]]
+                )
+                parity = (
+                    self.store.code.encode(data) if any(e >= k for e in lost) else None
+                )
+                targets = [
+                    (e, data[e] if e < k else parity[e - k]) for e in lost
+                ]
+            for e, payload in targets:
                 addr = placement.locate_row_element(row, e)
-                payload = data[e] if e < k else parity[e - k]
                 if self.store.put_element(addr, payload):
                     self.bytes_repaired += s
                 else:
@@ -607,6 +651,7 @@ def resume_disk_rebuild(
         _resume_committed=set(state.committed),
         _resume_order=[int(w) for w in ctx["order"]],
         _resume_rows=int(ctx["rows"]),
+        _resume_staged=str(ctx.get("staged", "row-data")),
     )
     if rb.num_windows != ctx["windows"]:
         raise RecoveryError(

@@ -48,6 +48,7 @@ from ..engine.planner import plan_normal_read
 from ..engine.requests import AccessPlan, ReadRequest
 from ..layout import Placement, make_placement
 from ..layout.base import Address
+from ..net import Topology, TransferSummary, plan_min_transfer_repair
 from ..obs import NULL_TRACER, MetricsRegistry, Tracer
 from .verify import crc32c
 
@@ -104,6 +105,13 @@ class BlockStore:
         Metrics registry to publish ``health`` and ``disks`` collectors
         into (and the array's batch-service histogram).  ``None`` (the
         default) skips registration entirely.
+    topology:
+        Optional :class:`repro.net.Topology` (or a spec string for
+        :meth:`Topology.from_spec`) assigning the array's disks to racks.
+        When set, degraded reads and rebuilds plan minimum-transfer
+        repair sets, read makespans include network shipping time (the
+        ``net_transfer`` tracer stage), and repair traffic is counted
+        into the ``net.*`` metrics namespace.
     """
 
     def __init__(
@@ -115,6 +123,7 @@ class BlockStore:
         *,
         tracer: Tracer | None = None,
         registry: MetricsRegistry | None = None,
+        topology: Topology | str | None = None,
     ) -> None:
         if element_size <= 0:
             raise ValueError(f"element size must be > 0, got {element_size}")
@@ -130,11 +139,21 @@ class BlockStore:
         #: write-time CRC32C per physical address; verified on every read.
         self._checksums: dict[tuple[int, int], int] = {}
         self.health = HealthCounters()
+        self.topology = (
+            Topology.from_spec(topology, code.n) if topology is not None else None
+        )
+        #: ``net.*`` repair-traffic counters (None without a topology).
+        self.net: TransferSummary | None = (
+            TransferSummary() if self.topology is not None else None
+        )
+        self._net_time_s = 0.0
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.registry = registry
         if registry is not None:
             registry.register_collector("health", self.health.snapshot)
             registry.register_collector("disks", self.array.stats_snapshot)
+            if self.topology is not None:
+                registry.register_collector("net", self.net_snapshot)
             self.array.bind_registry(registry)
         #: physical (start, length) of every flush-inserted zero-pad run,
         #: ascending and disjoint; the logical<->physical translation walks
@@ -290,6 +309,62 @@ class BlockStore:
                 continue
         raise DiskFailedError(f"row {row}: disks kept failing mid-fetch")
 
+    def fetch_repair_payloads(self, row: int, lost: Sequence[int]) -> dict[int, bytes]:
+        """Reconstruct the payloads of ``lost`` elements of candidate
+        ``row`` from a minimum-transfer helper set.
+
+        The staging primitive of topology-aware rebuilds: with a topology
+        attached (and a single lost element, the rebuild case) the helper
+        set comes from :func:`repro.net.plan_min_transfer_repair` against
+        the lost element's rack and its traffic lands in the ``net.*``
+        counters; otherwise every surviving row element is fetched.  A
+        faulted helper escalates to a whole-row repair exactly like
+        :meth:`rebuild_disk` (self-healing the helper on the way).
+        Raises :class:`DecodeFailure` when the row is undecodable.
+        """
+        lost = sorted(set(lost))
+        if not lost:
+            return {}
+        if not 0 <= row < self.rows_written:
+            raise ValueError(f"row {row} out of range [0, {self.rows_written})")
+        for _ in range(len(self.array) + 1):
+            try:
+                transfer = None
+                if self.topology is not None and len(lost) == 1:
+                    e = lost[0]
+                    site_disk = self.placement.locate_row_element(row, e).disk
+                    transfer = plan_min_transfer_repair(
+                        self.code,
+                        e,
+                        element_rack=lambda h: self.topology.rack_of(
+                            self.placement.locate_row_element(row, h).disk
+                        ),
+                        site_rack=self.topology.rack_of(site_disk),
+                        element_size=self.element_size,
+                    )
+                    need = sorted(transfer.elements)
+                else:
+                    need = [i for i in range(self.code.n) if i not in lost]
+                good, bad = self._fetch_elements(row, need)
+                if not bad:
+                    available = {
+                        h: np.frombuffer(buf, dtype=np.uint8)
+                        for h, buf in good.items()
+                    }
+                    recovered = self.code.decode(available, lost, self.element_size)
+                    if transfer is not None and self.net is not None:
+                        self.net.add(transfer.summary())
+                    return {e: recovered[e].tobytes() for e in lost}
+                # a helper is faulted: escalate to a whole-row repair,
+                # which reconstructs the targets and self-heals the helper.
+                for e in lost:
+                    bad[e] = "rebuild"
+                repaired = self._repair_row(row, good, bad)
+                return {e: repaired[e] for e in lost}
+            except DiskFailedError:
+                continue
+        raise DiskFailedError(f"row {row}: disks kept failing mid-fetch")
+
     # ------------------------------------------------------------------
     # logical <-> physical offset translation
     # ------------------------------------------------------------------
@@ -356,7 +431,11 @@ class BlockStore:
             return plan_normal_read(self.placement, request, self.element_size)
         if len(failed) == 1:
             return plan_degraded_read(
-                self.placement, request, failed[0], self.element_size
+                self.placement,
+                request,
+                failed[0],
+                self.element_size,
+                topology=self.topology,
             )
         raise DecodeFailure(
             f"{len(failed)} disks down; use read_degraded_multi for "
@@ -382,10 +461,13 @@ class BlockStore:
             )
         if timing.completion_time_s <= 0.0:
             raise ValueError("plan has no accesses; cannot compute a speed")
+        completion_s = timing.completion_time_s
+        if self.topology is not None:
+            completion_s = self._account_network(plan, timing)
         outcome = ReadOutcome(
             plan=plan,
-            completion_time_s=timing.completion_time_s,
-            speed_bps=plan.requested_bytes / timing.completion_time_s,
+            completion_time_s=completion_s,
+            speed_bps=plan.requested_bytes / completion_s,
         )
         elements = self._materialize_plan(plan, timing.payloads or {})
         return self._slice_bytes(elements, plan.request, offset, length), outcome
@@ -459,7 +541,20 @@ class BlockStore:
                 if self.placement.locate_row_element(row, e).disk == disk_id
             ]
             for e in lost:
-                helpers = self.code.repair_plan(e)
+                transfer = None
+                if self.topology is not None:
+                    transfer = plan_min_transfer_repair(
+                        self.code,
+                        e,
+                        element_rack=lambda h, row=row: self.topology.rack_of(
+                            self.placement.locate_row_element(row, h).disk
+                        ),
+                        site_rack=self.topology.rack_of(disk_id),
+                        element_size=self.element_size,
+                    )
+                    helpers = sorted(transfer.elements)
+                else:
+                    helpers = self.code.repair_plan(e)
                 batch: dict[int, list[tuple[int, int]]] = {}
                 helper_addrs: list[tuple[int, Address]] = []
                 for h in helpers:
@@ -490,6 +585,8 @@ class BlockStore:
                     }
                     recovered = self.code.decode(available, [e], self.element_size)
                     self._write_element(addr, recovered[e])
+                    if transfer is not None and self.net is not None:
+                        self.net.add(transfer.summary())
                 else:
                     # a helper is corrupt or unreadable: escalate to a
                     # whole-row repair, which rebuilds the target *and*
@@ -498,6 +595,71 @@ class BlockStore:
                     self._repair_row(row, good, bad)
                 rebuilt += 1
         return rebuilt
+
+    # ------------------------------------------------------------------
+    # network accounting (topology-attached stores only)
+    # ------------------------------------------------------------------
+    def _account_network(self, plan: AccessPlan, timing) -> float:
+        """Price the plan's network shipping on top of the disk batch.
+
+        Every fetched element ships to the reader rack — whole elements
+        for requested fetches, only the planned fraction for
+        reconstruction-only helpers (disks read whole slots; the wire
+        carries less).  Each disk's contribution completes at its service
+        time plus its ship time; the batch completes at the max, so the
+        returned makespan composes ``DiskModel.service_time_s`` with the
+        link model.  Repair traffic is accumulated into :attr:`net`
+        against the failed disk's rack, and the added network time is
+        emitted as a ``net_transfer`` span.
+        """
+        from ..engine.requests import AccessKind
+
+        topo = self.topology
+        ship: dict[int, int] = {}
+        requested: set[Address] = set()
+        for a in plan.accesses:
+            if a.kind is AccessKind.REQUESTED:
+                ship[a.address.disk] = ship.get(a.address.disk, 0) + self.element_size
+                requested.add(a.address)
+        for addr, nbytes in plan.repair_reads:
+            if addr not in requested:
+                ship[addr.disk] = ship.get(addr.disk, 0) + nbytes
+        completion = timing.completion_time_s
+        for disk, disk_time_s in timing.per_disk_time_s.items():
+            total = disk_time_s + topo.transfer_time_s(ship.get(disk, 0), disk)
+            completion = max(completion, total)
+        net_s = completion - timing.completion_time_s
+        self._net_time_s += net_s
+        if plan.repair_reads:
+            site = (
+                topo.rack_of(plan.failed_disk)
+                if plan.failed_disk is not None
+                else topo.reader_rack
+            )
+            moved = plan.repair_bytes_moved
+            cross = sum(
+                nbytes
+                for addr, nbytes in plan.repair_reads
+                if topo.rack_of(addr.disk) != site
+            )
+            self.net.add(
+                TransferSummary(
+                    bytes_moved=moved,
+                    cross_rack_bytes=cross,
+                    repair_sets=plan.repair_sets,
+                    repair_elements=len(plan.repair_reads),
+                )
+            )
+        with self.tracer.span("net_transfer") as sp:
+            sp.set(sim_net_s=net_s, bytes_shipped=sum(ship.values()))
+        return completion
+
+    def net_snapshot(self) -> dict:
+        """The ``net.*`` namespace: repair traffic and network time."""
+        out = self.net.snapshot()
+        out["net_time_s"] = self._net_time_s
+        out["racks"] = self.topology.num_racks
+        return out
 
     # ------------------------------------------------------------------
     # internals

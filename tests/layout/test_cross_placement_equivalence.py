@@ -15,7 +15,7 @@ from repro.codes import parse_code_spec
 from repro.store import BlockStore
 
 FORMS = ("standard", "rotated", "ec-frm")
-SPECS = ("rs-3-2", "rs-6-3", "lrc-6-2-2")
+SPECS = ("rs-3-2", "rs-6-3", "lrc-6-2-2", "pb-rs-6-3")
 ELEMENT_SIZE = 64
 ROWS = 7
 

@@ -1,0 +1,138 @@
+"""Topology construction, validation and the link-cost model."""
+
+import pytest
+
+from repro.net import DEFAULT_LINK, InvalidTopologyError, LinkCost, Topology
+
+
+class TestConstruction:
+    def test_sequence_map(self):
+        topo = Topology([0, 0, 1, 1, 2])
+        assert topo.num_disks == 5
+        assert topo.num_racks == 3
+        assert topo.racks == (0, 1, 2)
+        assert [topo.rack_of(d) for d in range(5)] == [0, 0, 1, 1, 2]
+
+    def test_mapping_map(self):
+        topo = Topology({0: 1, 1: 1, 2: 0})
+        assert topo.rack_of(2) == 0
+        assert topo.disks_in(1) == [0, 1]
+
+    def test_mapping_with_gap_rejected(self):
+        with pytest.raises(InvalidTopologyError, match="every disk needs a rack"):
+            Topology({0: 0, 2: 1})
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(InvalidTopologyError, match="empty"):
+            Topology([])
+
+    @pytest.mark.parametrize("bad", [-1, True, "0", 1.5, None])
+    def test_bad_rack_id_rejected(self, bad):
+        with pytest.raises(InvalidTopologyError, match="invalid rack"):
+            Topology([0, bad])
+
+    def test_reader_rack_default_is_smallest(self):
+        assert Topology([3, 1, 2]).reader_rack == 1
+
+    def test_reader_rack_must_exist(self):
+        with pytest.raises(InvalidTopologyError, match="reader rack"):
+            Topology([0, 0, 1], reader_rack=7)
+
+    def test_rack_of_out_of_range(self):
+        topo = Topology([0, 0])
+        with pytest.raises(InvalidTopologyError, match="out of range"):
+            topo.rack_of(2)
+
+    def test_equality_and_hash(self):
+        a = Topology([0, 0, 1])
+        b = Topology([0, 0, 1])
+        assert a == b and hash(a) == hash(b)
+        assert a != Topology([0, 1, 1])
+        assert a != Topology([0, 0, 1], reader_rack=1)
+
+
+class TestConstructors:
+    def test_flat(self):
+        topo = Topology.flat(4)
+        assert topo.num_racks == 1
+        assert topo.disks_in(0) == [0, 1, 2, 3]
+
+    def test_uniform_contiguous_blocks(self):
+        topo = Topology.uniform(9, 3)
+        assert [topo.rack_of(d) for d in range(9)] == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_uniform_uneven(self):
+        topo = Topology.uniform(10, 3)
+        assert topo.num_racks == 3
+        assert sum(len(topo.disks_in(r)) for r in topo.racks) == 10
+
+    @pytest.mark.parametrize("disks,racks", [(0, 1), (4, 0), (4, 5)])
+    def test_bad_geometry_rejected(self, disks, racks):
+        with pytest.raises(InvalidTopologyError):
+            Topology.uniform(disks, racks)
+
+
+class TestFromSpec:
+    def test_flat_spec(self):
+        assert Topology.from_spec("flat", 5) == Topology.flat(5)
+
+    def test_racks_spec(self):
+        assert Topology.from_spec("racks:3", 9) == Topology.uniform(9, 3)
+
+    def test_explicit_list_spec(self):
+        assert Topology.from_spec("0,0,1,1", 4) == Topology([0, 0, 1, 1])
+
+    def test_passthrough_validates_size(self):
+        topo = Topology([0, 0, 1])
+        assert Topology.from_spec(topo, 3) is topo
+        with pytest.raises(InvalidTopologyError, match="covers 3"):
+            Topology.from_spec(topo, 4)
+
+    @pytest.mark.parametrize(
+        "spec", ["racks:x", "0,1,zebra", "rings:3", "0,0,1"]
+    )
+    def test_bad_specs_rejected(self, spec):
+        num = 4  # the 3-entry list is valid syntax but the wrong size
+        with pytest.raises(InvalidTopologyError):
+            Topology.from_spec(spec, num)
+
+
+class TestLinkCost:
+    def test_cross_rack_slower_than_intra(self):
+        n = 1 << 20
+        assert DEFAULT_LINK.transfer_time_s(n, True) > DEFAULT_LINK.transfer_time_s(
+            n, False
+        )
+
+    def test_zero_bytes_costs_zero(self):
+        assert DEFAULT_LINK.transfer_time_s(0, True) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_LINK.transfer_time_s(-1, False)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"intra_rack_bps": 0},
+            {"cross_rack_bps": -1.0},
+            {"intra_rack_rtt_s": -0.1},
+        ],
+    )
+    def test_bad_link_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LinkCost(**kwargs)
+
+    def test_topology_transfer_time_routes_by_rack(self):
+        topo = Topology([0, 1], link=LinkCost())
+        n = 1 << 16
+        # disk 0 shares the reader's rack; disk 1 does not
+        assert topo.transfer_time_s(n, 0) < topo.transfer_time_s(n, 1)
+        # explicit destination rack overrides the reader's
+        assert topo.transfer_time_s(n, 1, dst_rack=1) < topo.transfer_time_s(
+            n, 1, dst_rack=0
+        )
+
+    def test_describe(self):
+        text = Topology([0, 0, 1, 2]).describe()
+        assert "4 disks" in text and "3 racks" in text and "[2+1+1]" in text

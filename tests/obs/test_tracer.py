@@ -125,5 +125,5 @@ class TestBreakdown:
         # the read path's stage names are a stable, documented vocabulary
         assert STAGES == (
             "tier_lookup", "plan", "cache_lookup", "queue_wait", "disk_io",
-            "decode", "heal", "retry", "hedge",
+            "net_transfer", "decode", "heal", "retry", "hedge",
         )

@@ -25,6 +25,7 @@ EXPECTED = [
     "harness",
     "layout",
     "migrate",
+    "net",
     "obs",
     "recovery",
     "reliability",
@@ -58,6 +59,8 @@ EXPECTED = [
     "MigrationJournal",
     "plan_migration",
     "resume_migration",
+    "Topology",
+    "InvalidTopologyError",
     "Tracer",
     "MetricsRegistry",
     "Histogram",
