@@ -12,7 +12,15 @@ uniform 16..64-element spans — is replayed against hash-ring clusters of
   every disk of every shard, the paper's Figure 8/9 bottleneck metric
   lifted to the cluster), measured over the read phase only, which must
   stay <= ``IMBALANCE_BOUND`` under the skew for the hash-ring map;
-* the round-robin baseline at the largest cluster for comparison.
+* the round-robin baseline at the largest cluster for comparison;
+* a **failure-recovery phase**: on a 4-shard cluster per map, shard 1 is
+  drained through ``fail_shard`` (scrub-on-land verified) and the
+  per-survivor recovery spread, recovery imbalance (max/mean stripes
+  received), and recovery makespan (hottest survivor's busy-time delta)
+  are compared across all three maps — the D3 map's imbalance must be
+  strictly lower than the hash ring's — followed by a crash/resume drain
+  of a second shard proving reads stay byte-exact during and after
+  recovery.
 
 Results are exported to ``results/cluster_scaling.json``.
 """
@@ -23,6 +31,8 @@ import pytest
 from conftest import run_once, write_results_json
 
 from repro import open_cluster
+from repro.cluster import RebalanceCrash
+from repro.migrate import MigrationJournal
 
 ELEMENT_SIZE = 4096
 STRIPES = 256
@@ -109,7 +119,55 @@ def _run(map_name: str, shards: int) -> dict:
     }
 
 
-def scenario() -> dict:
+def _run_recovery(map_name: str, tmp_path) -> dict:
+    """Failure-recovery phase: drain shard 1 of a 4-shard cluster, then
+    crash/resume-drain shard 2, verifying byte-exactness throughout."""
+    shards = SHARD_COUNTS[-1]
+    cluster = open_cluster(
+        "rs-6-3", shards=shards, map=map_name,
+        element_size=ELEMENT_SIZE, vnodes=VNODES,
+    )
+    rng = np.random.default_rng(2015)
+    data = rng.integers(
+        0, 256, size=STRIPES * cluster.stripe_bytes, dtype=np.uint8
+    ).tobytes()
+    cluster.append(data)
+
+    report = cluster.fail_shard(1)
+    exact_after_first = cluster.read(0, len(data)) == data
+
+    # second failure with a mid-drain crash: reads must stay exact with
+    # the WAL journal half-applied, and after the resume completes
+    journal_path = tmp_path / f"drain-{map_name}.jsonl"
+    exact_during = exact_after_resume = False
+    try:
+        cluster.fail_shard(
+            2, journal=MigrationJournal(journal_path), crash_after_moves=5
+        )
+    except RebalanceCrash:
+        exact_during = cluster.read(0, len(data)) == data
+        resumed = cluster.resume_recovery(MigrationJournal(journal_path))
+        exact_after_resume = cluster.read(0, len(data)) == data
+        assert resumed.resumed
+    return {
+        "map": map_name,
+        "shards": shards,
+        "failed_shard": report.failed_shard,
+        "stripes_recovered": report.stripes_recovered,
+        "recovery_spread": {
+            str(s): n for s, n in sorted(report.spread.items())
+        },
+        "recovery_spread_bound": report.spread_bound,
+        "recovery_imbalance": report.imbalance,
+        "recovery_makespan_s": report.recovery_makespan_s,
+        "source_drain_s": report.source_drain_s,
+        "byte_exact_after_recovery": exact_after_first,
+        "byte_exact_during_crashed_recovery": exact_during,
+        "byte_exact_after_resumed_recovery": exact_after_resume,
+    }
+
+
+def scenario(tmp_path) -> dict:
     return {
         "config": {
             "code": "rs-6-3", "element_size": ELEMENT_SIZE,
@@ -120,17 +178,29 @@ def scenario() -> dict:
         },
         "scaling": [_run("hash-ring", s) for s in SHARD_COUNTS],
         "round_robin_baseline": _run("round-robin", SHARD_COUNTS[-1]),
+        "d3_scaling": [_run("d3", s) for s in SHARD_COUNTS],
+        "failure_recovery": [
+            _run_recovery(m, tmp_path)
+            for m in ("hash-ring", "round-robin", "d3")
+        ],
     }
 
 
 @pytest.mark.benchmark(group="cluster")
-def test_cluster_scaling(benchmark):
-    results = run_once(benchmark, scenario)
+def test_cluster_scaling(benchmark, tmp_path):
+    results = run_once(benchmark, scenario, tmp_path)
     print()
     print("map         shards  tput MiB/s  read imbalance")
-    for row in results["scaling"] + [results["round_robin_baseline"]]:
+    for row in (results["scaling"] + [results["round_robin_baseline"]]
+                + results["d3_scaling"]):
         print(f"{row['map']:<11s} {row['shards']:6d}  "
               f"{row['throughput_mib_s']:10.2f}  {row['read_imbalance']:14.3f}")
+    print()
+    print("recovery    spread bound  rec imbalance  makespan s")
+    for row in results["failure_recovery"]:
+        print(f"{row['map']:<11s} {row['recovery_spread_bound']:12d}  "
+              f"{row['recovery_imbalance']:13.3f}  "
+              f"{row['recovery_makespan_s']:10.3f}")
     benchmark.extra_info.update(results)
     write_results_json("cluster_scaling", results)
 
@@ -146,3 +216,24 @@ def test_cluster_scaling(benchmark):
             f"exceeds {IMBALANCE_BOUND}"
         )
         assert sum(row["stripes_per_shard"].values()) == STRIPES
+
+    # the d3 map scales monotonically too, at exact stripe balance
+    d3_tputs = [row["throughput_mib_s"] for row in results["d3_scaling"]]
+    assert d3_tputs == sorted(d3_tputs), f"non-monotonic d3: {d3_tputs}"
+    for row in results["d3_scaling"]:
+        counts = list(row["stripes_per_shard"].values())
+        assert max(counts) - min(counts) <= 1  # exact-balance signature
+
+    # failure-recovery acceptance: d3 strictly beats the ring on
+    # recovery imbalance at 4 shards, with reads exact throughout
+    recovery = {row["map"]: row for row in results["failure_recovery"]}
+    assert (recovery["d3"]["recovery_imbalance"]
+            < recovery["hash-ring"]["recovery_imbalance"]), (
+        f"d3 {recovery['d3']['recovery_imbalance']:.3f} not < "
+        f"hash-ring {recovery['hash-ring']['recovery_imbalance']:.3f}"
+    )
+    assert recovery["d3"]["recovery_spread_bound"] <= 1
+    for row in results["failure_recovery"]:
+        assert row["byte_exact_after_recovery"], row["map"]
+        assert row["byte_exact_during_crashed_recovery"], row["map"]
+        assert row["byte_exact_after_resumed_recovery"], row["map"]

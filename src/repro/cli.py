@@ -283,7 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cl.add_argument("--code", default="rs-6-3")
     p_cl.add_argument("--shards", type=int, default=3)
     p_cl.add_argument(
-        "--map", choices=("hash-ring", "round-robin"), default="hash-ring"
+        "--map", choices=("hash-ring", "round-robin", "d3"), default="hash-ring"
     )
     p_cl.add_argument("--stripes", type=int, default=48)
     p_cl.add_argument("--element-size", type=int, default=4096)
@@ -305,6 +305,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--add-shard",
         action="store_true",
         help="after reading, rebalance onto a new shard and re-verify",
+    )
+    p_cl.add_argument(
+        "--fail-shard",
+        type=int,
+        default=None,
+        metavar="SHARD",
+        help="after reading, drain this shard onto the survivors through "
+        "the recovery map (scrub-on-land verified) and re-verify reads",
     )
     p_cl.add_argument(
         "--cache",
@@ -1191,12 +1199,18 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
     rollup = cluster.metrics()
     snap = rollup["cluster"]
-    print(f"\nshard  stripes  sub-reads  busy s   failed disks")
+    print(f"\nmap load table: {cluster.map.describe()}")
+    print(f"shard  stripes  sub-reads  busy s  rec-imb   failed disks")
     for sid, s in sorted(snap["per_shard"].items(), key=lambda kv: int(kv[0])):
         failed = ",".join(str(d) for d in s["failed_disks"]) or "-"
+        rec = (
+            f"{s['recovery_imbalance']:7.3f}"
+            if s["recovery_imbalance"] > 0
+            else "      -"
+        )
         print(
             f"{sid:>5s}  {s['stripes']:7d}  {s['sub_reads']:9d}  "
-            f"{s['busy_time_s']:6.3f}   {failed}"
+            f"{s['busy_time_s']:6.3f} {rec}   {failed}"
         )
     tput = (
         f"{result.throughput_mib_s:8.1f} MiB/s"
@@ -1244,6 +1258,26 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             )
         )
         print(f"post-rebalance reads byte-exact: {'OK' if ok else 'FAILED'}")
+
+    if args.fail_shard is not None:
+        try:
+            report = cluster.fail_shard(args.fail_shard)
+        except ValueError as err:
+            print(f"\nfail-shard refused: {err}", file=sys.stderr)
+            return 2
+        spread = " ".join(
+            f"s{sid}:{n}" for sid, n in sorted(report.spread.items())
+        )
+        print(
+            f"\ndrained shard {report.failed_shard}: "
+            f"{report.stripes_recovered} stripes re-hosted onto survivors "
+            f"[{spread}] — spread bound {report.spread_bound}, recovery "
+            f"imbalance {report.imbalance:.3f}, makespan "
+            f"{report.recovery_makespan_s:.3f}s"
+        )
+        again = cluster.submit(ranges, queue_depth=args.queue_depth)
+        ok &= again.payloads == [data[o : o + n] for o, n in ranges]
+        print(f"post-recovery reads byte-exact: {'OK' if ok else 'FAILED'}")
     return 0 if ok else 1
 
 

@@ -4,19 +4,30 @@ Places whole candidate stripes across ``S`` independent
 :class:`~repro.store.blockstore.BlockStore` volumes through a
 deterministic stripe→shard map and serves byte-range reads through a
 scatter-gather :class:`ClusterService` frontend — degraded shards,
-shard-targeted fault injection, cluster-rolled-up metrics, and
-journal-backed stripe rebalancing included.
+shard-targeted fault injection, cluster-rolled-up metrics,
+journal-backed stripe rebalancing, and crash-safe shard-failure drain
+recovery included.
 
 * :mod:`repro.cluster.shardmap` — :class:`HashRingMap` (consistent
-  hashing, virtual nodes, stable under shard addition) and
-  :class:`RoundRobinMap` (balanced baseline, rebalance-excluded);
+  hashing, virtual nodes, stable under shard addition),
+  :class:`RoundRobinMap` (balanced baseline, rebalance-excluded), and
+  :class:`D3Map` (deterministic data distribution: exact read balance
+  *and* ±1-stripe recovery spread across survivors on any
+  single-shard failure, stable 1/(S+1) growth);
 * :mod:`repro.cluster.service` — :class:`ClusterService` and the
   per-shard plumbing (:class:`ShardVolume`, :class:`ShardTracer`);
 * :mod:`repro.cluster.rebalance` — crash-safe stripe moves onto a new
-  shard, reusing the migration write-ahead journal.
+  shard and verified shard drains, reusing the migration write-ahead
+  journal.
 """
 
-from .rebalance import RebalanceCrash, RebalanceReport, run_rebalance
+from .rebalance import (
+    RebalanceCrash,
+    RebalanceReport,
+    RecoveryVerifyError,
+    ShardRecoveryReport,
+    run_rebalance,
+)
 from .service import (
     ClusterCounters,
     ClusterReadResult,
@@ -26,10 +37,11 @@ from .service import (
     ShardTracer,
     ShardVolume,
 )
-from .shardmap import HashRingMap, RoundRobinMap, ShardMap, make_shard_map
+from .shardmap import D3Map, HashRingMap, RoundRobinMap, ShardMap, make_shard_map
 
 __all__ = [
     "ShardMap",
+    "D3Map",
     "HashRingMap",
     "RoundRobinMap",
     "make_shard_map",
@@ -42,5 +54,7 @@ __all__ = [
     "RebalanceCrash",
     "RebalanceReport",
     "RebalanceUnsupportedError",
+    "RecoveryVerifyError",
+    "ShardRecoveryReport",
     "run_rebalance",
 ]

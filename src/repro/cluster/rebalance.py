@@ -22,22 +22,41 @@ ClusterService.resume_rebalance` re-applies it from the staged payloads
 on with the remaining moves.  The source copy of a moved stripe is never
 deleted (shard stores are append-only); it is tracked as garbage rows,
 the cluster's compaction debt.
+
+Shard *failure* recovery rides the exact same mover: draining a failing
+shard (:meth:`~repro.cluster.service.ClusterService.fail_shard`) is a
+rebalance whose target map is :meth:`~repro.cluster.shardmap.ShardMap.
+without_shard` — the moved set is the failed shard's stripes, the WAL
+windows are identical, and ``verify=True`` additionally reads every
+landed stripe back from its new shard and byte-compares it against the
+moved payloads (scrub-on-land), so recovery is verified end to end and
+each survivor's recovery *reads* are accounted on its own disks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - layering: service imports this module
     from ..migrate.journal import MigrationJournal, PendingStage
     from .service import ClusterService
 
-__all__ = ["RebalanceCrash", "RebalanceReport", "run_rebalance"]
+__all__ = [
+    "RebalanceCrash",
+    "RebalanceReport",
+    "RecoveryVerifyError",
+    "ShardRecoveryReport",
+    "run_rebalance",
+]
 
 
 class RebalanceCrash(RuntimeError):
     """Simulated crash during a rebalance (test/demo hook)."""
+
+
+class RecoveryVerifyError(RuntimeError):
+    """A recovered stripe's read-back diverged from the moved payloads."""
 
 
 @dataclass(frozen=True)
@@ -58,6 +77,55 @@ class RebalanceReport:
         return self.stripes_moved / self.stripes_total
 
 
+@dataclass(frozen=True)
+class ShardRecoveryReport:
+    """Outcome of one ``fail_shard`` drain recovery (or its resume).
+
+    Attributes
+    ----------
+    failed_shard:
+        The drained shard.
+    stripes_recovered:
+        Stripes the failed shard owned (all of them re-hosted).
+    windows_committed:
+        WAL windows committed by this call (equals
+        ``stripes_recovered`` on a clean run; fewer on a resumed one).
+    spread:
+        Surviving shard → stripes received, every survivor present
+        (zero-receivers included) so the imbalance statistic is honest.
+    recovery_makespan_s:
+        Max per-*survivor* disk busy-time delta over the recovery —
+        survivors work in parallel, so the hottest one gates completion.
+        The map controls this: a balanced spread parallelizes evenly.
+    source_drain_s:
+        The failed shard's own busy-time delta (the map-independent
+        cost of reading every stripe off the draining shard).
+    """
+
+    failed_shard: int
+    stripes_recovered: int
+    windows_committed: int
+    spread: dict[int, int] = field(default_factory=dict)
+    recovery_makespan_s: float = 0.0
+    source_drain_s: float = 0.0
+    resumed: bool = False
+
+    @property
+    def imbalance(self) -> float:
+        """Max/mean stripes received across survivors (0.0 if none)."""
+        if not self.spread:
+            return 0.0
+        mean = sum(self.spread.values()) / len(self.spread)
+        return (max(self.spread.values()) / mean) if mean > 0 else 0.0
+
+    @property
+    def spread_bound(self) -> int:
+        """Max − min stripes received across survivors."""
+        if not self.spread:
+            return 0
+        return max(self.spread.values()) - min(self.spread.values())
+
+
 def run_rebalance(
     cluster: "ClusterService",
     moved: list[int],
@@ -66,6 +134,7 @@ def run_rebalance(
     committed: set[int] | None = None,
     pending: "PendingStage | None" = None,
     crash_after_moves: int | None = None,
+    verify: bool = False,
 ) -> int:
     """Move ``moved`` stripes to their new shards; returns windows committed.
 
@@ -73,7 +142,10 @@ def run_rebalance(
     supplies the staged payloads of a window that crashed between stage
     and commit.  ``crash_after_moves`` raises :class:`RebalanceCrash`
     after that many moves have committed *and* the next window has been
-    staged — the worst-case WAL crash point.
+    staged — the worst-case WAL crash point.  With ``verify`` (the
+    recovery path), every moved stripe is read back from its new shard
+    through the accounted read path and byte-compared against the moved
+    payloads before its window commits.
     """
     committed = committed or set()
     done = 0
@@ -98,6 +170,14 @@ def run_rebalance(
             # (crash between apply and commit) — the flipped location
             # entry tells us, and re-appending would duplicate the stripe.
             cluster.apply_move(g, target, data_elems)
+        if verify:
+            sid_now, row_now = cluster.locate_stripe(g)
+            landed = cluster.volumes[sid_now].store.fetch_row_data(row_now)
+            if landed != list(data_elems):
+                raise RecoveryVerifyError(
+                    f"stripe {g}: read-back on shard {sid_now} diverged "
+                    "from the moved payloads"
+                )
         if journal is not None:
             journal.write_commit(w)
         done += 1

@@ -37,7 +37,7 @@ from ..engine.service import BatchReadResult, ReadService
 from ..net import Topology, TransferSummary
 from ..obs import NULL_TRACER, Histogram, MetricsRegistry, Tracer
 from ..store.blockstore import BlockStore
-from .rebalance import RebalanceReport, run_rebalance
+from .rebalance import RebalanceReport, ShardRecoveryReport, run_rebalance
 from .shardmap import ShardMap, make_shard_map
 
 if TYPE_CHECKING:  # pragma: no cover - optional collaborators
@@ -142,6 +142,8 @@ class ClusterCounters:
     sub_reads: dict[int, int] = field(default_factory=dict)
     rebalances: int = 0
     stripes_moved: int = 0
+    #: completed single-shard drain recoveries (``fail_shard``).
+    recoveries: int = 0
 
 
 @dataclass(frozen=True)
@@ -344,8 +346,22 @@ class ClusterService:
     # ------------------------------------------------------------------
     @property
     def num_shards(self) -> int:
-        """Shards currently in the cluster."""
+        """Shards currently in the cluster (failed ones included)."""
         return len(self.volumes)
+
+    @property
+    def failed_shards(self) -> set[int]:
+        """Shards drained by :meth:`fail_shard`; they own no stripes."""
+        return set(self.map.excluded)
+
+    @property
+    def live_shard_ids(self) -> list[int]:
+        """Shard ids that can own stripes, ascending."""
+        return [
+            vol.shard_id
+            for vol in self.volumes
+            if vol.shard_id not in self.map.excluded
+        ]
 
     @property
     def stripe_bytes(self) -> int:
@@ -1119,8 +1135,14 @@ class ClusterService:
         state = journal.load()
         ctx = state.context or {}
         if ctx.get("kind") != "cluster-rebalance":
+            hint = (
+                "; use resume_recovery for a shard-failure drain journal"
+                if ctx.get("kind") == "cluster-recovery"
+                else ""
+            )
             raise ValueError(
                 f"journal {journal.path} is not a cluster-rebalance journal"
+                f"{hint}"
             )
         if ctx["to_shards"] != self.map.num_shards:
             raise ValueError(
@@ -1142,6 +1164,190 @@ class ClusterService:
             windows_committed=committed,
             resumed=True,
         )
+
+    # ------------------------------------------------------------------
+    # shard-failure drain recovery
+    # ------------------------------------------------------------------
+    def fail_shard(
+        self,
+        failed: int,
+        *,
+        journal: "MigrationJournal | None" = None,
+        crash_after_moves: int | None = None,
+    ) -> ShardRecoveryReport:
+        """Drain a failing shard: re-host every one of its stripes.
+
+        The cluster swaps its map for :meth:`~repro.cluster.shardmap.
+        ShardMap.without_shard` — the deterministic recovery map — and
+        moves exactly the failed shard's stripes to wherever that map
+        says, through the same staged/committed WAL windows as
+        :meth:`add_shard` (``journal`` / ``crash_after_moves`` /
+        :meth:`resume_recovery` work identically).  Each stripe's data
+        elements are fetched from the draining shard (reconstructing
+        through its own erasure code if disks there have failed),
+        re-encoded on the receiving shard, and *read back* from it for a
+        byte-exact scrub-on-land before the window commits — so every
+        survivor's recovery reads are accounted on its own disks.
+
+        Reads stay byte-correct throughout: routing goes through the
+        stripe-location table, so a stripe serves from the draining
+        shard until the instant it lands on its survivor.  Afterwards
+        the failed shard owns nothing, new appends never place there,
+        and :attr:`failed_shards` reports it.
+
+        The returned :class:`~repro.cluster.rebalance.
+        ShardRecoveryReport` carries the per-survivor spread and the
+        recovery makespan — the map-controlled quantities the D3 map
+        bounds (max − min ≤ 1 stripe) and a hash ring does not.
+        """
+        if not 0 <= failed < len(self.volumes):
+            raise ValueError(
+                f"shard {failed} out of range [0, {len(self.volumes)})"
+            )
+        old_map = self.map
+        new_map = old_map.without_shard(failed)  # validates failed/last-live
+        self.map = new_map
+        moved = [
+            g
+            for g in range(len(self._locations))
+            if new_map.shard_of(g) != old_map.shard_of(g)
+        ]
+        busy_before = self._busy_per_shard()
+        if journal is not None:
+            journal.write_plan(
+                {
+                    "kind": "cluster-recovery",
+                    "map": new_map.name,
+                    "failed_shard": failed,
+                    "to_shards": new_map.num_shards,
+                    "stripes": len(self._locations),
+                    "windows": len(moved),
+                    "moved": moved,
+                    "element_size": self.element_size,
+                }
+            )
+        committed = run_rebalance(
+            self,
+            moved,
+            journal,
+            crash_after_moves=crash_after_moves,
+            verify=True,
+        )
+        self.counters.recoveries += 1
+        return self._recovery_report(
+            failed, moved, committed, busy_before, resumed=False
+        )
+
+    def resume_recovery(self, journal: "MigrationJournal") -> ShardRecoveryReport:
+        """Finish a crashed shard drain from its write-ahead journal.
+
+        The map must already exclude the failed shard (``fail_shard``
+        swaps it before any move).  Committed windows are skipped, a
+        pending staged window is re-applied from its journaled payloads,
+        and every remaining stripe moves — with the same read-back
+        verification — exactly as on the clean path.  The report's
+        timing fields cover the resumed portion only; its ``spread``
+        covers the whole recovery.
+        """
+        state = journal.load()
+        ctx = state.context or {}
+        if ctx.get("kind") != "cluster-recovery":
+            raise ValueError(
+                f"journal {journal.path} is not a cluster-recovery journal"
+            )
+        if ctx["to_shards"] != self.map.num_shards:
+            raise ValueError(
+                f"journal expects {ctx['to_shards']} shards, cluster has "
+                f"{self.map.num_shards}"
+            )
+        failed = ctx["failed_shard"]
+        if failed not in self.map.excluded:
+            raise ValueError(
+                f"cluster map does not mark shard {failed} failed; call "
+                "fail_shard before resuming its journal"
+            )
+        moved = list(ctx["moved"])
+        busy_before = self._busy_per_shard()
+        committed = run_rebalance(
+            self,
+            moved,
+            journal,
+            committed=state.committed,
+            pending=state.pending,
+            verify=True,
+        )
+        self.counters.recoveries += 1
+        return self._recovery_report(
+            failed, moved, committed, busy_before, resumed=True
+        )
+
+    def _busy_per_shard(self) -> dict[int, float]:
+        """Summed disk busy time per shard, for recovery makespans."""
+        return {
+            vol.shard_id: sum(
+                d.stats.busy_time_s for d in vol.store.array.disks
+            )
+            for vol in self.volumes
+        }
+
+    def _recovery_report(
+        self,
+        failed: int,
+        moved: list[int],
+        committed: int,
+        busy_before: dict[int, float],
+        *,
+        resumed: bool,
+    ) -> ShardRecoveryReport:
+        spread = {s: 0 for s in self.live_shard_ids}
+        for g in moved:
+            spread[self.map.shard_of(g)] += 1
+        busy_after = self._busy_per_shard()
+        deltas = {
+            sid: busy_after[sid] - busy_before.get(sid, 0.0)
+            for sid in busy_after
+        }
+        survivor_deltas = [deltas[s] for s in spread] or [0.0]
+        return ShardRecoveryReport(
+            failed_shard=failed,
+            stripes_recovered=len(moved),
+            windows_committed=committed,
+            spread=spread,
+            recovery_makespan_s=max(survivor_deltas),
+            source_drain_s=deltas.get(failed, 0.0),
+            resumed=resumed,
+        )
+
+    def recovery_balance(self) -> dict[str, dict]:
+        """What-if recovery spread for each live shard's failure.
+
+        For every live shard ``f``, computes where ``f``'s stripes would
+        re-host under ``map.without_shard(f)`` and summarizes the
+        per-survivor spread — the load-table view the ``cluster`` CLI
+        prints and the ``cluster.*`` snapshot carries.  Empty when the
+        map lacks recovery routing or fewer than two shards are live.
+        """
+        live = self.live_shard_ids
+        out: dict[str, dict] = {}
+        if len(live) < 2 or not self.map.supports_recovery:
+            return out
+        owners: dict[int, list[int]] = {s: [] for s in live}
+        for g, (sid, _) in enumerate(self._locations):
+            owners.setdefault(sid, []).append(g)
+        for f in live:
+            rmap = self.map.without_shard(f)
+            counts = {s: 0 for s in live if s != f}
+            for g in owners.get(f, ()):
+                counts[rmap.shard_of(g)] += 1
+            vals = list(counts.values())
+            mean = sum(vals) / len(vals) if vals else 0.0
+            out[str(f)] = {
+                "stripes": len(owners.get(f, ())),
+                "spread_max": max(vals) if vals else 0,
+                "spread_min": min(vals) if vals else 0,
+                "imbalance": (max(vals) / mean) if mean > 0 else 0.0,
+            }
+        return out
 
     # ------------------------------------------------------------------
     # observability
@@ -1184,6 +1390,7 @@ class ClusterService:
         """The ``cluster.*`` namespace: frontend counters, the rolled-up
         per-shard summaries, and the cluster load-imbalance stats."""
         live = self.stripes_per_shard()
+        balance = self.recovery_balance()
         per_shard = {}
         for vol in self.volumes:
             stats = vol.store.array.stats_snapshot()
@@ -1197,6 +1404,9 @@ class ClusterService:
                 "retries": vol.service.counters.retries,
                 "busy_time_s": stats["total_busy_time_s"],
                 "failed_disks": stats["failed"],
+                "recovery_imbalance": balance.get(str(vol.shard_id), {}).get(
+                    "imbalance", 0.0
+                ),
             }
         out = {
             "shards": len(self.volumes),
@@ -1208,6 +1418,9 @@ class ClusterService:
             "spanning_reads": self.counters.spanning_reads,
             "rebalances": self.counters.rebalances,
             "stripes_moved": self.counters.stripes_moved,
+            "recoveries": self.counters.recoveries,
+            "failed_shards": sorted(self.map.excluded),
+            "recovery_balance": balance,
             **self.load_imbalance(),
             "per_shard": per_shard,
         }

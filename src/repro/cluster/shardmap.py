@@ -7,7 +7,7 @@ decides disks and slots — so the map must be cheap, deterministic across
 processes, and (for elastic clusters) *stable*: adding a shard should
 remap as few stripes as possible.
 
-Two maps are provided:
+Three maps are provided:
 
 * :class:`RoundRobinMap` — ``stripe mod S``.  Perfectly balanced for
   sequential stripe ids, but adding a shard remaps almost every stripe
@@ -22,18 +22,45 @@ Two maps are provided:
   expected ``1/(S+1)`` fraction, and every moved stripe lands on the new
   shard (the property the cluster's :meth:`~repro.cluster.service.
   ClusterService.add_shard` rebalance path relies on).
+* :class:`D3Map` — deterministic data distribution after the D3 paper
+  (Xu et al., "Deterministic Data Distribution for Efficient Recovery
+  in Erasure-Coded Storage Systems").  Stripes are laid out by a
+  periodic stripe-group table instead of a hash ring, which buys three
+  guarantees hashing cannot give: per-shard stripe counts are *exact*
+  (equal on every full period, within the table's prefix bound on any
+  prefix), adding a shard steals *exactly* ``1/(S+1)`` of each old
+  shard's stripes (evenly spaced, all landing on the new shard), and —
+  the D3 headline — when any single shard fails, its stripes re-host
+  round-robin across the survivors so every surviving shard receives a
+  near-equal share (max−min ≤ 1 stripe) of the recovery load.
+
+Recovery is a first-class map operation: :meth:`ShardMap.without_shard`
+returns the same family's map with one shard marked failed and its
+stripes deterministically reassigned to survivors — only the failed
+shard's stripes move.  The cluster's drain-recovery path
+(:meth:`~repro.cluster.service.ClusterService.fail_shard`) routes every
+evacuated stripe to ``without_shard(failed).shard_of(stripe)``, so the
+map alone decides how recovery load spreads.
 
 All hashing uses an explicit splitmix64-style mixer — never Python's
 ``hash`` — so the mapping is identical across interpreter runs and
-``PYTHONHASHSEED`` values.
+``PYTHONHASHSEED`` values.  :class:`D3Map` is pure integer arithmetic
+over its table and uses no hashing at all.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from bisect import bisect_left
+from typing import Iterable, Sequence
 
-__all__ = ["ShardMap", "RoundRobinMap", "HashRingMap", "make_shard_map"]
+__all__ = [
+    "ShardMap",
+    "RoundRobinMap",
+    "HashRingMap",
+    "D3Map",
+    "make_shard_map",
+]
 
 _MASK64 = (1 << 64) - 1
 
@@ -47,18 +74,45 @@ def _mix64(x: int) -> int:
 
 
 class ShardMap(ABC):
-    """Maps global stripe ids onto shard ids ``0..num_shards-1``."""
+    """Maps global stripe ids onto shard ids ``0..num_shards-1``.
+
+    ``num_shards`` is the size of the shard *id space*; shards in
+    :attr:`excluded` have failed and are never returned by
+    :meth:`shard_of`.  Maps that implement :meth:`without_shard` set
+    :attr:`supports_recovery` and route a failed shard's stripes to the
+    survivors deterministically.
+    """
 
     #: registry-style name, e.g. ``"round-robin"`` / ``"hash-ring"``.
     name: str = "abstract"
     #: whether :meth:`with_added_shard` yields a *stable* map (few stripes
     #: move); the cluster refuses to rebalance maps where it does not.
     supports_rebalance: bool = False
+    #: whether :meth:`without_shard` is implemented — the cluster refuses
+    #: to drain-recover a failed shard on maps where it is not.
+    supports_recovery: bool = False
+    #: failed shard ids; :meth:`shard_of` never returns one of these.
+    excluded: frozenset[int] = frozenset()
 
-    def __init__(self, num_shards: int) -> None:
+    def __init__(
+        self, num_shards: int, *, excluded: Iterable[int] = ()
+    ) -> None:
         if num_shards <= 0:
             raise ValueError(f"need at least one shard, got {num_shards}")
         self.num_shards = num_shards
+        self.excluded = frozenset(excluded)
+        bad = [s for s in self.excluded if not 0 <= s < num_shards]
+        if bad:
+            raise ValueError(
+                f"excluded shards {sorted(bad)} outside [0, {num_shards})"
+            )
+        if len(self.excluded) >= num_shards:
+            raise ValueError("cannot exclude every shard")
+
+    @property
+    def live_shards(self) -> list[int]:
+        """Shard ids that can own stripes, ascending."""
+        return [s for s in range(self.num_shards) if s not in self.excluded]
 
     @abstractmethod
     def shard_of(self, stripe: int) -> int:
@@ -68,27 +122,98 @@ class ShardMap(ABC):
     def with_added_shard(self) -> "ShardMap":
         """The same map family over ``num_shards + 1`` shards."""
 
+    def without_shard(self, failed: int) -> "ShardMap":
+        """The same map with ``failed`` marked dead — the recovery map.
+
+        The returned map keeps every surviving stripe in place and
+        reassigns exactly the failed shard's stripes to survivors; the
+        cluster's :meth:`~repro.cluster.service.ClusterService.
+        fail_shard` drains stripes to wherever this map says.  Raises
+        on families that do not support recovery routing.
+        """
+        raise ValueError(
+            f"{self.name} map ({type(self).__name__}) does not support "
+            "single-shard recovery routing (no without_shard)"
+        )
+
+    def _check_failed(self, failed: int) -> list[int]:
+        """Validate a ``without_shard`` target; returns the survivors."""
+        if not 0 <= failed < self.num_shards:
+            raise ValueError(
+                f"failed shard {failed} outside [0, {self.num_shards})"
+            )
+        if failed in self.excluded:
+            raise ValueError(f"shard {failed} is already excluded")
+        survivors = [s for s in self.live_shards if s != failed]
+        if not survivors:
+            raise ValueError("cannot fail the last live shard")
+        return survivors
+
+    def recovery_spread(self, failed: int, stripes: int) -> dict[int, int]:
+        """Survivor → stripes received if ``failed`` died now.
+
+        Counts, over stripe ids ``[0, stripes)``, where each stripe
+        currently owned by ``failed`` would re-host under
+        :meth:`without_shard`.  Every survivor appears, including ones
+        receiving zero stripes, so imbalance statistics are honest.
+        """
+        rmap = self.without_shard(failed)
+        spread = {s: 0 for s in self.live_shards if s != failed}
+        for g in range(stripes):
+            if self.shard_of(g) == failed:
+                spread[rmap.shard_of(g)] += 1
+        return spread
+
     def describe(self) -> str:
         """Human-readable one-line description."""
-        return f"{self.name}[{self.num_shards} shards]"
+        return f"{self.name}[{self.num_shards} shards{self._excluded_note()}]"
+
+    def _excluded_note(self) -> str:
+        if not self.excluded:
+            return ""
+        return f", failed {sorted(self.excluded)}"
 
 
 class RoundRobinMap(ShardMap):
-    """``stripe mod S`` — the balanced but unstable baseline."""
+    """``stripe mod S`` — the balanced but unstable baseline.
+
+    Recovery routing is supported (a failed shard's stripes re-host
+    round-robin over the survivors by ``stripe // S``, so recovery load
+    is balanced within one stripe), but shard *addition* is not: the
+    modulus changes and ~``S/(S+1)`` of all stripes would move.
+    """
 
     name = "round-robin"
     supports_rebalance = False
+    supports_recovery = True
+
+    def __init__(
+        self, num_shards: int, *, excluded: Iterable[int] = ()
+    ) -> None:
+        super().__init__(num_shards, excluded=excluded)
+        self._survivors = self.live_shards
 
     def shard_of(self, stripe: int) -> int:
         if stripe < 0:
             raise ValueError(f"stripe must be >= 0, got {stripe}")
-        return stripe % self.num_shards
+        owner = stripe % self.num_shards
+        if owner in self.excluded:
+            owner = self._survivors[
+                (stripe // self.num_shards) % len(self._survivors)
+            ]
+        return owner
 
     def with_added_shard(self) -> "RoundRobinMap":
         """Exists for completeness; the result remaps ~``S/(S+1)`` of all
         stripes, which is why :attr:`supports_rebalance` is False and the
         cluster's ``add_shard`` refuses round-robin clusters."""
-        return RoundRobinMap(self.num_shards + 1)
+        return RoundRobinMap(self.num_shards + 1, excluded=self.excluded)
+
+    def without_shard(self, failed: int) -> "RoundRobinMap":
+        self._check_failed(failed)
+        return RoundRobinMap(
+            self.num_shards, excluded=self.excluded | {failed}
+        )
 
 
 class HashRingMap(ShardMap):
@@ -106,13 +231,27 @@ class HashRingMap(ShardMap):
         Ring salt.  Maps with the same ``(vnodes, seed)`` and different
         shard counts share every surviving shard's points — the stability
         property.
+    excluded:
+        Failed shards; their points are simply absent from the ring, so
+        exactly their stripes move — to each stripe's ring *successor*,
+        which is pseudo-random per stripe and therefore NOT evenly
+        spread across survivors (the recovery-imbalance weakness the
+        :class:`D3Map` exists to fix).
     """
 
     name = "hash-ring"
     supports_rebalance = True
+    supports_recovery = True
 
-    def __init__(self, num_shards: int, *, vnodes: int = 96, seed: int = 0) -> None:
-        super().__init__(num_shards)
+    def __init__(
+        self,
+        num_shards: int,
+        *,
+        vnodes: int = 96,
+        seed: int = 0,
+        excluded: Iterable[int] = (),
+    ) -> None:
+        super().__init__(num_shards, excluded=excluded)
         if vnodes <= 0:
             raise ValueError(f"need at least one virtual node, got {vnodes}")
         self.vnodes = vnodes
@@ -120,6 +259,8 @@ class HashRingMap(ShardMap):
         points: list[tuple[int, int]] = []
         salt = _mix64(seed ^ 0x9E3779B97F4A7C15)
         for shard in range(num_shards):
+            if shard in self.excluded:
+                continue
             base = _mix64(salt ^ (shard * 0xD1B54A32D192ED03))
             for v in range(vnodes):
                 points.append((_mix64(base ^ (v * 0x8CB92BA72F3D8DD7)), shard))
@@ -144,24 +285,183 @@ class HashRingMap(ShardMap):
 
     def with_added_shard(self) -> "HashRingMap":
         return HashRingMap(
-            self.num_shards + 1, vnodes=self.vnodes, seed=self.seed
+            self.num_shards + 1,
+            vnodes=self.vnodes,
+            seed=self.seed,
+            excluded=self.excluded,
+        )
+
+    def without_shard(self, failed: int) -> "HashRingMap":
+        self._check_failed(failed)
+        return HashRingMap(
+            self.num_shards,
+            vnodes=self.vnodes,
+            seed=self.seed,
+            excluded=self.excluded | {failed},
         )
 
     def describe(self) -> str:
         return (
             f"{self.name}[{self.num_shards} shards x {self.vnodes} vnodes, "
-            f"seed {self.seed}]"
+            f"seed {self.seed}{self._excluded_note()}]"
+        )
+
+
+class D3Map(ShardMap):
+    """Deterministic recovery-load-balanced placement (the D3 template).
+
+    The map is a periodic *stripe-group table*: ``shard_of(g) =
+    table[g % L]`` where every live shard owns exactly ``L / live``
+    slots per period ``L`` — normal read load is exactly balanced on
+    every full period, with no hash jitter.  The table starts as one
+    round-robin group (``L = S``) and every structural operation
+    (adding a shard, failing a shard) rewrites it deterministically by
+    *occurrence rank*: the r-th stripe a shard owns (counting from
+    stripe 0) is a well-defined quantity, computable in O(1), and both
+    growth and recovery walk it round-robin.
+
+    Growth — :meth:`with_added_shard` steals each old shard's
+    occurrences whose rank ``r`` satisfies ``r % (live+1) == live``:
+    exactly every ``(live+1)``-th stripe of every shard, evenly spaced,
+    all landing on the new shard.  The remap fraction is exactly
+    ``1/(live+1)`` — the hash ring's bound, met with equality and
+    without sampling error — so D3 clusters rebalance through the same
+    migration journal as hash-ring clusters.
+
+    Recovery — :meth:`without_shard` reassigns the failed shard's r-th
+    stripe to ``survivors[r % len(survivors)]``.  Because ranks are
+    consecutive in stripe order, any prefix of the stripe space spreads
+    the failed shard's stripes across survivors to within one stripe
+    (max − min ≤ 1): per-surviving-shard recovery load is balanced *by
+    construction*, not in expectation.  This is the property the
+    recovery-balance harness pins and the hash ring cannot offer.
+
+    The table is pure integer data — no hashing, no seeds — so the map
+    is trivially identical across processes and ``PYTHONHASHSEED``
+    values.  Tables compact to their minimal period after every
+    operation; a fresh map's period is ``S``, and each growth or
+    failure multiplies it by at most the live-shard count.
+    """
+
+    name = "d3"
+    supports_rebalance = True
+    supports_recovery = True
+
+    def __init__(
+        self,
+        num_shards: int,
+        *,
+        excluded: Iterable[int] = (),
+        _table: Sequence[int] | None = None,
+    ) -> None:
+        super().__init__(num_shards, excluded=excluded)
+        if _table is None:
+            if self.excluded:
+                raise ValueError(
+                    "a fresh D3Map cannot start with excluded shards; "
+                    "derive one via without_shard()"
+                )
+            _table = list(range(num_shards))
+        self._table = self._compact(list(_table))
+        live = self.live_shards
+        if sorted(set(self._table)) != live:
+            raise ValueError(
+                f"table owners {sorted(set(self._table))} != live shards {live}"
+            )
+        counts = [0] * num_shards
+        #: occurrence rank of each period slot within its owner's slots.
+        self._rank: list[int] = []
+        for owner in self._table:
+            self._rank.append(counts[owner])
+            counts[owner] += 1
+        if len(set(counts[s] for s in live)) != 1:
+            raise ValueError("D3 table must own every live shard equally")
+        self._count = counts
+
+    @staticmethod
+    def _compact(table: list[int]) -> list[int]:
+        """Truncate ``table`` to its minimal period."""
+        n = len(table)
+        for p in range(1, n + 1):
+            if n % p == 0 and table == table[:p] * (n // p):
+                return table[:p]
+        return table
+
+    @property
+    def period(self) -> int:
+        """Length of the stripe-group table (the layout period)."""
+        return len(self._table)
+
+    def shard_of(self, stripe: int) -> int:
+        if stripe < 0:
+            raise ValueError(f"stripe must be >= 0, got {stripe}")
+        return self._table[stripe % len(self._table)]
+
+    def occurrence_rank(self, stripe: int) -> int:
+        """Rank of ``stripe`` among its owner's stripes, from stripe 0.
+
+        The quantity both growth and recovery cycle on: the owner's
+        stripes in increasing id order have ranks 0, 1, 2, ….
+        """
+        if stripe < 0:
+            raise ValueError(f"stripe must be >= 0, got {stripe}")
+        L = len(self._table)
+        owner = self._table[stripe % L]
+        return (stripe // L) * self._count[owner] + self._rank[stripe % L]
+
+    def with_added_shard(self) -> "D3Map":
+        new_id = self.num_shards
+        live = len(self.live_shards)
+        L = len(self._table)
+        table = []
+        # Over one new period of L*(live+1) slots, each owner's ranks
+        # run 0 .. count*(live+1)-1 exactly once, so the steal takes
+        # exactly every (live+1)-th occurrence of every owner.
+        for j in range(L * (live + 1)):
+            owner = self._table[j % L]
+            r = (j // L) * self._count[owner] + self._rank[j % L]
+            table.append(new_id if r % (live + 1) == live else owner)
+        return D3Map(self.num_shards + 1, excluded=self.excluded, _table=table)
+
+    def without_shard(self, failed: int) -> "D3Map":
+        survivors = self._check_failed(failed)
+        L = len(self._table)
+        table = []
+        # The failed shard's r-th stripe re-hosts on survivors[r % n]:
+        # consecutive ranks walk the survivors round-robin, so any
+        # prefix of the stripe space spreads within one stripe.
+        for j in range(L * len(survivors)):
+            owner = self._table[j % L]
+            if owner == failed:
+                r = (j // L) * self._count[failed] + self._rank[j % L]
+                owner = survivors[r % len(survivors)]
+            table.append(owner)
+        return D3Map(
+            self.num_shards, excluded=self.excluded | {failed}, _table=table
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}[{self.num_shards} shards, period "
+            f"{len(self._table)}{self._excluded_note()}]"
         )
 
 
 def make_shard_map(
     name: str, num_shards: int, *, vnodes: int = 96, seed: int = 0
 ) -> ShardMap:
-    """Factory: build a shard map by registry name."""
+    """Factory: build a shard map by registry name.
+
+    ``vnodes`` and ``seed`` parameterize the hash ring only; the
+    round-robin and D3 maps are seedless by construction (their layouts
+    are pure stripe-id arithmetic).
+    """
     if name == "round-robin":
         return RoundRobinMap(num_shards)
     if name == "hash-ring":
         return HashRingMap(num_shards, vnodes=vnodes, seed=seed)
+    if name == "d3":
+        return D3Map(num_shards)
     raise ValueError(
-        f"unknown shard map {name!r}; known: 'hash-ring', 'round-robin'"
+        f"unknown shard map {name!r}; known: 'hash-ring', 'round-robin', 'd3'"
     )

@@ -8,9 +8,9 @@ to the same read against a single flat reference :class:`BlockStore`
 holding the identical byte stream (and to the raw bytes themselves).
 
 Each seed draws a random shard count, shard map (hash-ring with random
-vnodes/seed, or round-robin), stream length (to exercise the padded-tail
-path), read batch, and fault schedule, then checks all three sources
-agree.  ``ECFRM_CLUSTER_SEED`` offsets the seed block so CI matrix jobs
+vnodes/seed, round-robin, or d3), stream length (to exercise the
+padded-tail path), read batch, and fault schedule, then checks all three
+sources agree.  ``ECFRM_CLUSTER_SEED`` offsets the seed block so CI matrix jobs
 cover disjoint sweeps; the default is seeds ``base*1000 .. base*1000+99``.
 """
 
@@ -37,7 +37,8 @@ def _build(seed: int):
     rng = random.Random(seed)
     code = make_rs(3, 2)
     shards = rng.randint(1, 4)
-    if rng.random() < 0.75:
+    draw = rng.random()
+    if draw < 0.5:
         cluster = ClusterService(
             code,
             shards=shards,
@@ -45,6 +46,10 @@ def _build(seed: int):
             element_size=ELEMENT_SIZE,
             map_seed=rng.randrange(1 << 16),
             vnodes=rng.choice([16, 48, 96]),
+        )
+    elif draw < 0.75:
+        cluster = ClusterService(
+            code, shards=shards, map="d3", element_size=ELEMENT_SIZE
         )
     else:
         cluster = ClusterService(

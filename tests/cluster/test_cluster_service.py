@@ -193,8 +193,9 @@ def test_degraded_shard_disables_batch_timing():
 # ----------------------------------------------------------------------
 # rebalance
 # ----------------------------------------------------------------------
-def test_add_shard_moves_only_remapped_stripes():
-    cluster, data = _cluster(stripes=40)
+@pytest.mark.parametrize("map_name", ["hash-ring", "d3"])
+def test_add_shard_moves_only_remapped_stripes(map_name):
+    cluster, data = _cluster(stripes=40, map=map_name)
     before = {g: cluster.locate_stripe(g)[0]
               for g in range(cluster.stripes_written)}
     report = cluster.add_shard()
@@ -220,8 +221,9 @@ def test_round_robin_refuses_rebalance():
         cluster.add_shard()
 
 
-def test_rebalance_crash_and_resume(tmp_path):
-    cluster, data = _cluster(stripes=40, tail=21)
+@pytest.mark.parametrize("map_name", ["hash-ring", "d3"])
+def test_rebalance_crash_and_resume(tmp_path, map_name):
+    cluster, data = _cluster(stripes=40, tail=21, map=map_name)
     journal = MigrationJournal(tmp_path / "rebalance.jsonl")
     with pytest.raises(RebalanceCrash):
         cluster.add_shard(journal=journal, crash_after_moves=1)
@@ -268,3 +270,102 @@ def test_prebuilt_map_instance_and_shards_param_ignored():
     )
     assert cluster.num_shards == 2
     assert cluster.map.seed == 3
+
+
+# ----------------------------------------------------------------------
+# shard-failure drain recovery
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("map_name", ["hash-ring", "round-robin", "d3"])
+def test_fail_shard_drains_and_reads_stay_exact(map_name):
+    cluster, data = _cluster(shards=4, stripes=20, tail=11, map=map_name)
+    owned = cluster.stripes_per_shard()[1]
+    report = cluster.fail_shard(1)
+    assert report.failed_shard == 1
+    assert report.stripes_recovered == owned
+    assert report.windows_committed == owned
+    assert not report.resumed
+    assert set(report.spread) == {0, 2, 3}  # zero-receivers included
+    assert sum(report.spread.values()) == owned
+    assert cluster.read(0, len(data)) == data
+    assert cluster.stripes_per_shard()[1] == 0
+    assert cluster.failed_shards == {1}
+    assert cluster.live_shard_ids == [0, 2, 3]
+    assert cluster.counters.recoveries == 1
+    # drained source copies are tracked garbage on the failed shard
+    assert cluster.garbage_rows.get(1, 0) == owned
+    # every surviving stripe is where the recovery map says
+    for g in range(cluster.stripes_written):
+        assert cluster.locate_stripe(g)[0] == cluster.map.shard_of(g)
+
+
+def test_fail_shard_refusals():
+    cluster, _ = _cluster(shards=2)
+    with pytest.raises(ValueError, match="out of range"):
+        cluster.fail_shard(5)
+    cluster.fail_shard(0)
+    with pytest.raises(ValueError, match="already excluded"):
+        cluster.fail_shard(0)
+    with pytest.raises(ValueError, match="last live shard"):
+        cluster.fail_shard(1)
+
+
+def test_fail_shard_snapshot_and_recovery_balance():
+    cluster, _ = _cluster(shards=3, stripes=12, map="d3")
+    snap = cluster.metrics()["cluster"]
+    assert snap["recoveries"] == 0
+    assert snap["failed_shards"] == []
+    # what-if spread exists for every live shard before any failure
+    assert set(snap["recovery_balance"]) == {"0", "1", "2"}
+    for stats in snap["recovery_balance"].values():
+        assert stats["spread_max"] - stats["spread_min"] <= 1
+    for s in snap["per_shard"].values():
+        assert s["recovery_imbalance"] >= 0.0
+    cluster.fail_shard(2)
+    snap = cluster.metrics()["cluster"]
+    assert snap["recoveries"] == 1
+    assert snap["failed_shards"] == [2]
+    assert set(snap["recovery_balance"]) == {"0", "1"}
+
+
+def test_fail_shard_crash_resume_and_foreign_journal(tmp_path):
+    cluster, data = _cluster(shards=4, stripes=24, map="d3")
+    journal = MigrationJournal(tmp_path / "drain.jsonl")
+    owned = cluster.stripes_per_shard()[2]
+    with pytest.raises(RebalanceCrash):
+        cluster.fail_shard(2, journal=journal, crash_after_moves=2)
+    assert cluster.read(0, len(data)) == data  # mid-crash still exact
+    # a recovery journal is not a rebalance journal (and vice versa)
+    with pytest.raises(ValueError, match="use resume_recovery"):
+        cluster.resume_rebalance(MigrationJournal(tmp_path / "drain.jsonl"))
+    report = cluster.resume_recovery(MigrationJournal(tmp_path / "drain.jsonl"))
+    assert report.resumed
+    assert report.windows_committed == owned - 2
+    assert report.stripes_recovered == owned
+    assert cluster.read(0, len(data)) == data
+    assert cluster.stripes_per_shard()[2] == 0
+
+    foreign = MigrationJournal(tmp_path / "foreign.jsonl")
+    foreign.write_plan({"kind": "layout-migration"})
+    with pytest.raises(ValueError, match="not a cluster-recovery"):
+        cluster.resume_recovery(foreign)
+
+
+def test_resume_recovery_requires_failed_map(tmp_path):
+    cluster, _ = _cluster(shards=3, map="d3")
+    journal = MigrationJournal(tmp_path / "drain.jsonl")
+    journal.write_plan({
+        "kind": "cluster-recovery", "failed_shard": 1,
+        "to_shards": 3, "moved": [],
+    })
+    with pytest.raises(ValueError, match="does not mark shard 1 failed"):
+        cluster.resume_recovery(journal)
+
+
+def test_fail_shard_report_stats():
+    cluster, _ = _cluster(shards=4, stripes=21, map="d3")
+    report = cluster.fail_shard(0)
+    assert report.spread_bound <= 1
+    assert report.imbalance >= 1.0
+    assert report.recovery_makespan_s > 0.0  # survivors did disk work
+    assert report.source_drain_s > 0.0  # the drained shard was read
+

@@ -1,0 +1,176 @@
+"""D3Map structural properties: exact balance, exact 1/(S+1) growth,
+±1-stripe recovery spread, and cross-process determinism.
+
+Mirrors the HashRingMap stability suite in ``test_shardmap.py`` but pins
+the *exact* guarantees the D3 construction buys that hashing only gives
+in expectation.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cluster import D3Map, make_shard_map
+
+STRIPES = 4200  # divisible by lcm-friendly shard counts below
+
+
+# ----------------------------------------------------------------------
+# cross-process determinism (PYTHONHASHSEED-independence)
+# ----------------------------------------------------------------------
+def test_d3_stable_across_processes():
+    """The table is pure integer arithmetic — no hash() anywhere — so the
+    map, its growth, and its recovery routing are bit-identical across
+    interpreter runs and PYTHONHASHSEED values."""
+    prog = (
+        "from repro.cluster import D3Map;"
+        "m = D3Map(5);"
+        "g = m.with_added_shard();"
+        "r = g.without_shard(2);"
+        "print([m.shard_of(i) for i in range(64)],"
+        "      [g.shard_of(i) for i in range(64)],"
+        "      [r.shard_of(i) for i in range(64)])"
+    )
+    outs = {
+        subprocess.run(
+            [sys.executable, "-c", prog],
+            capture_output=True, text=True, check=True,
+            env={**os.environ, "PYTHONPATH": "src", "PYTHONHASHSEED": str(h)},
+        ).stdout
+        for h in (0, 1, 12345)
+    }
+    assert len(outs) == 1
+
+
+# ----------------------------------------------------------------------
+# exact balance (hash rings only approximate this)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shards", [1, 2, 3, 4, 5, 6, 7])
+def test_exact_balance_on_full_periods(shards):
+    m = D3Map(shards)
+    n = m.period * (STRIPES // m.period)  # whole periods only
+    counts = [0] * shards
+    for g in range(n):
+        counts[m.shard_of(g)] += 1
+    assert len(set(counts)) == 1, f"S={shards}: {counts}"
+
+
+@pytest.mark.parametrize("shards", [2, 3, 5])
+def test_near_balance_on_any_prefix(shards):
+    """On an arbitrary prefix the spread is bounded by the within-period
+    distribution — never worse than one period's share per shard."""
+    m = D3Map(shards)
+    counts = [0] * shards
+    for g in range(1000):
+        counts[m.shard_of(g)] += 1
+    assert max(counts) - min(counts) <= m.period // shards
+
+
+# ----------------------------------------------------------------------
+# growth: exactly 1/(S+1) moves, all to the new shard, evenly stolen
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shards", [1, 2, 3, 4, 5, 6])
+def test_add_shard_moves_exact_fraction_all_to_new(shards):
+    old = D3Map(shards)
+    new = old.with_added_shard()
+    assert new.num_shards == shards + 1
+    n = new.period * max(1, STRIPES // new.period)
+    moved = [g for g in range(n) if new.shard_of(g) != old.shard_of(g)]
+    # exact consistent-hashing bound, met with equality: 1/(S+1)
+    assert len(moved) * (shards + 1) == n
+    assert all(new.shard_of(g) == shards for g in moved)
+    # the steal is even: every old shard loses the same number
+    lost = [0] * shards
+    for g in moved:
+        lost[old.shard_of(g)] += 1
+    assert len(set(lost)) == 1
+
+
+def test_growth_chain_stays_balanced():
+    """Repeated growth keeps exact balance and the exact move bound."""
+    m = D3Map(2)
+    for s in range(2, 6):
+        grown = m.with_added_shard()
+        n = grown.period * max(1, 2000 // grown.period)
+        moved = sum(
+            1 for g in range(n) if grown.shard_of(g) != m.shard_of(g)
+        )
+        assert moved * (s + 1) == n
+        counts = [0] * (s + 1)
+        for g in range(n):
+            counts[grown.shard_of(g)] += 1
+        assert len(set(counts)) == 1
+        m = grown
+
+
+# ----------------------------------------------------------------------
+# recovery: ±1 stripe spread on ANY prefix, by construction
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shards", [2, 3, 4, 5, 7])
+@pytest.mark.parametrize("prefix", [1, 37, 256, 1000])
+def test_recovery_spread_within_one_stripe_on_any_prefix(shards, prefix):
+    m = D3Map(shards)
+    for failed in range(shards):
+        spread = m.recovery_spread(failed, prefix)
+        assert len(spread) == shards - 1  # zero-receivers included
+        if spread:
+            assert max(spread.values()) - min(spread.values()) <= 1, (
+                f"S={shards} failed={failed} prefix={prefix}: {spread}"
+            )
+
+
+def test_recovery_spread_after_growth_and_double_failure():
+    m = D3Map(4).with_added_shard()  # 5 shards, grown table
+    spread = m.recovery_spread(1, 2000)
+    assert max(spread.values()) - min(spread.values()) <= 1
+    once = m.without_shard(1)
+    spread2 = once.recovery_spread(3, 2000)
+    assert max(spread2.values()) - min(spread2.values()) <= 1
+    assert set(spread2) == {0, 2, 4}
+
+
+def test_occurrence_rank_is_sequential_per_owner():
+    m = D3Map(3).with_added_shard()
+    seen: dict[int, int] = {}
+    for g in range(m.period * 3):
+        owner = m.shard_of(g)
+        r = m.occurrence_rank(g)
+        assert r == seen.get(owner, 0)
+        seen[owner] = r + 1
+
+
+# ----------------------------------------------------------------------
+# table mechanics and API edges
+# ----------------------------------------------------------------------
+def test_period_compaction():
+    assert D3Map(4).period == 4
+    # a redundant doubled table compacts back to its minimal period
+    assert D3Map(3, _table=[0, 1, 2, 0, 1, 2]).period == 3
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError, match="at least one shard"):
+        D3Map(0)
+    with pytest.raises(ValueError, match=">= 0"):
+        D3Map(2).shard_of(-1)
+    with pytest.raises(ValueError, match=">= 0"):
+        D3Map(2).occurrence_rank(-1)
+    with pytest.raises(ValueError, match="fresh D3Map"):
+        D3Map(3, excluded=(1,))
+    with pytest.raises(ValueError, match="live shards"):
+        D3Map(3, _table=[0, 1])  # owner set != live shards
+    with pytest.raises(ValueError, match="equally"):
+        D3Map(2, _table=[0, 0, 1])
+
+
+def test_factory_roundtrip():
+    m = make_shard_map("d3", 4)
+    assert isinstance(m, D3Map)
+    assert m.name == "d3"
+    # vnodes/seed are hash-ring-only knobs; d3 ignores them identically
+    same = make_shard_map("d3", 4, vnodes=8, seed=99)
+    assert [m.shard_of(g) for g in range(64)] == [
+        same.shard_of(g) for g in range(64)
+    ]

@@ -1,0 +1,235 @@
+"""Seeded recovery-balance harness for the D3 map (the ISSUE-10 headline).
+
+Each seed builds a random d3 cluster (random RS code, placement form,
+shard count, stream length), optionally grows it first, optionally fails
+a disk *inside* the victim shard (so the drain must reconstruct through
+the erasure code), then kills a random shard — sometimes crashing the
+drain mid-flight and resuming it from the WAL journal — and asserts the
+three contract properties:
+
+(a) **byte-exact reads throughout** — before the drain, mid-crash with
+    the journal half-applied, and after recovery, every read equals the
+    raw bytes;
+(b) **bounded recovery spread** — the stripes the victim owned re-host
+    across the survivors within ``D3_SPREAD_BOUND`` (max − min ≤ 1
+    stripe), the D3 construction's by-construction guarantee, while
+    :class:`HashRingMap` violates the same bound on recorded seeds;
+(c) **no load-table drift** — after any compose of rebalance and
+    recovery, every stripe's location-table entry equals the live map's
+    ``shard_of``, and the drained shard owns nothing.
+
+``ECFRM_D3_SEED`` offsets the seed block so CI matrix jobs cover
+disjoint sweeps; the default is seeds ``base*1000 .. base*1000+99``.
+"""
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterService, HashRingMap, RebalanceCrash
+from repro.codes import make_rs
+from repro.migrate import MigrationJournal
+
+ELEMENT_SIZE = 32
+NUM_SEEDS = 100
+BASE = int(os.environ.get("ECFRM_D3_SEED", "1"))
+
+#: the stated bound: max − min stripes received across survivors.
+D3_SPREAD_BOUND = 1
+
+#: (draw_seed, shards, vnodes, ring_seed, victim, observed_bound) tuples
+#: where the hash ring's recovery spread over 240 stripes violates
+#: D3_SPREAD_BOUND — recorded from the same draw procedure as
+#: ``_hash_ring_draw`` (396 of the first 400 draws violate; these pin a
+#: representative, badly-skewed handful).
+HASH_RING_VIOLATIONS = [
+    (0, 6, 48, 5306, 2, 12),
+    (1, 4, 96, 8271, 2, 17),
+    (2, 3, 16, 11124, 1, 13),
+    (4, 4, 48, 13522, 3, 11),
+    (7, 5, 16, 51750, 0, 29),
+]
+
+
+def _build(seed: int):
+    """Random d3 cluster + the raw byte stream it holds."""
+    rng = random.Random(seed)
+    k = rng.randint(2, 4)
+    m = rng.randint(1, 2)
+    code = make_rs(k, m)
+    shards = rng.randint(2, 5)
+    form = rng.choice(["standard", "rotated", "ec-frm"])
+    cluster = ClusterService(
+        code, shards=shards, map="d3", form=form, element_size=ELEMENT_SIZE
+    )
+    stripes = rng.randint(3, 10)
+    tail = rng.choice([0, rng.randint(1, cluster.stripe_bytes - 1)])
+    nbytes = stripes * cluster.stripe_bytes + tail
+    data = np.random.default_rng(seed).integers(
+        0, 256, size=nbytes, dtype=np.uint8
+    ).tobytes()
+    cluster.append(data)
+    cluster.flush()
+    return rng, cluster, data
+
+
+def _decisions(seed: int) -> dict[str, bool]:
+    """Which recovery regimes this seed exercises — a pure function of
+    the seed (independent rng stream), so the sweep-coverage guard can
+    count them without rebuilding any clusters."""
+    d = random.Random(seed ^ 0x5EED)
+    return {
+        "grow_first": d.random() < 0.30,
+        "disk_failed": d.random() < 0.30,
+        "crash": d.random() < 0.35,
+        "grow_after": d.random() < 0.25,
+    }
+
+
+def _assert_exact(cluster, data, tag):
+    assert cluster.read(0, len(data)) == data, f"{tag}: full-stream read"
+
+
+def _assert_no_drift(cluster, tag):
+    """Property (c): the location table and the live map agree everywhere."""
+    for g in range(len(cluster._locations)):
+        assert cluster._locations[g][0] == cluster.map.shard_of(g), (
+            f"{tag}: stripe {g} located on {cluster._locations[g][0]} but "
+            f"map says {cluster.map.shard_of(g)}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(BASE * 1000, BASE * 1000 + NUM_SEEDS))
+def test_d3_recovery_balance(seed, tmp_path):
+    rng, cluster, data = _build(seed)
+    regimes = _decisions(seed)
+    _assert_exact(cluster, data, f"seed {seed} clean")
+
+    # sometimes grow first: rebalance + recovery must compose (property c)
+    if regimes["grow_first"]:
+        cluster.add_shard()
+        _assert_exact(cluster, data, f"seed {seed} post-rebalance")
+        _assert_no_drift(cluster, f"seed {seed} post-rebalance")
+
+    victim = rng.choice(cluster.live_shard_ids)
+
+    # sometimes fail a disk inside the victim: the drain then has to
+    # reconstruct every stripe through the erasure code on its way out
+    if regimes["disk_failed"]:
+        array = cluster.volumes[victim].store.array
+        array.fail_disk(rng.randrange(len(array)))
+
+    owned = cluster.stripes_per_shard()[victim]
+    crash = regimes["crash"] and owned >= 2
+    if crash:
+        journal = MigrationJournal(tmp_path / "recovery.jsonl")
+        crash_after = rng.randint(1, owned - 1)
+        with pytest.raises(RebalanceCrash):
+            cluster.fail_shard(
+                victim, journal=journal, crash_after_moves=crash_after
+            )
+        # property (a) mid-crash: location-table routing keeps every
+        # stripe readable while the journal is half-applied
+        _assert_exact(cluster, data, f"seed {seed} mid-crash")
+        report = cluster.resume_recovery(
+            MigrationJournal(tmp_path / "recovery.jsonl")
+        )
+        assert report.resumed
+        assert report.windows_committed == owned - crash_after
+    else:
+        report = cluster.fail_shard(victim)
+        assert report.windows_committed == owned
+
+    # property (b): bounded spread, every survivor present
+    assert report.failed_shard == victim
+    assert report.stripes_recovered == owned
+    assert set(report.spread) == set(cluster.live_shard_ids)
+    assert sum(report.spread.values()) == owned
+    assert report.spread_bound <= D3_SPREAD_BOUND, (
+        f"seed {seed}: spread {report.spread}"
+    )
+
+    # property (a) after and (c) always
+    _assert_exact(cluster, data, f"seed {seed} post-recovery")
+    _assert_no_drift(cluster, f"seed {seed} post-recovery")
+    assert cluster.stripes_per_shard()[victim] == 0
+    assert cluster.failed_shards == {victim}
+
+    # recovery + rebalance compose the other way round too
+    if regimes["grow_after"]:
+        cluster.add_shard()
+        _assert_exact(cluster, data, f"seed {seed} post-recovery-rebalance")
+        _assert_no_drift(cluster, f"seed {seed} post-recovery-rebalance")
+        assert cluster.stripes_per_shard()[victim] == 0
+
+    # appends after the failure never land on the drained shard
+    cluster.append(data[: cluster.stripe_bytes])
+    cluster.flush()
+    assert cluster.stripes_per_shard()[victim] == 0
+
+
+def test_hash_ring_violates_bound_on_recorded_seeds():
+    """The same bound D3 meets by construction, the ring breaks in
+    practice — pinned on recorded draws so the comparison is honest."""
+    for draw, shards, vnodes, ring_seed, victim, recorded in HASH_RING_VIOLATIONS:
+        m = HashRingMap(shards, vnodes=vnodes, seed=ring_seed)
+        spread = m.recovery_spread(victim, 240)
+        bound = max(spread.values()) - min(spread.values())
+        assert bound > D3_SPREAD_BOUND, f"draw {draw}: {spread}"
+        assert bound == recorded, f"draw {draw}: bound drifted to {bound}"
+
+
+def test_d3_map_spread_bound_holds_pure_map():
+    """Map-only version of property (b) over the harness's draw space:
+    no cluster, every victim, many prefixes — fast and exhaustive."""
+    from repro.cluster import D3Map
+
+    for shards in range(2, 7):
+        m = D3Map(shards)
+        grown = m.with_added_shard()
+        for mm in (m, grown):
+            for victim in mm.live_shards:
+                for stripes in (1, 17, 240):
+                    spread = mm.recovery_spread(victim, stripes)
+                    if spread:
+                        assert (
+                            max(spread.values()) - min(spread.values())
+                            <= D3_SPREAD_BOUND
+                        )
+
+
+def test_d3_composes_with_recovery_orchestrator(tmp_path):
+    """The PR 7 recovery plane runs unchanged on a d3 cluster: a disk
+    failure inside one shard is detected, bound to a spare, and rebuilt,
+    and a subsequent shard drain still meets the spread bound."""
+    code = make_rs(3, 2)
+    cluster = ClusterService(
+        code, shards=3, map="d3", element_size=ELEMENT_SIZE
+    )
+    data = np.random.default_rng(3).integers(
+        0, 256, size=12 * cluster.stripe_bytes, dtype=np.uint8
+    ).tobytes()
+    cluster.append(data)
+    cluster.flush()
+    cluster.enable_recovery(tmp_path, spares=1)
+    cluster.volumes[1].store.array.fail_disk(2)
+    cluster.run_recovery_until_idle()
+    rollup = cluster.metrics()["recovery"]
+    assert rollup["rebuilds_completed"] >= 1
+    _assert_exact(cluster, data, "post-rebuild")
+    report = cluster.fail_shard(1)
+    assert report.spread_bound <= D3_SPREAD_BOUND
+    _assert_exact(cluster, data, "post-drain")
+
+
+def test_sweep_exercises_recovery_regimes():
+    """Guard: the sweep must actually hit the crash/resume, degraded-
+    drain, and rebalance-compose paths, not silently degenerate."""
+    counts = {"grow_first": 0, "disk_failed": 0, "crash": 0, "grow_after": 0}
+    for seed in range(BASE * 1000, BASE * 1000 + NUM_SEEDS):
+        for key, hit in _decisions(seed).items():
+            counts[key] += hit
+    for key, n in counts.items():
+        assert n >= NUM_SEEDS // 10, f"{key} underexercised: {counts}"

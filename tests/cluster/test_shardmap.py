@@ -6,7 +6,7 @@ import sys
 
 import pytest
 
-from repro.cluster import HashRingMap, RoundRobinMap, make_shard_map
+from repro.cluster import D3Map, HashRingMap, RoundRobinMap, make_shard_map
 
 STRIPES = 4000
 
@@ -14,7 +14,7 @@ STRIPES = 4000
 # ----------------------------------------------------------------------
 # basics: every stripe maps to exactly one valid shard, deterministically
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("name", ["round-robin", "hash-ring"])
+@pytest.mark.parametrize("name", ["round-robin", "hash-ring", "d3"])
 @pytest.mark.parametrize("shards", [1, 2, 3, 4, 5])
 def test_every_stripe_maps_to_exactly_one_shard(name, shards):
     """Exhaustive small-cluster check: shard_of is a total function into
@@ -93,6 +93,13 @@ def test_round_robin_add_shard_remaps_almost_everything():
 def test_supports_rebalance_flags():
     assert HashRingMap(2).supports_rebalance
     assert not RoundRobinMap(2).supports_rebalance
+    assert D3Map(2).supports_rebalance
+
+
+def test_supports_recovery_flags():
+    assert HashRingMap(2).supports_recovery
+    assert RoundRobinMap(2).supports_recovery
+    assert D3Map(2).supports_recovery
 
 
 # ----------------------------------------------------------------------
@@ -114,3 +121,36 @@ def test_factory_and_validation_errors():
 def test_describe():
     assert "hash-ring" in HashRingMap(3, vnodes=8, seed=2).describe()
     assert "round-robin" in RoundRobinMap(3).describe()
+    assert "d3" in D3Map(3).describe()
+    assert "failed [1]" in D3Map(3).without_shard(1).describe()
+
+
+# ----------------------------------------------------------------------
+# recovery routing: only the failed shard's stripes move
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ["round-robin", "hash-ring", "d3"])
+@pytest.mark.parametrize("shards", [2, 3, 4, 5])
+def test_without_shard_moves_only_failed_stripes(name, shards):
+    old = make_shard_map(name, shards)
+    failed = shards // 2
+    new = old.without_shard(failed)
+    assert new.num_shards == old.num_shards  # id space is unchanged
+    assert failed in new.excluded
+    for g in range(STRIPES):
+        sid = new.shard_of(g)
+        assert sid != failed
+        if old.shard_of(g) != failed:
+            assert sid == old.shard_of(g), f"survivor stripe {g} moved"
+
+
+@pytest.mark.parametrize("name", ["round-robin", "hash-ring", "d3"])
+def test_without_shard_validation(name):
+    m = make_shard_map(name, 3)
+    with pytest.raises(ValueError, match="outside"):
+        m.without_shard(7)
+    once = m.without_shard(1)
+    with pytest.raises(ValueError, match="already excluded"):
+        once.without_shard(1)
+    twice = once.without_shard(0)
+    with pytest.raises(ValueError, match="last live shard"):
+        twice.without_shard(2)

@@ -267,6 +267,41 @@ class TestClusterCommand:
         assert rc == 2
         assert "SHARD:DISK" in capsys.readouterr().err
 
+    def test_d3_map_roundtrip_with_rebalance(self, capsys):
+        rc = main([
+            "cluster", "--code", "rs-3-2", "--map", "d3", "--shards", "3",
+            "--stripes", "18", "--element-size", "512", "--requests", "16",
+            "--add-shard",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "d3[3 shards, period 3]" in out
+        assert "map load table: d3" in out
+        assert "rec-imb" in out
+        assert "added shard 3: moved" in out
+        assert "payloads byte-exact: OK" in out
+        assert "post-rebalance reads byte-exact: OK" in out
+
+    def test_d3_fail_shard_drain(self, capsys):
+        rc = main([
+            "cluster", "--code", "rs-3-2", "--map", "d3", "--shards", "4",
+            "--stripes", "16", "--element-size", "512", "--requests", "12",
+            "--fail-shard", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "drained shard 1:" in out
+        assert "spread bound" in out
+        assert "post-recovery reads byte-exact: OK" in out
+
+    def test_fail_shard_refusal(self, capsys):
+        rc = main([
+            "cluster", "--code", "rs-3-2", "--shards", "2", "--stripes", "6",
+            "--element-size", "512", "--requests", "4", "--fail-shard", "9",
+        ])
+        assert rc == 2
+        assert "fail-shard refused" in capsys.readouterr().err
+
 
 class TestMigrateCommand:
     def test_clean_migration(self, tmp_path, capsys):
